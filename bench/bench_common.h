@@ -1,0 +1,100 @@
+#ifndef BOXES_BENCH_BENCH_COMMON_H_
+#define BOXES_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/bbox/bbox.h"
+#include "core/common/labeling_scheme.h"
+#include "core/naive/naive.h"
+#include "core/ordpath/ordpath.h"
+#include "core/wbox/wbox.h"
+#include "storage/page_cache.h"
+#include "storage/page_store.h"
+#include "util/status.h"
+
+namespace boxes::bench {
+
+/// A scheme instance plus the storage it lives on. Each benchmarked scheme
+/// gets its own store + accounting cache, as in the paper's experiments.
+struct SchemeUnderTest {
+  explicit SchemeUnderTest(size_t page_size)
+      : store(std::make_unique<MemoryPageStore>(page_size)),
+        cache(std::make_unique<PageCache>(store.get())) {}
+
+  std::unique_ptr<MemoryPageStore> store;
+  std::unique_ptr<PageCache> cache;
+  std::unique_ptr<LabelingScheme> scheme;
+};
+
+/// Instantiates a scheme by name: "wbox", "wbox-o", "wbox-ordinal", "bbox",
+/// "bbox-o" (ordinal), "bbox-4" (min fill B/4), "naive-<k>", or "ordpath"
+/// (the §2 immutable baseline).
+inline Status MakeScheme(const std::string& name, SchemeUnderTest* out) {
+  PageCache* cache = out->cache.get();
+  if (name == "wbox") {
+    out->scheme = std::make_unique<WBox>(cache);
+  } else if (name == "wbox-o") {
+    WBoxOptions options;
+    options.pair_mode = true;
+    out->scheme = std::make_unique<WBox>(cache, options);
+  } else if (name == "wbox-ordinal") {
+    WBoxOptions options;
+    options.maintain_ordinal = true;
+    out->scheme = std::make_unique<WBox>(cache, options);
+  } else if (name == "bbox") {
+    out->scheme = std::make_unique<BBox>(cache);
+  } else if (name == "bbox-o") {
+    BBoxOptions options;
+    options.ordinal = true;
+    out->scheme = std::make_unique<BBox>(cache, options);
+  } else if (name == "bbox-4") {
+    BBoxOptions options;
+    options.min_fill_divisor = 4;
+    out->scheme = std::make_unique<BBox>(cache, options);
+  } else if (name == "ordpath") {
+    out->scheme = std::make_unique<OrdpathScheme>(cache);
+  } else if (name.rfind("naive-", 0) == 0) {
+    NaiveOptions options;
+    options.gap_bits =
+        static_cast<uint32_t>(std::stoul(name.substr(6)));
+    out->scheme = std::make_unique<NaiveScheme>(cache, options);
+  } else {
+    return Status::InvalidArgument("unknown scheme '" + name + "'");
+  }
+  return Status::OK();
+}
+
+/// Splits a comma-separated scheme list.
+inline std::vector<std::string> SplitSchemes(const std::string& list) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (start <= list.size()) {
+    const size_t comma = list.find(',', start);
+    const std::string item = list.substr(
+        start, comma == std::string::npos ? std::string::npos
+                                          : comma - start);
+    if (!item.empty()) {
+      out.push_back(item);
+    }
+    if (comma == std::string::npos) {
+      break;
+    }
+    start = comma + 1;
+  }
+  return out;
+}
+
+/// Aborts with a message on error; benches have no meaningful recovery.
+inline void CheckOkOrDie(const Status& status, const char* what) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s failed: %s\n", what, status.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+}  // namespace boxes::bench
+
+#endif  // BOXES_BENCH_BENCH_COMMON_H_

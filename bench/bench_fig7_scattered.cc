@@ -1,0 +1,63 @@
+// Reproduces Figure 7: amortized update cost under the scattered insertion
+// sequence (paper §7). Insertions are spread evenly over the document, the
+// friendliest case for gap-based schemes: naive-k (k >= a few bits) should
+// match or beat the BOXes here, with naive-1 the degenerate exception.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "util/flags.h"
+#include "workload/sequences.h"
+
+namespace boxes::bench {
+namespace {
+
+int Run(int argc, char** argv) {
+  FlagParser flags;
+  int64_t* base = flags.AddInt64("base", 10000, "base document elements");
+  int64_t* inserts =
+      flags.AddInt64("inserts", 2500, "elements inserted scattered");
+  std::string* schemes = flags.AddString(
+      "schemes",
+      "wbox,wbox-o,bbox,bbox-o,naive-1,naive-4,naive-16,naive-64,ordpath",
+      "comma-separated schemes");
+  int64_t* page_size = flags.AddInt64("page_size", 8192, "block size");
+  if (!flags.Parse(argc, argv)) {
+    return 1;
+  }
+
+  std::printf(
+      "FIG7: amortized update cost, scattered insertion sequence\n"
+      "base=%lld elements, inserts=%lld elements "
+      "(paper: 2000000 / 500000)\n\n",
+      static_cast<long long>(*base), static_cast<long long>(*inserts));
+  std::printf("%-12s %14s %14s %10s\n", "scheme", "avg I/Os/elem",
+              "total I/Os", "p99 I/Os");
+
+  for (const std::string& name : SplitSchemes(*schemes)) {
+    SchemeUnderTest unit(static_cast<size_t>(*page_size));
+    CheckOkOrDie(MakeScheme(name, &unit), "MakeScheme");
+    workload::RunStats stats;
+    CheckOkOrDie(
+        workload::RunScatteredInsertion(unit.scheme.get(), unit.cache.get(),
+                                        static_cast<uint64_t>(*base),
+                                        static_cast<uint64_t>(*inserts),
+                                        &stats),
+        "scattered run");
+    std::printf("%-12s %14.2f %14llu %10llu\n", name.c_str(),
+                stats.MeanCost(),
+                static_cast<unsigned long long>(stats.totals.total()),
+                static_cast<unsigned long long>(
+                    stats.per_op_cost.Percentile(0.99)));
+  }
+  std::printf(
+      "\nExpected shape (paper Fig. 7): all schemes cheap; naive-k (k >= 4)\n"
+      "shines since no gap overflows; naive-1 still relabels constantly\n"
+      "(a single insertion already exhausts its 2-unit gaps).\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace boxes::bench
+
+int main(int argc, char** argv) { return boxes::bench::Run(argc, argv); }

@@ -1,0 +1,64 @@
+// Reproduces Figure 9: distribution of per-insertion cost under the XMark
+// insertion sequence (paper §7). Complementary CDF like Figure 6.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "util/flags.h"
+#include "workload/sequences.h"
+#include "xml/xmark.h"
+
+namespace boxes::bench {
+namespace {
+
+int Run(int argc, char** argv) {
+  FlagParser flags;
+  int64_t* elements =
+      flags.AddInt64("elements", 25000, "XMark document elements");
+  int64_t* prime =
+      flags.AddInt64("prime", 15000, "elements bulk loaded unmeasured");
+  int64_t* seed = flags.AddInt64("seed", 42, "generator seed");
+  std::string* schemes = flags.AddString(
+      "schemes", "wbox,wbox-o,bbox,bbox-o,naive-16",
+      "comma-separated schemes");
+  int64_t* page_size = flags.AddInt64("page_size", 8192, "block size");
+  int64_t* points = flags.AddInt64("points", 24, "CCDF sample points");
+  if (!flags.Parse(argc, argv)) {
+    return 1;
+  }
+
+  const xml::Document doc = xml::MakeXmarkDocument(
+      static_cast<uint64_t>(*elements), static_cast<uint64_t>(*seed));
+  std::printf(
+      "FIG9: distribution of update cost, XMark insertion sequence\n"
+      "document: %llu elements, primed with %lld\n"
+      "columns: cost (I/Os), fraction of insertions with cost > that\n\n",
+      static_cast<unsigned long long>(doc.element_count()),
+      static_cast<long long>(*prime));
+
+  for (const std::string& name : SplitSchemes(*schemes)) {
+    SchemeUnderTest unit(static_cast<size_t>(*page_size));
+    CheckOkOrDie(MakeScheme(name, &unit), "MakeScheme");
+    workload::RunStats stats;
+    CheckOkOrDie(workload::RunDocumentOrderInsertion(
+                     unit.scheme.get(), unit.cache.get(), doc,
+                     static_cast<uint64_t>(*prime), &stats),
+                 "XMark run");
+    std::printf("# scheme=%s mean=%.2f max=%llu\n", name.c_str(),
+                stats.MeanCost(),
+                static_cast<unsigned long long>(stats.per_op_cost.max()));
+    for (const auto& point :
+         stats.per_op_cost.Ccdf(static_cast<size_t>(*points))) {
+      std::printf("%s %10llu %.6f\n", name.c_str(),
+                  static_cast<unsigned long long>(point.cost),
+                  point.fraction_above);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace boxes::bench
+
+int main(int argc, char** argv) { return boxes::bench::Run(argc, argv); }

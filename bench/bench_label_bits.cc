@@ -1,0 +1,121 @@
+// Reproduces the "Other findings" label-length analysis of §7 and the
+// analytic bounds of Theorems 4.4 and 5.1: measured maximum label bits per
+// scheme after the concentrated workload, against each scheme's bound and
+// the 32-bit machine-word line the paper uses as its practicality test.
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench_common.h"
+#include "util/flags.h"
+#include "workload/sequences.h"
+
+namespace boxes::bench {
+namespace {
+
+/// Thm 4.4: a W-BOX label needs no more than
+/// log N + 1 + ceil(log(2+4/a)·log_a(N/k) + log b) bits.
+double WBoxBound(const WBoxParams& params, uint64_t labels) {
+  const double n = static_cast<double>(labels);
+  const double a = static_cast<double>(params.a);
+  const double k = static_cast<double>(params.k);
+  const double b = static_cast<double>(params.b);
+  return std::log2(n) + 1 +
+         std::ceil(std::log2(2 + 4 / a) * (std::log2(n / k) / std::log2(a)) +
+                   std::log2(b));
+}
+
+/// Thm 5.1: a B-BOX label needs no more than
+/// log N + 1 + floor((log N - 1)/(log B - 1)) bits.
+double BBoxBound(const BBoxParams& params, uint64_t labels) {
+  const double n = static_cast<double>(labels);
+  const double b = static_cast<double>(params.leaf_capacity);
+  return std::log2(n) + 1 +
+         std::floor((std::log2(n) - 1) / (std::log2(b) - 1));
+}
+
+int Run(int argc, char** argv) {
+  FlagParser flags;
+  int64_t* base = flags.AddInt64("base", 10000, "base document elements");
+  int64_t* inserts =
+      flags.AddInt64("inserts", 2500, "elements inserted concentrated");
+  std::string* schemes = flags.AddString(
+      "schemes",
+      "wbox,wbox-o,bbox,bbox-o,naive-1,naive-16,naive-64,naive-256,ordpath",
+      "comma-separated schemes");
+  int64_t* page_size = flags.AddInt64("page_size", 8192, "block size");
+  if (!flags.Parse(argc, argv)) {
+    return 1;
+  }
+
+  const uint64_t labels =
+      2 * (static_cast<uint64_t>(*base) + static_cast<uint64_t>(*inserts));
+  std::printf(
+      "TAB-BITS: label length after the concentrated workload (N=%llu\n"
+      "labels). The paper: labels fit a 32-bit word for the BOXes; naive-k\n"
+      "needs log N + k bits, exceeding the machine word for k >= 32.\n\n",
+      static_cast<unsigned long long>(labels));
+  std::printf("%-12s %14s %14s %12s\n", "scheme", "measured bits",
+              "analytic bound", "fits 32-bit");
+
+  for (const std::string& name : SplitSchemes(*schemes)) {
+    SchemeUnderTest unit(static_cast<size_t>(*page_size));
+    CheckOkOrDie(MakeScheme(name, &unit), "MakeScheme");
+    workload::RunStats stats;
+    CheckOkOrDie(
+        workload::RunConcentratedInsertion(unit.scheme.get(),
+                                           unit.cache.get(),
+                                           static_cast<uint64_t>(*base),
+                                           static_cast<uint64_t>(*inserts),
+                                           &stats),
+        "concentrated run");
+    StatusOr<SchemeStats> scheme_stats = unit.scheme->GetStats();
+    CheckOkOrDie(scheme_stats.status(), "GetStats");
+
+    char bound_text[32];
+    if (name == "ordpath") {
+      // Immutable labels: Cohen et al.'s lower bound says Omega(N) bits
+      // for adversarial sequences; no finite formula applies.
+      std::snprintf(bound_text, sizeof(bound_text), "%14s", "Omega(N)");
+    } else if (name.rfind("wbox", 0) == 0) {
+      const auto* wbox = static_cast<const WBox*>(unit.scheme.get());
+      std::snprintf(bound_text, sizeof(bound_text), "%14.0f",
+                    WBoxBound(wbox->params(), labels));
+    } else if (name.rfind("bbox", 0) == 0) {
+      const auto* bbox = static_cast<const BBox*>(unit.scheme.get());
+      std::snprintf(bound_text, sizeof(bound_text), "%14.0f",
+                    BBoxBound(bbox->params(), labels));
+    } else {
+      // naive-k: log2(N) + k bits by construction.
+      const auto* naive =
+          static_cast<const NaiveScheme*>(unit.scheme.get());
+      std::snprintf(bound_text, sizeof(bound_text), "%14.0f",
+                    std::log2(static_cast<double>(labels)) +
+                        naive->options().gap_bits + 1);
+    }
+    std::printf("%-12s %14u %s %12s\n", name.c_str(),
+                scheme_stats->max_label_bits, bound_text,
+                scheme_stats->max_label_bits <= 32 ? "yes" : "NO");
+    if (name.rfind("naive", 0) == 0 || name == "ordpath") {
+      continue;
+    }
+    // Sanity: the measured length must respect the theorem.
+    if (static_cast<double>(scheme_stats->max_label_bits) >
+        (name.rfind("wbox", 0) == 0
+             ? WBoxBound(static_cast<const WBox*>(unit.scheme.get())
+                             ->params(),
+                         labels)
+             : BBoxBound(static_cast<const BBox*>(unit.scheme.get())
+                             ->params(),
+                         labels))) {
+      std::fprintf(stderr, "BOUND VIOLATION for %s\n", name.c_str());
+      return 1;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace boxes::bench
+
+int main(int argc, char** argv) { return boxes::bench::Run(argc, argv); }

@@ -1,0 +1,91 @@
+// Wall-clock microbenchmarks (google-benchmark) of the primitive
+// operations: Lookup, InsertElementBefore, Compare. The paper's metric is
+// block I/Os (see the fig* benches); this binary complements it with CPU
+// time of the in-memory simulation, useful for regression tracking.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "bench_common.h"
+#include "util/random.h"
+#include "xml/generators.h"
+
+namespace boxes::bench {
+namespace {
+
+constexpr uint64_t kElements = 20000;
+
+struct Fixture {
+  explicit Fixture(const std::string& scheme_name) : unit(kDefaultPageSize) {
+    CheckOkOrDie(MakeScheme(scheme_name, &unit), "MakeScheme");
+    const xml::Document doc = xml::MakeRandomDocument(kElements, 7, 13);
+    CheckOkOrDie(unit.scheme->BulkLoad(doc, &lids), "BulkLoad");
+  }
+
+  SchemeUnderTest unit;
+  std::vector<NewElement> lids;
+};
+
+void BM_Lookup(benchmark::State& state, const std::string& scheme_name) {
+  Fixture fixture(scheme_name);
+  Random rng(1);
+  for (auto _ : state) {
+    const NewElement& element = fixture.lids[rng.Uniform(kElements)];
+    StatusOr<Label> label = fixture.unit.scheme->Lookup(element.start);
+    if (!label.ok()) {
+      state.SkipWithError(label.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(label);
+  }
+}
+
+void BM_Insert(benchmark::State& state, const std::string& scheme_name) {
+  Fixture fixture(scheme_name);
+  Random rng(2);
+  for (auto _ : state) {
+    const NewElement& anchor = fixture.lids[1 + rng.Uniform(kElements - 1)];
+    StatusOr<NewElement> inserted =
+        fixture.unit.scheme->InsertElementBefore(anchor.start);
+    if (!inserted.ok()) {
+      state.SkipWithError(inserted.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(inserted);
+  }
+}
+
+void BM_Compare(benchmark::State& state, const std::string& scheme_name) {
+  Fixture fixture(scheme_name);
+  Random rng(3);
+  for (auto _ : state) {
+    const NewElement& a = fixture.lids[rng.Uniform(kElements)];
+    const NewElement& b = fixture.lids[rng.Uniform(kElements)];
+    StatusOr<int> cmp = fixture.unit.scheme->Compare(a.start, b.start);
+    if (!cmp.ok()) {
+      state.SkipWithError(cmp.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(cmp);
+  }
+}
+
+BENCHMARK_CAPTURE(BM_Lookup, wbox, std::string("wbox"));
+BENCHMARK_CAPTURE(BM_Lookup, wbox_o, std::string("wbox-o"));
+BENCHMARK_CAPTURE(BM_Lookup, bbox, std::string("bbox"));
+BENCHMARK_CAPTURE(BM_Lookup, bbox_o, std::string("bbox-o"));
+BENCHMARK_CAPTURE(BM_Lookup, naive_16, std::string("naive-16"));
+BENCHMARK_CAPTURE(BM_Insert, wbox, std::string("wbox"));
+BENCHMARK_CAPTURE(BM_Insert, wbox_o, std::string("wbox-o"));
+BENCHMARK_CAPTURE(BM_Insert, bbox, std::string("bbox"));
+BENCHMARK_CAPTURE(BM_Insert, bbox_o, std::string("bbox-o"));
+BENCHMARK_CAPTURE(BM_Insert, naive_16, std::string("naive-16"));
+BENCHMARK_CAPTURE(BM_Compare, wbox, std::string("wbox"));
+BENCHMARK_CAPTURE(BM_Compare, bbox, std::string("bbox"));
+BENCHMARK_CAPTURE(BM_Compare, naive_16, std::string("naive-16"));
+
+}  // namespace
+}  // namespace boxes::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,99 @@
+// Reproduces the "Query performance" discussion of §7: lookup costs per
+// scheme after building a document, with and without cross-operation
+// caching (the paper notes the root tends to stay cached).
+//
+// Paper observations to match: W-BOX looks a label up in 2 I/Os flat (LIDF
+// + leaf); W-BOX-O fetches a start/end pair in 2 I/Os total; B-BOX and
+// B-BOX-O pay 1 + height (3-4 at realistic sizes); naive-k pays the 1
+// unavoidable LIDF I/O.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "util/flags.h"
+#include "workload/sequences.h"
+#include "xml/generators.h"
+
+namespace boxes::bench {
+namespace {
+
+int Run(int argc, char** argv) {
+  FlagParser flags;
+  int64_t* elements = flags.AddInt64("elements", 50000, "document elements");
+  int64_t* lookups = flags.AddInt64("lookups", 2000, "measured lookups");
+  std::string* schemes = flags.AddString(
+      "schemes", "wbox,wbox-o,bbox,bbox-o,naive-16",
+      "comma-separated schemes");
+  int64_t* page_size = flags.AddInt64("page_size", 8192, "block size");
+  if (!flags.Parse(argc, argv)) {
+    return 1;
+  }
+
+  const xml::Document doc =
+      xml::MakeRandomDocument(static_cast<uint64_t>(*elements), 8, 7);
+  std::printf(
+      "TAB-Q: query performance (avg block I/Os per lookup), document of\n"
+      "%lld elements (paper: heights were 2-3; W-BOX lookup = 2 I/Os flat,\n"
+      "B-BOX = 3-4, W-BOX-O pair = 2, naive = 1)\n\n",
+      static_cast<long long>(*elements));
+  std::printf("%-12s %7s %12s %12s %14s\n", "scheme", "height",
+              "single I/Os", "pair I/Os", "single cached");
+
+  for (const std::string& name : SplitSchemes(*schemes)) {
+    SchemeUnderTest unit(static_cast<size_t>(*page_size));
+    CheckOkOrDie(MakeScheme(name, &unit), "MakeScheme");
+    std::vector<NewElement> lids;
+    CheckOkOrDie(workload::UnmeasuredOp(
+                     unit.cache.get(),
+                     [&] { return unit.scheme->BulkLoad(doc, &lids); }),
+                 "BulkLoad");
+    StatusOr<SchemeStats> scheme_stats = unit.scheme->GetStats();
+    CheckOkOrDie(scheme_stats.status(), "GetStats");
+
+    workload::RunStats single;
+    CheckOkOrDie(workload::MeasureLookups(unit.scheme.get(),
+                                          unit.cache.get(), lids,
+                                          static_cast<uint64_t>(*lookups),
+                                          /*pairs=*/false, 1, &single),
+                 "single lookups");
+    workload::RunStats pair;
+    CheckOkOrDie(workload::MeasureLookups(unit.scheme.get(),
+                                          unit.cache.get(), lids,
+                                          static_cast<uint64_t>(*lookups),
+                                          /*pairs=*/true, 2, &pair),
+                 "pair lookups");
+
+    // The same single-label workload with pages retained across operations
+    // (LRU, 64 frames): upper levels of the trees stay resident.
+    SchemeUnderTest cached_unit(static_cast<size_t>(*page_size));
+    PageCacheOptions cache_options;
+    cache_options.retain_across_ops = true;
+    cache_options.capacity_pages = 64;
+    cached_unit.cache = std::make_unique<PageCache>(
+        cached_unit.store.get(), cache_options);
+    CheckOkOrDie(MakeScheme(name, &cached_unit), "MakeScheme");
+    std::vector<NewElement> cached_lids;
+    CheckOkOrDie(
+        workload::UnmeasuredOp(
+            cached_unit.cache.get(),
+            [&] { return cached_unit.scheme->BulkLoad(doc, &cached_lids); }),
+        "BulkLoad");
+    workload::RunStats cached;
+    CheckOkOrDie(
+        workload::MeasureLookups(cached_unit.scheme.get(),
+                                 cached_unit.cache.get(), cached_lids,
+                                 static_cast<uint64_t>(*lookups),
+                                 /*pairs=*/false, 3, &cached),
+        "cached lookups");
+
+    std::printf("%-12s %7llu %12.2f %12.2f %14.2f\n", name.c_str(),
+                static_cast<unsigned long long>(scheme_stats->height),
+                single.MeanCost(), pair.MeanCost(), cached.MeanCost());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace boxes::bench
+
+int main(int argc, char** argv) { return boxes::bench::Run(argc, argv); }

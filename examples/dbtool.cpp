@@ -1,0 +1,237 @@
+// dbtool — a small database utility over a file-backed, checkpointed BOX
+// store, exercising the full stack: FilePageStore + superblock +
+// checkpoint/restore + the LabeledDocument facade + twig queries.
+//
+//   ./dbtool create  --db=doc.boxdb --xml=input.xml     (or --elements=N
+//                                                        for a generated
+//                                                        XMark document)
+//   ./dbtool inspect --db=doc.boxdb
+//   ./dbtool verify  --db=doc.boxdb
+//   ./dbtool query   --db=doc.boxdb --twig="item[//mailbox]//text"
+//   ./dbtool export  --db=doc.boxdb --out=roundtrip.xml
+//
+// The checkpoint layout is [W-BOX metadata chain head][facade registry],
+// stored behind the page-0 superblock.
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "core/wbox/wbox.h"
+#include "doc/labeled_document.h"
+#include "query/structural_join.h"
+#include "query/twig.h"
+#include "storage/metadata_io.h"
+#include "storage/page_cache.h"
+#include "storage/page_store.h"
+#include "util/flags.h"
+#include "xml/writer.h"
+#include "xml/xmark.h"
+
+namespace {
+
+using namespace boxes;  // NOLINT: example brevity
+
+void DieOnError(const Status& status, const char* what) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s: %s\n", what, status.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+struct Db {
+  std::unique_ptr<FilePageStore> store;
+  std::unique_ptr<PageCache> cache;
+  std::unique_ptr<WBox> wbox;
+  std::unique_ptr<LabeledDocument> doc;
+};
+
+Status SaveDb(Db* db) {
+  // Replace any previous checkpoint, then persist scheme + registry.
+  StatusOr<PageId> old_head = LoadCheckpointHead(db->cache.get());
+  if (old_head.ok()) {
+    BOXES_RETURN_IF_ERROR(FreeMetadataChain(db->cache.get(), *old_head));
+  }
+  BOXES_ASSIGN_OR_RETURN(const PageId scheme_head, db->wbox->Checkpoint());
+  MetadataWriter writer;
+  writer.PutU64(scheme_head);
+  db->doc->SaveState(&writer);
+  BOXES_ASSIGN_OR_RETURN(const PageId head, writer.Finish(db->cache.get()));
+  BOXES_RETURN_IF_ERROR(StoreCheckpointHead(db->cache.get(), head));
+  return db->cache->FlushAll();
+}
+
+Db OpenDb(const std::string& path) {
+  Db db;
+  db.store = std::make_unique<FilePageStore>(path, kDefaultPageSize,
+                                             FilePageStore::Mode::kOpen);
+  DieOnError(db.store->status(), "open");
+  db.cache = std::make_unique<PageCache>(db.store.get());
+  db.wbox = std::make_unique<WBox>(db.cache.get());
+  db.doc = std::make_unique<LabeledDocument>(db.wbox.get());
+  StatusOr<PageId> head = LoadCheckpointHead(db.cache.get());
+  DieOnError(head.status(), "load checkpoint");
+  StatusOr<MetadataReader> reader =
+      MetadataReader::Load(db.cache.get(), *head);
+  DieOnError(reader.status(), "read checkpoint");
+  StatusOr<uint64_t> scheme_head = reader->GetU64();
+  DieOnError(scheme_head.status(), "read scheme head");
+  DieOnError(db.wbox->Restore(*scheme_head), "restore scheme");
+  DieOnError(db.doc->LoadState(&*reader), "restore registry");
+  return db;
+}
+
+int CmdCreate(const std::string& path, const std::string& xml_path,
+              int64_t elements) {
+  Db db;
+  db.store = std::make_unique<FilePageStore>(path, kDefaultPageSize,
+                                             FilePageStore::Mode::kTruncate);
+  DieOnError(db.store->status(), "create");
+  db.cache = std::make_unique<PageCache>(db.store.get());
+  DieOnError(InitializeSuperblock(db.cache.get()), "superblock");
+  db.wbox = std::make_unique<WBox>(db.cache.get());
+  db.doc = std::make_unique<LabeledDocument>(db.wbox.get());
+  if (!xml_path.empty()) {
+    std::ifstream in(xml_path);
+    if (!in) {
+      std::fprintf(stderr, "cannot read %s\n", xml_path.c_str());
+      return 1;
+    }
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    DieOnError(db.doc->LoadXml(buffer.str()).status(), "load xml");
+  } else {
+    DieOnError(db.doc
+                   ->LoadTree(xml::MakeXmarkDocument(
+                       static_cast<uint64_t>(elements), 7))
+                   .status(),
+               "generate");
+  }
+  DieOnError(SaveDb(&db), "checkpoint");
+  std::printf("created %s: %llu elements, %llu pages (%.1f MB)\n",
+              path.c_str(),
+              static_cast<unsigned long long>(db.doc->element_count()),
+              static_cast<unsigned long long>(db.store->total_pages()),
+              static_cast<double>(db.store->total_pages()) *
+                  kDefaultPageSize / (1024.0 * 1024.0));
+  return 0;
+}
+
+int CmdInspect(const std::string& path) {
+  Db db = OpenDb(path);
+  StatusOr<SchemeStats> stats = db.wbox->GetStats();
+  DieOnError(stats.status(), "stats");
+  std::printf("scheme        : %s\n", db.wbox->name().c_str());
+  std::printf("elements      : %llu\n",
+              static_cast<unsigned long long>(db.doc->element_count()));
+  std::printf("live labels   : %llu\n",
+              static_cast<unsigned long long>(stats->live_labels));
+  std::printf("tombstones    : %llu\n",
+              static_cast<unsigned long long>(db.wbox->tombstones()));
+  std::printf("tree height   : %llu\n",
+              static_cast<unsigned long long>(stats->height));
+  std::printf("index pages   : %llu\n",
+              static_cast<unsigned long long>(stats->index_pages));
+  std::printf("LIDF pages    : %llu\n",
+              static_cast<unsigned long long>(stats->lidf_pages));
+  std::printf("max label bits: %u\n", stats->max_label_bits);
+  std::printf("device pages  : %llu\n",
+              static_cast<unsigned long long>(db.store->total_pages()));
+  return 0;
+}
+
+int CmdVerify(const std::string& path) {
+  Db db = OpenDb(path);
+  DieOnError(db.doc->CheckConsistency(), "consistency");
+  std::printf("OK: scheme invariants, label nesting, and the registry all "
+              "check out (%llu elements)\n",
+              static_cast<unsigned long long>(db.doc->element_count()));
+  return 0;
+}
+
+int CmdQuery(const std::string& path, const std::string& twig_text) {
+  Db db = OpenDb(path);
+  StatusOr<query::TwigPattern> pattern = query::ParseTwigPattern(twig_text);
+  DieOnError(pattern.status(), "parse twig");
+  std::vector<LabeledDocument::ElementHandle> handles;
+  StatusOr<xml::Document> tree = db.doc->ToTree(&handles);
+  DieOnError(tree.status(), "reconstruct tree");
+  std::vector<NewElement> lids(tree->element_count());
+  for (xml::ElementId id = 0; id < tree->element_count(); ++id) {
+    lids[id] = db.doc->lids(handles[id]);
+  }
+  StatusOr<std::vector<query::Interval>> roots =
+      query::MatchTwig(*pattern, db.wbox.get(), *tree, lids);
+  DieOnError(roots.status(), "match");
+  std::printf("twig %s: %zu match roots\n", twig_text.c_str(),
+              roots->size());
+  for (size_t i = 0; i < roots->size() && i < 10; ++i) {
+    const query::Interval& interval = (*roots)[i];
+    std::printf("  <%s> at labels [%s, %s]\n",
+                tree->element((*roots)[i].handle).tag.c_str(),
+                interval.start.ToString().c_str(),
+                interval.end.ToString().c_str());
+  }
+  if (roots->size() > 10) {
+    std::printf("  ... and %zu more\n", roots->size() - 10);
+  }
+  return 0;
+}
+
+int CmdExport(const std::string& path, const std::string& out_path) {
+  Db db = OpenDb(path);
+  StatusOr<std::string> xml = db.doc->ToXml(true);
+  DieOnError(xml.status(), "serialize");
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  out << *xml;
+  std::printf("exported %llu elements to %s (%zu bytes)\n",
+              static_cast<unsigned long long>(db.doc->element_count()),
+              out_path.c_str(), xml->size());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: dbtool <create|inspect|verify|query|export> "
+                 "[flags]\n");
+    return 1;
+  }
+  const std::string command = argv[1];
+  FlagParser flags;
+  std::string* db_path = flags.AddString("db", "boxes.db", "database file");
+  std::string* xml_path = flags.AddString("xml", "", "input XML file");
+  std::string* twig =
+      flags.AddString("twig", "item[//mailbox]//text", "twig pattern");
+  std::string* out = flags.AddString("out", "out.xml", "output file");
+  int64_t* elements =
+      flags.AddInt64("elements", 20000, "generated document size");
+  if (!flags.Parse(argc - 1, argv + 1)) {
+    return 1;
+  }
+  if (command == "create") {
+    return CmdCreate(*db_path, *xml_path, *elements);
+  }
+  if (command == "inspect") {
+    return CmdInspect(*db_path);
+  }
+  if (command == "verify") {
+    return CmdVerify(*db_path);
+  }
+  if (command == "query") {
+    return CmdQuery(*db_path, *twig);
+  }
+  if (command == "export") {
+    return CmdExport(*db_path, *out);
+  }
+  std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
+  return 1;
+}

@@ -1,0 +1,681 @@
+#include "core/bbox/bbox.h"
+
+#include <algorithm>
+
+namespace boxes {
+
+namespace {
+constexpr size_t kLidfPayloadSize = 8;
+}  // namespace
+
+BBox::BBox(PageCache* cache, BBoxOptions options)
+    : cache_(cache),
+      options_(options),
+      params_(BBoxParams::Derive(cache->page_size(), options.ordinal,
+                                 options.min_fill_divisor)),
+      lidf_(cache, kLidfPayloadSize) {}
+
+BBox::~BBox() = default;
+
+// ---------------------------------------------------------------------------
+// Location, labels, comparison
+
+Status BBox::LocateLid(Lid lid, PageId* leaf_page, int* slot) {
+  BOXES_ASSIGN_OR_RETURN(const PageId page, lidf_.ReadBlockPtr(lid));
+  BOXES_ASSIGN_OR_RETURN(uint8_t* data, cache_->GetPage(page));
+  BBoxLeafView leaf(data, &params_);
+  if (leaf.node_type() != BBoxNodeHeader::kLeafType) {
+    return Status::Corruption("LID " + std::to_string(lid) +
+                              " points at a non-leaf page");
+  }
+  const int index = leaf.Find(lid);
+  if (index < 0) {
+    return Status::Corruption("LID " + std::to_string(lid) +
+                              " not present in its leaf");
+  }
+  *leaf_page = page;
+  *slot = index;
+  return Status::OK();
+}
+
+Status BBox::PathComponents(PageId page, std::vector<uint64_t>* components) {
+  components->clear();
+  PageId current = page;
+  for (;;) {
+    BOXES_ASSIGN_OR_RETURN(uint8_t* data, cache_->GetPage(current));
+    const PageId parent = BBoxNodeHeader(data).parent();
+    if (parent == kInvalidPageId) {
+      break;
+    }
+    BOXES_ASSIGN_OR_RETURN(uint8_t* parent_data, cache_->GetPage(parent));
+    BBoxInternalView node(parent_data, &params_);
+    const int index = node.FindChild(current);
+    if (index < 0) {
+      return Status::Corruption("back-link not mirrored by a child entry");
+    }
+    components->push_back(static_cast<uint64_t>(index));
+    current = parent;
+  }
+  std::reverse(components->begin(), components->end());
+  return Status::OK();
+}
+
+StatusOr<Label> BBox::LabelOfSlot(PageId leaf_page, int slot) {
+  std::vector<uint64_t> components;
+  BOXES_RETURN_IF_ERROR(PathComponents(leaf_page, &components));
+  components.push_back(static_cast<uint64_t>(slot));
+  return Label::FromComponents(std::move(components));
+}
+
+StatusOr<Label> BBox::Lookup(Lid lid) {
+  PageId leaf_page;
+  int slot;
+  BOXES_RETURN_IF_ERROR(LocateLid(lid, &leaf_page, &slot));
+  return LabelOfSlot(leaf_page, slot);
+}
+
+StatusOr<int> BBox::Compare(Lid a, Lid b) {
+  if (a == b) {
+    return 0;
+  }
+  PageId leaf_a;
+  PageId leaf_b;
+  int slot_a;
+  int slot_b;
+  BOXES_RETURN_IF_ERROR(LocateLid(a, &leaf_a, &slot_a));
+  BOXES_RETURN_IF_ERROR(LocateLid(b, &leaf_b, &slot_b));
+  if (leaf_a == leaf_b) {
+    return slot_a < slot_b ? -1 : 1;
+  }
+  // Lockstep bottom-up walk to the lowest common ancestor (paper §5): all
+  // leaves share a depth, so the walks meet at the LCA.
+  PageId pa = leaf_a;
+  PageId pb = leaf_b;
+  for (;;) {
+    BOXES_ASSIGN_OR_RETURN(uint8_t* da, cache_->GetPage(pa));
+    const PageId parent_a = BBoxNodeHeader(da).parent();
+    BOXES_ASSIGN_OR_RETURN(uint8_t* db, cache_->GetPage(pb));
+    const PageId parent_b = BBoxNodeHeader(db).parent();
+    if (parent_a == kInvalidPageId || parent_b == kInvalidPageId) {
+      return Status::Corruption("records do not share a root");
+    }
+    if (parent_a == parent_b) {
+      BOXES_ASSIGN_OR_RETURN(uint8_t* dp, cache_->GetPage(parent_a));
+      BBoxInternalView lca(dp, &params_);
+      const int ia = lca.FindChild(pa);
+      const int ib = lca.FindChild(pb);
+      if (ia < 0 || ib < 0) {
+        return Status::Corruption("LCA is missing a child entry");
+      }
+      return ia < ib ? -1 : 1;
+    }
+    pa = parent_a;
+    pb = parent_b;
+  }
+}
+
+StatusOr<uint64_t> BBox::OrdinalLookup(Lid lid) {
+  if (!options_.ordinal) {
+    return LabelingScheme::OrdinalLookup(lid);
+  }
+  PageId leaf_page;
+  int slot;
+  BOXES_RETURN_IF_ERROR(LocateLid(lid, &leaf_page, &slot));
+  uint64_t ordinal = 0;
+  BOXES_RETURN_IF_ERROR(
+      AdjustPathSizes(leaf_page, slot, /*delta=*/0, &ordinal));
+  return ordinal;
+}
+
+Status BBox::AdjustPathSizes(PageId leaf_page, int slot, int64_t delta,
+                             uint64_t* ordinal_out) {
+  uint64_t ordinal = static_cast<uint64_t>(slot);
+  PageId child = leaf_page;
+  for (;;) {
+    BOXES_ASSIGN_OR_RETURN(uint8_t* child_data, cache_->GetPage(child));
+    const PageId parent = BBoxNodeHeader(child_data).parent();
+    if (parent == kInvalidPageId) {
+      break;
+    }
+    BOXES_ASSIGN_OR_RETURN(
+        uint8_t* data, delta != 0 ? cache_->GetPageForWrite(parent)
+                                  : cache_->GetPage(parent));
+    BBoxInternalView node(data, &params_);
+    const int index = node.FindChild(child);
+    if (index < 0) {
+      return Status::Corruption("back-link not mirrored by a child entry");
+    }
+    if (ordinal_out != nullptr) {
+      for (int i = 0; i < index; ++i) {
+        ordinal += node.size(static_cast<uint16_t>(i));
+      }
+    }
+    if (delta != 0) {
+      node.set_size(static_cast<uint16_t>(index),
+                    node.size(static_cast<uint16_t>(index)) + delta);
+    }
+    child = parent;
+  }
+  if (ordinal_out != nullptr) {
+    *ordinal_out = ordinal;
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Logging helpers (§6)
+
+void BBox::EmitLeafShift(const std::vector<uint64_t>& leaf_prefix,
+                         uint64_t from, uint64_t to, int64_t delta) {
+  if (listener_ == nullptr || from > to) {
+    return;
+  }
+  std::vector<uint64_t> lo = leaf_prefix;
+  lo.push_back(from);
+  std::vector<uint64_t> hi = leaf_prefix;
+  hi.push_back(to);
+  listener_->OnRangeShift(Label::FromComponents(std::move(lo)),
+                          Label::FromComponents(std::move(hi)), delta,
+                          /*last_component_only=*/true);
+}
+
+void BBox::NoteReorganization(PageId parent, uint16_t index, uint32_t level) {
+  if (!op_reorg_.any || level > op_reorg_.level) {
+    op_reorg_.any = true;
+    op_reorg_.parent = parent;
+    op_reorg_.index = index;
+    op_reorg_.level = level;
+  }
+}
+
+Status BBox::EmitTopmostInvalidation() {
+  if (!op_reorg_.any) {
+    return Status::OK();
+  }
+  const Reorganization reorg = op_reorg_;
+  op_reorg_ = Reorganization();
+  if (listener_ == nullptr) {
+    return Status::OK();
+  }
+  if (reorg.whole_tree) {
+    listener_->OnInvalidateRange(
+        Label::FromComponents({0}),
+        Label::FromComponents({UINT64_MAX, UINT64_MAX}));
+    return Status::OK();
+  }
+  // Labels whose path passes through `parent` at child ordinal >= index
+  // may have changed (paper §5's affected-range computation).
+  std::vector<uint64_t> prefix;
+  BOXES_RETURN_IF_ERROR(PathComponents(reorg.parent, &prefix));
+  std::vector<uint64_t> lo = prefix;
+  lo.push_back(reorg.index);
+  std::vector<uint64_t> hi = prefix;
+  hi.push_back(UINT64_MAX);
+  hi.push_back(UINT64_MAX);
+  listener_->OnInvalidateRange(Label::FromComponents(std::move(lo)),
+                               Label::FromComponents(std::move(hi)));
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Structure maintenance
+
+Status BBox::GrowRoot() {
+  uint8_t* data = nullptr;
+  BOXES_ASSIGN_OR_RETURN(const PageId page, cache_->AllocatePage(&data));
+  BBoxInternalView node(data, &params_);
+  node.Init(static_cast<uint8_t>(height_));
+  node.InsertAt(0, root_, live_labels_);
+  BOXES_ASSIGN_OR_RETURN(uint8_t* old_data, cache_->GetPageForWrite(root_));
+  BBoxNodeHeader(old_data).set_parent(page);
+  root_ = page;
+  ++height_;
+  // Every label gains a leading component; all cached labels are stale.
+  op_reorg_.any = true;
+  op_reorg_.whole_tree = true;
+  return Status::OK();
+}
+
+Status BBox::EnsureRoom(PageId page) {
+  BOXES_ASSIGN_OR_RETURN(uint8_t* data, cache_->GetPage(page));
+  BBoxNodeHeader header(data);
+  const uint64_t capacity = header.node_type() == BBoxNodeHeader::kLeafType
+                                ? params_.leaf_capacity
+                                : params_.internal_capacity;
+  if (header.count() < capacity) {
+    return Status::OK();
+  }
+  return SplitNode(page);
+}
+
+Status BBox::SplitNode(PageId page) {
+  {
+    BOXES_ASSIGN_OR_RETURN(uint8_t* data, cache_->GetPage(page));
+    if (BBoxNodeHeader(data).parent() == kInvalidPageId) {
+      BOXES_RETURN_IF_ERROR(GrowRoot());
+    }
+  }
+  PageId parent;
+  {
+    BOXES_ASSIGN_OR_RETURN(uint8_t* data, cache_->GetPage(page));
+    parent = BBoxNodeHeader(data).parent();
+  }
+  BOXES_RETURN_IF_ERROR(EnsureRoom(parent));
+  // Splitting the parent may have relocated this node's entry.
+  {
+    BOXES_ASSIGN_OR_RETURN(uint8_t* data, cache_->GetPage(page));
+    parent = BBoxNodeHeader(data).parent();
+  }
+
+  BOXES_ASSIGN_OR_RETURN(uint8_t* data, cache_->GetPageForWrite(page));
+  const bool is_leaf =
+      BBoxNodeHeader(data).node_type() == BBoxNodeHeader::kLeafType;
+  uint8_t* sibling_data = nullptr;
+  BOXES_ASSIGN_OR_RETURN(const PageId sibling,
+                         cache_->AllocatePage(&sibling_data));
+  uint64_t left_size;
+  uint64_t right_size;
+  std::vector<uint64_t> moved;
+  if (is_leaf) {
+    BBoxLeafView left(data, &params_);
+    BBoxLeafView right(sibling_data, &params_);
+    right.Init();
+    const uint16_t m = static_cast<uint16_t>(left.count() / 2);
+    for (uint16_t i = m; i < left.count(); ++i) {
+      moved.push_back(left.lid(i));
+    }
+    left.MoveSuffixTo(m, &right);
+    right.set_parent(parent);
+    left_size = left.count();
+    right_size = right.count();
+  } else {
+    BBoxInternalView left(data, &params_);
+    BBoxInternalView right(sibling_data, &params_);
+    right.Init(left.level());
+    const uint16_t m = static_cast<uint16_t>(left.count() / 2);
+    for (uint16_t i = m; i < left.count(); ++i) {
+      moved.push_back(left.child(i));
+    }
+    left.MoveSuffixTo(m, &right);
+    right.set_parent(parent);
+    left_size = left.SizeSum();
+    right_size = right.SizeSum();
+  }
+  BOXES_RETURN_IF_ERROR(FixMovedEntries(sibling, is_leaf, moved));
+
+  BOXES_ASSIGN_OR_RETURN(uint8_t* parent_data,
+                         cache_->GetPageForWrite(parent));
+  BBoxInternalView parent_view(parent_data, &params_);
+  const int index = parent_view.FindChild(page);
+  if (index < 0) {
+    return Status::Corruption("split node missing from its parent");
+  }
+  parent_view.set_size(static_cast<uint16_t>(index), left_size);
+  parent_view.InsertAt(static_cast<uint16_t>(index + 1), sibling,
+                       right_size);
+  NoteReorganization(parent, static_cast<uint16_t>(index),
+                     parent_view.level());
+  ++split_count_;
+  return Status::OK();
+}
+
+Status BBox::FixMovedEntries(PageId new_page, bool is_leaf,
+                             const std::vector<uint64_t>& moved) {
+  for (uint64_t entry : moved) {
+    if (is_leaf) {
+      BOXES_RETURN_IF_ERROR(lidf_.WriteBlockPtr(entry, new_page));
+    } else {
+      BOXES_ASSIGN_OR_RETURN(uint8_t* data, cache_->GetPageForWrite(entry));
+      BBoxNodeHeader(data).set_parent(new_page);
+    }
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Insert / delete
+
+Status BBox::InsertBefore(Lid lid_new, Lid lid_old) {
+  PageId leaf_page;
+  int slot;
+  BOXES_RETURN_IF_ERROR(LocateLid(lid_old, &leaf_page, &slot));
+  {
+    BOXES_ASSIGN_OR_RETURN(uint8_t* data, cache_->GetPage(leaf_page));
+    if (BBoxLeafView(data, &params_).count() >= params_.leaf_capacity) {
+      BOXES_RETURN_IF_ERROR(SplitNode(leaf_page));
+      BOXES_RETURN_IF_ERROR(LocateLid(lid_old, &leaf_page, &slot));
+    }
+  }
+  uint16_t count_before;
+  {
+    BOXES_ASSIGN_OR_RETURN(uint8_t* data, cache_->GetPageForWrite(leaf_page));
+    BBoxLeafView leaf(data, &params_);
+    count_before = leaf.count();
+    leaf.InsertAt(static_cast<uint16_t>(slot), lid_new);
+  }
+  BOXES_RETURN_IF_ERROR(lidf_.WriteBlockPtr(lid_new, leaf_page));
+  ++live_labels_;
+  if (options_.ordinal) {
+    uint64_t ordinal = 0;
+    BOXES_RETURN_IF_ERROR(AdjustPathSizes(leaf_page, slot, +1, &ordinal));
+    if (listener_ != nullptr) {
+      listener_->OnOrdinalShift(ordinal, +1);
+    }
+  }
+  if (op_reorg_.any) {
+    return EmitTopmostInvalidation();
+  }
+  if (listener_ != nullptr) {
+    // Leaf-local effect (paper §6): labels [l, l_max] gain +1 in the last
+    // component, where l is lid_old's pre-insert label and l_max the
+    // leaf's largest pre-insert label.
+    std::vector<uint64_t> prefix;
+    BOXES_RETURN_IF_ERROR(PathComponents(leaf_page, &prefix));
+    EmitLeafShift(prefix, static_cast<uint64_t>(slot), count_before - 1, +1);
+  }
+  return Status::OK();
+}
+
+StatusOr<NewElement> BBox::InsertElementBefore(Lid lid) {
+  if (root_ == kInvalidPageId) {
+    return Status::FailedPrecondition("B-BOX is empty");
+  }
+  op_reorg_ = Reorganization();
+  BOXES_ASSIGN_OR_RETURN(const auto lids, lidf_.AllocatePair());
+  BOXES_RETURN_IF_ERROR(InsertBefore(lids.second, lid));
+  BOXES_RETURN_IF_ERROR(InsertBefore(lids.first, lids.second));
+  return NewElement{lids.first, lids.second};
+}
+
+StatusOr<NewElement> BBox::InsertFirstElement() {
+  if (root_ != kInvalidPageId) {
+    return Status::FailedPrecondition("B-BOX is not empty");
+  }
+  uint8_t* data = nullptr;
+  BOXES_ASSIGN_OR_RETURN(const PageId page, cache_->AllocatePage(&data));
+  BBoxLeafView leaf(data, &params_);
+  leaf.Init();
+  root_ = page;
+  height_ = 1;
+  BOXES_ASSIGN_OR_RETURN(const auto lids, lidf_.AllocatePair());
+  leaf.InsertAt(0, lids.first);
+  leaf.InsertAt(1, lids.second);
+  BOXES_RETURN_IF_ERROR(lidf_.WriteBlockPtr(lids.first, page));
+  BOXES_RETURN_IF_ERROR(lidf_.WriteBlockPtr(lids.second, page));
+  live_labels_ = 2;
+  return NewElement{lids.first, lids.second};
+}
+
+Status BBox::Delete(Lid lid) {
+  if (root_ == kInvalidPageId) {
+    return Status::FailedPrecondition("B-BOX is empty");
+  }
+  op_reorg_ = Reorganization();
+  PageId leaf_page;
+  int slot;
+  BOXES_RETURN_IF_ERROR(LocateLid(lid, &leaf_page, &slot));
+  uint16_t count_before;
+  std::vector<uint64_t> prefix;
+  if (listener_ != nullptr) {
+    BOXES_RETURN_IF_ERROR(PathComponents(leaf_page, &prefix));
+  }
+  if (options_.ordinal) {
+    uint64_t ordinal = 0;
+    BOXES_RETURN_IF_ERROR(AdjustPathSizes(leaf_page, slot, -1, &ordinal));
+    if (listener_ != nullptr) {
+      listener_->OnOrdinalShift(ordinal + 1, -1);
+    }
+  }
+  {
+    BOXES_ASSIGN_OR_RETURN(uint8_t* data, cache_->GetPageForWrite(leaf_page));
+    BBoxLeafView leaf(data, &params_);
+    count_before = leaf.count();
+    leaf.RemoveAt(static_cast<uint16_t>(slot));
+  }
+  BOXES_RETURN_IF_ERROR(lidf_.Free(lid));
+  --live_labels_;
+  if (listener_ != nullptr) {
+    EmitLeafShift(prefix, static_cast<uint64_t>(slot) + 1, count_before - 1,
+                  -1);
+  }
+
+  BOXES_ASSIGN_OR_RETURN(uint8_t* data, cache_->GetPage(leaf_page));
+  BBoxLeafView leaf(data, &params_);
+  if (leaf_page == root_) {
+    if (leaf.count() == 0) {
+      BOXES_RETURN_IF_ERROR(cache_->FreePage(root_));
+      root_ = kInvalidPageId;
+      height_ = 0;
+    }
+    return EmitTopmostInvalidation();
+  }
+  if (leaf.count() < params_.LeafMin()) {
+    BOXES_RETURN_IF_ERROR(RebalanceUpward(leaf_page));
+  }
+  return EmitTopmostInvalidation();
+}
+
+Status BBox::CollapseRootIfNeeded(std::vector<PageId>* freed_out) {
+  for (;;) {
+    BOXES_ASSIGN_OR_RETURN(uint8_t* data, cache_->GetPage(root_));
+    BBoxNodeHeader header(data);
+    if (header.node_type() != BBoxNodeHeader::kInternalType ||
+        header.count() > 1) {
+      return Status::OK();
+    }
+    BBoxInternalView node(data, &params_);
+    const PageId only_child = node.child(0);
+    BOXES_ASSIGN_OR_RETURN(uint8_t* child_data,
+                           cache_->GetPageForWrite(only_child));
+    BBoxNodeHeader(child_data).set_parent(kInvalidPageId);
+    BOXES_RETURN_IF_ERROR(cache_->FreePage(root_));
+    if (freed_out != nullptr) {
+      freed_out->push_back(root_);
+    }
+    root_ = only_child;
+    --height_;
+    op_reorg_.any = true;
+    op_reorg_.whole_tree = true;
+  }
+}
+
+Status BBox::RebalanceUpward(PageId page) {
+  uint32_t guard = 0;
+  for (;;) {
+    BOXES_CHECK(++guard < 4096);
+    if (page == root_) {
+      return CollapseRootIfNeeded();
+    }
+    BOXES_ASSIGN_OR_RETURN(uint8_t* data, cache_->GetPage(page));
+    BBoxNodeHeader header(data);
+    const bool is_leaf = header.node_type() == BBoxNodeHeader::kLeafType;
+    const uint64_t min = is_leaf ? params_.LeafMin() : params_.InternalMin();
+    if (header.count() >= min) {
+      return Status::OK();
+    }
+    const PageId parent = header.parent();
+    BOXES_ASSIGN_OR_RETURN(uint8_t* parent_data, cache_->GetPage(parent));
+    BBoxInternalView parent_view(parent_data, &params_);
+    if (parent_view.count() < 2) {
+      // No sibling to borrow from; fix the parent first, then retry.
+      BOXES_RETURN_IF_ERROR(RebalanceUpward(parent));
+      if (page == root_) {
+        return CollapseRootIfNeeded();
+      }
+      continue;
+    }
+    const int index = parent_view.FindChild(page);
+    if (index < 0) {
+      return Status::Corruption("underfull node missing from its parent");
+    }
+    const uint16_t left_idx =
+        static_cast<uint16_t>(index > 0 ? index - 1 : index);
+    bool merged = false;
+    BOXES_RETURN_IF_ERROR(MergeOrRedistribute(parent, left_idx, &merged));
+    if (!merged) {
+      return Status::OK();
+    }
+    page = parent;
+  }
+}
+
+Status BBox::MergeOrRedistribute(PageId parent, uint16_t left_idx,
+                                 bool* merged, PageId* freed_page) {
+  if (freed_page != nullptr) {
+    *freed_page = kInvalidPageId;
+  }
+  BOXES_ASSIGN_OR_RETURN(uint8_t* parent_data,
+                         cache_->GetPageForWrite(parent));
+  BBoxInternalView parent_view(parent_data, &params_);
+  BOXES_CHECK(left_idx + 1 < parent_view.count());
+  const PageId left_page = parent_view.child(left_idx);
+  const PageId right_page = parent_view.child(left_idx + 1);
+  BOXES_ASSIGN_OR_RETURN(uint8_t* left_data,
+                         cache_->GetPageForWrite(left_page));
+  BOXES_ASSIGN_OR_RETURN(uint8_t* right_data,
+                         cache_->GetPageForWrite(right_page));
+  const bool is_leaf =
+      BBoxNodeHeader(left_data).node_type() == BBoxNodeHeader::kLeafType;
+  const uint64_t capacity =
+      is_leaf ? params_.leaf_capacity : params_.internal_capacity;
+
+  auto collect_leaf = [&](BBoxLeafView& view, uint16_t from, uint16_t to,
+                          std::vector<uint64_t>* out) {
+    for (uint16_t i = from; i < to; ++i) {
+      out->push_back(view.lid(i));
+    }
+  };
+  auto collect_internal = [&](BBoxInternalView& view, uint16_t from,
+                              uint16_t to, std::vector<uint64_t>* out) {
+    for (uint16_t i = from; i < to; ++i) {
+      out->push_back(view.child(i));
+    }
+  };
+
+  if (is_leaf) {
+    BBoxLeafView left(left_data, &params_);
+    BBoxLeafView right(right_data, &params_);
+    const uint64_t total = left.count() + right.count();
+    std::vector<uint64_t> moved;
+    if (total <= capacity) {
+      collect_leaf(right, 0, right.count(), &moved);
+      right.MovePrefixTo(right.count(), &left);
+      BOXES_RETURN_IF_ERROR(FixMovedEntries(left_page, true, moved));
+      parent_view.set_size(left_idx, parent_view.size(left_idx) +
+                                         parent_view.size(left_idx + 1));
+      parent_view.RemoveAt(left_idx + 1);
+      BOXES_RETURN_IF_ERROR(cache_->FreePage(right_page));
+      if (freed_page != nullptr) {
+        *freed_page = right_page;
+      }
+      *merged = true;
+      ++merge_count_;
+    } else {
+      const uint16_t target_left = static_cast<uint16_t>(total / 2);
+      if (left.count() > target_left) {
+        collect_leaf(left, target_left, left.count(), &moved);
+        left.MoveSuffixToFront(target_left, &right);
+        BOXES_RETURN_IF_ERROR(FixMovedEntries(right_page, true, moved));
+      } else if (left.count() < target_left) {
+        const uint16_t n =
+            static_cast<uint16_t>(target_left - left.count());
+        collect_leaf(right, 0, n, &moved);
+        right.MovePrefixTo(n, &left);
+        BOXES_RETURN_IF_ERROR(FixMovedEntries(left_page, true, moved));
+      }
+      parent_view.set_size(left_idx, left.count());
+      parent_view.set_size(left_idx + 1, right.count());
+      *merged = false;
+    }
+  } else {
+    BBoxInternalView left(left_data, &params_);
+    BBoxInternalView right(right_data, &params_);
+    const uint64_t total = left.count() + right.count();
+    std::vector<uint64_t> moved;
+    if (total <= capacity) {
+      collect_internal(right, 0, right.count(), &moved);
+      right.MovePrefixTo(right.count(), &left);
+      BOXES_RETURN_IF_ERROR(FixMovedEntries(left_page, false, moved));
+      parent_view.set_size(left_idx, parent_view.size(left_idx) +
+                                         parent_view.size(left_idx + 1));
+      parent_view.RemoveAt(left_idx + 1);
+      BOXES_RETURN_IF_ERROR(cache_->FreePage(right_page));
+      if (freed_page != nullptr) {
+        *freed_page = right_page;
+      }
+      *merged = true;
+      ++merge_count_;
+    } else {
+      const uint16_t target_left = static_cast<uint16_t>(total / 2);
+      if (left.count() > target_left) {
+        collect_internal(left, target_left, left.count(), &moved);
+        left.MoveSuffixToFront(target_left, &right);
+        BOXES_RETURN_IF_ERROR(FixMovedEntries(right_page, false, moved));
+      } else if (left.count() < target_left) {
+        const uint16_t n =
+            static_cast<uint16_t>(target_left - left.count());
+        collect_internal(right, 0, n, &moved);
+        right.MovePrefixTo(n, &left);
+        BOXES_RETURN_IF_ERROR(FixMovedEntries(left_page, false, moved));
+      }
+      parent_view.set_size(left_idx, left.SizeSum());
+      parent_view.set_size(left_idx + 1, right.SizeSum());
+      *merged = false;
+    }
+  }
+  BOXES_ASSIGN_OR_RETURN(uint8_t* fresh_parent, cache_->GetPage(parent));
+  NoteReorganization(parent, left_idx,
+                     BBoxNodeHeader(fresh_parent).level());
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Stats
+
+StatusOr<SchemeStats> BBox::GetStats() {
+  SchemeStats stats;
+  stats.height = height_;
+  stats.live_labels = live_labels_;
+  stats.lidf_pages = lidf_.page_count();
+  if (root_ == kInvalidPageId) {
+    return stats;
+  }
+  uint64_t pages = 0;
+  std::vector<PageId> stack{root_};
+  while (!stack.empty()) {
+    const PageId page = stack.back();
+    stack.pop_back();
+    ++pages;
+    BOXES_ASSIGN_OR_RETURN(uint8_t* data, cache_->GetPage(page));
+    if (BBoxNodeType(data) == BBoxNodeHeader::kInternalType) {
+      BBoxInternalView node(data, &params_);
+      for (uint16_t i = 0; i < node.count(); ++i) {
+        stack.push_back(node.child(i));
+      }
+    }
+  }
+  stats.index_pages = pages;
+  // Maximum label bits under the paper's encoding regime (Thm 5.1): the
+  // root component takes ceil(log2 root_fanout) bits and every lower level
+  // log2 of its node capacity.
+  auto bit_width = [](uint64_t max_value) {
+    uint32_t bits = 0;
+    while (max_value >> bits) {
+      ++bits;
+    }
+    return bits == 0 ? 1u : bits;
+  };
+  uint32_t label_bits = 0;
+  {
+    BOXES_ASSIGN_OR_RETURN(uint8_t* data, cache_->GetPage(root_));
+    label_bits += bit_width(BBoxNodeHeader(data).count() - 1);
+  }
+  if (height_ >= 2) {
+    label_bits += (height_ - 2) * bit_width(params_.internal_capacity - 1);
+    label_bits += bit_width(params_.leaf_capacity - 1);
+  }
+  stats.max_label_bits = label_bits;
+  return stats;
+}
+
+}  // namespace boxes

@@ -1,0 +1,231 @@
+#include <algorithm>
+#include <vector>
+
+#include "core/bbox/bbox.h"
+#include "storage/metadata_io.h"
+
+namespace boxes {
+
+namespace {
+constexpr uint64_t kBBoxCheckpointMagic = 0x31584f4242ULL;  // "BBOX1"
+}  // namespace
+
+StatusOr<PageId> BBox::Checkpoint() {
+  MetadataWriter writer;
+  writer.PutU64(kBBoxCheckpointMagic);
+  writer.PutU32(options_.ordinal ? 1 : 0);
+  writer.PutU32(options_.min_fill_divisor);
+  writer.PutU64(cache_->page_size());
+  writer.PutU64(root_);
+  writer.PutU64(height_);
+  writer.PutU64(live_labels_);
+  writer.PutU64(split_count_);
+  writer.PutU64(merge_count_);
+  lidf_.SaveState(&writer);
+  return writer.Finish(cache_);
+}
+
+Status BBox::Restore(PageId checkpoint_head) {
+  if (root_ != kInvalidPageId || live_labels_ != 0) {
+    return Status::FailedPrecondition("Restore requires an empty B-BOX");
+  }
+  BOXES_ASSIGN_OR_RETURN(MetadataReader reader,
+                         MetadataReader::Load(cache_, checkpoint_head));
+  BOXES_ASSIGN_OR_RETURN(const uint64_t magic, reader.GetU64());
+  if (magic != kBBoxCheckpointMagic) {
+    return Status::Corruption("not a B-BOX checkpoint");
+  }
+  BOXES_ASSIGN_OR_RETURN(const uint32_t ordinal, reader.GetU32());
+  BOXES_ASSIGN_OR_RETURN(const uint32_t divisor, reader.GetU32());
+  BOXES_ASSIGN_OR_RETURN(const uint64_t page_size, reader.GetU64());
+  if ((ordinal != 0) != options_.ordinal ||
+      divisor != options_.min_fill_divisor ||
+      page_size != cache_->page_size()) {
+    return Status::InvalidArgument(
+        "checkpoint options do not match this B-BOX");
+  }
+  BOXES_ASSIGN_OR_RETURN(root_, reader.GetU64());
+  BOXES_ASSIGN_OR_RETURN(const uint64_t height, reader.GetU64());
+  height_ = static_cast<uint32_t>(height);
+  BOXES_ASSIGN_OR_RETURN(live_labels_, reader.GetU64());
+  BOXES_ASSIGN_OR_RETURN(split_count_, reader.GetU64());
+  BOXES_ASSIGN_OR_RETURN(merge_count_, reader.GetU64());
+  return lidf_.LoadState(&reader);
+}
+
+Status BBox::FlattenDocument(const xml::Document& doc,
+                             std::vector<FlatRecord>* records,
+                             std::vector<NewElement>* lids_out) {
+  records->reserve(records->size() + doc.tag_count());
+  std::vector<NewElement> lids(doc.element_count());
+  Status status = Status::OK();
+  doc.ForEachTag([&](xml::ElementId id, bool is_start) {
+    if (!status.ok()) {
+      return;
+    }
+    if (is_start) {
+      StatusOr<std::pair<Lid, Lid>> pair = lidf_.AllocatePair();
+      if (!pair.ok()) {
+        status = pair.status();
+        return;
+      }
+      lids[id] = NewElement{pair->first, pair->second};
+      records->push_back({pair->first});
+    } else {
+      records->push_back({lids[id].end});
+    }
+  });
+  BOXES_RETURN_IF_ERROR(status);
+  if (lids_out != nullptr) {
+    *lids_out = std::move(lids);
+  }
+  return Status::OK();
+}
+
+namespace {
+
+/// Splits `n` items into chunks of ~`fill`, fixing a short tail against the
+/// previous chunk so no chunk (except a lone one) drops below `min`: the
+/// tail is absorbed into the previous chunk if the sum fits a node, and
+/// split evenly otherwise (even halves of a value above `capacity` are
+/// above capacity/2 >= min).
+std::vector<uint64_t> PlanChunks(uint64_t n, uint64_t fill, uint64_t min,
+                                 uint64_t capacity) {
+  std::vector<uint64_t> chunks;
+  const uint64_t full = n / fill;
+  const uint64_t rem = n % fill;
+  for (uint64_t i = 0; i < full; ++i) {
+    chunks.push_back(fill);
+  }
+  if (rem > 0) {
+    if (!chunks.empty() && rem < min) {
+      const uint64_t total = chunks.back() + rem;
+      if (total <= capacity) {
+        chunks.back() = total;
+      } else {
+        chunks.back() = total / 2;
+        chunks.push_back(total - total / 2);
+      }
+    } else {
+      chunks.push_back(rem);
+    }
+  }
+  return chunks;
+}
+
+}  // namespace
+
+Status BBox::BuildLeaves(const std::vector<FlatRecord>& records,
+                         std::vector<LevelNode>* leaves) {
+  if (records.empty()) {
+    return Status::OK();
+  }
+  uint64_t fill = static_cast<uint64_t>(
+      static_cast<double>(params_.leaf_capacity) *
+      options_.bulk_fill_fraction);
+  fill = std::clamp<uint64_t>(fill, 1, params_.leaf_capacity);
+  const std::vector<uint64_t> chunks = PlanChunks(
+      records.size(), fill, params_.LeafMin(), params_.leaf_capacity);
+  uint64_t index = 0;
+  for (uint64_t chunk : chunks) {
+    uint8_t* data = nullptr;
+    BOXES_ASSIGN_OR_RETURN(const PageId page, cache_->AllocatePage(&data));
+    BBoxLeafView leaf(data, &params_);
+    leaf.Init();
+    for (uint64_t i = 0; i < chunk; ++i, ++index) {
+      leaf.InsertAt(static_cast<uint16_t>(i), records[index].lid);
+      BOXES_RETURN_IF_ERROR(lidf_.WriteBlockPtr(records[index].lid, page));
+    }
+    leaves->push_back({page, chunk});
+  }
+  return Status::OK();
+}
+
+Status BBox::BuildTree(std::vector<LevelNode> nodes, uint32_t level,
+                       PageId* top, uint32_t* top_height) {
+  BOXES_CHECK(!nodes.empty());
+  uint64_t fill = static_cast<uint64_t>(
+      static_cast<double>(params_.internal_capacity) *
+      options_.bulk_fill_fraction);
+  fill = std::clamp<uint64_t>(fill, 2, params_.internal_capacity);
+  while (nodes.size() > 1) {
+    ++level;
+    const std::vector<uint64_t> chunks =
+        PlanChunks(nodes.size(), fill, params_.InternalMin(),
+                   params_.internal_capacity);
+    std::vector<LevelNode> parents;
+    parents.reserve(chunks.size());
+    size_t index = 0;
+    for (uint64_t chunk : chunks) {
+      uint8_t* data = nullptr;
+      BOXES_ASSIGN_OR_RETURN(const PageId page, cache_->AllocatePage(&data));
+      BBoxInternalView node(data, &params_);
+      node.Init(static_cast<uint8_t>(level));
+      uint64_t total = 0;
+      for (uint64_t i = 0; i < chunk; ++i, ++index) {
+        node.InsertAt(static_cast<uint16_t>(i), nodes[index].page,
+                      nodes[index].size);
+        total += nodes[index].size;
+        BOXES_ASSIGN_OR_RETURN(uint8_t* child_data,
+                               cache_->GetPageForWrite(nodes[index].page));
+        BBoxNodeHeader(child_data).set_parent(page);
+      }
+      parents.push_back({page, total});
+    }
+    nodes = std::move(parents);
+  }
+  *top = nodes[0].page;
+  *top_height = level + 1;
+  return Status::OK();
+}
+
+Status BBox::BulkLoad(const xml::Document& doc,
+                      std::vector<NewElement>* lids_out) {
+  if (root_ != kInvalidPageId) {
+    return Status::FailedPrecondition("BulkLoad requires an empty B-BOX");
+  }
+  if (doc.empty()) {
+    if (lids_out != nullptr) {
+      lids_out->clear();
+    }
+    return Status::OK();
+  }
+  std::vector<FlatRecord> records;
+  BOXES_RETURN_IF_ERROR(FlattenDocument(doc, &records, lids_out));
+  std::vector<LevelNode> leaves;
+  BOXES_RETURN_IF_ERROR(BuildLeaves(records, &leaves));
+  BOXES_RETURN_IF_ERROR(BuildTree(std::move(leaves), 0, &root_, &height_));
+  live_labels_ = records.size();
+  return Status::OK();
+}
+
+Status BBox::FreeSubtree(PageId page, bool free_lids,
+                         uint64_t* freed_records) {
+  BOXES_ASSIGN_OR_RETURN(uint8_t* data, cache_->GetPage(page));
+  if (BBoxNodeType(data) == BBoxNodeHeader::kLeafType) {
+    BBoxLeafView leaf(data, &params_);
+    const uint16_t n = leaf.count();
+    if (free_lids) {
+      for (uint16_t i = 0; i < n; ++i) {
+        BOXES_RETURN_IF_ERROR(lidf_.Free(leaf.lid(i)));
+      }
+    }
+    if (freed_records != nullptr) {
+      *freed_records += n;
+    }
+    return cache_->FreePage(page);
+  }
+  BBoxInternalView node(data, &params_);
+  const uint16_t n = node.count();
+  std::vector<PageId> children;
+  children.reserve(n);
+  for (uint16_t i = 0; i < n; ++i) {
+    children.push_back(node.child(i));
+  }
+  for (PageId child : children) {
+    BOXES_RETURN_IF_ERROR(FreeSubtree(child, free_lids, freed_records));
+  }
+  return cache_->FreePage(page);
+}
+
+}  // namespace boxes

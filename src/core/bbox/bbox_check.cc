@@ -1,0 +1,124 @@
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/bbox/bbox.h"
+
+namespace boxes {
+
+namespace {
+
+Status Fail(const std::string& what, PageId page) {
+  return Status::Corruption("B-BOX invariant violated at page " +
+                            std::to_string(page) + ": " + what);
+}
+
+}  // namespace
+
+/// Exhaustively verifies the structural invariants of §5: node layout,
+/// back-link symmetry, fill bounds, level consistency, LIDF back-pointers,
+/// and size-field sums (B-BOX-O).
+Status BBox::CheckInvariants() {
+  if (root_ == kInvalidPageId) {
+    if (height_ != 0 || live_labels_ != 0) {
+      return Status::Corruption("empty B-BOX has nonzero counters");
+    }
+    return Status::OK();
+  }
+  {
+    BOXES_ASSIGN_OR_RETURN(uint8_t* data, cache_->GetPage(root_));
+    if (BBoxNodeHeader(data).parent() != kInvalidPageId) {
+      return Fail("root has a parent back-link", root_);
+    }
+  }
+
+  // Recursive descent returning the record count below each node.
+  std::function<StatusOr<uint64_t>(PageId, PageId, uint32_t, bool)> check =
+      [&](PageId page, PageId expected_parent, uint32_t expected_level,
+          bool is_root) -> StatusOr<uint64_t> {
+    BOXES_ASSIGN_OR_RETURN(uint8_t* data, cache_->GetPage(page));
+    BBoxNodeHeader header(data);
+    if (header.level() != expected_level) {
+      return Fail("level byte mismatch", page);
+    }
+    if (!is_root && header.parent() != expected_parent) {
+      return Fail("back-link does not point at the parent", page);
+    }
+    const uint16_t n = header.count();
+    if (header.node_type() == BBoxNodeHeader::kLeafType) {
+      if (expected_level != 0) {
+        return Fail("leaf not at level 0", page);
+      }
+      if (n > params_.leaf_capacity) {
+        return Fail("leaf over capacity", page);
+      }
+      if (!is_root && n < params_.LeafMin()) {
+        return Fail("leaf under minimum fill", page);
+      }
+      if (is_root && n == 0 && live_labels_ != 0) {
+        return Fail("empty root leaf with live labels", page);
+      }
+      BBoxLeafView leaf(data, &params_);
+      for (uint16_t i = 0; i < n; ++i) {
+        const Lid lid = leaf.lid(i);
+        if (!lidf_.IsLive(lid)) {
+          return Fail("record LID " + std::to_string(lid) + " not live",
+                      page);
+        }
+        BOXES_ASSIGN_OR_RETURN(const PageId back, lidf_.ReadBlockPtr(lid));
+        if (back != page) {
+          return Fail("LIDF pointer of LID " + std::to_string(lid) +
+                          " does not point here",
+                      page);
+        }
+      }
+      return uint64_t{n};
+    }
+
+    if (header.node_type() != BBoxNodeHeader::kInternalType) {
+      return Fail("unknown node type", page);
+    }
+    if (n > params_.internal_capacity) {
+      return Fail("internal node over capacity", page);
+    }
+    if (!is_root && n < params_.InternalMin()) {
+      return Fail("internal node under minimum fill", page);
+    }
+    if (is_root && n < 2) {
+      return Fail("internal root with fewer than 2 children", page);
+    }
+    BBoxInternalView node(data, &params_);
+    struct Entry {
+      PageId child;
+      uint64_t size;
+    };
+    std::vector<Entry> entries;
+    entries.reserve(n);
+    for (uint16_t i = 0; i < n; ++i) {
+      entries.push_back({node.child(i), node.size(i)});
+    }
+    uint64_t total = 0;
+    for (const Entry& entry : entries) {
+      BOXES_ASSIGN_OR_RETURN(
+          const uint64_t below,
+          check(entry.child, page, expected_level - 1, false));
+      if (options_.ordinal && below != entry.size) {
+        return Fail("size field does not match child subtree", page);
+      }
+      total += below;
+    }
+    return total;
+  };
+
+  BOXES_ASSIGN_OR_RETURN(const uint64_t total,
+                         check(root_, kInvalidPageId, height_ - 1, true));
+  if (total != live_labels_) {
+    return Status::Corruption("record total does not match live_labels");
+  }
+  if (lidf_.live_records() != live_labels_) {
+    return Status::Corruption("LIDF live record count mismatch");
+  }
+  return Status::OK();
+}
+
+}  // namespace boxes

@@ -1,0 +1,233 @@
+#include "core/bbox/bbox_node.h"
+
+#include <cstring>
+
+#include "util/coding.h"
+
+namespace boxes {
+
+BBoxParams BBoxParams::Derive(size_t page_size, bool ordinal,
+                              uint32_t min_fill_divisor) {
+  BOXES_CHECK(min_fill_divisor == 2 || min_fill_divisor == 4);
+  BBoxParams p;
+  p.page_size = page_size;
+  p.ordinal = ordinal;
+  p.min_fill_divisor = min_fill_divisor;
+  p.leaf_capacity = (page_size - BBoxNodeHeader::kHeaderSize) / 8;
+  p.internal_entry_size = ordinal ? 16 : 8;
+  p.internal_capacity =
+      (page_size - BBoxNodeHeader::kHeaderSize) / p.internal_entry_size;
+  BOXES_CHECK(p.leaf_capacity >= 8);
+  BOXES_CHECK(p.internal_capacity >= 8);
+  return p;
+}
+
+// ---------------------------------------------------------------------------
+// BBoxNodeHeader
+
+void BBoxNodeHeader::InitHeader(uint8_t type, uint8_t level) {
+  std::memset(data_, 0, kHeaderSize);
+  data_[0] = type;
+  data_[1] = level;
+  EncodeFixed64(data_ + 8, kInvalidPageId);
+}
+
+uint16_t BBoxNodeHeader::count() const { return DecodeFixed16(data_ + 2); }
+void BBoxNodeHeader::set_count(uint16_t count) {
+  EncodeFixed16(data_ + 2, count);
+}
+PageId BBoxNodeHeader::parent() const { return DecodeFixed64(data_ + 8); }
+void BBoxNodeHeader::set_parent(PageId parent) {
+  EncodeFixed64(data_ + 8, parent);
+}
+
+// ---------------------------------------------------------------------------
+// BBoxLeafView
+
+Lid BBoxLeafView::lid(uint16_t index) const {
+  return DecodeFixed64(data_ + kHeaderSize + index * 8);
+}
+void BBoxLeafView::set_lid(uint16_t index, Lid lid) {
+  EncodeFixed64(data_ + kHeaderSize + index * 8, lid);
+}
+
+int BBoxLeafView::Find(Lid target) const {
+  const uint16_t n = count();
+  for (uint16_t i = 0; i < n; ++i) {
+    if (lid(i) == target) {
+      return i;
+    }
+  }
+  return -1;
+}
+
+void BBoxLeafView::InsertAt(uint16_t index, Lid lid_value) {
+  const uint16_t n = count();
+  BOXES_CHECK(n < params_->leaf_capacity);
+  BOXES_CHECK(index <= n);
+  uint8_t* base = data_ + kHeaderSize;
+  std::memmove(base + (index + 1) * 8, base + index * 8, (n - index) * 8);
+  EncodeFixed64(base + index * 8, lid_value);
+  set_count(n + 1);
+}
+
+void BBoxLeafView::RemoveAt(uint16_t index) { RemoveRange(index, index); }
+
+void BBoxLeafView::RemoveRange(uint16_t first, uint16_t last) {
+  const uint16_t n = count();
+  BOXES_CHECK(first <= last && last < n);
+  uint8_t* base = data_ + kHeaderSize;
+  std::memmove(base + first * 8, base + (last + 1) * 8,
+               (n - last - 1) * 8);
+  set_count(n - (last - first + 1));
+}
+
+void BBoxLeafView::MoveSuffixTo(uint16_t from, BBoxLeafView* dst) {
+  const uint16_t n = count();
+  BOXES_CHECK(from <= n);
+  const uint16_t moving = n - from;
+  const uint16_t dst_n = dst->count();
+  BOXES_CHECK(dst_n + moving <= params_->leaf_capacity);
+  std::memcpy(dst->data_ + kHeaderSize + dst_n * 8,
+              data_ + kHeaderSize + from * 8, moving * 8);
+  dst->set_count(dst_n + moving);
+  set_count(from);
+}
+
+void BBoxLeafView::MoveSuffixToFront(uint16_t from, BBoxLeafView* dst) {
+  const uint16_t n = count();
+  BOXES_CHECK(from <= n);
+  const uint16_t moving = n - from;
+  const uint16_t dst_n = dst->count();
+  BOXES_CHECK(dst_n + moving <= params_->leaf_capacity);
+  uint8_t* dst_base = dst->data_ + kHeaderSize;
+  std::memmove(dst_base + moving * 8, dst_base, dst_n * 8);
+  std::memcpy(dst_base, data_ + kHeaderSize + from * 8, moving * 8);
+  dst->set_count(dst_n + moving);
+  set_count(from);
+}
+
+void BBoxLeafView::MovePrefixTo(uint16_t n_moving, BBoxLeafView* dst) {
+  const uint16_t n = count();
+  BOXES_CHECK(n_moving <= n);
+  const uint16_t dst_n = dst->count();
+  BOXES_CHECK(dst_n + n_moving <= params_->leaf_capacity);
+  std::memcpy(dst->data_ + kHeaderSize + dst_n * 8, data_ + kHeaderSize,
+              n_moving * 8);
+  std::memmove(data_ + kHeaderSize, data_ + kHeaderSize + n_moving * 8,
+               (n - n_moving) * 8);
+  dst->set_count(dst_n + n_moving);
+  set_count(n - n_moving);
+}
+
+// ---------------------------------------------------------------------------
+// BBoxInternalView
+
+uint8_t* BBoxInternalView::entry_ptr(uint16_t index) {
+  return data_ + kHeaderSize + index * params_->internal_entry_size;
+}
+const uint8_t* BBoxInternalView::entry_ptr(uint16_t index) const {
+  return data_ + kHeaderSize + index * params_->internal_entry_size;
+}
+
+PageId BBoxInternalView::child(uint16_t index) const {
+  return DecodeFixed64(entry_ptr(index));
+}
+void BBoxInternalView::set_child(uint16_t index, PageId page) {
+  EncodeFixed64(entry_ptr(index), page);
+}
+uint64_t BBoxInternalView::size(uint16_t index) const {
+  if (!params_->ordinal) {
+    return 0;
+  }
+  return DecodeFixed64(entry_ptr(index) + 8);
+}
+void BBoxInternalView::set_size(uint16_t index, uint64_t size) {
+  if (params_->ordinal) {
+    EncodeFixed64(entry_ptr(index) + 8, size);
+  }
+}
+
+int BBoxInternalView::FindChild(PageId page) const {
+  const uint16_t n = count();
+  for (uint16_t i = 0; i < n; ++i) {
+    if (child(i) == page) {
+      return i;
+    }
+  }
+  return -1;
+}
+
+void BBoxInternalView::InsertAt(uint16_t index, PageId child_page,
+                                uint64_t size_value) {
+  const uint16_t n = count();
+  BOXES_CHECK(n < params_->internal_capacity);
+  BOXES_CHECK(index <= n);
+  const size_t es = params_->internal_entry_size;
+  std::memmove(entry_ptr(index) + es, entry_ptr(index), (n - index) * es);
+  set_count(n + 1);
+  set_child(index, child_page);
+  if (params_->ordinal) {
+    set_size(index, size_value);
+  }
+}
+
+void BBoxInternalView::RemoveAt(uint16_t index) { RemoveRange(index, index); }
+
+void BBoxInternalView::RemoveRange(uint16_t first, uint16_t last) {
+  const uint16_t n = count();
+  BOXES_CHECK(first <= last && last < n);
+  const size_t es = params_->internal_entry_size;
+  std::memmove(entry_ptr(first), entry_ptr(last + 1), (n - last - 1) * es);
+  set_count(n - (last - first + 1));
+}
+
+void BBoxInternalView::MoveSuffixTo(uint16_t from, BBoxInternalView* dst) {
+  const uint16_t n = count();
+  BOXES_CHECK(from <= n);
+  const uint16_t moving = n - from;
+  const uint16_t dst_n = dst->count();
+  BOXES_CHECK(dst_n + moving <= params_->internal_capacity);
+  const size_t es = params_->internal_entry_size;
+  std::memcpy(dst->entry_ptr(dst_n), entry_ptr(from), moving * es);
+  dst->set_count(dst_n + moving);
+  set_count(from);
+}
+
+void BBoxInternalView::MoveSuffixToFront(uint16_t from,
+                                         BBoxInternalView* dst) {
+  const uint16_t n = count();
+  BOXES_CHECK(from <= n);
+  const uint16_t moving = n - from;
+  const uint16_t dst_n = dst->count();
+  BOXES_CHECK(dst_n + moving <= params_->internal_capacity);
+  const size_t es = params_->internal_entry_size;
+  std::memmove(dst->entry_ptr(static_cast<uint16_t>(moving)),
+               dst->entry_ptr(0), dst_n * es);
+  std::memcpy(dst->entry_ptr(0), entry_ptr(from), moving * es);
+  dst->set_count(dst_n + moving);
+  set_count(from);
+}
+
+void BBoxInternalView::MovePrefixTo(uint16_t n_moving, BBoxInternalView* dst) {
+  const uint16_t n = count();
+  BOXES_CHECK(n_moving <= n);
+  const uint16_t dst_n = dst->count();
+  BOXES_CHECK(dst_n + n_moving <= params_->internal_capacity);
+  const size_t es = params_->internal_entry_size;
+  std::memcpy(dst->entry_ptr(dst_n), entry_ptr(0), n_moving * es);
+  std::memmove(entry_ptr(0), entry_ptr(n_moving), (n - n_moving) * es);
+  dst->set_count(dst_n + n_moving);
+  set_count(n - n_moving);
+}
+
+uint64_t BBoxInternalView::SizeSum() const {
+  uint64_t sum = 0;
+  const uint16_t n = count();
+  for (uint16_t i = 0; i < n; ++i) {
+    sum += size(i);
+  }
+  return sum;
+}
+
+}  // namespace boxes

@@ -1,0 +1,140 @@
+#ifndef BOXES_CORE_BBOX_BBOX_NODE_H_
+#define BOXES_CORE_BBOX_BBOX_NODE_H_
+
+#include <cstdint>
+
+#include "lidf/lidf.h"
+#include "storage/page_store.h"
+#include "util/status.h"
+
+namespace boxes {
+
+/// Structural parameters of a B-BOX (paper §5), derived from the page size:
+///   * leaves hold up to leaf_capacity LID records;
+///   * internal nodes hold up to internal_capacity child entries — halved
+///     when ordinal size fields are maintained (B-BOX-O);
+///   * nodes (except the root) keep at least capacity / min_fill_divisor
+///     entries. The paper recommends divisor 2 for insert-mostly workloads
+///     and divisor 4 to obtain O(1) amortized cost under mixed
+///     insertions/deletions.
+struct BBoxParams {
+  size_t page_size = 0;
+  bool ordinal = false;
+  uint32_t min_fill_divisor = 2;
+
+  uint64_t leaf_capacity = 0;
+  uint64_t internal_capacity = 0;
+  size_t internal_entry_size = 0;
+
+  static BBoxParams Derive(size_t page_size, bool ordinal,
+                           uint32_t min_fill_divisor);
+
+  uint64_t LeafMin() const { return leaf_capacity / min_fill_divisor; }
+  uint64_t InternalMin() const {
+    return internal_capacity / min_fill_divisor;
+  }
+};
+
+/// Shared header of both node types:
+///   [0]  node_type (1 = leaf, 2 = internal)
+///   [1]  level (leaves = 0)
+///   [2]  count (uint16)
+///   [4]  unused (4 bytes)
+///   [8]  parent page id (the back-link; kInvalidPageId at the root)
+///   [16] payload
+///
+/// The back-link is the structure's defining feature: labels are never
+/// stored, they are reconstructed by walking back-links to the root and
+/// reporting the child ordinal taken at each step.
+class BBoxNodeHeader {
+ public:
+  static constexpr size_t kHeaderSize = 16;
+  static constexpr uint8_t kLeafType = 1;
+  static constexpr uint8_t kInternalType = 2;
+
+  explicit BBoxNodeHeader(uint8_t* data) : data_(data) {}
+
+  uint8_t node_type() const { return data_[0]; }
+  uint8_t level() const { return data_[1]; }
+  uint16_t count() const;
+  PageId parent() const;
+  void set_parent(PageId parent);
+
+ protected:
+  void InitHeader(uint8_t type, uint8_t level);
+  void set_count(uint16_t count);
+
+  uint8_t* data_;
+};
+
+/// Leaf page: header + an ordered array of 8-byte LIDs.
+class BBoxLeafView : public BBoxNodeHeader {
+ public:
+  BBoxLeafView(uint8_t* data, const BBoxParams* params)
+      : BBoxNodeHeader(data), params_(params) {}
+
+  void Init() { InitHeader(kLeafType, 0); }
+
+  Lid lid(uint16_t index) const;
+  void set_lid(uint16_t index, Lid lid);
+
+  /// Index of `lid`, or -1.
+  int Find(Lid lid) const;
+
+  void InsertAt(uint16_t index, Lid lid);
+  void RemoveAt(uint16_t index);
+  void RemoveRange(uint16_t first, uint16_t last);
+
+  /// Moves records [from, count) to the end of `dst`.
+  void MoveSuffixTo(uint16_t from, BBoxLeafView* dst);
+  /// Moves records [from, count) to the front of `dst`.
+  void MoveSuffixToFront(uint16_t from, BBoxLeafView* dst);
+  /// Moves the first `n` records to the end of `dst`.
+  void MovePrefixTo(uint16_t n, BBoxLeafView* dst);
+
+ private:
+  const BBoxParams* params_;
+};
+
+/// Internal page: header + an ordered array of child entries
+/// (child_page(8) [+ size(8) in ordinal mode]). `size` counts the records
+/// below the entry, enabling ordinal lookups (paper §5, Figure 4).
+class BBoxInternalView : public BBoxNodeHeader {
+ public:
+  BBoxInternalView(uint8_t* data, const BBoxParams* params)
+      : BBoxNodeHeader(data), params_(params) {}
+
+  void Init(uint8_t level) { InitHeader(kInternalType, level); }
+
+  PageId child(uint16_t index) const;
+  void set_child(uint16_t index, PageId page);
+  /// Size fields are 0 when ordinal support is disabled.
+  uint64_t size(uint16_t index) const;
+  void set_size(uint16_t index, uint64_t size);
+
+  /// Index of the entry pointing to `page`, or -1.
+  int FindChild(PageId page) const;
+
+  void InsertAt(uint16_t index, PageId child, uint64_t size);
+  void RemoveAt(uint16_t index);
+  void RemoveRange(uint16_t first, uint16_t last);
+
+  void MoveSuffixTo(uint16_t from, BBoxInternalView* dst);
+  void MoveSuffixToFront(uint16_t from, BBoxInternalView* dst);
+  void MovePrefixTo(uint16_t n, BBoxInternalView* dst);
+
+  /// Sum of all size fields.
+  uint64_t SizeSum() const;
+
+ private:
+  uint8_t* entry_ptr(uint16_t index);
+  const uint8_t* entry_ptr(uint16_t index) const;
+
+  const BBoxParams* params_;
+};
+
+inline uint8_t BBoxNodeType(const uint8_t* data) { return data[0]; }
+
+}  // namespace boxes
+
+#endif  // BOXES_CORE_BBOX_BBOX_NODE_H_

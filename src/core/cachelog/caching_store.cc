@@ -1,0 +1,97 @@
+#include "core/cachelog/caching_store.h"
+
+namespace boxes {
+
+CachingLabelStore::CachingLabelStore(LabelingScheme* scheme,
+                                     size_t log_capacity, LogImpl impl)
+    : scheme_(scheme) {
+  if (impl == LogImpl::kIndexed) {
+    log_ = std::make_unique<IndexedModificationLog>(log_capacity);
+  } else {
+    log_ = std::make_unique<ModificationLog>(log_capacity);
+  }
+  scheme_->SetUpdateListener(this);
+}
+
+CachingLabelStore::~CachingLabelStore() {
+  if (scheme_->update_listener() == this) {
+    scheme_->SetUpdateListener(nullptr);
+  }
+}
+
+CachedLabelRef CachingLabelStore::MakeRef(Lid lid) const {
+  CachedLabelRef ref;
+  ref.lid = lid;
+  return ref;
+}
+
+StatusOr<Label> CachingLabelStore::Lookup(CachedLabelRef* ref) {
+  if (ref->has_value) {
+    if (ref->last_cached == log_->now()) {
+      ++served_fresh_;
+      return ref->cached;
+    }
+    Label replayed = ref->cached;
+    if (log_->Replay(ref->last_cached, &replayed) ==
+        ModificationLog::ReplayResult::kUsable) {
+      ++served_replayed_;
+      ref->cached = replayed;
+      ref->last_cached = log_->now();
+      return replayed;
+    }
+  }
+  // Full lookup, then refresh the reference.
+  ++served_full_;
+  BOXES_ASSIGN_OR_RETURN(Label label, scheme_->Lookup(ref->lid));
+  ref->cached = label;
+  ref->last_cached = log_->now();
+  ref->has_value = true;
+  return label;
+}
+
+StatusOr<uint64_t> CachingLabelStore::OrdinalLookup(CachedOrdinalRef* ref) {
+  if (ref->has_value) {
+    if (ref->last_cached == log_->now()) {
+      ++served_fresh_;
+      return ref->cached;
+    }
+    uint64_t replayed = ref->cached;
+    if (log_->ReplayOrdinal(ref->last_cached, &replayed) ==
+        ModificationLog::ReplayResult::kUsable) {
+      ++served_replayed_;
+      ref->cached = replayed;
+      ref->last_cached = log_->now();
+      return replayed;
+    }
+  }
+  ++served_full_;
+  BOXES_ASSIGN_OR_RETURN(const uint64_t ordinal,
+                         scheme_->OrdinalLookup(ref->lid));
+  ref->cached = ordinal;
+  ref->last_cached = log_->now();
+  ref->has_value = true;
+  return ordinal;
+}
+
+void CachingLabelStore::ResetServeStats() {
+  served_fresh_ = 0;
+  served_replayed_ = 0;
+  served_full_ = 0;
+}
+
+void CachingLabelStore::OnRangeShift(const Label& lo, const Label& hi,
+                                     int64_t delta,
+                                     bool last_component_only) {
+  (void)last_component_only;  // shifts always apply to the last component
+  log_->AppendShift(lo, hi, delta);
+}
+
+void CachingLabelStore::OnInvalidateRange(const Label& lo, const Label& hi) {
+  log_->AppendInvalidate(lo, hi);
+}
+
+void CachingLabelStore::OnOrdinalShift(uint64_t from, int64_t delta) {
+  log_->AppendOrdinalShift(from, delta);
+}
+
+}  // namespace boxes

@@ -1,0 +1,268 @@
+#include "core/cachelog/indexed_log.h"
+
+#include <algorithm>
+
+#include "util/status.h"
+
+namespace boxes {
+
+namespace {
+
+size_t NextPowerOfTwo(size_t value) {
+  size_t result = 1;
+  while (result < value) {
+    result <<= 1;
+  }
+  return result;
+}
+
+void ApplyDelta(Label* label, int64_t delta) {
+  std::vector<uint64_t> components = label->components();
+  BOXES_CHECK(!components.empty());
+  components.back() = static_cast<uint64_t>(
+      static_cast<int64_t>(components.back()) + delta);
+  *label = Label::FromComponents(std::move(components));
+}
+
+}  // namespace
+
+IndexedModificationLog::IndexedModificationLog(size_t capacity)
+    : capacity_(capacity),
+      ring_size_(NextPowerOfTwo(std::max<size_t>(capacity, 1))),
+      slots_(ring_size_),
+      ordinal_nodes_(2 * ring_size_) {}
+
+void IndexedModificationLog::Append(LogEntry entry) {
+  entry.timestamp = ++clock_;
+  if (capacity_ == 0) {
+    return;  // basic caching: only the clock is kept
+  }
+  const size_t slot = entry.timestamp % ring_size_;
+  if (entry.kind == LogEntry::Kind::kOrdinalShift) {
+    slots_[slot] = std::move(entry);
+    UpdateOrdinalPath(slot);
+  } else {
+    ValueEntry value;
+    value.lo = entry.lo;
+    value.hi = entry.hi;
+    value.timestamp = entry.timestamp;
+    value.invalidate = entry.kind == LogEntry::Kind::kInvalidate;
+    tail_.push_back(std::move(value));
+    slots_[slot] = std::move(entry);
+    UpdateOrdinalPath(slot);  // overwrites any evicted ordinal aggregate
+  }
+  if (++appends_since_rebuild_ >= kTailLimit) {
+    RebuildValueIndex();
+  }
+}
+
+void IndexedModificationLog::RebuildValueIndex() {
+  const uint64_t window_start = WindowStart();
+  sorted_.clear();
+  for (uint64_t ts = window_start; ts <= clock_; ++ts) {
+    const LogEntry& entry = slots_[ts % ring_size_];
+    if (entry.timestamp != ts ||
+        entry.kind == LogEntry::Kind::kOrdinalShift) {
+      continue;
+    }
+    ValueEntry value;
+    value.lo = entry.lo;
+    value.hi = entry.hi;
+    value.timestamp = entry.timestamp;
+    value.invalidate = entry.kind == LogEntry::Kind::kInvalidate;
+    sorted_.push_back(std::move(value));
+  }
+  std::sort(sorted_.begin(), sorted_.end(),
+            [](const ValueEntry& a, const ValueEntry& b) {
+              return a.lo < b.lo;
+            });
+  max_hi_.assign(4 * std::max<size_t>(sorted_.size(), 1), Label());
+  if (!sorted_.empty()) {
+    ComputeMaxHi(1, 0, sorted_.size());
+  }
+  tail_.clear();
+  appends_since_rebuild_ = 0;
+}
+
+void IndexedModificationLog::ComputeMaxHi(size_t node, size_t lo,
+                                          size_t hi) {
+  if (hi - lo == 1) {
+    max_hi_[node] = sorted_[lo].hi;
+    return;
+  }
+  const size_t mid = lo + (hi - lo) / 2;
+  ComputeMaxHi(2 * node, lo, mid);
+  ComputeMaxHi(2 * node + 1, mid, hi);
+  max_hi_[node] = max_hi_[2 * node] < max_hi_[2 * node + 1]
+                      ? max_hi_[2 * node + 1]
+                      : max_hi_[2 * node];
+}
+
+void IndexedModificationLog::Stab(size_t node, size_t lo, size_t hi,
+                                  uint64_t after_ts, const Label& label,
+                                  const ValueEntry** best) const {
+  if (lo >= hi || max_hi_[node] < label) {
+    return;  // no range in this subtree reaches the label
+  }
+  if (hi - lo == 1) {
+    const ValueEntry& entry = sorted_[lo];
+    if (entry.lo <= label && label <= entry.hi &&
+        entry.timestamp > after_ts && entry.timestamp >= WindowStart() &&
+        (*best == nullptr || entry.timestamp < (*best)->timestamp)) {
+      *best = &entry;
+    }
+    return;
+  }
+  const size_t mid = lo + (hi - lo) / 2;
+  // Left half always has the smaller range starts; descend it, and skip
+  // the right half entirely when its starts already exceed the label.
+  Stab(2 * node, lo, mid, after_ts, label, best);
+  if (sorted_[mid].lo <= label) {
+    Stab(2 * node + 1, mid, hi, after_ts, label, best);
+  }
+}
+
+const IndexedModificationLog::ValueEntry*
+IndexedModificationLog::FindNextValue(uint64_t after_ts,
+                                      const Label& label) const {
+  const ValueEntry* best = nullptr;
+  if (!sorted_.empty()) {
+    Stab(1, 0, sorted_.size(), after_ts, label, &best);
+  }
+  for (const ValueEntry& entry : tail_) {
+    if (entry.lo <= label && label <= entry.hi &&
+        entry.timestamp > after_ts &&
+        (best == nullptr || entry.timestamp < best->timestamp)) {
+      best = &entry;
+    }
+  }
+  return best;
+}
+
+ReplayResult IndexedModificationLog::Replay(uint64_t last_cached,
+                                            Label* label) const {
+  if (!CoversSince(last_cached)) {
+    return ReplayResult::kStale;
+  }
+  uint64_t cursor = last_cached;
+  for (;;) {
+    const ValueEntry* entry = FindNextValue(cursor, *label);
+    if (entry == nullptr) {
+      return ReplayResult::kUsable;
+    }
+    if (entry->invalidate) {
+      return ReplayResult::kStale;
+    }
+    ApplyDelta(label, EntryDelta(entry->timestamp));
+    cursor = entry->timestamp;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Ordinal path: timestamp-ordered ring segment tree with min-from pruning.
+
+void IndexedModificationLog::UpdateOrdinalPath(size_t slot) {
+  size_t node = ring_size_ + slot;
+  const LogEntry& entry = slots_[slot];
+  OrdinalAggregate leaf;
+  if (entry.timestamp != 0 &&
+      entry.kind == LogEntry::Kind::kOrdinalShift) {
+    leaf.has_ordinal = true;
+    leaf.min_from = entry.ordinal_from;
+  }
+  ordinal_nodes_[node] = leaf;
+  for (node /= 2; node >= 1; node /= 2) {
+    const OrdinalAggregate& left = ordinal_nodes_[2 * node];
+    const OrdinalAggregate& right = ordinal_nodes_[2 * node + 1];
+    OrdinalAggregate merged;
+    merged.has_ordinal = left.has_ordinal || right.has_ordinal;
+    merged.min_from =
+        left.has_ordinal
+            ? (right.has_ordinal ? std::min(left.min_from, right.min_from)
+                                 : left.min_from)
+            : right.min_from;
+    ordinal_nodes_[node] = merged;
+    if (node == 1) {
+      break;
+    }
+  }
+}
+
+uint64_t IndexedModificationLog::DescendOrdinal(size_t node, size_t node_lo,
+                                                size_t node_hi, size_t lo,
+                                                size_t hi, uint64_t after_ts,
+                                                uint64_t ordinal) const {
+  if (hi <= node_lo || node_hi <= lo) {
+    return 0;
+  }
+  const OrdinalAggregate& aggregate = ordinal_nodes_[node];
+  if (!aggregate.has_ordinal || ordinal < aggregate.min_from) {
+    return 0;
+  }
+  if (node_hi - node_lo == 1) {
+    const LogEntry& entry = slots_[node_lo];
+    if (entry.timestamp > after_ts && entry.timestamp <= clock_ &&
+        entry.kind == LogEntry::Kind::kOrdinalShift &&
+        ordinal >= entry.ordinal_from) {
+      return entry.timestamp;
+    }
+    return 0;
+  }
+  const size_t mid = node_lo + (node_hi - node_lo) / 2;
+  const uint64_t left = DescendOrdinal(2 * node, node_lo, mid, lo, hi,
+                                       after_ts, ordinal);
+  if (left != 0) {
+    return left;
+  }
+  return DescendOrdinal(2 * node + 1, mid, node_hi, lo, hi, after_ts,
+                        ordinal);
+}
+
+uint64_t IndexedModificationLog::FindNextOrdinal(uint64_t after_ts,
+                                                 uint64_t ordinal) const {
+  if (after_ts >= clock_) {
+    return 0;
+  }
+  const uint64_t first_ts = after_ts + 1;
+  const size_t first_slot = first_ts % ring_size_;
+  const size_t last_slot = clock_ % ring_size_;
+  if (clock_ - first_ts + 1 >= ring_size_) {
+    const uint64_t found = DescendOrdinal(1, 0, ring_size_, first_slot,
+                                          ring_size_, after_ts, ordinal);
+    if (found != 0) {
+      return found;
+    }
+    return DescendOrdinal(1, 0, ring_size_, 0, first_slot, after_ts,
+                          ordinal);
+  }
+  if (first_slot <= last_slot) {
+    return DescendOrdinal(1, 0, ring_size_, first_slot, last_slot + 1,
+                          after_ts, ordinal);
+  }
+  const uint64_t found = DescendOrdinal(1, 0, ring_size_, first_slot,
+                                        ring_size_, after_ts, ordinal);
+  if (found != 0) {
+    return found;
+  }
+  return DescendOrdinal(1, 0, ring_size_, 0, last_slot + 1, after_ts,
+                        ordinal);
+}
+
+ReplayResult IndexedModificationLog::ReplayOrdinal(uint64_t last_cached,
+                                                   uint64_t* ordinal) const {
+  if (!CoversSince(last_cached)) {
+    return ReplayResult::kStale;
+  }
+  uint64_t cursor = last_cached;
+  for (;;) {
+    const uint64_t ts = FindNextOrdinal(cursor, *ordinal);
+    if (ts == 0) {
+      return ReplayResult::kUsable;
+    }
+    *ordinal = static_cast<uint64_t>(static_cast<int64_t>(*ordinal) +
+                                     EntryDelta(ts));
+    cursor = ts;
+  }
+}
+
+}  // namespace boxes

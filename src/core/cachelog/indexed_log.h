@@ -1,0 +1,122 @@
+#ifndef BOXES_CORE_CACHELOG_INDEXED_LOG_H_
+#define BOXES_CORE_CACHELOG_INDEXED_LOG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/cachelog/mod_log.h"
+
+namespace boxes {
+
+/// The paper's §8 future-work item realized: "an efficient data structure
+/// for storing the log."
+///
+/// A plain k-entry FIFO makes every replay scan all k entries even when
+/// none affect the cached label. Here the value-affecting entries
+/// (shifts/invalidations) are additionally kept in an interval-stabbing
+/// index: an array sorted by range start with a segment tree of subtree
+/// max range ends, rebuilt lazily every kTailLimit appends (amortized
+/// O(k / kTailLimit) per append). A replay step asks for the stabbing set
+/// of the current label — small, because label ranges from leaf-local
+/// updates are narrow — and picks the earliest unapplied entry, giving
+/// O(log k + stabbers + kTailLimit) per applied entry instead of O(k) per
+/// replay.
+///
+/// Replay must track the label as it evolves (an earlier shift can move
+/// the label into or out of a later entry's range), which is why the index
+/// is consulted once per applied entry rather than once per replay.
+///
+/// Ordinal entries match half-lines rather than narrow ranges (poor
+/// stabbing selectivity), so ordinal replay walks a timestamp-ordered ring
+/// segment tree with min-threshold pruning instead.
+///
+/// Observationally identical to ModificationLog; only CPU cost differs.
+class IndexedModificationLog : public ReplayLog {
+ public:
+  /// Appends between index rebuilds; bounds the linear "tail" scan.
+  static constexpr size_t kTailLimit = 64;
+
+  /// `capacity` is the FIFO window size k (0 = basic caching).
+  explicit IndexedModificationLog(size_t capacity);
+
+  size_t capacity() const override { return capacity_; }
+  uint64_t now() const override { return clock_; }
+  void Append(LogEntry entry) override;
+  ReplayResult Replay(uint64_t last_cached, Label* label) const override;
+  ReplayResult ReplayOrdinal(uint64_t last_cached,
+                             uint64_t* ordinal) const override;
+
+ private:
+  /// One value-kind entry in the stabbing index.
+  struct ValueEntry {
+    Label lo;
+    Label hi;
+    uint64_t timestamp = 0;
+    bool invalidate = false;
+  };
+
+  /// Ordinal aggregates for the timestamp-ordered ring tree.
+  struct OrdinalAggregate {
+    bool has_ordinal = false;
+    uint64_t min_from = 0;
+  };
+
+  bool CoversSince(uint64_t last_cached) const {
+    const uint64_t present =
+        clock_ < capacity_ ? clock_ : static_cast<uint64_t>(capacity_);
+    return last_cached + present >= clock_;
+  }
+
+  /// Oldest timestamp still inside the FIFO window.
+  uint64_t WindowStart() const {
+    return clock_ > capacity_ ? clock_ - capacity_ + 1 : 1;
+  }
+
+  /// Delta of the window entry with the given timestamp (ring lookup).
+  int64_t EntryDelta(uint64_t timestamp) const {
+    return slots_[timestamp % ring_size_].delta;
+  }
+
+  /// Rebuilds the sorted stabbing index from the current window and
+  /// empties the tail.
+  void RebuildValueIndex();
+
+  /// Recomputes `max_hi_` for the implicit segment-tree node covering the
+  /// sorted range [lo, hi).
+  void ComputeMaxHi(size_t node, size_t lo, size_t hi);
+
+  /// Earliest entry with timestamp in (after_ts, clock_] whose range
+  /// contains `label`, searching index + tail; nullptr if none.
+  const ValueEntry* FindNextValue(uint64_t after_ts,
+                                  const Label& label) const;
+
+  /// Stabbing-descent over sorted_[lo, hi): updates *best with the
+  /// earliest matching entry after `after_ts`.
+  void Stab(size_t node, size_t lo, size_t hi, uint64_t after_ts,
+            const Label& label, const ValueEntry** best) const;
+
+  // Ordinal ring-tree helpers.
+  void UpdateOrdinalPath(size_t slot);
+  uint64_t FindNextOrdinal(uint64_t after_ts, uint64_t ordinal) const;
+  uint64_t DescendOrdinal(size_t node, size_t node_lo, size_t node_hi,
+                          size_t lo, size_t hi, uint64_t after_ts,
+                          uint64_t ordinal) const;
+
+  const size_t capacity_;
+  const size_t ring_size_;  // power of two >= capacity (1 if capacity 0)
+  uint64_t clock_ = 0;
+  std::vector<LogEntry> slots_;  // slot = timestamp % ring_size_
+
+  // Value-entry stabbing index + unindexed tail.
+  std::vector<ValueEntry> sorted_;   // by lo
+  std::vector<Label> max_hi_;        // segment tree over sorted_
+  std::vector<ValueEntry> tail_;     // appended since last rebuild
+  uint64_t appends_since_rebuild_ = 0;
+
+  // Ordinal ring segment tree.
+  std::vector<OrdinalAggregate> ordinal_nodes_;  // 2 * ring_size_
+};
+
+}  // namespace boxes
+
+#endif  // BOXES_CORE_CACHELOG_INDEXED_LOG_H_

@@ -1,0 +1,105 @@
+#include "core/common/label.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "util/status.h"
+
+namespace boxes {
+
+Label Label::FromScalar(uint64_t value) {
+  Label label;
+  label.components_.push_back(value);
+  return label;
+}
+
+Label Label::FromBigUint(const BigUint& value, size_t width_limbs) {
+  BOXES_CHECK(value.LimbCount() <= width_limbs);
+  std::vector<uint8_t> bytes(width_limbs * 8);
+  value.Serialize(bytes.data(), width_limbs);
+  Label label;
+  label.components_.resize(width_limbs);
+  // Serialize() produced little-endian limb order; reverse for big-endian
+  // component order so lexicographic comparison equals numeric comparison.
+  for (size_t i = 0; i < width_limbs; ++i) {
+    uint64_t limb = 0;
+    for (size_t b = 0; b < 8; ++b) {
+      limb |= static_cast<uint64_t>(bytes[i * 8 + b]) << (8 * b);
+    }
+    label.components_[width_limbs - 1 - i] = limb;
+  }
+  return label;
+}
+
+Label Label::FromComponents(std::vector<uint64_t> components) {
+  Label label;
+  label.components_ = std::move(components);
+  return label;
+}
+
+uint64_t Label::scalar() const {
+  BOXES_CHECK(components_.size() == 1);
+  return components_[0];
+}
+
+BigUint Label::ToBigUint() const {
+  BigUint value;
+  for (uint64_t component : components_) {
+    value = value.ShiftLeft(64).Add(BigUint(component));
+  }
+  return value;
+}
+
+int Label::Compare(const Label& other) const {
+  const size_t n = std::min(components_.size(), other.components_.size());
+  for (size_t i = 0; i < n; ++i) {
+    if (components_[i] != other.components_[i]) {
+      return components_[i] < other.components_[i] ? -1 : 1;
+    }
+  }
+  if (components_.size() == other.components_.size()) {
+    return 0;
+  }
+  return components_.size() < other.components_.size() ? -1 : 1;
+}
+
+uint32_t Label::BitLength() const {
+  if (components_.empty()) {
+    return 0;
+  }
+  uint64_t max_component = 0;
+  for (uint64_t c : components_) {
+    max_component = std::max(max_component, c);
+  }
+  const uint32_t per_component =
+      max_component == 0
+          ? 1
+          : static_cast<uint32_t>(64 - std::countl_zero(max_component));
+  return per_component * static_cast<uint32_t>(components_.size());
+}
+
+std::string Label::ToString() const {
+  if (components_.size() == 1) {
+    return std::to_string(components_[0]);
+  }
+  std::string out = "(";
+  for (size_t i = 0; i < components_.size(); ++i) {
+    if (i > 0) {
+      out += ",";
+    }
+    out += std::to_string(components_[i]);
+  }
+  out += ")";
+  return out;
+}
+
+bool IsAncestor(const ElementLabels& ancestor,
+                const ElementLabels& descendant) {
+  return ancestor.start < descendant.start && descendant.end < ancestor.end;
+}
+
+bool PrecedesInDocumentOrder(const ElementLabels& a, const ElementLabels& b) {
+  return a.start < b.start;
+}
+
+}  // namespace boxes

@@ -1,0 +1,90 @@
+#ifndef BOXES_CORE_COMMON_LABEL_H_
+#define BOXES_CORE_COMMON_LABEL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/biguint.h"
+
+namespace boxes {
+
+/// A label value returned by Lookup().
+///
+/// Different schemes produce different shapes — W-BOX and naive-k produce a
+/// single integer (possibly wider than 64 bits for naive-k), B-BOX produces
+/// the vector of child ordinals along the root→leaf path — but all of them
+/// compare consistently with document order *within one scheme at one point
+/// in time*. Label normalizes them to a component vector whose
+/// lexicographic order equals document order:
+///   * scalars become a single component;
+///   * wide integers become fixed-width big-endian component vectors;
+///   * B-BOX paths are used as-is (all root→leaf paths share one length).
+///
+/// Labels are transient values: the paper's point is precisely that stored
+/// copies go stale, which is what LIDs + the caching/logging layer address.
+class Label {
+ public:
+  Label() = default;
+
+  static Label FromScalar(uint64_t value);
+  /// Encodes `value` as exactly `width_limbs` big-endian components.
+  static Label FromBigUint(const BigUint& value, size_t width_limbs);
+  static Label FromComponents(std::vector<uint64_t> components);
+
+  const std::vector<uint64_t>& components() const { return components_; }
+
+  /// The scalar value; requires a single-component label.
+  uint64_t scalar() const;
+
+  /// Reassembles a BigUint from the big-endian components.
+  BigUint ToBigUint() const;
+
+  /// Lexicographic comparison; equal prefixes order the shorter first.
+  /// Returns <0, 0, >0.
+  int Compare(const Label& other) const;
+
+  /// Bits needed to encode this label with fixed-width components: number
+  /// of components times the bit width of the largest component (minimum 1
+  /// bit per component).
+  uint32_t BitLength() const;
+
+  /// "(c1,c2,...)" for multi-component labels, plain number for scalars.
+  std::string ToString() const;
+
+  friend bool operator==(const Label& a, const Label& b) {
+    return a.components_ == b.components_;
+  }
+  friend bool operator<(const Label& a, const Label& b) {
+    return a.Compare(b) < 0;
+  }
+  friend bool operator<=(const Label& a, const Label& b) {
+    return a.Compare(b) <= 0;
+  }
+  friend bool operator>(const Label& a, const Label& b) {
+    return a.Compare(b) > 0;
+  }
+  friend bool operator>=(const Label& a, const Label& b) {
+    return a.Compare(b) >= 0;
+  }
+
+ private:
+  std::vector<uint64_t> components_;
+};
+
+/// The start/end label pair of one element.
+struct ElementLabels {
+  Label start;
+  Label end;
+};
+
+/// True iff the element labeled `ancestor` is a proper ancestor of the one
+/// labeled `descendant` (paper §3: l<(a) < l<(d) and l>(d) < l>(a)).
+bool IsAncestor(const ElementLabels& ancestor, const ElementLabels& descendant);
+
+/// True iff `a` precedes `b` in document order of start tags.
+bool PrecedesInDocumentOrder(const ElementLabels& a, const ElementLabels& b);
+
+}  // namespace boxes
+
+#endif  // BOXES_CORE_COMMON_LABEL_H_

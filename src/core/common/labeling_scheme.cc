@@ -1,0 +1,81 @@
+#include "core/common/labeling_scheme.h"
+
+namespace boxes {
+
+StatusOr<ElementLabels> LabelingScheme::LookupElement(Lid start_lid,
+                                                      Lid end_lid) {
+  StatusOr<Label> start = Lookup(start_lid);
+  if (!start.ok()) {
+    return start.status();
+  }
+  StatusOr<Label> end = Lookup(end_lid);
+  if (!end.ok()) {
+    return end.status();
+  }
+  return ElementLabels{std::move(*start), std::move(*end)};
+}
+
+namespace {
+
+/// Inserts `element` (and recursively its subtree) immediately before the
+/// tag identified by `before`, element-at-a-time.
+Status InsertTreeElementwise(LabelingScheme* scheme, const xml::Document& doc,
+                             xml::ElementId element, Lid before,
+                             std::vector<NewElement>* lids_out) {
+  StatusOr<NewElement> lids = scheme->InsertElementBefore(before);
+  if (!lids.ok()) {
+    return lids.status();
+  }
+  if (lids_out != nullptr) {
+    (*lids_out)[element] = *lids;
+  }
+  // Children are appended in document order just before this element's end
+  // label, making each the current last child.
+  for (xml::ElementId child : doc.element(element).children) {
+    BOXES_RETURN_IF_ERROR(
+        InsertTreeElementwise(scheme, doc, child, lids->end, lids_out));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status LabelingScheme::InsertSubtreeBefore(Lid before,
+                                           const xml::Document& subtree,
+                                           std::vector<NewElement>* lids_out) {
+  if (subtree.empty()) {
+    return Status::OK();
+  }
+  if (lids_out != nullptr) {
+    lids_out->assign(subtree.element_count(), NewElement{});
+  }
+  return InsertTreeElementwise(this, subtree, subtree.root(), before,
+                               lids_out);
+}
+
+StatusOr<NewElement> LabelingScheme::InsertFirstElement() {
+  return Status::Unimplemented(name() +
+                               " does not support bootstrap insertion");
+}
+
+Status LabelingScheme::DeleteSubtree(Lid /*root_start*/, Lid /*root_end*/) {
+  return Status::Unimplemented(name() + " does not support subtree deletion");
+}
+
+StatusOr<int> LabelingScheme::Compare(Lid a, Lid b) {
+  StatusOr<Label> label_a = Lookup(a);
+  if (!label_a.ok()) {
+    return label_a.status();
+  }
+  StatusOr<Label> label_b = Lookup(b);
+  if (!label_b.ok()) {
+    return label_b.status();
+  }
+  return label_a->Compare(*label_b);
+}
+
+StatusOr<uint64_t> LabelingScheme::OrdinalLookup(Lid /*lid*/) {
+  return Status::Unimplemented(name() + " does not maintain ordinal labels");
+}
+
+}  // namespace boxes

@@ -1,0 +1,133 @@
+#ifndef BOXES_CORE_COMMON_LABELING_SCHEME_H_
+#define BOXES_CORE_COMMON_LABELING_SCHEME_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/common/label.h"
+#include "lidf/lidf.h"
+#include "util/status.h"
+#include "xml/document.h"
+
+namespace boxes {
+
+/// LIDs assigned to a newly inserted element's start and end labels.
+struct NewElement {
+  Lid start = kInvalidLid;
+  Lid end = kInvalidLid;
+};
+
+/// Structure statistics reported by GetStats(), used by the benchmark
+/// harness (tree heights, label lengths, storage).
+struct SchemeStats {
+  /// Tree height in levels (leaves = 1); 0 for flat schemes (naive-k).
+  uint64_t height = 0;
+  /// Pages used by the index structure (excluding the LIDF).
+  uint64_t index_pages = 0;
+  /// Pages used by the LIDF.
+  uint64_t lidf_pages = 0;
+  /// Live labels currently maintained.
+  uint64_t live_labels = 0;
+  /// Maximum bits any current label needs under this scheme's encoding.
+  uint32_t max_label_bits = 0;
+};
+
+/// Observer of label-changing effects, the hook the §6 caching + logging
+/// layer attaches to a scheme. Every mutation that changes existing label
+/// values reports its effect through exactly one of these callbacks.
+class UpdateListener {
+ public:
+  virtual ~UpdateListener() = default;
+
+  /// Labels in [lo, hi] (inclusive, lexicographic) changed by `delta`.
+  /// With `last_component_only`, only the final component shifts (B-BOX
+  /// leaf-local effects); otherwise the label shifts as an integer.
+  virtual void OnRangeShift(const Label& lo, const Label& hi, int64_t delta,
+                            bool last_component_only) = 0;
+
+  /// Labels in [lo, hi] changed in a way not describable as a shift;
+  /// cached values in the range must be discarded.
+  virtual void OnInvalidateRange(const Label& lo, const Label& hi) = 0;
+
+  /// Ordinal labels >= `from` changed by `delta` (ordinal-mode logging).
+  virtual void OnOrdinalShift(uint64_t from, int64_t delta) = 0;
+};
+
+/// Common interface of all dynamic order-based labeling schemes (W-BOX,
+/// B-BOX, naive-k): maintains one label per tag of a dynamic XML document,
+/// addressed by immutable LIDs (paper §3, "Supported operations").
+class LabelingScheme {
+ public:
+  virtual ~LabelingScheme() = default;
+
+  /// Human-readable scheme name ("W-BOX", "naive-16", ...).
+  virtual std::string name() const = 0;
+
+  /// Returns the current value of the label identified by `lid`.
+  virtual StatusOr<Label> Lookup(Lid lid) = 0;
+
+  /// Returns the start and end labels of one element. The default issues
+  /// two Lookups; W-BOX-O overrides this with its single-record fast path.
+  virtual StatusOr<ElementLabels> LookupElement(Lid start_lid, Lid end_lid);
+
+  /// Inserts a new element so that it immediately precedes the tag whose
+  /// label is identified by `lid`; returns the new element's LIDs.
+  /// If `lid` names an element's start label the new element becomes its
+  /// previous sibling; if it names an end label the new element becomes
+  /// that element's last child.
+  virtual StatusOr<NewElement> InsertElementBefore(Lid lid) = 0;
+
+  /// Inserts the first element into an empty structure (there is no
+  /// existing tag to insert before). Returns its LIDs.
+  virtual StatusOr<NewElement> InsertFirstElement();
+
+  /// Removes the label identified by `lid` and frees the LID. Removing an
+  /// element means calling this for both of its labels.
+  virtual Status Delete(Lid lid) = 0;
+
+  /// Loads `doc` into an empty scheme. `lids_out`, if non-null, receives
+  /// one entry per element, indexed by ElementId.
+  virtual Status BulkLoad(const xml::Document& doc,
+                          std::vector<NewElement>* lids_out) = 0;
+
+  /// Inserts an entire subtree (the whole document `subtree`) immediately
+  /// before the tag identified by `before`. `lids_out` as in BulkLoad.
+  /// The default implementation inserts element-at-a-time; W-BOX and B-BOX
+  /// override it with their bulk algorithms.
+  virtual Status InsertSubtreeBefore(Lid before, const xml::Document& subtree,
+                                     std::vector<NewElement>* lids_out);
+
+  /// Deletes an element and its entire subtree, identified by the
+  /// element's start and end label LIDs (every label between them is
+  /// removed and its LID freed). Default: Unimplemented.
+  virtual Status DeleteSubtree(Lid root_start, Lid root_end);
+
+  /// Document-order comparison of two labels: <0, 0, >0. The default
+  /// compares Lookup() results; B-BOX overrides with its bottom-up
+  /// lowest-common-ancestor walk.
+  virtual StatusOr<int> Compare(Lid a, Lid b);
+
+  /// True if this instance maintains ordinal labels (size fields).
+  virtual bool SupportsOrdinal() const { return false; }
+
+  /// The 0-based ordinal position of the tag within the document.
+  /// Requires SupportsOrdinal().
+  virtual StatusOr<uint64_t> OrdinalLookup(Lid lid);
+
+  virtual StatusOr<SchemeStats> GetStats() = 0;
+
+  /// Verifies every structural invariant; used heavily by tests.
+  virtual Status CheckInvariants() { return Status::OK(); }
+
+  /// Attaches (or detaches, with nullptr) the caching/logging observer.
+  void SetUpdateListener(UpdateListener* listener) { listener_ = listener; }
+  UpdateListener* update_listener() const { return listener_; }
+
+ protected:
+  UpdateListener* listener_ = nullptr;
+};
+
+}  // namespace boxes
+
+#endif  // BOXES_CORE_COMMON_LABELING_SCHEME_H_

@@ -1,0 +1,340 @@
+#include "core/ordpath/ordpath.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/coding.h"
+
+namespace boxes {
+
+namespace {
+
+constexpr size_t kLinkBytes = 16;  // pred + succ
+constexpr size_t kLenBytes = 4;
+
+/// A record must fit one page; shrink the label budget on small pages.
+OrdpathOptions ClampToPage(OrdpathOptions options, size_t page_size) {
+  const size_t room = page_size - kLinkBytes - kLenBytes;
+  if (options.max_label_bytes > room) {
+    options.max_label_bytes = static_cast<uint32_t>(room);
+  }
+  return options;
+}
+
+}  // namespace
+
+OrdpathScheme::OrdpathScheme(PageCache* cache, OrdpathOptions options)
+    : cache_(cache),
+      options_(ClampToPage(options, cache->page_size())),
+      lidf_(cache,
+            kLinkBytes + kLenBytes + options_.max_label_bytes) {
+  BOXES_CHECK(options_.max_label_bytes >= 16);
+}
+
+OrdpathScheme::~OrdpathScheme() = default;
+
+std::vector<uint64_t> OrdpathScheme::Between(
+    const std::vector<uint64_t>& a, const std::vector<uint64_t>& b) {
+  // Labels compare like fixed-point fractions: digit-wise, with the
+  // shorter label padded by virtual 0 digits. Together with the invariant
+  // that no stored label ends in 0, this order coincides with
+  // Label::Compare's prefix-first order, while staying DENSE (prefix-first
+  // alone has empty gaps such as (x, x+[0])).
+  //
+  // Classic fractional-indexing midpoint: walk digits; when the upper
+  // bound is exactly one above the lower digit, either stop just under the
+  // upper bound (if it continues) or commit the lower digit and treat the
+  // rest as unbounded above.
+  std::vector<uint64_t> result;
+  bool b_infinite = b.empty();
+  for (size_t i = 0;; ++i) {
+    const uint64_t av = i < a.size() ? a[i] : 0;
+    if (b_infinite) {
+      result.push_back(av + 1);
+      return result;
+    }
+    const uint64_t bv = i < b.size() ? b[i] : 0;
+    if (av == bv) {
+      result.push_back(av);
+      continue;
+    }
+    // av < bv at the first difference (contract: a < b padded).
+    if (bv >= av + 2) {
+      result.push_back(av + 1);  // fits strictly between the digits
+      return result;
+    }
+    // bv == av + 1.
+    if (i + 1 < b.size()) {
+      // b keeps going (and never ends in 0), so prefix+[bv] padded with
+      // zeros is still strictly below b.
+      result.push_back(bv);
+      return result;
+    }
+    // Commit the lower digit; everything below b at this digit is now
+    // bounded only by a's remaining digits.
+    result.push_back(av);
+    b_infinite = true;
+  }
+}
+
+StatusOr<OrdpathScheme::Record> OrdpathScheme::ReadRecord(Lid lid) const {
+  std::vector<uint8_t> payload(lidf_.payload_size());
+  BOXES_RETURN_IF_ERROR(lidf_.Read(lid, payload.data()));
+  Record record;
+  record.pred = DecodeFixed64(payload.data());
+  record.succ = DecodeFixed64(payload.data() + 8);
+  const uint32_t encoded = DecodeFixed32(payload.data() + kLinkBytes);
+  if (encoded > options_.max_label_bytes) {
+    return Status::Corruption("ORDPATH label length out of bounds");
+  }
+  const uint8_t* cursor = payload.data() + kLinkBytes + kLenBytes;
+  const uint8_t* limit = cursor + encoded;
+  while (cursor < limit) {
+    uint64_t component;
+    if (!DecodeVarint64(&cursor, limit, &component)) {
+      return Status::Corruption("ORDPATH label varint truncated");
+    }
+    record.components.push_back(component);
+  }
+  return record;
+}
+
+Status OrdpathScheme::WriteRecord(Lid lid, const Record& record) {
+  std::vector<uint8_t> payload(lidf_.payload_size(), 0);
+  EncodeFixed64(payload.data(), record.pred);
+  EncodeFixed64(payload.data() + 8, record.succ);
+  uint8_t* cursor = payload.data() + kLinkBytes + kLenBytes;
+  const uint8_t* base = cursor;
+  for (uint64_t component : record.components) {
+    if (static_cast<size_t>(cursor - base) + 10 >
+        options_.max_label_bytes) {
+      return Status::ResourceExhausted(
+          "ORDPATH label exceeds " +
+          std::to_string(options_.max_label_bytes) +
+          " bytes (the unbounded-growth failure mode)");
+    }
+    cursor += EncodeVarint64(cursor, component);
+  }
+  const uint32_t encoded = static_cast<uint32_t>(cursor - base);
+  EncodeFixed32(payload.data() + kLinkBytes, encoded);
+  max_encoded_bytes_ = std::max(max_encoded_bytes_, encoded);
+  return lidf_.Write(lid, payload.data());
+}
+
+Status OrdpathScheme::SetLinks(Lid lid, Lid pred, Lid succ) {
+  BOXES_ASSIGN_OR_RETURN(Record record, ReadRecord(lid));
+  record.pred = pred;
+  record.succ = succ;
+  return WriteRecord(lid, record);
+}
+
+StatusOr<Label> OrdpathScheme::Lookup(Lid lid) {
+  BOXES_ASSIGN_OR_RETURN(const Record record, ReadRecord(lid));
+  return Label::FromComponents(record.components);
+}
+
+Status OrdpathScheme::InsertBefore(Lid lid_new, Lid lid_old) {
+  BOXES_ASSIGN_OR_RETURN(Record old_record, ReadRecord(lid_old));
+  std::vector<uint64_t> pred_label;
+  if (old_record.pred != kInvalidLid) {
+    BOXES_ASSIGN_OR_RETURN(const Record pred_record,
+                           ReadRecord(old_record.pred));
+    pred_label = pred_record.components;
+  }
+  Record fresh;
+  fresh.components = Between(pred_label, old_record.components);
+  fresh.pred = old_record.pred;
+  fresh.succ = lid_old;
+  BOXES_RETURN_IF_ERROR(WriteRecord(lid_new, fresh));
+  if (old_record.pred != kInvalidLid) {
+    BOXES_ASSIGN_OR_RETURN(Record pred_record, ReadRecord(old_record.pred));
+    pred_record.succ = lid_new;
+    BOXES_RETURN_IF_ERROR(WriteRecord(old_record.pred, pred_record));
+  } else {
+    head_ = lid_new;
+  }
+  old_record.pred = lid_new;
+  return WriteRecord(lid_old, old_record);
+}
+
+StatusOr<NewElement> OrdpathScheme::InsertElementBefore(Lid lid) {
+  if (lidf_.live_records() == 0) {
+    return Status::FailedPrecondition("ORDPATH scheme is empty");
+  }
+  BOXES_ASSIGN_OR_RETURN(const auto lids, lidf_.AllocatePair());
+  BOXES_RETURN_IF_ERROR(InsertBefore(lids.second, lid));
+  BOXES_RETURN_IF_ERROR(InsertBefore(lids.first, lids.second));
+  return NewElement{lids.first, lids.second};
+}
+
+StatusOr<NewElement> OrdpathScheme::InsertFirstElement() {
+  if (lidf_.live_records() != 0) {
+    return Status::FailedPrecondition("ORDPATH scheme is not empty");
+  }
+  BOXES_ASSIGN_OR_RETURN(const auto lids, lidf_.AllocatePair());
+  Record start;
+  start.components = {1};
+  start.succ = lids.second;
+  Record end;
+  end.components = {2};
+  end.pred = lids.first;
+  BOXES_RETURN_IF_ERROR(WriteRecord(lids.first, start));
+  BOXES_RETURN_IF_ERROR(WriteRecord(lids.second, end));
+  head_ = lids.first;
+  tail_ = lids.second;
+  return NewElement{lids.first, lids.second};
+}
+
+Status OrdpathScheme::Delete(Lid lid) {
+  BOXES_ASSIGN_OR_RETURN(const Record record, ReadRecord(lid));
+  if (record.pred != kInvalidLid) {
+    BOXES_ASSIGN_OR_RETURN(Record pred_record, ReadRecord(record.pred));
+    pred_record.succ = record.succ;
+    BOXES_RETURN_IF_ERROR(WriteRecord(record.pred, pred_record));
+  } else {
+    head_ = record.succ;
+  }
+  if (record.succ != kInvalidLid) {
+    BOXES_ASSIGN_OR_RETURN(Record succ_record, ReadRecord(record.succ));
+    succ_record.pred = record.pred;
+    BOXES_RETURN_IF_ERROR(WriteRecord(record.succ, succ_record));
+  } else {
+    tail_ = record.pred;
+  }
+  return lidf_.Free(lid);
+}
+
+Status OrdpathScheme::BulkLoad(const xml::Document& doc,
+                               std::vector<NewElement>* lids_out) {
+  if (lidf_.live_records() != 0) {
+    return Status::FailedPrecondition(
+        "BulkLoad requires an empty ORDPATH scheme");
+  }
+  std::vector<NewElement> lids(doc.element_count());
+  std::vector<Lid> order;
+  order.reserve(doc.tag_count());
+  Status status = Status::OK();
+  doc.ForEachTag([&](xml::ElementId id, bool is_start) {
+    if (!status.ok()) {
+      return;
+    }
+    if (is_start) {
+      StatusOr<std::pair<Lid, Lid>> pair = lidf_.AllocatePair();
+      if (!pair.ok()) {
+        status = pair.status();
+        return;
+      }
+      lids[id] = NewElement{pair->first, pair->second};
+      order.push_back(pair->first);
+    } else {
+      order.push_back(lids[id].end);
+    }
+  });
+  BOXES_RETURN_IF_ERROR(status);
+  for (size_t i = 0; i < order.size(); ++i) {
+    Record record;
+    record.components = {i + 1};
+    record.pred = i == 0 ? kInvalidLid : order[i - 1];
+    record.succ = i + 1 == order.size() ? kInvalidLid : order[i + 1];
+    BOXES_RETURN_IF_ERROR(WriteRecord(order[i], record));
+  }
+  head_ = order.empty() ? kInvalidLid : order.front();
+  tail_ = order.empty() ? kInvalidLid : order.back();
+  if (lids_out != nullptr) {
+    *lids_out = std::move(lids);
+  }
+  return Status::OK();
+}
+
+Status OrdpathScheme::DeleteSubtree(Lid root_start, Lid root_end) {
+  // Walk the list from root_start through root_end, unlinking the whole
+  // range at once.
+  BOXES_ASSIGN_OR_RETURN(const Record first, ReadRecord(root_start));
+  BOXES_ASSIGN_OR_RETURN(const Record last, ReadRecord(root_end));
+  // The list is label-ordered, so label order validates the range before
+  // anything is freed.
+  if (!(Label::FromComponents(first.components) <
+        Label::FromComponents(last.components))) {
+    return Status::InvalidArgument(
+        "root_start must precede root_end in document order");
+  }
+  // Free everything in between (inclusive).
+  const uint64_t initial_live = lidf_.live_records();
+  Lid cursor = root_start;
+  uint64_t guard = 0;
+  for (;;) {
+    BOXES_CHECK(++guard <= initial_live);
+    BOXES_ASSIGN_OR_RETURN(const Record record, ReadRecord(cursor));
+    const Lid next = record.succ;
+    BOXES_RETURN_IF_ERROR(lidf_.Free(cursor));
+    if (cursor == root_end) {
+      break;
+    }
+    cursor = next;
+  }
+  if (first.pred != kInvalidLid) {
+    BOXES_ASSIGN_OR_RETURN(Record pred_record, ReadRecord(first.pred));
+    pred_record.succ = last.succ;
+    BOXES_RETURN_IF_ERROR(WriteRecord(first.pred, pred_record));
+  } else {
+    head_ = last.succ;
+  }
+  if (last.succ != kInvalidLid) {
+    BOXES_ASSIGN_OR_RETURN(Record succ_record, ReadRecord(last.succ));
+    succ_record.pred = first.pred;
+    BOXES_RETURN_IF_ERROR(WriteRecord(last.succ, succ_record));
+  } else {
+    tail_ = first.pred;
+  }
+  return Status::OK();
+}
+
+StatusOr<SchemeStats> OrdpathScheme::GetStats() {
+  SchemeStats stats;
+  stats.height = 0;
+  stats.index_pages = 0;
+  stats.lidf_pages = lidf_.page_count();
+  stats.live_labels = lidf_.live_records();
+  stats.max_label_bits = max_encoded_bytes_ * 8;
+  return stats;
+}
+
+Status OrdpathScheme::CheckInvariants() {
+  if (lidf_.live_records() == 0) {
+    if (head_ != kInvalidLid || tail_ != kInvalidLid) {
+      return Status::Corruption("empty ORDPATH scheme has list endpoints");
+    }
+    return Status::OK();
+  }
+  // Walk the list: links symmetric, labels strictly increasing, every live
+  // record visited exactly once.
+  uint64_t visited = 0;
+  Lid cursor = head_;
+  Lid previous = kInvalidLid;
+  Label previous_label;
+  while (cursor != kInvalidLid) {
+    if (++visited > lidf_.live_records()) {
+      return Status::Corruption("ORDPATH list does not terminate");
+    }
+    BOXES_ASSIGN_OR_RETURN(const Record record, ReadRecord(cursor));
+    if (record.pred != previous) {
+      return Status::Corruption("ORDPATH pred link mismatch");
+    }
+    const Label label = Label::FromComponents(record.components);
+    if (previous != kInvalidLid && !(previous_label < label)) {
+      return Status::Corruption("ORDPATH labels not strictly increasing");
+    }
+    previous_label = label;
+    previous = cursor;
+    cursor = record.succ;
+  }
+  if (previous != tail_) {
+    return Status::Corruption("ORDPATH tail mismatch");
+  }
+  if (visited != lidf_.live_records()) {
+    return Status::Corruption("ORDPATH list skips live records");
+  }
+  return Status::OK();
+}
+
+}  // namespace boxes

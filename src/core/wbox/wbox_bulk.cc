@@ -1,0 +1,421 @@
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "core/wbox/wbox.h"
+#include "storage/metadata_io.h"
+#include "util/coding.h"
+
+namespace boxes {
+
+// ---------------------------------------------------------------------------
+// Traversal helpers
+
+Status WBox::CollectLiveRecords(PageId page, uint32_t level,
+                                std::vector<FlatRecord>* out) {
+  BOXES_ASSIGN_OR_RETURN(uint8_t* data, cache_->GetPage(page));
+  if (level == 0) {
+    WBoxLeafView leaf(data, &params_);
+    const uint16_t n = leaf.count();
+    for (uint16_t i = 0; i < n; ++i) {
+      if (!leaf.is_tombstone(i)) {
+        out->push_back({leaf.lid(i), leaf.is_end_label(i)});
+      }
+    }
+    return Status::OK();
+  }
+  WBoxInternalView node(data, &params_);
+  const uint16_t n = node.count();
+  // Child pages must be re-read per iteration because GetPage pointers can
+  // alias; copy the child list first.
+  std::vector<PageId> children;
+  children.reserve(n);
+  for (uint16_t i = 0; i < n; ++i) {
+    children.push_back(node.child(i));
+  }
+  for (PageId child : children) {
+    BOXES_RETURN_IF_ERROR(CollectLiveRecords(child, level - 1, out));
+  }
+  return Status::OK();
+}
+
+Status WBox::FreeSubtree(PageId page, uint32_t level) {
+  if (level > 0) {
+    BOXES_ASSIGN_OR_RETURN(uint8_t* data, cache_->GetPage(page));
+    WBoxInternalView node(data, &params_);
+    const uint16_t n = node.count();
+    std::vector<PageId> children;
+    children.reserve(n);
+    for (uint16_t i = 0; i < n; ++i) {
+      children.push_back(node.child(i));
+    }
+    for (PageId child : children) {
+      BOXES_RETURN_IF_ERROR(FreeSubtree(child, level - 1));
+    }
+  }
+  return cache_->FreePage(page);
+}
+
+// ---------------------------------------------------------------------------
+// Construction
+
+Status WBox::BuildLeaves(const std::vector<FlatRecord>& records,
+                         std::vector<ChildInfo>* leaves) {
+  const uint64_t n = records.size();
+  if (n == 0) {
+    return Status::OK();
+  }
+  uint64_t fill = static_cast<uint64_t>(
+      static_cast<double>(params_.leaf_capacity) *
+      options_.bulk_fill_fraction);
+  fill = std::clamp<uint64_t>(fill, 1, params_.leaf_capacity);
+  const uint64_t min_leaf = params_.MinWeightExclusive(0) + 1;
+
+  // Pre-compute chunk sizes so that no leaf (except a lone root leaf)
+  // under-fills: a short tail is absorbed into the previous chunk when the
+  // sum fits one leaf, and split evenly otherwise (even halves of a sum
+  // above capacity stay above capacity/2 >= the minimum).
+  std::vector<uint64_t> chunks;
+  uint64_t full = n / fill;
+  uint64_t rem = n % fill;
+  for (uint64_t i = 0; i < full; ++i) {
+    chunks.push_back(fill);
+  }
+  if (rem > 0) {
+    if (!chunks.empty() && rem < min_leaf) {
+      const uint64_t total = chunks.back() + rem;
+      if (total <= params_.leaf_capacity) {
+        chunks.back() = total;
+      } else {
+        chunks.back() = total / 2;
+        chunks.push_back(total - total / 2);
+      }
+    } else {
+      chunks.push_back(rem);
+    }
+  }
+
+  uint64_t index = 0;
+  for (uint64_t chunk : chunks) {
+    uint8_t* data = nullptr;
+    BOXES_ASSIGN_OR_RETURN(const PageId page, cache_->AllocatePage(&data));
+    WBoxLeafView leaf(data, &params_);
+    leaf.Init();
+    for (uint64_t i = 0; i < chunk; ++i, ++index) {
+      leaf.InsertRecordAt(static_cast<uint16_t>(i), records[index].lid,
+                          records[index].is_end ? WBoxLeafView::kFlagIsEnd
+                                                : 0);
+      BOXES_RETURN_IF_ERROR(lidf_.WriteBlockPtr(records[index].lid, page));
+    }
+    leaves->push_back({page, chunk, chunk});
+  }
+  return Status::OK();
+}
+
+Status WBox::BuildInternalLevels(std::vector<ChildInfo> children,
+                                 uint32_t child_level, ChildInfo* top,
+                                 uint32_t* top_level) {
+  BOXES_CHECK(!children.empty());
+  uint32_t level = child_level;
+  while (children.size() > 1) {
+    ++level;
+    const uint64_t target = params_.MaxWeight(level) * 3 / 4;
+    const uint64_t min_weight = params_.MinWeightExclusive(level);
+    // Weight-driven grouping into [first, last) index ranges.
+    std::vector<std::pair<size_t, size_t>> groups;
+    size_t first = 0;
+    uint64_t group_weight = 0;
+    for (size_t i = 0; i < children.size(); ++i) {
+      if (i > first && group_weight + children[i].weight > target) {
+        groups.push_back({first, i});
+        first = i;
+        group_weight = 0;
+      }
+      group_weight += children[i].weight;
+    }
+    groups.push_back({first, children.size()});
+    // Balance an under-weight tail (only possible when >= 2 groups exist):
+    // merge it with the previous group; if the merge would overflow, split
+    // the merged child run evenly by weight.
+    if (groups.size() > 1 && group_weight <= min_weight) {
+      const auto tail = groups.back();
+      groups.pop_back();
+      auto& prev = groups.back();
+      prev.second = tail.second;
+      uint64_t merged = 0;
+      for (size_t i = prev.first; i < prev.second; ++i) {
+        merged += children[i].weight;
+      }
+      if (merged >= params_.MaxWeight(level)) {
+        uint64_t acc = 0;
+        size_t split = prev.first;
+        while (split < prev.second && acc < merged / 2) {
+          acc += children[split].weight;
+          ++split;
+        }
+        const size_t end = prev.second;
+        prev.second = split;
+        groups.push_back({split, end});
+      }
+    }
+
+    std::vector<ChildInfo> parents;
+    parents.reserve(groups.size());
+    for (const auto& [lo, hi] : groups) {
+      uint8_t* data = nullptr;
+      BOXES_ASSIGN_OR_RETURN(const PageId page, cache_->AllocatePage(&data));
+      WBoxInternalView node(data, &params_);
+      node.Init(static_cast<uint8_t>(level));
+      uint64_t weight = 0;
+      uint64_t live = 0;
+      for (size_t i = lo; i < hi; ++i) {
+        node.InsertEntryAt(
+            static_cast<uint16_t>(i - lo), children[i].page,
+            children[i].weight,
+            options_.maintain_ordinal ? children[i].live : 0,
+            /*subrange=*/0);  // assigned by AssignRanges
+        weight += children[i].weight;
+        live += children[i].live;
+      }
+      node.set_self_weight(weight);
+      parents.push_back({page, weight, live});
+    }
+    children = std::move(parents);
+  }
+  *top = children[0];
+  *top_level = level;
+  return Status::OK();
+}
+
+Status WBox::AssignRanges(PageId page, uint32_t level, uint64_t lo,
+                          bool fix_pairs) {
+  BOXES_ASSIGN_OR_RETURN(uint8_t* data, cache_->GetPageForWrite(page));
+  if (level == 0) {
+    WBoxLeafView leaf(data, &params_);
+    leaf.set_range_lo(lo);
+    if (fix_pairs) {
+      return FixPairCachesForSlots(page, 0, INT32_MAX);
+    }
+    return Status::OK();
+  }
+  WBoxInternalView node(data, &params_);
+  node.set_range_lo(lo);
+  const uint16_t n = node.count();
+  const uint64_t child_len = params_.RangeLength(level - 1);
+  std::vector<std::pair<PageId, uint64_t>> plan;
+  plan.reserve(n);
+  for (uint16_t i = 0; i < n; ++i) {
+    const uint16_t sub = static_cast<uint16_t>(
+        (static_cast<uint64_t>(i) * params_.b) / n);
+    node.set_subrange(i, sub);
+    plan.push_back({node.child(i), lo + sub * child_len});
+  }
+  for (const auto& [child, child_lo] : plan) {
+    BOXES_RETURN_IF_ERROR(AssignRanges(child, level - 1, child_lo, fix_pairs));
+  }
+  return Status::OK();
+}
+
+Status WBox::BuildSubtreeAtLevel(std::vector<ChildInfo> children,
+                                 uint32_t child_level, uint32_t target_level,
+                                 uint64_t range_lo, ChildInfo* top) {
+  BOXES_CHECK(!children.empty());
+  ChildInfo built;
+  uint32_t built_level = child_level;
+  if (children.size() == 1) {
+    built = children[0];
+  } else {
+    BOXES_RETURN_IF_ERROR(
+        BuildInternalLevels(std::move(children), child_level, &built,
+                            &built_level));
+  }
+  BOXES_CHECK(built_level <= target_level);
+  // Wrap in single-child chain nodes up to the target level. Feasible
+  // because the caller guarantees the total weight meets the target level's
+  // minimum, which dominates every intermediate level's minimum.
+  while (built_level < target_level) {
+    ++built_level;
+    uint8_t* data = nullptr;
+    BOXES_ASSIGN_OR_RETURN(const PageId page, cache_->AllocatePage(&data));
+    WBoxInternalView node(data, &params_);
+    node.Init(static_cast<uint8_t>(built_level));
+    node.InsertEntryAt(0, built.page, built.weight,
+                       options_.maintain_ordinal ? built.live : 0, 0);
+    node.set_self_weight(built.weight);
+    built = {page, built.weight, built.live};
+  }
+  BOXES_RETURN_IF_ERROR(
+      AssignRanges(built.page, target_level, range_lo, /*fix_pairs=*/true));
+  *top = built;
+  return Status::OK();
+}
+
+Status WBox::BuildFromFlat(const std::vector<FlatRecord>& records) {
+  live_labels_ = records.size();
+  tombstones_ = 0;
+  if (records.empty()) {
+    root_ = kInvalidPageId;
+    height_ = 0;
+    return Status::OK();
+  }
+  std::vector<ChildInfo> leaves;
+  BOXES_RETURN_IF_ERROR(BuildLeaves(records, &leaves));
+  if (leaves.size() == 1) {
+    root_ = leaves[0].page;
+    height_ = 1;
+    BOXES_RETURN_IF_ERROR(AssignRanges(root_, 0, 0, /*fix_pairs=*/false));
+  } else {
+    ChildInfo top;
+    uint32_t top_level = 0;
+    BOXES_RETURN_IF_ERROR(
+        BuildInternalLevels(std::move(leaves), 0, &top, &top_level));
+    root_ = top.page;
+    height_ = top_level + 1;
+    BOXES_RETURN_IF_ERROR(
+        AssignRanges(root_, top_level, 0, /*fix_pairs=*/false));
+  }
+  return LinkPairsInOrder(records);
+}
+
+Status WBox::LinkPairsInOrder(const std::vector<FlatRecord>& records) {
+  if (!options_.pair_mode) {
+    return Status::OK();
+  }
+  // Balanced-parenthesis matching over the record sequence identifies each
+  // start/end pair; link them directly.
+  std::vector<Lid> stack;
+  for (const FlatRecord& record : records) {
+    if (!record.is_end) {
+      stack.push_back(record.lid);
+    } else if (!stack.empty()) {
+      const Lid start_lid = stack.back();
+      stack.pop_back();
+      if (start_lid + 1 == record.lid) {
+        BOXES_RETURN_IF_ERROR(LinkPair(start_lid, record.lid));
+      }
+      // Mismatched LIDs indicate a half-deleted element; leave unlinked.
+    }
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Bulk load and global rebuilding
+
+Status WBox::FlattenDocument(const xml::Document& doc,
+                             std::vector<FlatRecord>* records,
+                             std::vector<NewElement>* lids_out) {
+  records->reserve(records->size() + doc.tag_count());
+  std::vector<NewElement> lids(doc.element_count());
+  Status status = Status::OK();
+  doc.ForEachTag([&](xml::ElementId id, bool is_start) {
+    if (!status.ok()) {
+      return;
+    }
+    if (is_start) {
+      StatusOr<std::pair<Lid, Lid>> pair = lidf_.AllocatePair();
+      if (!pair.ok()) {
+        status = pair.status();
+        return;
+      }
+      lids[id] = NewElement{pair->first, pair->second};
+      records->push_back({pair->first, false});
+    } else {
+      records->push_back({lids[id].end, true});
+    }
+  });
+  BOXES_RETURN_IF_ERROR(status);
+  if (lids_out != nullptr) {
+    *lids_out = std::move(lids);
+  }
+  return Status::OK();
+}
+
+Status WBox::BulkLoad(const xml::Document& doc,
+                      std::vector<NewElement>* lids_out) {
+  if (root_ != kInvalidPageId) {
+    return Status::FailedPrecondition(
+        "BulkLoad requires an empty W-BOX");
+  }
+  moved_in_op_.clear();
+  std::vector<FlatRecord> records;
+  BOXES_RETURN_IF_ERROR(FlattenDocument(doc, &records, lids_out));
+  return BuildFromFlat(records);
+}
+
+Status WBox::GlobalRebuild() {
+  std::vector<FlatRecord> records;
+  records.reserve(live_labels_);
+  BOXES_RETURN_IF_ERROR(CollectLiveRecords(root_, height_ - 1, &records));
+  BOXES_RETURN_IF_ERROR(FreeSubtree(root_, height_ - 1));
+  root_ = kInvalidPageId;
+  height_ = 0;
+  BOXES_RETURN_IF_ERROR(BuildFromFlat(records));
+  ++rebuild_count_;
+  if (listener_ != nullptr) {
+    listener_->OnInvalidateRange(Label::FromScalar(0),
+                                 Label::FromScalar(UINT64_MAX));
+  }
+  return Status::OK();
+}
+
+namespace {
+constexpr uint64_t kWBoxCheckpointMagic = 0x31584f4257ULL;  // "WBOX1"
+}  // namespace
+
+StatusOr<PageId> WBox::Checkpoint() {
+  MetadataWriter writer;
+  writer.PutU64(kWBoxCheckpointMagic);
+  writer.PutU32(options_.pair_mode ? 1 : 0);
+  writer.PutU32(options_.maintain_ordinal ? 1 : 0);
+  writer.PutU64(cache_->page_size());
+  writer.PutU64(root_);
+  writer.PutU64(height_);
+  writer.PutU64(live_labels_);
+  writer.PutU64(tombstones_);
+  writer.PutU64(rebuild_count_);
+  lidf_.SaveState(&writer);
+  return writer.Finish(cache_);
+}
+
+Status WBox::Restore(PageId checkpoint_head) {
+  if (root_ != kInvalidPageId || live_labels_ != 0) {
+    return Status::FailedPrecondition("Restore requires an empty W-BOX");
+  }
+  BOXES_ASSIGN_OR_RETURN(MetadataReader reader,
+                         MetadataReader::Load(cache_, checkpoint_head));
+  BOXES_ASSIGN_OR_RETURN(const uint64_t magic, reader.GetU64());
+  if (magic != kWBoxCheckpointMagic) {
+    return Status::Corruption("not a W-BOX checkpoint");
+  }
+  BOXES_ASSIGN_OR_RETURN(const uint32_t pair_mode, reader.GetU32());
+  BOXES_ASSIGN_OR_RETURN(const uint32_t ordinal, reader.GetU32());
+  BOXES_ASSIGN_OR_RETURN(const uint64_t page_size, reader.GetU64());
+  if ((pair_mode != 0) != options_.pair_mode ||
+      (ordinal != 0) != options_.maintain_ordinal ||
+      page_size != cache_->page_size()) {
+    return Status::InvalidArgument(
+        "checkpoint options do not match this W-BOX");
+  }
+  BOXES_ASSIGN_OR_RETURN(root_, reader.GetU64());
+  BOXES_ASSIGN_OR_RETURN(const uint64_t height, reader.GetU64());
+  height_ = static_cast<uint32_t>(height);
+  BOXES_ASSIGN_OR_RETURN(live_labels_, reader.GetU64());
+  BOXES_ASSIGN_OR_RETURN(tombstones_, reader.GetU64());
+  BOXES_ASSIGN_OR_RETURN(rebuild_count_, reader.GetU64());
+  return lidf_.LoadState(&reader);
+}
+
+Status WBox::MaybeGlobalRebuild() {
+  const uint64_t total = live_labels_ + tombstones_;
+  if (total < options_.min_rebuild_records) {
+    return Status::OK();
+  }
+  if (static_cast<double>(tombstones_) <
+      options_.rebuild_tombstone_ratio * static_cast<double>(live_labels_)) {
+    return Status::OK();
+  }
+  return GlobalRebuild();
+}
+
+}  // namespace boxes

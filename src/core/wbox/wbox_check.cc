@@ -1,0 +1,203 @@
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/wbox/wbox.h"
+
+namespace boxes {
+
+namespace {
+
+constexpr uint8_t kFlagPaired = 4;  // mirrors wbox.cc
+
+Status Fail(const std::string& what, PageId page) {
+  return Status::Corruption("W-BOX invariant violated at page " +
+                            std::to_string(page) + ": " + what);
+}
+
+}  // namespace
+
+/// Exhaustively verifies the structural invariants of §4: node layout,
+/// weight constraints, range/subrange consistency, LIDF back-pointers,
+/// size-field sums, and pair-cache coherence (W-BOX-O).
+Status WBox::CheckInvariants() {
+  if (root_ == kInvalidPageId) {
+    if (height_ != 0 || live_labels_ != 0 || tombstones_ != 0) {
+      return Status::Corruption("empty W-BOX has nonzero counters");
+    }
+    return Status::OK();
+  }
+  if (height_ == 0) {
+    return Status::Corruption("non-empty W-BOX has zero height");
+  }
+
+  struct Totals {
+    uint64_t weight = 0;
+    uint64_t live = 0;
+  };
+
+  // Recursive verification via an explicit lambda.
+  std::function<Status(PageId, uint32_t, uint64_t, bool, Totals*)> check =
+      [&](PageId page, uint32_t level, uint64_t expected_lo, bool is_root,
+          Totals* totals) -> Status {
+    BOXES_ASSIGN_OR_RETURN(uint8_t* data, cache_->GetPage(page));
+    if (level == 0) {
+      WBoxLeafView leaf(data, &params_);
+      if (leaf.node_type() != WBoxLeafView::kNodeType) {
+        return Fail("expected a leaf node", page);
+      }
+      if (leaf.range_lo() != expected_lo) {
+        return Fail("leaf range_lo mismatch", page);
+      }
+      const uint16_t n = leaf.count();
+      if (n > params_.leaf_capacity) {
+        return Fail("leaf over capacity", page);
+      }
+      if (n == 0 && !is_root) {
+        return Fail("empty non-root leaf", page);
+      }
+      if (!is_root) {
+        if (n <= params_.MinWeightExclusive(0)) {
+          return Fail("leaf under minimum weight", page);
+        }
+        if (n >= params_.MaxWeight(0)) {
+          return Fail("leaf over maximum weight", page);
+        }
+      }
+      uint16_t live = 0;
+      for (uint16_t i = 0; i < n; ++i) {
+        if (leaf.is_tombstone(i)) {
+          continue;
+        }
+        ++live;
+        const Lid lid = leaf.lid(i);
+        if (!lidf_.IsLive(lid)) {
+          return Fail("record LID " + std::to_string(lid) + " not live",
+                      page);
+        }
+        BOXES_ASSIGN_OR_RETURN(const PageId back, lidf_.ReadBlockPtr(lid));
+        if (back != page) {
+          return Fail("LIDF back-pointer of LID " + std::to_string(lid) +
+                          " does not point here",
+                      page);
+        }
+        if (params_.pair_mode && (leaf.flags(i) & kFlagPaired) != 0) {
+          const Lid partner_lid =
+              leaf.is_end_label(i) ? lid - 1 : lid + 1;
+          const PageId partner_page = leaf.partner_block(i);
+          BOXES_ASSIGN_OR_RETURN(uint8_t* partner_data,
+                                 cache_->GetPage(partner_page));
+          WBoxLeafView partner(partner_data, &params_);
+          const int slot = partner.FindLive(partner_lid);
+          if (slot < 0) {
+            return Fail("pair partner of LID " + std::to_string(lid) +
+                            " missing",
+                        page);
+          }
+          if (!leaf.is_end_label(i)) {
+            // Re-establish this leaf's view (aliasing-safe: frames stable).
+            if (leaf.cached_end(i) !=
+                partner.LabelAt(static_cast<uint16_t>(slot))) {
+              return Fail("stale cached end value for LID " +
+                              std::to_string(lid),
+                          page);
+            }
+          }
+        }
+      }
+      if (live != leaf.live_count()) {
+        return Fail("leaf live_count mismatch", page);
+      }
+      totals->weight = n;
+      totals->live = live;
+      return Status::OK();
+    }
+
+    WBoxInternalView node(data, &params_);
+    if (node.node_type() != WBoxInternalView::kNodeType) {
+      return Fail("expected an internal node", page);
+    }
+    if (node.level() != level) {
+      return Fail("level byte mismatch", page);
+    }
+    if (node.range_lo() != expected_lo) {
+      return Fail("internal range_lo mismatch", page);
+    }
+    const uint16_t n = node.count();
+    if (n == 0 || (is_root && n < 2)) {
+      return Fail("internal node under-fanned", page);
+    }
+    if (n > params_.b) {
+      return Fail("internal node over maximum fan-out", page);
+    }
+    const uint64_t child_len = params_.RangeLength(level - 1);
+    uint64_t weight_sum = 0;
+    uint64_t live_sum = 0;
+    // Copy the entry table before recursing: GetPage pointers may alias.
+    struct Entry {
+      PageId child;
+      uint64_t weight;
+      uint64_t size;
+      uint16_t subrange;
+    };
+    std::vector<Entry> entries;
+    entries.reserve(n);
+    for (uint16_t i = 0; i < n; ++i) {
+      entries.push_back(
+          {node.child(i), node.weight(i), node.size(i), node.subrange(i)});
+    }
+    const uint64_t self_weight = node.self_weight();
+    const uint64_t node_lo = node.range_lo();
+    for (uint16_t i = 0; i < n; ++i) {
+      if (entries[i].subrange >= params_.b) {
+        return Fail("subrange out of bounds", page);
+      }
+      if (i > 0 && entries[i].subrange <= entries[i - 1].subrange) {
+        return Fail("subranges not strictly increasing", page);
+      }
+      Totals child_totals;
+      BOXES_RETURN_IF_ERROR(check(entries[i].child, level - 1,
+                                  node_lo + entries[i].subrange * child_len,
+                                  /*is_root=*/false, &child_totals));
+      if (child_totals.weight != entries[i].weight) {
+        return Fail("entry weight does not match child subtree", page);
+      }
+      if (options_.maintain_ordinal &&
+          child_totals.live != entries[i].size) {
+        return Fail("entry size does not match child live count", page);
+      }
+      weight_sum += child_totals.weight;
+      live_sum += child_totals.live;
+    }
+    if (weight_sum != self_weight) {
+      return Fail("self_weight does not equal entry sum", page);
+    }
+    if (!is_root) {
+      if (self_weight <= params_.MinWeightExclusive(level)) {
+        return Fail("internal node under minimum weight", page);
+      }
+    }
+    if (self_weight >= params_.MaxWeight(level)) {
+      return Fail("internal node over maximum weight", page);
+    }
+    totals->weight = weight_sum;
+    totals->live = live_sum;
+    return Status::OK();
+  };
+
+  Totals totals;
+  BOXES_RETURN_IF_ERROR(
+      check(root_, height_ - 1, 0, /*is_root=*/true, &totals));
+  if (totals.weight != live_labels_ + tombstones_) {
+    return Status::Corruption("total weight does not match counters");
+  }
+  if (totals.live != live_labels_) {
+    return Status::Corruption("total live count does not match counters");
+  }
+  if (lidf_.live_records() != live_labels_) {
+    return Status::Corruption("LIDF live record count mismatch");
+  }
+  return Status::OK();
+}
+
+}  // namespace boxes

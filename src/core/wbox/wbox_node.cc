@@ -1,0 +1,378 @@
+#include "core/wbox/wbox_node.h"
+
+#include <cstring>
+
+#include "util/coding.h"
+
+namespace boxes {
+
+WBoxParams WBoxParams::Derive(size_t page_size, bool pair_mode) {
+  WBoxParams p;
+  p.page_size = page_size;
+  p.pair_mode = pair_mode;
+  p.leaf_record_size = pair_mode ? 25 : 9;
+  uint64_t capacity =
+      (page_size - WBoxLeafView::kHeaderSize) / p.leaf_record_size;
+  if (capacity % 2 == 0) {
+    --capacity;  // leaf capacity is 2k - 1, which must be odd
+  }
+  p.leaf_capacity = capacity;
+  p.k = (capacity + 1) / 2;
+  p.b = (page_size - WBoxInternalView::kHeaderSize) /
+        WBoxInternalView::kEntrySize;
+  BOXES_CHECK(p.b >= 24);  // ensures a >= 10, required by Lemma 4.1
+  p.a = p.b / 2 - 2;
+  return p;
+}
+
+uint64_t WBoxParams::MaxWeight(uint32_t level) const {
+  uint64_t w = 2 * k;
+  for (uint32_t i = 0; i < level; ++i) {
+    BOXES_CHECK(w <= UINT64_MAX / a);
+    w *= a;
+  }
+  return w;
+}
+
+uint64_t WBoxParams::MinWeightExclusive(uint32_t level) const {
+  if (level == 0) {
+    // Leaf bound: analogous a^0 k - 2 a^{-1} k = k - 2k/a.
+    return k - (2 * k) / a;
+  }
+  // a^i k - 2 a^{i-1} k = a^{i-1} k (a - 2).
+  uint64_t w = k * (a - 2);
+  for (uint32_t i = 1; i < level; ++i) {
+    BOXES_CHECK(w <= UINT64_MAX / a);
+    w *= a;
+  }
+  return w;
+}
+
+uint64_t WBoxParams::RangeLength(uint32_t level) const {
+  uint64_t len = leaf_capacity;
+  for (uint32_t i = 0; i < level; ++i) {
+    BOXES_CHECK(len <= UINT64_MAX / b);
+    len *= b;
+  }
+  return len;
+}
+
+// ---------------------------------------------------------------------------
+// WBoxLeafView
+
+void WBoxLeafView::Init() {
+  std::memset(data_, 0, kHeaderSize);
+  data_[0] = kNodeType;
+}
+
+uint16_t WBoxLeafView::count() const { return DecodeFixed16(data_ + 2); }
+void WBoxLeafView::set_count(uint16_t value) {
+  EncodeFixed16(data_ + 2, value);
+}
+uint16_t WBoxLeafView::live_count() const { return DecodeFixed16(data_ + 4); }
+void WBoxLeafView::set_live_count(uint16_t value) {
+  EncodeFixed16(data_ + 4, value);
+}
+uint64_t WBoxLeafView::range_lo() const { return DecodeFixed64(data_ + 8); }
+void WBoxLeafView::set_range_lo(uint64_t lo) { EncodeFixed64(data_ + 8, lo); }
+
+uint8_t* WBoxLeafView::record_ptr(uint16_t index) {
+  return data_ + kHeaderSize + index * params_->leaf_record_size;
+}
+const uint8_t* WBoxLeafView::record_ptr(uint16_t index) const {
+  return data_ + kHeaderSize + index * params_->leaf_record_size;
+}
+
+Lid WBoxLeafView::lid(uint16_t index) const {
+  return DecodeFixed64(record_ptr(index));
+}
+uint8_t WBoxLeafView::flags(uint16_t index) const {
+  return record_ptr(index)[8];
+}
+PageId WBoxLeafView::partner_block(uint16_t index) const {
+  BOXES_CHECK(params_->pair_mode);
+  return DecodeFixed64(record_ptr(index) + 9);
+}
+uint64_t WBoxLeafView::cached_end(uint16_t index) const {
+  BOXES_CHECK(params_->pair_mode);
+  return DecodeFixed64(record_ptr(index) + 17);
+}
+void WBoxLeafView::set_partner_block(uint16_t index, PageId block) {
+  BOXES_CHECK(params_->pair_mode);
+  EncodeFixed64(record_ptr(index) + 9, block);
+}
+void WBoxLeafView::set_cached_end(uint16_t index, uint64_t value) {
+  BOXES_CHECK(params_->pair_mode);
+  EncodeFixed64(record_ptr(index) + 17, value);
+}
+
+int WBoxLeafView::FindLive(Lid lid_value) const {
+  const uint16_t n = count();
+  for (uint16_t i = 0; i < n; ++i) {
+    if (!is_tombstone(i) && lid(i) == lid_value) {
+      return i;
+    }
+  }
+  return -1;
+}
+
+int WBoxLeafView::FindTombstone() const {
+  const uint16_t n = count();
+  for (uint16_t i = 0; i < n; ++i) {
+    if (is_tombstone(i)) {
+      return i;
+    }
+  }
+  return -1;
+}
+
+void WBoxLeafView::InsertRecordAt(uint16_t index, Lid lid_value,
+                                  uint8_t flag_bits) {
+  const uint16_t n = count();
+  BOXES_CHECK(n < params_->leaf_capacity);
+  BOXES_CHECK(index <= n);
+  const size_t rs = params_->leaf_record_size;
+  std::memmove(record_ptr(index) + rs, record_ptr(index), (n - index) * rs);
+  std::memset(record_ptr(index), 0, rs);
+  EncodeFixed64(record_ptr(index), lid_value);
+  record_ptr(index)[8] = flag_bits;
+  set_count(n + 1);
+  if ((flag_bits & kFlagTombstone) == 0) {
+    set_live_count(live_count() + 1);
+  }
+}
+
+void WBoxLeafView::RemoveRecordAt(uint16_t index) {
+  RemoveRecordRange(index, index);
+}
+
+void WBoxLeafView::RemoveRecordRange(uint16_t first, uint16_t last) {
+  const uint16_t n = count();
+  BOXES_CHECK(first <= last && last < n);
+  uint16_t removed_live = 0;
+  for (uint16_t i = first; i <= last; ++i) {
+    if (!is_tombstone(i)) {
+      ++removed_live;
+    }
+  }
+  const size_t rs = params_->leaf_record_size;
+  std::memmove(record_ptr(first), record_ptr(last + 1),
+               (n - last - 1) * rs);
+  set_count(n - (last - first + 1));
+  set_live_count(live_count() - removed_live);
+}
+
+void WBoxLeafView::SetTombstone(uint16_t index, bool tombstone) {
+  uint8_t f = flags(index);
+  const bool was = (f & kFlagTombstone) != 0;
+  if (was == tombstone) {
+    return;
+  }
+  if (tombstone) {
+    f |= kFlagTombstone;
+    set_live_count(live_count() - 1);
+  } else {
+    f &= static_cast<uint8_t>(~kFlagTombstone);
+    set_live_count(live_count() + 1);
+  }
+  record_ptr(index)[8] = f;
+}
+
+void WBoxLeafView::MoveSuffixTo(uint16_t from, WBoxLeafView* dst) {
+  const uint16_t n = count();
+  BOXES_CHECK(from <= n);
+  const uint16_t moving = n - from;
+  const uint16_t dst_n = dst->count();
+  BOXES_CHECK(dst_n + moving <= params_->leaf_capacity);
+  const size_t rs = params_->leaf_record_size;
+  std::memcpy(dst->record_ptr(dst_n), record_ptr(from), moving * rs);
+  uint16_t moved_live = 0;
+  for (uint16_t i = from; i < n; ++i) {
+    if (!is_tombstone(i)) {
+      ++moved_live;
+    }
+  }
+  dst->set_count(dst_n + moving);
+  dst->set_live_count(dst->live_count() + moved_live);
+  set_count(from);
+  set_live_count(live_count() - moved_live);
+}
+
+void WBoxLeafView::MoveSuffixToFront(uint16_t from, WBoxLeafView* dst) {
+  const uint16_t n = count();
+  BOXES_CHECK(from <= n);
+  const uint16_t moving = n - from;
+  const uint16_t dst_n = dst->count();
+  BOXES_CHECK(dst_n + moving <= params_->leaf_capacity);
+  const size_t rs = params_->leaf_record_size;
+  std::memmove(dst->record_ptr(moving), dst->record_ptr(0), dst_n * rs);
+  std::memcpy(dst->record_ptr(0), record_ptr(from), moving * rs);
+  uint16_t moved_live = 0;
+  for (uint16_t i = from; i < n; ++i) {
+    if (!is_tombstone(i)) {
+      ++moved_live;
+    }
+  }
+  dst->set_count(dst_n + moving);
+  dst->set_live_count(dst->live_count() + moved_live);
+  set_count(from);
+  set_live_count(live_count() - moved_live);
+}
+
+void WBoxLeafView::MovePrefixTo(uint16_t n_moving, WBoxLeafView* dst) {
+  const uint16_t n = count();
+  BOXES_CHECK(n_moving <= n);
+  const uint16_t dst_n = dst->count();
+  BOXES_CHECK(dst_n + n_moving <= params_->leaf_capacity);
+  const size_t rs = params_->leaf_record_size;
+  std::memcpy(dst->record_ptr(dst_n), record_ptr(0), n_moving * rs);
+  uint16_t moved_live = 0;
+  for (uint16_t i = 0; i < n_moving; ++i) {
+    if (!is_tombstone(i)) {
+      ++moved_live;
+    }
+  }
+  std::memmove(record_ptr(0), record_ptr(n_moving), (n - n_moving) * rs);
+  dst->set_count(dst_n + n_moving);
+  dst->set_live_count(dst->live_count() + moved_live);
+  set_count(n - n_moving);
+  set_live_count(live_count() - moved_live);
+}
+
+// ---------------------------------------------------------------------------
+// WBoxInternalView
+
+void WBoxInternalView::Init(uint8_t level) {
+  std::memset(data_, 0, kHeaderSize);
+  data_[0] = kNodeType;
+  data_[1] = level;
+}
+
+uint16_t WBoxInternalView::count() const { return DecodeFixed16(data_ + 2); }
+void WBoxInternalView::set_count(uint16_t value) {
+  EncodeFixed16(data_ + 2, value);
+}
+uint64_t WBoxInternalView::range_lo() const {
+  return DecodeFixed64(data_ + 8);
+}
+void WBoxInternalView::set_range_lo(uint64_t lo) {
+  EncodeFixed64(data_ + 8, lo);
+}
+uint64_t WBoxInternalView::self_weight() const {
+  return DecodeFixed64(data_ + 16);
+}
+void WBoxInternalView::set_self_weight(uint64_t w) {
+  EncodeFixed64(data_ + 16, w);
+}
+
+uint8_t* WBoxInternalView::entry_ptr(uint16_t index) {
+  return data_ + kHeaderSize + index * kEntrySize;
+}
+const uint8_t* WBoxInternalView::entry_ptr(uint16_t index) const {
+  return data_ + kHeaderSize + index * kEntrySize;
+}
+
+PageId WBoxInternalView::child(uint16_t index) const {
+  return DecodeFixed64(entry_ptr(index));
+}
+uint64_t WBoxInternalView::weight(uint16_t index) const {
+  return DecodeFixed64(entry_ptr(index) + 8);
+}
+uint64_t WBoxInternalView::size(uint16_t index) const {
+  return DecodeFixed64(entry_ptr(index) + 16);
+}
+uint16_t WBoxInternalView::subrange(uint16_t index) const {
+  return DecodeFixed16(entry_ptr(index) + 24);
+}
+void WBoxInternalView::set_child(uint16_t index, PageId page) {
+  EncodeFixed64(entry_ptr(index), page);
+}
+void WBoxInternalView::set_weight(uint16_t index, uint64_t w) {
+  EncodeFixed64(entry_ptr(index) + 8, w);
+}
+void WBoxInternalView::set_size(uint16_t index, uint64_t s) {
+  EncodeFixed64(entry_ptr(index) + 16, s);
+}
+void WBoxInternalView::set_subrange(uint16_t index, uint16_t s) {
+  EncodeFixed16(entry_ptr(index) + 24, s);
+}
+
+uint64_t WBoxInternalView::ChildRangeLo(uint16_t index) const {
+  return range_lo() + subrange(index) * params_->RangeLength(level() - 1);
+}
+
+int WBoxInternalView::FindChildByLabel(uint64_t label) const {
+  const uint64_t child_len = params_->RangeLength(level() - 1);
+  BOXES_CHECK(label >= range_lo());
+  const uint64_t target = (label - range_lo()) / child_len;
+  const uint16_t n = count();
+  for (uint16_t i = 0; i < n; ++i) {
+    if (subrange(i) == target) {
+      return i;
+    }
+    if (subrange(i) > target) {
+      break;
+    }
+  }
+  return -1;
+}
+
+int WBoxInternalView::FindChildByPage(PageId page) const {
+  const uint16_t n = count();
+  for (uint16_t i = 0; i < n; ++i) {
+    if (child(i) == page) {
+      return i;
+    }
+  }
+  return -1;
+}
+
+bool WBoxInternalView::SubrangeFree(uint16_t s) const {
+  const uint16_t n = count();
+  for (uint16_t i = 0; i < n; ++i) {
+    if (subrange(i) == s) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void WBoxInternalView::InsertEntryAt(uint16_t index, PageId child_page,
+                                     uint64_t w, uint64_t s,
+                                     uint16_t subrange_index) {
+  const uint16_t n = count();
+  BOXES_CHECK(n < params_->b);
+  BOXES_CHECK(index <= n);
+  std::memmove(entry_ptr(index) + kEntrySize, entry_ptr(index),
+               (n - index) * kEntrySize);
+  set_count(n + 1);
+  set_child(index, child_page);
+  set_weight(index, w);
+  set_size(index, s);
+  set_subrange(index, subrange_index);
+}
+
+void WBoxInternalView::RemoveEntryAt(uint16_t index) {
+  RemoveEntryRange(index, index);
+}
+
+void WBoxInternalView::RemoveEntryRange(uint16_t first, uint16_t last) {
+  const uint16_t n = count();
+  BOXES_CHECK(first <= last && last < n);
+  std::memmove(entry_ptr(first), entry_ptr(last + 1),
+               (n - last - 1) * kEntrySize);
+  set_count(n - (last - first + 1));
+}
+
+void WBoxInternalView::MoveSuffixTo(uint16_t from, WBoxInternalView* dst) {
+  const uint16_t n = count();
+  BOXES_CHECK(from <= n);
+  const uint16_t moving = n - from;
+  const uint16_t dst_n = dst->count();
+  BOXES_CHECK(dst_n + moving <= params_->b);
+  std::memcpy(dst->entry_ptr(dst_n), entry_ptr(from), moving * kEntrySize);
+  dst->set_count(dst_n + moving);
+  set_count(from);
+}
+
+}  // namespace boxes

@@ -1,0 +1,216 @@
+#ifndef BOXES_CORE_WBOX_WBOX_NODE_H_
+#define BOXES_CORE_WBOX_WBOX_NODE_H_
+
+#include <cstdint>
+
+#include "lidf/lidf.h"
+#include "storage/page_store.h"
+#include "util/status.h"
+
+namespace boxes {
+
+/// Structural parameters of a W-BOX, derived from the page size and the
+/// chosen leaf-record format (paper §4):
+///   * leaf parameter k: 2k-1 is the maximum number of leaf records a block
+///     holds, and also the length of the label range assigned to a leaf;
+///   * branching parameter a = b/2 - 2 where b is the maximum internal
+///     fan-out dictated by the block size;
+///   * a node at level i (leaves = level 0) must keep weight < 2·a^i·k and,
+///     unless it is the root, weight > a^i·k - 2·a^(i-1)·k;
+///   * the range of a node at level i spans (2k-1)·b^i label values and is
+///     divided into b equal subranges for its children.
+struct WBoxParams {
+  size_t page_size = 0;
+  bool pair_mode = false;  // W-BOX-O leaf records
+
+  size_t leaf_record_size = 0;
+  uint64_t leaf_capacity = 0;  // = 2k - 1, always odd
+  uint64_t k = 0;
+
+  uint64_t b = 0;  // maximum internal fan-out
+  uint64_t a = 0;  // branching parameter
+
+  /// Computes all derived values. Requires a resulting a >= 10.
+  static WBoxParams Derive(size_t page_size, bool pair_mode);
+
+  /// Maximum permitted weight (exclusive bound is 2a^i k; a node must stay
+  /// strictly below this).
+  uint64_t MaxWeight(uint32_t level) const;
+  /// Minimum permitted weight for a non-root node (exclusive lower bound
+  /// a^i k - 2 a^(i-1) k; level >= 1; for leaves uses k - 2k/a).
+  uint64_t MinWeightExclusive(uint32_t level) const;
+  /// Length of the label range owned by a node at `level`.
+  uint64_t RangeLength(uint32_t level) const;
+};
+
+/// W-BOX leaf page layout:
+///   [0]   node_type (1 = leaf)
+///   [1]   unused
+///   [2]   count (uint16): records including tombstones (= the leaf weight)
+///   [4]   live_count (uint16): records excluding tombstones
+///   [6]   unused (2 bytes)
+///   [8]   range_lo (uint64): first label value of the leaf's range
+///   [16]  records
+///
+/// Record layout (basic, 9 bytes):      lid(8) flags(1)
+/// Record layout (pair mode, 25 bytes): lid(8) flags(1) partner_block(8)
+///                                      cached_end(8)
+/// flags: bit0 = tombstone, bit1 = is_end_label.
+///
+/// Labels are implicit (within-leaf ordinal): the record at index i has
+/// label range_lo + i. Tombstones occupy label slots, so labels do not
+/// change on deletion.
+class WBoxLeafView {
+ public:
+  static constexpr uint8_t kNodeType = 1;
+  static constexpr size_t kHeaderSize = 16;
+  static constexpr uint8_t kFlagTombstone = 1;
+  static constexpr uint8_t kFlagIsEnd = 2;
+
+  WBoxLeafView(uint8_t* data, const WBoxParams* params)
+      : data_(data), params_(params) {}
+
+  void Init();
+
+  uint8_t node_type() const { return data_[0]; }
+  uint16_t count() const;
+  uint16_t live_count() const;
+  uint64_t range_lo() const;
+  void set_range_lo(uint64_t lo);
+
+  Lid lid(uint16_t index) const;
+  uint8_t flags(uint16_t index) const;
+  bool is_tombstone(uint16_t index) const {
+    return (flags(index) & kFlagTombstone) != 0;
+  }
+  bool is_end_label(uint16_t index) const {
+    return (flags(index) & kFlagIsEnd) != 0;
+  }
+  /// Pair-mode fields; require params->pair_mode.
+  PageId partner_block(uint16_t index) const;
+  uint64_t cached_end(uint16_t index) const;
+  void set_partner_block(uint16_t index, PageId block);
+  void set_cached_end(uint16_t index, uint64_t value);
+
+  /// The label of the record at `index`.
+  uint64_t LabelAt(uint16_t index) const { return range_lo() + index; }
+
+  /// Index of the live record with the given LID, or -1.
+  int FindLive(Lid lid) const;
+  /// Index of the first tombstone, or -1.
+  int FindTombstone() const;
+
+  /// Inserts a record at `index`, shifting subsequent records right.
+  /// Requires count() < leaf capacity.
+  void InsertRecordAt(uint16_t index, Lid lid, uint8_t flags);
+  /// Removes the record at `index`, shifting subsequent records left.
+  void RemoveRecordAt(uint16_t index);
+  /// Removes records [first, last] inclusive.
+  void RemoveRecordRange(uint16_t first, uint16_t last);
+  /// Sets/clears the tombstone flag, maintaining live_count.
+  void SetTombstone(uint16_t index, bool tombstone);
+
+  /// Moves records [from, count) into `dst` (appended at dst's end),
+  /// preserving order, and truncates this leaf.
+  void MoveSuffixTo(uint16_t from, WBoxLeafView* dst);
+
+  /// Moves records [from, count) to the FRONT of `dst` (before its existing
+  /// records), truncating this leaf. Used when `dst` is the right sibling.
+  void MoveSuffixToFront(uint16_t from, WBoxLeafView* dst);
+
+  /// Moves the first `n` records to the END of `dst`, shifting the
+  /// remainder of this leaf down. Used when `dst` is the left sibling.
+  void MovePrefixTo(uint16_t n, WBoxLeafView* dst);
+
+  uint8_t* record_ptr(uint16_t index);
+  const uint8_t* record_ptr(uint16_t index) const;
+
+ private:
+  void set_count(uint16_t value);
+  void set_live_count(uint16_t value);
+
+  uint8_t* data_;
+  const WBoxParams* params_;
+};
+
+/// W-BOX internal node page layout:
+///   [0]   node_type (2 = internal)
+///   [1]   level (>= 1)
+///   [2]   count (uint16): number of child entries
+///   [4]   unused (4 bytes)
+///   [8]   range_lo (uint64)
+///   [16]  self_weight (uint64): total records (incl. tombstones) below
+///   [24]  entries
+///
+/// Entry layout (26 bytes): child_page(8) weight(8) size(8) subrange(2).
+/// `size` counts live records below the entry (ordinal support); `subrange`
+/// is the index (0..b-1) of the equal subrange of this node's range that
+/// the child occupies. Entries are ordered by subrange.
+class WBoxInternalView {
+ public:
+  static constexpr uint8_t kNodeType = 2;
+  static constexpr size_t kHeaderSize = 24;
+  static constexpr size_t kEntrySize = 26;
+
+  WBoxInternalView(uint8_t* data, const WBoxParams* params)
+      : data_(data), params_(params) {}
+
+  void Init(uint8_t level);
+
+  uint8_t node_type() const { return data_[0]; }
+  uint8_t level() const { return data_[1]; }
+  uint16_t count() const;
+  uint64_t range_lo() const;
+  void set_range_lo(uint64_t lo);
+  uint64_t self_weight() const;
+  void set_self_weight(uint64_t w);
+
+  PageId child(uint16_t index) const;
+  uint64_t weight(uint16_t index) const;
+  uint64_t size(uint16_t index) const;
+  uint16_t subrange(uint16_t index) const;
+  void set_child(uint16_t index, PageId page);
+  void set_weight(uint16_t index, uint64_t weight);
+  void set_size(uint16_t index, uint64_t size);
+  void set_subrange(uint16_t index, uint16_t subrange);
+
+  /// Label range start of the child at `index`.
+  uint64_t ChildRangeLo(uint16_t index) const;
+
+  /// Index of the entry whose subrange contains `label`; -1 if the label
+  /// falls in an unassigned subrange (a structural corruption for labels
+  /// that exist).
+  int FindChildByLabel(uint64_t label) const;
+
+  /// Index of the entry pointing to `page`, or -1.
+  int FindChildByPage(PageId page) const;
+
+  /// True iff no entry occupies `subrange`.
+  bool SubrangeFree(uint16_t subrange) const;
+
+  /// Inserts an entry at `index`, shifting subsequent entries right.
+  void InsertEntryAt(uint16_t index, PageId child, uint64_t weight,
+                     uint64_t size, uint16_t subrange);
+  /// Removes the entry at `index`.
+  void RemoveEntryAt(uint16_t index);
+  /// Removes entries [first, last] inclusive.
+  void RemoveEntryRange(uint16_t first, uint16_t last);
+
+  /// Moves entries [from, count) to `dst` (appended), truncating here.
+  void MoveSuffixTo(uint16_t from, WBoxInternalView* dst);
+
+ private:
+  void set_count(uint16_t value);
+  uint8_t* entry_ptr(uint16_t index);
+  const uint8_t* entry_ptr(uint16_t index) const;
+
+  uint8_t* data_;
+  const WBoxParams* params_;
+};
+
+/// Reads the node type byte of a raw page.
+inline uint8_t WBoxNodeType(const uint8_t* data) { return data[0]; }
+
+}  // namespace boxes
+
+#endif  // BOXES_CORE_WBOX_WBOX_NODE_H_

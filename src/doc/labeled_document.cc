@@ -1,0 +1,296 @@
+#include "doc/labeled_document.h"
+
+#include <algorithm>
+
+#include "xml/parser.h"
+#include "xml/writer.h"
+
+namespace boxes {
+
+LabeledDocument::LabeledDocument(LabelingScheme* scheme) : scheme_(scheme) {}
+
+LabeledDocument::ElementHandle LabeledDocument::Register(
+    std::string tag, const NewElement& lids) {
+  elements_.push_back(Entry{std::move(tag), lids, true});
+  ++alive_count_;
+  return elements_.size() - 1;
+}
+
+Status LabeledDocument::RequireAlive(ElementHandle handle) const {
+  if (!alive(handle)) {
+    return Status::NotFound("element handle " + std::to_string(handle) +
+                            " is not alive");
+  }
+  return Status::OK();
+}
+
+StatusOr<LabeledDocument::ElementHandle> LabeledDocument::LoadXml(
+    std::string_view xml_text) {
+  BOXES_ASSIGN_OR_RETURN(const xml::Document doc,
+                         xml::ParseDocument(xml_text));
+  return LoadTree(doc);
+}
+
+StatusOr<LabeledDocument::ElementHandle> LabeledDocument::LoadTree(
+    const xml::Document& doc) {
+  if (alive_count_ != 0) {
+    return Status::FailedPrecondition("document is not empty");
+  }
+  if (doc.empty()) {
+    return Status::InvalidArgument("cannot load an empty tree");
+  }
+  std::vector<NewElement> lids;
+  BOXES_RETURN_IF_ERROR(scheme_->BulkLoad(doc, &lids));
+  ElementHandle root = kInvalidHandle;
+  for (xml::ElementId id = 0; id < doc.element_count(); ++id) {
+    const ElementHandle handle = Register(doc.element(id).tag, lids[id]);
+    if (id == doc.root()) {
+      root = handle;
+    }
+  }
+  return root;
+}
+
+StatusOr<LabeledDocument::ElementHandle> LabeledDocument::CreateRoot(
+    std::string tag) {
+  if (alive_count_ != 0) {
+    return Status::FailedPrecondition("document is not empty");
+  }
+  BOXES_ASSIGN_OR_RETURN(const NewElement lids,
+                         scheme_->InsertFirstElement());
+  return Register(std::move(tag), lids);
+}
+
+StatusOr<LabeledDocument::ElementHandle> LabeledDocument::AppendChild(
+    ElementHandle parent, std::string tag) {
+  BOXES_RETURN_IF_ERROR(RequireAlive(parent));
+  BOXES_ASSIGN_OR_RETURN(
+      const NewElement lids,
+      scheme_->InsertElementBefore(elements_[parent].lids.end));
+  return Register(std::move(tag), lids);
+}
+
+StatusOr<LabeledDocument::ElementHandle> LabeledDocument::InsertBefore(
+    ElementHandle sibling, std::string tag) {
+  BOXES_RETURN_IF_ERROR(RequireAlive(sibling));
+  BOXES_ASSIGN_OR_RETURN(
+      const NewElement lids,
+      scheme_->InsertElementBefore(elements_[sibling].lids.start));
+  return Register(std::move(tag), lids);
+}
+
+StatusOr<LabeledDocument::ElementHandle> LabeledDocument::PasteFragment(
+    ElementHandle parent, const xml::Document& fragment) {
+  BOXES_RETURN_IF_ERROR(RequireAlive(parent));
+  if (fragment.empty()) {
+    return Status::InvalidArgument("cannot paste an empty fragment");
+  }
+  std::vector<NewElement> lids;
+  BOXES_RETURN_IF_ERROR(scheme_->InsertSubtreeBefore(
+      elements_[parent].lids.end, fragment, &lids));
+  ElementHandle root = kInvalidHandle;
+  for (xml::ElementId id = 0; id < fragment.element_count(); ++id) {
+    const ElementHandle handle =
+        Register(fragment.element(id).tag, lids[id]);
+    if (id == fragment.root()) {
+      root = handle;
+    }
+  }
+  return root;
+}
+
+Status LabeledDocument::Erase(ElementHandle handle) {
+  BOXES_RETURN_IF_ERROR(RequireAlive(handle));
+  BOXES_RETURN_IF_ERROR(scheme_->Delete(elements_[handle].lids.start));
+  BOXES_RETURN_IF_ERROR(scheme_->Delete(elements_[handle].lids.end));
+  elements_[handle].alive = false;
+  --alive_count_;
+  return Status::OK();
+}
+
+Status LabeledDocument::EraseSubtree(ElementHandle handle) {
+  BOXES_RETURN_IF_ERROR(RequireAlive(handle));
+  // Identify descendants by label containment before the labels vanish.
+  BOXES_ASSIGN_OR_RETURN(const ElementLabels target,
+                         scheme_->LookupElement(elements_[handle].lids.start,
+                                                elements_[handle].lids.end));
+  std::vector<ElementHandle> victims;
+  for (ElementHandle h = 0; h < elements_.size(); ++h) {
+    if (!elements_[h].alive || h == handle) {
+      continue;
+    }
+    BOXES_ASSIGN_OR_RETURN(const Label start,
+                           scheme_->Lookup(elements_[h].lids.start));
+    if (target.start < start && start < target.end) {
+      victims.push_back(h);
+    }
+  }
+  BOXES_RETURN_IF_ERROR(scheme_->DeleteSubtree(elements_[handle].lids.start,
+                                               elements_[handle].lids.end));
+  elements_[handle].alive = false;
+  --alive_count_;
+  for (ElementHandle h : victims) {
+    elements_[h].alive = false;
+    --alive_count_;
+  }
+  return Status::OK();
+}
+
+StatusOr<bool> LabeledDocument::IsAncestorOf(ElementHandle ancestor,
+                                             ElementHandle descendant) {
+  BOXES_RETURN_IF_ERROR(RequireAlive(ancestor));
+  BOXES_RETURN_IF_ERROR(RequireAlive(descendant));
+  BOXES_ASSIGN_OR_RETURN(
+      const ElementLabels a,
+      scheme_->LookupElement(elements_[ancestor].lids.start,
+                             elements_[ancestor].lids.end));
+  BOXES_ASSIGN_OR_RETURN(
+      const ElementLabels d,
+      scheme_->LookupElement(elements_[descendant].lids.start,
+                             elements_[descendant].lids.end));
+  return IsAncestor(a, d);
+}
+
+StatusOr<int> LabeledDocument::CompareOrder(ElementHandle a,
+                                            ElementHandle b) {
+  BOXES_RETURN_IF_ERROR(RequireAlive(a));
+  BOXES_RETURN_IF_ERROR(RequireAlive(b));
+  return scheme_->Compare(elements_[a].lids.start, elements_[b].lids.start);
+}
+
+StatusOr<std::vector<LabeledDocument::ElementHandle>>
+LabeledDocument::HandlesInDocumentOrder() {
+  struct Keyed {
+    Label start;
+    ElementHandle handle;
+  };
+  std::vector<Keyed> keyed;
+  keyed.reserve(alive_count_);
+  for (ElementHandle h = 0; h < elements_.size(); ++h) {
+    if (!elements_[h].alive) {
+      continue;
+    }
+    BOXES_ASSIGN_OR_RETURN(Label start,
+                           scheme_->Lookup(elements_[h].lids.start));
+    keyed.push_back({std::move(start), h});
+  }
+  std::sort(keyed.begin(), keyed.end(),
+            [](const Keyed& x, const Keyed& y) { return x.start < y.start; });
+  std::vector<ElementHandle> handles;
+  handles.reserve(keyed.size());
+  for (const Keyed& k : keyed) {
+    handles.push_back(k.handle);
+  }
+  return handles;
+}
+
+StatusOr<xml::Document> LabeledDocument::ToTree(
+    std::vector<ElementHandle>* handle_of_element) {
+  struct Item {
+    Label start;
+    Label end;
+    ElementHandle handle;
+  };
+  std::vector<Item> items;
+  items.reserve(alive_count_);
+  for (ElementHandle h = 0; h < elements_.size(); ++h) {
+    if (!elements_[h].alive) {
+      continue;
+    }
+    BOXES_ASSIGN_OR_RETURN(
+        ElementLabels labels,
+        scheme_->LookupElement(elements_[h].lids.start,
+                               elements_[h].lids.end));
+    items.push_back({std::move(labels.start), std::move(labels.end), h});
+  }
+  std::sort(items.begin(), items.end(),
+            [](const Item& a, const Item& b) { return a.start < b.start; });
+
+  xml::Document doc;
+  if (handle_of_element != nullptr) {
+    handle_of_element->clear();
+  }
+  if (items.empty()) {
+    return doc;
+  }
+  // Stack-based nesting: intervals of a tree are properly nested, so the
+  // sorted sequence rebuilds the structure in one pass.
+  struct Open {
+    xml::ElementId element;
+    const Item* item;
+  };
+  std::vector<Open> stack;
+  for (const Item& item : items) {
+    while (!stack.empty() && stack.back().item->end < item.start) {
+      stack.pop_back();
+    }
+    xml::ElementId element;
+    if (stack.empty()) {
+      if (!doc.empty()) {
+        return Status::Corruption(
+            "labels describe multiple roots; document is malformed");
+      }
+      element = doc.AddRoot(elements_[item.handle].tag);
+    } else {
+      if (!(item.end < stack.back().item->end)) {
+        return Status::Corruption("labels are not properly nested");
+      }
+      element =
+          doc.AddChild(stack.back().element, elements_[item.handle].tag);
+    }
+    if (handle_of_element != nullptr) {
+      handle_of_element->push_back(item.handle);
+    }
+    stack.push_back({element, &item});
+  }
+  return doc;
+}
+
+StatusOr<std::string> LabeledDocument::ToXml(bool pretty) {
+  BOXES_ASSIGN_OR_RETURN(const xml::Document doc, ToTree());
+  return xml::WriteDocument(doc, pretty);
+}
+
+void LabeledDocument::SaveState(MetadataWriter* writer) const {
+  writer->PutU64(elements_.size());
+  for (const Entry& entry : elements_) {
+    writer->PutU32(entry.alive ? 1 : 0);
+    writer->PutString(entry.tag);
+    writer->PutU64(entry.lids.start);
+    writer->PutU64(entry.lids.end);
+  }
+}
+
+Status LabeledDocument::LoadState(MetadataReader* reader) {
+  if (alive_count_ != 0 || !elements_.empty()) {
+    return Status::FailedPrecondition("facade is not empty");
+  }
+  BOXES_ASSIGN_OR_RETURN(const uint64_t count, reader->GetU64());
+  elements_.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    Entry entry;
+    BOXES_ASSIGN_OR_RETURN(const uint32_t alive_flag, reader->GetU32());
+    entry.alive = alive_flag != 0;
+    BOXES_ASSIGN_OR_RETURN(entry.tag, reader->GetString());
+    BOXES_ASSIGN_OR_RETURN(entry.lids.start, reader->GetU64());
+    BOXES_ASSIGN_OR_RETURN(entry.lids.end, reader->GetU64());
+    if (entry.alive) {
+      ++alive_count_;
+    }
+    elements_.push_back(std::move(entry));
+  }
+  return Status::OK();
+}
+
+Status LabeledDocument::CheckConsistency() {
+  BOXES_RETURN_IF_ERROR(scheme_->CheckInvariants());
+  std::vector<ElementHandle> handles;
+  BOXES_ASSIGN_OR_RETURN(const xml::Document doc, ToTree(&handles));
+  BOXES_RETURN_IF_ERROR(doc.Validate());
+  if (doc.element_count() != alive_count_) {
+    return Status::Corruption("handle registry disagrees with the labels");
+  }
+  return Status::OK();
+}
+
+}  // namespace boxes

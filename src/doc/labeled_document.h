@@ -1,0 +1,127 @@
+#ifndef BOXES_DOC_LABELED_DOCUMENT_H_
+#define BOXES_DOC_LABELED_DOCUMENT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/common/labeling_scheme.h"
+#include "storage/metadata_io.h"
+#include "util/status.h"
+#include "xml/document.h"
+
+namespace boxes {
+
+/// High-level, handle-based facade over any LabelingScheme: a live XML
+/// document whose structure is maintained purely as order-based labels.
+///
+/// Each element gets a stable ElementHandle; the facade keeps only
+/// (tag, LID pair) per element — parent/child/sibling structure exists
+/// *only* in the labels and is reconstructed on demand (ToTree/ToXml),
+/// which is exactly the deployment model the paper argues for: labels as
+/// the structural index, LIDs as the immutable references.
+class LabeledDocument {
+ public:
+  using ElementHandle = uint64_t;
+
+  static constexpr ElementHandle kInvalidHandle = UINT64_MAX;
+
+  /// The scheme must outlive this object; it may be empty or already
+  /// restored from a checkpoint (then call AdoptTree to register handles).
+  explicit LabeledDocument(LabelingScheme* scheme);
+
+  LabeledDocument(const LabeledDocument&) = delete;
+  LabeledDocument& operator=(const LabeledDocument&) = delete;
+
+  LabelingScheme* scheme() const { return scheme_; }
+
+  /// Parses XML text and bulk loads it into the (empty) scheme. Returns
+  /// the root handle.
+  StatusOr<ElementHandle> LoadXml(std::string_view xml_text);
+
+  /// Bulk loads an element tree into the (empty) scheme.
+  StatusOr<ElementHandle> LoadTree(const xml::Document& doc);
+
+  /// Creates the root element of an empty document.
+  StatusOr<ElementHandle> CreateRoot(std::string tag);
+
+  /// Appends a new last child under `parent`.
+  StatusOr<ElementHandle> AppendChild(ElementHandle parent, std::string tag);
+
+  /// Inserts a new previous sibling of `sibling`.
+  StatusOr<ElementHandle> InsertBefore(ElementHandle sibling,
+                                       std::string tag);
+
+  /// Pastes a whole fragment as the last child of `parent` using the
+  /// scheme's bulk subtree insertion. Returns the fragment root's handle;
+  /// every fragment element gets a handle.
+  StatusOr<ElementHandle> PasteFragment(ElementHandle parent,
+                                        const xml::Document& fragment);
+
+  /// Removes one element; its children become children of its parent.
+  Status Erase(ElementHandle handle);
+
+  /// Removes an element and its whole subtree.
+  Status EraseSubtree(ElementHandle handle);
+
+  /// Structural predicates straight off the labels.
+  StatusOr<bool> IsAncestorOf(ElementHandle ancestor,
+                              ElementHandle descendant);
+  /// -1 / 0 / +1 by document order of start tags.
+  StatusOr<int> CompareOrder(ElementHandle a, ElementHandle b);
+
+  bool alive(ElementHandle handle) const {
+    return handle < elements_.size() && elements_[handle].alive;
+  }
+  const std::string& tag(ElementHandle handle) const {
+    return elements_[handle].tag;
+  }
+  const NewElement& lids(ElementHandle handle) const {
+    return elements_[handle].lids;
+  }
+  uint64_t element_count() const { return alive_count_; }
+
+  /// All live handles in document order (sorted by start label).
+  StatusOr<std::vector<ElementHandle>> HandlesInDocumentOrder();
+
+  /// Reconstructs the current tree purely from the labels (stack-based
+  /// nesting of the sorted intervals). `handle_of_element`, if non-null,
+  /// maps the returned document's ElementIds back to handles.
+  StatusOr<xml::Document> ToTree(
+      std::vector<ElementHandle>* handle_of_element = nullptr);
+
+  /// Serializes the current document to XML text.
+  StatusOr<std::string> ToXml(bool pretty = true);
+
+  /// Full self-audit: scheme invariants, label well-formedness (proper
+  /// nesting, single root), and handle bookkeeping.
+  Status CheckConsistency();
+
+  /// Serializes the handle registry (tags + LID pairs) into `writer`.
+  /// Combined with the scheme's own Checkpoint(), this makes a facade
+  /// session fully durable.
+  void SaveState(MetadataWriter* writer) const;
+
+  /// Restores a registry saved by SaveState into this (empty) facade; the
+  /// scheme must already be restored to the matching checkpoint.
+  Status LoadState(MetadataReader* reader);
+
+ private:
+  struct Entry {
+    std::string tag;
+    NewElement lids;
+    bool alive = false;
+  };
+
+  ElementHandle Register(std::string tag, const NewElement& lids);
+  Status RequireAlive(ElementHandle handle) const;
+
+  LabelingScheme* scheme_;  // not owned
+  std::vector<Entry> elements_;
+  uint64_t alive_count_ = 0;
+};
+
+}  // namespace boxes
+
+#endif  // BOXES_DOC_LABELED_DOCUMENT_H_

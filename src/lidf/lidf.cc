@@ -1,0 +1,275 @@
+#include "lidf/lidf.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/coding.h"
+
+namespace boxes {
+
+Lidf::Lidf(PageCache* cache, size_t payload_size)
+    : cache_(cache),
+      payload_size_(payload_size),
+      records_per_page_(cache->page_size() / payload_size) {
+  BOXES_CHECK(payload_size_ >= 8);
+  BOXES_CHECK(records_per_page_ >= 1);
+}
+
+StatusOr<Lid> Lidf::Allocate() {
+  Lid lid;
+  if (!free_list_.empty()) {
+    lid = free_list_.back();
+    free_list_.pop_back();
+  } else {
+    BOXES_RETURN_IF_ERROR(EnsureTailSlots(1));
+    lid = next_unused_++;
+  }
+  if (lid >= live_.size()) {
+    live_.resize(lid + 1, false);
+  }
+  live_[lid] = true;
+  ++live_count_;
+  StatusOr<uint8_t*> slot = SlotForWrite(lid);
+  if (!slot.ok()) {
+    return slot.status();
+  }
+  std::memset(*slot, 0, payload_size_);
+  return lid;
+}
+
+StatusOr<std::pair<Lid, Lid>> Lidf::AllocatePair() {
+  if (records_per_page_ < 2) {
+    // Same-page adjacency is impossible with one record per page; fall
+    // back to two singles. (Callers that rely on lid+1 pairing — W-BOX-O —
+    // always have multi-record pages.)
+    BOXES_ASSIGN_OR_RETURN(const Lid first, Allocate());
+    BOXES_ASSIGN_OR_RETURN(const Lid second, Allocate());
+    return std::make_pair(first, second);
+  }
+  // Always take two fresh same-page slots from the tail. Slots skipped at a
+  // page boundary are recycled through the free list for single Allocate().
+  const uint64_t used_on_tail = next_unused_ % records_per_page_;
+  if (used_on_tail != 0 && records_per_page_ - used_on_tail < 2) {
+    free_list_.push_back(next_unused_);
+    ++next_unused_;
+    if (next_unused_ > live_.size()) {
+      live_.resize(next_unused_, false);
+    }
+  }
+  BOXES_RETURN_IF_ERROR(EnsureTailSlots(2));
+  const Lid first = next_unused_;
+  const Lid second = next_unused_ + 1;
+  next_unused_ += 2;
+  if (second >= live_.size()) {
+    live_.resize(second + 1, false);
+  }
+  live_[first] = true;
+  live_[second] = true;
+  live_count_ += 2;
+  StatusOr<uint8_t*> slot1 = SlotForWrite(first);
+  if (!slot1.ok()) {
+    return slot1.status();
+  }
+  std::memset(*slot1, 0, payload_size_);
+  StatusOr<uint8_t*> slot2 = SlotForWrite(second);
+  if (!slot2.ok()) {
+    return slot2.status();
+  }
+  std::memset(*slot2, 0, payload_size_);
+  return std::make_pair(first, second);
+}
+
+Status Lidf::Free(Lid lid) {
+  BOXES_RETURN_IF_ERROR(CheckLive(lid));
+  live_[lid] = false;
+  --live_count_;
+  free_list_.push_back(lid);
+  return Status::OK();
+}
+
+bool Lidf::IsLive(Lid lid) const { return lid < live_.size() && live_[lid]; }
+
+Status Lidf::Read(Lid lid, uint8_t* payload) const {
+  BOXES_RETURN_IF_ERROR(CheckLive(lid));
+  const PageId page = pages_[lid / records_per_page_];
+  StatusOr<uint8_t*> data = cache_->GetPage(page);
+  if (!data.ok()) {
+    return data.status();
+  }
+  std::memcpy(payload, *data + (lid % records_per_page_) * payload_size_,
+              payload_size_);
+  return Status::OK();
+}
+
+Status Lidf::Write(Lid lid, const uint8_t* payload) {
+  BOXES_RETURN_IF_ERROR(CheckLive(lid));
+  StatusOr<uint8_t*> slot = SlotForWrite(lid);
+  if (!slot.ok()) {
+    return slot.status();
+  }
+  std::memcpy(*slot, payload, payload_size_);
+  return Status::OK();
+}
+
+StatusOr<PageId> Lidf::ReadBlockPtr(Lid lid) const {
+  BOXES_RETURN_IF_ERROR(CheckLive(lid));
+  const PageId page = pages_[lid / records_per_page_];
+  StatusOr<uint8_t*> data = cache_->GetPage(page);
+  if (!data.ok()) {
+    return data.status();
+  }
+  return PageId{
+      DecodeFixed64(*data + (lid % records_per_page_) * payload_size_)};
+}
+
+Status Lidf::WriteBlockPtr(Lid lid, PageId block) {
+  BOXES_RETURN_IF_ERROR(CheckLive(lid));
+  StatusOr<uint8_t*> slot = SlotForWrite(lid);
+  if (!slot.ok()) {
+    return slot.status();
+  }
+  EncodeFixed64(*slot, block);
+  return Status::OK();
+}
+
+Status Lidf::ForEachLive(
+    const std::function<Status(Lid, const uint8_t*)>& fn) const {
+  for (size_t page_index = 0; page_index < pages_.size(); ++page_index) {
+    const Lid first = page_index * records_per_page_;
+    const Lid last =
+        std::min<uint64_t>(first + records_per_page_, next_unused_);
+    bool any_live = false;
+    for (Lid lid = first; lid < last; ++lid) {
+      if (live_[lid]) {
+        any_live = true;
+        break;
+      }
+    }
+    if (!any_live) {
+      continue;
+    }
+    StatusOr<uint8_t*> data = cache_->GetPage(pages_[page_index]);
+    if (!data.ok()) {
+      return data.status();
+    }
+    for (Lid lid = first; lid < last; ++lid) {
+      if (live_[lid]) {
+        BOXES_RETURN_IF_ERROR(
+            fn(lid, *data + (lid - first) * payload_size_));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status Lidf::ForEachLiveMutable(
+    const std::function<Status(Lid, uint8_t*)>& fn) {
+  for (size_t page_index = 0; page_index < pages_.size(); ++page_index) {
+    const Lid first = page_index * records_per_page_;
+    const Lid last =
+        std::min<uint64_t>(first + records_per_page_, next_unused_);
+    bool any_live = false;
+    for (Lid lid = first; lid < last; ++lid) {
+      if (live_[lid]) {
+        any_live = true;
+        break;
+      }
+    }
+    if (!any_live) {
+      continue;
+    }
+    StatusOr<uint8_t*> data = cache_->GetPageForWrite(pages_[page_index]);
+    if (!data.ok()) {
+      return data.status();
+    }
+    for (Lid lid = first; lid < last; ++lid) {
+      if (live_[lid]) {
+        BOXES_RETURN_IF_ERROR(fn(lid, *data + (lid - first) * payload_size_));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+StatusOr<PageId> Lidf::PageOf(Lid lid) const {
+  BOXES_RETURN_IF_ERROR(CheckLive(lid));
+  return pages_[lid / records_per_page_];
+}
+
+void Lidf::SaveState(MetadataWriter* writer) const {
+  writer->PutU64(payload_size_);
+  writer->PutU64(next_unused_);
+  writer->PutU64(pages_.size());
+  for (PageId page : pages_) {
+    writer->PutU64(page);
+  }
+  // Liveness bitmap over [0, next_unused_), packed 8 lids per byte.
+  std::vector<uint8_t> bitmap((next_unused_ + 7) / 8, 0);
+  for (Lid lid = 0; lid < next_unused_; ++lid) {
+    if (lid < live_.size() && live_[lid]) {
+      bitmap[lid / 8] |= static_cast<uint8_t>(1u << (lid % 8));
+    }
+  }
+  writer->PutBytes(bitmap.data(), bitmap.size());
+}
+
+Status Lidf::LoadState(MetadataReader* reader) {
+  BOXES_ASSIGN_OR_RETURN(const uint64_t payload_size, reader->GetU64());
+  if (payload_size != payload_size_) {
+    return Status::InvalidArgument(
+        "checkpoint payload size does not match this LIDF");
+  }
+  BOXES_ASSIGN_OR_RETURN(next_unused_, reader->GetU64());
+  BOXES_ASSIGN_OR_RETURN(const uint64_t page_count, reader->GetU64());
+  pages_.assign(page_count, kInvalidPageId);
+  for (uint64_t i = 0; i < page_count; ++i) {
+    BOXES_ASSIGN_OR_RETURN(pages_[i], reader->GetU64());
+  }
+  std::vector<uint8_t> bitmap((next_unused_ + 7) / 8, 0);
+  BOXES_RETURN_IF_ERROR(reader->GetBytes(bitmap.data(), bitmap.size()));
+  live_.assign(next_unused_, false);
+  free_list_.clear();
+  live_count_ = 0;
+  for (Lid lid = 0; lid < next_unused_; ++lid) {
+    if ((bitmap[lid / 8] >> (lid % 8)) & 1u) {
+      live_[lid] = true;
+      ++live_count_;
+    } else {
+      free_list_.push_back(lid);
+    }
+  }
+  if (next_unused_ > page_count * records_per_page_) {
+    return Status::Corruption("LIDF directory smaller than its cursor");
+  }
+  return Status::OK();
+}
+
+Status Lidf::CheckLive(Lid lid) const {
+  if (!IsLive(lid)) {
+    return Status::NotFound("LID " + std::to_string(lid) + " is not live");
+  }
+  return Status::OK();
+}
+
+Status Lidf::EnsureTailSlots(size_t needed) {
+  while (next_unused_ + needed > pages_.size() * records_per_page_) {
+    uint8_t* data = nullptr;
+    StatusOr<PageId> page = cache_->AllocatePage(&data);
+    if (!page.ok()) {
+      return page.status();
+    }
+    pages_.push_back(*page);
+  }
+  return Status::OK();
+}
+
+StatusOr<uint8_t*> Lidf::SlotForWrite(Lid lid) {
+  const PageId page = pages_[lid / records_per_page_];
+  StatusOr<uint8_t*> data = cache_->GetPageForWrite(page);
+  if (!data.ok()) {
+    return data.status();
+  }
+  return *data + (lid % records_per_page_) * payload_size_;
+}
+
+}  // namespace boxes

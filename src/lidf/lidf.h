@@ -1,0 +1,112 @@
+#ifndef BOXES_LIDF_LIDF_H_
+#define BOXES_LIDF_LIDF_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "storage/metadata_io.h"
+#include "storage/page_cache.h"
+#include "util/status.h"
+
+namespace boxes {
+
+/// Immutable label ID: the record number of a LIDF record. Once assigned to
+/// a label it never changes, so LIDs can be duplicated freely in indexes
+/// and used as element IDs (paper §3).
+using Lid = uint64_t;
+
+inline constexpr Lid kInvalidLid = UINT64_MAX;
+
+/// Immutable Label ID File (paper §3, Figure 2).
+///
+/// A heap file of fixed-size records addressed by record number (the LID).
+/// The payload is scheme-defined:
+///   * BOXes store the PageId of the block containing the BOX record,
+///   * naive-k stores the label value and gap directly.
+///
+/// Freed records are reclaimed so the file stays compact. Records never
+/// straddle pages; a LID maps to (page index, slot) arithmetically.
+/// Directory and free-list metadata are kept in memory (a real system would
+/// persist them in a superblock; they are O(N/B) and irrelevant to the
+/// paper's per-operation I/O accounting).
+class Lidf {
+ public:
+  /// `payload_size` is the fixed record size in bytes (>= 8).
+  Lidf(PageCache* cache, size_t payload_size);
+
+  Lidf(const Lidf&) = delete;
+  Lidf& operator=(const Lidf&) = delete;
+
+  size_t payload_size() const { return payload_size_; }
+  size_t records_per_page() const { return records_per_page_; }
+  /// Number of live records.
+  uint64_t live_records() const { return live_count_; }
+  /// Number of pages the file occupies.
+  uint64_t page_count() const { return pages_.size(); }
+
+  /// Allocates one record with zeroed payload.
+  StatusOr<Lid> Allocate();
+
+  /// Allocates two records guaranteed to live on the same page, so that a
+  /// single I/O retrieves both (the paper's start/end adjacency
+  /// optimization). Returns {start_lid, end_lid}.
+  StatusOr<std::pair<Lid, Lid>> AllocatePair();
+
+  /// Frees a record for reuse.
+  Status Free(Lid lid);
+
+  /// True iff `lid` designates a live record.
+  bool IsLive(Lid lid) const;
+
+  /// Copies the record payload into `payload` (payload_size() bytes).
+  Status Read(Lid lid, uint8_t* payload) const;
+
+  /// Overwrites the record payload from `payload`.
+  Status Write(Lid lid, const uint8_t* payload);
+
+  /// Convenience accessors for the common 8-byte block-pointer payload used
+  /// by W-BOX and B-BOX: the page id of the block holding the BOX record.
+  StatusOr<PageId> ReadBlockPtr(Lid lid) const;
+  Status WriteBlockPtr(Lid lid, PageId block);
+
+  /// Invokes `fn(lid, payload)` for every live record, in LID order,
+  /// touching each LIDF page exactly once. Used by naive-k relabeling and
+  /// by the W-BOX global rebuild.
+  Status ForEachLive(
+      const std::function<Status(Lid, const uint8_t*)>& fn) const;
+
+  /// Like ForEachLive but with writable payloads; every visited page is
+  /// marked dirty. Used by naive-k relabeling to rewrite the whole file
+  /// with one page access per page.
+  Status ForEachLiveMutable(const std::function<Status(Lid, uint8_t*)>& fn);
+
+  /// The page id of the LIDF page holding `lid` (for tests / diagnostics).
+  StatusOr<PageId> PageOf(Lid lid) const;
+
+  /// Serializes the directory, allocation cursor, and liveness bitmap into
+  /// `writer` (checkpoint support).
+  void SaveState(MetadataWriter* writer) const;
+
+  /// Restores state saved by SaveState into this (freshly constructed)
+  /// instance; the payload size must match.
+  Status LoadState(MetadataReader* reader);
+
+ private:
+  Status CheckLive(Lid lid) const;
+  Status EnsureTailSlots(size_t needed);
+  StatusOr<uint8_t*> SlotForWrite(Lid lid);
+
+  PageCache* cache_;  // not owned
+  const size_t payload_size_;
+  const size_t records_per_page_;
+  std::vector<PageId> pages_;    // directory: page index -> PageId
+  std::vector<bool> live_;       // liveness bitmap, indexed by LID
+  std::vector<Lid> free_list_;   // reusable record numbers
+  uint64_t next_unused_ = 0;     // first never-allocated LID
+  uint64_t live_count_ = 0;
+};
+
+}  // namespace boxes
+
+#endif  // BOXES_LIDF_LIDF_H_

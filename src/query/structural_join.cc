@@ -1,0 +1,74 @@
+#include "query/structural_join.h"
+
+#include <algorithm>
+
+namespace boxes::query {
+
+void SortByStart(std::vector<Interval>* intervals) {
+  std::sort(intervals->begin(), intervals->end(),
+            [](const Interval& a, const Interval& b) {
+              return a.start < b.start;
+            });
+}
+
+StatusOr<std::vector<Interval>> CollectIntervals(
+    LabelingScheme* scheme, const xml::Document& doc,
+    const std::vector<NewElement>& lids, const std::string& tag) {
+  std::vector<Interval> out;
+  for (xml::ElementId id = 0; id < doc.element_count(); ++id) {
+    if (doc.element(id).tag != tag) {
+      continue;
+    }
+    BOXES_ASSIGN_OR_RETURN(
+        ElementLabels labels,
+        scheme->LookupElement(lids[id].start, lids[id].end));
+    out.push_back(
+        {id, std::move(labels.start), std::move(labels.end)});
+  }
+  SortByStart(&out);
+  return out;
+}
+
+void StructuralJoin(
+    const std::vector<Interval>& ancestors,
+    const std::vector<Interval>& descendants,
+    const std::function<void(const Interval&, const Interval&)>& emit) {
+  // Classic stack-based merge: sweep both inputs in document order; the
+  // stack holds the chain of ancestors currently "open" around the sweep
+  // position (their intervals are nested, so popping on end < position is
+  // safe).
+  std::vector<const Interval*> stack;
+  size_t ai = 0;
+  for (const Interval& d : descendants) {
+    while (ai < ancestors.size() && ancestors[ai].start < d.start) {
+      // Opening a new ancestor closes any stacked ones that ended first.
+      while (!stack.empty() && stack.back()->end < ancestors[ai].start) {
+        stack.pop_back();
+      }
+      stack.push_back(&ancestors[ai]);
+      ++ai;
+    }
+    while (!stack.empty() && stack.back()->end < d.start) {
+      stack.pop_back();
+    }
+    // Every remaining stacked ancestor whose interval covers d matches;
+    // the stack is nested, so the matches are a suffix.
+    for (size_t i = stack.size(); i-- > 0;) {
+      if (stack[i]->start < d.start && d.end < stack[i]->end) {
+        emit(*stack[i], d);
+      } else {
+        break;
+      }
+    }
+  }
+}
+
+uint64_t CountStructuralJoin(const std::vector<Interval>& ancestors,
+                             const std::vector<Interval>& descendants) {
+  uint64_t count = 0;
+  StructuralJoin(ancestors, descendants,
+                 [&](const Interval&, const Interval&) { ++count; });
+  return count;
+}
+
+}  // namespace boxes::query

@@ -1,0 +1,50 @@
+#ifndef BOXES_QUERY_STRUCTURAL_JOIN_H_
+#define BOXES_QUERY_STRUCTURAL_JOIN_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/common/label.h"
+#include "core/common/labeling_scheme.h"
+#include "util/status.h"
+#include "xml/document.h"
+
+namespace boxes::query {
+
+/// One element's label interval plus a caller-chosen handle; the currency
+/// of the join operators.
+struct Interval {
+  uint64_t handle = 0;
+  Label start;
+  Label end;
+};
+
+/// Sorts intervals by start label (document order).
+void SortByStart(std::vector<Interval>* intervals);
+
+/// Collects the label intervals of every element of `doc` whose tag equals
+/// `tag`, looking labels up through `scheme` (handles = ElementIds),
+/// returned in document order.
+StatusOr<std::vector<Interval>> CollectIntervals(
+    LabelingScheme* scheme, const xml::Document& doc,
+    const std::vector<NewElement>& lids, const std::string& tag);
+
+/// Stack-based sort-merge structural join (the containment join of
+/// Zhang et al., SIGMOD'01, that order-based labels exist to serve):
+/// emits every (ancestor, descendant) pair where the ancestor interval
+/// properly contains the descendant interval. Inputs must be sorted by
+/// start label (use SortByStart). Runs in O(|A| + |D| + output).
+void StructuralJoin(
+    const std::vector<Interval>& ancestors,
+    const std::vector<Interval>& descendants,
+    const std::function<void(const Interval& ancestor,
+                             const Interval& descendant)>& emit);
+
+/// Convenience: number of (ancestor, descendant) pairs.
+uint64_t CountStructuralJoin(const std::vector<Interval>& ancestors,
+                             const std::vector<Interval>& descendants);
+
+}  // namespace boxes::query
+
+#endif  // BOXES_QUERY_STRUCTURAL_JOIN_H_

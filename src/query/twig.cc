@@ -1,0 +1,147 @@
+#include "query/twig.h"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+
+namespace boxes::query {
+
+namespace {
+
+/// Recursive-descent parser for the compact twig syntax.
+class TwigParser {
+ public:
+  explicit TwigParser(const std::string& text) : text_(text) {}
+
+  StatusOr<TwigPattern> Parse() {
+    BOXES_ASSIGN_OR_RETURN(TwigPattern pattern, ParsePattern());
+    if (pos_ != text_.size()) {
+      return Error("trailing characters");
+    }
+    return pattern;
+  }
+
+ private:
+  Status Error(const std::string& what) const {
+    return Status::InvalidArgument("twig pattern error at offset " +
+                                   std::to_string(pos_) + ": " + what);
+  }
+
+  bool Consume(const char* token) {
+    const size_t len = std::char_traits<char>::length(token);
+    if (text_.compare(pos_, len, token) == 0) {
+      pos_ += len;
+      return true;
+    }
+    return false;
+  }
+
+  StatusOr<TwigPattern> ParsePattern() {
+    BOXES_ASSIGN_OR_RETURN(TwigPattern head, ParseStep());
+    if (Consume("//")) {
+      BOXES_ASSIGN_OR_RETURN(TwigPattern rest, ParsePattern());
+      head.children.push_back(std::move(rest));
+    }
+    return head;
+  }
+
+  StatusOr<TwigPattern> ParseStep() {
+    TwigPattern step;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '_' || text_[pos_] == '-')) {
+      step.tag.push_back(text_[pos_++]);
+    }
+    if (step.tag.empty()) {
+      return Error("expected a tag name");
+    }
+    while (Consume("[")) {
+      (void)Consume("//");  // optional leading // inside a branch
+      BOXES_ASSIGN_OR_RETURN(TwigPattern branch, ParsePattern());
+      if (!Consume("]")) {
+        return Error("expected ']'");
+      }
+      step.children.push_back(std::move(branch));
+    }
+    return step;
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+/// True iff some interval of `candidates` (sorted by start) lies strictly
+/// inside `outer`. Tree intervals are properly nested, so the first
+/// candidate starting after outer.start is inside iff it starts before
+/// outer.end.
+bool HasDescendantIn(const Interval& outer,
+                     const std::vector<Interval>& candidates) {
+  auto it = std::upper_bound(
+      candidates.begin(), candidates.end(), outer.start,
+      [](const Label& value, const Interval& x) { return value < x.start; });
+  return it != candidates.end() && it->start < outer.end &&
+         it->end < outer.end;
+}
+
+StatusOr<std::vector<Interval>> MatchNode(
+    const TwigPattern& pattern,
+    std::map<std::string, std::vector<Interval>>* tag_cache,
+    const std::function<StatusOr<std::vector<Interval>>(const std::string&)>&
+        intervals_for_tag) {
+  auto cached = tag_cache->find(pattern.tag);
+  if (cached == tag_cache->end()) {
+    BOXES_ASSIGN_OR_RETURN(std::vector<Interval> fetched,
+                           intervals_for_tag(pattern.tag));
+    cached = tag_cache->emplace(pattern.tag, std::move(fetched)).first;
+  }
+  std::vector<Interval> candidates = cached->second;
+
+  // Bottom-up: compute each child's match roots once, then keep only the
+  // candidates containing a match of every child.
+  std::vector<std::vector<Interval>> child_matches;
+  child_matches.reserve(pattern.children.size());
+  for (const TwigPattern& child : pattern.children) {
+    BOXES_ASSIGN_OR_RETURN(
+        std::vector<Interval> matches,
+        MatchNode(child, tag_cache, intervals_for_tag));
+    child_matches.push_back(std::move(matches));
+  }
+  std::vector<Interval> result;
+  for (Interval& candidate : candidates) {
+    bool all = true;
+    for (const std::vector<Interval>& matches : child_matches) {
+      if (!HasDescendantIn(candidate, matches)) {
+        all = false;
+        break;
+      }
+    }
+    if (all) {
+      result.push_back(std::move(candidate));
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+StatusOr<TwigPattern> ParseTwigPattern(const std::string& text) {
+  return TwigParser(text).Parse();
+}
+
+StatusOr<std::vector<Interval>> MatchTwig(
+    const TwigPattern& pattern,
+    const std::function<StatusOr<std::vector<Interval>>(const std::string&)>&
+        intervals_for_tag) {
+  std::map<std::string, std::vector<Interval>> tag_cache;
+  return MatchNode(pattern, &tag_cache, intervals_for_tag);
+}
+
+StatusOr<std::vector<Interval>> MatchTwig(
+    const TwigPattern& pattern, LabelingScheme* scheme,
+    const xml::Document& doc, const std::vector<NewElement>& lids) {
+  return MatchTwig(pattern, [&](const std::string& tag) {
+    return CollectIntervals(scheme, doc, lids, tag);
+  });
+}
+
+}  // namespace boxes::query

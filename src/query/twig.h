@@ -1,0 +1,50 @@
+#ifndef BOXES_QUERY_TWIG_H_
+#define BOXES_QUERY_TWIG_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "query/structural_join.h"
+#include "util/status.h"
+
+namespace boxes::query {
+
+/// A twig (tree) pattern with ancestor-descendant ("//") edges, e.g.
+///   item[.//mailbox][.//incategory]//text
+/// Twig matching over order-based labels is the second core operation the
+/// paper motivates (Bruno et al., "Holistic twig joins", SIGMOD'02).
+struct TwigPattern {
+  std::string tag;
+  std::vector<TwigPattern> children;
+};
+
+/// Parses a compact twig syntax:
+///   pattern   := step ( "//" step )*          (linear path suffix)
+///   step      := TAG branch*
+///   branch    := "[" "//"? pattern "]"        (a required descendant twig)
+/// Examples: "site//item//text", "item[//mailbox][//incategory]//text".
+StatusOr<TwigPattern> ParseTwigPattern(const std::string& text);
+
+/// Matches `pattern` bottom-up against per-tag interval lists: an interval
+/// roots a match iff, for every pattern child, some interval matching that
+/// child's sub-twig lies strictly inside it. `intervals_for_tag` is called
+/// once per distinct tag in the pattern and must return the tag's
+/// intervals sorted by start label.
+///
+/// Returns the intervals (in document order) that root a full match.
+/// Proper nesting of tree intervals makes each existence test a binary
+/// search; the whole match costs O(sum of candidate-list sizes x log).
+StatusOr<std::vector<Interval>> MatchTwig(
+    const TwigPattern& pattern,
+    const std::function<StatusOr<std::vector<Interval>>(const std::string&)>&
+        intervals_for_tag);
+
+/// Convenience front end: matches against a document labeled by `scheme`.
+StatusOr<std::vector<Interval>> MatchTwig(
+    const TwigPattern& pattern, LabelingScheme* scheme,
+    const xml::Document& doc, const std::vector<NewElement>& lids);
+
+}  // namespace boxes::query
+
+#endif  // BOXES_QUERY_TWIG_H_

@@ -1,0 +1,16 @@
+#include "storage/io_stats.h"
+
+#include <cstdio>
+
+namespace boxes {
+
+std::string IoStats::ToString() const {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "reads=%llu writes=%llu total=%llu",
+                static_cast<unsigned long long>(reads),
+                static_cast<unsigned long long>(writes),
+                static_cast<unsigned long long>(total()));
+  return buf;
+}
+
+}  // namespace boxes

@@ -1,0 +1,33 @@
+#ifndef BOXES_STORAGE_IO_STATS_H_
+#define BOXES_STORAGE_IO_STATS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace boxes {
+
+/// Counters of logical block I/Os, the paper's primary performance metric.
+///
+/// A "read" is the first touch of a page that is not resident in the current
+/// operation's working set; a "write" is a dirty page flushed at the end of
+/// an operation (or evicted under a bounded cache). Per-operation costs are
+/// deltas of total().
+struct IoStats {
+  uint64_t reads = 0;
+  uint64_t writes = 0;
+
+  uint64_t total() const { return reads + writes; }
+
+  IoStats Delta(const IoStats& earlier) const {
+    IoStats d;
+    d.reads = reads - earlier.reads;
+    d.writes = writes - earlier.writes;
+    return d;
+  }
+
+  std::string ToString() const;
+};
+
+}  // namespace boxes
+
+#endif  // BOXES_STORAGE_IO_STATS_H_

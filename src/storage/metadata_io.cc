@@ -1,0 +1,169 @@
+#include "storage/metadata_io.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/coding.h"
+
+namespace boxes {
+
+namespace {
+
+constexpr size_t kPageHeaderSize = 16;
+constexpr uint64_t kSuperblockMagic = 0x31424453'45584f42ULL;  // "BOXESDB1"
+
+}  // namespace
+
+void MetadataWriter::PutU32(uint32_t value) {
+  uint8_t raw[4];
+  EncodeFixed32(raw, value);
+  buffer_.insert(buffer_.end(), raw, raw + sizeof(raw));
+}
+
+void MetadataWriter::PutU64(uint64_t value) {
+  uint8_t raw[8];
+  EncodeFixed64(raw, value);
+  buffer_.insert(buffer_.end(), raw, raw + sizeof(raw));
+}
+
+void MetadataWriter::PutBytes(const uint8_t* data, size_t size) {
+  buffer_.insert(buffer_.end(), data, data + size);
+}
+
+void MetadataWriter::PutString(const std::string& text) {
+  PutU32(static_cast<uint32_t>(text.size()));
+  PutBytes(reinterpret_cast<const uint8_t*>(text.data()), text.size());
+}
+
+StatusOr<PageId> MetadataWriter::Finish(PageCache* cache) const {
+  const size_t payload_per_page = cache->page_size() - kPageHeaderSize;
+  PageId head = kInvalidPageId;
+  uint8_t* previous_page = nullptr;
+  size_t offset = 0;
+  do {
+    uint8_t* data = nullptr;
+    BOXES_ASSIGN_OR_RETURN(const PageId page, cache->AllocatePage(&data));
+    if (previous_page != nullptr) {
+      EncodeFixed64(previous_page, page);  // link from the previous page
+    } else {
+      head = page;
+    }
+    const size_t chunk =
+        std::min(payload_per_page, buffer_.size() - offset);
+    EncodeFixed64(data, kInvalidPageId);
+    EncodeFixed32(data + 8, static_cast<uint32_t>(chunk));
+    std::memcpy(data + kPageHeaderSize, buffer_.data() + offset, chunk);
+    offset += chunk;
+    previous_page = data;
+  } while (offset < buffer_.size());
+  return head;
+}
+
+StatusOr<MetadataReader> MetadataReader::Load(PageCache* cache, PageId head) {
+  MetadataReader reader;
+  PageId page = head;
+  uint64_t guard = 0;
+  while (page != kInvalidPageId) {
+    if (++guard > (1u << 24)) {
+      return Status::Corruption("metadata chain does not terminate");
+    }
+    BOXES_ASSIGN_OR_RETURN(uint8_t* data, cache->GetPage(page));
+    const PageId next = DecodeFixed64(data);
+    const uint32_t used = DecodeFixed32(data + 8);
+    if (used > cache->page_size() - kPageHeaderSize) {
+      return Status::Corruption("metadata page overflows its frame");
+    }
+    reader.buffer_.insert(reader.buffer_.end(), data + kPageHeaderSize,
+                          data + kPageHeaderSize + used);
+    page = next;
+  }
+  return reader;
+}
+
+StatusOr<uint32_t> MetadataReader::GetU32() {
+  if (position_ + 4 > buffer_.size()) {
+    return Status::OutOfRange("metadata stream truncated");
+  }
+  const uint32_t value = DecodeFixed32(buffer_.data() + position_);
+  position_ += 4;
+  return value;
+}
+
+StatusOr<uint64_t> MetadataReader::GetU64() {
+  if (position_ + 8 > buffer_.size()) {
+    return Status::OutOfRange("metadata stream truncated");
+  }
+  const uint64_t value = DecodeFixed64(buffer_.data() + position_);
+  position_ += 8;
+  return value;
+}
+
+Status MetadataReader::GetBytes(uint8_t* out, size_t size) {
+  if (position_ + size > buffer_.size()) {
+    return Status::OutOfRange("metadata stream truncated");
+  }
+  std::memcpy(out, buffer_.data() + position_, size);
+  position_ += size;
+  return Status::OK();
+}
+
+StatusOr<std::string> MetadataReader::GetString() {
+  BOXES_ASSIGN_OR_RETURN(const uint32_t size, GetU32());
+  if (position_ + size > buffer_.size()) {
+    return Status::OutOfRange("metadata stream truncated");
+  }
+  std::string text(reinterpret_cast<const char*>(buffer_.data() + position_),
+                   size);
+  position_ += size;
+  return text;
+}
+
+Status FreeMetadataChain(PageCache* cache, PageId head) {
+  PageId page = head;
+  uint64_t guard = 0;
+  while (page != kInvalidPageId) {
+    if (++guard > (1u << 24)) {
+      return Status::Corruption("metadata chain does not terminate");
+    }
+    BOXES_ASSIGN_OR_RETURN(uint8_t* data, cache->GetPage(page));
+    const PageId next = DecodeFixed64(data);
+    BOXES_RETURN_IF_ERROR(cache->FreePage(page));
+    page = next;
+  }
+  return Status::OK();
+}
+
+Status InitializeSuperblock(PageCache* cache) {
+  uint8_t* data = nullptr;
+  BOXES_ASSIGN_OR_RETURN(const PageId page, cache->AllocatePage(&data));
+  if (page != 0) {
+    return Status::FailedPrecondition(
+        "the superblock must be the first allocated page");
+  }
+  EncodeFixed64(data, kSuperblockMagic);
+  EncodeFixed64(data + 8, kInvalidPageId);
+  return Status::OK();
+}
+
+Status StoreCheckpointHead(PageCache* cache, PageId head) {
+  BOXES_ASSIGN_OR_RETURN(uint8_t* data, cache->GetPageForWrite(0));
+  if (DecodeFixed64(data) != kSuperblockMagic) {
+    return Status::Corruption("superblock magic mismatch");
+  }
+  EncodeFixed64(data + 8, head);
+  return Status::OK();
+}
+
+StatusOr<PageId> LoadCheckpointHead(PageCache* cache) {
+  BOXES_ASSIGN_OR_RETURN(uint8_t* data, cache->GetPage(0));
+  if (DecodeFixed64(data) != kSuperblockMagic) {
+    return Status::Corruption("superblock magic mismatch");
+  }
+  const PageId head = DecodeFixed64(data + 8);
+  if (head == kInvalidPageId) {
+    return Status::NotFound("no checkpoint recorded");
+  }
+  return head;
+}
+
+}  // namespace boxes

@@ -1,0 +1,78 @@
+#ifndef BOXES_STORAGE_METADATA_IO_H_
+#define BOXES_STORAGE_METADATA_IO_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "storage/page_cache.h"
+#include "util/status.h"
+
+namespace boxes {
+
+/// Serializes structure metadata (roots, counters, the LIDF directory and
+/// liveness bitmap, ...) into a chain of pages, giving the otherwise
+/// in-memory bookkeeping a durable home so file-backed databases can be
+/// closed and reopened.
+///
+/// Page layout: [0..7] next page id (kInvalidPageId at the tail),
+/// [8..11] payload bytes used, [16..] payload.
+class MetadataWriter {
+ public:
+  void PutU32(uint32_t value);
+  void PutU64(uint64_t value);
+  void PutBytes(const uint8_t* data, size_t size);
+  void PutString(const std::string& text);
+
+  /// Writes the accumulated buffer into freshly allocated pages of `cache`
+  /// and returns the head page id.
+  StatusOr<PageId> Finish(PageCache* cache) const;
+
+ private:
+  std::vector<uint8_t> buffer_;
+};
+
+/// Reads back a metadata chain written by MetadataWriter. All Get* calls
+/// are bounds-checked; reading past the end yields OutOfRange.
+class MetadataReader {
+ public:
+  /// Loads the whole chain starting at `head`.
+  static StatusOr<MetadataReader> Load(PageCache* cache, PageId head);
+
+  StatusOr<uint32_t> GetU32();
+  StatusOr<uint64_t> GetU64();
+  Status GetBytes(uint8_t* out, size_t size);
+  StatusOr<std::string> GetString();
+
+  /// True when the whole buffer has been consumed.
+  bool AtEnd() const { return position_ == buffer_.size(); }
+
+  /// Empty reader (required by StatusOr); use Load() to obtain real ones.
+  MetadataReader() = default;
+
+ private:
+  std::vector<uint8_t> buffer_;
+  size_t position_ = 0;
+};
+
+/// Frees the pages of a metadata chain (e.g. a superseded checkpoint).
+Status FreeMetadataChain(PageCache* cache, PageId head);
+
+/// Superblock conventions: checkpoint-enabled databases reserve page 0
+/// before any structure allocates pages. The superblock stores a magic and
+/// the current checkpoint's metadata-chain head.
+
+/// Allocates and formats page 0; must be the very first allocation on a
+/// fresh store.
+Status InitializeSuperblock(PageCache* cache);
+
+/// Points the superblock at a new checkpoint chain head.
+Status StoreCheckpointHead(PageCache* cache, PageId head);
+
+/// Reads the checkpoint chain head from the superblock; NotFound if the
+/// database holds no checkpoint.
+StatusOr<PageId> LoadCheckpointHead(PageCache* cache);
+
+}  // namespace boxes
+
+#endif  // BOXES_STORAGE_METADATA_IO_H_

@@ -1,0 +1,162 @@
+#include "storage/page_cache.h"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+namespace boxes {
+
+PageCache::PageCache(PageStore* store, PageCacheOptions options)
+    : store_(store), options_(options) {}
+
+PageCache::~PageCache() {
+  // Best-effort flush; errors here cannot be reported.
+  (void)FlushAll();
+}
+
+void PageCache::BeginOp() {
+  BOXES_CHECK(!op_active_);
+  op_active_ = true;
+  for (auto& [id, frame] : frames_) {
+    (void)id;
+    frame.touched_this_op = false;
+  }
+  // With retention, trim to capacity now: every frame is untouched, so no
+  // caller-held pointer can be invalidated.
+  BOXES_CHECK_OK(EvictIfNeeded());
+}
+
+Status PageCache::EndOp() {
+  BOXES_CHECK(op_active_);
+  op_active_ = false;
+  return FlushAll();
+}
+
+StatusOr<uint8_t*> PageCache::GetPage(PageId id) {
+  return GetInternal(id, /*for_write=*/false);
+}
+
+StatusOr<uint8_t*> PageCache::GetPageForWrite(PageId id) {
+  return GetInternal(id, /*for_write=*/true);
+}
+
+StatusOr<uint8_t*> PageCache::GetInternal(PageId id, bool for_write) {
+  auto it = frames_.find(id);
+  if (it == frames_.end()) {
+    BOXES_RETURN_IF_ERROR(EvictIfNeeded());
+    Frame frame;
+    frame.data = std::make_unique<uint8_t[]>(page_size());
+    BOXES_RETURN_IF_ERROR(store_->Read(id, frame.data.get()));
+    ++stats_.reads;
+    it = frames_.emplace(id, std::move(frame)).first;
+  }
+  Frame& frame = it->second;
+  Touch(id, &frame);
+  if (for_write) {
+    frame.dirty = true;
+  }
+  return frame.data.get();
+}
+
+StatusOr<PageId> PageCache::AllocatePage(uint8_t** data) {
+  StatusOr<PageId> id = store_->Allocate();
+  if (!id.ok()) {
+    return id.status();
+  }
+  BOXES_RETURN_IF_ERROR(EvictIfNeeded());
+  Frame frame;
+  frame.data = std::make_unique<uint8_t[]>(page_size());
+  std::memset(frame.data.get(), 0, page_size());
+  frame.dirty = true;
+  auto it = frames_.emplace(*id, std::move(frame)).first;
+  Touch(*id, &it->second);
+  *data = it->second.data.get();
+  return *id;
+}
+
+Status PageCache::FreePage(PageId id) {
+  auto it = frames_.find(id);
+  if (it != frames_.end()) {
+    if (it->second.in_lru) {
+      lru_.erase(it->second.lru_pos);
+    }
+    frames_.erase(it);
+  }
+  return store_->Free(id);
+}
+
+Status PageCache::FlushAll() {
+  // Flush dirty frames in a deterministic order for reproducibility.
+  std::vector<PageId> ids;
+  ids.reserve(frames_.size());
+  for (auto& [id, frame] : frames_) {
+    (void)frame;
+    ids.push_back(id);
+  }
+  std::sort(ids.begin(), ids.end());
+  for (PageId id : ids) {
+    Frame& frame = frames_[id];
+    BOXES_RETURN_IF_ERROR(FlushFrame(id, &frame));
+  }
+  if (!options_.retain_across_ops) {
+    frames_.clear();
+    lru_.clear();
+  }
+  return Status::OK();
+}
+
+Status PageCache::FlushFrame(PageId id, Frame* frame) {
+  if (!frame->dirty) {
+    return Status::OK();
+  }
+  BOXES_RETURN_IF_ERROR(store_->Write(id, frame->data.get()));
+  frame->dirty = false;
+  ++stats_.writes;
+  return Status::OK();
+}
+
+Status PageCache::EvictIfNeeded() {
+  if (!options_.retain_across_ops) {
+    return Status::OK();  // unbounded working set within an operation
+  }
+  if (!op_active_) {
+    // Without operation brackets there is no safe point to invalidate the
+    // raw pointers callers hold; defer eviction to the next BeginOp.
+    return Status::OK();
+  }
+  while (frames_.size() >= options_.capacity_pages && !lru_.empty()) {
+    // Find the least-recently-used frame that is not part of the current
+    // operation's working set (those must stay pinned: callers hold raw
+    // pointers to them until EndOp).
+    PageId victim = kInvalidPageId;
+    for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+      const Frame& frame = frames_.at(*it);
+      if (!op_active_ || !frame.touched_this_op) {
+        victim = *it;
+        break;
+      }
+    }
+    if (victim == kInvalidPageId) {
+      return Status::OK();  // everything pinned; allow temporary overflow
+    }
+    auto it = frames_.find(victim);
+    BOXES_RETURN_IF_ERROR(FlushFrame(victim, &it->second));
+    lru_.erase(it->second.lru_pos);
+    frames_.erase(it);
+  }
+  return Status::OK();
+}
+
+void PageCache::Touch(PageId id, Frame* frame) {
+  frame->touched_this_op = true;
+  if (options_.retain_across_ops) {
+    if (frame->in_lru) {
+      lru_.erase(frame->lru_pos);
+    }
+    lru_.push_front(id);
+    frame->lru_pos = lru_.begin();
+    frame->in_lru = true;
+  }
+}
+
+}  // namespace boxes

@@ -1,0 +1,137 @@
+#ifndef BOXES_STORAGE_PAGE_CACHE_H_
+#define BOXES_STORAGE_PAGE_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <unordered_map>
+
+#include "storage/io_stats.h"
+#include "storage/page_store.h"
+#include "util/status.h"
+
+namespace boxes {
+
+/// Configuration for PageCache.
+struct PageCacheOptions {
+  /// If false (the paper's main experimental setting), the working set is
+  /// dropped at the end of every operation: a small number of memory blocks
+  /// is available *within* one operation for pages that are immediately
+  /// revisited, and nothing survives across operations.
+  ///
+  /// If true, up to `capacity_pages` frames persist across operations with
+  /// LRU replacement (the paper's "with caching" remark: the root tends to
+  /// stay resident).
+  bool retain_across_ops = false;
+  uint64_t capacity_pages = 1024;
+};
+
+/// The single point through which all structures access pages, responsible
+/// for the paper's I/O accounting.
+///
+/// Usage: the *caller* (workload runner, example program) brackets each
+/// logical operation with BeginOp()/EndOp(); structures simply call
+/// GetPage/GetPageForWrite/AllocatePage/FreePage. Within an operation, the
+/// first touch of a page costs one read I/O and later touches are free; at
+/// EndOp every distinct dirty page costs one write I/O and (without
+/// retention) the working set is dropped.
+///
+/// If no operation is ever begun, the cache behaves as one unbounded
+/// operation: all pages stay resident and dirty data is flushed by
+/// FlushAll(). This is convenient for tests that only care about
+/// correctness.
+class PageCache {
+ public:
+  explicit PageCache(PageStore* store, PageCacheOptions options = {});
+  ~PageCache();
+
+  PageCache(const PageCache&) = delete;
+  PageCache& operator=(const PageCache&) = delete;
+
+  size_t page_size() const { return store_->page_size(); }
+  PageStore* store() const { return store_; }
+
+  /// Marks the start of a logical operation. Requires no operation active.
+  void BeginOp();
+
+  /// Flushes dirty frames (counting write I/Os), drops the working set
+  /// (unless retention is enabled), and ends the operation.
+  Status EndOp();
+
+  bool op_active() const { return op_active_; }
+
+  /// Returns a pointer to the page's bytes, valid until EndOp() (or until
+  /// FreePage of the same page). Counts one read I/O if the page is not in
+  /// the working set / retained cache.
+  StatusOr<uint8_t*> GetPage(PageId id);
+
+  /// Like GetPage but also marks the page dirty.
+  StatusOr<uint8_t*> GetPageForWrite(PageId id);
+
+  /// Allocates a zeroed page, resident and dirty. No read I/O is charged;
+  /// the write is charged when flushed. On success `*data` points at the
+  /// frame bytes.
+  StatusOr<PageId> AllocatePage(uint8_t** data);
+
+  /// Frees a page; drops its frame without writing it back.
+  Status FreePage(PageId id);
+
+  /// Flushes all dirty frames and, without retention, drops all frames.
+  /// Same as EndOp but legal with no active operation.
+  Status FlushAll();
+
+  /// Cumulative I/O counters.
+  const IoStats& stats() const { return stats_; }
+
+  /// Resets counters to zero (frames are untouched).
+  void ResetStats() { stats_ = IoStats(); }
+
+  /// Number of frames currently resident (for tests).
+  size_t resident_pages() const { return frames_.size(); }
+
+ private:
+  struct Frame {
+    std::unique_ptr<uint8_t[]> data;
+    bool dirty = false;
+    bool touched_this_op = false;
+    // Position in lru_ (retained mode only).
+    std::list<PageId>::iterator lru_pos;
+    bool in_lru = false;
+  };
+
+  StatusOr<uint8_t*> GetInternal(PageId id, bool for_write);
+  Status EvictIfNeeded();
+  Status FlushFrame(PageId id, Frame* frame);
+  void Touch(PageId id, Frame* frame);
+
+  PageStore* store_;  // not owned
+  const PageCacheOptions options_;
+  std::unordered_map<PageId, Frame> frames_;
+  std::list<PageId> lru_;  // front = most recent (retained mode only)
+  IoStats stats_;
+  bool op_active_ = false;
+};
+
+/// RAII bracket for one logical operation on a PageCache.
+class IoScope {
+ public:
+  explicit IoScope(PageCache* cache) : cache_(cache) { cache_->BeginOp(); }
+  ~IoScope() {
+    if (cache_->op_active()) {
+      BOXES_CHECK_OK(cache_->EndOp());
+    }
+  }
+
+  IoScope(const IoScope&) = delete;
+  IoScope& operator=(const IoScope&) = delete;
+
+  /// Ends the operation early, propagating flush errors.
+  Status End() { return cache_->EndOp(); }
+
+ private:
+  PageCache* cache_;
+};
+
+}  // namespace boxes
+
+#endif  // BOXES_STORAGE_PAGE_CACHE_H_

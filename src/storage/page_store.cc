@@ -1,0 +1,239 @@
+#include "storage/page_store.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace boxes {
+
+MemoryPageStore::MemoryPageStore(size_t page_size) : page_size_(page_size) {
+  BOXES_CHECK(page_size_ >= 64);
+}
+
+StatusOr<PageId> MemoryPageStore::Allocate() {
+  PageId id;
+  if (!free_list_.empty()) {
+    id = free_list_.back();
+    free_list_.pop_back();
+    std::memset(pages_[id].get(), 0, page_size_);
+    live_[id] = true;
+  } else {
+    id = pages_.size();
+    pages_.push_back(std::make_unique<uint8_t[]>(page_size_));
+    std::memset(pages_[id].get(), 0, page_size_);
+    live_.push_back(true);
+  }
+  ++allocated_;
+  return id;
+}
+
+Status MemoryPageStore::Free(PageId id) {
+  BOXES_RETURN_IF_ERROR(CheckId(id));
+  live_[id] = false;
+  free_list_.push_back(id);
+  --allocated_;
+  return Status::OK();
+}
+
+Status MemoryPageStore::Read(PageId id, uint8_t* buf) {
+  BOXES_RETURN_IF_ERROR(CheckId(id));
+  std::memcpy(buf, pages_[id].get(), page_size_);
+  return Status::OK();
+}
+
+Status MemoryPageStore::Write(PageId id, const uint8_t* buf) {
+  BOXES_RETURN_IF_ERROR(CheckId(id));
+  std::memcpy(pages_[id].get(), buf, page_size_);
+  return Status::OK();
+}
+
+void MemoryPageStore::SnapshotAllocator(
+    uint64_t* total, std::vector<PageId>* free_pages) const {
+  *total = pages_.size();
+  *free_pages = free_list_;
+}
+
+Status MemoryPageStore::RestoreAllocator(
+    uint64_t total, const std::vector<PageId>& free_pages) {
+  if (total < pages_.size()) {
+    return Status::InvalidArgument(
+        "allocator snapshot is smaller than the device");
+  }
+  while (pages_.size() < total) {
+    pages_.push_back(std::make_unique<uint8_t[]>(page_size_));
+    std::memset(pages_.back().get(), 0, page_size_);
+    live_.push_back(false);
+  }
+  live_.assign(total, true);
+  for (PageId id : free_pages) {
+    if (id >= total) {
+      return Status::InvalidArgument("free page beyond device size");
+    }
+    live_[id] = false;
+  }
+  free_list_ = free_pages;
+  allocated_ = total - free_pages.size();
+  return Status::OK();
+}
+
+Status MemoryPageStore::CheckId(PageId id) const {
+  if (id >= pages_.size() || !live_[id]) {
+    return Status::InvalidArgument("page " + std::to_string(id) +
+                                   " is not allocated");
+  }
+  return Status::OK();
+}
+
+FilePageStore::FilePageStore(const std::string& path, size_t page_size,
+                             Mode mode)
+    : page_size_(page_size) {
+  BOXES_CHECK(page_size_ >= 64);
+  const int flags =
+      mode == Mode::kTruncate ? (O_RDWR | O_CREAT | O_TRUNC) : O_RDWR;
+  fd_ = ::open(path.c_str(), flags, 0644);
+  if (fd_ < 0) {
+    status_ = Status::IoError("open(" + path + "): " + std::strerror(errno));
+    return;
+  }
+  if (mode == Mode::kOpen) {
+    // Existing pages become live; the caller narrows this with
+    // RestoreAllocator from checkpointed metadata.
+    const off_t size = ::lseek(fd_, 0, SEEK_END);
+    if (size < 0) {
+      status_ = Status::IoError(std::string("lseek: ") + std::strerror(errno));
+      return;
+    }
+    total_pages_ = static_cast<uint64_t>(size) / page_size_;
+    live_.assign(total_pages_, true);
+    allocated_ = total_pages_;
+  }
+}
+
+FilePageStore::~FilePageStore() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+  }
+}
+
+StatusOr<PageId> FilePageStore::Allocate() {
+  if (!status_.ok()) {
+    return status_;
+  }
+  PageId id;
+  if (!free_list_.empty()) {
+    id = free_list_.back();
+    free_list_.pop_back();
+    live_[id] = true;
+  } else {
+    id = total_pages_;
+    ++total_pages_;
+    live_.push_back(true);
+  }
+  // Zero the page on the device.
+  std::vector<uint8_t> zeros(page_size_, 0);
+  BOXES_RETURN_IF_ERROR(Write(id, zeros.data()));
+  ++allocated_;
+  return id;
+}
+
+Status FilePageStore::Free(PageId id) {
+  BOXES_RETURN_IF_ERROR(CheckId(id));
+  live_[id] = false;
+  free_list_.push_back(id);
+  --allocated_;
+  return Status::OK();
+}
+
+Status FilePageStore::Read(PageId id, uint8_t* buf) {
+  BOXES_RETURN_IF_ERROR(CheckId(id));
+  const off_t offset = static_cast<off_t>(id) * static_cast<off_t>(page_size_);
+  ssize_t n = ::pread(fd_, buf, page_size_, offset);
+  if (n < 0) {
+    return Status::IoError(std::string("pread: ") + std::strerror(errno));
+  }
+  if (static_cast<size_t>(n) < page_size_) {
+    // Reading past the current EOF of a sparse file: missing bytes are zero.
+    std::memset(buf + n, 0, page_size_ - static_cast<size_t>(n));
+  }
+  return Status::OK();
+}
+
+Status FilePageStore::Write(PageId id, const uint8_t* buf) {
+  if (!status_.ok()) {
+    return status_;
+  }
+  if (id >= total_pages_ || !live_[id]) {
+    return Status::InvalidArgument("page " + std::to_string(id) +
+                                   " is not allocated");
+  }
+  const off_t offset = static_cast<off_t>(id) * static_cast<off_t>(page_size_);
+  const ssize_t n = ::pwrite(fd_, buf, page_size_, offset);
+  if (n < 0 || static_cast<size_t>(n) != page_size_) {
+    return Status::IoError(std::string("pwrite: ") + std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+void FilePageStore::SnapshotAllocator(
+    uint64_t* total, std::vector<PageId>* free_pages) const {
+  *total = total_pages_;
+  *free_pages = free_list_;
+}
+
+Status FilePageStore::RestoreAllocator(
+    uint64_t total, const std::vector<PageId>& free_pages) {
+  if (total < total_pages_) {
+    return Status::InvalidArgument(
+        "allocator snapshot is smaller than the device");
+  }
+  total_pages_ = total;
+  live_.assign(total, true);
+  for (PageId id : free_pages) {
+    if (id >= total) {
+      return Status::InvalidArgument("free page beyond device size");
+    }
+    live_[id] = false;
+  }
+  free_list_ = free_pages;
+  allocated_ = total - free_pages.size();
+  return Status::OK();
+}
+
+Status FilePageStore::CheckId(PageId id) const {
+  if (!status_.ok()) {
+    return status_;
+  }
+  if (id >= total_pages_ || !live_[id]) {
+    return Status::InvalidArgument("page " + std::to_string(id) +
+                                   " is not allocated");
+  }
+  return Status::OK();
+}
+
+FaultInjectionPageStore::FaultInjectionPageStore(PageStore* base)
+    : base_(base) {}
+
+Status FaultInjectionPageStore::MaybeFail() {
+  if (fail_after_ops_ == UINT64_MAX) {
+    return Status::OK();
+  }
+  if (fail_after_ops_ == 0) {
+    return Status::IoError("injected fault");
+  }
+  --fail_after_ops_;
+  return Status::OK();
+}
+
+Status FaultInjectionPageStore::Read(PageId id, uint8_t* buf) {
+  BOXES_RETURN_IF_ERROR(MaybeFail());
+  return base_->Read(id, buf);
+}
+
+Status FaultInjectionPageStore::Write(PageId id, const uint8_t* buf) {
+  BOXES_RETURN_IF_ERROR(MaybeFail());
+  return base_->Write(id, buf);
+}
+
+}  // namespace boxes

@@ -1,0 +1,184 @@
+#ifndef BOXES_STORAGE_PAGE_STORE_H_
+#define BOXES_STORAGE_PAGE_STORE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace boxes {
+
+/// Identifier of a fixed-size block ("page") in a PageStore.
+using PageId = uint64_t;
+
+/// Sentinel for "no page".
+inline constexpr PageId kInvalidPageId = UINT64_MAX;
+
+/// Default block size used throughout the paper's experiments (8 KB).
+inline constexpr size_t kDefaultPageSize = 8192;
+
+/// Abstraction of a block device: a growable array of fixed-size pages with
+/// allocate/free/read/write. All BOX structures and the LIDF live on a
+/// PageStore; the PageCache in front of it is what counts I/Os.
+class PageStore {
+ public:
+  virtual ~PageStore() = default;
+
+  /// Size in bytes of every page.
+  virtual size_t page_size() const = 0;
+
+  /// Allocates a zeroed page and returns its id.
+  virtual StatusOr<PageId> Allocate() = 0;
+
+  /// Returns a page to the free list. The page id may be reused by a later
+  /// Allocate().
+  virtual Status Free(PageId id) = 0;
+
+  /// Reads a full page into `buf` (page_size() bytes).
+  virtual Status Read(PageId id, uint8_t* buf) = 0;
+
+  /// Writes a full page from `buf` (page_size() bytes).
+  virtual Status Write(PageId id, const uint8_t* buf) = 0;
+
+  /// Number of currently allocated (live) pages.
+  virtual uint64_t allocated_pages() const = 0;
+
+  /// Total pages ever created, including freed ones (device size).
+  virtual uint64_t total_pages() const = 0;
+
+  /// Snapshots the allocator: device size and the currently free page ids.
+  /// Together with the data pages this fully describes the store, enabling
+  /// checkpoint/reopen of file-backed databases.
+  virtual void SnapshotAllocator(uint64_t* total,
+                                 std::vector<PageId>* free_pages) const = 0;
+
+  /// Restores allocator state captured by SnapshotAllocator. All pages
+  /// outside `free_pages` (and below `total`) become live.
+  virtual Status RestoreAllocator(uint64_t total,
+                                  const std::vector<PageId>& free_pages) = 0;
+};
+
+/// In-memory page store; the default substrate for experiments. Simulates a
+/// disk: pages are explicit, fixed-size, and only reachable through
+/// Read/Write.
+class MemoryPageStore : public PageStore {
+ public:
+  explicit MemoryPageStore(size_t page_size = kDefaultPageSize);
+
+  MemoryPageStore(const MemoryPageStore&) = delete;
+  MemoryPageStore& operator=(const MemoryPageStore&) = delete;
+
+  size_t page_size() const override { return page_size_; }
+  StatusOr<PageId> Allocate() override;
+  Status Free(PageId id) override;
+  Status Read(PageId id, uint8_t* buf) override;
+  Status Write(PageId id, const uint8_t* buf) override;
+  uint64_t allocated_pages() const override { return allocated_; }
+  uint64_t total_pages() const override { return pages_.size(); }
+  void SnapshotAllocator(uint64_t* total,
+                         std::vector<PageId>* free_pages) const override;
+  Status RestoreAllocator(uint64_t total,
+                          const std::vector<PageId>& free_pages) override;
+
+ private:
+  Status CheckId(PageId id) const;
+
+  const size_t page_size_;
+  std::vector<std::unique_ptr<uint8_t[]>> pages_;
+  std::vector<bool> live_;
+  std::vector<PageId> free_list_;
+  uint64_t allocated_ = 0;
+};
+
+/// File-backed page store. Functionally identical to MemoryPageStore but
+/// persists pages in a single flat file, demonstrating that the structures
+/// are genuinely disk-resident.
+class FilePageStore : public PageStore {
+ public:
+  enum class Mode {
+    kTruncate,  // create fresh / discard existing contents
+    kOpen,      // open an existing store; pages become live, pass the freed
+                // set via RestoreAllocator (e.g. from a checkpoint)
+  };
+
+  /// Opens `path` in the given mode. Check status() before use.
+  FilePageStore(const std::string& path, size_t page_size = kDefaultPageSize,
+                Mode mode = Mode::kTruncate);
+  ~FilePageStore() override;
+
+  FilePageStore(const FilePageStore&) = delete;
+  FilePageStore& operator=(const FilePageStore&) = delete;
+
+  /// Status of construction; not OK if the file could not be opened.
+  const Status& status() const { return status_; }
+
+  size_t page_size() const override { return page_size_; }
+  StatusOr<PageId> Allocate() override;
+  Status Free(PageId id) override;
+  Status Read(PageId id, uint8_t* buf) override;
+  Status Write(PageId id, const uint8_t* buf) override;
+  uint64_t allocated_pages() const override { return allocated_; }
+  uint64_t total_pages() const override { return total_pages_; }
+  void SnapshotAllocator(uint64_t* total,
+                         std::vector<PageId>* free_pages) const override;
+  Status RestoreAllocator(uint64_t total,
+                          const std::vector<PageId>& free_pages) override;
+
+ private:
+  Status CheckId(PageId id) const;
+
+  const size_t page_size_;
+  Status status_;
+  int fd_ = -1;
+  std::vector<bool> live_;
+  std::vector<PageId> free_list_;
+  uint64_t total_pages_ = 0;
+  uint64_t allocated_ = 0;
+};
+
+/// Wraps another PageStore and injects failures, for testing Status
+/// propagation. Fails every read/write once `fail_after_ops` operations
+/// have succeeded (UINT64_MAX = never fail).
+class FaultInjectionPageStore : public PageStore {
+ public:
+  explicit FaultInjectionPageStore(PageStore* base);
+
+  FaultInjectionPageStore(const FaultInjectionPageStore&) = delete;
+  FaultInjectionPageStore& operator=(const FaultInjectionPageStore&) = delete;
+
+  /// Arms the fault: after `n` further successful reads/writes, all
+  /// subsequent reads/writes fail with IoError.
+  void FailAfter(uint64_t n) { fail_after_ops_ = n; }
+  /// Disarms the fault.
+  void Heal() { fail_after_ops_ = UINT64_MAX; }
+
+  size_t page_size() const override { return base_->page_size(); }
+  StatusOr<PageId> Allocate() override { return base_->Allocate(); }
+  Status Free(PageId id) override { return base_->Free(id); }
+  Status Read(PageId id, uint8_t* buf) override;
+  Status Write(PageId id, const uint8_t* buf) override;
+  uint64_t allocated_pages() const override {
+    return base_->allocated_pages();
+  }
+  uint64_t total_pages() const override { return base_->total_pages(); }
+  void SnapshotAllocator(uint64_t* total,
+                         std::vector<PageId>* free_pages) const override {
+    base_->SnapshotAllocator(total, free_pages);
+  }
+  Status RestoreAllocator(uint64_t total,
+                          const std::vector<PageId>& free_pages) override {
+    return base_->RestoreAllocator(total, free_pages);
+  }
+
+ private:
+  Status MaybeFail();
+
+  PageStore* base_;  // not owned
+  uint64_t fail_after_ops_ = UINT64_MAX;
+};
+
+}  // namespace boxes
+
+#endif  // BOXES_STORAGE_PAGE_STORE_H_

@@ -1,0 +1,214 @@
+#include "util/biguint.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "util/coding.h"
+#include "util/status.h"
+
+namespace boxes {
+
+BigUint::BigUint(uint64_t value) {
+  if (value != 0) {
+    limbs_.push_back(value);
+  }
+}
+
+BigUint BigUint::PowerOfTwo(uint32_t bits) {
+  BigUint result;
+  result.limbs_.assign(bits / 64 + 1, 0);
+  result.limbs_.back() = uint64_t{1} << (bits % 64);
+  return result;
+}
+
+uint32_t BigUint::BitLength() const {
+  if (limbs_.empty()) {
+    return 0;
+  }
+  const uint32_t top_bits = 64 - std::countl_zero(limbs_.back());
+  return static_cast<uint32_t>(limbs_.size() - 1) * 64 + top_bits;
+}
+
+BigUint BigUint::Add(const BigUint& other) const {
+  const BigUint& a = limbs_.size() >= other.limbs_.size() ? *this : other;
+  const BigUint& b = limbs_.size() >= other.limbs_.size() ? other : *this;
+  BigUint result;
+  result.limbs_.reserve(a.limbs_.size() + 1);
+  uint64_t carry = 0;
+  for (size_t i = 0; i < a.limbs_.size(); ++i) {
+    const uint64_t bi = i < b.limbs_.size() ? b.limbs_[i] : 0;
+    uint64_t sum = a.limbs_[i] + bi;
+    const uint64_t carry1 = sum < a.limbs_[i] ? 1 : 0;
+    sum += carry;
+    const uint64_t carry2 = sum < carry ? 1 : 0;
+    result.limbs_.push_back(sum);
+    carry = carry1 + carry2;
+  }
+  if (carry != 0) {
+    result.limbs_.push_back(carry);
+  }
+  return result;
+}
+
+BigUint BigUint::Sub(const BigUint& other) const {
+  BOXES_CHECK(Compare(other) >= 0);
+  BigUint result;
+  result.limbs_.reserve(limbs_.size());
+  uint64_t borrow = 0;
+  for (size_t i = 0; i < limbs_.size(); ++i) {
+    const uint64_t bi = i < other.limbs_.size() ? other.limbs_[i] : 0;
+    uint64_t diff = limbs_[i] - bi;
+    const uint64_t borrow1 = limbs_[i] < bi ? 1 : 0;
+    const uint64_t diff2 = diff - borrow;
+    const uint64_t borrow2 = diff < borrow ? 1 : 0;
+    result.limbs_.push_back(diff2);
+    borrow = borrow1 + borrow2;
+  }
+  BOXES_CHECK(borrow == 0);
+  result.Normalize();
+  return result;
+}
+
+BigUint BigUint::ShiftLeft(uint32_t bits) const {
+  if (limbs_.empty() || bits == 0) {
+    BigUint copy = *this;
+    return copy;
+  }
+  const uint32_t limb_shift = bits / 64;
+  const uint32_t bit_shift = bits % 64;
+  BigUint result;
+  result.limbs_.assign(limbs_.size() + limb_shift + 1, 0);
+  for (size_t i = 0; i < limbs_.size(); ++i) {
+    result.limbs_[i + limb_shift] |= limbs_[i] << bit_shift;
+    if (bit_shift != 0) {
+      result.limbs_[i + limb_shift + 1] |= limbs_[i] >> (64 - bit_shift);
+    }
+  }
+  result.Normalize();
+  return result;
+}
+
+BigUint BigUint::ShiftRight(uint32_t bits) const {
+  const uint32_t limb_shift = bits / 64;
+  if (limb_shift >= limbs_.size()) {
+    return BigUint();
+  }
+  const uint32_t bit_shift = bits % 64;
+  BigUint result;
+  result.limbs_.assign(limbs_.size() - limb_shift, 0);
+  for (size_t i = 0; i < result.limbs_.size(); ++i) {
+    result.limbs_[i] = limbs_[i + limb_shift] >> bit_shift;
+    if (bit_shift != 0 && i + limb_shift + 1 < limbs_.size()) {
+      result.limbs_[i] |= limbs_[i + limb_shift + 1] << (64 - bit_shift);
+    }
+  }
+  result.Normalize();
+  return result;
+}
+
+BigUint BigUint::MulU64(uint64_t value) const {
+  if (value == 0 || limbs_.empty()) {
+    return BigUint();
+  }
+  BigUint result;
+  result.limbs_.reserve(limbs_.size() + 1);
+  uint64_t carry = 0;
+  for (uint64_t limb : limbs_) {
+    const unsigned __int128 prod =
+        static_cast<unsigned __int128>(limb) * value + carry;
+    result.limbs_.push_back(static_cast<uint64_t>(prod));
+    carry = static_cast<uint64_t>(prod >> 64);
+  }
+  if (carry != 0) {
+    result.limbs_.push_back(carry);
+  }
+  return result;
+}
+
+BigUint BigUint::CeilHalf() const {
+  BigUint half = ShiftRight(1);
+  if (!limbs_.empty() && (limbs_[0] & 1) != 0) {
+    half = half.Add(BigUint(1));
+  }
+  return half;
+}
+
+std::strong_ordering BigUint::Compare(const BigUint& other) const {
+  if (limbs_.size() != other.limbs_.size()) {
+    return limbs_.size() <=> other.limbs_.size();
+  }
+  for (size_t i = limbs_.size(); i-- > 0;) {
+    if (limbs_[i] != other.limbs_[i]) {
+      return limbs_[i] <=> other.limbs_[i];
+    }
+  }
+  return std::strong_ordering::equal;
+}
+
+uint64_t BigUint::ToUint64Truncated() const {
+  return limbs_.empty() ? 0 : limbs_[0];
+}
+
+std::string BigUint::ToDecimalString() const {
+  if (limbs_.empty()) {
+    return "0";
+  }
+  // Repeated division by 10^9, emitting digits least-significant first.
+  std::vector<uint64_t> work(limbs_.rbegin(), limbs_.rend());  // big-endian
+  std::string digits;
+  constexpr uint64_t kChunk = 1000000000ULL;
+  while (!work.empty()) {
+    uint64_t remainder = 0;
+    std::vector<uint64_t> quotient;
+    quotient.reserve(work.size());
+    for (uint64_t limb : work) {
+      const unsigned __int128 cur =
+          (static_cast<unsigned __int128>(remainder) << 64) | limb;
+      quotient.push_back(static_cast<uint64_t>(cur / kChunk));
+      remainder = static_cast<uint64_t>(cur % kChunk);
+    }
+    size_t first = 0;
+    while (first < quotient.size() && quotient[first] == 0) {
+      ++first;
+    }
+    quotient.erase(quotient.begin(),
+                   quotient.begin() + static_cast<ptrdiff_t>(first));
+    const bool last_chunk = quotient.empty();
+    for (int i = 0; i < 9; ++i) {
+      digits.push_back(static_cast<char>('0' + remainder % 10));
+      remainder /= 10;
+      // The most significant chunk carries no leading zeros.
+      if (last_chunk && remainder == 0) {
+        break;
+      }
+    }
+    work = std::move(quotient);
+  }
+  std::reverse(digits.begin(), digits.end());
+  return digits;
+}
+
+void BigUint::Serialize(uint8_t* dst, size_t capacity_limbs) const {
+  BOXES_CHECK(limbs_.size() <= capacity_limbs);
+  for (size_t i = 0; i < capacity_limbs; ++i) {
+    EncodeFixed64(dst + i * 8, i < limbs_.size() ? limbs_[i] : 0);
+  }
+}
+
+BigUint BigUint::Deserialize(const uint8_t* src, size_t capacity_limbs) {
+  BigUint result;
+  result.limbs_.resize(capacity_limbs);
+  for (size_t i = 0; i < capacity_limbs; ++i) {
+    result.limbs_[i] = DecodeFixed64(src + i * 8);
+  }
+  result.Normalize();
+  return result;
+}
+
+void BigUint::Normalize() {
+  while (!limbs_.empty() && limbs_.back() == 0) {
+    limbs_.pop_back();
+  }
+}
+
+}  // namespace boxes

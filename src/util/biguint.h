@@ -1,0 +1,97 @@
+#ifndef BOXES_UTIL_BIGUINT_H_
+#define BOXES_UTIL_BIGUINT_H_
+
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace boxes {
+
+/// Arbitrary-precision unsigned integer.
+///
+/// The naive-k baseline labeling scheme keeps gaps of 2^k between adjacent
+/// labels; for k beyond ~50 the label values no longer fit in a machine
+/// word (one of the paper's arguments against large-gap naive schemes), so
+/// its label arithmetic runs on BigUint. Only the operations the labeling
+/// schemes need are provided.
+///
+/// Representation: little-endian vector of 64-bit limbs, normalized so the
+/// most significant limb is nonzero (zero is the empty vector).
+class BigUint {
+ public:
+  /// Zero.
+  BigUint() = default;
+  /// Value of a machine word.
+  explicit BigUint(uint64_t value);
+
+  BigUint(const BigUint&) = default;
+  BigUint& operator=(const BigUint&) = default;
+  BigUint(BigUint&&) = default;
+  BigUint& operator=(BigUint&&) = default;
+
+  /// Returns 2^bits.
+  static BigUint PowerOfTwo(uint32_t bits);
+
+  bool IsZero() const { return limbs_.empty(); }
+
+  /// Number of bits in the minimal binary representation; 0 for zero.
+  uint32_t BitLength() const;
+
+  /// this + other.
+  BigUint Add(const BigUint& other) const;
+  /// this - other. Requires this >= other.
+  BigUint Sub(const BigUint& other) const;
+  /// this << bits.
+  BigUint ShiftLeft(uint32_t bits) const;
+  /// this >> bits (floor division by 2^bits).
+  BigUint ShiftRight(uint32_t bits) const;
+  /// this * value.
+  BigUint MulU64(uint64_t value) const;
+  /// floor(this / 2).
+  BigUint Half() const { return ShiftRight(1); }
+  /// ceil(this / 2).
+  BigUint CeilHalf() const;
+
+  /// Three-way comparison.
+  std::strong_ordering Compare(const BigUint& other) const;
+
+  /// Low 64 bits of the value (truncating).
+  uint64_t ToUint64Truncated() const;
+  /// True iff the value fits in 64 bits.
+  bool FitsUint64() const { return limbs_.size() <= 1; }
+
+  /// Decimal string form, for diagnostics and tests.
+  std::string ToDecimalString() const;
+
+  /// Number of limbs needed to serialize this value.
+  size_t LimbCount() const { return limbs_.size(); }
+
+  /// Writes exactly `capacity_limbs` little-endian 64-bit limbs to `dst`
+  /// (zero-padded). Requires LimbCount() <= capacity_limbs.
+  void Serialize(uint8_t* dst, size_t capacity_limbs) const;
+  /// Reads `capacity_limbs` limbs from `src` and normalizes.
+  static BigUint Deserialize(const uint8_t* src, size_t capacity_limbs);
+
+  friend bool operator==(const BigUint& a, const BigUint& b) {
+    return a.limbs_ == b.limbs_;
+  }
+  friend std::strong_ordering operator<=>(const BigUint& a, const BigUint& b) {
+    return a.Compare(b);
+  }
+  friend BigUint operator+(const BigUint& a, const BigUint& b) {
+    return a.Add(b);
+  }
+  friend BigUint operator-(const BigUint& a, const BigUint& b) {
+    return a.Sub(b);
+  }
+
+ private:
+  void Normalize();
+
+  std::vector<uint64_t> limbs_;
+};
+
+}  // namespace boxes
+
+#endif  // BOXES_UTIL_BIGUINT_H_

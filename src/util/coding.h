@@ -1,0 +1,79 @@
+#ifndef BOXES_UTIL_CODING_H_
+#define BOXES_UTIL_CODING_H_
+
+#include <cstdint>
+#include <cstring>
+
+namespace boxes {
+
+/// Little-endian fixed-width load/store helpers used by all on-page record
+/// layouts. memcpy-based so they are safe for unaligned access and free of
+/// strict-aliasing issues; compilers lower them to single loads/stores.
+
+inline void EncodeFixed16(uint8_t* dst, uint16_t value) {
+  std::memcpy(dst, &value, sizeof(value));
+}
+
+inline void EncodeFixed32(uint8_t* dst, uint32_t value) {
+  std::memcpy(dst, &value, sizeof(value));
+}
+
+inline void EncodeFixed64(uint8_t* dst, uint64_t value) {
+  std::memcpy(dst, &value, sizeof(value));
+}
+
+inline uint16_t DecodeFixed16(const uint8_t* src) {
+  uint16_t value;
+  std::memcpy(&value, src, sizeof(value));
+  return value;
+}
+
+inline uint32_t DecodeFixed32(const uint8_t* src) {
+  uint32_t value;
+  std::memcpy(&value, src, sizeof(value));
+  return value;
+}
+
+inline uint64_t DecodeFixed64(const uint8_t* src) {
+  uint64_t value;
+  std::memcpy(&value, src, sizeof(value));
+  return value;
+}
+
+/// LEB128 variable-length encoding, used by variable-width label
+/// components (ORDPATH-style labels compress to ~1 byte per component).
+
+/// Encodes `value` at `dst` (which must have >= 10 bytes of room) and
+/// returns the number of bytes written.
+inline size_t EncodeVarint64(uint8_t* dst, uint64_t value) {
+  size_t written = 0;
+  while (value >= 0x80) {
+    dst[written++] = static_cast<uint8_t>(value) | 0x80;
+    value >>= 7;
+  }
+  dst[written++] = static_cast<uint8_t>(value);
+  return written;
+}
+
+/// Decodes a varint from [src, limit); advances *src past it. Returns
+/// false on truncation or overlong input.
+inline bool DecodeVarint64(const uint8_t** src, const uint8_t* limit,
+                           uint64_t* value) {
+  uint64_t result = 0;
+  for (int shift = 0; shift <= 63; shift += 7) {
+    if (*src >= limit) {
+      return false;
+    }
+    const uint8_t byte = *(*src)++;
+    result |= static_cast<uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) {
+      *value = result;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace boxes
+
+#endif  // BOXES_UTIL_CODING_H_

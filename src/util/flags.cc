@@ -1,0 +1,138 @@
+#include "util/flags.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace boxes {
+
+int64_t* FlagParser::AddInt64(const std::string& name, int64_t default_value,
+                              const std::string& help) {
+  Flag& flag = flags_[name];
+  flag.type = Type::kInt64;
+  flag.help = help;
+  flag.int_value = default_value;
+  flag.default_text = std::to_string(default_value);
+  return &flag.int_value;
+}
+
+double* FlagParser::AddDouble(const std::string& name, double default_value,
+                              const std::string& help) {
+  Flag& flag = flags_[name];
+  flag.type = Type::kDouble;
+  flag.help = help;
+  flag.double_value = default_value;
+  flag.default_text = std::to_string(default_value);
+  return &flag.double_value;
+}
+
+bool* FlagParser::AddBool(const std::string& name, bool default_value,
+                          const std::string& help) {
+  Flag& flag = flags_[name];
+  flag.type = Type::kBool;
+  flag.help = help;
+  flag.bool_value = default_value;
+  flag.default_text = default_value ? "true" : "false";
+  return &flag.bool_value;
+}
+
+std::string* FlagParser::AddString(const std::string& name,
+                                   const std::string& default_value,
+                                   const std::string& help) {
+  Flag& flag = flags_[name];
+  flag.type = Type::kString;
+  flag.help = help;
+  flag.string_value = default_value;
+  flag.default_text = default_value;
+  return &flag.string_value;
+}
+
+bool FlagParser::Parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(Usage(argv[0]).c_str(), stdout);
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "unrecognized argument: %s\n", arg.c_str());
+      return false;
+    }
+    arg = arg.substr(2);
+    std::string name;
+    std::string value;
+    const size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      name = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+    } else {
+      name = arg;
+      auto it = flags_.find(name);
+      if (it != flags_.end() && it->second.type == Type::kBool) {
+        value = "true";  // `--flag` form for booleans
+      } else if (i + 1 < argc) {
+        value = argv[++i];
+      } else {
+        std::fprintf(stderr, "flag --%s is missing a value\n", name.c_str());
+        return false;
+      }
+    }
+    if (!SetFlag(name, value)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool FlagParser::SetFlag(const std::string& name, const std::string& value) {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) {
+    std::fprintf(stderr, "unknown flag --%s\n", name.c_str());
+    return false;
+  }
+  Flag& flag = it->second;
+  char* end = nullptr;
+  switch (flag.type) {
+    case Type::kInt64:
+      flag.int_value = std::strtoll(value.c_str(), &end, 10);
+      if (end == value.c_str() || *end != '\0') {
+        std::fprintf(stderr, "flag --%s expects an integer, got '%s'\n",
+                     name.c_str(), value.c_str());
+        return false;
+      }
+      break;
+    case Type::kDouble:
+      flag.double_value = std::strtod(value.c_str(), &end);
+      if (end == value.c_str() || *end != '\0') {
+        std::fprintf(stderr, "flag --%s expects a number, got '%s'\n",
+                     name.c_str(), value.c_str());
+        return false;
+      }
+      break;
+    case Type::kBool:
+      if (value == "true" || value == "1") {
+        flag.bool_value = true;
+      } else if (value == "false" || value == "0") {
+        flag.bool_value = false;
+      } else {
+        std::fprintf(stderr, "flag --%s expects true/false, got '%s'\n",
+                     name.c_str(), value.c_str());
+        return false;
+      }
+      break;
+    case Type::kString:
+      flag.string_value = value;
+      break;
+  }
+  return true;
+}
+
+std::string FlagParser::Usage(const std::string& program) const {
+  std::string out = "usage: " + program + " [flags]\n";
+  for (const auto& [name, flag] : flags_) {
+    out += "  --" + name + " (default " + flag.default_text + ")\n      " +
+           flag.help + "\n";
+  }
+  return out;
+}
+
+}  // namespace boxes

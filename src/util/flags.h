@@ -1,0 +1,61 @@
+#ifndef BOXES_UTIL_FLAGS_H_
+#define BOXES_UTIL_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace boxes {
+
+/// Minimal command-line flag parser for benchmark and example binaries.
+///
+/// Accepts `--name=value` and `--name value`; `--help` prints all registered
+/// flags. Not thread-safe; intended for use at the top of main().
+class FlagParser {
+ public:
+  FlagParser() = default;
+  FlagParser(const FlagParser&) = delete;
+  FlagParser& operator=(const FlagParser&) = delete;
+
+  /// Registers a flag with a default value and a help string. Returns a
+  /// pointer whose pointee is updated by Parse().
+  int64_t* AddInt64(const std::string& name, int64_t default_value,
+                    const std::string& help);
+  double* AddDouble(const std::string& name, double default_value,
+                    const std::string& help);
+  bool* AddBool(const std::string& name, bool default_value,
+                const std::string& help);
+  std::string* AddString(const std::string& name,
+                         const std::string& default_value,
+                         const std::string& help);
+
+  /// Parses argv. On `--help` prints usage and returns false (caller should
+  /// exit). On malformed input prints an error and returns false.
+  bool Parse(int argc, char** argv);
+
+  /// Usage text listing all flags with defaults.
+  std::string Usage(const std::string& program) const;
+
+ private:
+  enum class Type { kInt64, kDouble, kBool, kString };
+
+  struct Flag {
+    Type type;
+    std::string help;
+    std::string default_text;
+    // Exactly one of these is used, matching `type`.
+    int64_t int_value = 0;
+    double double_value = 0.0;
+    bool bool_value = false;
+    std::string string_value;
+  };
+
+  bool SetFlag(const std::string& name, const std::string& value);
+
+  std::map<std::string, Flag> flags_;
+};
+
+}  // namespace boxes
+
+#endif  // BOXES_UTIL_FLAGS_H_

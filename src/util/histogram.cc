@@ -1,0 +1,129 @@
+#include "util/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "util/status.h"
+
+namespace boxes {
+
+void Histogram::Add(uint64_t value) {
+  ++buckets_[value];
+  ++count_;
+  sum_ += value;
+}
+
+void Histogram::Merge(const Histogram& other) {
+  for (const auto& [value, n] : other.buckets_) {
+    buckets_[value] += n;
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+void Histogram::Clear() {
+  buckets_.clear();
+  count_ = 0;
+  sum_ = 0;
+}
+
+uint64_t Histogram::min() const {
+  return buckets_.empty() ? 0 : buckets_.begin()->first;
+}
+
+uint64_t Histogram::max() const {
+  return buckets_.empty() ? 0 : buckets_.rbegin()->first;
+}
+
+double Histogram::Mean() const {
+  return count_ == 0 ? 0.0
+                     : static_cast<double>(sum_) / static_cast<double>(count_);
+}
+
+uint64_t Histogram::Percentile(double fraction) const {
+  BOXES_CHECK(fraction > 0.0 && fraction <= 1.0);
+  if (count_ == 0) {
+    return 0;
+  }
+  const uint64_t target = static_cast<uint64_t>(
+      std::ceil(fraction * static_cast<double>(count_)));
+  uint64_t seen = 0;
+  for (const auto& [value, n] : buckets_) {
+    seen += n;
+    if (seen >= target) {
+      return value;
+    }
+  }
+  return buckets_.rbegin()->first;
+}
+
+double Histogram::FractionAbove(uint64_t value) const {
+  if (count_ == 0) {
+    return 0.0;
+  }
+  uint64_t above = 0;
+  for (auto it = buckets_.upper_bound(value); it != buckets_.end(); ++it) {
+    above += it->second;
+  }
+  return static_cast<double>(above) / static_cast<double>(count_);
+}
+
+std::vector<Histogram::CcdfPoint> Histogram::Ccdf(size_t max_points) const {
+  std::vector<CcdfPoint> points;
+  if (count_ == 0) {
+    return points;
+  }
+  std::vector<uint64_t> costs;
+  if (buckets_.size() <= max_points) {
+    for (const auto& [value, n] : buckets_) {
+      (void)n;
+      costs.push_back(value);
+    }
+  } else {
+    // Log-spaced sample costs from 1 to max.
+    const double lo = 0.0;
+    const double hi = std::log10(static_cast<double>(std::max<uint64_t>(
+        2, buckets_.rbegin()->first)));
+    uint64_t prev = UINT64_MAX;
+    for (size_t i = 0; i < max_points; ++i) {
+      const double exp_val =
+          lo + (hi - lo) * static_cast<double>(i) /
+                   static_cast<double>(max_points - 1);
+      const uint64_t cost = static_cast<uint64_t>(std::pow(10.0, exp_val));
+      if (cost != prev) {
+        costs.push_back(cost);
+        prev = cost;
+      }
+    }
+  }
+  // Single reverse sweep to compute all "fraction above" values.
+  uint64_t above = 0;
+  auto bucket_it = buckets_.rbegin();
+  for (auto cost_it = costs.rbegin(); cost_it != costs.rend(); ++cost_it) {
+    while (bucket_it != buckets_.rend() && bucket_it->first > *cost_it) {
+      above += bucket_it->second;
+      ++bucket_it;
+    }
+    points.push_back(
+        {*cost_it, static_cast<double>(above) / static_cast<double>(count_)});
+  }
+  std::reverse(points.begin(), points.end());
+  return points;
+}
+
+std::string Histogram::ToString() const {
+  char line[256];
+  std::snprintf(line, sizeof(line),
+                "count=%llu mean=%.3f min=%llu median=%llu p99=%llu max=%llu",
+                static_cast<unsigned long long>(count_), Mean(),
+                static_cast<unsigned long long>(min()),
+                static_cast<unsigned long long>(
+                    count_ == 0 ? 0 : Percentile(0.5)),
+                static_cast<unsigned long long>(
+                    count_ == 0 ? 0 : Percentile(0.99)),
+                static_cast<unsigned long long>(max()));
+  return line;
+}
+
+}  // namespace boxes

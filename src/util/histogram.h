@@ -1,0 +1,57 @@
+#ifndef BOXES_UTIL_HISTOGRAM_H_
+#define BOXES_UTIL_HISTOGRAM_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace boxes {
+
+/// Exact histogram of non-negative integer samples (per-operation I/O
+/// costs). Backs the paper's cost-distribution figures (Figures 6 and 9),
+/// which plot, for each cost x, the fraction of operations whose cost
+/// exceeds x, on log-log axes.
+class Histogram {
+ public:
+  Histogram() = default;
+
+  void Add(uint64_t value);
+  void Merge(const Histogram& other);
+  void Clear();
+
+  uint64_t count() const { return count_; }
+  uint64_t sum() const { return sum_; }
+  uint64_t min() const;
+  uint64_t max() const;
+  double Mean() const;
+
+  /// Smallest value v such that at least `fraction` of samples are <= v.
+  /// fraction in (0, 1].
+  uint64_t Percentile(double fraction) const;
+
+  /// Fraction of samples strictly greater than `value` (the complementary
+  /// CDF the paper plots).
+  double FractionAbove(uint64_t value) const;
+
+  struct CcdfPoint {
+    uint64_t cost;
+    double fraction_above;
+  };
+
+  /// CCDF sampled at approximately log-spaced costs between 1 and max(),
+  /// plus every distinct cost if there are fewer than `max_points`.
+  std::vector<CcdfPoint> Ccdf(size_t max_points = 64) const;
+
+  /// Multi-line human-readable summary.
+  std::string ToString() const;
+
+ private:
+  std::map<uint64_t, uint64_t> buckets_;
+  uint64_t count_ = 0;
+  uint64_t sum_ = 0;
+};
+
+}  // namespace boxes
+
+#endif  // BOXES_UTIL_HISTOGRAM_H_

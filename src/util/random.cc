@@ -1,0 +1,80 @@
+#include "util/random.h"
+
+#include <cmath>
+
+#include "util/status.h"
+
+namespace boxes {
+
+namespace {
+
+// splitmix64, used to expand the seed into the xoshiro state.
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Random::Random(uint64_t seed) {
+  uint64_t sm = seed;
+  for (uint64_t& s : state_) {
+    s = SplitMix64(&sm);
+  }
+}
+
+uint64_t Random::Next() {
+  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+uint64_t Random::Uniform(uint64_t n) {
+  BOXES_CHECK(n > 0);
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t threshold = (0 - n) % n;
+  for (;;) {
+    const uint64_t r = Next();
+    if (r >= threshold) {
+      return r % n;
+    }
+  }
+}
+
+uint64_t Random::UniformRange(uint64_t lo, uint64_t hi) {
+  BOXES_CHECK(lo <= hi);
+  if (lo == 0 && hi == UINT64_MAX) {
+    return Next();
+  }
+  return lo + Uniform(hi - lo + 1);
+}
+
+bool Random::Bernoulli(double p) { return NextDouble() < p; }
+
+double Random::NextDouble() {
+  // 53 random bits into [0, 1).
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+uint64_t Random::Skewed(uint64_t n, double theta) {
+  BOXES_CHECK(n > 0);
+  BOXES_CHECK(theta > 0.0 && theta < 1.0);
+  // Inverse-CDF sampling of a power-law-ish distribution; adequate for
+  // generating skewed fan-outs in synthetic documents.
+  const double u = NextDouble();
+  const double x = std::pow(u, 1.0 / (1.0 - theta));
+  uint64_t v = static_cast<uint64_t>(x * static_cast<double>(n));
+  return v >= n ? n - 1 : v;
+}
+
+}  // namespace boxes

@@ -1,0 +1,39 @@
+#ifndef BOXES_UTIL_RANDOM_H_
+#define BOXES_UTIL_RANDOM_H_
+
+#include <cstdint>
+
+namespace boxes {
+
+/// Deterministic, fast PRNG (xoshiro256**). Used by generators, workloads,
+/// and property tests so that every run is reproducible from a seed.
+class Random {
+ public:
+  explicit Random(uint64_t seed);
+
+  /// Uniform 64-bit value.
+  uint64_t Next();
+
+  /// Uniform value in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n);
+
+  /// Uniform value in [lo, hi]. Requires lo <= hi.
+  uint64_t UniformRange(uint64_t lo, uint64_t hi);
+
+  /// True with probability p (0 <= p <= 1).
+  bool Bernoulli(double p);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Zipf-like skewed value in [0, n): smaller values are more likely.
+  /// theta in (0, 1); larger theta = more skew.
+  uint64_t Skewed(uint64_t n, double theta);
+
+ private:
+  uint64_t state_[4];
+};
+
+}  // namespace boxes
+
+#endif  // BOXES_UTIL_RANDOM_H_

@@ -1,0 +1,58 @@
+#include "util/status.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace boxes {
+
+const char* StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kOutOfRange:
+      return "OutOfRange";
+    case StatusCode::kCorruption:
+      return "Corruption";
+    case StatusCode::kIoError:
+      return "IoError";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
+    case StatusCode::kFailedPrecondition:
+      return "FailedPrecondition";
+    case StatusCode::kUnimplemented:
+      return "Unimplemented";
+    case StatusCode::kInternal:
+      return "Internal";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) {
+    return "OK";
+  }
+  std::string result = StatusCodeToString(code_);
+  result += ": ";
+  result += message_;
+  return result;
+}
+
+namespace internal_status {
+
+void DieOnBadStatusAccess(const Status& s) {
+  std::fprintf(stderr, "StatusOr value accessed on error status: %s\n",
+               s.ToString().c_str());
+  std::abort();
+}
+
+void CheckFailed(const char* file, int line, const char* what) {
+  std::fprintf(stderr, "BOXES_CHECK failed at %s:%d: %s\n", file, line, what);
+  std::abort();
+}
+
+}  // namespace internal_status
+}  // namespace boxes

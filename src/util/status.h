@@ -1,0 +1,192 @@
+#ifndef BOXES_UTIL_STATUS_H_
+#define BOXES_UTIL_STATUS_H_
+
+#include <cstdlib>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace boxes {
+
+/// Error categories used throughout the library. The library does not use
+/// C++ exceptions; fallible operations return Status (or StatusOr<T>).
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kCorruption,
+  kIoError,
+  kResourceExhausted,
+  kFailedPrecondition,
+  kUnimplemented,
+  kInternal,
+};
+
+/// Returns a human-readable name for a status code ("OK", "IoError", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// A lightweight success-or-error value. OK status carries no allocation.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// Holds either a value of type T or an error Status. Mirrors
+/// absl::StatusOr in spirit; accessing the value of an error result aborts.
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(Status status)  // NOLINT(google-explicit-constructor)
+      : status_(std::move(status)), value_() {}
+  StatusOr(T value)  // NOLINT(google-explicit-constructor)
+      : status_(Status::OK()), value_(std::move(value)) {}
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    AbortIfError();
+    return value_;
+  }
+  T& value() & {
+    AbortIfError();
+    return value_;
+  }
+  T&& value() && {
+    AbortIfError();
+    return std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  void AbortIfError() const {
+    if (!status_.ok()) {
+      internal_status::DieOnBadAccess(status_);
+    }
+  }
+
+  struct internal_status {
+    [[noreturn]] static void DieOnBadAccess(const Status& s);
+  };
+
+  Status status_;
+  T value_;
+};
+
+namespace internal_status {
+[[noreturn]] void DieOnBadStatusAccess(const Status& s);
+}  // namespace internal_status
+
+template <typename T>
+void StatusOr<T>::internal_status::DieOnBadAccess(const Status& s) {
+  boxes::internal_status::DieOnBadStatusAccess(s);
+}
+
+}  // namespace boxes
+
+/// Evaluates `expr` (a Status expression); returns it from the enclosing
+/// function if it is not OK.
+#define BOXES_RETURN_IF_ERROR(expr)                 \
+  do {                                              \
+    ::boxes::Status boxes_status_tmp_ = (expr);     \
+    if (!boxes_status_tmp_.ok()) {                  \
+      return boxes_status_tmp_;                     \
+    }                                               \
+  } while (0)
+
+/// Evaluates `expr` (a StatusOr<T> expression); on error returns the status
+/// from the enclosing function, otherwise assigns the value to `lhs`.
+/// `lhs` may be a new declaration: BOXES_ASSIGN_OR_RETURN(auto x, F());
+#define BOXES_ASSIGN_OR_RETURN(lhs, expr) \
+  BOXES_ASSIGN_OR_RETURN_IMPL_(           \
+      BOXES_STATUS_CONCAT_(boxes_statusor_, __LINE__), lhs, expr)
+
+#define BOXES_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                 \
+  if (!tmp.ok()) {                                   \
+    return tmp.status();                             \
+  }                                                  \
+  lhs = std::move(tmp).value()
+
+#define BOXES_STATUS_CONCAT_(a, b) BOXES_STATUS_CONCAT_IMPL_(a, b)
+#define BOXES_STATUS_CONCAT_IMPL_(a, b) a##b
+
+/// Aborts the process with a message if `cond` is false. Used for internal
+/// invariants that indicate programmer error rather than runtime failure.
+#define BOXES_CHECK(cond)                                                 \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      ::boxes::internal_status::CheckFailed(__FILE__, __LINE__, #cond);   \
+    }                                                                     \
+  } while (0)
+
+#define BOXES_CHECK_OK(expr)                                               \
+  do {                                                                     \
+    ::boxes::Status boxes_check_status_tmp_ = (expr);                      \
+    if (!boxes_check_status_tmp_.ok()) {                                   \
+      ::boxes::internal_status::CheckFailed(                               \
+          __FILE__, __LINE__, boxes_check_status_tmp_.ToString().c_str()); \
+    }                                                                      \
+  } while (0)
+
+namespace boxes::internal_status {
+[[noreturn]] void CheckFailed(const char* file, int line, const char* what);
+}  // namespace boxes::internal_status
+
+#endif  // BOXES_UTIL_STATUS_H_

@@ -1,0 +1,26 @@
+#include "workload/runner.h"
+
+namespace boxes::workload {
+
+Status MeasureOp(PageCache* cache, const std::function<Status()>& op,
+                 RunStats* stats) {
+  const IoStats before = cache->stats();
+  cache->BeginOp();
+  const Status status = op();
+  BOXES_RETURN_IF_ERROR(cache->EndOp());
+  BOXES_RETURN_IF_ERROR(status);
+  const IoStats delta = cache->stats().Delta(before);
+  stats->per_op_cost.Add(delta.total());
+  stats->totals.reads += delta.reads;
+  stats->totals.writes += delta.writes;
+  return Status::OK();
+}
+
+Status UnmeasuredOp(PageCache* cache, const std::function<Status()>& op) {
+  cache->BeginOp();
+  const Status status = op();
+  BOXES_RETURN_IF_ERROR(cache->EndOp());
+  return status;
+}
+
+}  // namespace boxes::workload

@@ -1,0 +1,33 @@
+#ifndef BOXES_WORKLOAD_RUNNER_H_
+#define BOXES_WORKLOAD_RUNNER_H_
+
+#include <functional>
+
+#include "storage/page_cache.h"
+#include "util/histogram.h"
+#include "util/status.h"
+
+namespace boxes::workload {
+
+/// Collected measurements of a workload run: one histogram sample per
+/// logical operation (the paper's per-operation block I/O count).
+struct RunStats {
+  Histogram per_op_cost;
+  IoStats totals;
+
+  double MeanCost() const { return per_op_cost.Mean(); }
+};
+
+/// Executes `op` bracketed as one logical operation on `cache`, recording
+/// its block I/O cost (reads at first touch + dirty writes at completion)
+/// into `stats`.
+Status MeasureOp(PageCache* cache, const std::function<Status()>& op,
+                 RunStats* stats);
+
+/// Executes `op` as one (unmeasured) logical operation, e.g. the bulk load
+/// that precedes a measured phase.
+Status UnmeasuredOp(PageCache* cache, const std::function<Status()>& op);
+
+}  // namespace boxes::workload
+
+#endif  // BOXES_WORKLOAD_RUNNER_H_

@@ -1,0 +1,175 @@
+#include "workload/sequences.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/random.h"
+#include "xml/generators.h"
+
+namespace boxes::workload {
+
+Status RunConcentratedInsertion(LabelingScheme* scheme, PageCache* cache,
+                                uint64_t base_elements,
+                                uint64_t insert_elements, RunStats* stats) {
+  BOXES_CHECK(base_elements >= 1);
+  const xml::Document base =
+      xml::MakeTwoLevelDocument(base_elements - 1);  // root + children
+  std::vector<NewElement> base_lids;
+  BOXES_RETURN_IF_ERROR(UnmeasuredOp(
+      cache, [&] { return scheme->BulkLoad(base, &base_lids); }));
+  if (insert_elements == 0) {
+    return Status::OK();
+  }
+  const Lid doc_root_end = base_lids[base.root()].end;
+
+  // Insert the subtree root as the last child of the document root, then
+  // its children pairwise: first, last, second, second-to-last, ... — every
+  // pair lands in the center of the growing sibling list.
+  NewElement sub_root;
+  BOXES_RETURN_IF_ERROR(MeasureOp(
+      cache,
+      [&]() -> Status {
+        BOXES_ASSIGN_OR_RETURN(sub_root,
+                               scheme->InsertElementBefore(doc_root_end));
+        return Status::OK();
+      },
+      stats));
+  // Insertion #1 is the first child, #2 the last child; from #3 on, every
+  // insertion goes immediately before the leftmost element of the "right"
+  // block, i.e. into the dead center of the sibling list. Even-numbered
+  // insertions extend the right block (L1 R1 L2 R2 ... reading the
+  // insertion order, L1 L2 ... R2 R1 reading document order).
+  NewElement last_right{};
+  for (uint64_t i = 1; i < insert_elements; ++i) {
+    const Lid anchor = i <= 2 ? sub_root.end : last_right.start;
+    NewElement inserted;
+    BOXES_RETURN_IF_ERROR(MeasureOp(
+        cache,
+        [&]() -> Status {
+          BOXES_ASSIGN_OR_RETURN(inserted,
+                                 scheme->InsertElementBefore(anchor));
+          return Status::OK();
+        },
+        stats));
+    if (i % 2 == 0) {
+      last_right = inserted;
+    }
+  }
+  return Status::OK();
+}
+
+Status RunScatteredInsertion(LabelingScheme* scheme, PageCache* cache,
+                             uint64_t base_elements, uint64_t insert_elements,
+                             RunStats* stats) {
+  BOXES_CHECK(base_elements >= 2);
+  const uint64_t children = base_elements - 1;
+  const xml::Document base = xml::MakeTwoLevelDocument(children);
+  std::vector<NewElement> base_lids;
+  BOXES_RETURN_IF_ERROR(UnmeasuredOp(
+      cache, [&] { return scheme->BulkLoad(base, &base_lids); }));
+  // Children of the root are elements 1..children in creation order.
+  for (uint64_t j = 0; j < insert_elements; ++j) {
+    // Sweep evenly across all children so inserts spread over the document.
+    const uint64_t child_index = 1 + (j * children) / insert_elements;
+    const Lid anchor = base_lids[child_index].start;
+    BOXES_RETURN_IF_ERROR(MeasureOp(
+        cache,
+        [&]() -> Status {
+          return scheme->InsertElementBefore(anchor).status();
+        },
+        stats));
+  }
+  return Status::OK();
+}
+
+namespace {
+
+/// Builds the document containing the first `count` elements of `doc` in
+/// preorder (a preorder prefix is always a valid tree). `orig_of_prime`
+/// maps new ids back to `doc` ids.
+xml::Document PreorderPrefix(const xml::Document& doc, uint64_t count,
+                             std::vector<xml::ElementId>* orig_of_prime) {
+  const std::vector<xml::ElementId> preorder = doc.PreorderIds();
+  BOXES_CHECK(count >= 1 && count <= preorder.size());
+  xml::Document prefix;
+  std::unordered_map<xml::ElementId, xml::ElementId> prime_of_orig;
+  orig_of_prime->clear();
+  for (uint64_t i = 0; i < count; ++i) {
+    const xml::ElementId orig = preorder[i];
+    xml::ElementId prime;
+    if (i == 0) {
+      prime = prefix.AddRoot(doc.element(orig).tag);
+    } else {
+      prime = prefix.AddChild(prime_of_orig.at(doc.element(orig).parent),
+                              doc.element(orig).tag);
+    }
+    prime_of_orig[orig] = prime;
+    orig_of_prime->push_back(orig);
+  }
+  return prefix;
+}
+
+}  // namespace
+
+Status RunDocumentOrderInsertion(LabelingScheme* scheme, PageCache* cache,
+                                 const xml::Document& doc,
+                                 uint64_t prime_elements, RunStats* stats,
+                                 std::vector<NewElement>* lids_out) {
+  BOXES_CHECK(!doc.empty());
+  prime_elements =
+      std::max<uint64_t>(1, std::min(prime_elements, doc.element_count()));
+  std::vector<xml::ElementId> orig_of_prime;
+  const xml::Document prefix =
+      PreorderPrefix(doc, prime_elements, &orig_of_prime);
+  std::vector<NewElement> prime_lids;
+  BOXES_RETURN_IF_ERROR(UnmeasuredOp(
+      cache, [&] { return scheme->BulkLoad(prefix, &prime_lids); }));
+
+  std::vector<NewElement> lids(doc.element_count());
+  for (uint64_t i = 0; i < prime_elements; ++i) {
+    lids[orig_of_prime[i]] = prime_lids[i];
+  }
+  const std::vector<xml::ElementId> preorder = doc.PreorderIds();
+  for (uint64_t i = prime_elements; i < preorder.size(); ++i) {
+    const xml::ElementId id = preorder[i];
+    // The element's left siblings already exist, so inserting before the
+    // parent's end tag makes it the current last child — document order of
+    // start tags.
+    const Lid anchor = lids[doc.element(id).parent].end;
+    BOXES_RETURN_IF_ERROR(MeasureOp(
+        cache,
+        [&]() -> Status {
+          BOXES_ASSIGN_OR_RETURN(lids[id],
+                                 scheme->InsertElementBefore(anchor));
+          return Status::OK();
+        },
+        stats));
+  }
+  if (lids_out != nullptr) {
+    *lids_out = std::move(lids);
+  }
+  return Status::OK();
+}
+
+Status MeasureLookups(LabelingScheme* scheme, PageCache* cache,
+                      const std::vector<NewElement>& lids, uint64_t count,
+                      bool pairs, uint64_t seed, RunStats* stats) {
+  BOXES_CHECK(!lids.empty());
+  Random rng(seed);
+  for (uint64_t i = 0; i < count; ++i) {
+    const NewElement& element = lids[rng.Uniform(lids.size())];
+    BOXES_RETURN_IF_ERROR(MeasureOp(
+        cache,
+        [&]() -> Status {
+          if (pairs) {
+            return scheme->LookupElement(element.start, element.end)
+                .status();
+          }
+          return scheme->Lookup(element.start).status();
+        },
+        stats));
+  }
+  return Status::OK();
+}
+
+}  // namespace boxes::workload

@@ -1,0 +1,50 @@
+#ifndef BOXES_WORKLOAD_SEQUENCES_H_
+#define BOXES_WORKLOAD_SEQUENCES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/common/labeling_scheme.h"
+#include "storage/page_cache.h"
+#include "util/histogram.h"
+#include "workload/runner.h"
+#include "xml/document.h"
+
+namespace boxes::workload {
+
+/// The paper's concentrated insertion sequence (§7): bulk load a two-level
+/// document with `base_elements` elements, then insert a two-level subtree
+/// of `insert_elements` elements one element at a time, each pair squeezed
+/// into the center of a growing sibling list (the adversarial pattern that
+/// breaks gap-based schemes). Per-element insertion costs are recorded into
+/// `stats`; the bulk load is not measured.
+Status RunConcentratedInsertion(LabelingScheme* scheme, PageCache* cache,
+                                uint64_t base_elements,
+                                uint64_t insert_elements, RunStats* stats);
+
+/// The scattered insertion sequence (§7): same base document, but the
+/// `insert_elements` new elements are spread evenly over all gaps.
+Status RunScatteredInsertion(LabelingScheme* scheme, PageCache* cache,
+                             uint64_t base_elements, uint64_t insert_elements,
+                             RunStats* stats);
+
+/// The XMark-style document-order insertion sequence (§7): elements of
+/// `doc` are inserted one by one in document order of their start tags
+/// (each as the current last child of its parent). The first
+/// `prime_elements` are bulk loaded unmeasured to prime the structures;
+/// costs of the remaining insertions are recorded. `lids_out`, if non-null,
+/// receives the final LIDs indexed by ElementId.
+Status RunDocumentOrderInsertion(LabelingScheme* scheme, PageCache* cache,
+                                 const xml::Document& doc,
+                                 uint64_t prime_elements, RunStats* stats,
+                                 std::vector<NewElement>* lids_out = nullptr);
+
+/// Measures single-label lookups (`pairs` = false) or start/end element
+/// lookups (`pairs` = true) of `count` uniformly random elements.
+Status MeasureLookups(LabelingScheme* scheme, PageCache* cache,
+                      const std::vector<NewElement>& lids, uint64_t count,
+                      bool pairs, uint64_t seed, RunStats* stats);
+
+}  // namespace boxes::workload
+
+#endif  // BOXES_WORKLOAD_SEQUENCES_H_

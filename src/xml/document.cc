@@ -1,0 +1,174 @@
+#include "xml/document.h"
+
+#include <algorithm>
+
+namespace boxes::xml {
+
+ElementId Document::AddRoot(std::string tag) {
+  BOXES_CHECK(elements_.empty());
+  elements_.push_back(Element{std::move(tag), kInvalidElement, {}});
+  root_ = 0;
+  return root_;
+}
+
+ElementId Document::AddChild(ElementId parent, std::string tag) {
+  BOXES_CHECK(parent < elements_.size());
+  const ElementId id = elements_.size();
+  elements_.push_back(Element{std::move(tag), parent, {}});
+  elements_[parent].children.push_back(id);
+  return id;
+}
+
+ElementId Document::AddChildAt(ElementId parent, size_t index,
+                               std::string tag) {
+  BOXES_CHECK(parent < elements_.size());
+  BOXES_CHECK(index <= elements_[parent].children.size());
+  const ElementId id = elements_.size();
+  elements_.push_back(Element{std::move(tag), parent, {}});
+  auto& siblings = elements_[parent].children;
+  siblings.insert(siblings.begin() + static_cast<ptrdiff_t>(index), id);
+  return id;
+}
+
+uint64_t Document::Depth() const {
+  if (empty()) {
+    return 0;
+  }
+  uint64_t max_depth = 0;
+  // (element, depth) DFS without recursion.
+  std::vector<std::pair<ElementId, uint64_t>> stack{{root_, 1}};
+  while (!stack.empty()) {
+    const auto [id, depth] = stack.back();
+    stack.pop_back();
+    max_depth = std::max(max_depth, depth);
+    for (ElementId child : elements_[id].children) {
+      stack.push_back({child, depth + 1});
+    }
+  }
+  return max_depth;
+}
+
+uint64_t Document::SubtreeSize(ElementId id) const {
+  BOXES_CHECK(id < elements_.size());
+  uint64_t count = 0;
+  std::vector<ElementId> stack{id};
+  while (!stack.empty()) {
+    const ElementId cur = stack.back();
+    stack.pop_back();
+    ++count;
+    for (ElementId child : elements_[cur].children) {
+      stack.push_back(child);
+    }
+  }
+  return count;
+}
+
+std::vector<ElementId> Document::PreorderIds() const {
+  std::vector<ElementId> order;
+  order.reserve(elements_.size());
+  if (empty()) {
+    return order;
+  }
+  std::vector<ElementId> stack{root_};
+  while (!stack.empty()) {
+    const ElementId id = stack.back();
+    stack.pop_back();
+    order.push_back(id);
+    const auto& children = elements_[id].children;
+    for (auto it = children.rbegin(); it != children.rend(); ++it) {
+      stack.push_back(*it);
+    }
+  }
+  return order;
+}
+
+void Document::ForEachTag(
+    const std::function<void(ElementId, bool is_start)>& fn) const {
+  if (empty()) {
+    return;
+  }
+  // Entries are (element, next_child_index); an element is "entered" (start
+  // tag) when pushed and "exited" (end tag) after its last child.
+  struct StackEntry {
+    ElementId id;
+    size_t next_child;
+  };
+  std::vector<StackEntry> stack;
+  stack.push_back({root_, 0});
+  fn(root_, true);
+  while (!stack.empty()) {
+    StackEntry& top = stack.back();
+    const auto& children = elements_[top.id].children;
+    if (top.next_child < children.size()) {
+      const ElementId child = children[top.next_child++];
+      fn(child, true);
+      stack.push_back({child, 0});
+    } else {
+      fn(top.id, false);
+      stack.pop_back();
+    }
+  }
+}
+
+Document Document::ExtractSubtree(ElementId id) const {
+  BOXES_CHECK(id < elements_.size());
+  Document out;
+  out.AddRoot(elements_[id].tag);
+  // For each (src, dst) pair, append src's children under dst in document
+  // order, then recurse (stack-based).
+  std::vector<std::pair<ElementId, ElementId>> work;  // (src, dst)
+  work.push_back({id, 0});
+  while (!work.empty()) {
+    const auto [src, dst] = work.back();
+    work.pop_back();
+    const auto& children = elements_[src].children;
+    std::vector<ElementId> dst_children;
+    dst_children.reserve(children.size());
+    for (ElementId child : children) {
+      dst_children.push_back(out.AddChild(dst, elements_[child].tag));
+    }
+    for (size_t i = children.size(); i-- > 0;) {
+      work.push_back({children[i], dst_children[i]});
+    }
+  }
+  return out;
+}
+
+Status Document::Validate() const {
+  if (empty()) {
+    return Status::OK();
+  }
+  if (root_ >= elements_.size()) {
+    return Status::Corruption("root out of range");
+  }
+  if (elements_[root_].parent != kInvalidElement) {
+    return Status::Corruption("root has a parent");
+  }
+  std::vector<bool> seen(elements_.size(), false);
+  std::vector<ElementId> stack{root_};
+  uint64_t visited = 0;
+  while (!stack.empty()) {
+    const ElementId id = stack.back();
+    stack.pop_back();
+    if (id >= elements_.size()) {
+      return Status::Corruption("child id out of range");
+    }
+    if (seen[id]) {
+      return Status::Corruption("element visited twice (cycle or DAG)");
+    }
+    seen[id] = true;
+    ++visited;
+    for (ElementId child : elements_[id].children) {
+      if (child >= elements_.size() || elements_[child].parent != id) {
+        return Status::Corruption("parent link mismatch");
+      }
+      stack.push_back(child);
+    }
+  }
+  if (visited != elements_.size()) {
+    return Status::Corruption("unreachable elements present");
+  }
+  return Status::OK();
+}
+
+}  // namespace boxes::xml

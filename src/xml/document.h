@@ -1,0 +1,83 @@
+#ifndef BOXES_XML_DOCUMENT_H_
+#define BOXES_XML_DOCUMENT_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace boxes::xml {
+
+/// Index of an element within a Document.
+using ElementId = uint64_t;
+
+inline constexpr ElementId kInvalidElement = UINT64_MAX;
+
+/// One XML element: a tag name plus tree links. Text content and attributes
+/// are irrelevant to order-based labeling and are not modeled.
+struct Element {
+  std::string tag;
+  ElementId parent = kInvalidElement;
+  std::vector<ElementId> children;
+};
+
+/// An ordered tree of elements modeling a well-formed XML document
+/// (paper §3). Each element contributes a start tag and an end tag; the
+/// document order of those 2·N tags is what labeling schemes maintain.
+class Document {
+ public:
+  Document() = default;
+
+  Document(const Document&) = default;
+  Document& operator=(const Document&) = default;
+  Document(Document&&) = default;
+  Document& operator=(Document&&) = default;
+
+  bool empty() const { return elements_.empty(); }
+  uint64_t element_count() const { return elements_.size(); }
+  /// Total number of tags (start + end) = 2 · element_count().
+  uint64_t tag_count() const { return elements_.size() * 2; }
+  ElementId root() const { return root_; }
+
+  const Element& element(ElementId id) const { return elements_[id]; }
+
+  /// Creates the root element. Requires an empty document.
+  ElementId AddRoot(std::string tag);
+
+  /// Appends a child under `parent`; returns the new element's id.
+  ElementId AddChild(ElementId parent, std::string tag);
+
+  /// Inserts a child under `parent` at position `index` (0 = first).
+  ElementId AddChildAt(ElementId parent, size_t index, std::string tag);
+
+  /// Depth of the tree (root alone = 1); 0 for an empty document.
+  uint64_t Depth() const;
+
+  /// Number of elements in the subtree rooted at `id` (inclusive).
+  uint64_t SubtreeSize(ElementId id) const;
+
+  /// Element ids in document (pre-)order of their start tags.
+  std::vector<ElementId> PreorderIds() const;
+
+  /// Calls `fn(element, is_start_tag)` for every tag in document order.
+  /// 2 · element_count() calls total.
+  void ForEachTag(
+      const std::function<void(ElementId, bool is_start)>& fn) const;
+
+  /// Copies the subtree rooted at `id` into a standalone document.
+  Document ExtractSubtree(ElementId id) const;
+
+  /// Structural sanity check: parent/child links consistent, exactly one
+  /// root, no cycles.
+  Status Validate() const;
+
+ private:
+  std::vector<Element> elements_;
+  ElementId root_ = kInvalidElement;
+};
+
+}  // namespace boxes::xml
+
+#endif  // BOXES_XML_DOCUMENT_H_

@@ -1,0 +1,28 @@
+#ifndef BOXES_XML_GENERATORS_H_
+#define BOXES_XML_GENERATORS_H_
+
+#include <cstdint>
+
+#include "util/random.h"
+#include "xml/document.h"
+
+namespace boxes::xml {
+
+/// Two-level document: a root with `children` leaf children. This is the
+/// base document shape of the paper's concentrated and scattered insertion
+/// experiments (§7).
+Document MakeTwoLevelDocument(uint64_t children);
+
+/// Random tree with `elements` elements. Growth model: each new element
+/// picks a uniformly random existing element of depth < `max_depth` as its
+/// parent and is appended as its last child. Deterministic in `seed`.
+Document MakeRandomDocument(uint64_t elements, uint64_t max_depth,
+                            uint64_t seed);
+
+/// Perfectly balanced tree where every internal element has `fanout`
+/// children; grown in document order until `elements` is reached.
+Document MakeBalancedDocument(uint64_t elements, uint64_t fanout);
+
+}  // namespace boxes::xml
+
+#endif  // BOXES_XML_GENERATORS_H_

@@ -1,0 +1,227 @@
+#include "xml/parser.h"
+
+#include <cctype>
+#include <string>
+#include <vector>
+
+namespace boxes::xml {
+
+namespace {
+
+/// Cursor over the input with line tracking for error messages.
+class Cursor {
+ public:
+  explicit Cursor(std::string_view input) : input_(input) {}
+
+  bool AtEnd() const { return pos_ >= input_.size(); }
+  char Peek() const { return input_[pos_]; }
+  bool StartsWith(std::string_view prefix) const {
+    return input_.substr(pos_, prefix.size()) == prefix;
+  }
+
+  void Advance(size_t n = 1) {
+    for (size_t i = 0; i < n && pos_ < input_.size(); ++i) {
+      if (input_[pos_] == '\n') {
+        ++line_;
+      }
+      ++pos_;
+    }
+  }
+
+  /// Advances past `text`; returns false (without moving) if absent here.
+  bool Consume(std::string_view text) {
+    if (!StartsWith(text)) {
+      return false;
+    }
+    Advance(text.size());
+    return true;
+  }
+
+  /// Advances to just past the next occurrence of `text`.
+  bool SkipPast(std::string_view text) {
+    const size_t found = input_.find(text, pos_);
+    if (found == std::string_view::npos) {
+      return false;
+    }
+    while (pos_ < found) {
+      Advance();
+    }
+    Advance(text.size());
+    return true;
+  }
+
+  void SkipWhitespace() {
+    while (!AtEnd() && std::isspace(static_cast<unsigned char>(Peek()))) {
+      Advance();
+    }
+  }
+
+  size_t line() const { return line_; }
+
+  Status Error(const std::string& what) const {
+    return Status::InvalidArgument("XML parse error at line " +
+                                   std::to_string(line_) + ": " + what);
+  }
+
+ private:
+  std::string_view input_;
+  size_t pos_ = 0;
+  size_t line_ = 1;
+};
+
+bool IsNameStartChar(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+}
+
+bool IsNameChar(char c) {
+  return IsNameStartChar(c) || std::isdigit(static_cast<unsigned char>(c)) ||
+         c == '-' || c == '.';
+}
+
+StatusOr<std::string> ParseName(Cursor* cur) {
+  if (cur->AtEnd() || !IsNameStartChar(cur->Peek())) {
+    return cur->Error("expected a tag name");
+  }
+  std::string name;
+  while (!cur->AtEnd() && IsNameChar(cur->Peek())) {
+    name.push_back(cur->Peek());
+    cur->Advance();
+  }
+  return name;
+}
+
+/// Skips attributes up to (but not including) '>' or '/>'.
+Status SkipAttributes(Cursor* cur) {
+  for (;;) {
+    cur->SkipWhitespace();
+    if (cur->AtEnd()) {
+      return cur->Error("unterminated start tag");
+    }
+    const char c = cur->Peek();
+    if (c == '>' || c == '/') {
+      return Status::OK();
+    }
+    // attribute name
+    StatusOr<std::string> name = ParseName(cur);
+    if (!name.ok()) {
+      return name.status();
+    }
+    cur->SkipWhitespace();
+    if (!cur->Consume("=")) {
+      return cur->Error("attribute '" + *name + "' is missing '='");
+    }
+    cur->SkipWhitespace();
+    if (cur->AtEnd() || (cur->Peek() != '"' && cur->Peek() != '\'')) {
+      return cur->Error("attribute value must be quoted");
+    }
+    const char quote = cur->Peek();
+    cur->Advance();
+    while (!cur->AtEnd() && cur->Peek() != quote) {
+      cur->Advance();
+    }
+    if (!cur->Consume(std::string_view(&quote, 1))) {
+      return cur->Error("unterminated attribute value");
+    }
+  }
+}
+
+}  // namespace
+
+StatusOr<Document> ParseDocument(std::string_view input) {
+  Cursor cur(input);
+  Document doc;
+  std::vector<ElementId> open;  // stack of open elements
+
+  for (;;) {
+    // Skip character data between tags.
+    while (!cur.AtEnd() && cur.Peek() != '<') {
+      cur.Advance();
+    }
+    if (cur.AtEnd()) {
+      break;
+    }
+    if (cur.Consume("<!--")) {
+      if (!cur.SkipPast("-->")) {
+        return cur.Error("unterminated comment");
+      }
+      continue;
+    }
+    if (cur.Consume("<![CDATA[")) {
+      if (!cur.SkipPast("]]>")) {
+        return cur.Error("unterminated CDATA section");
+      }
+      continue;
+    }
+    if (cur.Consume("<?")) {
+      if (!cur.SkipPast("?>")) {
+        return cur.Error("unterminated processing instruction");
+      }
+      continue;
+    }
+    if (cur.Consume("<!")) {
+      // DOCTYPE or other declaration, without internal subset support.
+      if (!cur.SkipPast(">")) {
+        return cur.Error("unterminated declaration");
+      }
+      continue;
+    }
+    if (cur.Consume("</")) {
+      StatusOr<std::string> name = ParseName(&cur);
+      if (!name.ok()) {
+        return name.status();
+      }
+      cur.SkipWhitespace();
+      if (!cur.Consume(">")) {
+        return cur.Error("malformed end tag </" + *name + ">");
+      }
+      if (open.empty()) {
+        return cur.Error("end tag </" + *name + "> with no open element");
+      }
+      const ElementId top = open.back();
+      if (doc.element(top).tag != *name) {
+        return cur.Error("end tag </" + *name + "> does not match <" +
+                         doc.element(top).tag + ">");
+      }
+      open.pop_back();
+      continue;
+    }
+    if (cur.Consume("<")) {
+      StatusOr<std::string> name = ParseName(&cur);
+      if (!name.ok()) {
+        return name.status();
+      }
+      BOXES_RETURN_IF_ERROR(SkipAttributes(&cur));
+      bool self_closing = false;
+      if (cur.Consume("/>")) {
+        self_closing = true;
+      } else if (!cur.Consume(">")) {
+        return cur.Error("malformed start tag <" + *name + ">");
+      }
+      ElementId id;
+      if (open.empty()) {
+        if (!doc.empty()) {
+          return cur.Error("multiple root elements");
+        }
+        id = doc.AddRoot(*name);
+      } else {
+        id = doc.AddChild(open.back(), *name);
+      }
+      if (!self_closing) {
+        open.push_back(id);
+      }
+      continue;
+    }
+    return cur.Error("unexpected character");
+  }
+
+  if (!open.empty()) {
+    return cur.Error("unclosed element <" + doc.element(open.back()).tag +
+                     ">");
+  }
+  if (doc.empty()) {
+    return cur.Error("document has no root element");
+  }
+  return doc;
+}
+
+}  // namespace boxes::xml

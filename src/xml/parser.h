@@ -1,0 +1,22 @@
+#ifndef BOXES_XML_PARSER_H_
+#define BOXES_XML_PARSER_H_
+
+#include <string_view>
+
+#include "util/status.h"
+#include "xml/document.h"
+
+namespace boxes::xml {
+
+/// Parses a well-formed XML document into an element tree.
+///
+/// Supports the subset relevant to structural labeling: elements (with
+/// attributes, which are skipped), self-closing tags, text content
+/// (ignored), comments, CDATA sections, processing instructions, and a
+/// DOCTYPE declaration without an internal subset. Mismatched or improperly
+/// nested tags produce an error Status.
+StatusOr<Document> ParseDocument(std::string_view input);
+
+}  // namespace boxes::xml
+
+#endif  // BOXES_XML_PARSER_H_

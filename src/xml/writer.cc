@@ -1,0 +1,64 @@
+#include "xml/writer.h"
+
+#include <vector>
+
+namespace boxes::xml {
+
+std::string WriteDocument(const Document& doc, bool pretty) {
+  std::string out;
+  if (doc.empty()) {
+    return out;
+  }
+  struct StackEntry {
+    ElementId id;
+    size_t next_child;
+    size_t depth;
+  };
+  auto indent = [&](size_t depth) {
+    if (pretty) {
+      out.append(2 * depth, ' ');
+    }
+  };
+  auto newline = [&] {
+    if (pretty) {
+      out.push_back('\n');
+    }
+  };
+
+  std::vector<StackEntry> stack;
+  const ElementId root = doc.root();
+  indent(0);
+  if (doc.element(root).children.empty()) {
+    out += "<" + doc.element(root).tag + "/>";
+    newline();
+    return out;
+  }
+  out += "<" + doc.element(root).tag + ">";
+  newline();
+  stack.push_back({root, 0, 0});
+  while (!stack.empty()) {
+    StackEntry& top = stack.back();
+    const auto& children = doc.element(top.id).children;
+    if (top.next_child < children.size()) {
+      const ElementId child = children[top.next_child++];
+      const size_t depth = top.depth + 1;
+      indent(depth);
+      if (doc.element(child).children.empty()) {
+        out += "<" + doc.element(child).tag + "/>";
+        newline();
+      } else {
+        out += "<" + doc.element(child).tag + ">";
+        newline();
+        stack.push_back({child, 0, depth});
+      }
+    } else {
+      indent(top.depth);
+      out += "</" + doc.element(top.id).tag + ">";
+      newline();
+      stack.pop_back();
+    }
+  }
+  return out;
+}
+
+}  // namespace boxes::xml

@@ -1,0 +1,16 @@
+#ifndef BOXES_XML_WRITER_H_
+#define BOXES_XML_WRITER_H_
+
+#include <string>
+
+#include "xml/document.h"
+
+namespace boxes::xml {
+
+/// Serializes a document to XML text. With `pretty` each element starts on
+/// its own indented line; otherwise the output is a single line.
+std::string WriteDocument(const Document& doc, bool pretty = true);
+
+}  // namespace boxes::xml
+
+#endif  // BOXES_XML_WRITER_H_

@@ -1,0 +1,231 @@
+#include "xml/xmark.h"
+
+#include <array>
+
+#include "util/random.h"
+#include "util/status.h"
+
+namespace boxes::xml {
+
+namespace {
+
+/// Builds XMark-shaped entities. Counts and optional-part probabilities
+/// follow the XMark DTD and its published factor-1 entity ratios
+/// (items : persons : open auctions : closed auctions ≈ 21750 : 25500 :
+/// 12000 : 9750, categories 1000).
+class XmarkBuilder {
+ public:
+  XmarkBuilder(Document* doc, Random* rng) : doc_(doc), rng_(rng) {}
+
+  void BuildSkeleton() {
+    const ElementId site = doc_->AddRoot("site");
+    regions_ = doc_->AddChild(site, "regions");
+    static constexpr std::array<const char*, 6> kRegions = {
+        "africa", "asia", "australia", "europe", "namerica", "samerica"};
+    for (const char* name : kRegions) {
+      region_ids_[num_regions_++] = doc_->AddChild(regions_, name);
+    }
+    categories_ = doc_->AddChild(site, "categories");
+    catgraph_ = doc_->AddChild(site, "catgraph");
+    people_ = doc_->AddChild(site, "people");
+    open_auctions_ = doc_->AddChild(site, "open_auctions");
+    closed_auctions_ = doc_->AddChild(site, "closed_auctions");
+  }
+
+  void AddCategory() {
+    const ElementId cat = doc_->AddChild(categories_, "category");
+    doc_->AddChild(cat, "name");
+    AddDescription(cat, /*allow_nesting=*/true);
+  }
+
+  void AddEdge() { doc_->AddChild(catgraph_, "edge"); }
+
+  void AddItem() {
+    const ElementId region = region_ids_[rng_->Uniform(num_regions_)];
+    const ElementId item = doc_->AddChild(region, "item");
+    doc_->AddChild(item, "location");
+    doc_->AddChild(item, "quantity");
+    doc_->AddChild(item, "name");
+    doc_->AddChild(item, "payment");
+    AddDescription(item, /*allow_nesting=*/true);
+    doc_->AddChild(item, "shipping");
+    const uint64_t incategories = 1 + rng_->Uniform(5);
+    for (uint64_t i = 0; i < incategories; ++i) {
+      doc_->AddChild(item, "incategory");
+    }
+    const ElementId mailbox = doc_->AddChild(item, "mailbox");
+    const uint64_t mails = rng_->Uniform(4);
+    for (uint64_t i = 0; i < mails; ++i) {
+      const ElementId mail = doc_->AddChild(mailbox, "mail");
+      doc_->AddChild(mail, "from");
+      doc_->AddChild(mail, "to");
+      doc_->AddChild(mail, "date");
+      AddText(mail);
+    }
+  }
+
+  void AddPerson() {
+    const ElementId person = doc_->AddChild(people_, "person");
+    doc_->AddChild(person, "name");
+    doc_->AddChild(person, "emailaddress");
+    if (rng_->Bernoulli(0.5)) {
+      doc_->AddChild(person, "phone");
+    }
+    if (rng_->Bernoulli(0.5)) {
+      const ElementId address = doc_->AddChild(person, "address");
+      doc_->AddChild(address, "street");
+      doc_->AddChild(address, "city");
+      doc_->AddChild(address, "country");
+      doc_->AddChild(address, "zipcode");
+    }
+    if (rng_->Bernoulli(0.3)) {
+      doc_->AddChild(person, "homepage");
+    }
+    if (rng_->Bernoulli(0.4)) {
+      doc_->AddChild(person, "creditcard");
+    }
+    if (rng_->Bernoulli(0.6)) {
+      const ElementId profile = doc_->AddChild(person, "profile");
+      const uint64_t interests = rng_->Uniform(5);
+      for (uint64_t i = 0; i < interests; ++i) {
+        doc_->AddChild(profile, "interest");
+      }
+      if (rng_->Bernoulli(0.4)) {
+        doc_->AddChild(profile, "education");
+      }
+      if (rng_->Bernoulli(0.8)) {
+        doc_->AddChild(profile, "gender");
+      }
+      doc_->AddChild(profile, "business");
+      if (rng_->Bernoulli(0.6)) {
+        doc_->AddChild(profile, "age");
+      }
+    }
+    if (rng_->Bernoulli(0.4)) {
+      const ElementId watches = doc_->AddChild(person, "watches");
+      const uint64_t n = rng_->Uniform(5);
+      for (uint64_t i = 0; i < n; ++i) {
+        doc_->AddChild(watches, "watch");
+      }
+    }
+  }
+
+  void AddOpenAuction() {
+    const ElementId auction = doc_->AddChild(open_auctions_, "open_auction");
+    doc_->AddChild(auction, "initial");
+    if (rng_->Bernoulli(0.4)) {
+      doc_->AddChild(auction, "reserve");
+    }
+    const uint64_t bidders = rng_->Uniform(6);
+    for (uint64_t i = 0; i < bidders; ++i) {
+      const ElementId bidder = doc_->AddChild(auction, "bidder");
+      doc_->AddChild(bidder, "date");
+      doc_->AddChild(bidder, "time");
+      doc_->AddChild(bidder, "increase");
+    }
+    doc_->AddChild(auction, "current");
+    if (rng_->Bernoulli(0.5)) {
+      doc_->AddChild(auction, "privacy");
+    }
+    doc_->AddChild(auction, "itemref");
+    doc_->AddChild(auction, "seller");
+    AddAnnotation(auction);
+    doc_->AddChild(auction, "quantity");
+    doc_->AddChild(auction, "type");
+    const ElementId interval = doc_->AddChild(auction, "interval");
+    doc_->AddChild(interval, "start");
+    doc_->AddChild(interval, "end");
+  }
+
+  void AddClosedAuction() {
+    const ElementId auction =
+        doc_->AddChild(closed_auctions_, "closed_auction");
+    doc_->AddChild(auction, "seller");
+    doc_->AddChild(auction, "buyer");
+    doc_->AddChild(auction, "itemref");
+    doc_->AddChild(auction, "price");
+    doc_->AddChild(auction, "date");
+    doc_->AddChild(auction, "quantity");
+    doc_->AddChild(auction, "type");
+    AddAnnotation(auction);
+  }
+
+ private:
+  void AddAnnotation(ElementId parent) {
+    const ElementId annotation = doc_->AddChild(parent, "annotation");
+    doc_->AddChild(annotation, "author");
+    AddDescription(annotation, /*allow_nesting=*/false);
+    doc_->AddChild(annotation, "happiness");
+  }
+
+  /// description → text | parlist; parlist → listitem+ where each listitem
+  /// holds text or (when nesting is allowed) another parlist.
+  void AddDescription(ElementId parent, bool allow_nesting) {
+    const ElementId description = doc_->AddChild(parent, "description");
+    if (rng_->Bernoulli(0.7)) {
+      AddText(description);
+      return;
+    }
+    AddParlist(description, allow_nesting ? 2 : 1);
+  }
+
+  void AddParlist(ElementId parent, int levels_left) {
+    const ElementId parlist = doc_->AddChild(parent, "parlist");
+    const uint64_t items = 2 + rng_->Uniform(4);
+    for (uint64_t i = 0; i < items; ++i) {
+      const ElementId listitem = doc_->AddChild(parlist, "listitem");
+      if (levels_left > 1 && rng_->Bernoulli(0.25)) {
+        AddParlist(listitem, levels_left - 1);
+      } else {
+        AddText(listitem);
+      }
+    }
+  }
+
+  void AddText(ElementId parent) { doc_->AddChild(parent, "text"); }
+
+  Document* doc_;
+  Random* rng_;
+  ElementId regions_ = kInvalidElement;
+  ElementId categories_ = kInvalidElement;
+  ElementId catgraph_ = kInvalidElement;
+  ElementId people_ = kInvalidElement;
+  ElementId open_auctions_ = kInvalidElement;
+  ElementId closed_auctions_ = kInvalidElement;
+  std::array<ElementId, 6> region_ids_ = {};
+  size_t num_regions_ = 0;
+};
+
+}  // namespace
+
+Document MakeXmarkDocument(uint64_t target_elements, uint64_t seed) {
+  BOXES_CHECK(target_elements >= 64);
+  Document doc;
+  Random rng(seed);
+  XmarkBuilder builder(&doc, &rng);
+  builder.BuildSkeleton();
+
+  // Entity mix in XMark's factor-1 proportions. One "round" of 70 units
+  // corresponds to items:persons:open:closed:categories:edges =
+  // 22:25:12:10:1:1 (scaled from 21750:25500:12000:9750:1000:1000).
+  static constexpr uint64_t kCycle = 71;
+  while (doc.element_count() < target_elements) {
+    const uint64_t slot = rng.Uniform(kCycle);
+    if (slot < 22) {
+      builder.AddItem();
+    } else if (slot < 47) {
+      builder.AddPerson();
+    } else if (slot < 59) {
+      builder.AddOpenAuction();
+    } else if (slot < 69) {
+      builder.AddClosedAuction();
+    } else if (slot < 70) {
+      builder.AddCategory();
+    } else {
+      builder.AddEdge();
+    }
+  }
+  return doc;
+}
+
+}  // namespace boxes::xml

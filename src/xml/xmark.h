@@ -1,0 +1,24 @@
+#ifndef BOXES_XML_XMARK_H_
+#define BOXES_XML_XMARK_H_
+
+#include <cstdint>
+
+#include "xml/document.h"
+
+namespace boxes::xml {
+
+/// Synthetic stand-in for the XMark benchmark document generator.
+///
+/// The paper's third experiment (§7) inserts the elements of an XMark
+/// document (336,242 elements) in document order. Only the *tree shape*
+/// matters for labeling; this generator reproduces the XMark DTD skeleton
+/// (site → regions / categories / catgraph / people / open_auctions /
+/// closed_auctions, with item / person / auction entities in XMark's
+/// factor-1 proportions, nested descriptions, bidders, profiles, ...) and
+/// grows entities round-robin until at least `target_elements` elements
+/// exist. Deterministic in `seed`. Tree depth is 10–12, like real XMark.
+Document MakeXmarkDocument(uint64_t target_elements, uint64_t seed);
+
+}  // namespace boxes::xml
+
+#endif  // BOXES_XML_XMARK_H_

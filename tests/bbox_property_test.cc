@@ -1,0 +1,173 @@
+#include <string>
+#include <vector>
+
+#include "core/bbox/bbox.h"
+#include "gtest/gtest.h"
+#include "model_tree.h"
+#include "test_util.h"
+#include "util/random.h"
+#include "xml/generators.h"
+
+namespace boxes {
+namespace {
+
+using testing::LabelsStrictlyIncreasing;
+using testing::ModelTree;
+using testing::TestDb;
+
+struct BBoxPropertyParam {
+  bool ordinal;
+  uint32_t min_fill_divisor;
+  uint64_t seed;
+  size_t page_size;
+};
+
+class BBoxPropertyTest : public ::testing::TestWithParam<BBoxPropertyParam> {
+};
+
+/// Drives a B-BOX and an in-memory reference model through a random mix of
+/// element inserts, deletes, subtree inserts, and subtree deletes.
+TEST_P(BBoxPropertyTest, RandomOpsAgreeWithModel) {
+  const BBoxPropertyParam param = GetParam();
+  TestDb db(param.page_size);
+  BBoxOptions options;
+  options.ordinal = param.ordinal;
+  options.min_fill_divisor = param.min_fill_divisor;
+  BBox bbox(&db.cache, options);
+  Random rng(param.seed);
+  ModelTree model;
+
+  ASSERT_OK_AND_ASSIGN(const NewElement root, bbox.InsertFirstElement());
+  model.SetRoot(root);
+
+  constexpr int kSteps = 1200;
+  int subtree_seed = 0;
+  for (int step = 0; step < kSteps; ++step) {
+    const uint64_t dice = rng.Uniform(100);
+    if (model.empty()) {
+      break;
+    }
+    if (dice < 50) {
+      const int target = model.RandomElement(&rng, /*exclude_root=*/false);
+      const bool before_start = rng.Bernoulli(0.5) && target != 0;
+      const Lid anchor = before_start ? model.node(target).lids.start
+                                      : model.node(target).lids.end;
+      ASSERT_OK_AND_ASSIGN(const NewElement e,
+                           bbox.InsertElementBefore(anchor));
+      if (before_start) {
+        model.InsertBeforeStart(target, e);
+      } else {
+        model.InsertAsLastChild(target, e);
+      }
+    } else if (dice < 80) {
+      if (model.element_count() <= 1) {
+        continue;
+      }
+      const int target = model.RandomElement(&rng, /*exclude_root=*/true);
+      ASSERT_OK(bbox.Delete(model.node(target).lids.start));
+      ASSERT_OK(bbox.Delete(model.node(target).lids.end));
+      model.DeleteElement(target);
+    } else if (dice < 92) {
+      const int target = model.RandomElement(&rng, /*exclude_root=*/false);
+      const bool before_start = rng.Bernoulli(0.5) && target != 0;
+      const Lid anchor = before_start ? model.node(target).lids.start
+                                      : model.node(target).lids.end;
+      const xml::Document subtree = xml::MakeRandomDocument(
+          1 + rng.Uniform(80), 4, 5000 + subtree_seed++);
+      std::vector<NewElement> lids;
+      ASSERT_OK(bbox.InsertSubtreeBefore(anchor, subtree, &lids));
+      if (before_start) {
+        model.GraftBeforeStart(target, subtree, lids);
+      } else {
+        model.GraftAsLastChild(target, subtree, lids);
+      }
+    } else {
+      if (model.element_count() <= 1) {
+        continue;
+      }
+      const int target = model.RandomElement(&rng, /*exclude_root=*/true);
+      const NewElement lids = model.node(target).lids;
+      ASSERT_OK(bbox.DeleteSubtree(lids.start, lids.end));
+      model.DeleteSubtree(target);
+    }
+
+    if (step % 100 == 99) {
+      ASSERT_OK(bbox.CheckInvariants());
+      ASSERT_TRUE(LabelsStrictlyIncreasing(&bbox, model.TagOrder()))
+          << "step " << step;
+    }
+  }
+
+  ASSERT_OK(bbox.CheckInvariants());
+  const std::vector<Lid> order = model.TagOrder();
+  ASSERT_TRUE(LabelsStrictlyIncreasing(&bbox, order));
+  EXPECT_EQ(bbox.live_labels(), order.size());
+
+  if (param.ordinal) {
+    for (size_t i = 0; i < order.size(); i += 17) {
+      ASSERT_OK_AND_ASSIGN(const uint64_t ordinal,
+                           bbox.OrdinalLookup(order[i]));
+      EXPECT_EQ(ordinal, i) << "lid " << order[i];
+    }
+  }
+
+  // Compare() must agree with label order on a sample of pairs.
+  for (size_t i = 0; i + 23 < order.size(); i += 71) {
+    ASSERT_OK_AND_ASSIGN(const int cmp,
+                         bbox.Compare(order[i], order[i + 23]));
+    EXPECT_LT(cmp, 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configurations, BBoxPropertyTest,
+    ::testing::Values(BBoxPropertyParam{false, 2, 1, 512},
+                      BBoxPropertyParam{false, 2, 2, 512},
+                      BBoxPropertyParam{false, 2, 3, 8192},
+                      BBoxPropertyParam{false, 4, 4, 512},
+                      BBoxPropertyParam{false, 4, 5, 512},
+                      BBoxPropertyParam{true, 2, 6, 512},
+                      BBoxPropertyParam{true, 2, 7, 512},
+                      BBoxPropertyParam{true, 4, 8, 512},
+                      BBoxPropertyParam{true, 4, 9, 1024},
+                      BBoxPropertyParam{true, 2, 10, 8192},
+                      BBoxPropertyParam{false, 2, 11, 1024},
+                      BBoxPropertyParam{false, 4, 12, 2048},
+                      BBoxPropertyParam{true, 2, 13, 2048},
+                      BBoxPropertyParam{false, 2, 14, 4096},
+                      BBoxPropertyParam{true, 4, 15, 512},
+                      BBoxPropertyParam{false, 4, 16, 512}),
+    [](const ::testing::TestParamInfo<BBoxPropertyParam>& info) {
+      std::string name = info.param.ordinal ? "ordinal" : "basic";
+      name += "_div" + std::to_string(info.param.min_fill_divisor);
+      name += "_seed" + std::to_string(info.param.seed);
+      name += "_page" + std::to_string(info.param.page_size);
+      return name;
+    });
+
+/// Alternating insert/delete at one spot must not thrash with divisor 4
+/// (the paper's argument for the relaxed minimum fill).
+TEST(BBoxChurnTest, AlternatingInsertDeleteAtOneSpot) {
+  TestDb db(512);
+  BBoxOptions options;
+  options.min_fill_divisor = 4;
+  BBox bbox(&db.cache, options);
+  const xml::Document doc = xml::MakeTwoLevelDocument(1000);
+  std::vector<NewElement> lids;
+  ASSERT_OK(bbox.BulkLoad(doc, &lids));
+  ASSERT_OK(db.cache.FlushAll());
+  db.cache.ResetStats();
+  constexpr int kRounds = 300;
+  for (int i = 0; i < kRounds; ++i) {
+    ASSERT_OK_AND_ASSIGN(const NewElement e,
+                         bbox.InsertElementBefore(lids[500].start));
+    ASSERT_OK(bbox.Delete(e.start));
+    ASSERT_OK(bbox.Delete(e.end));
+  }
+  ASSERT_OK(bbox.CheckInvariants());
+  // ~3 page touches per label operation; no split/merge thrashing.
+  EXPECT_LT(db.cache.stats().total(), 12u * kRounds);
+}
+
+}  // namespace
+}  // namespace boxes

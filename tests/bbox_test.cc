@@ -1,0 +1,319 @@
+#include "core/bbox/bbox.h"
+
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "test_util.h"
+#include "xml/generators.h"
+
+namespace boxes {
+namespace {
+
+using testing::LabelsStrictlyIncreasing;
+using testing::TagOrderLids;
+using testing::TestDb;
+
+TEST(BBoxParamsTest, DerivedValues) {
+  const BBoxParams p = BBoxParams::Derive(8192, /*ordinal=*/false, 2);
+  EXPECT_EQ(p.leaf_capacity, (8192u - 16) / 8);
+  EXPECT_EQ(p.internal_capacity, (8192u - 16) / 8);
+  EXPECT_EQ(p.LeafMin(), p.leaf_capacity / 2);
+  const BBoxParams q = BBoxParams::Derive(8192, /*ordinal=*/true, 4);
+  EXPECT_EQ(q.internal_capacity, (8192u - 16) / 16);  // size fields
+  EXPECT_EQ(q.InternalMin(), q.internal_capacity / 4);
+}
+
+TEST(BBoxTest, FirstElementAndLookup) {
+  TestDb db;
+  BBox bbox(&db.cache);
+  ASSERT_OK_AND_ASSIGN(const NewElement root, bbox.InsertFirstElement());
+  ASSERT_OK_AND_ASSIGN(const Label start, bbox.Lookup(root.start));
+  ASSERT_OK_AND_ASSIGN(const Label end, bbox.Lookup(root.end));
+  EXPECT_TRUE(start < end);
+  // Single-leaf tree: labels are one component (the slot).
+  EXPECT_EQ(start.components().size(), 1u);
+  EXPECT_EQ(start.components()[0], 0u);
+  EXPECT_EQ(end.components()[0], 1u);
+  ASSERT_OK(bbox.CheckInvariants());
+}
+
+TEST(BBoxTest, InsertSemantics) {
+  TestDb db;
+  BBox bbox(&db.cache);
+  ASSERT_OK_AND_ASSIGN(const NewElement root, bbox.InsertFirstElement());
+  ASSERT_OK_AND_ASSIGN(const NewElement b, bbox.InsertElementBefore(root.end));
+  ASSERT_OK_AND_ASSIGN(const NewElement a, bbox.InsertElementBefore(b.start));
+  EXPECT_TRUE(LabelsStrictlyIncreasing(
+      &bbox, {root.start, a.start, a.end, b.start, b.end, root.end}));
+  ASSERT_OK_AND_ASSIGN(const ElementLabels root_labels,
+                       bbox.LookupElement(root.start, root.end));
+  ASSERT_OK_AND_ASSIGN(const ElementLabels a_labels,
+                       bbox.LookupElement(a.start, a.end));
+  EXPECT_TRUE(IsAncestor(root_labels, a_labels));
+  EXPECT_FALSE(IsAncestor(a_labels, root_labels));
+  ASSERT_OK(bbox.CheckInvariants());
+}
+
+TEST(BBoxTest, BulkLoadMatchesDocumentOrder) {
+  TestDb db;
+  BBox bbox(&db.cache);
+  const xml::Document doc = xml::MakeRandomDocument(4000, 6, 19);
+  std::vector<NewElement> lids;
+  ASSERT_OK(bbox.BulkLoad(doc, &lids));
+  EXPECT_TRUE(LabelsStrictlyIncreasing(&bbox, TagOrderLids(doc, lids)));
+  ASSERT_OK(bbox.CheckInvariants());
+  EXPECT_EQ(bbox.live_labels(), doc.tag_count());
+}
+
+TEST(BBoxTest, GrowsAndStaysOrderedUnderConcentratedInsertion) {
+  TestDb db(/*page_size=*/512);
+  BBox bbox(&db.cache);
+  ASSERT_OK_AND_ASSIGN(const NewElement root, bbox.InsertFirstElement());
+  NewElement target = root;
+  std::vector<Lid> chain{root.start};
+  // Nested chain: each new element is the last child of the previous one,
+  // hammering one leaf region.
+  for (int i = 0; i < 3000; ++i) {
+    ASSERT_OK_AND_ASSIGN(target, bbox.InsertElementBefore(target.end));
+    chain.push_back(target.start);
+  }
+  EXPECT_GE(bbox.height(), 3u);
+  EXPECT_TRUE(LabelsStrictlyIncreasing(&bbox, chain));
+  ASSERT_OK(bbox.CheckInvariants());
+}
+
+TEST(BBoxTest, LookupCostIsHeightPlusLidf) {
+  TestDb db;
+  BBox bbox(&db.cache);
+  const xml::Document doc = xml::MakeTwoLevelDocument(20000);
+  std::vector<NewElement> lids;
+  ASSERT_OK(bbox.BulkLoad(doc, &lids));
+  const uint32_t height = bbox.height();
+  EXPECT_GE(height, 2u);
+  ASSERT_OK(db.cache.FlushAll());
+  db.cache.ResetStats();
+  constexpr int kLookups = 50;
+  for (int i = 0; i < kLookups; ++i) {
+    IoScope scope(&db.cache);
+    ASSERT_OK(bbox.Lookup(lids[(i * 449) % lids.size()].start).status());
+  }
+  // Bottom-up reconstruction: 1 LIDF I/O + one per level (Theorem 5.2).
+  EXPECT_EQ(db.cache.stats().reads, (1u + height) * kLookups);
+}
+
+TEST(BBoxTest, AmortizedInsertTouchesFewPages) {
+  TestDb db;
+  BBox bbox(&db.cache);
+  const xml::Document doc = xml::MakeTwoLevelDocument(5000);
+  std::vector<NewElement> lids;
+  ASSERT_OK(bbox.BulkLoad(doc, &lids));
+  ASSERT_OK(db.cache.FlushAll());
+  db.cache.ResetStats();
+  constexpr int kInserts = 500;
+  Lid target = lids[2500].start;
+  for (int i = 0; i < kInserts; ++i) {
+    IoScope scope(&db.cache);
+    ASSERT_OK_AND_ASSIGN(const NewElement e, bbox.InsertElementBefore(target));
+    target = e.start;
+  }
+  // O(1) amortized: LIDF page + leaf (+ rare splits). Well under 8 I/Os
+  // per element insert on average.
+  EXPECT_LT(db.cache.stats().total(), 8u * kInserts);
+  ASSERT_OK(bbox.CheckInvariants());
+}
+
+TEST(BBoxTest, CompareUsesLcaAndAgreesWithLabels) {
+  TestDb db(/*page_size=*/512);
+  BBox bbox(&db.cache);
+  const xml::Document doc = xml::MakeRandomDocument(2000, 5, 29);
+  std::vector<NewElement> lids;
+  ASSERT_OK(bbox.BulkLoad(doc, &lids));
+  const std::vector<Lid> order = TagOrderLids(doc, lids);
+  for (size_t i = 0; i < order.size(); i += 97) {
+    for (size_t j = 0; j < order.size(); j += 131) {
+      ASSERT_OK_AND_ASSIGN(const int cmp, bbox.Compare(order[i], order[j]));
+      if (i < j) {
+        EXPECT_LT(cmp, 0) << i << " vs " << j;
+      } else if (i > j) {
+        EXPECT_GT(cmp, 0) << i << " vs " << j;
+      } else {
+        EXPECT_EQ(cmp, 0);
+      }
+    }
+  }
+}
+
+TEST(BBoxTest, DeleteRebalancesAndPreservesOrder) {
+  TestDb db(/*page_size=*/512);
+  BBox bbox(&db.cache);
+  const xml::Document doc = xml::MakeTwoLevelDocument(3000);
+  std::vector<NewElement> lids;
+  ASSERT_OK(bbox.BulkLoad(doc, &lids));
+  // Delete 90% of the children.
+  std::vector<Lid> survivors{lids[0].start};
+  for (size_t i = 1; i < lids.size(); ++i) {
+    if (i % 10 != 0) {
+      ASSERT_OK(bbox.Delete(lids[i].start));
+      ASSERT_OK(bbox.Delete(lids[i].end));
+    } else {
+      survivors.push_back(lids[i].start);
+      survivors.push_back(lids[i].end);
+    }
+  }
+  survivors.push_back(lids[0].end);
+  ASSERT_OK(bbox.CheckInvariants());
+  EXPECT_TRUE(LabelsStrictlyIncreasing(&bbox, survivors));
+}
+
+TEST(BBoxTest, DeleteEverythingEmptiesStructure) {
+  TestDb db(/*page_size=*/512);
+  BBox bbox(&db.cache);
+  const xml::Document doc = xml::MakeTwoLevelDocument(500);
+  std::vector<NewElement> lids;
+  ASSERT_OK(bbox.BulkLoad(doc, &lids));
+  for (size_t i = 1; i < lids.size(); ++i) {
+    ASSERT_OK(bbox.Delete(lids[i].start));
+    ASSERT_OK(bbox.Delete(lids[i].end));
+  }
+  ASSERT_OK(bbox.Delete(lids[0].start));
+  ASSERT_OK(bbox.Delete(lids[0].end));
+  EXPECT_EQ(bbox.live_labels(), 0u);
+  EXPECT_EQ(bbox.height(), 0u);
+  ASSERT_OK(bbox.CheckInvariants());
+  // The structure is reusable after emptying.
+  ASSERT_OK(bbox.InsertFirstElement().status());
+  ASSERT_OK(bbox.CheckInvariants());
+}
+
+TEST(BBoxTest, MinFillDivisorFourAllowsSparserNodes) {
+  TestDb db(/*page_size=*/512);
+  BBoxOptions options;
+  options.min_fill_divisor = 4;
+  BBox bbox(&db.cache, options);
+  const xml::Document doc = xml::MakeTwoLevelDocument(2000);
+  std::vector<NewElement> lids;
+  ASSERT_OK(bbox.BulkLoad(doc, &lids));
+  for (size_t i = 1; i < lids.size(); i += 2) {
+    ASSERT_OK(bbox.Delete(lids[i].start));
+    ASSERT_OK(bbox.Delete(lids[i].end));
+  }
+  ASSERT_OK(bbox.CheckInvariants());
+}
+
+TEST(BBoxTest, OrdinalLookupMatchesPosition) {
+  TestDb db;
+  BBoxOptions options;
+  options.ordinal = true;
+  BBox bbox(&db.cache, options);
+  const xml::Document doc = xml::MakeRandomDocument(1500, 6, 7);
+  std::vector<NewElement> lids;
+  ASSERT_OK(bbox.BulkLoad(doc, &lids));
+  const std::vector<Lid> order = TagOrderLids(doc, lids);
+  for (size_t i = 0; i < order.size(); i += 41) {
+    ASSERT_OK_AND_ASSIGN(const uint64_t ordinal, bbox.OrdinalLookup(order[i]));
+    EXPECT_EQ(ordinal, i);
+  }
+  ASSERT_OK(bbox.Delete(order[0]));
+  ASSERT_OK_AND_ASSIGN(const uint64_t ordinal, bbox.OrdinalLookup(order[5]));
+  EXPECT_EQ(ordinal, 4u);
+  ASSERT_OK(bbox.CheckInvariants());
+}
+
+TEST(BBoxTest, SubtreeInsertMatchesElementwise) {
+  TestDb db(/*page_size=*/512);
+  BBox bbox(&db.cache);
+  const xml::Document base = xml::MakeTwoLevelDocument(800);
+  std::vector<NewElement> base_lids;
+  ASSERT_OK(bbox.BulkLoad(base, &base_lids));
+  const xml::Document subtree = xml::MakeRandomDocument(600, 5, 31);
+  std::vector<NewElement> sub_lids;
+  ASSERT_OK(
+      bbox.InsertSubtreeBefore(base_lids[200].end, subtree, &sub_lids));
+  ASSERT_OK(bbox.CheckInvariants());
+  EXPECT_EQ(bbox.live_labels(), base.tag_count() + subtree.tag_count());
+  std::vector<Lid> order{base_lids[200].start};
+  const std::vector<Lid> sub_order = TagOrderLids(subtree, sub_lids);
+  order.insert(order.end(), sub_order.begin(), sub_order.end());
+  order.push_back(base_lids[200].end);
+  order.push_back(base_lids[201].start);
+  EXPECT_TRUE(LabelsStrictlyIncreasing(&bbox, order));
+}
+
+TEST(BBoxTest, SubtreeInsertAtLeafFrontBoundary) {
+  TestDb db(/*page_size=*/512);
+  BBox bbox(&db.cache);
+  const xml::Document base = xml::MakeTwoLevelDocument(500);
+  std::vector<NewElement> base_lids;
+  ASSERT_OK(bbox.BulkLoad(base, &base_lids));
+  // Insert before the very first tag of a leaf-aligned position: element 0's
+  // start is the first record overall.
+  const xml::Document subtree = xml::MakeBalancedDocument(200, 4);
+  std::vector<NewElement> sub_lids;
+  ASSERT_OK(bbox.InsertSubtreeBefore(base_lids[1].start, subtree, &sub_lids));
+  ASSERT_OK(bbox.CheckInvariants());
+  std::vector<Lid> order{base_lids[0].start};
+  const std::vector<Lid> sub_order = TagOrderLids(subtree, sub_lids);
+  order.insert(order.end(), sub_order.begin(), sub_order.end());
+  order.push_back(base_lids[1].start);
+  EXPECT_TRUE(LabelsStrictlyIncreasing(&bbox, order));
+}
+
+TEST(BBoxTest, SubtreeDeleteRemovesRange) {
+  TestDb db(/*page_size=*/512);
+  BBox bbox(&db.cache);
+  const xml::Document base = xml::MakeTwoLevelDocument(600);
+  std::vector<NewElement> base_lids;
+  ASSERT_OK(bbox.BulkLoad(base, &base_lids));
+  const xml::Document subtree = xml::MakeRandomDocument(700, 5, 37);
+  std::vector<NewElement> sub_lids;
+  ASSERT_OK(
+      bbox.InsertSubtreeBefore(base_lids[300].end, subtree, &sub_lids));
+  ASSERT_OK(bbox.DeleteSubtree(sub_lids[subtree.root()].start,
+                               sub_lids[subtree.root()].end));
+  ASSERT_OK(bbox.CheckInvariants());
+  EXPECT_EQ(bbox.live_labels(), base.tag_count());
+  EXPECT_FALSE(bbox.Lookup(sub_lids[subtree.root()].start).ok());
+  EXPECT_TRUE(LabelsStrictlyIncreasing(
+      &bbox, {base_lids[299].end, base_lids[300].start, base_lids[300].end,
+              base_lids[301].start}));
+}
+
+TEST(BBoxTest, SubtreeDeleteWithinOneLeaf) {
+  TestDb db;
+  BBox bbox(&db.cache);
+  ASSERT_OK_AND_ASSIGN(const NewElement root, bbox.InsertFirstElement());
+  ASSERT_OK_AND_ASSIGN(const NewElement a, bbox.InsertElementBefore(root.end));
+  ASSERT_OK_AND_ASSIGN(const NewElement b, bbox.InsertElementBefore(root.end));
+  ASSERT_OK_AND_ASSIGN(const NewElement c, bbox.InsertElementBefore(b.end));
+  // Delete b (with child c).
+  ASSERT_OK(bbox.DeleteSubtree(b.start, b.end));
+  ASSERT_OK(bbox.CheckInvariants());
+  EXPECT_FALSE(bbox.Lookup(c.start).ok());
+  EXPECT_TRUE(LabelsStrictlyIncreasing(
+      &bbox, {root.start, a.start, a.end, root.end}));
+}
+
+TEST(BBoxTest, GetStatsReportsSaneValues) {
+  TestDb db;
+  BBox bbox(&db.cache);
+  const xml::Document doc = xml::MakeTwoLevelDocument(3000);
+  ASSERT_OK(bbox.BulkLoad(doc, nullptr));
+  ASSERT_OK_AND_ASSIGN(const SchemeStats stats, bbox.GetStats());
+  EXPECT_EQ(stats.height, bbox.height());
+  EXPECT_EQ(stats.live_labels, doc.tag_count());
+  EXPECT_GT(stats.index_pages, 0u);
+  EXPECT_GT(stats.max_label_bits, 0u);
+}
+
+TEST(BBoxTest, ErrorsOnEmptyStructure) {
+  TestDb db;
+  BBox bbox(&db.cache);
+  EXPECT_EQ(bbox.InsertElementBefore(0).status().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(bbox.Delete(0).code(), StatusCode::kFailedPrecondition);
+  EXPECT_FALSE(bbox.Lookup(0).ok());
+  ASSERT_OK(bbox.CheckInvariants());
+}
+
+}  // namespace
+}  // namespace boxes

@@ -1,0 +1,151 @@
+#include "util/biguint.h"
+
+#include <cstdint>
+
+#include "gtest/gtest.h"
+#include "util/random.h"
+
+namespace boxes {
+namespace {
+
+TEST(BigUintTest, ZeroProperties) {
+  BigUint zero;
+  EXPECT_TRUE(zero.IsZero());
+  EXPECT_EQ(zero.BitLength(), 0u);
+  EXPECT_EQ(zero.ToDecimalString(), "0");
+  EXPECT_EQ(zero.ToUint64Truncated(), 0u);
+}
+
+TEST(BigUintTest, SmallValues) {
+  BigUint v(12345);
+  EXPECT_FALSE(v.IsZero());
+  EXPECT_EQ(v.BitLength(), 14u);
+  EXPECT_EQ(v.ToDecimalString(), "12345");
+  EXPECT_EQ(v.ToUint64Truncated(), 12345u);
+}
+
+TEST(BigUintTest, AdditionWithCarry) {
+  BigUint a(UINT64_MAX);
+  BigUint sum = a.Add(BigUint(1));
+  EXPECT_EQ(sum.BitLength(), 65u);
+  EXPECT_EQ(sum.ToDecimalString(), "18446744073709551616");
+  EXPECT_FALSE(sum.FitsUint64());
+}
+
+TEST(BigUintTest, SubtractionWithBorrow) {
+  BigUint big = BigUint::PowerOfTwo(64);
+  BigUint diff = big.Sub(BigUint(1));
+  EXPECT_EQ(diff, BigUint(UINT64_MAX));
+}
+
+TEST(BigUintTest, PowerOfTwo) {
+  EXPECT_EQ(BigUint::PowerOfTwo(0), BigUint(1));
+  EXPECT_EQ(BigUint::PowerOfTwo(10), BigUint(1024));
+  EXPECT_EQ(BigUint::PowerOfTwo(200).BitLength(), 201u);
+}
+
+TEST(BigUintTest, ShiftRoundTrip) {
+  BigUint v(0x123456789abcdef0ULL);
+  for (uint32_t shift : {1u, 7u, 63u, 64u, 65u, 130u}) {
+    EXPECT_EQ(v.ShiftLeft(shift).ShiftRight(shift), v) << "shift=" << shift;
+  }
+}
+
+TEST(BigUintTest, ShiftRightDropsLowBits) {
+  BigUint v(0b1011);
+  EXPECT_EQ(v.ShiftRight(1), BigUint(0b101));
+  EXPECT_EQ(v.ShiftRight(4), BigUint(0));
+}
+
+TEST(BigUintTest, Halves) {
+  EXPECT_EQ(BigUint(10).Half(), BigUint(5));
+  EXPECT_EQ(BigUint(11).Half(), BigUint(5));
+  EXPECT_EQ(BigUint(11).CeilHalf(), BigUint(6));
+  EXPECT_EQ(BigUint(10).CeilHalf(), BigUint(5));
+}
+
+TEST(BigUintTest, MulU64) {
+  BigUint v(UINT64_MAX);
+  BigUint product = v.MulU64(UINT64_MAX);
+  // (2^64 - 1)^2 = 2^128 - 2^65 + 1.
+  const BigUint expected = BigUint::PowerOfTwo(128)
+                               .Sub(BigUint::PowerOfTwo(65))
+                               .Add(BigUint(1));
+  EXPECT_EQ(product, expected);
+  EXPECT_EQ(v.MulU64(0), BigUint(0));
+}
+
+TEST(BigUintTest, CompareOrdersNumerically) {
+  BigUint small(100);
+  BigUint large = BigUint::PowerOfTwo(100);
+  EXPECT_TRUE(small < large);
+  EXPECT_TRUE(large > small);
+  EXPECT_TRUE(small == BigUint(100));
+  EXPECT_TRUE(BigUint(0) < small);
+}
+
+TEST(BigUintTest, SerializeRoundTrip) {
+  BigUint v = BigUint::PowerOfTwo(150).Add(BigUint(987654321));
+  uint8_t buf[4 * 8];
+  v.Serialize(buf, 4);
+  EXPECT_EQ(BigUint::Deserialize(buf, 4), v);
+}
+
+TEST(BigUintTest, SerializeZeroPads) {
+  BigUint v(7);
+  uint8_t buf[3 * 8];
+  v.Serialize(buf, 3);
+  for (size_t i = 8; i < sizeof(buf); ++i) {
+    EXPECT_EQ(buf[i], 0) << i;
+  }
+  EXPECT_EQ(BigUint::Deserialize(buf, 3), v);
+}
+
+TEST(BigUintTest, DecimalStringMultipleChunks) {
+  // 10^9 boundary cases exercise the chunked conversion.
+  EXPECT_EQ(BigUint(1000000000ULL).ToDecimalString(), "1000000000");
+  EXPECT_EQ(BigUint(999999999ULL).ToDecimalString(), "999999999");
+  EXPECT_EQ(BigUint(1000000001ULL).ToDecimalString(), "1000000001");
+  EXPECT_EQ(BigUint(UINT64_MAX).ToDecimalString(), "18446744073709551615");
+}
+
+// Property: BigUint arithmetic on values that fit in 128 bits agrees with
+// native __int128 arithmetic.
+TEST(BigUintPropertyTest, AgreesWithNativeArithmetic) {
+  Random rng(20260708);
+  for (int iter = 0; iter < 2000; ++iter) {
+    const uint64_t a_lo = rng.Next();
+    const uint64_t a_hi = rng.Next() >> 1;  // keep sums within 128 bits
+    const uint64_t b_lo = rng.Next();
+    const uint64_t b_hi = rng.Next() >> 1;
+    const unsigned __int128 a =
+        (static_cast<unsigned __int128>(a_hi) << 64) | a_lo;
+    const unsigned __int128 b =
+        (static_cast<unsigned __int128>(b_hi) << 64) | b_lo;
+    const BigUint ba = BigUint(a_hi).ShiftLeft(64).Add(BigUint(a_lo));
+    const BigUint bb = BigUint(b_hi).ShiftLeft(64).Add(BigUint(b_lo));
+
+    // Addition.
+    const unsigned __int128 sum = a + b;
+    const BigUint bsum = ba.Add(bb);
+    EXPECT_EQ(bsum.ToUint64Truncated(), static_cast<uint64_t>(sum));
+    EXPECT_EQ(bsum.ShiftRight(64).ToUint64Truncated(),
+              static_cast<uint64_t>(sum >> 64));
+
+    // Subtraction (larger minus smaller).
+    const BigUint& hi = a >= b ? ba : bb;
+    const BigUint& lo = a >= b ? bb : ba;
+    const unsigned __int128 diff = a >= b ? a - b : b - a;
+    const BigUint bdiff = hi.Sub(lo);
+    EXPECT_EQ(bdiff.ToUint64Truncated(), static_cast<uint64_t>(diff));
+    EXPECT_EQ(bdiff.ShiftRight(64).ToUint64Truncated(),
+              static_cast<uint64_t>(diff >> 64));
+
+    // Comparison.
+    EXPECT_EQ(ba < bb, a < b);
+    EXPECT_EQ(ba == bb, a == b);
+  }
+}
+
+}  // namespace
+}  // namespace boxes

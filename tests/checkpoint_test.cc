@@ -1,0 +1,274 @@
+// Checkpoint / restore: the in-memory metadata (roots, counters, LIDF
+// directory + liveness) round-trips through metadata chains, enabling
+// file-backed databases to be closed and reopened.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/bbox/bbox.h"
+#include "core/naive/naive.h"
+#include "core/wbox/wbox.h"
+#include "doc/labeled_document.h"
+#include "gtest/gtest.h"
+#include "storage/metadata_io.h"
+#include "test_util.h"
+#include "xml/generators.h"
+
+namespace boxes {
+namespace {
+
+using testing::LabelsStrictlyIncreasing;
+using testing::TagOrderLids;
+using testing::TestDb;
+
+TEST(MetadataIoTest, RoundTripsPrimitives) {
+  TestDb db(512);
+  MetadataWriter writer;
+  writer.PutU32(7);
+  writer.PutU64(0xdeadbeefcafef00dULL);
+  writer.PutString("hello metadata");
+  const uint8_t raw[3] = {1, 2, 3};
+  writer.PutBytes(raw, sizeof(raw));
+  ASSERT_OK_AND_ASSIGN(const PageId head, writer.Finish(&db.cache));
+
+  ASSERT_OK_AND_ASSIGN(MetadataReader reader,
+                       MetadataReader::Load(&db.cache, head));
+  ASSERT_OK_AND_ASSIGN(const uint32_t u32, reader.GetU32());
+  EXPECT_EQ(u32, 7u);
+  ASSERT_OK_AND_ASSIGN(const uint64_t u64, reader.GetU64());
+  EXPECT_EQ(u64, 0xdeadbeefcafef00dULL);
+  ASSERT_OK_AND_ASSIGN(const std::string text, reader.GetString());
+  EXPECT_EQ(text, "hello metadata");
+  uint8_t out[3];
+  ASSERT_OK(reader.GetBytes(out, sizeof(out)));
+  EXPECT_EQ(out[2], 3);
+  EXPECT_TRUE(reader.AtEnd());
+  EXPECT_FALSE(reader.GetU32().ok());  // truncation detected
+}
+
+TEST(MetadataIoTest, LargePayloadSpansPages) {
+  TestDb db(512);
+  MetadataWriter writer;
+  constexpr int kValues = 5000;  // ~40 KB across 512 B pages
+  for (int i = 0; i < kValues; ++i) {
+    writer.PutU64(static_cast<uint64_t>(i) * 31);
+  }
+  ASSERT_OK_AND_ASSIGN(const PageId head, writer.Finish(&db.cache));
+  ASSERT_OK_AND_ASSIGN(MetadataReader reader,
+                       MetadataReader::Load(&db.cache, head));
+  for (int i = 0; i < kValues; ++i) {
+    ASSERT_OK_AND_ASSIGN(const uint64_t value, reader.GetU64());
+    ASSERT_EQ(value, static_cast<uint64_t>(i) * 31);
+  }
+  EXPECT_TRUE(reader.AtEnd());
+  // The chain can be reclaimed.
+  const uint64_t before = db.store.allocated_pages();
+  ASSERT_OK(FreeMetadataChain(&db.cache, head));
+  EXPECT_LT(db.store.allocated_pages(), before);
+}
+
+template <typename Scheme>
+void RoundTripInMemory(std::unique_ptr<Scheme> (*make)(PageCache*)) {
+  TestDb db(1024);
+  auto original = make(&db.cache);
+  const xml::Document doc = xml::MakeRandomDocument(800, 6, 21);
+  std::vector<NewElement> lids;
+  ASSERT_OK(original->BulkLoad(doc, &lids));
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_OK(original->InsertElementBefore(lids[(i * 37) % lids.size()].end)
+                  .status());
+  }
+  ASSERT_OK_AND_ASSIGN(const PageId head, original->Checkpoint());
+  const std::vector<Lid> order = TagOrderLids(doc, lids);
+
+  // A brand-new instance over the same storage picks everything up.
+  auto restored = make(&db.cache);
+  ASSERT_OK(restored->Restore(head));
+  EXPECT_EQ(restored->live_labels(), original->live_labels());
+  ASSERT_OK(restored->CheckInvariants());
+  EXPECT_TRUE(LabelsStrictlyIncreasing(restored.get(), order));
+  // And it keeps working.
+  ASSERT_OK(restored->InsertElementBefore(lids[5].end).status());
+  ASSERT_OK(restored->CheckInvariants());
+}
+
+std::unique_ptr<WBox> MakeWBoxPair(PageCache* cache) {
+  WBoxOptions options;
+  options.pair_mode = true;
+  return std::make_unique<WBox>(cache, options);
+}
+std::unique_ptr<BBox> MakeBBoxOrdinal(PageCache* cache) {
+  BBoxOptions options;
+  options.ordinal = true;
+  return std::make_unique<BBox>(cache, options);
+}
+std::unique_ptr<NaiveScheme> MakeNaive8(PageCache* cache) {
+  return std::make_unique<NaiveScheme>(
+      cache, NaiveOptions{.gap_bits = 8, .count_bits = 30});
+}
+
+TEST(CheckpointTest, WBoxRoundTrip) { RoundTripInMemory(&MakeWBoxPair); }
+TEST(CheckpointTest, BBoxRoundTrip) { RoundTripInMemory(&MakeBBoxOrdinal); }
+TEST(CheckpointTest, NaiveRoundTrip) { RoundTripInMemory(&MakeNaive8); }
+
+TEST(CheckpointTest, MismatchedOptionsRejected) {
+  TestDb db(1024);
+  WBox original(&db.cache);
+  ASSERT_OK(original.InsertFirstElement().status());
+  ASSERT_OK_AND_ASSIGN(const PageId head, original.Checkpoint());
+  WBoxOptions pair_options;
+  pair_options.pair_mode = true;
+  WBox mismatched(&db.cache, pair_options);
+  EXPECT_EQ(mismatched.Restore(head).code(), StatusCode::kInvalidArgument);
+  BBox wrong_kind(&db.cache);
+  EXPECT_EQ(wrong_kind.Restore(head).code(), StatusCode::kCorruption);
+}
+
+TEST(CheckpointTest, FullFileReopenCycle) {
+  const std::string path = ::testing::TempDir() + "/boxes_checkpoint.db";
+  std::vector<Lid> order;
+  uint64_t expected_live = 0;
+
+  // Session 1: create, load, mutate, checkpoint, close.
+  {
+    FilePageStore store(path, 1024, FilePageStore::Mode::kTruncate);
+    ASSERT_OK(store.status());
+    PageCache cache(&store);
+    ASSERT_OK(InitializeSuperblock(&cache));
+    WBox wbox(&cache);
+    const xml::Document doc = xml::MakeRandomDocument(600, 5, 33);
+    std::vector<NewElement> lids;
+    ASSERT_OK(wbox.BulkLoad(doc, &lids));
+    for (int i = 0; i < 50; ++i) {
+      ASSERT_OK(
+          wbox.InsertElementBefore(lids[(i * 13) % lids.size()].start)
+              .status());
+    }
+    ASSERT_OK_AND_ASSIGN(const PageId head, wbox.Checkpoint());
+    ASSERT_OK(StoreCheckpointHead(&cache, head));
+    ASSERT_OK(cache.FlushAll());
+    order = TagOrderLids(doc, lids);
+    expected_live = wbox.live_labels();
+  }
+
+  // Session 2: reopen the file, restore, verify, keep editing.
+  {
+    FilePageStore store(path, 1024, FilePageStore::Mode::kOpen);
+    ASSERT_OK(store.status());
+    PageCache cache(&store);
+    ASSERT_OK_AND_ASSIGN(const PageId head, LoadCheckpointHead(&cache));
+    WBox wbox(&cache);
+    ASSERT_OK(wbox.Restore(head));
+    EXPECT_EQ(wbox.live_labels(), expected_live);
+    ASSERT_OK(wbox.CheckInvariants());
+    EXPECT_TRUE(LabelsStrictlyIncreasing(&wbox, order));
+
+    for (int i = 0; i < 50; ++i) {
+      ASSERT_OK(wbox.InsertElementBefore(order[(i * 7) % order.size()])
+                    .status());
+    }
+    ASSERT_OK(wbox.CheckInvariants());
+    // Re-checkpoint, replacing the old chain.
+    ASSERT_OK(FreeMetadataChain(&cache, head));
+    ASSERT_OK_AND_ASSIGN(const PageId fresh_head, wbox.Checkpoint());
+    ASSERT_OK(StoreCheckpointHead(&cache, fresh_head));
+    ASSERT_OK(cache.FlushAll());
+    expected_live = wbox.live_labels();
+  }
+
+  // Session 3: the second checkpoint is also consistent.
+  {
+    FilePageStore store(path, 1024, FilePageStore::Mode::kOpen);
+    ASSERT_OK(store.status());
+    PageCache cache(&store);
+    ASSERT_OK_AND_ASSIGN(const PageId head, LoadCheckpointHead(&cache));
+    WBox wbox(&cache);
+    ASSERT_OK(wbox.Restore(head));
+    EXPECT_EQ(wbox.live_labels(), expected_live);
+    ASSERT_OK(wbox.CheckInvariants());
+    EXPECT_TRUE(LabelsStrictlyIncreasing(&wbox, order));
+  }
+}
+
+TEST(CheckpointTest, FacadeRegistryRoundTripsWithScheme) {
+  const std::string path = ::testing::TempDir() + "/boxes_facade.db";
+  std::string xml_before;
+  {
+    FilePageStore store(path, 1024, FilePageStore::Mode::kTruncate);
+    ASSERT_OK(store.status());
+    PageCache cache(&store);
+    ASSERT_OK(InitializeSuperblock(&cache));
+    WBox wbox(&cache);
+    LabeledDocument doc(&wbox);
+    ASSERT_OK(doc.LoadXml("<shop><aisle><item/><item/></aisle>"
+                          "<till/></shop>")
+                  .status());
+    ASSERT_OK_AND_ASSIGN(const auto handles, doc.HandlesInDocumentOrder());
+    ASSERT_OK(doc.AppendChild(handles[1], "item").status());
+    ASSERT_OK_AND_ASSIGN(xml_before, doc.ToXml(false));
+    // Combined checkpoint: scheme chain head + registry.
+    ASSERT_OK_AND_ASSIGN(const PageId scheme_head, wbox.Checkpoint());
+    MetadataWriter writer;
+    writer.PutU64(scheme_head);
+    doc.SaveState(&writer);
+    ASSERT_OK_AND_ASSIGN(const PageId head, writer.Finish(&cache));
+    ASSERT_OK(StoreCheckpointHead(&cache, head));
+    ASSERT_OK(cache.FlushAll());
+  }
+  {
+    FilePageStore store(path, 1024, FilePageStore::Mode::kOpen);
+    ASSERT_OK(store.status());
+    PageCache cache(&store);
+    ASSERT_OK_AND_ASSIGN(const PageId head, LoadCheckpointHead(&cache));
+    ASSERT_OK_AND_ASSIGN(MetadataReader reader,
+                         MetadataReader::Load(&cache, head));
+    ASSERT_OK_AND_ASSIGN(const uint64_t scheme_head, reader.GetU64());
+    WBox wbox(&cache);
+    ASSERT_OK(wbox.Restore(scheme_head));
+    LabeledDocument doc(&wbox);
+    ASSERT_OK(doc.LoadState(&reader));
+    ASSERT_OK(doc.CheckConsistency());
+    ASSERT_OK_AND_ASSIGN(const std::string xml_after, doc.ToXml(false));
+    EXPECT_EQ(xml_after, xml_before);
+    // Tags survived with the registry.
+    ASSERT_OK_AND_ASSIGN(const auto handles, doc.HandlesInDocumentOrder());
+    EXPECT_EQ(doc.tag(handles[0]), "shop");
+    EXPECT_EQ(doc.tag(handles[1]), "aisle");
+  }
+}
+
+TEST(CheckpointTest, SuperblockWithoutCheckpointIsNotFound) {
+  TestDb db(512);
+  ASSERT_OK(InitializeSuperblock(&db.cache));
+  EXPECT_EQ(LoadCheckpointHead(&db.cache).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(CheckpointTest, AllocatorSnapshotRoundTrip) {
+  MemoryPageStore store(512);
+  std::vector<PageId> pages;
+  for (int i = 0; i < 10; ++i) {
+    StatusOr<PageId> page = store.Allocate();
+    ASSERT_TRUE(page.ok());
+    pages.push_back(*page);
+  }
+  ASSERT_TRUE(store.Free(pages[3]).ok());
+  ASSERT_TRUE(store.Free(pages[7]).ok());
+  uint64_t total = 0;
+  std::vector<PageId> free_pages;
+  store.SnapshotAllocator(&total, &free_pages);
+  EXPECT_EQ(total, 10u);
+  EXPECT_EQ(free_pages.size(), 2u);
+
+  MemoryPageStore fresh(512);
+  ASSERT_TRUE(fresh.RestoreAllocator(total, free_pages).ok());
+  EXPECT_EQ(fresh.allocated_pages(), 8u);
+  // Freed pages are handed out again before the device grows.
+  StatusOr<PageId> reused = fresh.Allocate();
+  ASSERT_TRUE(reused.ok());
+  EXPECT_TRUE(*reused == pages[3] || *reused == pages[7]);
+}
+
+}  // namespace
+}  // namespace boxes

@@ -1,0 +1,100 @@
+#include "util/flags.h"
+
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace boxes {
+namespace {
+
+/// Builds a mutable argv from string literals.
+class Argv {
+ public:
+  explicit Argv(std::vector<std::string> args) : storage_(std::move(args)) {
+    for (auto& s : storage_) {
+      pointers_.push_back(s.data());
+    }
+  }
+  int argc() const { return static_cast<int>(pointers_.size()); }
+  char** argv() { return pointers_.data(); }
+
+ private:
+  std::vector<std::string> storage_;
+  std::vector<char*> pointers_;
+};
+
+TEST(FlagsTest, DefaultsApplyWithoutArgs) {
+  FlagParser parser;
+  int64_t* n = parser.AddInt64("n", 42, "count");
+  bool* verbose = parser.AddBool("verbose", false, "chatty");
+  Argv args({"prog"});
+  ASSERT_TRUE(parser.Parse(args.argc(), args.argv()));
+  EXPECT_EQ(*n, 42);
+  EXPECT_FALSE(*verbose);
+}
+
+TEST(FlagsTest, EqualsAndSpaceSyntax) {
+  FlagParser parser;
+  int64_t* n = parser.AddInt64("n", 0, "count");
+  std::string* name = parser.AddString("name", "", "who");
+  Argv args({"prog", "--n=7", "--name", "alice"});
+  ASSERT_TRUE(parser.Parse(args.argc(), args.argv()));
+  EXPECT_EQ(*n, 7);
+  EXPECT_EQ(*name, "alice");
+}
+
+TEST(FlagsTest, BareBooleanFlag) {
+  FlagParser parser;
+  bool* verbose = parser.AddBool("verbose", false, "chatty");
+  Argv args({"prog", "--verbose"});
+  ASSERT_TRUE(parser.Parse(args.argc(), args.argv()));
+  EXPECT_TRUE(*verbose);
+}
+
+TEST(FlagsTest, DoubleParsing) {
+  FlagParser parser;
+  double* ratio = parser.AddDouble("ratio", 0.5, "fraction");
+  Argv args({"prog", "--ratio=0.75"});
+  ASSERT_TRUE(parser.Parse(args.argc(), args.argv()));
+  EXPECT_DOUBLE_EQ(*ratio, 0.75);
+}
+
+TEST(FlagsTest, UnknownFlagFails) {
+  FlagParser parser;
+  parser.AddInt64("n", 0, "count");
+  Argv args({"prog", "--bogus=1"});
+  EXPECT_FALSE(parser.Parse(args.argc(), args.argv()));
+}
+
+TEST(FlagsTest, MalformedIntegerFails) {
+  FlagParser parser;
+  parser.AddInt64("n", 0, "count");
+  Argv args({"prog", "--n=notanumber"});
+  EXPECT_FALSE(parser.Parse(args.argc(), args.argv()));
+}
+
+TEST(FlagsTest, MalformedBoolFails) {
+  FlagParser parser;
+  parser.AddBool("b", false, "flag");
+  Argv args({"prog", "--b=maybe"});
+  EXPECT_FALSE(parser.Parse(args.argc(), args.argv()));
+}
+
+TEST(FlagsTest, HelpReturnsFalseAndListsFlags) {
+  FlagParser parser;
+  parser.AddInt64("iterations", 10, "how many times");
+  Argv args({"prog", "--help"});
+  EXPECT_FALSE(parser.Parse(args.argc(), args.argv()));
+  EXPECT_NE(parser.Usage("prog").find("iterations"), std::string::npos);
+}
+
+TEST(FlagsTest, NegativeIntegers) {
+  FlagParser parser;
+  int64_t* n = parser.AddInt64("n", 0, "count");
+  Argv args({"prog", "--n=-12"});
+  ASSERT_TRUE(parser.Parse(args.argc(), args.argv()));
+  EXPECT_EQ(*n, -12);
+}
+
+}  // namespace
+}  // namespace boxes

@@ -1,0 +1,98 @@
+#include "util/histogram.h"
+
+#include "gtest/gtest.h"
+
+namespace boxes {
+namespace {
+
+TEST(HistogramTest, EmptyHistogram) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0u);
+  EXPECT_EQ(h.Mean(), 0.0);
+  EXPECT_TRUE(h.Ccdf().empty());
+}
+
+TEST(HistogramTest, BasicStats) {
+  Histogram h;
+  for (uint64_t v : {1, 2, 2, 3, 10}) {
+    h.Add(v);
+  }
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.sum(), 18u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 3.6);
+  EXPECT_EQ(h.min(), 1u);
+  EXPECT_EQ(h.max(), 10u);
+  EXPECT_EQ(h.Percentile(0.5), 2u);
+  EXPECT_EQ(h.Percentile(1.0), 10u);
+}
+
+TEST(HistogramTest, FractionAbove) {
+  Histogram h;
+  for (uint64_t v = 1; v <= 100; ++v) {
+    h.Add(v);
+  }
+  EXPECT_DOUBLE_EQ(h.FractionAbove(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.FractionAbove(50), 0.5);
+  EXPECT_DOUBLE_EQ(h.FractionAbove(100), 0.0);
+}
+
+TEST(HistogramTest, CcdfIsMonotoneNonIncreasing) {
+  Histogram h;
+  for (uint64_t v = 1; v <= 1000; ++v) {
+    h.Add(v * v % 977 + 1);
+  }
+  const auto points = h.Ccdf(32);
+  ASSERT_FALSE(points.empty());
+  for (size_t i = 1; i < points.size(); ++i) {
+    EXPECT_LT(points[i - 1].cost, points[i].cost);
+    EXPECT_GE(points[i - 1].fraction_above, points[i].fraction_above);
+  }
+  // CCDF values must match direct computation.
+  for (const auto& p : points) {
+    EXPECT_DOUBLE_EQ(p.fraction_above, h.FractionAbove(p.cost));
+  }
+}
+
+TEST(HistogramTest, CcdfSmallDistinctSetUsesExactCosts) {
+  Histogram h;
+  h.Add(3);
+  h.Add(7);
+  h.Add(7);
+  const auto points = h.Ccdf(64);
+  ASSERT_EQ(points.size(), 2u);
+  EXPECT_EQ(points[0].cost, 3u);
+  EXPECT_DOUBLE_EQ(points[0].fraction_above, 2.0 / 3.0);
+  EXPECT_EQ(points[1].cost, 7u);
+  EXPECT_DOUBLE_EQ(points[1].fraction_above, 0.0);
+}
+
+TEST(HistogramTest, MergeCombinesCounts) {
+  Histogram a;
+  Histogram b;
+  a.Add(1);
+  a.Add(2);
+  b.Add(2);
+  b.Add(3);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 4u);
+  EXPECT_EQ(a.sum(), 8u);
+  EXPECT_EQ(a.max(), 3u);
+}
+
+TEST(HistogramTest, ClearResets) {
+  Histogram h;
+  h.Add(5);
+  h.Clear();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0u);
+}
+
+TEST(HistogramTest, ToStringMentionsCount) {
+  Histogram h;
+  h.Add(4);
+  EXPECT_NE(h.ToString().find("count=1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace boxes

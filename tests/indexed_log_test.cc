@@ -1,0 +1,174 @@
+#include "core/cachelog/indexed_log.h"
+
+#include <memory>
+#include <vector>
+
+#include "core/cachelog/caching_store.h"
+#include "core/cachelog/mod_log.h"
+#include "core/wbox/wbox.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+#include "util/random.h"
+#include "xml/generators.h"
+
+namespace boxes {
+namespace {
+
+using testing::TestDb;
+
+TEST(IndexedLogTest, BasicShiftReplay) {
+  IndexedModificationLog log(8);
+  log.AppendShift(Label::FromScalar(10), Label::FromScalar(20), +2);
+  log.AppendShift(Label::FromScalar(0), Label::FromScalar(5), -1);
+  Label in_range = Label::FromScalar(15);
+  EXPECT_EQ(log.Replay(0, &in_range), ReplayResult::kUsable);
+  EXPECT_EQ(in_range.scalar(), 17u);
+  Label out_of_range = Label::FromScalar(30);
+  EXPECT_EQ(log.Replay(0, &out_of_range), ReplayResult::kUsable);
+  EXPECT_EQ(out_of_range.scalar(), 30u);
+}
+
+TEST(IndexedLogTest, InvalidationAndOverflow) {
+  IndexedModificationLog log(2);
+  log.AppendInvalidate(Label::FromScalar(10), Label::FromScalar(20));
+  Label inside = Label::FromScalar(12);
+  EXPECT_EQ(log.Replay(0, &inside), ReplayResult::kStale);
+  log.AppendShift(Label::FromScalar(0), Label::FromScalar(9), +1);
+  log.AppendShift(Label::FromScalar(0), Label::FromScalar(9), +1);
+  // The invalidation (t=1) has been evicted; caches from t=0 are stale,
+  // caches from t=1 replay the two shifts.
+  Label label = Label::FromScalar(5);
+  EXPECT_EQ(log.Replay(0, &label), ReplayResult::kStale);
+  label = Label::FromScalar(5);
+  EXPECT_EQ(log.Replay(1, &label), ReplayResult::kUsable);
+  EXPECT_EQ(label.scalar(), 7u);
+}
+
+TEST(IndexedLogTest, EvolvingLabelCrossesRanges) {
+  // The first shift moves the label INTO the second shift's range; a
+  // one-shot stabbing query would miss that.
+  IndexedModificationLog log(8);
+  log.AppendShift(Label::FromScalar(5), Label::FromScalar(5), +10);
+  log.AppendShift(Label::FromScalar(15), Label::FromScalar(15), +10);
+  Label label = Label::FromScalar(5);
+  EXPECT_EQ(log.Replay(0, &label), ReplayResult::kUsable);
+  EXPECT_EQ(label.scalar(), 25u);
+}
+
+TEST(IndexedLogTest, ZeroCapacityIsBasicCaching) {
+  IndexedModificationLog log(0);
+  Label label = Label::FromScalar(5);
+  EXPECT_EQ(log.Replay(log.now(), &label), ReplayResult::kUsable);
+  log.AppendShift(Label::FromScalar(0), Label::FromScalar(9), +1);
+  EXPECT_EQ(log.Replay(0, &label), ReplayResult::kStale);
+  EXPECT_EQ(log.Replay(log.now(), &label), ReplayResult::kUsable);
+}
+
+/// The central property: the indexed log is observationally identical to
+/// the paper's plain FIFO for arbitrary entry streams and query times.
+TEST(IndexedLogTest, AgreesWithLinearLogOnRandomStreams) {
+  for (const size_t capacity : {1ul, 3ul, 8ul, 64ul, 100ul}) {
+    Random rng(1000 + capacity);
+    ModificationLog linear(capacity);
+    IndexedModificationLog indexed(capacity);
+    for (int step = 0; step < 600; ++step) {
+      // Random entry.
+      const uint64_t kind = rng.Uniform(10);
+      if (kind < 6) {
+        const uint64_t lo = rng.Uniform(100);
+        const uint64_t hi = lo + rng.Uniform(30);
+        const int64_t delta =
+            static_cast<int64_t>(rng.Uniform(5)) - 2;
+        linear.AppendShift(Label::FromScalar(lo), Label::FromScalar(hi),
+                           delta);
+        indexed.AppendShift(Label::FromScalar(lo), Label::FromScalar(hi),
+                            delta);
+      } else if (kind < 8) {
+        const uint64_t lo = rng.Uniform(100);
+        const uint64_t hi = lo + rng.Uniform(10);
+        linear.AppendInvalidate(Label::FromScalar(lo),
+                                Label::FromScalar(hi));
+        indexed.AppendInvalidate(Label::FromScalar(lo),
+                                 Label::FromScalar(hi));
+      } else {
+        const uint64_t from = rng.Uniform(200);
+        const int64_t delta =
+            static_cast<int64_t>(rng.Uniform(7)) - 3;
+        linear.AppendOrdinalShift(from, delta);
+        indexed.AppendOrdinalShift(from, delta);
+      }
+      ASSERT_EQ(linear.now(), indexed.now());
+
+      // Random replay queries at random cache ages.
+      for (int q = 0; q < 4; ++q) {
+        const uint64_t age = rng.Uniform(capacity + 4);
+        const uint64_t t = linear.now() > age ? linear.now() - age : 0;
+        const uint64_t value = 500 + rng.Uniform(100);
+        Label a = Label::FromScalar(value % 130);
+        Label b = a;
+        const ReplayResult ra = linear.Replay(t, &a);
+        const ReplayResult rb = indexed.Replay(t, &b);
+        ASSERT_EQ(ra, rb) << "cap " << capacity << " step " << step;
+        if (ra == ReplayResult::kUsable) {
+          ASSERT_TRUE(a == b)
+              << "cap " << capacity << " step " << step << ": "
+              << a.ToString() << " vs " << b.ToString();
+        }
+        uint64_t oa = value;
+        uint64_t ob = value;
+        const ReplayResult rc = linear.ReplayOrdinal(t, &oa);
+        const ReplayResult rd = indexed.ReplayOrdinal(t, &ob);
+        ASSERT_EQ(rc, rd);
+        if (rc == ReplayResult::kUsable) {
+          ASSERT_EQ(oa, ob) << "cap " << capacity << " step " << step;
+        }
+      }
+    }
+  }
+}
+
+TEST(IndexedLogTest, MultiComponentLabels) {
+  IndexedModificationLog log(16);
+  log.AppendShift(Label::FromComponents({1, 3, 0}),
+                  Label::FromComponents({1, 3, 9}), +1);
+  Label inside = Label::FromComponents({1, 3, 4});
+  EXPECT_EQ(log.Replay(0, &inside), ReplayResult::kUsable);
+  EXPECT_TRUE(inside == Label::FromComponents({1, 3, 5}));
+  Label outside = Label::FromComponents({1, 4, 4});
+  EXPECT_EQ(log.Replay(0, &outside), ReplayResult::kUsable);
+  EXPECT_TRUE(outside == Label::FromComponents({1, 4, 4}));
+}
+
+TEST(CachingStoreIndexedTest, EndToEndAgainstScheme) {
+  TestDb db;
+  WBox wbox(&db.cache);
+  CachingLabelStore store(&wbox, 128,
+                          CachingLabelStore::LogImpl::kIndexed);
+  const xml::Document doc = xml::MakeTwoLevelDocument(400);
+  std::vector<NewElement> lids;
+  ASSERT_OK(wbox.BulkLoad(doc, &lids));
+  std::vector<CachedLabelRef> refs;
+  for (const NewElement& e : lids) {
+    refs.push_back(store.MakeRef(e.start));
+  }
+  Random rng(5);
+  for (int round = 0; round < 60; ++round) {
+    for (int u = 0; u < 2; ++u) {
+      ASSERT_OK(wbox.InsertElementBefore(
+                        lids[1 + rng.Uniform(lids.size() - 1)].start)
+                    .status());
+    }
+    for (int r = 0; r < 10; ++r) {
+      const size_t index = rng.Uniform(refs.size());
+      ASSERT_OK_AND_ASSIGN(const Label via_cache,
+                           store.Lookup(&refs[index]));
+      ASSERT_OK_AND_ASSIGN(const Label direct,
+                           wbox.Lookup(lids[index].start));
+      ASSERT_TRUE(via_cache == direct) << "round " << round;
+    }
+  }
+  EXPECT_GT(store.served_replayed(), 0u);
+}
+
+}  // namespace
+}  // namespace boxes

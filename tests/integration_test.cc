@@ -1,0 +1,207 @@
+// Cross-cutting integration tests: scheme-vs-scheme agreement on document
+// order, file-backed storage, and end-to-end document workflows.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/bbox/bbox.h"
+#include "core/naive/naive.h"
+#include "core/ordpath/ordpath.h"
+#include "core/wbox/wbox.h"
+#include "gtest/gtest.h"
+#include "model_tree.h"
+#include "test_util.h"
+#include "util/random.h"
+#include "xml/generators.h"
+#include "xml/parser.h"
+#include "xml/writer.h"
+#include "xml/xmark.h"
+
+namespace boxes {
+namespace {
+
+using testing::LabelsStrictlyIncreasing;
+using testing::ModelTree;
+using testing::TagOrderLids;
+using testing::TestDb;
+
+std::unique_ptr<LabelingScheme> MakeByName(const std::string& name,
+                                           PageCache* cache) {
+  if (name == "wbox") {
+    return std::make_unique<WBox>(cache);
+  }
+  if (name == "wbox-o") {
+    WBoxOptions options;
+    options.pair_mode = true;
+    return std::make_unique<WBox>(cache, options);
+  }
+  if (name == "bbox") {
+    return std::make_unique<BBox>(cache);
+  }
+  if (name == "bbox-o") {
+    BBoxOptions options;
+    options.ordinal = true;
+    return std::make_unique<BBox>(cache, options);
+  }
+  if (name == "ordpath") {
+    return std::make_unique<OrdpathScheme>(cache);
+  }
+  return std::make_unique<NaiveScheme>(
+      cache, NaiveOptions{.gap_bits = 8, .count_bits = 30});
+}
+
+/// Drives the SAME logical op sequence against every scheme and requires
+/// them all to induce the same document order.
+TEST(CrossSchemeTest, AllSchemesAgreeOnDocumentOrder) {
+  const std::vector<std::string> names = {"wbox",   "wbox-o", "bbox",
+                                          "bbox-o", "naive",  "ordpath"};
+  std::vector<std::unique_ptr<TestDb>> dbs;
+  std::vector<std::unique_ptr<LabelingScheme>> schemes;
+  std::vector<ModelTree> models;
+  for (const std::string& name : names) {
+    dbs.push_back(std::make_unique<TestDb>(size_t{1024}));
+    schemes.push_back(MakeByName(name, &dbs.back()->cache));
+    ModelTree model;
+    ASSERT_OK_AND_ASSIGN(const NewElement root,
+                         schemes.back()->InsertFirstElement());
+    model.SetRoot(root);
+    models.push_back(std::move(model));
+  }
+
+  // One RNG drives the logical choices; each scheme applies them through
+  // its own model (LIDs differ, structure must not).
+  Random decider(404);
+  for (int step = 0; step < 400; ++step) {
+    const uint64_t dice = decider.Uniform(100);
+    const uint64_t pick = decider.Next();
+    const bool before_start = decider.Bernoulli(0.5);
+    for (size_t s = 0; s < schemes.size(); ++s) {
+      ModelTree& model = models[s];
+      if (dice < 60 || model.element_count() <= 1) {
+        // Insert relative to the logically-same element in every model.
+        Random local(pick);
+        const int target = model.RandomElement(&local, false);
+        const bool at_start = before_start && target != 0;
+        const Lid anchor = at_start ? model.node(target).lids.start
+                                    : model.node(target).lids.end;
+        ASSERT_OK_AND_ASSIGN(const NewElement e,
+                             schemes[s]->InsertElementBefore(anchor));
+        if (at_start) {
+          model.InsertBeforeStart(target, e);
+        } else {
+          model.InsertAsLastChild(target, e);
+        }
+      } else {
+        Random local(pick);
+        const int target = model.RandomElement(&local, true);
+        ASSERT_OK(schemes[s]->Delete(model.node(target).lids.start));
+        ASSERT_OK(schemes[s]->Delete(model.node(target).lids.end));
+        model.DeleteElement(target);
+      }
+    }
+  }
+
+  // Every scheme sees the same strictly increasing tag order...
+  for (size_t s = 0; s < schemes.size(); ++s) {
+    ASSERT_TRUE(
+        LabelsStrictlyIncreasing(schemes[s].get(), models[s].TagOrder()))
+        << names[s];
+  }
+  // ... and Compare() agrees across schemes on sampled tag pairs (the
+  // models are structurally identical, so position i means the same tag).
+  const std::vector<Lid> order0 = models[0].TagOrder();
+  Random sampler(7);
+  for (int trial = 0; trial < 200; ++trial) {
+    const size_t i = sampler.Uniform(order0.size());
+    const size_t j = sampler.Uniform(order0.size());
+    for (size_t s = 0; s < schemes.size(); ++s) {
+      const std::vector<Lid> order = models[s].TagOrder();
+      ASSERT_OK_AND_ASSIGN(const int cmp,
+                           schemes[s]->Compare(order[i], order[j]));
+      const int expected = i < j ? -1 : (i > j ? 1 : 0);
+      ASSERT_EQ(cmp < 0 ? -1 : (cmp > 0 ? 1 : 0), expected)
+          << names[s] << " positions " << i << "," << j;
+    }
+  }
+}
+
+TEST(FileBackedTest, WBoxWorksOnDisk) {
+  const std::string path = ::testing::TempDir() + "/boxes_wbox.db";
+  FilePageStore store(path, 1024);
+  ASSERT_OK(store.status());
+  PageCache cache(&store);
+  WBox wbox(&cache);
+  const xml::Document doc = xml::MakeRandomDocument(2000, 6, 5);
+  std::vector<NewElement> lids;
+  ASSERT_OK(wbox.BulkLoad(doc, &lids));
+  // Mutate a bit, flushing through to the file.
+  for (int i = 0; i < 200; ++i) {
+    IoScope scope(&cache);
+    ASSERT_OK(wbox.InsertElementBefore(lids[(i * 31) % lids.size()].start)
+                  .status());
+  }
+  ASSERT_OK(cache.FlushAll());
+  ASSERT_OK(wbox.CheckInvariants());
+  EXPECT_TRUE(LabelsStrictlyIncreasing(&wbox, TagOrderLids(doc, lids)));
+  EXPECT_GT(store.total_pages(), 0u);
+}
+
+TEST(FileBackedTest, BBoxWorksOnDisk) {
+  const std::string path = ::testing::TempDir() + "/boxes_bbox.db";
+  FilePageStore store(path, 1024);
+  ASSERT_OK(store.status());
+  PageCache cache(&store);
+  BBox bbox(&cache);
+  const xml::Document doc = xml::MakeXmarkDocument(3000, 3);
+  std::vector<NewElement> lids;
+  ASSERT_OK(bbox.BulkLoad(doc, &lids));
+  for (int i = 0; i < 200; ++i) {
+    IoScope scope(&cache);
+    ASSERT_OK(
+        bbox.InsertElementBefore(lids[(i * 17) % lids.size()].end).status());
+  }
+  ASSERT_OK(cache.FlushAll());
+  ASSERT_OK(bbox.CheckInvariants());
+  EXPECT_TRUE(LabelsStrictlyIncreasing(&bbox, TagOrderLids(doc, lids)));
+}
+
+/// A parsed real-ish document round-trips through label maintenance: parse,
+/// load, edit, and verify that ancestor relations derived from labels match
+/// the tree at every step.
+TEST(EndToEndTest, ParsedDocumentAncestorQueries) {
+  const xml::Document generated = xml::MakeXmarkDocument(2000, 11);
+  const std::string text = xml::WriteDocument(generated, true);
+  ASSERT_OK_AND_ASSIGN(const xml::Document doc, xml::ParseDocument(text));
+  ASSERT_EQ(doc.element_count(), generated.element_count());
+
+  TestDb db;
+  WBoxOptions options;
+  options.pair_mode = true;
+  WBox wbox(&db.cache, options);
+  std::vector<NewElement> lids;
+  ASSERT_OK(wbox.BulkLoad(doc, &lids));
+
+  Random rng(23);
+  for (int trial = 0; trial < 500; ++trial) {
+    const xml::ElementId a = rng.Uniform(doc.element_count());
+    const xml::ElementId b = rng.Uniform(doc.element_count());
+    ASSERT_OK_AND_ASSIGN(const ElementLabels la,
+                         wbox.LookupElement(lids[a].start, lids[a].end));
+    ASSERT_OK_AND_ASSIGN(const ElementLabels lb,
+                         wbox.LookupElement(lids[b].start, lids[b].end));
+    // Ground truth by parent walking.
+    bool expected = false;
+    for (xml::ElementId up = doc.element(b).parent;
+         up != xml::kInvalidElement; up = doc.element(up).parent) {
+      if (up == a) {
+        expected = true;
+        break;
+      }
+    }
+    EXPECT_EQ(IsAncestor(la, lb), expected) << a << " vs " << b;
+  }
+}
+
+}  // namespace
+}  // namespace boxes

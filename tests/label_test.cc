@@ -1,0 +1,68 @@
+#include "core/common/label.h"
+
+#include "gtest/gtest.h"
+#include "util/biguint.h"
+
+namespace boxes {
+namespace {
+
+TEST(LabelTest, ScalarOrdering) {
+  const Label a = Label::FromScalar(10);
+  const Label b = Label::FromScalar(20);
+  EXPECT_TRUE(a < b);
+  EXPECT_TRUE(b > a);
+  EXPECT_TRUE(a == Label::FromScalar(10));
+  EXPECT_EQ(a.scalar(), 10u);
+}
+
+TEST(LabelTest, ComponentOrderingIsLexicographic) {
+  const Label a = Label::FromComponents({1, 3, 2});
+  const Label b = Label::FromComponents({1, 3, 5});
+  const Label c = Label::FromComponents({2, 0, 0});
+  EXPECT_TRUE(a < b);
+  EXPECT_TRUE(b < c);
+  EXPECT_TRUE(a < c);
+}
+
+TEST(LabelTest, PrefixOrdersBeforeExtension) {
+  const Label prefix = Label::FromComponents({1, 3});
+  const Label longer = Label::FromComponents({1, 3, 0});
+  EXPECT_TRUE(prefix < longer);
+  EXPECT_EQ(prefix.Compare(prefix), 0);
+}
+
+TEST(LabelTest, BigUintRoundTripPreservesOrder) {
+  const BigUint small = BigUint(7).ShiftLeft(100);
+  const BigUint large = BigUint(8).ShiftLeft(100);
+  const Label a = Label::FromBigUint(small, 3);
+  const Label b = Label::FromBigUint(large, 3);
+  EXPECT_TRUE(a < b);
+  EXPECT_EQ(a.ToBigUint(), small);
+  EXPECT_EQ(b.ToBigUint(), large);
+}
+
+TEST(LabelTest, BitLengthUsesFixedWidthComponents) {
+  EXPECT_EQ(Label::FromScalar(0).BitLength(), 1u);
+  EXPECT_EQ(Label::FromScalar(255).BitLength(), 8u);
+  // 3 components, max 5 -> 3 bits each.
+  EXPECT_EQ(Label::FromComponents({1, 5, 0}).BitLength(), 9u);
+}
+
+TEST(LabelTest, ToString) {
+  EXPECT_EQ(Label::FromScalar(42).ToString(), "42");
+  EXPECT_EQ(Label::FromComponents({1, 2, 3}).ToString(), "(1,2,3)");
+}
+
+TEST(LabelTest, AncestorPredicate) {
+  const ElementLabels outer{Label::FromScalar(0), Label::FromScalar(9)};
+  const ElementLabels inner{Label::FromScalar(2), Label::FromScalar(5)};
+  const ElementLabels sibling{Label::FromScalar(6), Label::FromScalar(7)};
+  EXPECT_TRUE(IsAncestor(outer, inner));
+  EXPECT_FALSE(IsAncestor(inner, outer));
+  EXPECT_FALSE(IsAncestor(inner, sibling));
+  EXPECT_TRUE(PrecedesInDocumentOrder(inner, sibling));
+  EXPECT_FALSE(PrecedesInDocumentOrder(sibling, inner));
+}
+
+}  // namespace
+}  // namespace boxes

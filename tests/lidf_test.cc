@@ -1,0 +1,153 @@
+#include "lidf/lidf.h"
+
+#include <cstring>
+#include <set>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace boxes {
+namespace {
+
+using testing::TestDb;
+
+TEST(LidfTest, AllocateReadWrite) {
+  TestDb db;
+  Lidf lidf(&db.cache, 16);
+  ASSERT_OK_AND_ASSIGN(const Lid lid, lidf.Allocate());
+  EXPECT_TRUE(lidf.IsLive(lid));
+  uint8_t payload[16];
+  std::memset(payload, 0x77, sizeof(payload));
+  ASSERT_OK(lidf.Write(lid, payload));
+  uint8_t read[16] = {};
+  ASSERT_OK(lidf.Read(lid, read));
+  EXPECT_EQ(std::memcmp(payload, read, sizeof(payload)), 0);
+}
+
+TEST(LidfTest, FreshRecordsAreZeroed) {
+  TestDb db;
+  Lidf lidf(&db.cache, 8);
+  ASSERT_OK_AND_ASSIGN(const Lid lid, lidf.Allocate());
+  uint8_t read[8];
+  std::memset(read, 0xff, sizeof(read));
+  ASSERT_OK(lidf.Read(lid, read));
+  for (uint8_t byte : read) {
+    EXPECT_EQ(byte, 0);
+  }
+}
+
+TEST(LidfTest, BlockPtrAccessors) {
+  TestDb db;
+  Lidf lidf(&db.cache, 8);
+  ASSERT_OK_AND_ASSIGN(const Lid lid, lidf.Allocate());
+  ASSERT_OK(lidf.WriteBlockPtr(lid, 12345));
+  ASSERT_OK_AND_ASSIGN(const PageId block, lidf.ReadBlockPtr(lid));
+  EXPECT_EQ(block, 12345u);
+}
+
+TEST(LidfTest, FreeAndReuseKeepsFileCompact) {
+  TestDb db;
+  Lidf lidf(&db.cache, 8);
+  std::vector<Lid> lids;
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_OK_AND_ASSIGN(const Lid lid, lidf.Allocate());
+    lids.push_back(lid);
+  }
+  const uint64_t pages_before = lidf.page_count();
+  for (Lid lid : lids) {
+    ASSERT_OK(lidf.Free(lid));
+  }
+  EXPECT_EQ(lidf.live_records(), 0u);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_OK(lidf.Allocate().status());
+  }
+  EXPECT_EQ(lidf.page_count(), pages_before);  // freed slots were reused
+}
+
+TEST(LidfTest, AccessToDeadLidFails) {
+  TestDb db;
+  Lidf lidf(&db.cache, 8);
+  ASSERT_OK_AND_ASSIGN(const Lid lid, lidf.Allocate());
+  ASSERT_OK(lidf.Free(lid));
+  uint8_t buf[8];
+  EXPECT_EQ(lidf.Read(lid, buf).code(), StatusCode::kNotFound);
+  EXPECT_EQ(lidf.Write(lid, buf).code(), StatusCode::kNotFound);
+  EXPECT_EQ(lidf.Free(lid).code(), StatusCode::kNotFound);
+  EXPECT_FALSE(lidf.IsLive(lid));
+}
+
+TEST(LidfTest, AllocatePairIsAdjacentAndSamePage) {
+  TestDb db;
+  Lidf lidf(&db.cache, 8);
+  for (int i = 0; i < 3000; ++i) {
+    ASSERT_OK_AND_ASSIGN(const auto pair, lidf.AllocatePair());
+    EXPECT_EQ(pair.second, pair.first + 1);
+    ASSERT_OK_AND_ASSIGN(const PageId p1, lidf.PageOf(pair.first));
+    ASSERT_OK_AND_ASSIGN(const PageId p2, lidf.PageOf(pair.second));
+    EXPECT_EQ(p1, p2);
+  }
+}
+
+TEST(LidfTest, PairAllocationSkipsPageBoundary) {
+  TestDb db(/*page_size=*/64);  // 8 records of 8 bytes per page
+  Lidf lidf(&db.cache, 8);
+  // Allocate 7 singles: one slot left on the page.
+  for (int i = 0; i < 7; ++i) {
+    ASSERT_OK(lidf.Allocate().status());
+  }
+  ASSERT_OK_AND_ASSIGN(const auto pair, lidf.AllocatePair());
+  ASSERT_OK_AND_ASSIGN(const PageId p1, lidf.PageOf(pair.first));
+  ASSERT_OK_AND_ASSIGN(const PageId p2, lidf.PageOf(pair.second));
+  EXPECT_EQ(p1, p2);
+  // The skipped boundary slot is recycled by a later single allocation.
+  ASSERT_OK_AND_ASSIGN(const Lid single, lidf.Allocate());
+  EXPECT_EQ(single, 7u);
+}
+
+TEST(LidfTest, ForEachLiveVisitsInOrderTouchingEachPageOnce) {
+  TestDb db(/*page_size=*/64);
+  Lidf lidf(&db.cache, 8);
+  std::vector<Lid> lids;
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_OK_AND_ASSIGN(const Lid lid, lidf.Allocate());
+    lids.push_back(lid);
+  }
+  // Free every third record.
+  std::set<Lid> freed;
+  for (size_t i = 0; i < lids.size(); i += 3) {
+    ASSERT_OK(lidf.Free(lids[i]));
+    freed.insert(lids[i]);
+  }
+  ASSERT_OK(db.cache.FlushAll());
+  db.cache.ResetStats();
+  db.cache.BeginOp();
+  std::vector<Lid> visited;
+  ASSERT_OK(lidf.ForEachLive([&](Lid lid, const uint8_t*) {
+    visited.push_back(lid);
+    return Status::OK();
+  }));
+  ASSERT_OK(db.cache.EndOp());
+  EXPECT_EQ(visited.size(), lids.size() - freed.size());
+  for (size_t i = 1; i < visited.size(); ++i) {
+    EXPECT_LT(visited[i - 1], visited[i]);
+  }
+  for (Lid lid : visited) {
+    EXPECT_FALSE(freed.count(lid));
+  }
+  EXPECT_LE(db.cache.stats().reads, lidf.page_count());
+}
+
+TEST(LidfTest, LiveRecordCountTracks) {
+  TestDb db;
+  Lidf lidf(&db.cache, 8);
+  EXPECT_EQ(lidf.live_records(), 0u);
+  ASSERT_OK_AND_ASSIGN(const Lid a, lidf.Allocate());
+  ASSERT_OK(lidf.AllocatePair().status());
+  EXPECT_EQ(lidf.live_records(), 3u);
+  ASSERT_OK(lidf.Free(a));
+  EXPECT_EQ(lidf.live_records(), 2u);
+}
+
+}  // namespace
+}  // namespace boxes

@@ -1,0 +1,198 @@
+#ifndef BOXES_TESTS_MODEL_TREE_H_
+#define BOXES_TESTS_MODEL_TREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/common/labeling_scheme.h"
+#include "util/random.h"
+
+namespace boxes::testing {
+
+/// In-memory reference model of a dynamic XML element tree whose elements
+/// carry the LIDs a scheme assigned. Property tests mutate a scheme and the
+/// model in lockstep and then compare the scheme's label order against the
+/// model's tag order.
+class ModelTree {
+ public:
+  struct Node {
+    NewElement lids;
+    int parent = -1;
+    std::vector<int> children;
+    bool alive = false;
+  };
+
+  bool empty() const { return alive_count_ == 0; }
+  uint64_t element_count() const { return alive_count_; }
+
+  /// Initializes with a root element.
+  int SetRoot(NewElement lids) {
+    nodes_.clear();
+    nodes_.push_back(Node{lids, -1, {}, true});
+    alive_count_ = 1;
+    return 0;
+  }
+
+  const Node& node(int index) const { return nodes_[index]; }
+
+  /// Inserts a new element as the previous sibling of `target`
+  /// (= insert-element-before its start label).
+  int InsertBeforeStart(int target, NewElement lids) {
+    const int parent = nodes_[target].parent;
+    const int id = NewNode(lids, parent);
+    auto& siblings = nodes_[parent].children;
+    for (size_t i = 0; i < siblings.size(); ++i) {
+      if (siblings[i] == target) {
+        siblings.insert(siblings.begin() + static_cast<ptrdiff_t>(i), id);
+        return id;
+      }
+    }
+    siblings.push_back(id);  // unreachable for consistent callers
+    return id;
+  }
+
+  /// Inserts a new element as the last child of `target`
+  /// (= insert-element-before its end label).
+  int InsertAsLastChild(int target, NewElement lids) {
+    const int id = NewNode(lids, target);
+    nodes_[target].children.push_back(id);
+    return id;
+  }
+
+  /// Removes one element; its children become children of its parent, in
+  /// its place (the paper's delete semantics).
+  void DeleteElement(int target) {
+    const int parent = nodes_[target].parent;
+    auto& siblings = nodes_[parent].children;
+    for (size_t i = 0; i < siblings.size(); ++i) {
+      if (siblings[i] != target) {
+        continue;
+      }
+      siblings.erase(siblings.begin() + static_cast<ptrdiff_t>(i));
+      const auto& orphans = nodes_[target].children;
+      siblings.insert(siblings.begin() + static_cast<ptrdiff_t>(i),
+                      orphans.begin(), orphans.end());
+      break;
+    }
+    for (int child : nodes_[target].children) {
+      nodes_[child].parent = parent;
+    }
+    nodes_[target].alive = false;
+    nodes_[target].children.clear();
+    --alive_count_;
+  }
+
+  /// Removes an element and its whole subtree; returns the removed LIDs.
+  std::vector<NewElement> DeleteSubtree(int target) {
+    std::vector<NewElement> removed;
+    std::vector<int> stack{target};
+    while (!stack.empty()) {
+      const int id = stack.back();
+      stack.pop_back();
+      removed.push_back(nodes_[id].lids);
+      nodes_[id].alive = false;
+      --alive_count_;
+      for (int child : nodes_[id].children) {
+        stack.push_back(child);
+      }
+      nodes_[id].children.clear();
+    }
+    const int parent = nodes_[target].parent;
+    if (parent >= 0) {
+      auto& siblings = nodes_[parent].children;
+      for (size_t i = 0; i < siblings.size(); ++i) {
+        if (siblings[i] == target) {
+          siblings.erase(siblings.begin() + static_cast<ptrdiff_t>(i));
+          break;
+        }
+      }
+    }
+    return removed;
+  }
+
+  /// Grafts an externally built subtree as previous sibling of `target`'s
+  /// start (mirroring InsertSubtreeBefore on a start label). The document's
+  /// shape is replicated; returns the model index of the grafted root.
+  int GraftBeforeStart(int target, const xml::Document& doc,
+                       const std::vector<NewElement>& lids) {
+    const int root = InsertBeforeStart(target, lids[doc.root()]);
+    GraftChildren(root, doc, doc.root(), lids);
+    return root;
+  }
+
+  /// Grafts a subtree as last child of `target` (insertion before its end
+  /// label).
+  int GraftAsLastChild(int target, const xml::Document& doc,
+                       const std::vector<NewElement>& lids) {
+    const int root = InsertAsLastChild(target, lids[doc.root()]);
+    GraftChildren(root, doc, doc.root(), lids);
+    return root;
+  }
+
+  /// All tag LIDs in document order.
+  std::vector<Lid> TagOrder() const {
+    std::vector<Lid> out;
+    if (alive_count_ == 0) {
+      return out;
+    }
+    AppendTags(0, &out);
+    return out;
+  }
+
+  /// A uniformly random live element index; with `exclude_root`, never 0.
+  /// Requires at least one eligible element.
+  int RandomElement(Random* rng, bool exclude_root) const {
+    for (;;) {
+      const int id =
+          static_cast<int>(rng->Uniform(nodes_.size()));
+      if (nodes_[id].alive && !(exclude_root && id == 0)) {
+        return id;
+      }
+    }
+  }
+
+  uint64_t SubtreeElementCount(int target) const {
+    uint64_t count = 0;
+    std::vector<int> stack{target};
+    while (!stack.empty()) {
+      const int id = stack.back();
+      stack.pop_back();
+      ++count;
+      for (int child : nodes_[id].children) {
+        stack.push_back(child);
+      }
+    }
+    return count;
+  }
+
+ private:
+  int NewNode(NewElement lids, int parent) {
+    nodes_.push_back(Node{lids, parent, {}, true});
+    ++alive_count_;
+    return static_cast<int>(nodes_.size() - 1);
+  }
+
+  void GraftChildren(int model_parent, const xml::Document& doc,
+                     xml::ElementId doc_parent,
+                     const std::vector<NewElement>& lids) {
+    for (xml::ElementId child : doc.element(doc_parent).children) {
+      const int model_child = InsertAsLastChild(model_parent, lids[child]);
+      GraftChildren(model_child, doc, child, lids);
+    }
+  }
+
+  void AppendTags(int id, std::vector<Lid>* out) const {
+    out->push_back(nodes_[id].lids.start);
+    for (int child : nodes_[id].children) {
+      AppendTags(child, out);
+    }
+    out->push_back(nodes_[id].lids.end);
+  }
+
+  std::vector<Node> nodes_;
+  uint64_t alive_count_ = 0;
+};
+
+}  // namespace boxes::testing
+
+#endif  // BOXES_TESTS_MODEL_TREE_H_

@@ -1,0 +1,162 @@
+#include "core/naive/naive.h"
+
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "test_util.h"
+#include "xml/generators.h"
+
+namespace boxes {
+namespace {
+
+using testing::LabelsStrictlyIncreasing;
+using testing::TagOrderLids;
+using testing::TestDb;
+
+TEST(NaiveTest, FirstElementAndLookup) {
+  TestDb db;
+  NaiveScheme naive(&db.cache, {.gap_bits = 4, .count_bits = 20});
+  ASSERT_OK_AND_ASSIGN(const NewElement root, naive.InsertFirstElement());
+  ASSERT_OK_AND_ASSIGN(const Label start, naive.Lookup(root.start));
+  ASSERT_OK_AND_ASSIGN(const Label end, naive.Lookup(root.end));
+  EXPECT_TRUE(start < end);
+  ASSERT_OK(naive.CheckInvariants());
+}
+
+TEST(NaiveTest, BulkLoadLeavesEqualGaps) {
+  TestDb db;
+  NaiveScheme naive(&db.cache, {.gap_bits = 8, .count_bits = 20});
+  const xml::Document doc = xml::MakeRandomDocument(300, 5, 3);
+  std::vector<NewElement> lids;
+  ASSERT_OK(naive.BulkLoad(doc, &lids));
+  const std::vector<Lid> order = TagOrderLids(doc, lids);
+  EXPECT_TRUE(LabelsStrictlyIncreasing(&naive, order));
+  // Labels are exactly (i+1) << 8.
+  for (size_t i = 0; i < order.size(); i += 17) {
+    ASSERT_OK_AND_ASSIGN(const Label label, naive.Lookup(order[i]));
+    EXPECT_EQ(label.ToBigUint(), BigUint(i + 1).ShiftLeft(8));
+  }
+  ASSERT_OK(naive.CheckInvariants());
+}
+
+TEST(NaiveTest, ScatteredInsertionsAvoidRelabeling) {
+  TestDb db;
+  NaiveScheme naive(&db.cache, {.gap_bits = 8, .count_bits = 20});
+  const xml::Document doc = xml::MakeTwoLevelDocument(500);
+  std::vector<NewElement> lids;
+  ASSERT_OK(naive.BulkLoad(doc, &lids));
+  // One insertion per gap: gaps of 2^8 absorb them trivially.
+  for (size_t i = 1; i < lids.size(); ++i) {
+    ASSERT_OK(naive.InsertElementBefore(lids[i].start).status());
+  }
+  EXPECT_EQ(naive.relabel_count(), 0u);
+  ASSERT_OK(naive.CheckInvariants());
+}
+
+TEST(NaiveTest, ConcentratedInsertionsForceRelabeling) {
+  TestDb db;
+  NaiveScheme naive(&db.cache, {.gap_bits = 4, .count_bits = 20});
+  ASSERT_OK_AND_ASSIGN(const NewElement root, naive.InsertFirstElement());
+  NewElement target = root;
+  // Repeatedly inserting into the same gap exhausts 2^4 in ~5 steps
+  // (each element insertion splits the gap twice).
+  for (int i = 0; i < 64; ++i) {
+    ASSERT_OK_AND_ASSIGN(target, naive.InsertElementBefore(target.start));
+  }
+  EXPECT_GT(naive.relabel_count(), 4u);
+  ASSERT_OK(naive.CheckInvariants());
+}
+
+TEST(NaiveTest, OrderPreservedThroughRelabels) {
+  TestDb db;
+  NaiveScheme naive(&db.cache, {.gap_bits = 2, .count_bits = 20});
+  ASSERT_OK_AND_ASSIGN(const NewElement root, naive.InsertFirstElement());
+  std::vector<Lid> order{root.start};
+  std::vector<Lid> tail{root.end};
+  NewElement target = root;
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_OK_AND_ASSIGN(target, naive.InsertElementBefore(target.end));
+    order.push_back(target.start);
+    tail.insert(tail.begin(), target.end);
+  }
+  order.insert(order.end(), tail.begin(), tail.end());
+  EXPECT_TRUE(LabelsStrictlyIncreasing(&naive, order));
+  EXPECT_GT(naive.relabel_count(), 0u);
+  ASSERT_OK(naive.CheckInvariants());
+}
+
+TEST(NaiveTest, LargeGapBitsUseBigLabels) {
+  TestDb db;
+  NaiveScheme naive(&db.cache, {.gap_bits = 256, .count_bits = 40});
+  const xml::Document doc = xml::MakeTwoLevelDocument(50);
+  std::vector<NewElement> lids;
+  ASSERT_OK(naive.BulkLoad(doc, &lids));
+  ASSERT_OK_AND_ASSIGN(const SchemeStats stats, naive.GetStats());
+  // 102 labels at gap 2^256: top label needs > 256 bits — far beyond a
+  // machine word (the paper's point).
+  EXPECT_GT(stats.max_label_bits, 256u);
+  EXPECT_TRUE(LabelsStrictlyIncreasing(&naive, TagOrderLids(doc, lids)));
+}
+
+TEST(NaiveTest, DeleteFreesLidAndKeepsOrder) {
+  TestDb db;
+  NaiveScheme naive(&db.cache, {.gap_bits = 8, .count_bits = 20});
+  const xml::Document doc = xml::MakeTwoLevelDocument(50);
+  std::vector<NewElement> lids;
+  ASSERT_OK(naive.BulkLoad(doc, &lids));
+  ASSERT_OK(naive.Delete(lids[10].start));
+  ASSERT_OK(naive.Delete(lids[10].end));
+  EXPECT_FALSE(naive.Lookup(lids[10].start).ok());
+  EXPECT_TRUE(LabelsStrictlyIncreasing(
+      &naive, {lids[9].start, lids[9].end, lids[11].start, lids[11].end}));
+  ASSERT_OK(naive.CheckInvariants());
+  // Insertion into the stale gap next to the deleted label still works.
+  ASSERT_OK(naive.InsertElementBefore(lids[11].start).status());
+  ASSERT_OK(naive.CheckInvariants());
+}
+
+TEST(NaiveTest, LookupCostsOneIo) {
+  TestDb db;
+  NaiveScheme naive(&db.cache, {.gap_bits = 16, .count_bits = 30});
+  const xml::Document doc = xml::MakeTwoLevelDocument(2000);
+  std::vector<NewElement> lids;
+  ASSERT_OK(naive.BulkLoad(doc, &lids));
+  ASSERT_OK(db.cache.FlushAll());
+  db.cache.ResetStats();
+  constexpr int kLookups = 40;
+  for (int i = 0; i < kLookups; ++i) {
+    IoScope scope(&db.cache);
+    ASSERT_OK(naive.Lookup(lids[(i * 53) % lids.size()].start).status());
+  }
+  // The label lives directly in the LIDF record: 1 I/O.
+  EXPECT_EQ(db.cache.stats().reads, 1u * kLookups);
+}
+
+TEST(NaiveTest, RelabelCostScalesWithFileSize) {
+  TestDb db;
+  NaiveScheme naive(&db.cache, {.gap_bits = 1, .count_bits = 20});
+  const xml::Document doc = xml::MakeTwoLevelDocument(2000);
+  std::vector<NewElement> lids;
+  ASSERT_OK(naive.BulkLoad(doc, &lids));
+  ASSERT_OK(db.cache.FlushAll());
+  db.cache.ResetStats();
+  // gap_bits=1: the second insertion into the same gap must relabel.
+  {
+    IoScope scope(&db.cache);
+    ASSERT_OK(naive.InsertElementBefore(lids[1000].start).status());
+  }
+  const uint64_t first_cost = db.cache.stats().total();
+  db.cache.ResetStats();
+  {
+    IoScope scope(&db.cache);
+    ASSERT_OK(naive.InsertElementBefore(lids[1000].start).status());
+  }
+  const uint64_t second_cost = db.cache.stats().total();
+  EXPECT_GE(naive.relabel_count(), 1u);
+  // The relabeling insert touches (reads + writes) every LIDF page.
+  EXPECT_GE(second_cost + first_cost, naive.lidf()->page_count());
+  ASSERT_OK(naive.CheckInvariants());
+}
+
+}  // namespace
+}  // namespace boxes

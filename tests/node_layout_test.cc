@@ -1,0 +1,209 @@
+// Direct unit tests of the on-page node layouts (the byte-level view
+// classes both trees are built on).
+
+#include <cstring>
+#include <vector>
+
+#include "core/bbox/bbox_node.h"
+#include "core/wbox/wbox_node.h"
+#include "gtest/gtest.h"
+
+namespace boxes {
+namespace {
+
+class WBoxLeafLayoutTest : public ::testing::Test {
+ protected:
+  WBoxLeafLayoutTest()
+      : params_(WBoxParams::Derive(1024, /*pair_mode=*/false)),
+        pair_params_(WBoxParams::Derive(1024, /*pair_mode=*/true)) {
+    page_.assign(1024, 0xcd);
+    other_.assign(1024, 0xcd);
+  }
+
+  WBoxParams params_;
+  WBoxParams pair_params_;
+  std::vector<uint8_t> page_;
+  std::vector<uint8_t> other_;
+};
+
+TEST_F(WBoxLeafLayoutTest, InitAndInsert) {
+  WBoxLeafView leaf(page_.data(), &params_);
+  leaf.Init();
+  EXPECT_EQ(leaf.node_type(), WBoxLeafView::kNodeType);
+  EXPECT_EQ(leaf.count(), 0);
+  EXPECT_EQ(leaf.live_count(), 0);
+  leaf.set_range_lo(1000);
+  leaf.InsertRecordAt(0, /*lid=*/42, 0);
+  leaf.InsertRecordAt(1, /*lid=*/43, WBoxLeafView::kFlagIsEnd);
+  leaf.InsertRecordAt(1, /*lid=*/99, 0);  // squeezes between
+  EXPECT_EQ(leaf.count(), 3);
+  EXPECT_EQ(leaf.live_count(), 3);
+  EXPECT_EQ(leaf.lid(0), 42u);
+  EXPECT_EQ(leaf.lid(1), 99u);
+  EXPECT_EQ(leaf.lid(2), 43u);
+  EXPECT_TRUE(leaf.is_end_label(2));
+  EXPECT_FALSE(leaf.is_end_label(1));
+  EXPECT_EQ(leaf.LabelAt(1), 1001u);
+  EXPECT_EQ(leaf.FindLive(99), 1);
+  EXPECT_EQ(leaf.FindLive(12345), -1);
+}
+
+TEST_F(WBoxLeafLayoutTest, TombstonesTrackLiveCount) {
+  WBoxLeafView leaf(page_.data(), &params_);
+  leaf.Init();
+  for (Lid lid = 0; lid < 5; ++lid) {
+    leaf.InsertRecordAt(static_cast<uint16_t>(lid), lid, 0);
+  }
+  leaf.SetTombstone(2, true);
+  EXPECT_EQ(leaf.count(), 5);
+  EXPECT_EQ(leaf.live_count(), 4);
+  EXPECT_EQ(leaf.FindTombstone(), 2);
+  EXPECT_EQ(leaf.FindLive(2), -1);  // tombstoned lids are invisible
+  leaf.SetTombstone(2, false);
+  EXPECT_EQ(leaf.live_count(), 5);
+  EXPECT_EQ(leaf.FindTombstone(), -1);
+  // Removing a range drops live counts appropriately.
+  leaf.SetTombstone(1, true);
+  leaf.RemoveRecordRange(0, 2);
+  EXPECT_EQ(leaf.count(), 2);
+  EXPECT_EQ(leaf.live_count(), 2);
+  EXPECT_EQ(leaf.lid(0), 3u);
+}
+
+TEST_F(WBoxLeafLayoutTest, MoveHelpersPreserveOrder) {
+  WBoxLeafView src(page_.data(), &params_);
+  WBoxLeafView dst(other_.data(), &params_);
+  src.Init();
+  dst.Init();
+  for (Lid lid = 0; lid < 8; ++lid) {
+    src.InsertRecordAt(static_cast<uint16_t>(lid), lid, 0);
+  }
+  src.MoveSuffixTo(5, &dst);  // dst = [5,6,7]
+  EXPECT_EQ(src.count(), 5);
+  EXPECT_EQ(dst.count(), 3);
+  EXPECT_EQ(dst.lid(0), 5u);
+  src.MoveSuffixToFront(3, &dst);  // dst = [3,4,5,6,7]
+  EXPECT_EQ(dst.count(), 5);
+  EXPECT_EQ(dst.lid(0), 3u);
+  EXPECT_EQ(dst.lid(4), 7u);
+  dst.MovePrefixTo(2, &src);  // src = [0,1,2,3,4], dst = [5,6,7]
+  EXPECT_EQ(src.count(), 5);
+  EXPECT_EQ(dst.count(), 3);
+  for (uint16_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(src.lid(i), i);
+  }
+  EXPECT_EQ(dst.lid(0), 5u);
+}
+
+TEST_F(WBoxLeafLayoutTest, PairFieldsRoundTrip) {
+  WBoxLeafView leaf(page_.data(), &pair_params_);
+  leaf.Init();
+  leaf.InsertRecordAt(0, 10, 0);
+  leaf.set_partner_block(0, 777);
+  leaf.set_cached_end(0, 123456);
+  EXPECT_EQ(leaf.partner_block(0), 777u);
+  EXPECT_EQ(leaf.cached_end(0), 123456u);
+}
+
+TEST(WBoxInternalLayoutTest, EntriesAndSubranges) {
+  const WBoxParams params = WBoxParams::Derive(1024, false);
+  std::vector<uint8_t> page(1024, 0xee);
+  WBoxInternalView node(page.data(), &params);
+  node.Init(/*level=*/2);
+  EXPECT_EQ(node.node_type(), WBoxInternalView::kNodeType);
+  EXPECT_EQ(node.level(), 2);
+  node.set_range_lo(500);
+  node.InsertEntryAt(0, /*child=*/11, /*weight=*/100, /*size=*/90, 0);
+  node.InsertEntryAt(1, /*child=*/22, /*weight=*/200, /*size=*/180, 5);
+  node.InsertEntryAt(1, /*child=*/33, /*weight=*/50, /*size=*/50, 3);
+  node.set_self_weight(350);
+  EXPECT_EQ(node.count(), 3);
+  EXPECT_EQ(node.child(1), 33u);
+  EXPECT_EQ(node.weight(1), 50u);
+  EXPECT_EQ(node.size(2), 180u);
+  EXPECT_EQ(node.subrange(1), 3);
+  EXPECT_EQ(node.FindChildByPage(22), 2);
+  EXPECT_FALSE(node.SubrangeFree(3));
+  EXPECT_TRUE(node.SubrangeFree(4));
+  // Label routing: the child at subrange s owns
+  // [lo + s*len(level-1), ... + len).
+  const uint64_t child_len = params.RangeLength(1);
+  EXPECT_EQ(node.ChildRangeLo(1), 500 + 3 * child_len);
+  EXPECT_EQ(node.FindChildByLabel(500), 0);
+  EXPECT_EQ(node.FindChildByLabel(500 + 3 * child_len + 7), 1);
+  EXPECT_EQ(node.FindChildByLabel(500 + 4 * child_len), -1);  // unassigned
+  node.RemoveEntryAt(0);
+  EXPECT_EQ(node.count(), 2);
+  EXPECT_EQ(node.child(0), 33u);
+}
+
+TEST(BBoxLayoutTest, LeafBasics) {
+  const BBoxParams params = BBoxParams::Derive(512, false, 2);
+  std::vector<uint8_t> page(512, 0xaa);
+  BBoxLeafView leaf(page.data(), &params);
+  leaf.Init();
+  EXPECT_EQ(leaf.node_type(), BBoxNodeHeader::kLeafType);
+  EXPECT_EQ(leaf.parent(), kInvalidPageId);
+  leaf.set_parent(9);
+  EXPECT_EQ(leaf.parent(), 9u);
+  leaf.InsertAt(0, 100);
+  leaf.InsertAt(1, 300);
+  leaf.InsertAt(1, 200);
+  EXPECT_EQ(leaf.count(), 3);
+  EXPECT_EQ(leaf.Find(200), 1);
+  EXPECT_EQ(leaf.Find(999), -1);
+  leaf.RemoveAt(0);
+  EXPECT_EQ(leaf.lid(0), 200u);
+  leaf.RemoveRange(0, 1);
+  EXPECT_EQ(leaf.count(), 0);
+}
+
+TEST(BBoxLayoutTest, InternalSizesOnlyInOrdinalMode) {
+  const BBoxParams plain = BBoxParams::Derive(512, false, 2);
+  const BBoxParams ordinal = BBoxParams::Derive(512, true, 2);
+  EXPECT_EQ(ordinal.internal_capacity * 2, plain.internal_capacity);
+  std::vector<uint8_t> page(512, 0);
+  {
+    BBoxInternalView node(page.data(), &ordinal);
+    node.Init(1);
+    node.InsertAt(0, 5, 123);
+    node.InsertAt(1, 6, 77);
+    EXPECT_EQ(node.size(0), 123u);
+    EXPECT_EQ(node.SizeSum(), 200u);
+  }
+  {
+    BBoxInternalView node(page.data(), &plain);
+    node.Init(1);
+    node.InsertAt(0, 5, 123);  // size silently ignored
+    EXPECT_EQ(node.size(0), 0u);
+    EXPECT_EQ(node.SizeSum(), 0u);
+  }
+}
+
+TEST(BBoxLayoutTest, MoveHelpers) {
+  const BBoxParams params = BBoxParams::Derive(512, true, 2);
+  std::vector<uint8_t> a_page(512, 0);
+  std::vector<uint8_t> b_page(512, 0);
+  BBoxInternalView a(a_page.data(), &params);
+  BBoxInternalView b(b_page.data(), &params);
+  a.Init(3);
+  b.Init(3);
+  for (uint16_t i = 0; i < 6; ++i) {
+    a.InsertAt(i, 100 + i, i);
+  }
+  a.MoveSuffixTo(4, &b);  // b = [104,105]
+  EXPECT_EQ(b.count(), 2);
+  EXPECT_EQ(b.child(0), 104u);
+  a.MoveSuffixToFront(2, &b);  // b = [102,103,104,105]
+  EXPECT_EQ(b.count(), 4);
+  EXPECT_EQ(b.child(0), 102u);
+  EXPECT_EQ(b.size(1), 3u);
+  b.MovePrefixTo(3, &a);  // a = [100,101,102,103,104], b = [105]
+  EXPECT_EQ(a.count(), 5);
+  EXPECT_EQ(b.count(), 1);
+  EXPECT_EQ(a.child(4), 104u);
+  EXPECT_EQ(b.child(0), 105u);
+}
+
+}  // namespace
+}  // namespace boxes

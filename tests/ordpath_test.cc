@@ -1,0 +1,219 @@
+#include "core/ordpath/ordpath.h"
+
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "model_tree.h"
+#include "test_util.h"
+#include "util/random.h"
+#include "xml/generators.h"
+
+namespace boxes {
+namespace {
+
+using testing::LabelsStrictlyIncreasing;
+using testing::ModelTree;
+using testing::TagOrderLids;
+using testing::TestDb;
+
+using Components = std::vector<uint64_t>;
+
+TEST(OrdpathBetweenTest, BasicGaps) {
+  EXPECT_EQ(OrdpathScheme::Between({1}, {3}), Components({2}));
+  EXPECT_EQ(OrdpathScheme::Between({1}, {10}), Components({2}));
+  EXPECT_EQ(OrdpathScheme::Between({1}, {}), Components({2}));  // +inf
+  EXPECT_EQ(OrdpathScheme::Between({}, {5}), Components({1}));
+}
+
+TEST(OrdpathBetweenTest, AdjacentValuesExtend) {
+  EXPECT_EQ(OrdpathScheme::Between({1}, {2}), Components({1, 1}));
+  EXPECT_EQ(OrdpathScheme::Between({1, 1}, {1, 2}), Components({1, 1, 1}));
+  EXPECT_EQ(OrdpathScheme::Between({2, 7}, {3}), Components({2, 8}));
+}
+
+TEST(OrdpathBetweenTest, PrefixCases) {
+  // a is a prefix of b.
+  EXPECT_EQ(OrdpathScheme::Between({4}, {4, 5}), Components({4, 1}));
+  EXPECT_EQ(OrdpathScheme::Between({4}, {4, 1, 9}), Components({4, 1}));
+  // b == a + [1]: must dip below with a 0 component.
+  EXPECT_EQ(OrdpathScheme::Between({4}, {4, 1}), Components({4, 0, 1}));
+  EXPECT_EQ(OrdpathScheme::Between({}, {1}), Components({0, 1}));
+}
+
+TEST(OrdpathBetweenTest, PropertyBetweenRandomPairs) {
+  Random rng(606);
+  auto random_label = [&]() {
+    Components label;
+    const uint64_t depth = 1 + rng.Uniform(4);
+    for (uint64_t i = 0; i < depth; ++i) {
+      label.push_back(rng.Uniform(5));
+    }
+    if (label.back() == 0) {
+      label.back() = 1;  // avoid trailing 0 (still legal, just rarer)
+    }
+    return label;
+  };
+  auto less = [](const Components& x, const Components& y) {
+    return Label::FromComponents(x) < Label::FromComponents(y);
+  };
+  for (int trial = 0; trial < 5000; ++trial) {
+    Components a = random_label();
+    Components b = random_label();
+    if (!less(a, b)) {
+      std::swap(a, b);
+    }
+    if (!less(a, b)) {
+      continue;  // equal
+    }
+    const Components mid = OrdpathScheme::Between(a, b);
+    EXPECT_TRUE(less(a, mid)) << trial;
+    EXPECT_TRUE(less(mid, b)) << trial;
+    // And against infinity.
+    const Components above = OrdpathScheme::Between(b, {});
+    EXPECT_TRUE(less(b, above)) << trial;
+  }
+}
+
+TEST(OrdpathTest, BasicInsertSemantics) {
+  TestDb db;
+  OrdpathScheme ordpath(&db.cache);
+  ASSERT_OK_AND_ASSIGN(const NewElement root, ordpath.InsertFirstElement());
+  ASSERT_OK_AND_ASSIGN(const NewElement b,
+                       ordpath.InsertElementBefore(root.end));
+  ASSERT_OK_AND_ASSIGN(const NewElement a,
+                       ordpath.InsertElementBefore(b.start));
+  EXPECT_TRUE(LabelsStrictlyIncreasing(
+      &ordpath, {root.start, a.start, a.end, b.start, b.end, root.end}));
+  ASSERT_OK(ordpath.CheckInvariants());
+}
+
+TEST(OrdpathTest, LabelsAreImmutable) {
+  TestDb db;
+  OrdpathScheme ordpath(&db.cache);
+  ASSERT_OK_AND_ASSIGN(const NewElement root, ordpath.InsertFirstElement());
+  ASSERT_OK_AND_ASSIGN(const Label root_start_before,
+                       ordpath.Lookup(root.start));
+  ASSERT_OK_AND_ASSIGN(const Label root_end_before,
+                       ordpath.Lookup(root.end));
+  NewElement target = root;
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_OK_AND_ASSIGN(target, ordpath.InsertElementBefore(target.end));
+  }
+  // The defining property: existing labels never changed.
+  ASSERT_OK_AND_ASSIGN(const Label root_start_after,
+                       ordpath.Lookup(root.start));
+  ASSERT_OK_AND_ASSIGN(const Label root_end_after,
+                       ordpath.Lookup(root.end));
+  EXPECT_TRUE(root_start_before == root_start_after);
+  EXPECT_TRUE(root_end_before == root_end_after);
+  ASSERT_OK(ordpath.CheckInvariants());
+}
+
+TEST(OrdpathTest, ConcentratedInsertionBlowsLabelsUp) {
+  TestDb db;
+  OrdpathScheme ordpath(&db.cache);
+  ASSERT_OK_AND_ASSIGN(const NewElement root, ordpath.InsertFirstElement());
+  // The paper's §2 claim about immutable schemes: the concentrated
+  // sequence forces Ω(N)-bit labels. Squeeze insertions and watch the
+  // encoded size grow linearly.
+  NewElement last = root;
+  for (int i = 0; i < 150; ++i) {
+    ASSERT_OK_AND_ASSIGN(last, ordpath.InsertElementBefore(last.start));
+  }
+  // Each squeeze deepens the label; 150 inserts -> >= 150 bytes encoded.
+  EXPECT_GE(ordpath.max_encoded_bytes(), 150u);
+  ASSERT_OK(ordpath.CheckInvariants());
+  // And eventually inserts fail with ResourceExhausted (bounded storage).
+  OrdpathOptions tight;
+  tight.max_label_bytes = 32;
+  TestDb db2;
+  OrdpathScheme cramped(&db2.cache, tight);
+  ASSERT_OK_AND_ASSIGN(const NewElement root2, cramped.InsertFirstElement());
+  NewElement cursor = root2;
+  Status status = Status::OK();
+  for (int i = 0; i < 100 && status.ok(); ++i) {
+    StatusOr<NewElement> fresh = cramped.InsertElementBefore(cursor.start);
+    status = fresh.status();
+    if (fresh.ok()) {
+      cursor = *fresh;
+    }
+  }
+  EXPECT_EQ(status.code(), StatusCode::kResourceExhausted);
+}
+
+TEST(OrdpathTest, BulkLoadAndLookupCosts) {
+  TestDb db;
+  OrdpathScheme ordpath(&db.cache);
+  const xml::Document doc = xml::MakeRandomDocument(1000, 6, 3);
+  std::vector<NewElement> lids;
+  ASSERT_OK(ordpath.BulkLoad(doc, &lids));
+  EXPECT_TRUE(LabelsStrictlyIncreasing(&ordpath, TagOrderLids(doc, lids)));
+  ASSERT_OK(ordpath.CheckInvariants());
+  ASSERT_OK(db.cache.FlushAll());
+  db.cache.ResetStats();
+  constexpr int kLookups = 40;
+  for (int i = 0; i < kLookups; ++i) {
+    IoScope scope(&db.cache);
+    ASSERT_OK(ordpath.Lookup(lids[(i * 37) % lids.size()].start).status());
+  }
+  // Like naive-k: the label lives in the LIDF record, 1 I/O per lookup.
+  EXPECT_EQ(db.cache.stats().reads, 1u * kLookups);
+}
+
+TEST(OrdpathTest, RandomOpsAgreeWithModel) {
+  TestDb db;
+  OrdpathScheme ordpath(&db.cache);
+  Random rng(31);
+  ModelTree model;
+  ASSERT_OK_AND_ASSIGN(const NewElement root, ordpath.InsertFirstElement());
+  model.SetRoot(root);
+  for (int step = 0; step < 800; ++step) {
+    const uint64_t dice = rng.Uniform(100);
+    if (dice < 60 || model.element_count() <= 1) {
+      const int target = model.RandomElement(&rng, false);
+      const bool before_start = rng.Bernoulli(0.5) && target != 0;
+      const Lid anchor = before_start ? model.node(target).lids.start
+                                      : model.node(target).lids.end;
+      ASSERT_OK_AND_ASSIGN(const NewElement e,
+                           ordpath.InsertElementBefore(anchor));
+      if (before_start) {
+        model.InsertBeforeStart(target, e);
+      } else {
+        model.InsertAsLastChild(target, e);
+      }
+    } else if (dice < 85) {
+      const int target = model.RandomElement(&rng, true);
+      ASSERT_OK(ordpath.Delete(model.node(target).lids.start));
+      ASSERT_OK(ordpath.Delete(model.node(target).lids.end));
+      model.DeleteElement(target);
+    } else {
+      const int target = model.RandomElement(&rng, true);
+      const NewElement lids = model.node(target).lids;
+      ASSERT_OK(ordpath.DeleteSubtree(lids.start, lids.end));
+      model.DeleteSubtree(target);
+    }
+    if (step % 100 == 99) {
+      ASSERT_OK(ordpath.CheckInvariants());
+      ASSERT_TRUE(LabelsStrictlyIncreasing(&ordpath, model.TagOrder()));
+    }
+  }
+  ASSERT_OK(ordpath.CheckInvariants());
+  ASSERT_TRUE(LabelsStrictlyIncreasing(&ordpath, model.TagOrder()));
+}
+
+TEST(OrdpathTest, CachingNeverInvalidates) {
+  // Immutable labels mean a cached reference stays fresh forever — the
+  // §6 machinery degenerates gracefully.
+  TestDb db;
+  OrdpathScheme ordpath(&db.cache);
+  ASSERT_OK_AND_ASSIGN(const NewElement root, ordpath.InsertFirstElement());
+  ASSERT_OK_AND_ASSIGN(const Label before, ordpath.Lookup(root.start));
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_OK(ordpath.InsertElementBefore(root.end).status());
+  }
+  ASSERT_OK_AND_ASSIGN(const Label after, ordpath.Lookup(root.start));
+  EXPECT_TRUE(before == after);
+}
+
+}  // namespace
+}  // namespace boxes

@@ -1,0 +1,175 @@
+#include "storage/page_cache.h"
+
+#include <cstring>
+
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace boxes {
+namespace {
+
+TEST(PageCacheTest, FirstTouchCostsOneRead) {
+  MemoryPageStore store(512);
+  PageCache cache(&store);
+  uint8_t* data = nullptr;
+  ASSERT_OK_AND_ASSIGN(const PageId page, cache.AllocatePage(&data));
+  ASSERT_OK(cache.FlushAll());
+  cache.ResetStats();
+
+  cache.BeginOp();
+  ASSERT_OK_AND_ASSIGN(uint8_t* p1, cache.GetPage(page));
+  ASSERT_OK_AND_ASSIGN(uint8_t* p2, cache.GetPage(page));
+  EXPECT_EQ(p1, p2);
+  ASSERT_OK(cache.EndOp());
+  EXPECT_EQ(cache.stats().reads, 1u);
+  EXPECT_EQ(cache.stats().writes, 0u);
+}
+
+TEST(PageCacheTest, DirtyPageCostsOneWriteAtOpEnd) {
+  MemoryPageStore store(512);
+  PageCache cache(&store);
+  uint8_t* data = nullptr;
+  ASSERT_OK_AND_ASSIGN(const PageId page, cache.AllocatePage(&data));
+  ASSERT_OK(cache.FlushAll());
+  cache.ResetStats();
+
+  cache.BeginOp();
+  ASSERT_OK_AND_ASSIGN(uint8_t* p, cache.GetPageForWrite(page));
+  p[0] = 0x5a;
+  ASSERT_OK_AND_ASSIGN(uint8_t* q, cache.GetPageForWrite(page));
+  q[1] = 0x5b;
+  ASSERT_OK(cache.EndOp());
+  EXPECT_EQ(cache.stats().reads, 1u);
+  EXPECT_EQ(cache.stats().writes, 1u);
+
+  // Data survived the flush + working-set drop.
+  cache.BeginOp();
+  ASSERT_OK_AND_ASSIGN(uint8_t* r, cache.GetPage(page));
+  EXPECT_EQ(r[0], 0x5a);
+  EXPECT_EQ(r[1], 0x5b);
+  ASSERT_OK(cache.EndOp());
+}
+
+TEST(PageCacheTest, WorkingSetDroppedBetweenOps) {
+  MemoryPageStore store(512);
+  PageCache cache(&store);
+  uint8_t* data = nullptr;
+  ASSERT_OK_AND_ASSIGN(const PageId page, cache.AllocatePage(&data));
+  ASSERT_OK(cache.FlushAll());
+  cache.ResetStats();
+
+  for (int i = 0; i < 3; ++i) {
+    cache.BeginOp();
+    ASSERT_OK(cache.GetPage(page).status());
+    ASSERT_OK(cache.EndOp());
+  }
+  // Without retention, every operation re-reads the page.
+  EXPECT_EQ(cache.stats().reads, 3u);
+  EXPECT_EQ(cache.resident_pages(), 0u);
+}
+
+TEST(PageCacheTest, RetainedModeAvoidsRereads) {
+  MemoryPageStore store(512);
+  PageCacheOptions options;
+  options.retain_across_ops = true;
+  options.capacity_pages = 16;
+  PageCache cache(&store, options);
+  uint8_t* data = nullptr;
+  ASSERT_OK_AND_ASSIGN(const PageId page, cache.AllocatePage(&data));
+  ASSERT_OK(cache.FlushAll());
+  cache.ResetStats();
+
+  for (int i = 0; i < 3; ++i) {
+    cache.BeginOp();
+    ASSERT_OK(cache.GetPage(page).status());
+    ASSERT_OK(cache.EndOp());
+  }
+  // The freshly allocated frame stays resident across operations, so no
+  // re-reads happen at all.
+  EXPECT_EQ(cache.stats().reads, 0u);
+}
+
+TEST(PageCacheTest, RetainedModeEvictsLru) {
+  MemoryPageStore store(512);
+  PageCacheOptions options;
+  options.retain_across_ops = true;
+  options.capacity_pages = 4;
+  PageCache cache(&store, options);
+  std::vector<PageId> pages;
+  for (int i = 0; i < 8; ++i) {
+    uint8_t* data = nullptr;
+    ASSERT_OK_AND_ASSIGN(const PageId page, cache.AllocatePage(&data));
+    data[0] = static_cast<uint8_t>(i + 1);
+    pages.push_back(page);
+  }
+  ASSERT_OK(cache.FlushAll());
+  EXPECT_LE(cache.resident_pages(), 8u);
+  // All contents must remain correct regardless of eviction.
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_OK_AND_ASSIGN(uint8_t* p, cache.GetPage(pages[i]));
+    EXPECT_EQ(p[0], static_cast<uint8_t>(i + 1));
+  }
+}
+
+TEST(PageCacheTest, AllocateChargesNoRead) {
+  MemoryPageStore store(512);
+  PageCache cache(&store);
+  cache.BeginOp();
+  uint8_t* data = nullptr;
+  ASSERT_OK(cache.AllocatePage(&data).status());
+  ASSERT_OK(cache.EndOp());
+  EXPECT_EQ(cache.stats().reads, 0u);
+  EXPECT_EQ(cache.stats().writes, 1u);
+}
+
+TEST(PageCacheTest, FreedPageIsNotFlushed) {
+  MemoryPageStore store(512);
+  PageCache cache(&store);
+  cache.BeginOp();
+  uint8_t* data = nullptr;
+  ASSERT_OK_AND_ASSIGN(const PageId page, cache.AllocatePage(&data));
+  ASSERT_OK(cache.FreePage(page));
+  ASSERT_OK(cache.EndOp());
+  EXPECT_EQ(cache.stats().writes, 0u);
+  EXPECT_EQ(store.allocated_pages(), 0u);
+}
+
+TEST(PageCacheTest, ReadErrorPropagates) {
+  MemoryPageStore base(512);
+  FaultInjectionPageStore faulty(&base);
+  PageCache cache(&faulty);
+  ASSERT_OK_AND_ASSIGN(const PageId page, base.Allocate());
+  faulty.FailAfter(0);
+  cache.BeginOp();
+  EXPECT_EQ(cache.GetPage(page).status().code(), StatusCode::kIoError);
+  faulty.Heal();
+  ASSERT_OK(cache.EndOp());
+}
+
+TEST(PageCacheTest, IoScopeBracketsAnOperation) {
+  MemoryPageStore store(512);
+  PageCache cache(&store);
+  uint8_t* data = nullptr;
+  ASSERT_OK_AND_ASSIGN(const PageId page, cache.AllocatePage(&data));
+  ASSERT_OK(cache.FlushAll());
+  cache.ResetStats();
+  {
+    IoScope scope(&cache);
+    EXPECT_TRUE(cache.op_active());
+    ASSERT_OK(cache.GetPage(page).status());
+  }
+  EXPECT_FALSE(cache.op_active());
+  EXPECT_EQ(cache.stats().reads, 1u);
+}
+
+TEST(IoStatsTest, DeltaSubtracts) {
+  IoStats a{10, 4};
+  IoStats b{7, 1};
+  const IoStats d = a.Delta(b);
+  EXPECT_EQ(d.reads, 3u);
+  EXPECT_EQ(d.writes, 3u);
+  EXPECT_EQ(d.total(), 6u);
+}
+
+}  // namespace
+}  // namespace boxes

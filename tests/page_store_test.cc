@@ -1,0 +1,127 @@
+#include "storage/page_store.h"
+
+#include <cstring>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace boxes {
+namespace {
+
+template <typename T>
+class PageStoreTest : public ::testing::Test {};
+
+class MemoryStoreFactory {
+ public:
+  PageStore* store() { return &store_; }
+
+ private:
+  MemoryPageStore store_{512};
+};
+
+class FileStoreFactory {
+ public:
+  FileStoreFactory()
+      : store_(::testing::TempDir() + "/boxes_page_store_test.db", 512) {
+    EXPECT_TRUE(store_.status().ok()) << store_.status().ToString();
+  }
+  PageStore* store() { return &store_; }
+
+ private:
+  FilePageStore store_;
+};
+
+using StoreFactories = ::testing::Types<MemoryStoreFactory, FileStoreFactory>;
+TYPED_TEST_SUITE(PageStoreTest, StoreFactories);
+
+TYPED_TEST(PageStoreTest, AllocateReadWrite) {
+  TypeParam factory;
+  PageStore* store = factory.store();
+  ASSERT_OK_AND_ASSIGN(const PageId page, store->Allocate());
+  std::vector<uint8_t> buf(store->page_size(), 0xab);
+  ASSERT_OK(store->Write(page, buf.data()));
+  std::vector<uint8_t> read(store->page_size());
+  ASSERT_OK(store->Read(page, read.data()));
+  EXPECT_EQ(buf, read);
+}
+
+TYPED_TEST(PageStoreTest, FreshPagesAreZeroed) {
+  TypeParam factory;
+  PageStore* store = factory.store();
+  ASSERT_OK_AND_ASSIGN(const PageId page, store->Allocate());
+  std::vector<uint8_t> read(store->page_size(), 0xff);
+  ASSERT_OK(store->Read(page, read.data()));
+  for (uint8_t byte : read) {
+    ASSERT_EQ(byte, 0);
+  }
+}
+
+TYPED_TEST(PageStoreTest, FreeAndReuse) {
+  TypeParam factory;
+  PageStore* store = factory.store();
+  ASSERT_OK_AND_ASSIGN(const PageId a, store->Allocate());
+  ASSERT_OK_AND_ASSIGN(const PageId b, store->Allocate());
+  EXPECT_EQ(store->allocated_pages(), 2u);
+  ASSERT_OK(store->Free(a));
+  EXPECT_EQ(store->allocated_pages(), 1u);
+  ASSERT_OK_AND_ASSIGN(const PageId c, store->Allocate());
+  EXPECT_EQ(c, a);  // freed page ids are recycled
+  EXPECT_NE(c, b);
+  EXPECT_EQ(store->total_pages(), 2u);
+}
+
+TYPED_TEST(PageStoreTest, AccessToFreedPageFails) {
+  TypeParam factory;
+  PageStore* store = factory.store();
+  ASSERT_OK_AND_ASSIGN(const PageId page, store->Allocate());
+  ASSERT_OK(store->Free(page));
+  std::vector<uint8_t> buf(store->page_size());
+  EXPECT_FALSE(store->Read(page, buf.data()).ok());
+  EXPECT_FALSE(store->Write(page, buf.data()).ok());
+  EXPECT_FALSE(store->Free(page).ok());
+}
+
+TYPED_TEST(PageStoreTest, AccessToUnknownPageFails) {
+  TypeParam factory;
+  PageStore* store = factory.store();
+  std::vector<uint8_t> buf(store->page_size());
+  EXPECT_FALSE(store->Read(999, buf.data()).ok());
+}
+
+TYPED_TEST(PageStoreTest, ManyPagesKeepDistinctContent) {
+  TypeParam factory;
+  PageStore* store = factory.store();
+  constexpr int kPages = 64;
+  std::vector<PageId> pages;
+  for (int i = 0; i < kPages; ++i) {
+    ASSERT_OK_AND_ASSIGN(const PageId page, store->Allocate());
+    std::vector<uint8_t> buf(store->page_size(),
+                             static_cast<uint8_t>(i * 3 + 1));
+    ASSERT_OK(store->Write(page, buf.data()));
+    pages.push_back(page);
+  }
+  for (int i = 0; i < kPages; ++i) {
+    std::vector<uint8_t> read(store->page_size());
+    ASSERT_OK(store->Read(pages[i], read.data()));
+    EXPECT_EQ(read[0], static_cast<uint8_t>(i * 3 + 1));
+    EXPECT_EQ(read[store->page_size() - 1], static_cast<uint8_t>(i * 3 + 1));
+  }
+}
+
+TEST(FaultInjectionPageStoreTest, FailsAfterBudget) {
+  MemoryPageStore base(512);
+  FaultInjectionPageStore store(&base);
+  ASSERT_OK_AND_ASSIGN(const PageId page, store.Allocate());
+  std::vector<uint8_t> buf(512, 1);
+  store.FailAfter(2);
+  EXPECT_TRUE(store.Write(page, buf.data()).ok());   // 1st op OK
+  EXPECT_TRUE(store.Read(page, buf.data()).ok());    // 2nd op OK
+  EXPECT_EQ(store.Write(page, buf.data()).code(), StatusCode::kIoError);
+  EXPECT_EQ(store.Read(page, buf.data()).code(), StatusCode::kIoError);
+  store.Heal();
+  EXPECT_TRUE(store.Read(page, buf.data()).ok());
+}
+
+}  // namespace
+}  // namespace boxes

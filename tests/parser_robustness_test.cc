@@ -1,0 +1,87 @@
+// Robustness of the XML parser: arbitrary garbage, truncations, and
+// adversarial nesting must produce error Statuses, never crashes or
+// invalid documents.
+
+#include <string>
+
+#include "gtest/gtest.h"
+#include "test_util.h"
+#include "util/random.h"
+#include "xml/generators.h"
+#include "xml/parser.h"
+#include "xml/writer.h"
+
+namespace boxes::xml {
+namespace {
+
+TEST(ParserRobustnessTest, RandomBytesNeverCrash) {
+  Random rng(31337);
+  const char alphabet[] = "<>/= \"'ab?!-[]";
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::string input;
+    const uint64_t len = rng.Uniform(60);
+    for (uint64_t i = 0; i < len; ++i) {
+      input.push_back(alphabet[rng.Uniform(sizeof(alphabet) - 1)]);
+    }
+    StatusOr<Document> doc = ParseDocument(input);
+    if (doc.ok()) {
+      EXPECT_OK(doc->Validate());
+    }
+  }
+}
+
+TEST(ParserRobustnessTest, TruncationsOfValidDocumentFailCleanly) {
+  const Document generated = MakeRandomDocument(100, 5, 77);
+  const std::string text = WriteDocument(generated, true);
+  for (size_t cut = 0; cut < text.size(); cut += 7) {
+    StatusOr<Document> doc = ParseDocument(text.substr(0, cut));
+    if (doc.ok()) {
+      EXPECT_OK(doc->Validate());
+    }
+  }
+  // The full text parses.
+  ASSERT_OK(ParseDocument(text).status());
+}
+
+TEST(ParserRobustnessTest, DeepNestingParses) {
+  std::string input;
+  constexpr int kDepth = 5000;
+  for (int i = 0; i < kDepth; ++i) {
+    input += "<d>";
+  }
+  for (int i = 0; i < kDepth; ++i) {
+    input += "</d>";
+  }
+  ASSERT_OK_AND_ASSIGN(const Document doc, ParseDocument(input));
+  EXPECT_EQ(doc.element_count(), static_cast<uint64_t>(kDepth));
+  EXPECT_EQ(doc.Depth(), static_cast<uint64_t>(kDepth));
+}
+
+TEST(ParserRobustnessTest, ErrorsCarryLineNumbers) {
+  const Status status =
+      ParseDocument("<a>\n<b>\n</mismatch>\n</a>").status();
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("line 3"), std::string::npos)
+      << status.ToString();
+}
+
+TEST(ParserRobustnessTest, MutatedDocumentsNeverYieldInvalidTrees) {
+  const Document generated = MakeRandomDocument(60, 4, 5);
+  const std::string text = WriteDocument(generated, false);
+  Random rng(99);
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::string mutated = text;
+    const int flips = 1 + static_cast<int>(rng.Uniform(3));
+    for (int f = 0; f < flips; ++f) {
+      mutated[rng.Uniform(mutated.size())] =
+          static_cast<char>(32 + rng.Uniform(95));
+    }
+    StatusOr<Document> doc = ParseDocument(mutated);
+    if (doc.ok()) {
+      EXPECT_OK(doc->Validate());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace boxes::xml

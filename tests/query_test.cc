@@ -1,0 +1,235 @@
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/bbox/bbox.h"
+#include "core/wbox/wbox.h"
+#include "gtest/gtest.h"
+#include "query/structural_join.h"
+#include "query/twig.h"
+#include "test_util.h"
+#include "util/random.h"
+#include "xml/generators.h"
+#include "xml/parser.h"
+#include "xml/xmark.h"
+
+namespace boxes::query {
+namespace {
+
+using boxes::testing::TestDb;
+
+/// Ground truth by tree walking: all (a, d) pairs with a an ancestor of d.
+uint64_t BruteForceJoin(const xml::Document& doc, const std::string& a_tag,
+                        const std::string& d_tag) {
+  uint64_t count = 0;
+  for (xml::ElementId d = 0; d < doc.element_count(); ++d) {
+    if (doc.element(d).tag != d_tag) {
+      continue;
+    }
+    for (xml::ElementId up = doc.element(d).parent;
+         up != xml::kInvalidElement; up = doc.element(up).parent) {
+      if (doc.element(up).tag == a_tag) {
+        ++count;
+      }
+    }
+  }
+  return count;
+}
+
+/// Ground truth twig matching by recursive tree walking.
+bool SubtreeMatches(const xml::Document& doc, xml::ElementId root,
+                    const TwigPattern& pattern);
+
+bool HasMatchingDescendant(const xml::Document& doc, xml::ElementId root,
+                           const TwigPattern& pattern) {
+  for (xml::ElementId child : doc.element(root).children) {
+    if (SubtreeMatches(doc, child, pattern) ||
+        HasMatchingDescendant(doc, child, pattern)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool SubtreeMatches(const xml::Document& doc, xml::ElementId root,
+                    const TwigPattern& pattern) {
+  if (doc.element(root).tag != pattern.tag) {
+    return false;
+  }
+  for (const TwigPattern& child : pattern.children) {
+    if (!HasMatchingDescendant(doc, root, child)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::set<xml::ElementId> BruteForceTwigRoots(const xml::Document& doc,
+                                             const TwigPattern& pattern) {
+  std::set<xml::ElementId> roots;
+  for (xml::ElementId id = 0; id < doc.element_count(); ++id) {
+    if (SubtreeMatches(doc, id, pattern)) {
+      roots.insert(id);
+    }
+  }
+  return roots;
+}
+
+TEST(StructuralJoinTest, MatchesBruteForceOnXmark) {
+  TestDb db;
+  BBox bbox(&db.cache);
+  const xml::Document doc = xml::MakeXmarkDocument(5000, 3);
+  std::vector<NewElement> lids;
+  ASSERT_OK(bbox.BulkLoad(doc, &lids));
+  const std::vector<std::pair<std::string, std::string>> joins = {
+      {"item", "text"},       {"regions", "item"},
+      {"person", "interest"}, {"open_auction", "bidder"},
+      {"site", "text"},       {"parlist", "parlist"}};
+  for (const auto& [a_tag, d_tag] : joins) {
+    ASSERT_OK_AND_ASSIGN(const std::vector<Interval> ancestors,
+                         CollectIntervals(&bbox, doc, lids, a_tag));
+    ASSERT_OK_AND_ASSIGN(const std::vector<Interval> descendants,
+                         CollectIntervals(&bbox, doc, lids, d_tag));
+    EXPECT_EQ(CountStructuralJoin(ancestors, descendants),
+              BruteForceJoin(doc, a_tag, d_tag))
+        << a_tag << "//" << d_tag;
+  }
+}
+
+TEST(StructuralJoinTest, EmitsCorrectPairs) {
+  // Tiny handcrafted document: <a><b><a><c/></a></b><c/></a>
+  TestDb db;
+  WBox wbox(&db.cache);
+  ASSERT_OK_AND_ASSIGN(
+      const xml::Document doc,
+      xml::ParseDocument("<a><b><a><c/></a></b><c/></a>"));
+  std::vector<NewElement> lids;
+  ASSERT_OK(wbox.BulkLoad(doc, &lids));
+  ASSERT_OK_AND_ASSIGN(const std::vector<Interval> as,
+                       CollectIntervals(&wbox, doc, lids, "a"));
+  ASSERT_OK_AND_ASSIGN(const std::vector<Interval> cs,
+                       CollectIntervals(&wbox, doc, lids, "c"));
+  std::set<std::pair<uint64_t, uint64_t>> pairs;
+  StructuralJoin(as, cs, [&](const Interval& a, const Interval& c) {
+    pairs.insert({a.handle, c.handle});
+  });
+  // Outer <a> (id 0) contains both <c>s (ids 3, 4); inner <a> (id 2)
+  // contains only the first.
+  EXPECT_EQ(pairs, (std::set<std::pair<uint64_t, uint64_t>>{
+                       {0, 3}, {0, 4}, {2, 3}}));
+}
+
+TEST(StructuralJoinTest, EmptyInputs) {
+  EXPECT_EQ(CountStructuralJoin({}, {}), 0u);
+  Interval one{1, Label::FromScalar(1), Label::FromScalar(2)};
+  EXPECT_EQ(CountStructuralJoin({one}, {}), 0u);
+  EXPECT_EQ(CountStructuralJoin({}, {one}), 0u);
+}
+
+TEST(TwigParseTest, ParsesLinearPaths) {
+  ASSERT_OK_AND_ASSIGN(const TwigPattern p,
+                       ParseTwigPattern("site//item//text"));
+  EXPECT_EQ(p.tag, "site");
+  ASSERT_EQ(p.children.size(), 1u);
+  EXPECT_EQ(p.children[0].tag, "item");
+  ASSERT_EQ(p.children[0].children.size(), 1u);
+  EXPECT_EQ(p.children[0].children[0].tag, "text");
+}
+
+TEST(TwigParseTest, ParsesBranches) {
+  ASSERT_OK_AND_ASSIGN(
+      const TwigPattern p,
+      ParseTwigPattern("item[//mailbox][//incategory]//text"));
+  EXPECT_EQ(p.tag, "item");
+  ASSERT_EQ(p.children.size(), 3u);
+  EXPECT_EQ(p.children[0].tag, "mailbox");
+  EXPECT_EQ(p.children[1].tag, "incategory");
+  EXPECT_EQ(p.children[2].tag, "text");
+}
+
+TEST(TwigParseTest, ParsesNestedBranches) {
+  ASSERT_OK_AND_ASSIGN(
+      const TwigPattern p,
+      ParseTwigPattern("person[//profile[//interest]]//name"));
+  EXPECT_EQ(p.tag, "person");
+  ASSERT_EQ(p.children.size(), 2u);
+  EXPECT_EQ(p.children[0].tag, "profile");
+  ASSERT_EQ(p.children[0].children.size(), 1u);
+  EXPECT_EQ(p.children[0].children[0].tag, "interest");
+}
+
+TEST(TwigParseTest, RejectsMalformedPatterns) {
+  EXPECT_FALSE(ParseTwigPattern("").ok());
+  EXPECT_FALSE(ParseTwigPattern("//item").ok());
+  EXPECT_FALSE(ParseTwigPattern("item[").ok());
+  EXPECT_FALSE(ParseTwigPattern("item[//]").ok());
+  EXPECT_FALSE(ParseTwigPattern("item]").ok());
+  EXPECT_FALSE(ParseTwigPattern("a b").ok());
+}
+
+TEST(TwigMatchTest, MatchesBruteForceOnXmark) {
+  TestDb db;
+  WBox wbox(&db.cache);
+  const xml::Document doc = xml::MakeXmarkDocument(4000, 13);
+  std::vector<NewElement> lids;
+  ASSERT_OK(wbox.BulkLoad(doc, &lids));
+  const std::vector<std::string> patterns = {
+      "site//item//text",
+      "item[//mailbox][//incategory]//description",
+      "person[//profile[//interest]]",
+      "open_auction[//bidder]//annotation//description",
+      "parlist//parlist//text",
+      "nonexistent//item",
+  };
+  for (const std::string& text : patterns) {
+    ASSERT_OK_AND_ASSIGN(const TwigPattern pattern, ParseTwigPattern(text));
+    ASSERT_OK_AND_ASSIGN(const std::vector<Interval> roots,
+                         MatchTwig(pattern, &wbox, doc, lids));
+    std::set<xml::ElementId> got;
+    for (const Interval& interval : roots) {
+      got.insert(interval.handle);
+    }
+    EXPECT_EQ(got, BruteForceTwigRoots(doc, pattern)) << text;
+  }
+}
+
+TEST(TwigMatchTest, MatchesOnRandomDocuments) {
+  Random rng(51);
+  for (int trial = 0; trial < 10; ++trial) {
+    TestDb db;
+    BBox bbox(&db.cache);
+    // Random documents with a tiny tag alphabet maximize twig overlap.
+    xml::Document doc = xml::MakeRandomDocument(400, 6, 600 + trial);
+    // Re-tag with a 3-letter alphabet.
+    xml::Document retagged;
+    std::vector<xml::ElementId> order = doc.PreorderIds();
+    std::map<xml::ElementId, xml::ElementId> remap;
+    for (xml::ElementId id : order) {
+      const std::string tag(1, static_cast<char>('a' + rng.Uniform(3)));
+      if (doc.element(id).parent == xml::kInvalidElement) {
+        remap[id] = retagged.AddRoot(tag);
+      } else {
+        remap[id] = retagged.AddChild(remap[doc.element(id).parent], tag);
+      }
+    }
+    std::vector<NewElement> lids;
+    ASSERT_OK(bbox.BulkLoad(retagged, &lids));
+    for (const std::string text :
+         {"a//b//c", "a[//b]//c", "b[//a][//c]", "c//c"}) {
+      ASSERT_OK_AND_ASSIGN(const TwigPattern pattern,
+                           ParseTwigPattern(text));
+      ASSERT_OK_AND_ASSIGN(const std::vector<Interval> roots,
+                           MatchTwig(pattern, &bbox, retagged, lids));
+      std::set<xml::ElementId> got;
+      for (const Interval& interval : roots) {
+        got.insert(interval.handle);
+      }
+      EXPECT_EQ(got, BruteForceTwigRoots(retagged, pattern))
+          << text << " trial " << trial;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace boxes::query

@@ -1,0 +1,96 @@
+#include "util/random.h"
+
+#include <set>
+
+#include "gtest/gtest.h"
+
+namespace boxes {
+namespace {
+
+TEST(RandomTest, DeterministicForSameSeed) {
+  Random a(7);
+  Random b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RandomTest, DifferentSeedsDiffer) {
+  Random a(1);
+  Random b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) {
+      ++same;
+    }
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(RandomTest, UniformWithinBounds) {
+  Random rng(13);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.Uniform(17), 17u);
+  }
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t v = rng.UniformRange(10, 20);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 20u);
+  }
+}
+
+TEST(RandomTest, UniformCoversRange) {
+  Random rng(99);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    seen.insert(rng.Uniform(8));
+  }
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(RandomTest, BernoulliExtremes) {
+  Random rng(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RandomTest, BernoulliRoughlyCalibrated) {
+  Random rng(21);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.Bernoulli(0.3)) {
+      ++hits;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(RandomTest, NextDoubleInUnitInterval) {
+  Random rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RandomTest, SkewedWithinBoundsAndSkewed) {
+  Random rng(77);
+  uint64_t low_half = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const uint64_t v = rng.Skewed(100, 0.5);
+    ASSERT_LT(v, 100u);
+    if (v < 50) {
+      ++low_half;
+    }
+  }
+  // A skewed distribution favors small values well beyond 50%.
+  EXPECT_GT(low_half, n * 6 / 10);
+}
+
+}  // namespace
+}  // namespace boxes

@@ -1,0 +1,127 @@
+// Scale smoke tests: the structures at sizes where trees reach height 3+
+// and every split/rebalance path fires many times, with full invariant
+// audits at the end. These run in a few seconds and guard the asymptotic
+// claims the small unit tests cannot exercise.
+
+#include <vector>
+
+#include "core/bbox/bbox.h"
+#include "core/naive/naive.h"
+#include "core/wbox/wbox.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+#include "util/random.h"
+#include "workload/sequences.h"
+#include "xml/generators.h"
+#include "xml/xmark.h"
+
+namespace boxes {
+namespace {
+
+using testing::LabelsStrictlyIncreasing;
+using testing::TagOrderLids;
+using testing::TestDb;
+
+TEST(ScaleTest, WBoxConcentratedAtHeightThree) {
+  TestDb db(/*page_size=*/1024);  // small pages force height quickly
+  WBox wbox(&db.cache);
+  workload::RunStats stats;
+  ASSERT_OK(workload::RunConcentratedInsertion(&wbox, &db.cache, 30000,
+                                               10000, &stats));
+  EXPECT_GE(wbox.height(), 3u);
+  ASSERT_OK(wbox.CheckInvariants());
+  // Amortized insert cost stays bounded (O(log_B N), far below naive).
+  EXPECT_LT(stats.MeanCost(), 25.0);
+}
+
+TEST(ScaleTest, BBoxConcentratedAtHeightThree) {
+  TestDb db(/*page_size=*/1024);
+  BBox bbox(&db.cache);
+  workload::RunStats stats;
+  ASSERT_OK(workload::RunConcentratedInsertion(&bbox, &db.cache, 30000,
+                                               10000, &stats));
+  EXPECT_GE(bbox.height(), 3u);
+  ASSERT_OK(bbox.CheckInvariants());
+  EXPECT_LT(stats.MeanCost(), 10.0);  // O(1) amortized
+}
+
+TEST(ScaleTest, WBoxPairModeXmarkMix) {
+  TestDb db(/*page_size=*/1024);
+  WBoxOptions options;
+  options.pair_mode = true;
+  WBox wbox(&db.cache, options);
+  const xml::Document doc = xml::MakeXmarkDocument(20000, 3);
+  workload::RunStats stats;
+  std::vector<NewElement> lids;
+  ASSERT_OK(workload::RunDocumentOrderInsertion(&wbox, &db.cache, doc,
+                                                8000, &stats, &lids));
+  ASSERT_OK(wbox.CheckInvariants());
+  EXPECT_TRUE(LabelsStrictlyIncreasing(&wbox, TagOrderLids(doc, lids)));
+}
+
+TEST(ScaleTest, BBoxMassDeletionShrinksHeight) {
+  TestDb db(/*page_size=*/1024);
+  BBox bbox(&db.cache);
+  const xml::Document doc = xml::MakeTwoLevelDocument(40000);
+  std::vector<NewElement> lids;
+  ASSERT_OK(bbox.BulkLoad(doc, &lids));
+  const uint32_t tall = bbox.height();
+  ASSERT_GE(tall, 3u);
+  // Delete 97% of the children; the tree must collapse.
+  for (size_t i = 1; i < lids.size(); ++i) {
+    if (i % 32 != 0) {
+      ASSERT_OK(bbox.Delete(lids[i].start));
+      ASSERT_OK(bbox.Delete(lids[i].end));
+    }
+  }
+  EXPECT_LT(bbox.height(), tall);
+  ASSERT_OK(bbox.CheckInvariants());
+}
+
+TEST(ScaleTest, WBoxRepeatedGlobalRebuilds) {
+  TestDb db(/*page_size=*/1024);
+  WBoxOptions options;
+  options.min_rebuild_records = 256;
+  WBox wbox(&db.cache, options);
+  const xml::Document doc = xml::MakeTwoLevelDocument(20000);
+  std::vector<NewElement> lids;
+  ASSERT_OK(wbox.BulkLoad(doc, &lids));
+  Random rng(9);
+  // Interleave deletes with reinserts at random spots to churn through
+  // several global rebuilds.
+  std::vector<NewElement> live(lids.begin() + 1, lids.end());
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 8000 && live.size() > 100; ++i) {
+      const size_t victim = rng.Uniform(live.size());
+      ASSERT_OK(wbox.Delete(live[victim].start));
+      ASSERT_OK(wbox.Delete(live[victim].end));
+      live[victim] = live.back();
+      live.pop_back();
+    }
+    for (int i = 0; i < 2000; ++i) {
+      const size_t anchor = rng.Uniform(live.size());
+      ASSERT_OK_AND_ASSIGN(
+          const NewElement fresh,
+          wbox.InsertElementBefore(live[anchor].start));
+      live.push_back(fresh);
+    }
+  }
+  EXPECT_GE(wbox.rebuild_count(), 2u);
+  ASSERT_OK(wbox.CheckInvariants());
+}
+
+TEST(ScaleTest, NaiveLargeGapEventuallyRelabels) {
+  TestDb db;
+  NaiveScheme naive(&db.cache, {.gap_bits = 24, .count_bits = 40});
+  ASSERT_OK_AND_ASSIGN(const NewElement root, naive.InsertFirstElement());
+  NewElement target = root;
+  // 24-bit gaps absorb ~12 squeezing element-inserts before relabeling.
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_OK_AND_ASSIGN(target, naive.InsertElementBefore(target.start));
+  }
+  EXPECT_GE(naive.relabel_count(), 1u);
+  ASSERT_OK(naive.CheckInvariants());
+}
+
+}  // namespace
+}  // namespace boxes

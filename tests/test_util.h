@@ -1,0 +1,84 @@
+#ifndef BOXES_TESTS_TEST_UTIL_H_
+#define BOXES_TESTS_TEST_UTIL_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/common/label.h"
+#include "core/common/labeling_scheme.h"
+#include "gtest/gtest.h"
+#include "storage/page_cache.h"
+#include "storage/page_store.h"
+
+namespace boxes::testing {
+
+/// A store + cache bundle for tests.
+struct TestDb {
+  explicit TestDb(size_t page_size = kDefaultPageSize,
+                  PageCacheOptions cache_options = {})
+      : store(page_size), cache(&store, cache_options) {}
+
+  MemoryPageStore store;
+  PageCache cache;
+};
+
+/// Verifies that the labels of `lids` (expected document order of tags) are
+/// strictly increasing under `scheme`.
+inline ::testing::AssertionResult LabelsStrictlyIncreasing(
+    LabelingScheme* scheme, const std::vector<Lid>& lids) {
+  Label prev;
+  bool have_prev = false;
+  for (size_t i = 0; i < lids.size(); ++i) {
+    StatusOr<Label> label = scheme->Lookup(lids[i]);
+    if (!label.ok()) {
+      return ::testing::AssertionFailure()
+             << "Lookup(" << lids[i] << ") failed: "
+             << label.status().ToString();
+    }
+    if (have_prev && !(prev < *label)) {
+      return ::testing::AssertionFailure()
+             << "label order violated at position " << i << ": "
+             << prev.ToString() << " !< " << label->ToString();
+    }
+    prev = *label;
+    have_prev = true;
+  }
+  return ::testing::AssertionSuccess();
+}
+
+/// Expands a document's element LIDs into tag order (start/end interleaved
+/// by document structure).
+inline std::vector<Lid> TagOrderLids(const xml::Document& doc,
+                                     const std::vector<NewElement>& lids) {
+  std::vector<Lid> out;
+  out.reserve(doc.tag_count());
+  doc.ForEachTag([&](xml::ElementId id, bool is_start) {
+    out.push_back(is_start ? lids[id].start : lids[id].end);
+  });
+  return out;
+}
+
+#define ASSERT_OK(expr)                                     \
+  do {                                                      \
+    const ::boxes::Status assert_ok_status_ = (expr);       \
+    ASSERT_TRUE(assert_ok_status_.ok())                     \
+        << assert_ok_status_.ToString();                    \
+  } while (0)
+
+#define EXPECT_OK(expr)                                     \
+  do {                                                      \
+    const ::boxes::Status expect_ok_status_ = (expr);       \
+    EXPECT_TRUE(expect_ok_status_.ok())                     \
+        << expect_ok_status_.ToString();                    \
+  } while (0)
+
+#define ASSERT_OK_AND_ASSIGN(lhs, expr)                     \
+  BOXES_STATUS_CONCAT_(auto assert_statusor_, __LINE__) = (expr); \
+  ASSERT_TRUE(BOXES_STATUS_CONCAT_(assert_statusor_, __LINE__).ok())  \
+      << BOXES_STATUS_CONCAT_(assert_statusor_, __LINE__).status()    \
+             .ToString();                                   \
+  lhs = std::move(BOXES_STATUS_CONCAT_(assert_statusor_, __LINE__)).value()
+
+}  // namespace boxes::testing
+
+#endif  // BOXES_TESTS_TEST_UTIL_H_

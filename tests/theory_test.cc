@@ -1,0 +1,161 @@
+// Quantitative checks of the paper's analytic claims (lemmas/theorems),
+// measured on real structures rather than asserted.
+
+#include <cmath>
+#include <vector>
+
+#include "core/bbox/bbox.h"
+#include "core/wbox/wbox.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+#include "workload/sequences.h"
+#include "xml/generators.h"
+
+namespace boxes {
+namespace {
+
+using testing::TestDb;
+
+// Lemma 4.3: the height of a weight-balanced B-tree with N records is at
+// most 1 + ceil(log_a(N/k)).
+TEST(TheoryTest, WBoxHeightBound) {
+  for (const uint64_t elements : {100ull, 2000ull, 20000ull, 60000ull}) {
+    TestDb db(/*page_size=*/1024);
+    WBox wbox(&db.cache);
+    const xml::Document doc = xml::MakeTwoLevelDocument(elements);
+    ASSERT_OK(wbox.BulkLoad(doc, nullptr));
+    const double n = static_cast<double>(doc.tag_count());
+    const double a = static_cast<double>(wbox.params().a);
+    const double k = static_cast<double>(wbox.params().k);
+    const double bound = 1.0 + std::ceil(std::log(n / k) / std::log(a));
+    EXPECT_LE(wbox.height(), std::max(1.0, bound)) << elements;
+  }
+}
+
+// Theorem 4.4: a W-BOX label takes no more than
+// log N + 1 + ceil(log(2+4/a) log_a(N/k) + log b) bits — checked after an
+// adversarial workload, when labels are at their worst.
+TEST(TheoryTest, WBoxLabelBitsBound) {
+  TestDb db(/*page_size=*/1024);
+  WBox wbox(&db.cache);
+  workload::RunStats stats;
+  ASSERT_OK(
+      workload::RunConcentratedInsertion(&wbox, &db.cache, 8000, 4000,
+                                         &stats));
+  ASSERT_OK_AND_ASSIGN(const SchemeStats scheme_stats, wbox.GetStats());
+  const double n = static_cast<double>(wbox.live_labels());
+  const double a = static_cast<double>(wbox.params().a);
+  const double k = static_cast<double>(wbox.params().k);
+  const double b = static_cast<double>(wbox.params().b);
+  const double bound =
+      std::log2(n) + 1 +
+      std::ceil(std::log2(2 + 4 / a) * (std::log2(n / k) / std::log2(a)) +
+                std::log2(b));
+  EXPECT_LE(scheme_stats.max_label_bits, bound);
+}
+
+// Theorem 5.1: a B-BOX label takes no more than
+// log N + 1 + floor((log N - 1)/(log B - 1)) bits.
+TEST(TheoryTest, BBoxLabelBitsBound) {
+  TestDb db(/*page_size=*/1024);
+  BBox bbox(&db.cache);
+  workload::RunStats stats;
+  ASSERT_OK(
+      workload::RunConcentratedInsertion(&bbox, &db.cache, 8000, 4000,
+                                         &stats));
+  ASSERT_OK_AND_ASSIGN(const SchemeStats scheme_stats, bbox.GetStats());
+  const double n = static_cast<double>(bbox.live_labels());
+  const double big_b = static_cast<double>(bbox.params().leaf_capacity);
+  const double bound =
+      std::log2(n) + 1 +
+      std::floor((std::log2(n) - 1) / (std::log2(big_b) - 1));
+  EXPECT_LE(scheme_stats.max_label_bits, bound);
+}
+
+// Lemma 4.2 / Theorem 4.6 consequence: splits are rare. A node split
+// requires Omega(weight) fresh insertions below it, so across n inserts
+// the split count stays O(n/k) at the leaf level plus geometrically fewer
+// above — well under n/(k/4) in total.
+TEST(TheoryTest, WBoxSplitFrequency) {
+  TestDb db(/*page_size=*/1024);
+  WBox wbox(&db.cache);
+  workload::RunStats stats;
+  const uint64_t inserts = 12000;
+  ASSERT_OK(workload::RunConcentratedInsertion(&wbox, &db.cache, 4000,
+                                               inserts, &stats));
+  const uint64_t labels_inserted = 2 * inserts;
+  EXPECT_GT(wbox.split_count(), 0u);
+  EXPECT_LE(wbox.split_count(), labels_inserted / (wbox.params().k / 4));
+}
+
+// B-BOX amortized O(1) (Theorem 5.3): each leaf split needs >= B/2 fresh
+// insertions; higher levels are geometrically rarer. Total splits across n
+// label inserts stay below ~ n/(B/2) * (1 + epsilon).
+TEST(TheoryTest, BBoxSplitFrequency) {
+  TestDb db(/*page_size=*/1024);
+  BBox bbox(&db.cache);
+  workload::RunStats stats;
+  const uint64_t inserts = 12000;
+  ASSERT_OK(workload::RunConcentratedInsertion(&bbox, &db.cache, 4000,
+                                               inserts, &stats));
+  const uint64_t labels_inserted = 2 * inserts;
+  const uint64_t leaf_half = bbox.params().leaf_capacity / 2;
+  EXPECT_GT(bbox.split_count(), 0u);
+  EXPECT_LE(bbox.split_count(), 2 * labels_inserted / leaf_half + 4);
+}
+
+// Theorem 4.5: W-BOX lookup is exactly one I/O beyond the LIDF deref, at
+// any height.
+TEST(TheoryTest, WBoxLookupConstantAcrossHeights) {
+  for (const uint64_t elements : {500ull, 8000ull, 60000ull}) {
+    TestDb db(/*page_size=*/1024);
+    WBox wbox(&db.cache);
+    const xml::Document doc = xml::MakeTwoLevelDocument(elements);
+    std::vector<NewElement> lids;
+    ASSERT_OK(wbox.BulkLoad(doc, &lids));
+    ASSERT_OK(db.cache.FlushAll());
+    db.cache.ResetStats();
+    for (int i = 0; i < 20; ++i) {
+      IoScope scope(&db.cache);
+      ASSERT_OK(wbox.Lookup(lids[(i * 131) % lids.size()].start).status());
+    }
+    EXPECT_EQ(db.cache.stats().reads, 40u)
+        << "height " << wbox.height();  // 2 per lookup, any height
+  }
+}
+
+// Theorem 5.2: B-BOX lookup walks exactly height + 1 pages.
+TEST(TheoryTest, BBoxLookupTracksHeight) {
+  for (const uint64_t elements : {500ull, 8000ull, 60000ull}) {
+    TestDb db(/*page_size=*/1024);
+    BBox bbox(&db.cache);
+    const xml::Document doc = xml::MakeTwoLevelDocument(elements);
+    std::vector<NewElement> lids;
+    ASSERT_OK(bbox.BulkLoad(doc, &lids));
+    ASSERT_OK(db.cache.FlushAll());
+    db.cache.ResetStats();
+    for (int i = 0; i < 20; ++i) {
+      IoScope scope(&db.cache);
+      ASSERT_OK(bbox.Lookup(lids[(i * 131) % lids.size()].start).status());
+    }
+    EXPECT_EQ(db.cache.stats().reads, 20u * (1 + bbox.height()));
+  }
+}
+
+// Lemma 4.1: fan-outs implied by the weight constraints stay within
+// [a/2 - 1, 2a + 3 + ceil(8/(a-2))] — verified structurally by
+// CheckInvariants on a heavily churned tree (weight bounds imply them).
+TEST(TheoryTest, WBoxWeightConstraintsSurviveChurn) {
+  TestDb db(/*page_size=*/1024);
+  WBoxOptions options;
+  options.min_rebuild_records = 1 << 30;  // no rebuilds: pure churn
+  WBox wbox(&db.cache, options);
+  workload::RunStats stats;
+  ASSERT_OK(workload::RunConcentratedInsertion(&wbox, &db.cache, 2000, 6000,
+                                               &stats));
+  ASSERT_OK(wbox.CheckInvariants());
+  EXPECT_GE(wbox.height(), 3u);
+}
+
+}  // namespace
+}  // namespace boxes

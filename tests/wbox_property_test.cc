@@ -1,0 +1,181 @@
+#include <memory>
+#include <tuple>
+#include <vector>
+
+#include "core/wbox/wbox.h"
+#include "gtest/gtest.h"
+#include "model_tree.h"
+#include "test_util.h"
+#include "util/random.h"
+#include "xml/generators.h"
+
+namespace boxes {
+namespace {
+
+using testing::LabelsStrictlyIncreasing;
+using testing::ModelTree;
+using testing::TestDb;
+
+struct WBoxPropertyParam {
+  bool pair_mode;
+  bool maintain_ordinal;
+  uint64_t seed;
+  size_t page_size;
+};
+
+class WBoxPropertyTest
+    : public ::testing::TestWithParam<WBoxPropertyParam> {};
+
+/// Drives a W-BOX and an in-memory reference model through a random mix of
+/// element inserts, deletes, subtree inserts, and subtree deletes; checks
+/// structural invariants and label-order agreement throughout.
+TEST_P(WBoxPropertyTest, RandomOpsAgreeWithModel) {
+  const WBoxPropertyParam param = GetParam();
+  TestDb db(param.page_size);
+  WBoxOptions options;
+  options.pair_mode = param.pair_mode;
+  options.maintain_ordinal = param.maintain_ordinal;
+  options.min_rebuild_records = 128;
+  WBox wbox(&db.cache, options);
+  Random rng(param.seed);
+  ModelTree model;
+
+  ASSERT_OK_AND_ASSIGN(const NewElement root, wbox.InsertFirstElement());
+  model.SetRoot(root);
+
+  constexpr int kSteps = 1200;
+  int subtree_seed = 0;
+  for (int step = 0; step < kSteps; ++step) {
+    const uint64_t dice = rng.Uniform(100);
+    if (model.empty()) {
+      break;
+    }
+    if (dice < 55) {
+      // Element insert, half as previous sibling, half as last child.
+      const int target = model.RandomElement(&rng, /*exclude_root=*/false);
+      const bool before_start = rng.Bernoulli(0.5) && target != 0;
+      const Lid anchor = before_start ? model.node(target).lids.start
+                                      : model.node(target).lids.end;
+      ASSERT_OK_AND_ASSIGN(const NewElement e,
+                           wbox.InsertElementBefore(anchor));
+      if (before_start) {
+        model.InsertBeforeStart(target, e);
+      } else {
+        model.InsertAsLastChild(target, e);
+      }
+    } else if (dice < 80) {
+      // Element delete (children splice into the parent).
+      if (model.element_count() <= 1) {
+        continue;
+      }
+      const int target = model.RandomElement(&rng, /*exclude_root=*/true);
+      ASSERT_OK(wbox.Delete(model.node(target).lids.start));
+      ASSERT_OK(wbox.Delete(model.node(target).lids.end));
+      model.DeleteElement(target);
+    } else if (dice < 92) {
+      // Subtree insert of a small random document.
+      const int target = model.RandomElement(&rng, /*exclude_root=*/false);
+      const bool before_start = rng.Bernoulli(0.5) && target != 0;
+      const Lid anchor = before_start ? model.node(target).lids.start
+                                      : model.node(target).lids.end;
+      const xml::Document subtree = xml::MakeRandomDocument(
+          1 + rng.Uniform(60), 4, 1000 + subtree_seed++);
+      std::vector<NewElement> lids;
+      ASSERT_OK(wbox.InsertSubtreeBefore(anchor, subtree, &lids));
+      if (before_start) {
+        model.GraftBeforeStart(target, subtree, lids);
+      } else {
+        model.GraftAsLastChild(target, subtree, lids);
+      }
+    } else {
+      // Subtree delete.
+      if (model.element_count() <= 1) {
+        continue;
+      }
+      const int target = model.RandomElement(&rng, /*exclude_root=*/true);
+      const NewElement lids = model.node(target).lids;
+      ASSERT_OK(wbox.DeleteSubtree(lids.start, lids.end));
+      model.DeleteSubtree(target);
+    }
+
+    if (step % 100 == 99) {
+      ASSERT_OK(wbox.CheckInvariants());
+      ASSERT_TRUE(LabelsStrictlyIncreasing(&wbox, model.TagOrder()))
+          << "step " << step;
+    }
+  }
+
+  ASSERT_OK(wbox.CheckInvariants());
+  const std::vector<Lid> order = model.TagOrder();
+  ASSERT_TRUE(LabelsStrictlyIncreasing(&wbox, order));
+  EXPECT_EQ(wbox.live_labels(), order.size());
+
+  if (param.maintain_ordinal) {
+    for (size_t i = 0; i < order.size(); i += 13) {
+      ASSERT_OK_AND_ASSIGN(const uint64_t ordinal,
+                           wbox.OrdinalLookup(order[i]));
+      EXPECT_EQ(ordinal, i) << "lid " << order[i];
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configurations, WBoxPropertyTest,
+    ::testing::Values(
+        WBoxPropertyParam{false, false, 1, 1024},
+        WBoxPropertyParam{false, false, 2, 1024},
+        WBoxPropertyParam{false, false, 3, 8192},
+        WBoxPropertyParam{true, false, 4, 1024},
+        WBoxPropertyParam{true, false, 5, 1024},
+        WBoxPropertyParam{true, false, 6, 8192},
+        WBoxPropertyParam{false, true, 7, 1024},
+        WBoxPropertyParam{false, true, 8, 1024},
+        WBoxPropertyParam{true, true, 9, 1024},
+        WBoxPropertyParam{true, true, 10, 2048},
+        WBoxPropertyParam{false, false, 11, 2048},
+        WBoxPropertyParam{false, false, 12, 4096},
+        WBoxPropertyParam{true, false, 13, 2048},
+        WBoxPropertyParam{false, true, 14, 4096},
+        WBoxPropertyParam{true, true, 15, 1024},
+        WBoxPropertyParam{false, false, 16, 1024}),
+    [](const ::testing::TestParamInfo<WBoxPropertyParam>& info) {
+      std::string name = info.param.pair_mode ? "pair" : "plain";
+      name += info.param.maintain_ordinal ? "_ordinal" : "_basic";
+      name += "_seed" + std::to_string(info.param.seed);
+      name += "_page" + std::to_string(info.param.page_size);
+      return name;
+    });
+
+/// Heavy churn: insert a lot, delete most of it, re-insert; exercises
+/// global rebuilding repeatedly.
+TEST(WBoxChurnTest, RepeatedRebuildsStayConsistent) {
+  TestDb db(1024);
+  WBoxOptions options;
+  options.min_rebuild_records = 64;
+  WBox wbox(&db.cache, options);
+  Random rng(77);
+  ModelTree model;
+  ASSERT_OK_AND_ASSIGN(const NewElement root, wbox.InsertFirstElement());
+  model.SetRoot(root);
+  for (int round = 0; round < 5; ++round) {
+    for (int i = 0; i < 300; ++i) {
+      const int target = model.RandomElement(&rng, false);
+      ASSERT_OK_AND_ASSIGN(
+          const NewElement e,
+          wbox.InsertElementBefore(model.node(target).lids.end));
+      model.InsertAsLastChild(target, e);
+    }
+    for (int i = 0; i < 250 && model.element_count() > 1; ++i) {
+      const int target = model.RandomElement(&rng, true);
+      ASSERT_OK(wbox.Delete(model.node(target).lids.start));
+      ASSERT_OK(wbox.Delete(model.node(target).lids.end));
+      model.DeleteElement(target);
+    }
+    ASSERT_OK(wbox.CheckInvariants());
+    ASSERT_TRUE(LabelsStrictlyIncreasing(&wbox, model.TagOrder()));
+  }
+  EXPECT_GE(wbox.rebuild_count(), 1u);
+}
+
+}  // namespace
+}  // namespace boxes

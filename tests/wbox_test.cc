@@ -1,0 +1,394 @@
+#include "core/wbox/wbox.h"
+
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "test_util.h"
+#include "xml/generators.h"
+
+namespace boxes {
+namespace {
+
+using testing::LabelsStrictlyIncreasing;
+using testing::TagOrderLids;
+using testing::TestDb;
+
+TEST(WBoxParamsTest, DerivedValuesAreConsistent) {
+  const WBoxParams p = WBoxParams::Derive(8192, /*pair_mode=*/false);
+  EXPECT_EQ(p.leaf_capacity % 2, 1u);  // 2k - 1 is odd
+  EXPECT_EQ(p.leaf_capacity, 2 * p.k - 1);
+  EXPECT_EQ(p.a, p.b / 2 - 2);
+  EXPECT_GE(p.a, 10u);
+  EXPECT_EQ(p.MaxWeight(0), 2 * p.k);
+  EXPECT_EQ(p.MaxWeight(1), 2 * p.a * p.k);
+  EXPECT_EQ(p.RangeLength(0), p.leaf_capacity);
+  EXPECT_EQ(p.RangeLength(1), p.leaf_capacity * p.b);
+  // Pair mode has bigger records, so smaller k.
+  const WBoxParams q = WBoxParams::Derive(8192, /*pair_mode=*/true);
+  EXPECT_LT(q.k, p.k);
+}
+
+TEST(WBoxTest, FirstElementAndLookup) {
+  TestDb db;
+  WBox wbox(&db.cache);
+  ASSERT_OK_AND_ASSIGN(const NewElement root, wbox.InsertFirstElement());
+  ASSERT_OK_AND_ASSIGN(const Label start, wbox.Lookup(root.start));
+  ASSERT_OK_AND_ASSIGN(const Label end, wbox.Lookup(root.end));
+  EXPECT_TRUE(start < end);
+  ASSERT_OK(wbox.CheckInvariants());
+  EXPECT_EQ(wbox.live_labels(), 2u);
+  EXPECT_EQ(wbox.height(), 1u);
+}
+
+TEST(WBoxTest, InsertBeforeEndMakesLastChild) {
+  TestDb db;
+  WBox wbox(&db.cache);
+  ASSERT_OK_AND_ASSIGN(const NewElement root, wbox.InsertFirstElement());
+  ASSERT_OK_AND_ASSIGN(const NewElement a,
+                       wbox.InsertElementBefore(root.end));
+  ASSERT_OK_AND_ASSIGN(const NewElement b,
+                       wbox.InsertElementBefore(root.end));
+  // Order: root< a< a> b< b> root>
+  EXPECT_TRUE(LabelsStrictlyIncreasing(
+      &wbox, {root.start, a.start, a.end, b.start, b.end, root.end}));
+  // Ancestor semantics via labels.
+  ASSERT_OK_AND_ASSIGN(const ElementLabels root_labels,
+                       wbox.LookupElement(root.start, root.end));
+  ASSERT_OK_AND_ASSIGN(const ElementLabels a_labels,
+                       wbox.LookupElement(a.start, a.end));
+  ASSERT_OK_AND_ASSIGN(const ElementLabels b_labels,
+                       wbox.LookupElement(b.start, b.end));
+  EXPECT_TRUE(IsAncestor(root_labels, a_labels));
+  EXPECT_TRUE(IsAncestor(root_labels, b_labels));
+  EXPECT_FALSE(IsAncestor(a_labels, b_labels));
+  ASSERT_OK(wbox.CheckInvariants());
+}
+
+TEST(WBoxTest, InsertBeforeStartMakesPreviousSibling) {
+  TestDb db;
+  WBox wbox(&db.cache);
+  ASSERT_OK_AND_ASSIGN(const NewElement root, wbox.InsertFirstElement());
+  ASSERT_OK_AND_ASSIGN(const NewElement b,
+                       wbox.InsertElementBefore(root.end));
+  ASSERT_OK_AND_ASSIGN(const NewElement a,
+                       wbox.InsertElementBefore(b.start));
+  EXPECT_TRUE(LabelsStrictlyIncreasing(
+      &wbox, {root.start, a.start, a.end, b.start, b.end, root.end}));
+  ASSERT_OK(wbox.CheckInvariants());
+}
+
+TEST(WBoxTest, BulkLoadMatchesDocumentOrder) {
+  TestDb db;
+  WBox wbox(&db.cache);
+  const xml::Document doc = xml::MakeRandomDocument(500, 6, 11);
+  std::vector<NewElement> lids;
+  ASSERT_OK(wbox.BulkLoad(doc, &lids));
+  EXPECT_TRUE(LabelsStrictlyIncreasing(&wbox, TagOrderLids(doc, lids)));
+  ASSERT_OK(wbox.CheckInvariants());
+  EXPECT_EQ(wbox.live_labels(), doc.tag_count());
+}
+
+TEST(WBoxTest, BulkLoadRejectsNonEmpty) {
+  TestDb db;
+  WBox wbox(&db.cache);
+  ASSERT_OK(wbox.InsertFirstElement().status());
+  const xml::Document doc = xml::MakeTwoLevelDocument(3);
+  EXPECT_EQ(wbox.BulkLoad(doc, nullptr).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(WBoxTest, ConcentratedInsertionSplitsAndStaysOrdered) {
+  TestDb db(/*page_size=*/1024);
+  WBox wbox(&db.cache);
+  ASSERT_OK_AND_ASSIGN(const NewElement root, wbox.InsertFirstElement());
+  // Squeeze pairs into the center, like the paper's adversarial sequence.
+  std::vector<Lid> left;
+  std::vector<Lid> right;
+  ASSERT_OK_AND_ASSIGN(const NewElement first,
+                       wbox.InsertElementBefore(root.end));
+  left.push_back(first.start);
+  left.push_back(first.end);
+  NewElement last_right = first;
+  bool have_right = false;
+  for (int i = 0; i < 2000; ++i) {
+    if (!have_right) {
+      ASSERT_OK_AND_ASSIGN(last_right, wbox.InsertElementBefore(root.end));
+      have_right = true;
+      right.insert(right.begin(), {last_right.start, last_right.end});
+      continue;
+    }
+    ASSERT_OK_AND_ASSIGN(const NewElement e,
+                         wbox.InsertElementBefore(last_right.start));
+    if (i % 2 == 0) {
+      left.push_back(e.start);
+      left.push_back(e.end);
+    } else {
+      right.insert(right.begin(), e.end);
+      right.insert(right.begin(), e.start);
+      last_right = e;
+    }
+  }
+  EXPECT_GE(wbox.height(), 2u);
+  std::vector<Lid> order{root.start};
+  order.insert(order.end(), left.begin(), left.end());
+  order.insert(order.end(), right.begin(), right.end());
+  order.push_back(root.end);
+  EXPECT_TRUE(LabelsStrictlyIncreasing(&wbox, order));
+  ASSERT_OK(wbox.CheckInvariants());
+}
+
+TEST(WBoxTest, LookupCostsTwoIos) {
+  TestDb db;
+  WBox wbox(&db.cache);
+  const xml::Document doc = xml::MakeTwoLevelDocument(5000);
+  std::vector<NewElement> lids;
+  ASSERT_OK(wbox.BulkLoad(doc, &lids));
+  ASSERT_OK(db.cache.FlushAll());
+  db.cache.ResetStats();
+  constexpr int kLookups = 50;
+  for (int i = 0; i < kLookups; ++i) {
+    IoScope scope(&db.cache);
+    ASSERT_OK(wbox.Lookup(lids[(i * 97) % lids.size()].start).status());
+  }
+  // Theorem 4.5 + LIDF indirection: exactly 2 read I/Os per lookup.
+  EXPECT_EQ(db.cache.stats().reads, 2u * kLookups);
+  EXPECT_EQ(db.cache.stats().writes, 0u);
+}
+
+TEST(WBoxTest, PairModeLooksUpElementInTwoIos) {
+  TestDb db;
+  WBoxOptions options;
+  options.pair_mode = true;
+  WBox wbox(&db.cache, options);
+  const xml::Document doc = xml::MakeRandomDocument(3000, 5, 3);
+  std::vector<NewElement> lids;
+  ASSERT_OK(wbox.BulkLoad(doc, &lids));
+  ASSERT_OK(wbox.CheckInvariants());
+  ASSERT_OK(db.cache.FlushAll());
+  db.cache.ResetStats();
+  constexpr int kLookups = 50;
+  for (int i = 0; i < kLookups; ++i) {
+    const NewElement& e = lids[(i * 131) % lids.size()];
+    IoScope scope(&db.cache);
+    ASSERT_OK_AND_ASSIGN(const ElementLabels labels,
+                         wbox.LookupElement(e.start, e.end));
+    EXPECT_TRUE(labels.start < labels.end);
+  }
+  EXPECT_EQ(db.cache.stats().reads, 2u * kLookups);
+}
+
+TEST(WBoxTest, PairedLookupAgreesWithPlainLookups) {
+  TestDb db;
+  WBoxOptions options;
+  options.pair_mode = true;
+  WBox wbox(&db.cache, options);
+  ASSERT_OK_AND_ASSIGN(const NewElement root, wbox.InsertFirstElement());
+  NewElement target = root;
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_OK_AND_ASSIGN(target, wbox.InsertElementBefore(target.end));
+  }
+  ASSERT_OK(wbox.CheckInvariants());
+  // Verify cached end values stayed coherent through all the relabeling.
+  std::vector<Lid> lids{root.start, root.end, target.start, target.end};
+  ASSERT_OK_AND_ASSIGN(const ElementLabels fast,
+                       wbox.LookupElement(target.start, target.end));
+  ASSERT_OK_AND_ASSIGN(const Label slow_start, wbox.Lookup(target.start));
+  ASSERT_OK_AND_ASSIGN(const Label slow_end, wbox.Lookup(target.end));
+  EXPECT_EQ(fast.start, slow_start);
+  EXPECT_EQ(fast.end, slow_end);
+}
+
+TEST(WBoxTest, DeleteTombstonesAndReclaim) {
+  TestDb db;
+  WBoxOptions options;
+  options.min_rebuild_records = 1 << 30;  // effectively disable rebuild
+  WBox wbox(&db.cache, options);
+  ASSERT_OK_AND_ASSIGN(const NewElement root, wbox.InsertFirstElement());
+  std::vector<NewElement> elems;
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_OK_AND_ASSIGN(const NewElement e,
+                         wbox.InsertElementBefore(root.end));
+    elems.push_back(e);
+  }
+  // Delete every other element.
+  for (size_t i = 0; i < elems.size(); i += 2) {
+    ASSERT_OK(wbox.Delete(elems[i].start));
+    ASSERT_OK(wbox.Delete(elems[i].end));
+  }
+  EXPECT_EQ(wbox.tombstones(), elems.size());
+  ASSERT_OK(wbox.CheckInvariants());
+  // Remaining labels still ordered.
+  std::vector<Lid> order{root.start};
+  for (size_t i = 1; i < elems.size(); i += 2) {
+    order.push_back(elems[i].start);
+    order.push_back(elems[i].end);
+  }
+  order.push_back(root.end);
+  EXPECT_TRUE(LabelsStrictlyIncreasing(&wbox, order));
+  // New insertions reclaim tombstones without splitting.
+  const uint64_t tombs_before = wbox.tombstones();
+  ASSERT_OK(wbox.InsertElementBefore(root.end).status());
+  EXPECT_EQ(wbox.tombstones(), tombs_before - 2);
+  ASSERT_OK(wbox.CheckInvariants());
+}
+
+TEST(WBoxTest, GlobalRebuildTriggersAfterManyDeletes) {
+  TestDb db;
+  WBoxOptions options;
+  options.min_rebuild_records = 64;
+  WBox wbox(&db.cache, options);
+  ASSERT_OK_AND_ASSIGN(const NewElement root, wbox.InsertFirstElement());
+  std::vector<NewElement> elems;
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_OK_AND_ASSIGN(const NewElement e,
+                         wbox.InsertElementBefore(root.end));
+    elems.push_back(e);
+  }
+  for (int i = 0; i < 400; ++i) {
+    ASSERT_OK(wbox.Delete(elems[i].start));
+    ASSERT_OK(wbox.Delete(elems[i].end));
+  }
+  EXPECT_GE(wbox.rebuild_count(), 1u);
+  EXPECT_EQ(wbox.live_labels(), 2u + 2u * 100u);
+  ASSERT_OK(wbox.CheckInvariants());
+  std::vector<Lid> order{root.start};
+  for (int i = 400; i < 500; ++i) {
+    order.push_back(elems[i].start);
+    order.push_back(elems[i].end);
+  }
+  order.push_back(root.end);
+  EXPECT_TRUE(LabelsStrictlyIncreasing(&wbox, order));
+}
+
+TEST(WBoxTest, OrdinalLookupMatchesPosition) {
+  TestDb db;
+  WBoxOptions options;
+  options.maintain_ordinal = true;
+  WBox wbox(&db.cache, options);
+  const xml::Document doc = xml::MakeRandomDocument(800, 6, 5);
+  std::vector<NewElement> lids;
+  ASSERT_OK(wbox.BulkLoad(doc, &lids));
+  const std::vector<Lid> order = TagOrderLids(doc, lids);
+  for (size_t i = 0; i < order.size(); i += 37) {
+    ASSERT_OK_AND_ASSIGN(const uint64_t ordinal,
+                         wbox.OrdinalLookup(order[i]));
+    EXPECT_EQ(ordinal, i);
+  }
+  // Ordinals shift after a deletion.
+  ASSERT_OK(wbox.Delete(order[0]));
+  ASSERT_OK_AND_ASSIGN(const uint64_t ordinal, wbox.OrdinalLookup(order[1]));
+  EXPECT_EQ(ordinal, 0u);
+  ASSERT_OK(wbox.CheckInvariants());
+}
+
+TEST(WBoxTest, OrdinalUnsupportedWithoutOption) {
+  TestDb db;
+  WBox wbox(&db.cache);
+  ASSERT_OK_AND_ASSIGN(const NewElement root, wbox.InsertFirstElement());
+  EXPECT_EQ(wbox.OrdinalLookup(root.start).status().code(),
+            StatusCode::kUnimplemented);
+}
+
+TEST(WBoxTest, SubtreeInsertMatchesElementwise) {
+  TestDb db(/*page_size=*/1024);
+  WBox wbox(&db.cache);
+  const xml::Document base = xml::MakeTwoLevelDocument(400);
+  std::vector<NewElement> base_lids;
+  ASSERT_OK(wbox.BulkLoad(base, &base_lids));
+  const xml::Document subtree = xml::MakeRandomDocument(300, 5, 17);
+  std::vector<NewElement> sub_lids;
+  // Insert as last child of the 100th item.
+  ASSERT_OK(wbox.InsertSubtreeBefore(base_lids[100].end, subtree,
+                                     &sub_lids));
+  ASSERT_OK(wbox.CheckInvariants());
+  EXPECT_EQ(wbox.live_labels(), base.tag_count() + subtree.tag_count());
+  // Order: item100.start < subtree tags < item100.end < item101.start.
+  std::vector<Lid> order{base_lids[100].start};
+  const std::vector<Lid> sub_order = TagOrderLids(subtree, sub_lids);
+  order.insert(order.end(), sub_order.begin(), sub_order.end());
+  order.push_back(base_lids[100].end);
+  order.push_back(base_lids[101].start);
+  EXPECT_TRUE(LabelsStrictlyIncreasing(&wbox, order));
+}
+
+TEST(WBoxTest, SubtreeInsertBeforeStart) {
+  TestDb db(/*page_size=*/1024);
+  WBox wbox(&db.cache);
+  const xml::Document base = xml::MakeTwoLevelDocument(50);
+  std::vector<NewElement> base_lids;
+  ASSERT_OK(wbox.BulkLoad(base, &base_lids));
+  const xml::Document subtree = xml::MakeBalancedDocument(40, 3);
+  std::vector<NewElement> sub_lids;
+  ASSERT_OK(
+      wbox.InsertSubtreeBefore(base_lids[10].start, subtree, &sub_lids));
+  ASSERT_OK(wbox.CheckInvariants());
+  std::vector<Lid> order{base_lids[9].end};
+  const std::vector<Lid> sub_order = TagOrderLids(subtree, sub_lids);
+  order.insert(order.end(), sub_order.begin(), sub_order.end());
+  order.push_back(base_lids[10].start);
+  EXPECT_TRUE(LabelsStrictlyIncreasing(&wbox, order));
+}
+
+TEST(WBoxTest, SubtreeDeleteRemovesRange) {
+  TestDb db(/*page_size=*/1024);
+  WBox wbox(&db.cache);
+  const xml::Document base = xml::MakeTwoLevelDocument(300);
+  std::vector<NewElement> base_lids;
+  ASSERT_OK(wbox.BulkLoad(base, &base_lids));
+  const xml::Document subtree = xml::MakeRandomDocument(500, 5, 23);
+  std::vector<NewElement> sub_lids;
+  ASSERT_OK(
+      wbox.InsertSubtreeBefore(base_lids[150].end, subtree, &sub_lids));
+  ASSERT_OK(wbox.CheckInvariants());
+  ASSERT_OK(wbox.DeleteSubtree(sub_lids[subtree.root()].start,
+                               sub_lids[subtree.root()].end));
+  ASSERT_OK(wbox.CheckInvariants());
+  EXPECT_EQ(wbox.live_labels(), base.tag_count());
+  // Deleted LIDs are gone.
+  EXPECT_FALSE(wbox.Lookup(sub_lids[subtree.root()].start).ok());
+  // Survivors keep their order.
+  EXPECT_TRUE(LabelsStrictlyIncreasing(
+      &wbox, {base_lids[149].end, base_lids[150].start, base_lids[150].end,
+              base_lids[151].start}));
+}
+
+TEST(WBoxTest, GetStatsReportsSaneValues) {
+  TestDb db;
+  WBox wbox(&db.cache);
+  const xml::Document doc = xml::MakeTwoLevelDocument(2000);
+  ASSERT_OK(wbox.BulkLoad(doc, nullptr));
+  ASSERT_OK_AND_ASSIGN(const SchemeStats stats, wbox.GetStats());
+  EXPECT_EQ(stats.height, wbox.height());
+  EXPECT_EQ(stats.live_labels, doc.tag_count());
+  EXPECT_GT(stats.index_pages, 0u);
+  EXPECT_GT(stats.lidf_pages, 0u);
+  EXPECT_GT(stats.max_label_bits, 0u);
+  EXPECT_LE(stats.max_label_bits, 64u);
+}
+
+TEST(WBoxTest, CompareReflectsDocumentOrder) {
+  TestDb db;
+  WBox wbox(&db.cache);
+  ASSERT_OK_AND_ASSIGN(const NewElement root, wbox.InsertFirstElement());
+  ASSERT_OK_AND_ASSIGN(const NewElement a,
+                       wbox.InsertElementBefore(root.end));
+  ASSERT_OK_AND_ASSIGN(const int cmp, wbox.Compare(a.start, a.end));
+  EXPECT_LT(cmp, 0);
+  ASSERT_OK_AND_ASSIGN(const int cmp2, wbox.Compare(root.end, a.start));
+  EXPECT_GT(cmp2, 0);
+  ASSERT_OK_AND_ASSIGN(const int cmp3, wbox.Compare(a.start, a.start));
+  EXPECT_EQ(cmp3, 0);
+}
+
+TEST(WBoxTest, ErrorsOnEmptyStructure) {
+  TestDb db;
+  WBox wbox(&db.cache);
+  EXPECT_EQ(wbox.InsertElementBefore(0).status().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(wbox.Delete(0).code(), StatusCode::kFailedPrecondition);
+  EXPECT_FALSE(wbox.Lookup(0).ok());
+  ASSERT_OK(wbox.CheckInvariants());
+}
+
+}  // namespace
+}  // namespace boxes

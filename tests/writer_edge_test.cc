@@ -1,0 +1,86 @@
+// Edge cases of the XML writer, the workload runner, and small utility
+// paths not covered elsewhere.
+
+#include <string>
+
+#include "core/wbox/wbox.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+#include "workload/runner.h"
+#include "xml/document.h"
+#include "xml/parser.h"
+#include "xml/writer.h"
+
+namespace boxes {
+namespace {
+
+using testing::TestDb;
+
+TEST(WriterEdgeTest, EmptyDocument) {
+  xml::Document doc;
+  EXPECT_EQ(xml::WriteDocument(doc, true), "");
+  EXPECT_EQ(xml::WriteDocument(doc, false), "");
+}
+
+TEST(WriterEdgeTest, SingleSelfClosingRoot) {
+  xml::Document doc;
+  doc.AddRoot("lonely");
+  EXPECT_EQ(xml::WriteDocument(doc, false), "<lonely/>");
+  EXPECT_EQ(xml::WriteDocument(doc, true), "<lonely/>\n");
+}
+
+TEST(WriterEdgeTest, PrettyIndentationNesting) {
+  ASSERT_OK_AND_ASSIGN(const xml::Document doc,
+                       xml::ParseDocument("<a><b><c/></b></a>"));
+  EXPECT_EQ(xml::WriteDocument(doc, true),
+            "<a>\n  <b>\n    <c/>\n  </b>\n</a>\n");
+}
+
+TEST(WriterEdgeTest, DeepChainDoesNotOverflow) {
+  xml::Document doc;
+  xml::ElementId cursor = doc.AddRoot("d");
+  for (int i = 0; i < 20000; ++i) {
+    cursor = doc.AddChild(cursor, "d");
+  }
+  const std::string flat = xml::WriteDocument(doc, false);
+  EXPECT_EQ(flat.size(), 20000u * 7 + 4);  // 20000 <d></d> pairs + <d/>
+  ASSERT_OK(xml::ParseDocument(flat).status());
+}
+
+TEST(RunnerTest, MeasureOpRecordsExactCosts) {
+  TestDb db;
+  WBox wbox(&db.cache);
+  ASSERT_OK(wbox.InsertFirstElement().status());
+  ASSERT_OK(db.cache.FlushAll());
+  db.cache.ResetStats();
+  workload::RunStats stats;
+  // A lookup: LIDF page + leaf page = 2 reads, no writes.
+  ASSERT_OK(workload::MeasureOp(
+      &db.cache, [&] { return wbox.Lookup(0).status(); }, &stats));
+  EXPECT_EQ(stats.per_op_cost.count(), 1u);
+  EXPECT_EQ(stats.per_op_cost.max(), 2u);
+  EXPECT_EQ(stats.totals.reads, 2u);
+  EXPECT_EQ(stats.totals.writes, 0u);
+}
+
+TEST(RunnerTest, MeasureOpPropagatesOpError) {
+  TestDb db;
+  WBox wbox(&db.cache);
+  workload::RunStats stats;
+  const Status status = workload::MeasureOp(
+      &db.cache, [&] { return wbox.Lookup(99).status(); }, &stats);
+  EXPECT_FALSE(status.ok());
+  EXPECT_FALSE(db.cache.op_active());  // the op bracket was closed
+}
+
+TEST(RunnerTest, UnmeasuredOpLeavesNoPerOpSample) {
+  TestDb db;
+  WBox wbox(&db.cache);
+  ASSERT_OK(workload::UnmeasuredOp(
+      &db.cache, [&] { return wbox.InsertFirstElement().status(); }));
+  EXPECT_FALSE(db.cache.op_active());
+  EXPECT_GT(db.cache.stats().writes, 0u);  // the flush happened
+}
+
+}  // namespace
+}  // namespace boxes

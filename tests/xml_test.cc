@@ -1,0 +1,197 @@
+#include <set>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "test_util.h"
+#include "xml/document.h"
+#include "xml/generators.h"
+#include "xml/parser.h"
+#include "xml/writer.h"
+#include "xml/xmark.h"
+
+namespace boxes::xml {
+namespace {
+
+TEST(DocumentTest, BuildAndQuery) {
+  Document doc;
+  const ElementId root = doc.AddRoot("site");
+  const ElementId a = doc.AddChild(root, "a");
+  const ElementId b = doc.AddChild(root, "b");
+  const ElementId c = doc.AddChild(a, "c");
+  EXPECT_EQ(doc.element_count(), 4u);
+  EXPECT_EQ(doc.tag_count(), 8u);
+  EXPECT_EQ(doc.Depth(), 3u);
+  EXPECT_EQ(doc.SubtreeSize(root), 4u);
+  EXPECT_EQ(doc.SubtreeSize(a), 2u);
+  EXPECT_EQ(doc.element(c).parent, a);
+  EXPECT_EQ(doc.PreorderIds(), (std::vector<ElementId>{root, a, c, b}));
+  ASSERT_OK(doc.Validate());
+}
+
+TEST(DocumentTest, AddChildAtInsertsInOrder) {
+  Document doc;
+  const ElementId root = doc.AddRoot("r");
+  const ElementId c = doc.AddChild(root, "c");
+  const ElementId a = doc.AddChildAt(root, 0, "a");
+  const ElementId b = doc.AddChildAt(root, 1, "b");
+  EXPECT_EQ(doc.element(root).children, (std::vector<ElementId>{a, b, c}));
+  ASSERT_OK(doc.Validate());
+}
+
+TEST(DocumentTest, ForEachTagYieldsProperNesting) {
+  Document doc;
+  const ElementId root = doc.AddRoot("r");
+  const ElementId a = doc.AddChild(root, "a");
+  doc.AddChild(root, "b");
+  doc.AddChild(a, "c");
+  std::vector<std::pair<ElementId, bool>> tags;
+  doc.ForEachTag([&](ElementId id, bool is_start) {
+    tags.push_back({id, is_start});
+  });
+  ASSERT_EQ(tags.size(), doc.tag_count());
+  // r< a< c< c> a> b< b> r>
+  EXPECT_EQ(tags.front(), (std::pair<ElementId, bool>{root, true}));
+  EXPECT_EQ(tags.back(), (std::pair<ElementId, bool>{root, false}));
+  // Well-formedness: starts and ends balance like parentheses.
+  std::vector<ElementId> stack;
+  for (const auto& [id, is_start] : tags) {
+    if (is_start) {
+      stack.push_back(id);
+    } else {
+      ASSERT_FALSE(stack.empty());
+      EXPECT_EQ(stack.back(), id);
+      stack.pop_back();
+    }
+  }
+  EXPECT_TRUE(stack.empty());
+}
+
+TEST(DocumentTest, ExtractSubtreePreservesShape) {
+  Document doc;
+  const ElementId root = doc.AddRoot("r");
+  const ElementId a = doc.AddChild(root, "a");
+  doc.AddChild(a, "x");
+  doc.AddChild(a, "y");
+  doc.AddChild(root, "b");
+  Document sub = doc.ExtractSubtree(a);
+  ASSERT_OK(sub.Validate());
+  EXPECT_EQ(sub.element_count(), 3u);
+  EXPECT_EQ(sub.element(sub.root()).tag, "a");
+  EXPECT_EQ(sub.element(sub.element(sub.root()).children[0]).tag, "x");
+  EXPECT_EQ(sub.element(sub.element(sub.root()).children[1]).tag, "y");
+}
+
+TEST(ParserTest, ParsesBasicDocument) {
+  ASSERT_OK_AND_ASSIGN(
+      const Document doc,
+      ParseDocument("<site><regions><item/></regions><people/></site>"));
+  EXPECT_EQ(doc.element_count(), 4u);
+  EXPECT_EQ(doc.element(doc.root()).tag, "site");
+  ASSERT_OK(doc.Validate());
+}
+
+TEST(ParserTest, SkipsPrologCommentsTextAndAttributes) {
+  const std::string input = R"(<?xml version="1.0"?>
+<!DOCTYPE site>
+<!-- a comment -->
+<site id="1" name='x'>
+  some text &amp; entities
+  <item price="3.5"><![CDATA[<ignored/>]]></item>
+</site>)";
+  ASSERT_OK_AND_ASSIGN(const Document doc, ParseDocument(input));
+  EXPECT_EQ(doc.element_count(), 2u);
+  EXPECT_EQ(doc.element(1).tag, "item");
+}
+
+TEST(ParserTest, RejectsMismatchedTags) {
+  EXPECT_FALSE(ParseDocument("<a><b></a></b>").ok());
+  EXPECT_FALSE(ParseDocument("<a>").ok());
+  EXPECT_FALSE(ParseDocument("</a>").ok());
+  EXPECT_FALSE(ParseDocument("<a/><b/>").ok());
+  EXPECT_FALSE(ParseDocument("").ok());
+  EXPECT_FALSE(ParseDocument("just text").ok());
+}
+
+TEST(ParserTest, RejectsMalformedAttributes) {
+  EXPECT_FALSE(ParseDocument("<a b></a>").ok());
+  EXPECT_FALSE(ParseDocument("<a b=c></a>").ok());
+  EXPECT_FALSE(ParseDocument("<a b=\"unterminated></a>").ok());
+}
+
+TEST(WriterTest, RoundTripsThroughParser) {
+  Document doc;
+  const ElementId root = doc.AddRoot("site");
+  const ElementId a = doc.AddChild(root, "regions");
+  doc.AddChild(a, "item");
+  doc.AddChild(a, "item");
+  doc.AddChild(root, "people");
+  for (bool pretty : {true, false}) {
+    const std::string text = WriteDocument(doc, pretty);
+    ASSERT_OK_AND_ASSIGN(const Document parsed, ParseDocument(text));
+    ASSERT_EQ(parsed.element_count(), doc.element_count());
+    const auto original = doc.PreorderIds();
+    const auto round = parsed.PreorderIds();
+    for (size_t i = 0; i < original.size(); ++i) {
+      EXPECT_EQ(doc.element(original[i]).tag, parsed.element(round[i]).tag);
+      EXPECT_EQ(doc.element(original[i]).children.size(),
+                parsed.element(round[i]).children.size());
+    }
+  }
+}
+
+TEST(GeneratorTest, TwoLevelDocument) {
+  const Document doc = MakeTwoLevelDocument(1000);
+  ASSERT_OK(doc.Validate());
+  EXPECT_EQ(doc.element_count(), 1001u);
+  EXPECT_EQ(doc.Depth(), 2u);
+  EXPECT_EQ(doc.element(doc.root()).children.size(), 1000u);
+}
+
+TEST(GeneratorTest, RandomDocumentRespectsDepthAndIsDeterministic) {
+  const Document doc1 = MakeRandomDocument(5000, 8, 42);
+  const Document doc2 = MakeRandomDocument(5000, 8, 42);
+  ASSERT_OK(doc1.Validate());
+  EXPECT_EQ(doc1.element_count(), 5000u);
+  EXPECT_LE(doc1.Depth(), 8u);
+  EXPECT_EQ(doc1.PreorderIds(), doc2.PreorderIds());
+  const Document doc3 = MakeRandomDocument(5000, 8, 43);
+  EXPECT_NE(WriteDocument(doc1, false), WriteDocument(doc3, false));
+}
+
+TEST(GeneratorTest, BalancedDocument) {
+  const Document doc = MakeBalancedDocument(1 + 3 + 9 + 27, 3);
+  ASSERT_OK(doc.Validate());
+  EXPECT_EQ(doc.element_count(), 40u);
+  EXPECT_EQ(doc.Depth(), 4u);
+}
+
+TEST(XmarkTest, HitsTargetSizeAndShape) {
+  const Document doc = MakeXmarkDocument(30000, 1);
+  ASSERT_OK(doc.Validate());
+  EXPECT_GE(doc.element_count(), 30000u);
+  EXPECT_LE(doc.element_count(), 31000u);  // small overshoot only
+  // XMark-like depth: nested descriptions put it around 8-12.
+  EXPECT_GE(doc.Depth(), 6u);
+  EXPECT_LE(doc.Depth(), 14u);
+  EXPECT_EQ(doc.element(doc.root()).tag, "site");
+  // All six top-level sections present.
+  std::set<std::string> sections;
+  for (ElementId child : doc.element(doc.root()).children) {
+    sections.insert(doc.element(child).tag);
+  }
+  EXPECT_EQ(sections, (std::set<std::string>{"regions", "categories",
+                                             "catgraph", "people",
+                                             "open_auctions",
+                                             "closed_auctions"}));
+}
+
+TEST(XmarkTest, DeterministicPerSeed) {
+  const Document a = MakeXmarkDocument(5000, 9);
+  const Document b = MakeXmarkDocument(5000, 9);
+  EXPECT_EQ(a.element_count(), b.element_count());
+  EXPECT_EQ(WriteDocument(a, false), WriteDocument(b, false));
+}
+
+}  // namespace
+}  // namespace boxes::xml
