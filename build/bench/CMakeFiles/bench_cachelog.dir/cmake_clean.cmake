@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cachelog.dir/bench_cachelog.cc.o"
+  "CMakeFiles/bench_cachelog.dir/bench_cachelog.cc.o.d"
+  "bench_cachelog"
+  "bench_cachelog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cachelog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_concentrated.dir/bench_fig5_concentrated.cc.o"
+  "CMakeFiles/bench_fig5_concentrated.dir/bench_fig5_concentrated.cc.o.d"
+  "bench_fig5_concentrated"
+  "bench_fig5_concentrated.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_concentrated.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_scattered.dir/bench_fig7_scattered.cc.o"
+  "CMakeFiles/bench_fig7_scattered.dir/bench_fig7_scattered.cc.o.d"
+  "bench_fig7_scattered"
+  "bench_fig7_scattered.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_scattered.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_xmark.dir/bench_fig8_xmark.cc.o"
+  "CMakeFiles/bench_fig8_xmark.dir/bench_fig8_xmark.cc.o.d"
+  "bench_fig8_xmark"
+  "bench_fig8_xmark.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_xmark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

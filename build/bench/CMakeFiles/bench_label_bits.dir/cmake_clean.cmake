@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_label_bits.dir/bench_label_bits.cc.o"
+  "CMakeFiles/bench_label_bits.dir/bench_label_bits.cc.o.d"
+  "bench_label_bits"
+  "bench_label_bits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_label_bits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_subtree_bulk.dir/bench_subtree_bulk.cc.o"
+  "CMakeFiles/bench_subtree_bulk.dir/bench_subtree_bulk.cc.o.d"
+  "bench_subtree_bulk"
+  "bench_subtree_bulk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_subtree_bulk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cached_queries.dir/cached_queries.cpp.o"
+  "CMakeFiles/cached_queries.dir/cached_queries.cpp.o.d"
+  "cached_queries"
+  "cached_queries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cached_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

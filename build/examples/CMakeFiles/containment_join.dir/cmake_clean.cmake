@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/containment_join.dir/containment_join.cpp.o"
+  "CMakeFiles/containment_join.dir/containment_join.cpp.o.d"
+  "containment_join"
+  "containment_join.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/containment_join.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbtool.dir/dbtool.cpp.o"
+  "CMakeFiles/dbtool.dir/dbtool.cpp.o.d"
+  "dbtool"
+  "dbtool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbtool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,55 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/bbox/bbox.cc" "src/CMakeFiles/boxes.dir/core/bbox/bbox.cc.o" "gcc" "src/CMakeFiles/boxes.dir/core/bbox/bbox.cc.o.d"
+  "/root/repo/src/core/bbox/bbox_bulk.cc" "src/CMakeFiles/boxes.dir/core/bbox/bbox_bulk.cc.o" "gcc" "src/CMakeFiles/boxes.dir/core/bbox/bbox_bulk.cc.o.d"
+  "/root/repo/src/core/bbox/bbox_check.cc" "src/CMakeFiles/boxes.dir/core/bbox/bbox_check.cc.o" "gcc" "src/CMakeFiles/boxes.dir/core/bbox/bbox_check.cc.o.d"
+  "/root/repo/src/core/bbox/bbox_node.cc" "src/CMakeFiles/boxes.dir/core/bbox/bbox_node.cc.o" "gcc" "src/CMakeFiles/boxes.dir/core/bbox/bbox_node.cc.o.d"
+  "/root/repo/src/core/bbox/bbox_subtree.cc" "src/CMakeFiles/boxes.dir/core/bbox/bbox_subtree.cc.o" "gcc" "src/CMakeFiles/boxes.dir/core/bbox/bbox_subtree.cc.o.d"
+  "/root/repo/src/core/cachelog/caching_store.cc" "src/CMakeFiles/boxes.dir/core/cachelog/caching_store.cc.o" "gcc" "src/CMakeFiles/boxes.dir/core/cachelog/caching_store.cc.o.d"
+  "/root/repo/src/core/cachelog/indexed_log.cc" "src/CMakeFiles/boxes.dir/core/cachelog/indexed_log.cc.o" "gcc" "src/CMakeFiles/boxes.dir/core/cachelog/indexed_log.cc.o.d"
+  "/root/repo/src/core/cachelog/mod_log.cc" "src/CMakeFiles/boxes.dir/core/cachelog/mod_log.cc.o" "gcc" "src/CMakeFiles/boxes.dir/core/cachelog/mod_log.cc.o.d"
+  "/root/repo/src/core/common/label.cc" "src/CMakeFiles/boxes.dir/core/common/label.cc.o" "gcc" "src/CMakeFiles/boxes.dir/core/common/label.cc.o.d"
+  "/root/repo/src/core/common/labeling_scheme.cc" "src/CMakeFiles/boxes.dir/core/common/labeling_scheme.cc.o" "gcc" "src/CMakeFiles/boxes.dir/core/common/labeling_scheme.cc.o.d"
+  "/root/repo/src/core/naive/naive.cc" "src/CMakeFiles/boxes.dir/core/naive/naive.cc.o" "gcc" "src/CMakeFiles/boxes.dir/core/naive/naive.cc.o.d"
+  "/root/repo/src/core/ordpath/ordpath.cc" "src/CMakeFiles/boxes.dir/core/ordpath/ordpath.cc.o" "gcc" "src/CMakeFiles/boxes.dir/core/ordpath/ordpath.cc.o.d"
+  "/root/repo/src/core/wbox/wbox.cc" "src/CMakeFiles/boxes.dir/core/wbox/wbox.cc.o" "gcc" "src/CMakeFiles/boxes.dir/core/wbox/wbox.cc.o.d"
+  "/root/repo/src/core/wbox/wbox_bulk.cc" "src/CMakeFiles/boxes.dir/core/wbox/wbox_bulk.cc.o" "gcc" "src/CMakeFiles/boxes.dir/core/wbox/wbox_bulk.cc.o.d"
+  "/root/repo/src/core/wbox/wbox_check.cc" "src/CMakeFiles/boxes.dir/core/wbox/wbox_check.cc.o" "gcc" "src/CMakeFiles/boxes.dir/core/wbox/wbox_check.cc.o.d"
+  "/root/repo/src/core/wbox/wbox_node.cc" "src/CMakeFiles/boxes.dir/core/wbox/wbox_node.cc.o" "gcc" "src/CMakeFiles/boxes.dir/core/wbox/wbox_node.cc.o.d"
+  "/root/repo/src/core/wbox/wbox_subtree.cc" "src/CMakeFiles/boxes.dir/core/wbox/wbox_subtree.cc.o" "gcc" "src/CMakeFiles/boxes.dir/core/wbox/wbox_subtree.cc.o.d"
+  "/root/repo/src/doc/labeled_document.cc" "src/CMakeFiles/boxes.dir/doc/labeled_document.cc.o" "gcc" "src/CMakeFiles/boxes.dir/doc/labeled_document.cc.o.d"
+  "/root/repo/src/lidf/lidf.cc" "src/CMakeFiles/boxes.dir/lidf/lidf.cc.o" "gcc" "src/CMakeFiles/boxes.dir/lidf/lidf.cc.o.d"
+  "/root/repo/src/query/structural_join.cc" "src/CMakeFiles/boxes.dir/query/structural_join.cc.o" "gcc" "src/CMakeFiles/boxes.dir/query/structural_join.cc.o.d"
+  "/root/repo/src/query/twig.cc" "src/CMakeFiles/boxes.dir/query/twig.cc.o" "gcc" "src/CMakeFiles/boxes.dir/query/twig.cc.o.d"
+  "/root/repo/src/storage/io_stats.cc" "src/CMakeFiles/boxes.dir/storage/io_stats.cc.o" "gcc" "src/CMakeFiles/boxes.dir/storage/io_stats.cc.o.d"
+  "/root/repo/src/storage/metadata_io.cc" "src/CMakeFiles/boxes.dir/storage/metadata_io.cc.o" "gcc" "src/CMakeFiles/boxes.dir/storage/metadata_io.cc.o.d"
+  "/root/repo/src/storage/page_cache.cc" "src/CMakeFiles/boxes.dir/storage/page_cache.cc.o" "gcc" "src/CMakeFiles/boxes.dir/storage/page_cache.cc.o.d"
+  "/root/repo/src/storage/page_store.cc" "src/CMakeFiles/boxes.dir/storage/page_store.cc.o" "gcc" "src/CMakeFiles/boxes.dir/storage/page_store.cc.o.d"
+  "/root/repo/src/util/biguint.cc" "src/CMakeFiles/boxes.dir/util/biguint.cc.o" "gcc" "src/CMakeFiles/boxes.dir/util/biguint.cc.o.d"
+  "/root/repo/src/util/flags.cc" "src/CMakeFiles/boxes.dir/util/flags.cc.o" "gcc" "src/CMakeFiles/boxes.dir/util/flags.cc.o.d"
+  "/root/repo/src/util/histogram.cc" "src/CMakeFiles/boxes.dir/util/histogram.cc.o" "gcc" "src/CMakeFiles/boxes.dir/util/histogram.cc.o.d"
+  "/root/repo/src/util/random.cc" "src/CMakeFiles/boxes.dir/util/random.cc.o" "gcc" "src/CMakeFiles/boxes.dir/util/random.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/CMakeFiles/boxes.dir/util/status.cc.o" "gcc" "src/CMakeFiles/boxes.dir/util/status.cc.o.d"
+  "/root/repo/src/workload/runner.cc" "src/CMakeFiles/boxes.dir/workload/runner.cc.o" "gcc" "src/CMakeFiles/boxes.dir/workload/runner.cc.o.d"
+  "/root/repo/src/workload/sequences.cc" "src/CMakeFiles/boxes.dir/workload/sequences.cc.o" "gcc" "src/CMakeFiles/boxes.dir/workload/sequences.cc.o.d"
+  "/root/repo/src/xml/document.cc" "src/CMakeFiles/boxes.dir/xml/document.cc.o" "gcc" "src/CMakeFiles/boxes.dir/xml/document.cc.o.d"
+  "/root/repo/src/xml/generators.cc" "src/CMakeFiles/boxes.dir/xml/generators.cc.o" "gcc" "src/CMakeFiles/boxes.dir/xml/generators.cc.o.d"
+  "/root/repo/src/xml/parser.cc" "src/CMakeFiles/boxes.dir/xml/parser.cc.o" "gcc" "src/CMakeFiles/boxes.dir/xml/parser.cc.o.d"
+  "/root/repo/src/xml/writer.cc" "src/CMakeFiles/boxes.dir/xml/writer.cc.o" "gcc" "src/CMakeFiles/boxes.dir/xml/writer.cc.o.d"
+  "/root/repo/src/xml/xmark.cc" "src/CMakeFiles/boxes.dir/xml/xmark.cc.o" "gcc" "src/CMakeFiles/boxes.dir/xml/xmark.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

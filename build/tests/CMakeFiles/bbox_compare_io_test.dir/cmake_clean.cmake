@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bbox_compare_io_test.dir/bbox_compare_io_test.cc.o"
+  "CMakeFiles/bbox_compare_io_test.dir/bbox_compare_io_test.cc.o.d"
+  "bbox_compare_io_test"
+  "bbox_compare_io_test.pdb"
+  "bbox_compare_io_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bbox_compare_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

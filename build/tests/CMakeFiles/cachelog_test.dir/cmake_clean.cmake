@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cachelog_test.dir/cachelog_test.cc.o"
+  "CMakeFiles/cachelog_test.dir/cachelog_test.cc.o.d"
+  "cachelog_test"
+  "cachelog_test.pdb"
+  "cachelog_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cachelog_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/indexed_log_test.dir/indexed_log_test.cc.o"
+  "CMakeFiles/indexed_log_test.dir/indexed_log_test.cc.o.d"
+  "indexed_log_test"
+  "indexed_log_test.pdb"
+  "indexed_log_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/indexed_log_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lidf_test.dir/lidf_test.cc.o"
+  "CMakeFiles/lidf_test.dir/lidf_test.cc.o.d"
+  "lidf_test"
+  "lidf_test.pdb"
+  "lidf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lidf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

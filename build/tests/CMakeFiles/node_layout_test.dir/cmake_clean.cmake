@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/node_layout_test.dir/node_layout_test.cc.o"
+  "CMakeFiles/node_layout_test.dir/node_layout_test.cc.o.d"
+  "node_layout_test"
+  "node_layout_test.pdb"
+  "node_layout_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/node_layout_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

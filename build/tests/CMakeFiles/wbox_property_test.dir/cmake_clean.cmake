@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wbox_property_test.dir/wbox_property_test.cc.o"
+  "CMakeFiles/wbox_property_test.dir/wbox_property_test.cc.o.d"
+  "wbox_property_test"
+  "wbox_property_test.pdb"
+  "wbox_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wbox_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wbox_test.dir/wbox_test.cc.o"
+  "CMakeFiles/wbox_test.dir/wbox_test.cc.o.d"
+  "wbox_test"
+  "wbox_test.pdb"
+  "wbox_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wbox_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/writer_edge_test.dir/writer_edge_test.cc.o"
+  "CMakeFiles/writer_edge_test.dir/writer_edge_test.cc.o.d"
+  "writer_edge_test"
+  "writer_edge_test.pdb"
+  "writer_edge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/writer_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
