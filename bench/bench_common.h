@@ -13,6 +13,7 @@
 #include "core/wbox/wbox.h"
 #include "storage/page_cache.h"
 #include "storage/page_store.h"
+#include "util/metrics.h"
 #include "util/status.h"
 
 namespace boxes::bench {
@@ -93,6 +94,46 @@ inline void CheckOkOrDie(const Status& status, const char* what) {
     std::fprintf(stderr, "%s failed: %s\n", what, status.ToString().c_str());
     std::exit(1);
   }
+}
+
+/// Removes `--metrics_json=<path>` (or `--metrics_json <path>`) from argv
+/// and returns the path, or "" if the flag is absent. For binaries whose
+/// argument parsing rejects unknown flags (google-benchmark's
+/// ReportUnrecognizedArguments); FlagParser binaries register the flag
+/// directly instead.
+inline std::string ExtractMetricsJsonFlag(int* argc, char** argv) {
+  const std::string prefix = "--metrics_json";
+  std::string path;
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind(prefix + "=", 0) == 0) {
+      path = arg.substr(prefix.size() + 1);
+      continue;
+    }
+    if (arg == prefix && i + 1 < *argc) {
+      path = argv[++i];
+      continue;
+    }
+    argv[out++] = argv[i];
+  }
+  *argc = out;
+  return path;
+}
+
+/// If `path` is non-empty, writes the global metrics registry there as
+/// JSON, aborting on failure.
+inline void MaybeWriteMetricsJson(const std::string& path) {
+  if (path.empty()) {
+    return;
+  }
+  CheckOkOrDie(GlobalMetrics().WriteJsonFile(path), "writing --metrics_json");
+}
+
+/// Folds a scheme's per-phase I/O attribution into the global registry
+/// under the scheme's name. Call once per SchemeUnderTest, after its runs.
+inline void FoldPhaseIoIntoGlobalMetrics(const SchemeUnderTest& unit) {
+  GlobalMetrics().MergePhaseIo(unit.scheme->name(), unit.cache->phase_stats());
 }
 
 }  // namespace boxes::bench

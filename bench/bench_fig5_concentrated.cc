@@ -27,6 +27,9 @@ int Run(int argc, char** argv) {
       "naive-256,ordpath",
       "comma-separated schemes");
   int64_t* page_size = flags.AddInt64("page_size", 8192, "block size");
+  std::string* metrics_json = flags.AddString(
+      "metrics_json", "",
+      "write counters, latency histograms and per-phase I/O as JSON here");
   if (!flags.Parse(argc, argv)) {
     return 1;
   }
@@ -43,6 +46,9 @@ int Run(int argc, char** argv) {
   for (const std::string& name : SplitSchemes(*schemes)) {
     SchemeUnderTest unit(static_cast<size_t>(*page_size));
     CheckOkOrDie(MakeScheme(name, &unit), "MakeScheme");
+    if (!metrics_json->empty()) {
+      unit.scheme->SetMetrics(&GlobalMetrics());
+    }
     workload::RunStats stats;
     CheckOkOrDie(
         workload::RunConcentratedInsertion(unit.scheme.get(),
@@ -59,7 +65,9 @@ int Run(int argc, char** argv) {
                 static_cast<unsigned long long>(
                     stats.per_op_cost.Percentile(0.99)),
                 static_cast<unsigned long long>(scheme_stats->height));
+    workload::ExportRunStats("fig5." + name, stats, &GlobalMetrics());
   }
+  MaybeWriteMetricsJson(*metrics_json);
   std::printf(
       "\nExpected shape (paper Fig. 5): B-BOX lowest, then B-BOX-O, W-BOX,\n"
       "W-BOX-O; every naive-k orders of magnitude worse, degrading as k\n"

@@ -19,8 +19,21 @@ constexpr uint64_t kElements = 20000;
 struct Fixture {
   explicit Fixture(const std::string& scheme_name) : unit(kDefaultPageSize) {
     CheckOkOrDie(MakeScheme(scheme_name, &unit), "MakeScheme");
+    unit.scheme->SetMetrics(&GlobalMetrics());
     const xml::Document doc = xml::MakeRandomDocument(kElements, 7, 13);
     CheckOkOrDie(unit.scheme->BulkLoad(doc, &lids), "BulkLoad");
+    // Flush here so pages dirtied by the benchmark loop are attributed to
+    // the phase that re-dirties them (search/relabel/rebalance/...), not to
+    // the lingering bulk_load dirty state.
+    CheckOkOrDie(unit.cache->FlushAll(), "FlushAll");
+  }
+
+  ~Fixture() {
+    // Flush so dirty pages are charged (to the phase that dirtied them),
+    // then fold this scheme's attribution into the global registry for
+    // --metrics_json.
+    CheckOkOrDie(unit.cache->FlushAll(), "FlushAll");
+    FoldPhaseIoIntoGlobalMetrics(unit);
   }
 
   SchemeUnderTest unit;
@@ -88,4 +101,18 @@ BENCHMARK_CAPTURE(BM_Compare, naive_16, std::string("naive-16"));
 }  // namespace
 }  // namespace boxes::bench
 
-BENCHMARK_MAIN();
+// Hand-rolled BENCHMARK_MAIN(): --metrics_json is stripped before
+// benchmark::Initialize because ReportUnrecognizedArguments would reject
+// it.
+int main(int argc, char** argv) {
+  const std::string metrics_path =
+      boxes::bench::ExtractMetricsJsonFlag(&argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  boxes::bench::MaybeWriteMetricsJson(metrics_path);
+  return 0;
+}

@@ -21,6 +21,7 @@ BBox::~BBox() = default;
 // Location, labels, comparison
 
 Status BBox::LocateLid(Lid lid, PageId* leaf_page, int* slot) {
+  ScopedPhase io_phase(cache_, IoPhase::kSearch);
   BOXES_ASSIGN_OR_RETURN(const PageId page, lidf_.ReadBlockPtr(lid));
   BOXES_ASSIGN_OR_RETURN(uint8_t* data, cache_->GetPage(page));
   BBoxLeafView leaf(data, &params_);
@@ -39,6 +40,7 @@ Status BBox::LocateLid(Lid lid, PageId* leaf_page, int* slot) {
 }
 
 Status BBox::PathComponents(PageId page, std::vector<uint64_t>* components) {
+  ScopedPhase io_phase(cache_, IoPhase::kSearch);
   components->clear();
   PageId current = page;
   for (;;) {
@@ -68,6 +70,7 @@ StatusOr<Label> BBox::LabelOfSlot(PageId leaf_page, int slot) {
 }
 
 StatusOr<Label> BBox::Lookup(Lid lid) {
+  ScopedTimer timer(metrics_, name() + ".lookup.us");
   PageId leaf_page;
   int slot;
   BOXES_RETURN_IF_ERROR(LocateLid(lid, &leaf_page, &slot));
@@ -78,6 +81,7 @@ StatusOr<int> BBox::Compare(Lid a, Lid b) {
   if (a == b) {
     return 0;
   }
+  ScopedPhase io_phase(cache_, IoPhase::kSearch);
   PageId leaf_a;
   PageId leaf_b;
   int slot_a;
@@ -129,6 +133,10 @@ StatusOr<uint64_t> BBox::OrdinalLookup(Lid lid) {
 
 Status BBox::AdjustPathSizes(PageId leaf_page, int slot, int64_t delta,
                              uint64_t* ordinal_out) {
+  // With a non-zero delta this walk maintains the size fields (structure
+  // bookkeeping); with delta == 0 it is a pure ordinal search.
+  ScopedPhase io_phase(cache_,
+                       delta != 0 ? IoPhase::kRebalance : IoPhase::kSearch);
   uint64_t ordinal = static_cast<uint64_t>(slot);
   PageId child = leaf_page;
   for (;;) {
@@ -221,6 +229,7 @@ Status BBox::EmitTopmostInvalidation() {
 // Structure maintenance
 
 Status BBox::GrowRoot() {
+  ScopedPhase io_phase(cache_, IoPhase::kRebalance);
   uint8_t* data = nullptr;
   BOXES_ASSIGN_OR_RETURN(const PageId page, cache_->AllocatePage(&data));
   BBoxInternalView node(data, &params_);
@@ -249,6 +258,7 @@ Status BBox::EnsureRoom(PageId page) {
 }
 
 Status BBox::SplitNode(PageId page) {
+  ScopedPhase io_phase(cache_, IoPhase::kRebalance);
   {
     BOXES_ASSIGN_OR_RETURN(uint8_t* data, cache_->GetPage(page));
     if (BBoxNodeHeader(data).parent() == kInvalidPageId) {
@@ -321,6 +331,7 @@ Status BBox::SplitNode(PageId page) {
 
 Status BBox::FixMovedEntries(PageId new_page, bool is_leaf,
                              const std::vector<uint64_t>& moved) {
+  ScopedPhase io_phase(cache_, IoPhase::kRelabel);
   for (uint64_t entry : moved) {
     if (is_leaf) {
       BOXES_RETURN_IF_ERROR(lidf_.WriteBlockPtr(entry, new_page));
@@ -348,6 +359,9 @@ Status BBox::InsertBefore(Lid lid_new, Lid lid_old) {
   }
   uint16_t count_before;
   {
+    // Inserting into the leaf shifts every following record's final
+    // component: relabel traffic.
+    ScopedPhase io_phase(cache_, IoPhase::kRelabel);
     BOXES_ASSIGN_OR_RETURN(uint8_t* data, cache_->GetPageForWrite(leaf_page));
     BBoxLeafView leaf(data, &params_);
     count_before = leaf.count();
@@ -380,6 +394,7 @@ StatusOr<NewElement> BBox::InsertElementBefore(Lid lid) {
   if (root_ == kInvalidPageId) {
     return Status::FailedPrecondition("B-BOX is empty");
   }
+  ScopedTimer timer(metrics_, name() + ".insert.us");
   op_reorg_ = Reorganization();
   BOXES_ASSIGN_OR_RETURN(const auto lids, lidf_.AllocatePair());
   BOXES_RETURN_IF_ERROR(InsertBefore(lids.second, lid));
@@ -410,6 +425,7 @@ Status BBox::Delete(Lid lid) {
   if (root_ == kInvalidPageId) {
     return Status::FailedPrecondition("B-BOX is empty");
   }
+  ScopedTimer timer(metrics_, name() + ".delete.us");
   op_reorg_ = Reorganization();
   PageId leaf_page;
   int slot;
@@ -427,6 +443,9 @@ Status BBox::Delete(Lid lid) {
     }
   }
   {
+    // Removing from the leaf shifts every following record's final
+    // component: relabel traffic.
+    ScopedPhase io_phase(cache_, IoPhase::kRelabel);
     BOXES_ASSIGN_OR_RETURN(uint8_t* data, cache_->GetPageForWrite(leaf_page));
     BBoxLeafView leaf(data, &params_);
     count_before = leaf.count();
@@ -456,6 +475,7 @@ Status BBox::Delete(Lid lid) {
 }
 
 Status BBox::CollapseRootIfNeeded(std::vector<PageId>* freed_out) {
+  ScopedPhase io_phase(cache_, IoPhase::kRebalance);
   for (;;) {
     BOXES_ASSIGN_OR_RETURN(uint8_t* data, cache_->GetPage(root_));
     BBoxNodeHeader header(data);
@@ -480,6 +500,7 @@ Status BBox::CollapseRootIfNeeded(std::vector<PageId>* freed_out) {
 }
 
 Status BBox::RebalanceUpward(PageId page) {
+  ScopedPhase io_phase(cache_, IoPhase::kRebalance);
   uint32_t guard = 0;
   for (;;) {
     BOXES_CHECK(++guard < 4096);
@@ -521,6 +542,7 @@ Status BBox::RebalanceUpward(PageId page) {
 
 Status BBox::MergeOrRedistribute(PageId parent, uint16_t left_idx,
                                  bool* merged, PageId* freed_page) {
+  ScopedPhase io_phase(cache_, IoPhase::kRebalance);
   if (freed_page != nullptr) {
     *freed_page = kInvalidPageId;
   }

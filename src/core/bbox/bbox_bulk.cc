@@ -190,6 +190,7 @@ Status BBox::BulkLoad(const xml::Document& doc,
     }
     return Status::OK();
   }
+  ScopedPhase io_phase(cache_, IoPhase::kBulkLoad);
   std::vector<FlatRecord> records;
   BOXES_RETURN_IF_ERROR(FlattenDocument(doc, &records, lids_out));
   std::vector<LevelNode> leaves;

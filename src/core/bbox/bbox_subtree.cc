@@ -137,6 +137,7 @@ Status BBox::RipAt(PageId leaf_page, int slot, uint32_t levels,
 }
 
 Status BBox::RepairCandidates(const std::vector<PageId>& candidates) {
+  ScopedPhase io_phase(cache_, IoPhase::kRebalance);
   // Worklist repair: after rips, adjacent nodes can BOTH be underfull, so a
   // merge may still be below minimum and must be re-examined; merges also
   // shrink the parent. Every affected node is pushed back until stable.
@@ -215,6 +216,7 @@ Status BBox::RepairCandidates(const std::vector<PageId>& candidates) {
 }
 
 Status BBox::RecomputeSizesUpward(PageId page) {
+  ScopedPhase io_phase(cache_, IoPhase::kRebalance);
   if (!options_.ordinal) {
     return Status::OK();
   }
@@ -257,6 +259,8 @@ Status BBox::InsertSubtreeBefore(Lid before, const xml::Document& subtree,
   if (root_ == kInvalidPageId) {
     return BulkLoad(subtree, lids_out);
   }
+  ScopedPhase io_phase(cache_, IoPhase::kBulkLoad);
+  ScopedTimer timer(metrics_, name() + ".insert_subtree.us");
   op_reorg_ = Reorganization();
   PageId leaf_page;
   int slot;
@@ -385,6 +389,8 @@ Status BBox::DeleteSubtree(Lid root_start, Lid root_end) {
   if (root_ == kInvalidPageId) {
     return Status::FailedPrecondition("B-BOX is empty");
   }
+  ScopedPhase io_phase(cache_, IoPhase::kBulkLoad);
+  ScopedTimer timer(metrics_, name() + ".delete_subtree.us");
   op_reorg_ = Reorganization();
   PageId leaf_a;
   PageId leaf_b;

@@ -26,15 +26,23 @@ CachedLabelRef CachingLabelStore::MakeRef(Lid lid) const {
 }
 
 StatusOr<Label> CachingLabelStore::Lookup(CachedLabelRef* ref) {
+  MetricsRegistry* metrics = scheme_->metrics();
+  ScopedTimer timer(metrics, "cachelog.lookup.us");
   if (ref->has_value) {
     if (ref->last_cached == log_->now()) {
       ++served_fresh_;
+      if (metrics != nullptr) {
+        metrics->IncrementCounter("cachelog.served_fresh");
+      }
       return ref->cached;
     }
     Label replayed = ref->cached;
     if (log_->Replay(ref->last_cached, &replayed) ==
         ModificationLog::ReplayResult::kUsable) {
       ++served_replayed_;
+      if (metrics != nullptr) {
+        metrics->IncrementCounter("cachelog.served_replayed");
+      }
       ref->cached = replayed;
       ref->last_cached = log_->now();
       return replayed;
@@ -42,6 +50,9 @@ StatusOr<Label> CachingLabelStore::Lookup(CachedLabelRef* ref) {
   }
   // Full lookup, then refresh the reference.
   ++served_full_;
+  if (metrics != nullptr) {
+    metrics->IncrementCounter("cachelog.served_full");
+  }
   BOXES_ASSIGN_OR_RETURN(Label label, scheme_->Lookup(ref->lid));
   ref->cached = label;
   ref->last_cached = log_->now();
@@ -50,21 +61,32 @@ StatusOr<Label> CachingLabelStore::Lookup(CachedLabelRef* ref) {
 }
 
 StatusOr<uint64_t> CachingLabelStore::OrdinalLookup(CachedOrdinalRef* ref) {
+  MetricsRegistry* metrics = scheme_->metrics();
+  ScopedTimer timer(metrics, "cachelog.ordinal_lookup.us");
   if (ref->has_value) {
     if (ref->last_cached == log_->now()) {
       ++served_fresh_;
+      if (metrics != nullptr) {
+        metrics->IncrementCounter("cachelog.served_fresh");
+      }
       return ref->cached;
     }
     uint64_t replayed = ref->cached;
     if (log_->ReplayOrdinal(ref->last_cached, &replayed) ==
         ModificationLog::ReplayResult::kUsable) {
       ++served_replayed_;
+      if (metrics != nullptr) {
+        metrics->IncrementCounter("cachelog.served_replayed");
+      }
       ref->cached = replayed;
       ref->last_cached = log_->now();
       return replayed;
     }
   }
   ++served_full_;
+  if (metrics != nullptr) {
+    metrics->IncrementCounter("cachelog.served_full");
+  }
   BOXES_ASSIGN_OR_RETURN(const uint64_t ordinal,
                          scheme_->OrdinalLookup(ref->lid));
   ref->cached = ordinal;

@@ -16,12 +16,16 @@ size_t NextPowerOfTwo(size_t value) {
   return result;
 }
 
-void ApplyDelta(Label* label, int64_t delta) {
+/// Applies `delta` to the label's last component; false if the shift would
+/// wrap (same staleness rule as ModificationLog::Replay).
+bool ApplyDelta(Label* label, int64_t delta) {
   std::vector<uint64_t> components = label->components();
   BOXES_CHECK(!components.empty());
-  components.back() = static_cast<uint64_t>(
-      static_cast<int64_t>(components.back()) + delta);
+  if (!CheckedShift(&components.back(), delta)) {
+    return false;
+  }
   *label = Label::FromComponents(std::move(components));
+  return true;
 }
 
 }  // namespace
@@ -153,7 +157,9 @@ ReplayResult IndexedModificationLog::Replay(uint64_t last_cached,
     if (entry->invalidate) {
       return ReplayResult::kStale;
     }
-    ApplyDelta(label, EntryDelta(entry->timestamp));
+    if (!ApplyDelta(label, EntryDelta(entry->timestamp))) {
+      return ReplayResult::kStale;
+    }
     cursor = entry->timestamp;
   }
 }
@@ -259,8 +265,9 @@ ReplayResult IndexedModificationLog::ReplayOrdinal(uint64_t last_cached,
     if (ts == 0) {
       return ReplayResult::kUsable;
     }
-    *ordinal = static_cast<uint64_t>(static_cast<int64_t>(*ordinal) +
-                                     EntryDelta(ts));
+    if (!CheckedShift(ordinal, EntryDelta(ts))) {
+      return ReplayResult::kStale;
+    }
     cursor = ts;
   }
 }

@@ -57,9 +57,12 @@ ModificationLog::ReplayResult ModificationLog::Replay(uint64_t last_cached,
         if (entry.lo <= *label && *label <= entry.hi) {
           std::vector<uint64_t> components = label->components();
           BOXES_CHECK(!components.empty());
-          components.back() =
-              static_cast<uint64_t>(static_cast<int64_t>(components.back()) +
-                                    entry.delta);
+          if (!CheckedShift(&components.back(), entry.delta)) {
+            // The shift would wrap the component (e.g. a negative delta
+            // larger than the last component); the cached value cannot be
+            // repaired by replay.
+            return ReplayResult::kStale;
+          }
           *label = Label::FromComponents(std::move(components));
         }
         break;
@@ -87,8 +90,9 @@ ModificationLog::ReplayResult ModificationLog::ReplayOrdinal(
       continue;
     }
     if (*ordinal >= entry.ordinal_from) {
-      *ordinal = static_cast<uint64_t>(static_cast<int64_t>(*ordinal) +
-                                       entry.delta);
+      if (!CheckedShift(ordinal, entry.delta)) {
+        return ReplayResult::kStale;
+      }
     }
   }
   return ReplayResult::kUsable;

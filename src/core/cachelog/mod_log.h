@@ -28,6 +28,30 @@ enum class ReplayResult {
   kStale,   // too old or invalidated; caller must re-look it up
 };
 
+/// Adds `delta` to `*value` with overflow/underflow detection. Returns
+/// false (leaving `*value` unspecified) when the shift would wrap — a
+/// negative delta larger than the value, or a positive one past UINT64_MAX.
+/// Replay treats a wrapping shift as staleness: the cached value cannot be
+/// repaired and the caller must re-look it up.
+inline bool CheckedShift(uint64_t* value, int64_t delta) {
+  if (delta < 0) {
+    // Two's-complement negation on the unsigned representation is well
+    // defined even for INT64_MIN.
+    const uint64_t magnitude = ~static_cast<uint64_t>(delta) + 1;
+    if (magnitude > *value) {
+      return false;
+    }
+    *value -= magnitude;
+  } else {
+    const uint64_t magnitude = static_cast<uint64_t>(delta);
+    if (*value + magnitude < *value) {
+      return false;
+    }
+    *value += magnitude;
+  }
+  return true;
+}
+
 /// Interface of a modification log usable by the caching layer. Two
 /// implementations exist: ModificationLog (the paper's plain FIFO, O(k)
 /// replay scans) and IndexedModificationLog (the paper's §8 future-work

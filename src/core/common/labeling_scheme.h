@@ -7,6 +7,7 @@
 
 #include "core/common/label.h"
 #include "lidf/lidf.h"
+#include "util/metrics.h"
 #include "util/status.h"
 #include "xml/document.h"
 
@@ -124,8 +125,15 @@ class LabelingScheme {
   void SetUpdateListener(UpdateListener* listener) { listener_ = listener; }
   UpdateListener* update_listener() const { return listener_; }
 
+  /// Attaches (or detaches, with nullptr) a metrics registry. When set, the
+  /// scheme records per-operation latency samples under
+  /// "<name()>.<op>.us"; when null, instrumentation is a no-op.
+  void SetMetrics(MetricsRegistry* metrics) { metrics_ = metrics; }
+  MetricsRegistry* metrics() const { return metrics_; }
+
  protected:
   UpdateListener* listener_ = nullptr;
+  MetricsRegistry* metrics_ = nullptr;
 };
 
 }  // namespace boxes

@@ -53,6 +53,8 @@ Status NaiveScheme::WriteRecord(Lid lid, const Record& record) {
 }
 
 StatusOr<Label> NaiveScheme::Lookup(Lid lid) {
+  ScopedTimer timer(metrics_, name() + ".lookup.us");
+  ScopedPhase io_phase(cache_, IoPhase::kSearch);
   BOXES_ASSIGN_OR_RETURN(const Record record, ReadRecord(lid));
   return Label::FromBigUint(record.value, value_limbs_);
 }
@@ -80,6 +82,7 @@ StatusOr<NewElement> NaiveScheme::InsertElementBefore(Lid lid) {
   if (lidf_.live_records() == 0) {
     return Status::FailedPrecondition("naive scheme is empty");
   }
+  ScopedTimer timer(metrics_, name() + ".insert.us");
   BOXES_ASSIGN_OR_RETURN(const auto lids, lidf_.AllocatePair());
   BOXES_RETURN_IF_ERROR(InsertBefore(lids.second, lid));
   BOXES_RETURN_IF_ERROR(InsertBefore(lids.first, lids.second));
@@ -101,6 +104,7 @@ StatusOr<NewElement> NaiveScheme::InsertFirstElement() {
 }
 
 Status NaiveScheme::Delete(Lid lid) {
+  ScopedTimer timer(metrics_, name() + ".delete.us");
   // Freeing the record leaves the successor's stored gap conservatively
   // small; labels never change on deletion.
   return lidf_.Free(lid);
@@ -112,6 +116,7 @@ Status NaiveScheme::BulkLoad(const xml::Document& doc,
     return Status::FailedPrecondition(
         "BulkLoad requires an empty naive scheme");
   }
+  ScopedPhase io_phase(cache_, IoPhase::kBulkLoad);
   std::vector<NewElement> lids(doc.element_count());
   const BigUint gap = BigUint::PowerOfTwo(options_.gap_bits);
   uint64_t position = 0;
@@ -145,6 +150,8 @@ Status NaiveScheme::BulkLoad(const xml::Document& doc,
 }
 
 Status NaiveScheme::RelabelAll() {
+  ScopedPhase io_phase(cache_, IoPhase::kRelabel);
+  ScopedTimer timer(metrics_, name() + ".relabel_all.us");
   // Pass 1: read every live record (the whole file) and sort by value in
   // memory (the paper grants the naive scheme free in-memory sorting).
   // Fixed-width limb keys avoid per-record allocations: relabeling is the

@@ -30,6 +30,9 @@ WBox::~WBox() = default;
 
 Status WBox::LocateLid(Lid lid, PageId* leaf_page, int* slot,
                        uint64_t* label) {
+  // The LIDF dereference inside ReadBlockPtr carries its own (inner,
+  // winning) kLidfDeref guard; the leaf access is charged to the search.
+  ScopedPhase phase(cache_, IoPhase::kSearch);
   BOXES_ASSIGN_OR_RETURN(const PageId page, lidf_.ReadBlockPtr(lid));
   BOXES_ASSIGN_OR_RETURN(uint8_t* data, cache_->GetPage(page));
   WBoxLeafView leaf(data, &params_);
@@ -49,6 +52,7 @@ Status WBox::LocateLid(Lid lid, PageId* leaf_page, int* slot,
 }
 
 StatusOr<Label> WBox::Lookup(Lid lid) {
+  ScopedTimer timer(metrics_, name() + ".lookup.us");
   PageId page;
   int slot;
   uint64_t label;
@@ -87,6 +91,7 @@ StatusOr<uint64_t> WBox::OrdinalLookup(Lid lid) {
 }
 
 StatusOr<uint64_t> WBox::OrdinalOfLabel(uint64_t label) {
+  ScopedPhase phase(cache_, IoPhase::kSearch);
   BOXES_CHECK(root_ != kInvalidPageId);
   uint64_t ordinal = 0;
   PageId page = root_;
@@ -117,6 +122,7 @@ StatusOr<uint64_t> WBox::OrdinalOfLabel(uint64_t label) {
 
 Status WBox::DescendPath(uint64_t label, std::vector<PathStep>* path,
                          PageId* leaf_out) {
+  ScopedPhase phase(cache_, IoPhase::kSearch);
   BOXES_CHECK(root_ != kInvalidPageId);
   PageId page = root_;
   for (uint32_t level = height_ - 1; level >= 1; --level) {
@@ -163,6 +169,7 @@ Status WBox::FixPairCachesForSlots(PageId leaf_page, int first, int last) {
   if (!options_.pair_mode) {
     return Status::OK();
   }
+  ScopedPhase phase(cache_, IoPhase::kRelabel);
   BOXES_ASSIGN_OR_RETURN(uint8_t* data, cache_->GetPage(leaf_page));
   WBoxLeafView leaf(data, &params_);
   first = std::max(first, 0);
@@ -198,6 +205,7 @@ Status WBox::FixPairCachesForSlots(PageId leaf_page, int first, int last) {
 
 Status WBox::FixRelocatedRecords(PageId new_block,
                                  const std::vector<Lid>& moved_lids) {
+  ScopedPhase phase(cache_, IoPhase::kRelabel);
   for (Lid lid : moved_lids) {
     BOXES_RETURN_IF_ERROR(lidf_.WriteBlockPtr(lid, new_block));
     moved_in_op_[lid] = new_block;
@@ -271,6 +279,7 @@ Status WBox::LinkPair(Lid start_lid, Lid end_lid) {
 // Splitting
 
 Status WBox::GrowRoot() {
+  ScopedPhase phase(cache_, IoPhase::kRebalance);
   BOXES_CHECK(root_ != kInvalidPageId);
   uint8_t* data = nullptr;
   BOXES_ASSIGN_OR_RETURN(const PageId page, cache_->AllocatePage(&data));
@@ -288,6 +297,9 @@ Status WBox::GrowRoot() {
 }
 
 Status WBox::EnsureRoomFor(uint64_t label, bool* split_occurred) {
+  // The preemptive descent is search traffic; GrowRoot and SplitChild
+  // carry their own kRebalance guards.
+  ScopedPhase phase(cache_, IoPhase::kSearch);
   *split_occurred = false;
   // Grow the tree while the root itself is at its weight limit.
   for (;;) {
@@ -326,6 +338,7 @@ Status WBox::EnsureRoomFor(uint64_t label, bool* split_occurred) {
 }
 
 Status WBox::SplitChild(PageId parent_page, int entry, uint32_t child_level) {
+  ScopedPhase phase(cache_, IoPhase::kRebalance);
   ++split_count_;
   BOXES_ASSIGN_OR_RETURN(uint8_t* parent_data,
                          cache_->GetPageForWrite(parent_page));
@@ -547,6 +560,7 @@ Status WBox::SplitChild(PageId parent_page, int entry, uint32_t child_level) {
 }
 
 Status WBox::RelabelSubtree(PageId page, uint32_t level, uint64_t new_lo) {
+  ScopedPhase phase(cache_, IoPhase::kRelabel);
   BOXES_ASSIGN_OR_RETURN(uint8_t* data, cache_->GetPage(page));
   if (level == 0) {
     WBoxLeafView leaf(data, &params_);
@@ -580,6 +594,9 @@ Status WBox::RelabelSubtree(PageId page, uint32_t level, uint64_t new_lo) {
 
 Status WBox::AdjustPathCounts(uint64_t label, int64_t weight_delta,
                               int64_t size_delta) {
+  // Weight/size bookkeeping along the root path is what keeps the tree
+  // balance invariants; charged as rebalance traffic.
+  ScopedPhase phase(cache_, IoPhase::kRebalance);
   PageId page = root_;
   for (uint32_t level = height_ - 1; level >= 1; --level) {
     BOXES_ASSIGN_OR_RETURN(uint8_t* data, cache_->GetPageForWrite(page));
@@ -601,6 +618,8 @@ Status WBox::AdjustPathCounts(uint64_t label, int64_t weight_delta,
 
 Status WBox::InsertIntoLeaf(PageId leaf_page, int slot, Lid lid_new,
                             bool is_end) {
+  // The insertion shifts every following record's label within the leaf.
+  ScopedPhase phase(cache_, IoPhase::kRelabel);
   BOXES_ASSIGN_OR_RETURN(uint8_t* data, cache_->GetPageForWrite(leaf_page));
   WBoxLeafView leaf(data, &params_);
   const uint16_t n = leaf.count();
@@ -628,7 +647,9 @@ Status WBox::InsertBefore(Lid lid_new, Lid lid_old, bool is_end) {
   const int tomb = leaf.FindTombstone();
   if (tomb >= 0) {
     // Reclaim a tombstone slot: a purely leaf-local update that never
-    // changes any weight (global rebuilding, paper §4).
+    // changes any weight (global rebuilding, paper §4). Labels between the
+    // tombstone and the insertion point shift, so this is relabel traffic.
+    ScopedPhase phase(cache_, IoPhase::kRelabel);
     BOXES_ASSIGN_OR_RETURN(data, cache_->GetPageForWrite(leaf_page));
     WBoxLeafView wleaf(data, &params_);
     const uint64_t lo = wleaf.range_lo();
@@ -683,6 +704,7 @@ Status WBox::InsertBefore(Lid lid_new, Lid lid_old, bool is_end) {
 }
 
 StatusOr<NewElement> WBox::InsertElementBefore(Lid lid) {
+  ScopedTimer timer(metrics_, name() + ".insert.us");
   if (root_ == kInvalidPageId) {
     return Status::FailedPrecondition("W-BOX is empty");
   }
@@ -719,6 +741,7 @@ StatusOr<NewElement> WBox::InsertFirstElement() {
 }
 
 Status WBox::Delete(Lid lid) {
+  ScopedTimer timer(metrics_, name() + ".delete.us");
   if (root_ == kInvalidPageId) {
     return Status::FailedPrecondition("W-BOX is empty");
   }

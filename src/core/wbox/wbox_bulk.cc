@@ -337,6 +337,7 @@ Status WBox::BulkLoad(const xml::Document& doc,
     return Status::FailedPrecondition(
         "BulkLoad requires an empty W-BOX");
   }
+  ScopedPhase io_phase(cache_, IoPhase::kBulkLoad);
   moved_in_op_.clear();
   std::vector<FlatRecord> records;
   BOXES_RETURN_IF_ERROR(FlattenDocument(doc, &records, lids_out));
@@ -344,6 +345,8 @@ Status WBox::BulkLoad(const xml::Document& doc,
 }
 
 Status WBox::GlobalRebuild() {
+  ScopedPhase io_phase(cache_, IoPhase::kRebalance);
+  ScopedTimer timer(metrics_, name() + ".global_rebuild.us");
   std::vector<FlatRecord> records;
   records.reserve(live_labels_);
   BOXES_RETURN_IF_ERROR(CollectLiveRecords(root_, height_ - 1, &records));

@@ -143,6 +143,8 @@ Status WBox::InsertSubtreeBefore(Lid before, const xml::Document& subtree,
   if (root_ == kInvalidPageId) {
     return Status::FailedPrecondition("W-BOX is empty");
   }
+  ScopedPhase io_phase(cache_, IoPhase::kBulkLoad);
+  ScopedTimer timer(metrics_, name() + ".insert_subtree.us");
   moved_in_op_.clear();
   const uint64_t n_new = subtree.tag_count();
 
@@ -450,6 +452,8 @@ Status WBox::DeleteSubtree(Lid root_start, Lid root_end) {
   if (root_ == kInvalidPageId) {
     return Status::FailedPrecondition("W-BOX is empty");
   }
+  ScopedPhase io_phase(cache_, IoPhase::kBulkLoad);
+  ScopedTimer timer(metrics_, name() + ".delete_subtree.us");
   moved_in_op_.clear();
   PageId leaf1;
   PageId leaf2;

@@ -16,6 +16,7 @@ Lidf::Lidf(PageCache* cache, size_t payload_size)
 }
 
 StatusOr<Lid> Lidf::Allocate() {
+  ScopedPhase phase(cache_, IoPhase::kLidfDeref);
   Lid lid;
   if (!free_list_.empty()) {
     lid = free_list_.back();
@@ -38,6 +39,7 @@ StatusOr<Lid> Lidf::Allocate() {
 }
 
 StatusOr<std::pair<Lid, Lid>> Lidf::AllocatePair() {
+  ScopedPhase phase(cache_, IoPhase::kLidfDeref);
   if (records_per_page_ < 2) {
     // Same-page adjacency is impossible with one record per page; fall
     // back to two singles. (Callers that rely on lid+1 pairing — W-BOX-O —
@@ -90,6 +92,7 @@ Status Lidf::Free(Lid lid) {
 bool Lidf::IsLive(Lid lid) const { return lid < live_.size() && live_[lid]; }
 
 Status Lidf::Read(Lid lid, uint8_t* payload) const {
+  ScopedPhase phase(cache_, IoPhase::kLidfDeref);
   BOXES_RETURN_IF_ERROR(CheckLive(lid));
   const PageId page = pages_[lid / records_per_page_];
   StatusOr<uint8_t*> data = cache_->GetPage(page);
@@ -102,6 +105,7 @@ Status Lidf::Read(Lid lid, uint8_t* payload) const {
 }
 
 Status Lidf::Write(Lid lid, const uint8_t* payload) {
+  ScopedPhase phase(cache_, IoPhase::kLidfDeref);
   BOXES_RETURN_IF_ERROR(CheckLive(lid));
   StatusOr<uint8_t*> slot = SlotForWrite(lid);
   if (!slot.ok()) {
@@ -112,6 +116,7 @@ Status Lidf::Write(Lid lid, const uint8_t* payload) {
 }
 
 StatusOr<PageId> Lidf::ReadBlockPtr(Lid lid) const {
+  ScopedPhase phase(cache_, IoPhase::kLidfDeref);
   BOXES_RETURN_IF_ERROR(CheckLive(lid));
   const PageId page = pages_[lid / records_per_page_];
   StatusOr<uint8_t*> data = cache_->GetPage(page);
@@ -123,6 +128,7 @@ StatusOr<PageId> Lidf::ReadBlockPtr(Lid lid) const {
 }
 
 Status Lidf::WriteBlockPtr(Lid lid, PageId block) {
+  ScopedPhase phase(cache_, IoPhase::kLidfDeref);
   BOXES_RETURN_IF_ERROR(CheckLive(lid));
   StatusOr<uint8_t*> slot = SlotForWrite(lid);
   if (!slot.ok()) {

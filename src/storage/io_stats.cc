@@ -4,6 +4,26 @@
 
 namespace boxes {
 
+const char* IoPhaseName(IoPhase phase) {
+  switch (phase) {
+    case IoPhase::kOther:
+      return "other";
+    case IoPhase::kSearch:
+      return "search";
+    case IoPhase::kRelabel:
+      return "relabel";
+    case IoPhase::kRebalance:
+      return "rebalance";
+    case IoPhase::kLidfDeref:
+      return "lidf_deref";
+    case IoPhase::kLogReplay:
+      return "log_replay";
+    case IoPhase::kBulkLoad:
+      return "bulk_load";
+  }
+  return "unknown";
+}
+
 std::string IoStats::ToString() const {
   char buf[96];
   std::snprintf(buf, sizeof(buf), "reads=%llu writes=%llu total=%llu",

@@ -1,6 +1,8 @@
 #ifndef BOXES_STORAGE_IO_STATS_H_
 #define BOXES_STORAGE_IO_STATS_H_
 
+#include <array>
+#include <cstddef>
 #include <cstdint>
 #include <string>
 
@@ -27,6 +29,33 @@ struct IoStats {
 
   std::string ToString() const;
 };
+
+/// The structural phase an I/O is charged to. The paper's figures report
+/// per-operation totals; the phase breakdown tells *where inside* an
+/// operation the blocks went (the W-BOX search descent vs. a split's
+/// relabel sweep vs. the LIDF dereference, etc.).
+///
+/// Reads are attributed to the phase active at the cache miss; writes are
+/// attributed to the phase that first dirtied the page (flushing happens at
+/// operation end, when no phase is active, so flush-time attribution would
+/// be meaningless).
+enum class IoPhase : uint8_t {
+  kOther = 0,   // no ScopedPhase active
+  kSearch,      // root-to-leaf descents and record location
+  kRelabel,     // label-changing sweeps (shifts, pair-cache fixes)
+  kRebalance,   // splits, merges, weight bookkeeping, global rebuilds
+  kLidfDeref,   // LIDF record access (allocate/read/write block pointers)
+  kLogReplay,   // caching/logging layer activity (paper §6)
+  kBulkLoad,    // bulk loading / subtree builds
+};
+
+inline constexpr size_t kNumIoPhases = 7;
+
+/// Stable lowercase identifier for a phase ("search", "lidf_deref", ...).
+const char* IoPhaseName(IoPhase phase);
+
+/// Per-phase I/O counters, indexed by IoPhase.
+using PhaseIoTable = std::array<IoStats, kNumIoPhases>;
 
 }  // namespace boxes
 

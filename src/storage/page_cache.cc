@@ -1,6 +1,7 @@
 #include "storage/page_cache.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstring>
 #include <vector>
 
@@ -22,8 +23,9 @@ void PageCache::BeginOp() {
     frame.touched_this_op = false;
   }
   // With retention, trim to capacity now: every frame is untouched, so no
-  // caller-held pointer can be invalidated.
-  BOXES_CHECK_OK(EvictIfNeeded());
+  // caller-held pointer can be invalidated. No insertion follows, so no
+  // headroom is needed (trim to exactly capacity_pages).
+  BOXES_CHECK_OK(EvictIfNeeded(/*headroom=*/0));
 }
 
 Status PageCache::EndOp() {
@@ -43,17 +45,18 @@ StatusOr<uint8_t*> PageCache::GetPageForWrite(PageId id) {
 StatusOr<uint8_t*> PageCache::GetInternal(PageId id, bool for_write) {
   auto it = frames_.find(id);
   if (it == frames_.end()) {
-    BOXES_RETURN_IF_ERROR(EvictIfNeeded());
+    BOXES_RETURN_IF_ERROR(EvictIfNeeded(/*headroom=*/1));
     Frame frame;
     frame.data = std::make_unique<uint8_t[]>(page_size());
     BOXES_RETURN_IF_ERROR(store_->Read(id, frame.data.get()));
     ++stats_.reads;
+    ++phase_stats_[static_cast<size_t>(phase_)].reads;
     it = frames_.emplace(id, std::move(frame)).first;
   }
   Frame& frame = it->second;
   Touch(id, &frame);
   if (for_write) {
-    frame.dirty = true;
+    MarkDirty(&frame);
   }
   return frame.data.get();
 }
@@ -63,12 +66,12 @@ StatusOr<PageId> PageCache::AllocatePage(uint8_t** data) {
   if (!id.ok()) {
     return id.status();
   }
-  BOXES_RETURN_IF_ERROR(EvictIfNeeded());
+  BOXES_RETURN_IF_ERROR(EvictIfNeeded(/*headroom=*/1));
   Frame frame;
   frame.data = std::make_unique<uint8_t[]>(page_size());
   std::memset(frame.data.get(), 0, page_size());
-  frame.dirty = true;
   auto it = frames_.emplace(*id, std::move(frame)).first;
+  MarkDirty(&it->second);
   Touch(*id, &it->second);
   *data = it->second.data.get();
   return *id;
@@ -112,10 +115,12 @@ Status PageCache::FlushFrame(PageId id, Frame* frame) {
   BOXES_RETURN_IF_ERROR(store_->Write(id, frame->data.get()));
   frame->dirty = false;
   ++stats_.writes;
+  ++phase_stats_[static_cast<size_t>(frame->dirty_phase)].writes;
+  frame->dirty_phase = IoPhase::kOther;
   return Status::OK();
 }
 
-Status PageCache::EvictIfNeeded() {
+Status PageCache::EvictIfNeeded(size_t headroom) {
   if (!options_.retain_across_ops) {
     return Status::OK();  // unbounded working set within an operation
   }
@@ -124,14 +129,14 @@ Status PageCache::EvictIfNeeded() {
     // raw pointers callers hold; defer eviction to the next BeginOp.
     return Status::OK();
   }
-  while (frames_.size() >= options_.capacity_pages && !lru_.empty()) {
+  while (frames_.size() + headroom > options_.capacity_pages &&
+         !lru_.empty()) {
     // Find the least-recently-used frame that is not part of the current
     // operation's working set (those must stay pinned: callers hold raw
     // pointers to them until EndOp).
     PageId victim = kInvalidPageId;
     for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
-      const Frame& frame = frames_.at(*it);
-      if (!op_active_ || !frame.touched_this_op) {
+      if (!frames_.at(*it).touched_this_op) {
         victim = *it;
         break;
       }
@@ -156,6 +161,21 @@ void PageCache::Touch(PageId id, Frame* frame) {
     lru_.push_front(id);
     frame->lru_pos = lru_.begin();
     frame->in_lru = true;
+  }
+}
+
+void PageCache::MarkDirty(Frame* frame) {
+  if (!frame->dirty) {
+    frame->dirty = true;
+    frame->dirty_phase = phase_;
+  }
+}
+
+void PageCache::RecordUnwindError(const Status& status) {
+  std::fprintf(stderr, "boxes: error during IoScope unwinding: %s\n",
+               status.ToString().c_str());
+  if (last_unwind_error_.ok()) {
+    last_unwind_error_ = status;
   }
 }
 

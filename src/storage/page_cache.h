@@ -83,33 +83,91 @@ class PageCache {
   /// Cumulative I/O counters.
   const IoStats& stats() const { return stats_; }
 
-  /// Resets counters to zero (frames are untouched).
-  void ResetStats() { stats_ = IoStats(); }
+  /// Per-phase I/O attribution (see IoPhase). Reads are charged to the
+  /// phase active at the cache miss; writes to the phase that first dirtied
+  /// the flushed page. Sums across phases equal stats().
+  const PhaseIoTable& phase_stats() const { return phase_stats_; }
+  const IoStats& phase_stats(IoPhase phase) const {
+    return phase_stats_[static_cast<size_t>(phase)];
+  }
+
+  /// The phase new I/Os are currently charged to. Use ScopedPhase rather
+  /// than calling SetPhase directly.
+  IoPhase current_phase() const { return phase_; }
+
+  /// Sets the active phase, returning the previous one.
+  IoPhase SetPhase(IoPhase phase) {
+    const IoPhase previous = phase_;
+    phase_ = phase;
+    return previous;
+  }
+
+  /// Resets counters (total and per-phase) to zero (frames are untouched).
+  void ResetStats() {
+    stats_ = IoStats();
+    phase_stats_ = PhaseIoTable{};
+  }
 
   /// Number of frames currently resident (for tests).
   size_t resident_pages() const { return frames_.size(); }
+
+  /// The first error swallowed by an IoScope unwinding (sticky until
+  /// cleared); OK if none occurred. Tests use this to observe flush
+  /// failures that happen during stack unwinding.
+  const Status& last_unwind_error() const { return last_unwind_error_; }
+  void ClearUnwindError() { last_unwind_error_ = Status::OK(); }
+
+  /// Records an error that could not be propagated (destructor context).
+  /// Only the first error sticks.
+  void RecordUnwindError(const Status& status);
 
  private:
   struct Frame {
     std::unique_ptr<uint8_t[]> data;
     bool dirty = false;
     bool touched_this_op = false;
+    // Phase that first dirtied this frame (write-I/O attribution).
+    IoPhase dirty_phase = IoPhase::kOther;
     // Position in lru_ (retained mode only).
     std::list<PageId>::iterator lru_pos;
     bool in_lru = false;
   };
 
   StatusOr<uint8_t*> GetInternal(PageId id, bool for_write);
-  Status EvictIfNeeded();
+  /// Evicts retained frames until at most `capacity_pages - headroom`
+  /// remain (headroom = 1 makes room for an imminent insertion; 0 trims to
+  /// exactly capacity).
+  Status EvictIfNeeded(size_t headroom);
   Status FlushFrame(PageId id, Frame* frame);
   void Touch(PageId id, Frame* frame);
+  void MarkDirty(Frame* frame);
 
   PageStore* store_;  // not owned
   const PageCacheOptions options_;
   std::unordered_map<PageId, Frame> frames_;
   std::list<PageId> lru_;  // front = most recent (retained mode only)
   IoStats stats_;
+  PhaseIoTable phase_stats_;
+  IoPhase phase_ = IoPhase::kOther;
+  Status last_unwind_error_;
   bool op_active_ = false;
+};
+
+/// RAII phase guard: I/Os charged while the guard lives are attributed to
+/// `phase`. Guards nest; the innermost one wins, and the previous phase is
+/// restored on destruction.
+class ScopedPhase {
+ public:
+  ScopedPhase(PageCache* cache, IoPhase phase)
+      : cache_(cache), previous_(cache->SetPhase(phase)) {}
+  ~ScopedPhase() { cache_->SetPhase(previous_); }
+
+  ScopedPhase(const ScopedPhase&) = delete;
+  ScopedPhase& operator=(const ScopedPhase&) = delete;
+
+ private:
+  PageCache* cache_;
+  const IoPhase previous_;
 };
 
 /// RAII bracket for one logical operation on a PageCache.
@@ -118,7 +176,14 @@ class IoScope {
   explicit IoScope(PageCache* cache) : cache_(cache) { cache_->BeginOp(); }
   ~IoScope() {
     if (cache_->op_active()) {
-      BOXES_CHECK_OK(cache_->EndOp());
+      // A destructor must not abort the process (the flush may fail while
+      // unwinding an already-failing operation): the error is logged and
+      // kept queryable via PageCache::last_unwind_error(). Callers that
+      // need error propagation use End().
+      const Status status = cache_->EndOp();
+      if (!status.ok()) {
+        cache_->RecordUnwindError(status);
+      }
     }
   }
 

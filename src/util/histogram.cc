@@ -75,27 +75,36 @@ std::vector<Histogram::CcdfPoint> Histogram::Ccdf(size_t max_points) const {
     return points;
   }
   std::vector<uint64_t> costs;
-  if (buckets_.size() <= max_points) {
+  if (max_points <= 1 || buckets_.size() == 1) {
+    // Degenerate sampling budget (or a single distinct cost): the only
+    // meaningful point is the maximum, whose CCDF value is 0.
+    costs.push_back(buckets_.rbegin()->first);
+  } else if (buckets_.size() <= max_points) {
     for (const auto& [value, n] : buckets_) {
       (void)n;
       costs.push_back(value);
     }
   } else {
-    // Log-spaced sample costs from 1 to max.
+    // Log-spaced sample costs from 1 to max. The rounded samples may all
+    // fall short of the true maximum, so the max bucket is always appended:
+    // without it the final CCDF point would sit above zero and the plotted
+    // tail would be cut off.
+    const uint64_t max_cost = buckets_.rbegin()->first;
     const double lo = 0.0;
-    const double hi = std::log10(static_cast<double>(std::max<uint64_t>(
-        2, buckets_.rbegin()->first)));
-    uint64_t prev = UINT64_MAX;
-    for (size_t i = 0; i < max_points; ++i) {
+    const double hi =
+        std::log10(static_cast<double>(std::max<uint64_t>(2, max_cost)));
+    uint64_t prev = 0;
+    for (size_t i = 0; i + 1 < max_points; ++i) {
       const double exp_val =
           lo + (hi - lo) * static_cast<double>(i) /
                    static_cast<double>(max_points - 1);
       const uint64_t cost = static_cast<uint64_t>(std::pow(10.0, exp_val));
-      if (cost != prev) {
+      if (cost != prev && cost < max_cost) {
         costs.push_back(cost);
         prev = cost;
       }
     }
+    costs.push_back(max_cost);
   }
   // Single reverse sweep to compute all "fraction above" values.
   uint64_t above = 0;

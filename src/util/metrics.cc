@@ -1,0 +1,182 @@
+#include "util/metrics.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace boxes {
+
+namespace {
+
+/// Escapes a metric name for use as a JSON string. Names are plain
+/// identifiers in practice; this keeps the output valid even if one is not.
+std::string JsonEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void AppendU64(std::string* out, uint64_t value) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, value);
+  *out += buf;
+}
+
+void AppendDouble(std::string* out, double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  *out += buf;
+}
+
+void AppendHistogramJson(std::string* out, const Histogram& h) {
+  *out += "{\"count\": ";
+  AppendU64(out, h.count());
+  *out += ", \"sum\": ";
+  AppendU64(out, h.sum());
+  *out += ", \"mean\": ";
+  AppendDouble(out, h.Mean());
+  *out += ", \"min\": ";
+  AppendU64(out, h.min());
+  *out += ", \"p50\": ";
+  AppendU64(out, h.count() == 0 ? 0 : h.Percentile(0.5));
+  *out += ", \"p90\": ";
+  AppendU64(out, h.count() == 0 ? 0 : h.Percentile(0.9));
+  *out += ", \"p99\": ";
+  AppendU64(out, h.count() == 0 ? 0 : h.Percentile(0.99));
+  *out += ", \"max\": ";
+  AppendU64(out, h.max());
+  *out += "}";
+}
+
+void AppendIoStatsJson(std::string* out, const IoStats& stats) {
+  *out += "{\"reads\": ";
+  AppendU64(out, stats.reads);
+  *out += ", \"writes\": ";
+  AppendU64(out, stats.writes);
+  *out += "}";
+}
+
+}  // namespace
+
+void MetricsRegistry::IncrementCounter(const std::string& name,
+                                       uint64_t delta) {
+  counters_[name] += delta;
+}
+
+uint64_t MetricsRegistry::CounterValue(const std::string& name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  return &histograms_[name];
+}
+
+void MetricsRegistry::RecordValue(const std::string& name, uint64_t value) {
+  histograms_[name].Add(value);
+}
+
+void MetricsRegistry::MergePhaseIo(const std::string& source,
+                                   const PhaseIoTable& table) {
+  PhaseIoTable& into = phase_io_[source];
+  for (size_t i = 0; i < kNumIoPhases; ++i) {
+    into[i].reads += table[i].reads;
+    into[i].writes += table[i].writes;
+  }
+}
+
+PhaseIoTable MetricsRegistry::PhaseIoFor(const std::string& source) const {
+  const auto it = phase_io_.find(source);
+  return it == phase_io_.end() ? PhaseIoTable{} : it->second;
+}
+
+std::string MetricsRegistry::ToJson() const {
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : counters_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + JsonEscape(name) + "\": ";
+    AppendU64(&out, value);
+  }
+  out += first ? "},\n" : "\n  },\n";
+
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, histogram] : histograms_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + JsonEscape(name) + "\": ";
+    AppendHistogramJson(&out, histogram);
+  }
+  out += first ? "},\n" : "\n  },\n";
+
+  out += "  \"phases\": {";
+  first = true;
+  for (const auto& [source, table] : phase_io_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + JsonEscape(source) + "\": {";
+    for (size_t i = 0; i < kNumIoPhases; ++i) {
+      out += i == 0 ? "\n" : ",\n";
+      out += "      \"";
+      out += IoPhaseName(static_cast<IoPhase>(i));
+      out += "\": ";
+      AppendIoStatsJson(&out, table[i]);
+    }
+    out += "\n    }";
+  }
+  out += first ? "}\n" : "\n  }\n";
+  out += "}";
+  return out;
+}
+
+Status MetricsRegistry::WriteJsonFile(const std::string& path) const {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    return Status::IoError("cannot open metrics file '" + path + "'");
+  }
+  const std::string json = ToJson();
+  const size_t written = std::fwrite(json.data(), 1, json.size(), file);
+  const bool newline_ok = std::fputc('\n', file) != EOF;
+  if (std::fclose(file) != 0 || written != json.size() || !newline_ok) {
+    return Status::IoError("short write to metrics file '" + path + "'");
+  }
+  return Status::OK();
+}
+
+void MetricsRegistry::Clear() {
+  counters_.clear();
+  histograms_.clear();
+  phase_io_.clear();
+}
+
+MetricsRegistry& GlobalMetrics() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+}  // namespace boxes

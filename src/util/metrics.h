@@ -1,0 +1,110 @@
+#ifndef BOXES_UTIL_METRICS_H_
+#define BOXES_UTIL_METRICS_H_
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "storage/io_stats.h"
+#include "util/histogram.h"
+#include "util/status.h"
+
+namespace boxes {
+
+/// Process-wide observability registry: named monotonic counters, named
+/// value/latency Histograms, and per-source phase-attributed I/O tables
+/// (snapshots of PageCache::phase_stats()).
+///
+/// Naming convention (see DESIGN.md, "Observability"):
+///   * counters:   "<source>.<event>"            e.g. "cachelog.served_fresh"
+///   * histograms: "<source>.<op>.<unit>"        e.g. "W-BOX.insert.us",
+///                 "fig5.wbox.op_io"
+///   * phase I/O:  one table per source, keyed by the scheme/bench name.
+///
+/// Not thread-safe; benches and the workload runner are single-threaded.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Adds `delta` to the named counter, creating it at zero first.
+  void IncrementCounter(const std::string& name, uint64_t delta = 1);
+
+  /// Current value of a counter; zero if it was never incremented.
+  uint64_t CounterValue(const std::string& name) const;
+
+  /// Returns the named histogram, creating it empty on first use. The
+  /// pointer stays valid for the registry's lifetime.
+  Histogram* GetHistogram(const std::string& name);
+
+  /// Adds one sample to the named histogram (creating it on first use).
+  void RecordValue(const std::string& name, uint64_t value);
+
+  /// Accumulates a per-phase I/O snapshot under `source`. Repeated calls
+  /// for the same source add up, so callers may merge deltas or totals of
+  /// several runs.
+  void MergePhaseIo(const std::string& source, const PhaseIoTable& table);
+
+  /// The accumulated phase table for `source` (all zeros if absent).
+  PhaseIoTable PhaseIoFor(const std::string& source) const;
+
+  /// Serializes every counter, histogram summary, and phase table as one
+  /// JSON object: {"counters": {...}, "histograms": {...}, "phases":
+  /// {"<source>": {"search": {"reads": N, "writes": M}, ...}}}. Every
+  /// phase key is present in every table, including zero-valued ones, so
+  /// consumers can rely on the schema.
+  std::string ToJson() const;
+
+  /// Writes ToJson() to `path` (overwriting), with a trailing newline.
+  Status WriteJsonFile(const std::string& path) const;
+
+  void Clear();
+
+ private:
+  std::map<std::string, uint64_t> counters_;
+  std::map<std::string, Histogram> histograms_;
+  std::map<std::string, PhaseIoTable> phase_io_;
+};
+
+/// The process-wide registry used by benches and examples. Library code
+/// never touches it implicitly; schemes only record into a registry
+/// explicitly attached via LabelingScheme::SetMetrics.
+MetricsRegistry& GlobalMetrics();
+
+/// RAII wall-clock timer: on destruction adds the elapsed microseconds to
+/// `registry->GetHistogram(name)`. A null registry makes it a no-op, so
+/// instrumented code needs no branches at call sites.
+class ScopedTimer {
+ public:
+  ScopedTimer(MetricsRegistry* registry, std::string name)
+      : registry_(registry), name_(std::move(name)) {
+    if (registry_ != nullptr) {
+      start_ = std::chrono::steady_clock::now();
+    }
+  }
+
+  ~ScopedTimer() {
+    if (registry_ != nullptr) {
+      const auto elapsed = std::chrono::steady_clock::now() - start_;
+      registry_->RecordValue(
+          name_, static_cast<uint64_t>(
+                     std::chrono::duration_cast<std::chrono::microseconds>(
+                         elapsed)
+                         .count()));
+    }
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  MetricsRegistry* registry_;
+  std::string name_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace boxes
+
+#endif  // BOXES_UTIL_METRICS_H_

@@ -1,19 +1,46 @@
 #include "workload/runner.h"
 
+#include <chrono>
+
 namespace boxes::workload {
 
 Status MeasureOp(PageCache* cache, const std::function<Status()>& op,
                  RunStats* stats) {
   const IoStats before = cache->stats();
+  const PhaseIoTable phase_before = cache->phase_stats();
+  const auto start = std::chrono::steady_clock::now();
   cache->BeginOp();
   const Status status = op();
   BOXES_RETURN_IF_ERROR(cache->EndOp());
   BOXES_RETURN_IF_ERROR(status);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  stats->per_op_latency_us.Add(static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(elapsed)
+          .count()));
   const IoStats delta = cache->stats().Delta(before);
   stats->per_op_cost.Add(delta.total());
   stats->totals.reads += delta.reads;
   stats->totals.writes += delta.writes;
+  const PhaseIoTable& phase_after = cache->phase_stats();
+  for (size_t i = 0; i < kNumIoPhases; ++i) {
+    stats->phase_totals[i].reads +=
+        phase_after[i].reads - phase_before[i].reads;
+    stats->phase_totals[i].writes +=
+        phase_after[i].writes - phase_before[i].writes;
+  }
   return Status::OK();
+}
+
+void ExportRunStats(const std::string& source, const RunStats& stats,
+                    MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    return;
+  }
+  registry->GetHistogram(source + ".op_io")->Merge(stats.per_op_cost);
+  registry->GetHistogram(source + ".op.us")->Merge(stats.per_op_latency_us);
+  registry->IncrementCounter(source + ".reads", stats.totals.reads);
+  registry->IncrementCounter(source + ".writes", stats.totals.writes);
+  registry->MergePhaseIo(source, stats.phase_totals);
 }
 
 Status UnmeasuredOp(PageCache* cache, const std::function<Status()>& op) {

@@ -2,27 +2,39 @@
 #define BOXES_WORKLOAD_RUNNER_H_
 
 #include <functional>
+#include <string>
 
 #include "storage/page_cache.h"
 #include "util/histogram.h"
+#include "util/metrics.h"
 #include "util/status.h"
 
 namespace boxes::workload {
 
 /// Collected measurements of a workload run: one histogram sample per
-/// logical operation (the paper's per-operation block I/O count).
+/// logical operation (the paper's per-operation block I/O count), one
+/// latency sample per operation, and per-phase I/O attribution.
 struct RunStats {
   Histogram per_op_cost;
+  Histogram per_op_latency_us;
   IoStats totals;
+  PhaseIoTable phase_totals{};
 
   double MeanCost() const { return per_op_cost.Mean(); }
 };
 
 /// Executes `op` bracketed as one logical operation on `cache`, recording
-/// its block I/O cost (reads at first touch + dirty writes at completion)
-/// into `stats`.
+/// its block I/O cost (reads at first touch + dirty writes at completion),
+/// wall-clock latency, and per-phase I/O deltas into `stats`.
 Status MeasureOp(PageCache* cache, const std::function<Status()>& op,
                  RunStats* stats);
+
+/// Copies a run's measurements into `registry` under `source`:
+/// histograms "<source>.op_io" and "<source>.op.us", counters
+/// "<source>.reads" / "<source>.writes", and the phase table keyed by
+/// `source`. A null registry is a no-op.
+void ExportRunStats(const std::string& source, const RunStats& stats,
+                    MetricsRegistry* registry);
 
 /// Executes `op` as one (unmeasured) logical operation, e.g. the bulk load
 /// that precedes a measured phase.

@@ -96,6 +96,58 @@ TEST(ModificationLogTest, OrdinalReplay) {
             ModificationLog::ReplayResult::kUsable);
 }
 
+TEST(ModificationLogTest, ShiftThatWouldWrapComponentIsStale) {
+  // Regression: a negative delta larger than the label's last component
+  // wrapped the unsigned component to a huge value instead of reporting
+  // the cached value as unrepairable.
+  ModificationLog log(8);
+  log.AppendShift(Label::FromScalar(0), Label::FromScalar(100), -10);
+  Label small = Label::FromScalar(5);
+  EXPECT_EQ(log.Replay(0, &small), ModificationLog::ReplayResult::kStale);
+  // A component large enough to absorb the delta still replays.
+  Label large = Label::FromScalar(50);
+  EXPECT_EQ(log.Replay(0, &large), ModificationLog::ReplayResult::kUsable);
+  EXPECT_EQ(large.scalar(), 40u);
+}
+
+TEST(ModificationLogTest, OrdinalShiftThatWouldWrapIsStale) {
+  ModificationLog log(8);
+  log.AppendOrdinalShift(0, -10);
+  uint64_t small = 5;
+  EXPECT_EQ(log.ReplayOrdinal(0, &small),
+            ModificationLog::ReplayResult::kStale);
+  uint64_t large = 50;
+  EXPECT_EQ(log.ReplayOrdinal(0, &large),
+            ModificationLog::ReplayResult::kUsable);
+  EXPECT_EQ(large, 40u);
+}
+
+TEST(ModificationLogTest, Int64MinShiftDeltaIsHandled) {
+  // INT64_MIN cannot be negated in int64_t; the checked shift must not UB.
+  ModificationLog log(8);
+  log.AppendShift(Label::FromScalar(0), Label::FromScalar(UINT64_MAX),
+                  INT64_MIN);
+  Label label = Label::FromScalar(123);
+  EXPECT_EQ(log.Replay(0, &label), ModificationLog::ReplayResult::kStale);
+}
+
+TEST(IndexedModificationLogTest, ShiftThatWouldWrapComponentIsStale) {
+  // The indexed log shares the staleness rule so that both ReplayLog
+  // implementations return identical results.
+  IndexedModificationLog log(8);
+  log.AppendShift(Label::FromScalar(0), Label::FromScalar(100), -10);
+  Label small = Label::FromScalar(5);
+  EXPECT_EQ(log.Replay(0, &small), ModificationLog::ReplayResult::kStale);
+  Label large = Label::FromScalar(50);
+  EXPECT_EQ(log.Replay(0, &large), ModificationLog::ReplayResult::kUsable);
+  EXPECT_EQ(large.scalar(), 40u);
+
+  log.AppendOrdinalShift(0, -10);
+  uint64_t small_ordinal = 5;
+  EXPECT_EQ(log.ReplayOrdinal(0, &small_ordinal),
+            ModificationLog::ReplayResult::kStale);
+}
+
 // ---------------------------------------------------------------------------
 // CachingLabelStore over real schemes
 

@@ -137,5 +137,68 @@ TEST(FaultTest, MutationErrorsPropagateAcrossSchemes) {
   }
 }
 
+TEST(FaultTest, IoScopeUnwindRecordsFlushErrorWithoutAborting) {
+  // Regression: ~IoScope ran BOXES_CHECK_OK on the implicit EndOp, so a
+  // flush failure during scope exit (e.g. while unwinding an
+  // already-failing operation) aborted the whole process.
+  FaultRig rig;
+  PageId page = kInvalidPageId;
+  {
+    uint8_t* data = nullptr;
+    ASSERT_OK_AND_ASSIGN(page, rig.cache.AllocatePage(&data));
+  }
+  ASSERT_OK(rig.cache.FlushAll());
+  EXPECT_OK(rig.cache.last_unwind_error());
+
+  {
+    IoScope scope(&rig.cache);
+    ASSERT_OK_AND_ASSIGN(uint8_t* data, rig.cache.GetPageForWrite(page));
+    data[0] = 0x5a;
+    rig.faulty.FailAfter(0);  // the implicit flush at scope exit fails
+  }
+  // Execution continues; the swallowed error is sticky and queryable.
+  EXPECT_FALSE(rig.cache.op_active());
+  EXPECT_EQ(rig.cache.last_unwind_error().code(), StatusCode::kIoError);
+
+  // A later unwind error does not overwrite the first one...
+  const Status first = rig.cache.last_unwind_error();
+  {
+    IoScope scope(&rig.cache);
+    ASSERT_OK_AND_ASSIGN(uint8_t* data, rig.cache.GetPageForWrite(page));
+    data[1] = 0x5b;
+  }
+  EXPECT_EQ(rig.cache.last_unwind_error().ToString(), first.ToString());
+
+  // ...and the cache recovers once the fault heals.
+  rig.faulty.Heal();
+  rig.cache.ClearUnwindError();
+  EXPECT_OK(rig.cache.last_unwind_error());
+  {
+    IoScope scope(&rig.cache);
+    ASSERT_OK_AND_ASSIGN(uint8_t* data, rig.cache.GetPageForWrite(page));
+    data[0] = 0x5c;
+  }
+  EXPECT_OK(rig.cache.last_unwind_error());
+}
+
+TEST(FaultTest, IoScopeEndPropagatesFlushErrors) {
+  // End() remains the error-propagating path for callers that check.
+  FaultRig rig;
+  PageId page = kInvalidPageId;
+  {
+    uint8_t* data = nullptr;
+    ASSERT_OK_AND_ASSIGN(page, rig.cache.AllocatePage(&data));
+  }
+  ASSERT_OK(rig.cache.FlushAll());
+
+  IoScope scope(&rig.cache);
+  ASSERT_OK_AND_ASSIGN(uint8_t* data, rig.cache.GetPageForWrite(page));
+  data[0] = 1;
+  rig.faulty.FailAfter(0);
+  EXPECT_EQ(scope.End().code(), StatusCode::kIoError);
+  rig.faulty.Heal();
+  // The destructor must not re-run EndOp after an explicit End().
+}
+
 }  // namespace
 }  // namespace boxes

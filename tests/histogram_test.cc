@@ -1,5 +1,7 @@
 #include "util/histogram.h"
 
+#include <cmath>
+
 #include "gtest/gtest.h"
 
 namespace boxes {
@@ -86,6 +88,42 @@ TEST(HistogramTest, ClearResets) {
   h.Clear();
   EXPECT_EQ(h.count(), 0u);
   EXPECT_EQ(h.sum(), 0u);
+}
+
+TEST(HistogramTest, CcdfWithSinglePointBudgetHasNoNan) {
+  // Regression: max_points == 1 divided by (max_points - 1) == 0, so every
+  // sampled cost was NaN-derived garbage.
+  Histogram h;
+  for (uint64_t v : {1, 3, 9, 27, 81}) {
+    h.Add(v);
+  }
+  const auto points = h.Ccdf(/*max_points=*/1);
+  ASSERT_EQ(points.size(), 1u);
+  EXPECT_EQ(points[0].cost, 81u);
+  EXPECT_FALSE(std::isnan(points[0].fraction_above));
+  EXPECT_DOUBLE_EQ(points[0].fraction_above, 0.0);
+}
+
+TEST(HistogramTest, CcdfAlwaysEndsAtTrueMax) {
+  // Regression: with more distinct costs than points, the log-spaced
+  // samples could all round below the true maximum, cutting off the
+  // plotted tail above zero.
+  Histogram h;
+  for (uint64_t v = 1; v <= 1000; ++v) {
+    h.Add(v);
+  }
+  h.Add(999983);  // outlier maximum a coarse log grid will miss
+  for (size_t max_points : {2u, 3u, 8u, 64u}) {
+    const auto points = h.Ccdf(max_points);
+    ASSERT_FALSE(points.empty()) << "max_points=" << max_points;
+    EXPECT_EQ(points.back().cost, 999983u) << "max_points=" << max_points;
+    EXPECT_DOUBLE_EQ(points.back().fraction_above, 0.0)
+        << "max_points=" << max_points;
+    EXPECT_LE(points.size(), max_points + 1) << "max_points=" << max_points;
+    for (size_t i = 1; i < points.size(); ++i) {
+      EXPECT_LT(points[i - 1].cost, points[i].cost);  // strictly increasing
+    }
+  }
 }
 
 TEST(HistogramTest, ToStringMentionsCount) {

@@ -1,0 +1,180 @@
+#include "util/metrics.h"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/wbox/wbox.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+#include "xml/generators.h"
+
+namespace boxes {
+namespace {
+
+using testing::TestDb;
+
+TEST(MetricsRegistryTest, CountersStartAtZeroAndAccumulate) {
+  MetricsRegistry registry;
+  EXPECT_EQ(registry.CounterValue("never.touched"), 0u);
+  registry.IncrementCounter("ops");
+  registry.IncrementCounter("ops", 41);
+  EXPECT_EQ(registry.CounterValue("ops"), 42u);
+}
+
+TEST(MetricsRegistryTest, HistogramsRecordAndPersist) {
+  MetricsRegistry registry;
+  registry.RecordValue("lat.us", 10);
+  registry.RecordValue("lat.us", 30);
+  Histogram* histogram = registry.GetHistogram("lat.us");
+  EXPECT_EQ(histogram->count(), 2u);
+  EXPECT_EQ(histogram->sum(), 40u);
+  // GetHistogram returns the same object every time.
+  EXPECT_EQ(registry.GetHistogram("lat.us"), histogram);
+}
+
+TEST(MetricsRegistryTest, ScopedTimerRecordsOneSample) {
+  MetricsRegistry registry;
+  { ScopedTimer timer(&registry, "timed.us"); }
+  EXPECT_EQ(registry.GetHistogram("timed.us")->count(), 1u);
+  // A null registry is a no-op (must not crash).
+  { ScopedTimer timer(nullptr, "ignored.us"); }
+}
+
+TEST(MetricsRegistryTest, PhaseIoTablesAccumulate) {
+  MetricsRegistry registry;
+  PhaseIoTable table{};
+  table[static_cast<size_t>(IoPhase::kSearch)] = IoStats{3, 1};
+  registry.MergePhaseIo("wbox", table);
+  registry.MergePhaseIo("wbox", table);
+  const PhaseIoTable merged = registry.PhaseIoFor("wbox");
+  EXPECT_EQ(merged[static_cast<size_t>(IoPhase::kSearch)].reads, 6u);
+  EXPECT_EQ(merged[static_cast<size_t>(IoPhase::kSearch)].writes, 2u);
+  EXPECT_EQ(merged[static_cast<size_t>(IoPhase::kRelabel)].reads, 0u);
+}
+
+TEST(MetricsRegistryTest, ToJsonEmitsAllSectionsAndEveryPhaseKey) {
+  MetricsRegistry registry;
+  registry.IncrementCounter("n\"quoted\"", 7);
+  registry.RecordValue("h.us", 5);
+  PhaseIoTable table{};
+  table[static_cast<size_t>(IoPhase::kLidfDeref)] = IoStats{9, 2};
+  registry.MergePhaseIo("scheme", table);
+
+  const std::string json = registry.ToJson();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"phases\""), std::string::npos);
+  EXPECT_NE(json.find("\"n\\\"quoted\\\"\": 7"), std::string::npos);
+  // Every phase key appears even when zero, so consumers can rely on the
+  // schema.
+  for (const char* phase :
+       {"other", "search", "relabel", "rebalance", "lidf_deref",
+        "log_replay", "bulk_load"}) {
+    EXPECT_NE(json.find(std::string("\"") + phase + "\""),
+              std::string::npos)
+        << phase;
+  }
+  EXPECT_NE(json.find("\"reads\": 9"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, WriteJsonFileRoundTrips) {
+  MetricsRegistry registry;
+  registry.IncrementCounter("x", 1);
+  const std::string path = ::testing::TempDir() + "/boxes_metrics_test.json";
+  ASSERT_OK(registry.WriteJsonFile(path));
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(file, nullptr);
+  std::string contents;
+  char buffer[4096];
+  size_t n;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), file)) > 0) {
+    contents.append(buffer, n);
+  }
+  std::fclose(file);
+  std::remove(path.c_str());
+  EXPECT_EQ(contents, registry.ToJson() + "\n");
+}
+
+TEST(MetricsRegistryTest, ClearResetsEverything) {
+  MetricsRegistry registry;
+  registry.IncrementCounter("c");
+  registry.RecordValue("h", 1);
+  PhaseIoTable table{};
+  table[0] = IoStats{1, 1};
+  registry.MergePhaseIo("s", table);
+  registry.Clear();
+  EXPECT_EQ(registry.CounterValue("c"), 0u);
+  EXPECT_EQ(registry.GetHistogram("h")->count(), 0u);
+  EXPECT_EQ(registry.PhaseIoFor("s")[0].reads, 0u);
+}
+
+TEST(IoPhaseTest, NamesAreStable) {
+  EXPECT_STREQ(IoPhaseName(IoPhase::kOther), "other");
+  EXPECT_STREQ(IoPhaseName(IoPhase::kSearch), "search");
+  EXPECT_STREQ(IoPhaseName(IoPhase::kRelabel), "relabel");
+  EXPECT_STREQ(IoPhaseName(IoPhase::kRebalance), "rebalance");
+  EXPECT_STREQ(IoPhaseName(IoPhase::kLidfDeref), "lidf_deref");
+  EXPECT_STREQ(IoPhaseName(IoPhase::kLogReplay), "log_replay");
+  EXPECT_STREQ(IoPhaseName(IoPhase::kBulkLoad), "bulk_load");
+}
+
+// The tentpole acceptance test: one W-BOX insert's I/O is attributed to
+// more than one phase (search traffic to find the spot, LIDF dereferences,
+// and relabel/rebalance writes), and the per-phase counters partition the
+// cache's totals exactly.
+TEST(PhaseAttributionTest, WBoxInsertSpansMultiplePhases) {
+  TestDb db;
+  WBox wbox(&db.cache);
+  const xml::Document doc = xml::MakeTwoLevelDocument(5000);
+  std::vector<NewElement> lids;
+  ASSERT_OK(wbox.BulkLoad(doc, &lids));
+  ASSERT_OK(db.cache.FlushAll());
+  db.cache.ResetStats();
+
+  // Bracketed ops force real page traffic (the working set drops between
+  // operations).
+  for (int i = 0; i < 64; ++i) {
+    db.cache.BeginOp();
+    ASSERT_OK(wbox.InsertElementBefore(lids[2500].start).status());
+    ASSERT_OK(db.cache.EndOp());
+  }
+
+  const PhaseIoTable& phases = db.cache.phase_stats();
+  int phases_with_io = 0;
+  uint64_t reads = 0;
+  uint64_t writes = 0;
+  for (size_t i = 0; i < kNumIoPhases; ++i) {
+    if (phases[i].total() > 0) {
+      ++phases_with_io;
+    }
+    reads += phases[i].reads;
+    writes += phases[i].writes;
+  }
+  EXPECT_GT(phases_with_io, 1);
+  EXPECT_GT(db.cache.stats().reads, 0u);
+  EXPECT_GT(db.cache.stats().writes, 0u);
+  // Attribution is complete: no I/O escapes the phase tables.
+  EXPECT_EQ(reads, db.cache.stats().reads);
+  EXPECT_EQ(writes, db.cache.stats().writes);
+  // The insert path must at least search and dereference the LIDF.
+  EXPECT_GT(db.cache.phase_stats(IoPhase::kSearch).reads, 0u);
+  EXPECT_GT(db.cache.phase_stats(IoPhase::kLidfDeref).total(), 0u);
+}
+
+TEST(PhaseAttributionTest, SchemeLatencyHistogramsRecordWhenAttached) {
+  TestDb db;
+  WBox wbox(&db.cache);
+  MetricsRegistry registry;
+  wbox.SetMetrics(&registry);
+  const xml::Document doc = xml::MakeTwoLevelDocument(500);
+  std::vector<NewElement> lids;
+  ASSERT_OK(wbox.BulkLoad(doc, &lids));
+  ASSERT_OK(wbox.InsertElementBefore(lids[250].start).status());
+  ASSERT_OK(wbox.Lookup(lids[100].start).status());
+  EXPECT_EQ(registry.GetHistogram(wbox.name() + ".insert.us")->count(), 1u);
+  EXPECT_GE(registry.GetHistogram(wbox.name() + ".lookup.us")->count(), 1u);
+}
+
+}  // namespace
+}  // namespace boxes

@@ -162,6 +162,76 @@ TEST(PageCacheTest, IoScopeBracketsAnOperation) {
   EXPECT_EQ(cache.stats().reads, 1u);
 }
 
+TEST(PageCacheTest, RetainedModeKeepsFullCapacityAcrossOps) {
+  // Regression: eviction used `>= capacity_pages`, so every BeginOp
+  // trimmed the retained set to capacity - 1, silently shrinking the
+  // effective cache by one page forever.
+  MemoryPageStore store(512);
+  PageCacheOptions options;
+  options.retain_across_ops = true;
+  options.capacity_pages = 4;
+  PageCache cache(&store, options);
+  std::vector<PageId> pages;
+  for (int i = 0; i < 8; ++i) {
+    uint8_t* data = nullptr;
+    ASSERT_OK_AND_ASSIGN(const PageId page, cache.AllocatePage(&data));
+    pages.push_back(page);
+  }
+  ASSERT_OK(cache.FlushAll());
+
+  for (int round = 0; round < 3; ++round) {
+    cache.BeginOp();
+    // Touch the most recently used page: a hit in both the buggy and the
+    // fixed cache, so resident_pages() isolates the trim behaviour.
+    ASSERT_OK(cache.GetPage(pages.back()).status());
+    ASSERT_OK(cache.EndOp());
+    EXPECT_EQ(cache.resident_pages(), options.capacity_pages)
+        << "round " << round;
+  }
+}
+
+TEST(PageCacheTest, ScopedPhaseAttributesReadsAndWrites) {
+  MemoryPageStore store(512);
+  PageCache cache(&store);
+  PageId page = kInvalidPageId;
+  {
+    uint8_t* data = nullptr;
+    ScopedPhase phase(&cache, IoPhase::kBulkLoad);
+    ASSERT_OK_AND_ASSIGN(page, cache.AllocatePage(&data));
+  }
+  // The allocation was dirtied under kBulkLoad; the flush happens later
+  // (no phase active) but is still charged to the dirtying phase.
+  ASSERT_OK(cache.FlushAll());
+  EXPECT_EQ(cache.phase_stats(IoPhase::kBulkLoad).writes, 1u);
+  cache.ResetStats();
+
+  cache.BeginOp();
+  {
+    ScopedPhase phase(&cache, IoPhase::kSearch);
+    ASSERT_OK(cache.GetPage(page).status());
+  }
+  {
+    ScopedPhase outer(&cache, IoPhase::kSearch);
+    ScopedPhase inner(&cache, IoPhase::kRebalance);  // innermost wins
+    ASSERT_OK(cache.GetPageForWrite(page).status());
+  }
+  EXPECT_EQ(cache.current_phase(), IoPhase::kOther);  // guards restored
+  ASSERT_OK(cache.EndOp());
+
+  EXPECT_EQ(cache.phase_stats(IoPhase::kSearch).reads, 1u);
+  EXPECT_EQ(cache.phase_stats(IoPhase::kRebalance).writes, 1u);
+  EXPECT_EQ(cache.phase_stats(IoPhase::kOther).reads, 0u);
+  // Per-phase counters partition the totals.
+  uint64_t reads = 0;
+  uint64_t writes = 0;
+  for (const IoStats& phase : cache.phase_stats()) {
+    reads += phase.reads;
+    writes += phase.writes;
+  }
+  EXPECT_EQ(reads, cache.stats().reads);
+  EXPECT_EQ(writes, cache.stats().writes);
+}
+
 TEST(IoStatsTest, DeltaSubtracts) {
   IoStats a{10, 4};
   IoStats b{7, 1};

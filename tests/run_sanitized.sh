@@ -1,0 +1,11 @@
+#!/bin/sh
+# Builds the sanitize preset (ASan + UBSan, abort on first report) and runs
+# the full test suite under it. Usage: tests/run_sanitized.sh [ctest args].
+set -eu
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$repo"
+
+cmake --preset sanitize
+cmake --build --preset sanitize -j "$(nproc)"
+ctest --preset sanitize -j "$(nproc)" "$@"
