@@ -1,0 +1,332 @@
+// Crash-recovery benchmark: quantifies what the crash-safety layer costs
+// and what it buys.
+//
+// For each scheme, runs an insert/delete workload with periodic
+// checkpoints against a checksummed file-backed store, then sweeps crash
+// points (freezing the image after the N-th page write, tearing the write
+// in flight) and reopens the database at each point. Reported per scheme:
+// commit cost (page writes + fdatasyncs per checkpoint), recovery outcome
+// distribution (recovered / clean error), checkpoint staleness at
+// recovery, and mean reopen latency — which includes journal replay and
+// checksum verification.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_common.h"
+#include "storage/metadata_io.h"
+#include "util/flags.h"
+#include "util/random.h"
+
+namespace boxes::bench {
+namespace {
+
+struct WorkloadState {
+  std::vector<Lid> order;
+  std::vector<std::pair<Lid, Lid>> elements;
+};
+
+template <typename Scheme>
+Status WorkloadStep(Scheme* scheme, Random* rng, WorkloadState* state) {
+  if (state->elements.empty()) {
+    BOXES_ASSIGN_OR_RETURN(const NewElement first,
+                           scheme->InsertFirstElement());
+    state->order = {first.start, first.end};
+    state->elements = {{first.start, first.end}};
+    return Status::OK();
+  }
+  if (state->elements.size() > 4 && rng->Bernoulli(0.3)) {
+    const size_t victim = rng->Uniform(state->elements.size());
+    const auto [start, end] = state->elements[victim];
+    BOXES_RETURN_IF_ERROR(scheme->Delete(start));
+    BOXES_RETURN_IF_ERROR(scheme->Delete(end));
+    state->elements.erase(state->elements.begin() +
+                          static_cast<ptrdiff_t>(victim));
+    auto& order = state->order;
+    order.erase(std::remove_if(order.begin(), order.end(),
+                               [s = start, e = end](Lid lid) {
+                                 return lid == s || lid == e;
+                               }),
+                order.end());
+    return Status::OK();
+  }
+  const size_t pos = rng->Uniform(state->order.size());
+  BOXES_ASSIGN_OR_RETURN(const NewElement fresh,
+                         scheme->InsertElementBefore(state->order[pos]));
+  state->order.insert(state->order.begin() + static_cast<ptrdiff_t>(pos),
+                      {fresh.start, fresh.end});
+  state->elements.push_back({fresh.start, fresh.end});
+  return Status::OK();
+}
+
+// Runs the workload; if `commit_writes` is given, records the wrapper's
+// committed write count at each checkpoint commit (the commit schedule).
+template <typename Scheme>
+Status RunWorkload(PageCache* cache, Scheme* scheme,
+                   FaultInjectionPageStore* wrapper, int64_t ops,
+                   int64_t ops_per_checkpoint, uint64_t* checkpoints,
+                   std::vector<uint64_t>* commit_writes) {
+  BOXES_RETURN_IF_ERROR(InitializeSuperblock(cache));
+  Random rng(0xbe4c);
+  WorkloadState state;
+  PageId previous_chain = kInvalidPageId;
+  for (int64_t op = 1; op <= ops; ++op) {
+    cache->BeginOp();
+    const Status step = WorkloadStep(scheme, &rng, &state);
+    const Status flush = cache->EndOp();
+    BOXES_RETURN_IF_ERROR(step);
+    BOXES_RETURN_IF_ERROR(flush);
+    if (op % ops_per_checkpoint != 0) {
+      continue;
+    }
+    BOXES_ASSIGN_OR_RETURN(const PageId scheme_head, scheme->Checkpoint());
+    MetadataWriter writer;
+    writer.PutU64(*checkpoints);
+    writer.PutU64(scheme_head);
+    BOXES_ASSIGN_OR_RETURN(const PageId head, writer.Finish(cache));
+    BOXES_RETURN_IF_ERROR(CommitCheckpoint(cache, head));
+    if (commit_writes != nullptr) {
+      commit_writes->push_back(wrapper->writes_committed());
+    }
+    ++*checkpoints;
+    if (previous_chain != kInvalidPageId) {
+      BOXES_RETURN_IF_ERROR(FreeMetadataChain(cache, previous_chain));
+      BOXES_RETURN_IF_ERROR(cache->FlushAll());
+    }
+    previous_chain = head;
+  }
+  return Status::OK();
+}
+
+struct SweepResult {
+  uint64_t points = 0;
+  uint64_t recovered = 0;
+  uint64_t clean_errors = 0;
+  uint64_t silent_corruptions = 0;  // must stay 0
+  uint64_t staleness_sum = 0;       // checkpoints lost vs. newest committed
+  double reopen_us_sum = 0;
+  uint64_t journal_rollbacks = 0;
+  uint64_t checksums_verified = 0;
+};
+
+bool IsCleanErrorCode(StatusCode code) {
+  return code == StatusCode::kCorruption || code == StatusCode::kIoError ||
+         code == StatusCode::kNotFound ||
+         code == StatusCode::kInvalidArgument;
+}
+
+template <typename Scheme, typename Options>
+void SweepScheme(const std::string& name, const Options& options,
+                 size_t page_size, int64_t ops, int64_t ops_per_checkpoint,
+                 int64_t crash_points, const std::string& db_dir) {
+  const std::string ref_path = db_dir + "/crash_bench_" + name + "_ref.db";
+  const std::string path = db_dir + "/crash_bench_" + name + ".db";
+  std::remove(ref_path.c_str());
+  std::remove((ref_path + ".journal").c_str());
+
+  // Reference run: learns the total write count and the commit schedule.
+  uint64_t total_writes = 0;
+  uint64_t checkpoints = 0;
+  uint64_t sync_calls = 0;
+  std::vector<uint64_t> commit_writes;
+  {
+    FilePageStore base(ref_path, page_size);
+    CheckOkOrDie(base.status(), "opening reference store");
+    base.SetMetrics(&GlobalMetrics());
+    FaultInjectionPageStore wrapper(&base);
+    PageCache cache(&wrapper);
+    Scheme scheme(&cache, options);
+    CheckOkOrDie(RunWorkload(&cache, &scheme, &wrapper, ops,
+                             ops_per_checkpoint, &checkpoints,
+                             &commit_writes),
+                 "reference workload");
+    total_writes = wrapper.writes_committed();
+    sync_calls = base.counters().sync_calls;
+  }
+  std::printf("%-10s workload: %lld ops, %llu checkpoints, %llu page "
+              "writes, %llu fdatasyncs (%.1f per commit)\n",
+              name.c_str(), static_cast<long long>(ops),
+              static_cast<unsigned long long>(checkpoints),
+              static_cast<unsigned long long>(total_writes),
+              static_cast<unsigned long long>(sync_calls),
+              checkpoints == 0
+                  ? 0.0
+                  : static_cast<double>(sync_calls) /
+                        static_cast<double>(checkpoints));
+
+  const uint64_t stride =
+      std::max<uint64_t>(1, total_writes / static_cast<uint64_t>(
+                                               std::max<int64_t>(
+                                                   1, crash_points)));
+  SweepResult result;
+  for (uint64_t crash = 0; crash < total_writes; crash += stride) {
+    ++result.points;
+    {
+      std::remove(path.c_str());
+      std::remove((path + ".journal").c_str());
+      FilePageStore base(path, page_size);
+      CheckOkOrDie(base.status(), "opening crash store");
+      FaultInjectionPageStore wrapper(&base);
+      wrapper.SetSeed(crash);
+      wrapper.SetTornWrites(true);
+      wrapper.CrashAfterWrites(crash);
+      PageCache cache(&wrapper);
+      Scheme scheme(&cache, options);
+      uint64_t unused = 0;
+      const Status run = RunWorkload(&cache, &scheme, &wrapper, ops,
+                                     ops_per_checkpoint, &unused, nullptr);
+      if (run.ok() || !wrapper.crashed()) {
+        std::fprintf(stderr, "crash point %llu never fired\n",
+                     static_cast<unsigned long long>(crash));
+        std::exit(1);
+      }
+    }
+    const auto reopen_start = std::chrono::steady_clock::now();
+    FilePageStore store(path, page_size, FilePageStore::Mode::kOpen);
+    if (!store.status().ok()) {
+      if (!IsCleanErrorCode(store.status().code())) {
+        ++result.silent_corruptions;
+      }
+      ++result.clean_errors;
+      continue;
+    }
+    PageCache cache(&store);
+    Status outcome = Status::OK();
+    uint64_t recovered_index = 0;
+    do {
+      StatusOr<PageId> head = LoadCheckpointHead(&cache);
+      if (!head.ok()) {
+        outcome = head.status();
+        break;
+      }
+      StatusOr<MetadataReader> reader = MetadataReader::Load(&cache, *head);
+      if (!reader.ok()) {
+        outcome = reader.status();
+        break;
+      }
+      StatusOr<uint64_t> index = reader->GetU64();
+      if (!index.ok()) {
+        outcome = index.status();
+        break;
+      }
+      recovered_index = *index;
+      StatusOr<uint64_t> scheme_head = reader->GetU64();
+      if (!scheme_head.ok()) {
+        outcome = scheme_head.status();
+        break;
+      }
+      Scheme scheme(&cache, options);
+      outcome = scheme.Restore(*scheme_head);
+      if (outcome.ok()) {
+        outcome = scheme.CheckInvariants();
+      }
+    } while (false);
+    const auto reopen_end = std::chrono::steady_clock::now();
+    result.reopen_us_sum +=
+        std::chrono::duration<double, std::micro>(reopen_end - reopen_start)
+            .count();
+    result.journal_rollbacks += store.counters().journal_rollbacks;
+    result.checksums_verified += store.counters().checksums_verified;
+    if (outcome.ok()) {
+      ++result.recovered;
+      // Staleness = checkpoints that were durably committed before the
+      // crash but not recovered (expected 0: recovery must surface the
+      // newest committed checkpoint).
+      uint64_t committed = 0;
+      for (const uint64_t w : commit_writes) {
+        if (w <= crash) {
+          ++committed;
+        }
+      }
+      if (committed > recovered_index + 1) {
+        result.staleness_sum += committed - 1 - recovered_index;
+      }
+    } else if (IsCleanErrorCode(outcome.code())) {
+      ++result.clean_errors;
+    } else {
+      ++result.silent_corruptions;
+    }
+  }
+
+  std::printf(
+      "%-10s sweep: %llu crash points | recovered %llu (%.1f%%), clean "
+      "errors %llu, unclean %llu | mean staleness %.2f checkpoints | mean "
+      "reopen %.0f us | journal rollbacks %llu | pages CRC-verified %llu\n",
+      name.c_str(), static_cast<unsigned long long>(result.points),
+      static_cast<unsigned long long>(result.recovered),
+      result.points == 0 ? 0.0
+                         : 100.0 * static_cast<double>(result.recovered) /
+                               static_cast<double>(result.points),
+      static_cast<unsigned long long>(result.clean_errors),
+      static_cast<unsigned long long>(result.silent_corruptions),
+      result.recovered == 0
+          ? 0.0
+          : static_cast<double>(result.staleness_sum) /
+                static_cast<double>(result.recovered),
+      result.points == 0
+          ? 0.0
+          : result.reopen_us_sum / static_cast<double>(result.points),
+      static_cast<unsigned long long>(result.journal_rollbacks),
+      static_cast<unsigned long long>(result.checksums_verified));
+  GlobalMetrics().IncrementCounter("crash_recovery." + name + ".points",
+                                   result.points);
+  GlobalMetrics().IncrementCounter("crash_recovery." + name + ".recovered",
+                                   result.recovered);
+  GlobalMetrics().IncrementCounter(
+      "crash_recovery." + name + ".silent_corruptions",
+      result.silent_corruptions);
+}
+
+int Run(int argc, char** argv) {
+  FlagParser flags;
+  int64_t* ops = flags.AddInt64("ops", 300, "workload operations");
+  int64_t* ops_per_checkpoint =
+      flags.AddInt64("ops_per_checkpoint", 20, "ops between checkpoints");
+  int64_t* crash_points =
+      flags.AddInt64("crash_points", 120, "crash points to sweep");
+  int64_t* page_size = flags.AddInt64("page_size", 1024, "block size");
+  std::string* schemes = flags.AddString("schemes", "wbox,bbox,naive-8",
+                                         "comma-separated schemes");
+  std::string* db_dir =
+      flags.AddString("db_dir", "/tmp", "directory for database files");
+  std::string* metrics_json =
+      flags.AddString("metrics_json", "", "write metrics JSON here");
+  if (!flags.Parse(argc, argv)) {
+    return 1;
+  }
+
+  std::printf("CRASH RECOVERY: torn-write sweep over checkpointed "
+              "file-backed stores\n\n");
+  for (const std::string& name : SplitSchemes(*schemes)) {
+    const size_t page = static_cast<size_t>(*page_size);
+    if (name == "wbox") {
+      SweepScheme<WBox>(name, WBoxOptions{}, page, *ops,
+                        *ops_per_checkpoint, *crash_points, *db_dir);
+    } else if (name == "bbox") {
+      SweepScheme<BBox>(name, BBoxOptions{}, page, *ops,
+                        *ops_per_checkpoint, *crash_points, *db_dir);
+    } else if (name.rfind("naive-", 0) == 0) {
+      NaiveOptions options;
+      options.gap_bits =
+          static_cast<uint32_t>(std::stoul(name.substr(6)));
+      options.count_bits = 30;
+      SweepScheme<NaiveScheme>(name, options, page, *ops,
+                               *ops_per_checkpoint, *crash_points, *db_dir);
+    } else {
+      std::fprintf(stderr, "unknown scheme '%s' (crash sweep needs "
+                   "checkpoint support)\n", name.c_str());
+      return 1;
+    }
+  }
+  MaybeWriteMetricsJson(*metrics_json);
+  return 0;
+}
+
+}  // namespace
+}  // namespace boxes::bench
+
+int main(int argc, char** argv) { return boxes::bench::Run(argc, argv); }

@@ -49,17 +49,19 @@ struct Db {
 };
 
 Status SaveDb(Db* db) {
-  // Replace any previous checkpoint, then persist scheme + registry.
+  // Persist scheme + registry, durably commit the new checkpoint, and only
+  // then reclaim the superseded chain — a crash mid-save keeps the old
+  // checkpoint loadable.
   StatusOr<PageId> old_head = LoadCheckpointHead(db->cache.get());
-  if (old_head.ok()) {
-    BOXES_RETURN_IF_ERROR(FreeMetadataChain(db->cache.get(), *old_head));
-  }
   BOXES_ASSIGN_OR_RETURN(const PageId scheme_head, db->wbox->Checkpoint());
   MetadataWriter writer;
   writer.PutU64(scheme_head);
   db->doc->SaveState(&writer);
   BOXES_ASSIGN_OR_RETURN(const PageId head, writer.Finish(db->cache.get()));
-  BOXES_RETURN_IF_ERROR(StoreCheckpointHead(db->cache.get(), head));
+  BOXES_RETURN_IF_ERROR(CommitCheckpoint(db->cache.get(), head));
+  if (old_head.ok()) {
+    BOXES_RETURN_IF_ERROR(FreeMetadataChain(db->cache.get(), *old_head));
+  }
   return db->cache->FlushAll();
 }
 

@@ -22,7 +22,12 @@ StatusOr<PageId> BBox::Checkpoint() {
   writer.PutU64(split_count_);
   writer.PutU64(merge_count_);
   lidf_.SaveState(&writer);
-  return writer.Finish(cache_);
+  BOXES_ASSIGN_OR_RETURN(const PageId head, writer.Finish(cache_));
+  // Make the chain (and any dirty tree pages) durable before handing the
+  // head to the commit record.
+  BOXES_RETURN_IF_ERROR(cache_->FlushAll());
+  BOXES_RETURN_IF_ERROR(cache_->store()->Sync());
+  return head;
 }
 
 Status BBox::Restore(PageId checkpoint_head) {
@@ -46,6 +51,12 @@ Status BBox::Restore(PageId checkpoint_head) {
   }
   BOXES_ASSIGN_OR_RETURN(root_, reader.GetU64());
   BOXES_ASSIGN_OR_RETURN(const uint64_t height, reader.GetU64());
+  if (root_ != kInvalidPageId && root_ >= cache_->store()->total_pages()) {
+    return Status::Corruption("checkpoint root page beyond the device");
+  }
+  if (height > 64 || (height == 0) != (root_ == kInvalidPageId)) {
+    return Status::Corruption("checkpoint height is implausible");
+  }
   height_ = static_cast<uint32_t>(height);
   BOXES_ASSIGN_OR_RETURN(live_labels_, reader.GetU64());
   BOXES_ASSIGN_OR_RETURN(split_count_, reader.GetU64());

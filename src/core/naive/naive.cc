@@ -259,7 +259,12 @@ StatusOr<PageId> NaiveScheme::Checkpoint() {
   max_value_.Serialize(max_value.data(), value_limbs_);
   writer.PutBytes(max_value.data(), max_value.size());
   lidf_.SaveState(&writer);
-  return writer.Finish(cache_);
+  BOXES_ASSIGN_OR_RETURN(const PageId head, writer.Finish(cache_));
+  // Make the chain (and any dirty data pages) durable before handing the
+  // head to the commit record.
+  BOXES_RETURN_IF_ERROR(cache_->FlushAll());
+  BOXES_RETURN_IF_ERROR(cache_->store()->Sync());
+  return head;
 }
 
 Status NaiveScheme::Restore(PageId checkpoint_head) {

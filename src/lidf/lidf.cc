@@ -227,9 +227,25 @@ Status Lidf::LoadState(MetadataReader* reader) {
   }
   BOXES_ASSIGN_OR_RETURN(next_unused_, reader->GetU64());
   BOXES_ASSIGN_OR_RETURN(const uint64_t page_count, reader->GetU64());
+  // Validate before sizing any allocation from these fields: a corrupt
+  // cursor or page count must fail cleanly, not request terabytes.
+  const uint64_t device_pages = cache_->store()->total_pages();
+  if (page_count > device_pages) {
+    next_unused_ = 0;
+    return Status::Corruption("LIDF directory larger than the device");
+  }
+  if (next_unused_ > page_count * records_per_page_) {
+    next_unused_ = 0;
+    return Status::Corruption("LIDF directory smaller than its cursor");
+  }
   pages_.assign(page_count, kInvalidPageId);
   for (uint64_t i = 0; i < page_count; ++i) {
     BOXES_ASSIGN_OR_RETURN(pages_[i], reader->GetU64());
+    if (pages_[i] >= device_pages) {
+      return Status::Corruption("LIDF directory links page " +
+                                std::to_string(pages_[i]) +
+                                " beyond the device");
+    }
   }
   std::vector<uint8_t> bitmap((next_unused_ + 7) / 8, 0);
   BOXES_RETURN_IF_ERROR(reader->GetBytes(bitmap.data(), bitmap.size()));
@@ -243,9 +259,6 @@ Status Lidf::LoadState(MetadataReader* reader) {
     } else {
       free_list_.push_back(lid);
     }
-  }
-  if (next_unused_ > page_count * records_per_page_) {
-    return Status::Corruption("LIDF directory smaller than its cursor");
   }
   return Status::OK();
 }

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cstring>
 
+#include <unordered_set>
+
+#include "storage/superblock_format.h"
 #include "util/coding.h"
 
 namespace boxes {
@@ -10,7 +13,6 @@ namespace boxes {
 namespace {
 
 constexpr size_t kPageHeaderSize = 16;
-constexpr uint64_t kSuperblockMagic = 0x31424453'45584f42ULL;  // "BOXESDB1"
 
 }  // namespace
 
@@ -62,12 +64,28 @@ StatusOr<PageId> MetadataWriter::Finish(PageCache* cache) const {
 StatusOr<MetadataReader> MetadataReader::Load(PageCache* cache, PageId head) {
   MetadataReader reader;
   PageId page = head;
-  uint64_t guard = 0;
+  std::unordered_set<PageId> visited;
   while (page != kInvalidPageId) {
-    if (++guard > (1u << 24)) {
-      return Status::Corruption("metadata chain does not terminate");
+    if (page >= cache->store()->total_pages()) {
+      return Status::Corruption("metadata chain links page " +
+                                std::to_string(page) + " beyond the device");
     }
-    BOXES_ASSIGN_OR_RETURN(uint8_t* data, cache->GetPage(page));
+    if (!visited.insert(page).second) {
+      return Status::Corruption("metadata chain cycles through page " +
+                                std::to_string(page));
+    }
+    StatusOr<uint8_t*> data_or = cache->GetPage(page);
+    if (!data_or.ok()) {
+      // A chain linking a freed/unallocated page is corrupt metadata, not a
+      // caller error; I/O and checksum failures pass through unchanged.
+      if (data_or.status().code() == StatusCode::kInvalidArgument) {
+        return Status::Corruption("metadata chain links unallocated page " +
+                                  std::to_string(page) + ": " +
+                                  data_or.status().message());
+      }
+      return data_or.status();
+    }
+    uint8_t* data = *data_or;
     const PageId next = DecodeFixed64(data);
     const uint32_t used = DecodeFixed32(data + 8);
     if (used > cache->page_size() - kPageHeaderSize) {
@@ -140,30 +158,45 @@ Status InitializeSuperblock(PageCache* cache) {
     return Status::FailedPrecondition(
         "the superblock must be the first allocated page");
   }
-  EncodeFixed64(data, kSuperblockMagic);
-  EncodeFixed64(data + 8, kInvalidPageId);
+  superblock::EncodeSlot(data, /*sequence=*/1, kInvalidPageId);
+  std::memset(data + superblock::kSlotSize, 0, superblock::kSlotSize);
   return Status::OK();
 }
 
-Status StoreCheckpointHead(PageCache* cache, PageId head) {
+Status CommitCheckpoint(PageCache* cache, PageId head) {
+  // 1. The chain (and every dirty data page) must be durable before the
+  // commit record can point at it.
+  BOXES_RETURN_IF_ERROR(cache->FlushAll());
+  BOXES_RETURN_IF_ERROR(cache->store()->Sync());
+  // 2. Encode the *inactive* slot; the active slot's bytes stay identical,
+  // so even a torn write of page 0 preserves a loadable record.
   BOXES_ASSIGN_OR_RETURN(uint8_t* data, cache->GetPageForWrite(0));
-  if (DecodeFixed64(data) != kSuperblockMagic) {
-    return Status::Corruption("superblock magic mismatch");
+  superblock::Slot active;
+  const int active_index = superblock::PickActiveSlot(data, &active);
+  if (active_index < 0) {
+    return Status::Corruption("superblock holds no valid commit record");
   }
-  EncodeFixed64(data + 8, head);
-  return Status::OK();
+  const uint64_t sequence = active.sequence + 1;
+  superblock::EncodeSlot(
+      data + (1 - active_index) * superblock::kSlotSize, sequence, head);
+  // 3. Persist the flip; only page 0 is dirty at this point.
+  BOXES_RETURN_IF_ERROR(cache->FlushAll());
+  BOXES_RETURN_IF_ERROR(cache->store()->Sync());
+  // 4. The new checkpoint is durable; the previous epoch's pre-images can
+  // be discarded.
+  return cache->store()->CommitEpoch(sequence);
 }
 
 StatusOr<PageId> LoadCheckpointHead(PageCache* cache) {
   BOXES_ASSIGN_OR_RETURN(uint8_t* data, cache->GetPage(0));
-  if (DecodeFixed64(data) != kSuperblockMagic) {
-    return Status::Corruption("superblock magic mismatch");
+  superblock::Slot active;
+  if (superblock::PickActiveSlot(data, &active) < 0) {
+    return Status::Corruption("superblock holds no valid commit record");
   }
-  const PageId head = DecodeFixed64(data + 8);
-  if (head == kInvalidPageId) {
+  if (active.head == kInvalidPageId) {
     return Status::NotFound("no checkpoint recorded");
   }
-  return head;
+  return active.head;
 }
 
 }  // namespace boxes

@@ -59,18 +59,28 @@ class MetadataReader {
 Status FreeMetadataChain(PageCache* cache, PageId head);
 
 /// Superblock conventions: checkpoint-enabled databases reserve page 0
-/// before any structure allocates pages. The superblock stores a magic and
-/// the current checkpoint's metadata-chain head.
+/// before any structure allocates pages. Page 0 is a dual-slot commit
+/// record (see storage/superblock_format.h): each slot independently
+/// carries a sequence number, the checkpoint chain head, and a CRC32C, and
+/// a commit only ever writes the inactive slot — so a crash at any write
+/// boundary leaves the previous checkpoint loadable.
 
-/// Allocates and formats page 0; must be the very first allocation on a
-/// fresh store.
+/// Allocates and formats page 0 (slot A, sequence 1, no checkpoint); must
+/// be the very first allocation on a fresh store.
 Status InitializeSuperblock(PageCache* cache);
 
-/// Points the superblock at a new checkpoint chain head.
-Status StoreCheckpointHead(PageCache* cache, PageId head);
+/// Atomically publishes `head` as the current checkpoint:
+///   1. flush + Sync — the chain (and all data pages) become durable;
+///   2. encode the inactive superblock slot with the next sequence number;
+///   3. flush + Sync — the flipped commit record becomes durable;
+///   4. PageStore::CommitEpoch — pre-images of the previous epoch retire.
+/// A crash before step 3 completes recovers the previous checkpoint; after,
+/// the new one. The caller frees the superseded chain *after* this returns.
+Status CommitCheckpoint(PageCache* cache, PageId head);
 
-/// Reads the checkpoint chain head from the superblock; NotFound if the
-/// database holds no checkpoint.
+/// Reads the checkpoint chain head from the active superblock slot;
+/// NotFound if the database holds no checkpoint yet, Corruption if neither
+/// slot decodes.
 StatusOr<PageId> LoadCheckpointHead(PageCache* cache);
 
 }  // namespace boxes

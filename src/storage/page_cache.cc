@@ -48,7 +48,16 @@ StatusOr<uint8_t*> PageCache::GetInternal(PageId id, bool for_write) {
     BOXES_RETURN_IF_ERROR(EvictIfNeeded(/*headroom=*/1));
     Frame frame;
     frame.data = std::make_unique<uint8_t[]>(page_size());
-    BOXES_RETURN_IF_ERROR(store_->Read(id, frame.data.get()));
+    Status read = store_->Read(id, frame.data.get());
+    if (!read.ok()) {
+      if (read.code() == StatusCode::kCorruption) {
+        // Tag the failure with which operation phase was reading; the page
+        // id is already in the store's message.
+        return Status::Corruption(read.message() + std::string(" (io phase: ") +
+                                  IoPhaseName(phase_) + ")");
+      }
+      return read;
+    }
     ++stats_.reads;
     ++phase_stats_[static_cast<size_t>(phase_)].reads;
     it = frames_.emplace(id, std::move(frame)).first;

@@ -3,10 +3,22 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 
+#include "storage/superblock_format.h"
+#include "util/coding.h"
+#include "util/crc32c.h"
+
 namespace boxes {
+
+Status PageStore::WriteTorn(PageId id, const uint8_t* buf, size_t prefix) {
+  (void)id;
+  (void)buf;
+  (void)prefix;
+  return Status::Unimplemented("store does not support torn writes");
+}
 
 MemoryPageStore::MemoryPageStore(size_t page_size) : page_size_(page_size) {
   BOXES_CHECK(page_size_ >= 64);
@@ -49,6 +61,13 @@ Status MemoryPageStore::Write(PageId id, const uint8_t* buf) {
   return Status::OK();
 }
 
+Status MemoryPageStore::WriteTorn(PageId id, const uint8_t* buf,
+                                  size_t prefix) {
+  BOXES_RETURN_IF_ERROR(CheckId(id));
+  std::memcpy(pages_[id].get(), buf, std::min(prefix, page_size_));
+  return Status::OK();
+}
+
 void MemoryPageStore::SnapshotAllocator(
     uint64_t* total, std::vector<PageId>* free_pages) const {
   *total = pages_.size();
@@ -86,9 +105,22 @@ Status MemoryPageStore::CheckId(PageId id) const {
   return Status::OK();
 }
 
+namespace {
+
+// Journal record: [epoch(8) | page id(8) | physical frame | crc(4)], where
+// the CRC covers everything before it. The frame is captured and restored
+// verbatim — re-deriving checksums on rollback would launder a page that
+// was already torn on the device into a "valid" one.
+constexpr size_t kJournalHeaderSize = 16;
+
+// Page-trailer format tag, bytes [12..15]: "BXF1".
+constexpr uint32_t kFrameTag = 0x31465842u;
+
+}  // namespace
+
 FilePageStore::FilePageStore(const std::string& path, size_t page_size,
-                             Mode mode)
-    : page_size_(page_size) {
+                             Mode mode, FilePageStoreOptions options)
+    : page_size_(page_size), options_(options) {
   BOXES_CHECK(page_size_ >= 64);
   const int flags =
       mode == Mode::kTruncate ? (O_RDWR | O_CREAT | O_TRUNC) : O_RDWR;
@@ -96,6 +128,17 @@ FilePageStore::FilePageStore(const std::string& path, size_t page_size,
   if (fd_ < 0) {
     status_ = Status::IoError("open(" + path + "): " + std::strerror(errno));
     return;
+  }
+  if (options_.journal) {
+    journal_path_ = path + ".journal";
+    const int jflags =
+        mode == Mode::kTruncate ? (O_RDWR | O_CREAT | O_TRUNC) : (O_RDWR | O_CREAT);
+    journal_fd_ = ::open(journal_path_.c_str(), jflags, 0644);
+    if (journal_fd_ < 0) {
+      status_ = Status::IoError("open(" + journal_path_ +
+                                "): " + std::strerror(errno));
+      return;
+    }
   }
   if (mode == Mode::kOpen) {
     // Existing pages become live; the caller narrows this with
@@ -105,9 +148,11 @@ FilePageStore::FilePageStore(const std::string& path, size_t page_size,
       status_ = Status::IoError(std::string("lseek: ") + std::strerror(errno));
       return;
     }
-    total_pages_ = static_cast<uint64_t>(size) / page_size_;
+    total_pages_ = static_cast<uint64_t>(size) / frame_size();
     live_.assign(total_pages_, true);
     allocated_ = total_pages_;
+    status_ = RecoverOnOpen();
+    epoch_start_total_ = total_pages_;
   }
 }
 
@@ -115,6 +160,86 @@ FilePageStore::~FilePageStore() {
   if (fd_ >= 0) {
     ::close(fd_);
   }
+  if (journal_fd_ >= 0) {
+    ::close(journal_fd_);
+  }
+}
+
+void FilePageStore::Count(uint64_t Counters::*field, const char* metric) {
+  ++(counters_.*field);
+  if (metrics_ != nullptr) {
+    metrics_->IncrementCounter(metric);
+  }
+}
+
+Status FilePageStore::RecoverOnOpen() {
+  // Learn the current checkpoint epoch from the raw page-0 commit record.
+  // This deliberately bypasses CRC verification and the cache: a torn
+  // commit write leaves one slot stale-but-valid, and slot arbitration —
+  // not page-level checksumming — decides what "current" means.
+  if (total_pages_ > 0) {
+    std::vector<uint8_t> frame(frame_size());
+    BOXES_RETURN_IF_ERROR(ReadFrame(0, frame.data()));
+    superblock::Slot active;
+    if (superblock::PickActiveSlot(frame.data(), &active) >= 0) {
+      epoch_ = active.sequence;
+    }
+  }
+  if (journal_fd_ < 0) {
+    return Status::OK();
+  }
+  // Roll back post-checkpoint overwrites: replay every intact pre-image
+  // stamped with the current epoch, stop at the first torn/garbage record
+  // (the journal's own crash frontier), then discard the journal.
+  const off_t jsize = ::lseek(journal_fd_, 0, SEEK_END);
+  if (jsize < 0) {
+    return Status::IoError(std::string("lseek journal: ") +
+                           std::strerror(errno));
+  }
+  const size_t record_size = kJournalHeaderSize + frame_size() + 4;
+  std::vector<uint8_t> record(record_size);
+  off_t offset = 0;
+  while (offset + static_cast<off_t>(record_size) <=
+         jsize) {
+    const ssize_t n =
+        ::pread(journal_fd_, record.data(), record_size, offset);
+    if (n < 0) {
+      return Status::IoError(std::string("pread journal: ") +
+                             std::strerror(errno));
+    }
+    if (static_cast<size_t>(n) < record_size) {
+      break;  // torn tail
+    }
+    const uint32_t crc = DecodeFixed32(record.data() + record_size - 4);
+    if (crc != Crc32c(record.data(), record_size - 4)) {
+      break;  // torn or corrupt record: everything after it is garbage
+    }
+    const uint64_t record_epoch = DecodeFixed64(record.data());
+    const PageId id = DecodeFixed64(record.data() + 8);
+    if (record_epoch == epoch_ && id < total_pages_) {
+      const off_t page_offset =
+          static_cast<off_t>(id) * static_cast<off_t>(frame_size());
+      const ssize_t w = ::pwrite(fd_, record.data() + kJournalHeaderSize,
+                                 frame_size(), page_offset);
+      if (w < 0 || static_cast<size_t>(w) != frame_size()) {
+        return Status::IoError(std::string("pwrite rollback: ") +
+                               std::strerror(errno));
+      }
+      Count(&Counters::journal_rollbacks, "file_store.journal_rollbacks");
+    }
+    offset += static_cast<off_t>(record_size);
+  }
+  if (counters_.journal_rollbacks > 0 && options_.sync_data) {
+    if (::fdatasync(fd_) != 0) {
+      return Status::IoError(std::string("fdatasync: ") +
+                             std::strerror(errno));
+    }
+  }
+  if (::ftruncate(journal_fd_, 0) != 0) {
+    return Status::IoError(std::string("ftruncate journal: ") +
+                           std::strerror(errno));
+  }
+  return Status::OK();
 }
 
 StatusOr<PageId> FilePageStore::Allocate() {
@@ -133,29 +258,134 @@ StatusOr<PageId> FilePageStore::Allocate() {
   }
   // Zero the page on the device.
   std::vector<uint8_t> zeros(page_size_, 0);
-  BOXES_RETURN_IF_ERROR(Write(id, zeros.data()));
+  Status s = Write(id, zeros.data());
+  if (!s.ok()) {
+    // Roll the allocation back so the allocator stays consistent with the
+    // device.
+    live_[id] = false;
+    if (id + 1 == total_pages_) {
+      --total_pages_;
+      live_.pop_back();
+    } else {
+      free_list_.push_back(id);
+    }
+    return s;
+  }
   ++allocated_;
   return id;
 }
 
 Status FilePageStore::Free(PageId id) {
   BOXES_RETURN_IF_ERROR(CheckId(id));
+  // A freed page may be reallocated and rewritten before the next
+  // checkpoint commits; its pre-image must survive for rollback.
+  BOXES_RETURN_IF_ERROR(MaybeJournal(id));
   live_[id] = false;
   free_list_.push_back(id);
   --allocated_;
   return Status::OK();
 }
 
-Status FilePageStore::Read(PageId id, uint8_t* buf) {
-  BOXES_RETURN_IF_ERROR(CheckId(id));
-  const off_t offset = static_cast<off_t>(id) * static_cast<off_t>(page_size_);
-  ssize_t n = ::pread(fd_, buf, page_size_, offset);
+Status FilePageStore::ReadFrame(PageId id, uint8_t* frame) const {
+  const off_t offset =
+      static_cast<off_t>(id) * static_cast<off_t>(frame_size());
+  const ssize_t n = ::pread(fd_, frame, frame_size(), offset);
   if (n < 0) {
     return Status::IoError(std::string("pread: ") + std::strerror(errno));
   }
-  if (static_cast<size_t>(n) < page_size_) {
+  if (static_cast<size_t>(n) < frame_size()) {
     // Reading past the current EOF of a sparse file: missing bytes are zero.
-    std::memset(buf + n, 0, page_size_ - static_cast<size_t>(n));
+    std::memset(frame + n, 0, frame_size() - static_cast<size_t>(n));
+  }
+  return Status::OK();
+}
+
+Status FilePageStore::Read(PageId id, uint8_t* buf) {
+  BOXES_RETURN_IF_ERROR(CheckId(id));
+  std::vector<uint8_t> frame(frame_size());
+  BOXES_RETURN_IF_ERROR(ReadFrame(id, frame.data()));
+  if (options_.verify_checksums && id != 0) {
+    // An all-zero frame is a page that was allocated but never flushed
+    // (sparse hole); it decodes as a zero page, which is what Allocate
+    // promised. Anything else must carry a matching trailer.
+    const uint8_t* trailer = frame.data() + page_size_;
+    bool all_zero = true;
+    for (size_t i = 0; i < frame_size(); ++i) {
+      if (frame[i] != 0) {
+        all_zero = false;
+        break;
+      }
+    }
+    if (!all_zero) {
+      const uint64_t stored_id = DecodeFixed64(trailer);
+      const uint32_t stored_crc = DecodeFixed32(trailer + 8);
+      const uint32_t stored_tag = DecodeFixed32(trailer + 12);
+      uint32_t expect = Crc32cExtend(0, frame.data(), page_size_);
+      expect = Crc32cExtend(expect, trailer, 8);
+      Count(&Counters::checksums_verified, "file_store.checksums_verified");
+      if (stored_tag != kFrameTag || stored_id != id ||
+          stored_crc != expect) {
+        Count(&Counters::checksum_failures, "file_store.checksum_failures");
+        return Status::Corruption("page " + std::to_string(id) +
+                                  " failed CRC32C verification");
+      }
+    }
+  }
+  std::memcpy(buf, frame.data(), page_size_);
+  return Status::OK();
+}
+
+Status FilePageStore::MaybeJournal(PageId id) {
+  if (journal_fd_ < 0) {
+    return Status::OK();
+  }
+  // Only pages that existed when the epoch began need pre-images; pages
+  // allocated afterwards are invisible to the committed checkpoint.
+  if (id >= epoch_start_total_ || journaled_.count(id) > 0) {
+    return Status::OK();
+  }
+  const size_t record_size = kJournalHeaderSize + frame_size() + 4;
+  std::vector<uint8_t> record(record_size);
+  EncodeFixed64(record.data(), epoch_);
+  EncodeFixed64(record.data() + 8, id);
+  BOXES_RETURN_IF_ERROR(ReadFrame(id, record.data() + kJournalHeaderSize));
+  EncodeFixed32(record.data() + record_size - 4,
+                Crc32c(record.data(), record_size - 4));
+  const off_t end = ::lseek(journal_fd_, 0, SEEK_END);
+  if (end < 0) {
+    return Status::IoError(std::string("lseek journal: ") +
+                           std::strerror(errno));
+  }
+  const ssize_t n = ::pwrite(journal_fd_, record.data(), record_size, end);
+  if (n < 0 || static_cast<size_t>(n) != record_size) {
+    return Status::IoError(std::string("pwrite journal: ") +
+                           std::strerror(errno));
+  }
+  if (options_.sync_journal && ::fdatasync(journal_fd_) != 0) {
+    return Status::IoError(std::string("fdatasync journal: ") +
+                           std::strerror(errno));
+  }
+  journaled_.insert(id);
+  Count(&Counters::journal_records, "file_store.journal_records");
+  return Status::OK();
+}
+
+Status FilePageStore::WriteFrameBytes(PageId id, const uint8_t* buf,
+                                      size_t bytes) {
+  std::vector<uint8_t> frame(frame_size());
+  std::memcpy(frame.data(), buf, page_size_);
+  uint8_t* trailer = frame.data() + page_size_;
+  EncodeFixed64(trailer, id);
+  uint32_t crc = Crc32cExtend(0, frame.data(), page_size_);
+  crc = Crc32cExtend(crc, trailer, 8);
+  EncodeFixed32(trailer + 8, crc);
+  EncodeFixed32(trailer + 12, kFrameTag);
+  Count(&Counters::checksums_computed, "file_store.checksums_computed");
+  const off_t offset =
+      static_cast<off_t>(id) * static_cast<off_t>(frame_size());
+  const ssize_t n = ::pwrite(fd_, frame.data(), bytes, offset);
+  if (n < 0 || static_cast<size_t>(n) != bytes) {
+    return Status::IoError(std::string("pwrite: ") + std::strerror(errno));
   }
   return Status::OK();
 }
@@ -168,10 +398,49 @@ Status FilePageStore::Write(PageId id, const uint8_t* buf) {
     return Status::InvalidArgument("page " + std::to_string(id) +
                                    " is not allocated");
   }
-  const off_t offset = static_cast<off_t>(id) * static_cast<off_t>(page_size_);
-  const ssize_t n = ::pwrite(fd_, buf, page_size_, offset);
-  if (n < 0 || static_cast<size_t>(n) != page_size_) {
-    return Status::IoError(std::string("pwrite: ") + std::strerror(errno));
+  BOXES_RETURN_IF_ERROR(MaybeJournal(id));
+  return WriteFrameBytes(id, buf, frame_size());
+}
+
+Status FilePageStore::WriteTorn(PageId id, const uint8_t* buf,
+                                size_t prefix) {
+  if (!status_.ok()) {
+    return status_;
+  }
+  if (id >= total_pages_ || !live_[id]) {
+    return Status::InvalidArgument("page " + std::to_string(id) +
+                                   " is not allocated");
+  }
+  BOXES_RETURN_IF_ERROR(MaybeJournal(id));
+  return WriteFrameBytes(id, buf, std::min(prefix, frame_size()));
+}
+
+Status FilePageStore::Sync() {
+  if (!status_.ok()) {
+    return status_;
+  }
+  if (!options_.sync_data) {
+    return Status::OK();
+  }
+  Count(&Counters::sync_calls, "file_store.sync_calls");
+  if (::fdatasync(fd_) != 0) {
+    return Status::IoError(std::string("fdatasync: ") + std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+Status FilePageStore::CommitEpoch(uint64_t epoch) {
+  if (!status_.ok()) {
+    return status_;
+  }
+  epoch_ = epoch;
+  epoch_start_total_ = total_pages_;
+  journaled_.clear();
+  if (journal_fd_ >= 0) {
+    if (::ftruncate(journal_fd_, 0) != 0) {
+      return Status::IoError(std::string("ftruncate journal: ") +
+                             std::strerror(errno));
+    }
   }
   return Status::OK();
 }
@@ -213,17 +482,48 @@ Status FilePageStore::CheckId(PageId id) const {
 }
 
 FaultInjectionPageStore::FaultInjectionPageStore(PageStore* base)
-    : base_(base) {}
+    : base_(base), rng_(0xb0e5u) {}
+
+size_t FaultInjectionPageStore::TornPrefix() {
+  // The tear always cuts off before the trailer's checksum would land
+  // (trailers are written last, like the tail sectors of a real page
+  // write), so a torn frame can never masquerade as a complete one.
+  const size_t limit = base_->page_size() + 8;
+  return 1 + rng_.Uniform(limit);
+}
 
 Status FaultInjectionPageStore::MaybeFail() {
-  if (fail_after_ops_ == UINT64_MAX) {
-    return Status::OK();
+  ++ops_seen_;
+  if (crashed_ || permanent_failure_) {
+    ++faults_injected_;
+    return crashed_ ? Status::IoError("simulated crash")
+                    : Status::IoError("injected fault");
   }
-  if (fail_after_ops_ == 0) {
+  if (fail_after_ops_ != UINT64_MAX) {
+    if (fail_after_ops_ == 0) {
+      ++faults_injected_;
+      return Status::IoError("injected fault");
+    }
+    --fail_after_ops_;
+  }
+  if (fail_probability_ > 0.0 && rng_.Bernoulli(fail_probability_)) {
+    ++faults_injected_;
+    if (!transient_) {
+      permanent_failure_ = true;
+    }
     return Status::IoError("injected fault");
   }
-  --fail_after_ops_;
   return Status::OK();
+}
+
+StatusOr<PageId> FaultInjectionPageStore::Allocate() {
+  BOXES_RETURN_IF_ERROR(MaybeFail());
+  return base_->Allocate();
+}
+
+Status FaultInjectionPageStore::Free(PageId id) {
+  BOXES_RETURN_IF_ERROR(MaybeFail());
+  return base_->Free(id);
 }
 
 Status FaultInjectionPageStore::Read(PageId id, uint8_t* buf) {
@@ -232,8 +532,51 @@ Status FaultInjectionPageStore::Read(PageId id, uint8_t* buf) {
 }
 
 Status FaultInjectionPageStore::Write(PageId id, const uint8_t* buf) {
+  // Crash-point mode: the Nth write is the crash frontier — optionally
+  // torn, never completed — and the disk is frozen from then on.
+  if (!crashed_ && crash_after_writes_ != UINT64_MAX) {
+    if (writes_until_crash_ == 0) {
+      crashed_ = true;
+      ++ops_seen_;
+      ++faults_injected_;
+      if (torn_writes_) {
+        (void)base_->WriteTorn(id, buf, TornPrefix());
+      }
+      return Status::IoError("simulated crash");
+    }
+    --writes_until_crash_;
+  }
+  const Status fault = MaybeFail();
+  if (!fault.ok()) {
+    if (torn_writes_ && !crashed_) {
+      (void)base_->WriteTorn(id, buf, TornPrefix());
+    }
+    return fault;
+  }
+  BOXES_RETURN_IF_ERROR(base_->Write(id, buf));
+  ++writes_committed_;
+  return Status::OK();
+}
+
+Status FaultInjectionPageStore::WriteTorn(PageId id, const uint8_t* buf,
+                                          size_t prefix) {
   BOXES_RETURN_IF_ERROR(MaybeFail());
-  return base_->Write(id, buf);
+  return base_->WriteTorn(id, buf, prefix);
+}
+
+Status FaultInjectionPageStore::Sync() {
+  BOXES_RETURN_IF_ERROR(MaybeFail());
+  return base_->Sync();
+}
+
+Status FaultInjectionPageStore::CommitEpoch(uint64_t epoch) {
+  // Epoch bookkeeping is not an I/O edge; after a crash it must not
+  // touch the frozen image, but it also must not fail bookkeeping-only
+  // callers.
+  if (crashed_ || permanent_failure_) {
+    return Status::IoError(crashed_ ? "simulated crash" : "injected fault");
+  }
+  return base_->CommitEpoch(epoch);
 }
 
 }  // namespace boxes

@@ -4,8 +4,11 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
+#include "util/metrics.h"
+#include "util/random.h"
 #include "util/status.h"
 
 namespace boxes {
@@ -42,6 +45,29 @@ class PageStore {
   /// Writes a full page from `buf` (page_size() bytes).
   virtual Status Write(PageId id, const uint8_t* buf) = 0;
 
+  /// Fault-injection hook: persists only the first `prefix` bytes of the
+  /// page image, simulating a write torn mid-flight by a crash. `prefix`
+  /// is clamped to the size of the on-device image; file-backed stores tear
+  /// the *physical* frame, so the page's stored checksum goes stale and the
+  /// next Read reports Corruption. Stores without tearing support return
+  /// Unimplemented so fault harnesses fail loudly instead of silently
+  /// completing the write.
+  virtual Status WriteTorn(PageId id, const uint8_t* buf, size_t prefix);
+
+  /// Makes all completed writes durable (fdatasync for file-backed stores;
+  /// a no-op for in-memory ones). Checkpoint commit points call this before
+  /// and after flipping the superblock commit record.
+  virtual Status Sync() { return Status::OK(); }
+
+  /// Notifies the store that the checkpoint with sequence number `epoch`
+  /// just committed: pre-checkpoint page images no longer need to be
+  /// preserved. File-backed stores truncate their overwrite journal and
+  /// start protecting the new checkpoint's pages; the default is a no-op.
+  virtual Status CommitEpoch(uint64_t epoch) {
+    (void)epoch;
+    return Status::OK();
+  }
+
   /// Number of currently allocated (live) pages.
   virtual uint64_t allocated_pages() const = 0;
 
@@ -75,6 +101,7 @@ class MemoryPageStore : public PageStore {
   Status Free(PageId id) override;
   Status Read(PageId id, uint8_t* buf) override;
   Status Write(PageId id, const uint8_t* buf) override;
+  Status WriteTorn(PageId id, const uint8_t* buf, size_t prefix) override;
   uint64_t allocated_pages() const override { return allocated_; }
   uint64_t total_pages() const override { return pages_.size(); }
   void SnapshotAllocator(uint64_t* total,
@@ -92,26 +119,67 @@ class MemoryPageStore : public PageStore {
   uint64_t allocated_ = 0;
 };
 
-/// File-backed page store. Functionally identical to MemoryPageStore but
-/// persists pages in a single flat file, demonstrating that the structures
-/// are genuinely disk-resident.
+/// Configuration of FilePageStore's crash-consistency machinery.
+struct FilePageStoreOptions {
+  /// Verify the per-page CRC32C on every Read (page 0, the dual-slot commit
+  /// record, is exempt: it carries per-slot checksums so that a torn commit
+  /// write degrades to the surviving slot instead of a page-level error).
+  bool verify_checksums = true;
+  /// Keep a pre-image journal of the first overwrite per page per
+  /// checkpoint epoch, so Mode::kOpen can roll a crashed file back to its
+  /// last committed checkpoint.
+  bool journal = true;
+  /// fdatasync the journal before each in-place overwrite it protects.
+  /// Required for durability against real power loss; off by default
+  /// because the fault-injection harness preserves write ordering by
+  /// construction and per-write syncs dominate test runtime.
+  bool sync_journal = false;
+  /// Honor Sync() with fdatasync (false turns Sync into a no-op, for
+  /// benchmarks on throwaway files).
+  bool sync_data = true;
+};
+
+/// File-backed page store with a verified page format: every page is stored
+/// as [payload | page id | CRC32C | format tag], so reads detect torn
+/// writes, bit rot, and misdirected I/O instead of serving garbage.
+/// Together with the page-0 dual-slot commit record and the pre-image
+/// journal, Mode::kOpen recovers the last durably committed checkpoint
+/// after a crash at any write boundary.
 class FilePageStore : public PageStore {
  public:
   enum class Mode {
     kTruncate,  // create fresh / discard existing contents
-    kOpen,      // open an existing store; pages become live, pass the freed
-                // set via RestoreAllocator (e.g. from a checkpoint)
+    kOpen,      // open an existing store, rolling back any post-checkpoint
+                // overwrites recorded in the journal; pages become live,
+                // pass the freed set via RestoreAllocator (e.g. from a
+                // checkpoint)
+  };
+
+  /// Bytes appended to each page on the device: [0..7] page id, [8..11]
+  /// CRC32C over payload + page id, [12..15] format tag.
+  static constexpr size_t kPageTrailerSize = 16;
+
+  /// Checksum/journal activity counters (also mirrored into an attached
+  /// MetricsRegistry under "file_store.*").
+  struct Counters {
+    uint64_t checksums_computed = 0;  // trailers stamped on write
+    uint64_t checksums_verified = 0;  // trailers validated on read
+    uint64_t checksum_failures = 0;   // reads rejected with Corruption
+    uint64_t journal_records = 0;     // pre-images appended this session
+    uint64_t journal_rollbacks = 0;   // pre-images restored by Mode::kOpen
+    uint64_t sync_calls = 0;          // fdatasync invocations
   };
 
   /// Opens `path` in the given mode. Check status() before use.
   FilePageStore(const std::string& path, size_t page_size = kDefaultPageSize,
-                Mode mode = Mode::kTruncate);
+                Mode mode = Mode::kTruncate, FilePageStoreOptions options = {});
   ~FilePageStore() override;
 
   FilePageStore(const FilePageStore&) = delete;
   FilePageStore& operator=(const FilePageStore&) = delete;
 
-  /// Status of construction; not OK if the file could not be opened.
+  /// Status of construction; not OK if the file could not be opened or
+  /// crash recovery failed.
   const Status& status() const { return status_; }
 
   size_t page_size() const override { return page_size_; }
@@ -119,6 +187,9 @@ class FilePageStore : public PageStore {
   Status Free(PageId id) override;
   Status Read(PageId id, uint8_t* buf) override;
   Status Write(PageId id, const uint8_t* buf) override;
+  Status WriteTorn(PageId id, const uint8_t* buf, size_t prefix) override;
+  Status Sync() override;
+  Status CommitEpoch(uint64_t epoch) override;
   uint64_t allocated_pages() const override { return allocated_; }
   uint64_t total_pages() const override { return total_pages_; }
   void SnapshotAllocator(uint64_t* total,
@@ -126,21 +197,56 @@ class FilePageStore : public PageStore {
   Status RestoreAllocator(uint64_t total,
                           const std::vector<PageId>& free_pages) override;
 
+  /// The checkpoint epoch (superblock sequence number) this store believes
+  /// it is in; 0 until the first commit or for stores without a commit
+  /// record.
+  uint64_t epoch() const { return epoch_; }
+
+  const Counters& counters() const { return counters_; }
+
+  /// Attaches (or detaches, with nullptr) a metrics registry; checksum and
+  /// journal counters are incremented there under "file_store.*".
+  void SetMetrics(MetricsRegistry* metrics) { metrics_ = metrics; }
+
  private:
+  size_t frame_size() const { return page_size_ + kPageTrailerSize; }
   Status CheckId(PageId id) const;
+  /// Reads the raw on-device frame of `id`; missing tail bytes read as 0.
+  Status ReadFrame(PageId id, uint8_t* frame) const;
+  /// Appends the current image of `id` to the journal if this epoch has
+  /// not overwritten it yet.
+  Status MaybeJournal(PageId id);
+  /// Composes the physical frame for (`id`, `buf`) and writes its first
+  /// `bytes` bytes (bytes == frame_size() for a complete write).
+  Status WriteFrameBytes(PageId id, const uint8_t* buf, size_t bytes);
+  /// Parses the page-0 commit record to learn the current epoch, then
+  /// replays valid journal pre-images of that epoch (crash rollback).
+  Status RecoverOnOpen();
+  void Count(uint64_t Counters::*field, const char* metric);
 
   const size_t page_size_;
+  const FilePageStoreOptions options_;
   Status status_;
   int fd_ = -1;
+  int journal_fd_ = -1;
+  std::string journal_path_;
   std::vector<bool> live_;
   std::vector<PageId> free_list_;
   uint64_t total_pages_ = 0;
   uint64_t allocated_ = 0;
+  uint64_t epoch_ = 0;
+  uint64_t epoch_start_total_ = 0;
+  std::unordered_set<PageId> journaled_;
+  Counters counters_;
+  MetricsRegistry* metrics_ = nullptr;  // not owned
 };
 
 /// Wraps another PageStore and injects failures, for testing Status
-/// propagation. Fails every read/write once `fail_after_ops` operations
-/// have succeeded (UINT64_MAX = never fail).
+/// propagation and crash recovery. Supports deterministic fail-after-N
+/// faults, seeded probabilistic faults (transient or permanent), torn
+/// writes, and a crash-point mode that freezes the persisted image after a
+/// chosen number of writes. All operations — including Allocate/Free/Sync —
+/// are routed through the fault machinery and counted.
 class FaultInjectionPageStore : public PageStore {
  public:
   explicit FaultInjectionPageStore(PageStore* base);
@@ -148,17 +254,62 @@ class FaultInjectionPageStore : public PageStore {
   FaultInjectionPageStore(const FaultInjectionPageStore&) = delete;
   FaultInjectionPageStore& operator=(const FaultInjectionPageStore&) = delete;
 
-  /// Arms the fault: after `n` further successful reads/writes, all
-  /// subsequent reads/writes fail with IoError.
+  /// Arms the fault: after `n` further successful operations, all
+  /// subsequent operations fail with IoError.
   void FailAfter(uint64_t n) { fail_after_ops_ = n; }
-  /// Disarms the fault.
-  void Heal() { fail_after_ops_ = UINT64_MAX; }
+
+  /// Seeds the PRNG driving probabilistic faults and torn-write prefixes.
+  void SetSeed(uint64_t seed) { rng_ = Random(seed); }
+
+  /// Each operation independently fails with probability `p`. Transient
+  /// faults affect only the sampled operation; a permanent fault latches,
+  /// failing every later operation until Heal() (a died disk).
+  void SetFailProbability(double p, bool transient = true) {
+    fail_probability_ = p;
+    transient_ = transient;
+  }
+
+  /// When enabled, a write hit by a fault (probabilistic, fail-after, or
+  /// the crash point) persists a random strict prefix of the page via
+  /// WriteTorn before the error is returned, instead of vanishing.
+  void SetTornWrites(bool enabled) { torn_writes_ = enabled; }
+
+  /// Crash-point mode: the next `n` writes persist normally; the write
+  /// after that "crashes" — it is dropped (or torn, with SetTornWrites) and
+  /// every subsequent operation fails with IoError, freezing the base
+  /// store as the post-crash disk image.
+  void CrashAfterWrites(uint64_t n) {
+    crash_after_writes_ = n;
+    writes_until_crash_ = n;
+    crashed_ = false;
+  }
+
+  /// Disarms all faults, including a triggered crash point.
+  void Heal() {
+    fail_after_ops_ = UINT64_MAX;
+    fail_probability_ = 0.0;
+    permanent_failure_ = false;
+    crash_after_writes_ = UINT64_MAX;
+    crashed_ = false;
+  }
+
+  /// True once the crash point has triggered.
+  bool crashed() const { return crashed_; }
+  /// Operations that reached the fault machinery.
+  uint64_t ops_seen() const { return ops_seen_; }
+  /// Faults injected (including the crash-point trigger).
+  uint64_t faults_injected() const { return faults_injected_; }
+  /// Writes forwarded to the base store.
+  uint64_t writes_committed() const { return writes_committed_; }
 
   size_t page_size() const override { return base_->page_size(); }
-  StatusOr<PageId> Allocate() override { return base_->Allocate(); }
-  Status Free(PageId id) override { return base_->Free(id); }
+  StatusOr<PageId> Allocate() override;
+  Status Free(PageId id) override;
   Status Read(PageId id, uint8_t* buf) override;
   Status Write(PageId id, const uint8_t* buf) override;
+  Status WriteTorn(PageId id, const uint8_t* buf, size_t prefix) override;
+  Status Sync() override;
+  Status CommitEpoch(uint64_t epoch) override;
   uint64_t allocated_pages() const override {
     return base_->allocated_pages();
   }
@@ -174,9 +325,21 @@ class FaultInjectionPageStore : public PageStore {
 
  private:
   Status MaybeFail();
+  size_t TornPrefix();
 
   PageStore* base_;  // not owned
+  Random rng_;
   uint64_t fail_after_ops_ = UINT64_MAX;
+  double fail_probability_ = 0.0;
+  bool transient_ = true;
+  bool permanent_failure_ = false;
+  bool torn_writes_ = false;
+  uint64_t crash_after_writes_ = UINT64_MAX;
+  uint64_t writes_until_crash_ = UINT64_MAX;
+  bool crashed_ = false;
+  uint64_t ops_seen_ = 0;
+  uint64_t faults_injected_ = 0;
+  uint64_t writes_committed_ = 0;
 };
 
 }  // namespace boxes

@@ -1,0 +1,78 @@
+#ifndef BOXES_STORAGE_SUPERBLOCK_FORMAT_H_
+#define BOXES_STORAGE_SUPERBLOCK_FORMAT_H_
+
+#include <cstdint>
+
+#include "util/coding.h"
+#include "util/crc32c.h"
+
+namespace boxes::superblock {
+
+/// Page 0 of a checkpoint-enabled database is a dual-slot commit record.
+/// Each slot is an independently checksummed (magic, sequence, checkpoint
+/// chain head) triple; the slot with the highest valid sequence number is
+/// the current checkpoint. A commit writes the *inactive* slot and leaves
+/// the active one byte-identical, so a write of page 0 torn at any prefix
+/// preserves a loadable record: the old slot survives untouched and the
+/// half-written new slot fails its CRC.
+///
+/// Slot layout (32 bytes):
+///   [0..7]   magic "BOXESDB2"
+///   [8..15]  sequence number (monotonically increasing across commits)
+///   [16..23] checkpoint metadata-chain head (kInvalidPageId = none yet)
+///   [24..27] CRC32C over bytes [0..23]
+///   [28..31] reserved (zero)
+/// Slot A lives at page offset 0, slot B at offset 32; both fit the 64-byte
+/// minimum page size.
+inline constexpr uint64_t kSlotMagic = 0x32424453'45584f42ULL;  // "BOXESDB2"
+inline constexpr size_t kSlotSize = 32;
+inline constexpr size_t kNumSlots = 2;
+
+struct Slot {
+  bool valid = false;
+  uint64_t sequence = 0;
+  uint64_t head = UINT64_MAX;  // kInvalidPageId
+};
+
+inline void EncodeSlot(uint8_t* out, uint64_t sequence, uint64_t head) {
+  EncodeFixed64(out, kSlotMagic);
+  EncodeFixed64(out + 8, sequence);
+  EncodeFixed64(out + 16, head);
+  EncodeFixed32(out + 24, Crc32c(out, 24));
+  EncodeFixed32(out + 28, 0);
+}
+
+inline Slot DecodeSlot(const uint8_t* in) {
+  Slot slot;
+  if (DecodeFixed64(in) != kSlotMagic ||
+      DecodeFixed32(in + 24) != Crc32c(in, 24)) {
+    return slot;  // invalid
+  }
+  slot.valid = true;
+  slot.sequence = DecodeFixed64(in + 8);
+  slot.head = DecodeFixed64(in + 16);
+  return slot;
+}
+
+/// Decodes both slots of a commit-record page and returns the index (0 or
+/// 1) of the active one — valid with the highest sequence — or -1 if
+/// neither slot is valid. `active`, if non-null, receives the decoded slot.
+inline int PickActiveSlot(const uint8_t* page, Slot* active) {
+  int best = -1;
+  Slot best_slot;
+  for (size_t i = 0; i < kNumSlots; ++i) {
+    const Slot slot = DecodeSlot(page + i * kSlotSize);
+    if (slot.valid && (best < 0 || slot.sequence > best_slot.sequence)) {
+      best = static_cast<int>(i);
+      best_slot = slot;
+    }
+  }
+  if (best >= 0 && active != nullptr) {
+    *active = best_slot;
+  }
+  return best;
+}
+
+}  // namespace boxes::superblock
+
+#endif  // BOXES_STORAGE_SUPERBLOCK_FORMAT_H_

@@ -1,0 +1,24 @@
+#ifndef BOXES_UTIL_CRC32C_H_
+#define BOXES_UTIL_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace boxes {
+
+/// CRC-32C (Castagnoli, polynomial 0x1EDC6F41, reflected). The checksum
+/// used by the verified on-disk page format and the checkpoint commit
+/// record: iSCSI/ext4's polynomial, chosen over CRC-32 for its superior
+/// burst-error detection on storage payloads.
+///
+/// `Crc32c(data, n)` is the one-shot form; `Crc32cExtend` chains partial
+/// buffers: Crc32c(ab) == Crc32cExtend(Crc32c(a), b).
+uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t n);
+
+inline uint32_t Crc32c(const void* data, size_t n) {
+  return Crc32cExtend(0, data, n);
+}
+
+}  // namespace boxes
+
+#endif  // BOXES_UTIL_CRC32C_H_

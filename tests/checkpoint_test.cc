@@ -2,6 +2,7 @@
 // directory + liveness) round-trips through metadata chains, enabling
 // file-backed databases to be closed and reopened.
 
+#include <cstring>
 #include <memory>
 #include <string>
 #include <vector>
@@ -12,7 +13,9 @@
 #include "doc/labeled_document.h"
 #include "gtest/gtest.h"
 #include "storage/metadata_io.h"
+#include "storage/superblock_format.h"
 #include "test_util.h"
+#include "util/coding.h"
 #include "xml/generators.h"
 
 namespace boxes {
@@ -146,8 +149,7 @@ TEST(CheckpointTest, FullFileReopenCycle) {
               .status());
     }
     ASSERT_OK_AND_ASSIGN(const PageId head, wbox.Checkpoint());
-    ASSERT_OK(StoreCheckpointHead(&cache, head));
-    ASSERT_OK(cache.FlushAll());
+    ASSERT_OK(CommitCheckpoint(&cache, head));
     order = TagOrderLids(doc, lids);
     expected_live = wbox.live_labels();
   }
@@ -169,10 +171,11 @@ TEST(CheckpointTest, FullFileReopenCycle) {
                     .status());
     }
     ASSERT_OK(wbox.CheckInvariants());
-    // Re-checkpoint, replacing the old chain.
-    ASSERT_OK(FreeMetadataChain(&cache, head));
+    // Re-checkpoint; the superseded chain is reclaimed only after the new
+    // one is durably committed.
     ASSERT_OK_AND_ASSIGN(const PageId fresh_head, wbox.Checkpoint());
-    ASSERT_OK(StoreCheckpointHead(&cache, fresh_head));
+    ASSERT_OK(CommitCheckpoint(&cache, fresh_head));
+    ASSERT_OK(FreeMetadataChain(&cache, head));
     ASSERT_OK(cache.FlushAll());
     expected_live = wbox.live_labels();
   }
@@ -213,8 +216,7 @@ TEST(CheckpointTest, FacadeRegistryRoundTripsWithScheme) {
     writer.PutU64(scheme_head);
     doc.SaveState(&writer);
     ASSERT_OK_AND_ASSIGN(const PageId head, writer.Finish(&cache));
-    ASSERT_OK(StoreCheckpointHead(&cache, head));
-    ASSERT_OK(cache.FlushAll());
+    ASSERT_OK(CommitCheckpoint(&cache, head));
   }
   {
     FilePageStore store(path, 1024, FilePageStore::Mode::kOpen);
@@ -243,6 +245,79 @@ TEST(CheckpointTest, SuperblockWithoutCheckpointIsNotFound) {
   ASSERT_OK(InitializeSuperblock(&db.cache));
   EXPECT_EQ(LoadCheckpointHead(&db.cache).status().code(),
             StatusCode::kNotFound);
+}
+
+TEST(MetadataIoTest, CyclicChainIsCorruption) {
+  TestDb db(512);
+  MetadataWriter writer;
+  for (int i = 0; i < 500; ++i) {
+    writer.PutU64(static_cast<uint64_t>(i));  // spans several 512 B pages
+  }
+  ASSERT_OK_AND_ASSIGN(const PageId head, writer.Finish(&db.cache));
+  // Hand-corrupt the second page's next pointer to loop back to the head.
+  ASSERT_OK_AND_ASSIGN(uint8_t* first, db.cache.GetPage(head));
+  const PageId second = DecodeFixed64(first);
+  ASSERT_NE(second, kInvalidPageId);
+  ASSERT_OK_AND_ASSIGN(uint8_t* data, db.cache.GetPageForWrite(second));
+  EncodeFixed64(data, head);
+  EXPECT_EQ(MetadataReader::Load(&db.cache, head).status().code(),
+            StatusCode::kCorruption);
+}
+
+TEST(MetadataIoTest, OutOfRangeChainIsCorruption) {
+  TestDb db(512);
+  MetadataWriter writer;
+  writer.PutString("short");
+  ASSERT_OK_AND_ASSIGN(const PageId head, writer.Finish(&db.cache));
+  ASSERT_OK_AND_ASSIGN(uint8_t* data, db.cache.GetPageForWrite(head));
+  EncodeFixed64(data, db.store.total_pages() + 17);  // beyond the device
+  EXPECT_EQ(MetadataReader::Load(&db.cache, head).status().code(),
+            StatusCode::kCorruption);
+}
+
+TEST(MetadataIoTest, ChainThroughFreedPageIsCorruption) {
+  TestDb db(512);
+  MetadataWriter writer;
+  writer.PutString("short");
+  ASSERT_OK_AND_ASSIGN(const PageId head, writer.Finish(&db.cache));
+  uint8_t* unused = nullptr;
+  ASSERT_OK_AND_ASSIGN(const PageId victim, db.cache.AllocatePage(&unused));
+  ASSERT_OK_AND_ASSIGN(uint8_t* data, db.cache.GetPageForWrite(head));
+  EncodeFixed64(data, victim);
+  ASSERT_OK(db.cache.FreePage(victim));
+  EXPECT_EQ(MetadataReader::Load(&db.cache, head).status().code(),
+            StatusCode::kCorruption);
+}
+
+TEST(CheckpointTest, CommitAlternatesSlotsAndSurvivesSlotLoss) {
+  TestDb db(512);
+  ASSERT_OK(InitializeSuperblock(&db.cache));
+  MetadataWriter writer_a;
+  writer_a.PutString("checkpoint A");
+  ASSERT_OK_AND_ASSIGN(const PageId head_a, writer_a.Finish(&db.cache));
+  ASSERT_OK(CommitCheckpoint(&db.cache, head_a));
+  MetadataWriter writer_b;
+  writer_b.PutString("checkpoint B");
+  ASSERT_OK_AND_ASSIGN(const PageId head_b, writer_b.Finish(&db.cache));
+  ASSERT_OK(CommitCheckpoint(&db.cache, head_b));
+  ASSERT_OK_AND_ASSIGN(PageId current, LoadCheckpointHead(&db.cache));
+  EXPECT_EQ(current, head_b);
+
+  // Wreck the slot holding checkpoint B (as a torn commit write would);
+  // the database degrades to checkpoint A instead of failing.
+  ASSERT_OK_AND_ASSIGN(uint8_t* page0, db.cache.GetPageForWrite(0));
+  superblock::Slot slot_a = superblock::DecodeSlot(page0);
+  uint8_t* newest = (slot_a.valid && slot_a.head == head_b)
+                        ? page0
+                        : page0 + superblock::kSlotSize;
+  newest[3] ^= 0xff;
+  ASSERT_OK_AND_ASSIGN(current, LoadCheckpointHead(&db.cache));
+  EXPECT_EQ(current, head_a);
+
+  // With both slots gone the failure is a clean Corruption.
+  std::memset(page0, 0xab, 2 * superblock::kSlotSize);
+  EXPECT_EQ(LoadCheckpointHead(&db.cache).status().code(),
+            StatusCode::kCorruption);
 }
 
 TEST(CheckpointTest, AllocatorSnapshotRoundTrip) {

@@ -1,0 +1,304 @@
+// Crash-point recovery sweep: for each scheme, run an insert/delete
+// workload with periodic checkpoints against a file-backed store, crash at
+// every k-th page write (tearing the in-flight write), reopen from the
+// surviving superblock slot, and verify that the database either recovers a
+// consistent checkpoint (CheckInvariants + label order against the model)
+// or fails with a clean error — never silent corruption.
+//
+// The contract asserted here is strict: once a checkpoint's commit has
+// completed (its writes all persisted), every later crash point MUST
+// recover a checkpoint at least that recent. Clean errors are acceptable
+// only before the first commit completes.
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/bbox/bbox.h"
+#include "core/naive/naive.h"
+#include "core/wbox/wbox.h"
+#include "gtest/gtest.h"
+#include "storage/metadata_io.h"
+#include "storage/page_cache.h"
+#include "storage/page_store.h"
+#include "test_util.h"
+#include "util/random.h"
+
+namespace boxes {
+namespace {
+
+using testing::LabelsStrictlyIncreasing;
+
+constexpr size_t kPageSize = 1024;  // smallest size WBox's b >= 24 allows
+constexpr int kOps = 300;
+constexpr int kOpsPerCheckpoint = 20;
+constexpr uint64_t kWorkloadSeed = 0xc4a54b01u;
+
+// Model of the document's tag order, mirrored checkpoint by checkpoint.
+struct ModelSnapshot {
+  uint64_t index = 0;          // checkpoint number, 0-based
+  uint64_t commit_writes = 0;  // wrapper writes when the commit completed
+  std::vector<Lid> order;      // expected tag order at the checkpoint
+};
+
+struct WorkloadState {
+  std::vector<Lid> order;                     // tag order, start/end lids
+  std::vector<std::pair<Lid, Lid>> elements;  // live elements
+};
+
+// Applies one deterministic workload step; both the reference run and every
+// crash run draw from an identically seeded Random, so they replay the same
+// operation sequence up to the crash.
+Status WorkloadStep(LabelingScheme* scheme, Random* rng,
+                    WorkloadState* state) {
+  if (state->elements.empty()) {
+    BOXES_ASSIGN_OR_RETURN(const NewElement first,
+                           scheme->InsertFirstElement());
+    state->order = {first.start, first.end};
+    state->elements = {{first.start, first.end}};
+    return Status::OK();
+  }
+  if (state->elements.size() > 4 && rng->Bernoulli(0.3)) {
+    const size_t victim = rng->Uniform(state->elements.size());
+    const Lid start = state->elements[victim].first;
+    const Lid end = state->elements[victim].second;
+    BOXES_RETURN_IF_ERROR(scheme->Delete(start));
+    BOXES_RETURN_IF_ERROR(scheme->Delete(end));
+    state->elements.erase(state->elements.begin() +
+                          static_cast<ptrdiff_t>(victim));
+    auto& order = state->order;
+    order.erase(std::remove_if(
+                    order.begin(), order.end(),
+                    [&](Lid lid) { return lid == start || lid == end; }),
+                order.end());
+    return Status::OK();
+  }
+  const size_t pos = rng->Uniform(state->order.size());
+  BOXES_ASSIGN_OR_RETURN(const NewElement fresh,
+                         scheme->InsertElementBefore(state->order[pos]));
+  state->order.insert(state->order.begin() + static_cast<ptrdiff_t>(pos),
+                      {fresh.start, fresh.end});
+  state->elements.push_back({fresh.start, fresh.end});
+  return Status::OK();
+}
+
+// Runs the workload against `cache`, committing a checkpoint every
+// kOpsPerCheckpoint ops. Checkpoint chains carry [index, scheme head] so a
+// recovered database knows which model snapshot it must match. Stops at the
+// first error (the injected crash); `wrapper` counts committed page writes.
+// On the fault-free reference run, `snapshots` receives one entry per
+// committed checkpoint.
+template <typename Scheme>
+Status RunWorkload(PageCache* cache, Scheme* scheme,
+                   FaultInjectionPageStore* wrapper,
+                   std::vector<ModelSnapshot>* snapshots) {
+  BOXES_RETURN_IF_ERROR(InitializeSuperblock(cache));
+  Random rng(kWorkloadSeed);
+  WorkloadState state;
+  PageId previous_chain = kInvalidPageId;
+  uint64_t checkpoint_index = 0;
+  for (int op = 1; op <= kOps; ++op) {
+    cache->BeginOp();
+    const Status step = WorkloadStep(scheme, &rng, &state);
+    const Status flush = cache->EndOp();
+    BOXES_RETURN_IF_ERROR(step);
+    BOXES_RETURN_IF_ERROR(flush);
+    if (op % kOpsPerCheckpoint != 0) {
+      continue;
+    }
+    BOXES_ASSIGN_OR_RETURN(const PageId scheme_head, scheme->Checkpoint());
+    MetadataWriter writer;
+    writer.PutU64(checkpoint_index);
+    writer.PutU64(scheme_head);
+    BOXES_ASSIGN_OR_RETURN(const PageId head, writer.Finish(cache));
+    BOXES_RETURN_IF_ERROR(CommitCheckpoint(cache, head));
+    if (snapshots != nullptr) {
+      snapshots->push_back(
+          {checkpoint_index, wrapper->writes_committed(), state.order});
+    }
+    ++checkpoint_index;
+    // Reclaim the superseded chain only after the new commit is durable.
+    if (previous_chain != kInvalidPageId) {
+      BOXES_RETURN_IF_ERROR(FreeMetadataChain(cache, previous_chain));
+      BOXES_RETURN_IF_ERROR(cache->FlushAll());
+    }
+    previous_chain = head;
+  }
+  return Status::OK();
+}
+
+std::string SweepPath(const std::string& tag) {
+  const std::string path =
+      ::testing::TempDir() + "/boxes_sweep_" + tag + ".db";
+  std::remove(path.c_str());
+  std::remove((path + ".journal").c_str());
+  return path;
+}
+
+bool IsCleanErrorCode(StatusCode code) {
+  return code == StatusCode::kCorruption || code == StatusCode::kIoError ||
+         code == StatusCode::kNotFound ||
+         code == StatusCode::kInvalidArgument;
+}
+
+// Reopens the crashed image and classifies the outcome. Returns the index
+// of the recovered checkpoint, or -1 for a clean pre-first-commit error.
+// Any inconsistency (bad invariants, wrong label order, unreadable
+// committed chain) fails the test via ADD_FAILURE.
+template <typename Scheme, typename Options>
+int64_t VerifyCrashedImage(const std::string& path, const Options& options,
+                           const std::vector<ModelSnapshot>& snapshots,
+                           uint64_t crash_point) {
+  FilePageStore store(path, kPageSize, FilePageStore::Mode::kOpen);
+  if (!store.status().ok()) {
+    EXPECT_TRUE(IsCleanErrorCode(store.status().code()))
+        << "crash point " << crash_point
+        << ": reopen failed uncleanly: " << store.status().ToString();
+    return -1;
+  }
+  PageCache cache(&store);
+  const StatusOr<PageId> head = LoadCheckpointHead(&cache);
+  if (!head.ok()) {
+    EXPECT_TRUE(IsCleanErrorCode(head.status().code()))
+        << "crash point " << crash_point << ": "
+        << head.status().ToString();
+    return -1;
+  }
+  // A committed superblock slot promises a readable, consistent
+  // checkpoint; from here every step must succeed.
+  StatusOr<MetadataReader> reader = MetadataReader::Load(&cache, *head);
+  if (!reader.ok()) {
+    ADD_FAILURE() << "crash point " << crash_point
+                  << ": committed chain unreadable: "
+                  << reader.status().ToString();
+    return -1;
+  }
+  StatusOr<uint64_t> index = reader->GetU64();
+  StatusOr<uint64_t> scheme_head =
+      index.ok() ? reader->GetU64() : StatusOr<uint64_t>(index.status());
+  if (!index.ok() || !scheme_head.ok()) {
+    ADD_FAILURE() << "crash point " << crash_point
+                  << ": committed chain truncated";
+    return -1;
+  }
+  if (*index >= snapshots.size()) {
+    ADD_FAILURE() << "crash point " << crash_point
+                  << ": recovered unknown checkpoint " << *index;
+    return -1;
+  }
+  Scheme scheme(&cache, options);
+  const Status restored = scheme.Restore(*scheme_head);
+  if (!restored.ok()) {
+    ADD_FAILURE() << "crash point " << crash_point
+                  << ": Restore failed: " << restored.ToString();
+    return -1;
+  }
+  const Status invariants = scheme.CheckInvariants();
+  if (!invariants.ok()) {
+    ADD_FAILURE() << "crash point " << crash_point
+                  << ": invariants violated: " << invariants.ToString();
+    return -1;
+  }
+  const ModelSnapshot& model = snapshots[*index];
+  EXPECT_TRUE(LabelsStrictlyIncreasing(&scheme, model.order))
+      << "crash point " << crash_point << ", checkpoint " << *index;
+  StatusOr<SchemeStats> stats = scheme.GetStats();
+  EXPECT_TRUE(stats.ok());
+  if (stats.ok()) {
+    EXPECT_EQ(stats->live_labels, model.order.size())
+        << "crash point " << crash_point << ", checkpoint " << *index;
+  }
+  return static_cast<int64_t>(*index);
+}
+
+template <typename Scheme, typename Options>
+void RunCrashSweep(const std::string& tag, const Options& options) {
+  // Reference run: no faults; learns the total write count, the commit
+  // points, and the model state at every checkpoint.
+  std::vector<ModelSnapshot> snapshots;
+  uint64_t total_writes = 0;
+  {
+    const std::string path = SweepPath(tag + "_ref");
+    FilePageStore base(path, kPageSize);
+    ASSERT_OK(base.status());
+    FaultInjectionPageStore wrapper(&base);
+    PageCache cache(&wrapper);
+    Scheme scheme(&cache, options);
+    ASSERT_OK(RunWorkload(&cache, &scheme, &wrapper, &snapshots));
+    total_writes = wrapper.writes_committed();
+  }
+  ASSERT_GE(snapshots.size(), 3u) << "workload must span checkpoints";
+  ASSERT_GE(total_writes, 220u) << "workload too small for a 200-point sweep";
+
+  const uint64_t stride = std::max<uint64_t>(1, total_writes / 210);
+  uint64_t points = 0;
+  uint64_t recovered = 0;
+  uint64_t clean_errors = 0;
+  const std::string path = SweepPath(tag);
+  for (uint64_t crash = 0; crash < total_writes; crash += stride) {
+    ++points;
+    // Crash run: identical workload, frozen image after `crash` writes;
+    // the in-flight write is torn, so its partial frame reaches the disk.
+    {
+      FilePageStore base(path, kPageSize);
+      ASSERT_OK(base.status());
+      FaultInjectionPageStore wrapper(&base);
+      wrapper.SetSeed(crash);
+      wrapper.SetTornWrites(true);
+      wrapper.CrashAfterWrites(crash);
+      PageCache cache(&wrapper);
+      Scheme scheme(&cache, options);
+      const Status run = RunWorkload(&cache, &scheme, &wrapper, nullptr);
+      ASSERT_FALSE(run.ok()) << "crash point " << crash << " never fired";
+      ASSERT_EQ(run.code(), StatusCode::kIoError)
+          << "crash point " << crash << ": " << run.ToString();
+      ASSERT_TRUE(wrapper.crashed());
+    }
+    // Strict floor: the newest checkpoint whose commit completed before
+    // the crash must still be recoverable.
+    int64_t expected_min = -1;
+    for (const ModelSnapshot& snapshot : snapshots) {
+      if (snapshot.commit_writes <= crash) {
+        expected_min = static_cast<int64_t>(snapshot.index);
+      }
+    }
+    const int64_t got = VerifyCrashedImage<Scheme, Options>(
+        path, options, snapshots, crash);
+    if (got >= 0) {
+      ++recovered;
+    } else {
+      ++clean_errors;
+    }
+    EXPECT_GE(got, expected_min)
+        << "crash point " << crash << " lost a durably committed checkpoint";
+    if (::testing::Test::HasFatalFailure()) {
+      return;
+    }
+  }
+  ASSERT_GE(points, 200u);
+  // Once commits exist, most crash points recover; all-clean-error would
+  // mean the sweep is not exercising recovery at all.
+  EXPECT_GT(recovered, points / 2);
+  ::testing::Test::RecordProperty("crash_points", static_cast<int>(points));
+  ::testing::Test::RecordProperty("recovered", static_cast<int>(recovered));
+  ::testing::Test::RecordProperty("clean_errors",
+                                  static_cast<int>(clean_errors));
+}
+
+TEST(CrashSweepTest, WBoxRecoversAtEveryCrashPoint) {
+  RunCrashSweep<WBox>("wbox", WBoxOptions{});
+}
+
+TEST(CrashSweepTest, BBoxRecoversAtEveryCrashPoint) {
+  RunCrashSweep<BBox>("bbox", BBoxOptions{});
+}
+
+TEST(CrashSweepTest, NaiveRecoversAtEveryCrashPoint) {
+  RunCrashSweep<NaiveScheme>("naive",
+                             NaiveOptions{.gap_bits = 8, .count_bits = 30});
+}
+
+}  // namespace
+}  // namespace boxes

@@ -1,0 +1,56 @@
+// CRC-32C against published reference vectors (RFC 3720 / iSCSI test
+// patterns), plus the chaining property the page format relies on.
+
+#include <cstdint>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "util/crc32c.h"
+
+namespace boxes {
+namespace {
+
+TEST(Crc32cTest, StandardVectors) {
+  // "123456789" is the canonical check value for CRC-32C.
+  EXPECT_EQ(Crc32c("123456789", 9), 0xe3069283u);
+  // RFC 3720 B.4: 32 bytes of zeros.
+  std::vector<uint8_t> zeros(32, 0x00);
+  EXPECT_EQ(Crc32c(zeros.data(), zeros.size()), 0x8a9136aau);
+  // RFC 3720 B.4: 32 bytes of 0xff.
+  std::vector<uint8_t> ones(32, 0xff);
+  EXPECT_EQ(Crc32c(ones.data(), ones.size()), 0x62a8ab43u);
+  // RFC 3720 B.4: 32 incrementing bytes 0x00..0x1f.
+  std::vector<uint8_t> ascending(32);
+  for (size_t i = 0; i < ascending.size(); ++i) {
+    ascending[i] = static_cast<uint8_t>(i);
+  }
+  EXPECT_EQ(Crc32c(ascending.data(), ascending.size()), 0x46dd794eu);
+}
+
+TEST(Crc32cTest, EmptyInputIsZero) { EXPECT_EQ(Crc32c("", 0), 0u); }
+
+TEST(Crc32cTest, ExtendChainsPartialBuffers) {
+  const char* data = "the quick brown fox jumps over the lazy dog";
+  const size_t n = 43;
+  const uint32_t whole = Crc32c(data, n);
+  for (size_t split = 0; split <= n; ++split) {
+    const uint32_t chained =
+        Crc32cExtend(Crc32c(data, split), data + split, n - split);
+    EXPECT_EQ(chained, whole) << "split at " << split;
+  }
+}
+
+TEST(Crc32cTest, DetectsSingleBitFlips) {
+  std::vector<uint8_t> buf(128, 0x5a);
+  const uint32_t clean = Crc32c(buf.data(), buf.size());
+  for (size_t byte = 0; byte < buf.size(); byte += 17) {
+    for (int bit = 0; bit < 8; ++bit) {
+      buf[byte] ^= static_cast<uint8_t>(1u << bit);
+      EXPECT_NE(Crc32c(buf.data(), buf.size()), clean);
+      buf[byte] ^= static_cast<uint8_t>(1u << bit);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace boxes

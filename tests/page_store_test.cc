@@ -1,9 +1,12 @@
 #include "storage/page_store.h"
 
+#include <cstdio>
 #include <cstring>
+#include <string>
 #include <vector>
 
 #include "gtest/gtest.h"
+#include "storage/superblock_format.h"
 #include "test_util.h"
 
 namespace boxes {
@@ -109,6 +112,133 @@ TYPED_TEST(PageStoreTest, ManyPagesKeepDistinctContent) {
   }
 }
 
+std::string ScratchPath(const char* name) {
+  const std::string path = ::testing::TempDir() + "/" + name;
+  std::remove(path.c_str());
+  std::remove((path + ".journal").c_str());
+  return path;
+}
+
+TEST(FilePageStoreTest, TornWriteIsCaughtByChecksum) {
+  const std::string path = ScratchPath("boxes_torn.db");
+  FilePageStore store(path, 512);
+  ASSERT_OK(store.status());
+  // Page 0 is the CRC-exempt commit record; test with a data page.
+  ASSERT_OK(store.Allocate().status());
+  ASSERT_OK_AND_ASSIGN(const PageId page, store.Allocate());
+  std::vector<uint8_t> buf(512, 0xcd);
+  ASSERT_OK(store.Write(page, buf.data()));
+  // Persist only part of the new image: payload and trailer now disagree.
+  std::vector<uint8_t> newer(512, 0x11);
+  ASSERT_OK(store.WriteTorn(page, newer.data(), 100));
+  std::vector<uint8_t> read(512);
+  const Status status = store.Read(page, read.data());
+  EXPECT_EQ(status.code(), StatusCode::kCorruption);
+  EXPECT_NE(status.message().find(std::to_string(page)), std::string::npos);
+  EXPECT_GE(store.counters().checksum_failures, 1u);
+}
+
+TEST(FilePageStoreTest, BitRotIsCaughtByChecksum) {
+  const std::string path = ScratchPath("boxes_bitrot.db");
+  PageId page = kInvalidPageId;
+  {
+    FilePageStore store(path, 512);
+    ASSERT_OK(store.status());
+    ASSERT_OK(store.Allocate().status());  // page 0 is CRC-exempt
+    ASSERT_OK_AND_ASSIGN(page, store.Allocate());
+    std::vector<uint8_t> buf(512, 0x77);
+    ASSERT_OK(store.Write(page, buf.data()));
+  }
+  // Flip one payload byte behind the store's back.
+  {
+    std::FILE* f = std::fopen(path.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    const long offset =
+        static_cast<long>(page) * (512 + FilePageStore::kPageTrailerSize) + 9;
+    ASSERT_EQ(std::fseek(f, offset, SEEK_SET), 0);
+    std::fputc(0x78, f);
+    std::fclose(f);
+  }
+  FilePageStore reopened(path, 512, FilePageStore::Mode::kOpen);
+  ASSERT_OK(reopened.status());
+  std::vector<uint8_t> read(512);
+  EXPECT_EQ(reopened.Read(page, read.data()).code(), StatusCode::kCorruption);
+}
+
+TEST(FilePageStoreTest, ChecksumsAreCounted) {
+  const std::string path = ScratchPath("boxes_counted.db");
+  FilePageStore store(path, 512);
+  ASSERT_OK(store.status());
+  ASSERT_OK(store.Allocate().status());  // page 0 is CRC-exempt
+  ASSERT_OK_AND_ASSIGN(const PageId page, store.Allocate());
+  std::vector<uint8_t> buf(512, 0x42);
+  const uint64_t computed_before = store.counters().checksums_computed;
+  ASSERT_OK(store.Write(page, buf.data()));
+  EXPECT_EQ(store.counters().checksums_computed, computed_before + 1);
+  ASSERT_OK(store.Read(page, buf.data()));
+  EXPECT_GE(store.counters().checksums_verified, 1u);
+}
+
+// Store-level crash rollback: a page overwritten after the last committed
+// epoch is rolled back to its pre-image when the file is reopened.
+TEST(FilePageStoreTest, ReopenRollsBackUncommittedOverwrites) {
+  const std::string path = ScratchPath("boxes_rollback.db");
+  PageId data_page = kInvalidPageId;
+  {
+    FilePageStore store(path, 512);
+    ASSERT_OK(store.status());
+    // Page 0 must carry a commit record for recovery to learn the epoch.
+    ASSERT_OK_AND_ASSIGN(const PageId sb, store.Allocate());
+    ASSERT_EQ(sb, 0u);
+    std::vector<uint8_t> page0(512, 0);
+    superblock::EncodeSlot(page0.data(), /*sequence=*/1, kInvalidPageId);
+    ASSERT_OK(store.Write(0, page0.data()));
+    ASSERT_OK_AND_ASSIGN(data_page, store.Allocate());
+    std::vector<uint8_t> committed(512, 0xaa);
+    ASSERT_OK(store.Write(data_page, committed.data()));
+    ASSERT_OK(store.Sync());
+    ASSERT_OK(store.CommitEpoch(1));
+    // Post-checkpoint overwrite, then "crash" (no CommitEpoch).
+    std::vector<uint8_t> uncommitted(512, 0xbb);
+    ASSERT_OK(store.Write(data_page, uncommitted.data()));
+  }
+  FilePageStore reopened(path, 512, FilePageStore::Mode::kOpen);
+  ASSERT_OK(reopened.status());
+  EXPECT_GE(reopened.counters().journal_rollbacks, 1u);
+  EXPECT_EQ(reopened.epoch(), 1u);
+  std::vector<uint8_t> read(512);
+  ASSERT_OK(reopened.Read(data_page, read.data()));
+  EXPECT_EQ(read[0], 0xaa);  // the committed image survived the crash
+}
+
+// A torn post-checkpoint overwrite is also rolled back: the journal holds
+// the intact pre-image, captured before the tear.
+TEST(FilePageStoreTest, ReopenRollsBackTornOverwrite) {
+  const std::string path = ScratchPath("boxes_torn_rollback.db");
+  PageId data_page = kInvalidPageId;
+  {
+    FilePageStore store(path, 512);
+    ASSERT_OK(store.status());
+    ASSERT_OK_AND_ASSIGN(const PageId sb, store.Allocate());
+    ASSERT_EQ(sb, 0u);
+    std::vector<uint8_t> page0(512, 0);
+    superblock::EncodeSlot(page0.data(), /*sequence=*/1, kInvalidPageId);
+    ASSERT_OK(store.Write(0, page0.data()));
+    ASSERT_OK_AND_ASSIGN(data_page, store.Allocate());
+    std::vector<uint8_t> committed(512, 0xaa);
+    ASSERT_OK(store.Write(data_page, committed.data()));
+    ASSERT_OK(store.Sync());
+    ASSERT_OK(store.CommitEpoch(1));
+    std::vector<uint8_t> uncommitted(512, 0xbb);
+    ASSERT_OK(store.WriteTorn(data_page, uncommitted.data(), 37));
+  }
+  FilePageStore reopened(path, 512, FilePageStore::Mode::kOpen);
+  ASSERT_OK(reopened.status());
+  std::vector<uint8_t> read(512);
+  ASSERT_OK(reopened.Read(data_page, read.data()));
+  EXPECT_EQ(read[0], 0xaa);
+}
+
 TEST(FaultInjectionPageStoreTest, FailsAfterBudget) {
   MemoryPageStore base(512);
   FaultInjectionPageStore store(&base);
@@ -121,6 +251,109 @@ TEST(FaultInjectionPageStoreTest, FailsAfterBudget) {
   EXPECT_EQ(store.Read(page, buf.data()).code(), StatusCode::kIoError);
   store.Heal();
   EXPECT_TRUE(store.Read(page, buf.data()).ok());
+}
+
+TEST(FaultInjectionPageStoreTest, AllocateAndFreeAreCounted) {
+  MemoryPageStore base(512);
+  FaultInjectionPageStore store(&base);
+  ASSERT_OK_AND_ASSIGN(const PageId keep, store.Allocate());
+  EXPECT_EQ(store.ops_seen(), 1u);
+  store.FailAfter(0);
+  EXPECT_EQ(store.Allocate().status().code(), StatusCode::kIoError);
+  EXPECT_EQ(store.Free(keep).code(), StatusCode::kIoError);
+  EXPECT_EQ(store.faults_injected(), 2u);
+  EXPECT_EQ(base.allocated_pages(), 1u);  // nothing reached the base store
+  store.Heal();
+  ASSERT_OK(store.Free(keep));
+}
+
+TEST(FaultInjectionPageStoreTest, TransientProbabilisticFaults) {
+  MemoryPageStore base(512);
+  FaultInjectionPageStore store(&base);
+  ASSERT_OK_AND_ASSIGN(const PageId page, store.Allocate());
+  std::vector<uint8_t> buf(512, 3);
+  store.SetSeed(12345);
+  store.SetFailProbability(0.3, /*transient=*/true);
+  int failures = 0;
+  int successes = 0;
+  for (int i = 0; i < 200; ++i) {
+    if (store.Write(page, buf.data()).ok()) {
+      ++successes;
+    } else {
+      ++failures;
+    }
+  }
+  // Transient faults interleave: both outcomes occur, and successes resume
+  // after failures without Heal().
+  EXPECT_GT(failures, 20);
+  EXPECT_GT(successes, 80);
+  EXPECT_EQ(store.faults_injected(), static_cast<uint64_t>(failures));
+}
+
+TEST(FaultInjectionPageStoreTest, PermanentFaultLatchesUntilHeal) {
+  MemoryPageStore base(512);
+  FaultInjectionPageStore store(&base);
+  ASSERT_OK_AND_ASSIGN(const PageId page, store.Allocate());
+  std::vector<uint8_t> buf(512, 4);
+  store.SetSeed(99);
+  store.SetFailProbability(0.2, /*transient=*/false);
+  // Drive until the first fault; after it, everything fails.
+  int i = 0;
+  while (store.Write(page, buf.data()).ok()) {
+    ASSERT_LT(++i, 1000);
+  }
+  EXPECT_EQ(store.Read(page, buf.data()).code(), StatusCode::kIoError);
+  EXPECT_EQ(store.Write(page, buf.data()).code(), StatusCode::kIoError);
+  EXPECT_EQ(store.Allocate().status().code(), StatusCode::kIoError);
+  store.Heal();
+  store.SetFailProbability(0.0);
+  EXPECT_TRUE(store.Read(page, buf.data()).ok());
+}
+
+TEST(FaultInjectionPageStoreTest, CrashPointFreezesTheImage) {
+  MemoryPageStore base(512);
+  FaultInjectionPageStore store(&base);
+  ASSERT_OK_AND_ASSIGN(const PageId a, store.Allocate());
+  ASSERT_OK_AND_ASSIGN(const PageId b, store.Allocate());
+  std::vector<uint8_t> ones(512, 1);
+  std::vector<uint8_t> twos(512, 2);
+  store.CrashAfterWrites(2);
+  ASSERT_OK(store.Write(a, ones.data()));
+  ASSERT_OK(store.Write(b, ones.data()));
+  EXPECT_FALSE(store.crashed());
+  EXPECT_EQ(store.Write(a, twos.data()).code(), StatusCode::kIoError);
+  EXPECT_TRUE(store.crashed());
+  // Every later operation fails: the image below is frozen.
+  EXPECT_EQ(store.Read(a, ones.data()).code(), StatusCode::kIoError);
+  EXPECT_EQ(store.Allocate().status().code(), StatusCode::kIoError);
+  EXPECT_EQ(store.Sync().code(), StatusCode::kIoError);
+  // The base store still holds the pre-crash content.
+  std::vector<uint8_t> read(512);
+  ASSERT_OK(base.Read(a, read.data()));
+  EXPECT_EQ(read[0], 1);
+  store.Heal();
+  EXPECT_FALSE(store.crashed());
+  ASSERT_OK(store.Read(a, read.data()));
+}
+
+TEST(FaultInjectionPageStoreTest, TornWriteOnFaultReachesTheBase) {
+  const std::string path = ScratchPath("boxes_fault_torn.db");
+  FilePageStore base(path, 512);
+  ASSERT_OK(base.status());
+  FaultInjectionPageStore store(&base);
+  ASSERT_OK(store.Allocate().status());  // page 0 is CRC-exempt
+  ASSERT_OK_AND_ASSIGN(const PageId page, store.Allocate());
+  std::vector<uint8_t> good(512, 0x10);
+  ASSERT_OK(store.Write(page, good.data()));
+  store.SetSeed(7);
+  store.SetTornWrites(true);
+  store.CrashAfterWrites(0);
+  std::vector<uint8_t> bad(512, 0x20);
+  EXPECT_EQ(store.Write(page, bad.data()).code(), StatusCode::kIoError);
+  store.Heal();
+  // The torn frame is on the device and the checksum catches it.
+  std::vector<uint8_t> read(512);
+  EXPECT_EQ(base.Read(page, read.data()).code(), StatusCode::kCorruption);
 }
 
 }  // namespace

@@ -9,3 +9,8 @@ cd "$repo"
 cmake --preset sanitize
 cmake --build --preset sanitize -j "$(nproc)"
 ctest --preset sanitize -j "$(nproc)" "$@"
+
+# The crash-point recovery sweep (label: crash-sweep) is part of the suite
+# above; run it again serially so torn-write recovery paths execute under
+# the sanitizers without interleaved test processes sharing /tmp images.
+ctest --preset crash-sweep-sanitize "$@"
