@@ -190,6 +190,7 @@ void AblateFillFraction(uint64_t elements, uint64_t inserts,
 }
 
 int Run(int argc, char** argv) {
+  const bool smoke = ExtractSmokeFlag(&argc, argv);
   FlagParser flags;
   int64_t* elements = flags.AddInt64("elements", 10000, "base elements");
   int64_t* inserts = flags.AddInt64("inserts", 3000, "measured inserts");
@@ -199,6 +200,9 @@ int Run(int argc, char** argv) {
   if (!flags.Parse(argc, argv)) {
     return 1;
   }
+  SmokeCap(smoke, elements, 2000);
+  SmokeCap(smoke, inserts, 500);
+  SmokeCap(smoke, churn_rounds, 3);
   std::printf("ABL: design-choice ablations\n\n");
   AblateMinFill(static_cast<uint64_t>(*elements),
                 static_cast<uint64_t>(*churn_rounds),

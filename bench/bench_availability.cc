@@ -1,0 +1,286 @@
+// Availability benchmark: goodput, latency, and staleness versus fault
+// probability for W-BOX, B-BOX, and naive-k behind the runtime
+// fault-resilience layer (retrying store + online scrubber + degraded
+// reads; DESIGN.md §4f).
+//
+// Two regimes per scheme:
+//   * Transient storms — every page operation independently fails with
+//     probability p; the RetryingPageStore's bounded backoff absorbs the
+//     faults. Reported: goodput (exact answers), retries, give-ups, mean
+//     operation latency, and accumulated (virtual) backoff.
+//   * A permanent episode — a sample of live pages is poisoned (reads
+//     return Corruption). Lookups over cached references degrade to
+//     possibly-stale answers instead of erroring, the scrubber
+//     quarantines the bad pages, and healing + rescrubbing empties the
+//     quarantine. Reported: exact vs possibly-stale vs error counts and
+//     quarantine sizes.
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/cachelog/caching_store.h"
+#include "storage/retrying_store.h"
+#include "storage/scrubber.h"
+#include "util/flags.h"
+#include "util/random.h"
+#include "xml/generators.h"
+
+namespace boxes::bench {
+namespace {
+
+/// A scheme stacked on the full resilience sandwich:
+/// memory store -> fault injector -> retrying store -> page cache.
+struct ResilientUnit {
+  ResilientUnit(size_t page_size, uint64_t retry_seed)
+      : base(page_size),
+        faulty(&base),
+        retrying(&faulty, [&] {
+          RetryingStoreOptions options;
+          options.seed = retry_seed;
+          return options;
+        }()),
+        cache(&retrying) {}
+
+  MemoryPageStore base;
+  FaultInjectionPageStore faulty;
+  RetryingPageStore retrying;
+  PageCache cache;
+  std::unique_ptr<LabelingScheme> scheme;
+};
+
+Status MakeResilientScheme(const std::string& name, ResilientUnit* unit) {
+  PageCache* cache = &unit->cache;
+  if (name == "wbox") {
+    unit->scheme = std::make_unique<WBox>(cache);
+  } else if (name == "bbox") {
+    unit->scheme = std::make_unique<BBox>(cache);
+  } else if (name.rfind("naive-", 0) == 0) {
+    NaiveOptions options;
+    options.gap_bits = static_cast<uint32_t>(std::stoul(name.substr(6)));
+    unit->scheme = std::make_unique<NaiveScheme>(cache, options);
+  } else {
+    return Status::InvalidArgument("unknown scheme '" + name + "'");
+  }
+  return Status::OK();
+}
+
+struct StormResult {
+  uint64_t lookups = 0;
+  uint64_t inserts = 0;
+  uint64_t exact = 0;
+  uint64_t stale = 0;
+  uint64_t hard_errors = 0;
+  double op_us_sum = 0;
+};
+
+void RunScheme(const std::string& name, int64_t elements, int64_t ops,
+               int64_t log_capacity, size_t page_size,
+               const std::vector<double>& fail_probabilities,
+               int64_t poisoned_pages) {
+  for (const double p : fail_probabilities) {
+    ResilientUnit unit(page_size, /*retry_seed=*/0xa11ced);
+    CheckOkOrDie(MakeResilientScheme(name, &unit), "making scheme");
+    unit.retrying.SetMetrics(&GlobalMetrics());
+    unit.retrying.SetPhaseProbe(
+        [cache = &unit.cache] { return cache->current_phase(); });
+    unit.scheme->SetMetrics(&GlobalMetrics());
+    CachingLabelStore store(unit.scheme.get(),
+                            static_cast<size_t>(log_capacity));
+    Scrubber scrubber(&unit.faulty);
+    scrubber.SetMetrics(&GlobalMetrics());
+    scrubber.AddStructuralCheck(
+        name, [scheme = unit.scheme.get()] {
+          return scheme->CheckInvariants();
+        });
+
+    // Build and warm with faults off: every reference starts cached.
+    const xml::Document doc =
+        xml::MakeTwoLevelDocument(static_cast<uint64_t>(elements));
+    std::vector<NewElement> lids;
+    CheckOkOrDie(unit.scheme->BulkLoad(doc, &lids), "bulk load");
+    CheckOkOrDie(unit.cache.FlushAll(), "flush");
+    std::vector<CachedLabelRef> refs;
+    refs.reserve(lids.size());
+    for (const NewElement& element : lids) {
+      refs.push_back(store.MakeRef(element.start));
+      CheckOkOrDie(store.Lookup(&refs.back()).status(), "warm lookup");
+    }
+    CheckOkOrDie(unit.cache.FlushAll(), "flush");
+
+    unit.faulty.SetSeed(0x5707 + static_cast<uint64_t>(p * 10000));
+    unit.faulty.SetFailProbability(p, /*transient=*/true);
+    Random rng(0xbeef);
+    StormResult result;
+    for (int64_t op = 0; op < ops; ++op) {
+      const auto start = std::chrono::steady_clock::now();
+      if (rng.Bernoulli(0.2)) {
+        ++result.inserts;
+        IoScope scope(&unit.cache);
+        const Lid target = lids[rng.Uniform(lids.size())].start;
+        Status status =
+            unit.scheme->InsertElementBefore(target).status();
+        const Status flush = scope.End();
+        if (status.ok()) {
+          status = flush;
+        }
+        if (status.ok()) {
+          ++result.exact;
+        } else {
+          ++result.hard_errors;
+        }
+      } else {
+        ++result.lookups;
+        IoScope scope(&unit.cache);
+        CachedLabelRef* ref = &refs[rng.Uniform(refs.size())];
+        StatusOr<ResilientLabel> label = store.LookupResilient(ref);
+        (void)scope.End();
+        if (!label.ok()) {
+          ++result.hard_errors;
+        } else if (label->possibly_stale) {
+          ++result.stale;
+        } else {
+          ++result.exact;
+        }
+      }
+      result.op_us_sum += std::chrono::duration<double, std::micro>(
+                              std::chrono::steady_clock::now() - start)
+                              .count();
+      // The scrubber advances between foreground operations.
+      if (op % 32 == 31) {
+        CheckOkOrDie(scrubber.Step(), "scrub step");
+      }
+    }
+
+    const RetryingPageStore::Counters& retry = unit.retrying.counters();
+    std::printf(
+        "%-9s p=%.3f | ops %lld (%llu lookups, %llu inserts) | goodput "
+        "%.2f%% stale %.2f%% hard errors %llu | retries %llu recovered "
+        "%llu gave up %llu | backoff %.1f ms | scrubbed %llu pages | mean "
+        "op %.1f us\n",
+        name.c_str(), p, static_cast<long long>(ops),
+        static_cast<unsigned long long>(result.lookups),
+        static_cast<unsigned long long>(result.inserts),
+        100.0 * static_cast<double>(result.exact) /
+            static_cast<double>(ops),
+        100.0 * static_cast<double>(result.stale) /
+            static_cast<double>(ops),
+        static_cast<unsigned long long>(result.hard_errors),
+        static_cast<unsigned long long>(retry.retries),
+        static_cast<unsigned long long>(retry.recovered),
+        static_cast<unsigned long long>(retry.gave_up),
+        static_cast<double>(retry.backoff_us) / 1000.0,
+        static_cast<unsigned long long>(
+            scrubber.counters().pages_scanned),
+        result.op_us_sum / static_cast<double>(ops));
+    GlobalMetrics().IncrementCounter(
+        "availability." + name + ".hard_errors", result.hard_errors);
+    GlobalMetrics().IncrementCounter("availability." + name + ".stale",
+                                     result.stale);
+
+    // Permanent episode at the highest sweep point only (it is
+    // probability-independent).
+    if (p != fail_probabilities.back() || poisoned_pages <= 0) {
+      continue;
+    }
+    unit.faulty.SetFailProbability(0.0);
+    // Age every reference past the mod log's replay window first —
+    // fresh/replay hits are exact by construction and would mask the
+    // poisoned pages entirely. Concentrated inserts exhaust the local gap,
+    // so even gap-based schemes (naive-k) emit shifts and advance the log.
+    for (int64_t i = 0; i <= log_capacity; ++i) {
+      IoScope scope(&unit.cache);
+      const Lid target = lids[lids.size() / 2].start;
+      CheckOkOrDie(unit.scheme->InsertElementBefore(target).status(),
+                   "aging insert");
+      CheckOkOrDie(scope.End(), "aging flush");
+    }
+    uint64_t total = 0;
+    std::vector<PageId> free_pages;
+    unit.base.SnapshotAllocator(&total, &free_pages);
+    const std::set<PageId> free_set(free_pages.begin(), free_pages.end());
+    std::vector<PageId> allocated;
+    for (PageId id = 0; id < total; ++id) {
+      if (free_set.count(id) == 0) {
+        allocated.push_back(id);
+      }
+    }
+    for (int64_t i = 0; i < poisoned_pages && !allocated.empty(); ++i) {
+      unit.faulty.PoisonPage(allocated[rng.Uniform(allocated.size())]);
+    }
+    uint64_t exact = 0;
+    uint64_t stale = 0;
+    uint64_t errors = 0;
+    for (CachedLabelRef& ref : refs) {
+      IoScope scope(&unit.cache);
+      StatusOr<ResilientLabel> label = store.LookupResilient(&ref);
+      (void)scope.End();
+      if (!label.ok()) {
+        ++errors;
+      } else if (label->possibly_stale) {
+        ++stale;
+      } else {
+        ++exact;
+      }
+    }
+    CheckOkOrDie(scrubber.ScrubPass(), "scrub pass");
+    const uint64_t quarantined = scrubber.quarantined().size();
+    unit.faulty.Heal();
+    CheckOkOrDie(scrubber.ScrubPass(), "rescrub pass");
+    std::printf(
+        "%-9s permanent | %lld pages poisoned | exact %llu stale %llu "
+        "errors %llu | quarantined %llu, empty after heal+rescrub: %s\n",
+        name.c_str(), static_cast<long long>(poisoned_pages),
+        static_cast<unsigned long long>(exact),
+        static_cast<unsigned long long>(stale),
+        static_cast<unsigned long long>(errors),
+        static_cast<unsigned long long>(quarantined),
+        scrubber.quarantined().empty() ? "yes" : "NO");
+    GlobalMetrics().IncrementCounter(
+        "availability." + name + ".quarantined", quarantined);
+  }
+}
+
+int Run(int argc, char** argv) {
+  const bool smoke = ExtractSmokeFlag(&argc, argv);
+  FlagParser flags;
+  int64_t* elements = flags.AddInt64("elements", 4000, "document elements");
+  int64_t* ops = flags.AddInt64("ops", 6000, "storm operations per point");
+  int64_t* log_capacity =
+      flags.AddInt64("log_capacity", 512, "mod log entries (k)");
+  int64_t* poisoned =
+      flags.AddInt64("poisoned_pages", 8, "pages poisoned permanently");
+  int64_t* page_size = flags.AddInt64("page_size", 2048, "block size");
+  std::string* schemes = flags.AddString("schemes", "wbox,bbox,naive-16",
+                                         "comma-separated schemes");
+  std::string* metrics_json =
+      flags.AddString("metrics_json", "", "write metrics JSON here");
+  if (!flags.Parse(argc, argv)) {
+    return 1;
+  }
+  SmokeCap(smoke, elements, 800);
+  SmokeCap(smoke, ops, 800);
+
+  std::vector<double> probabilities = {0.0, 0.01, 0.02, 0.05};
+  if (smoke) {
+    probabilities = {0.0, 0.05};
+  }
+  std::printf("AVAILABILITY: goodput/latency/staleness vs fault "
+              "probability (retry + scrub + degraded reads)\n\n");
+  for (const std::string& name : SplitSchemes(*schemes)) {
+    RunScheme(name, *elements, *ops, *log_capacity,
+              static_cast<size_t>(*page_size), probabilities, *poisoned);
+    std::printf("\n");
+  }
+  MaybeWriteMetricsJson(*metrics_json);
+  return 0;
+}
+
+}  // namespace
+}  // namespace boxes::bench
+
+int main(int argc, char** argv) { return boxes::bench::Run(argc, argv); }

@@ -22,6 +22,7 @@ namespace boxes::bench {
 namespace {
 
 int Run(int argc, char** argv) {
+  const bool smoke = ExtractSmokeFlag(&argc, argv);
   FlagParser flags;
   int64_t* elements = flags.AddInt64("elements", 20000, "document elements");
   int64_t* updates = flags.AddInt64("updates", 500, "element insertions");
@@ -35,6 +36,8 @@ int Run(int argc, char** argv) {
   if (!flags.Parse(argc, argv)) {
     return 1;
   }
+  SmokeCap(smoke, elements, 4000);
+  SmokeCap(smoke, updates, 100);
 
   std::printf(
       "CACHELOG: read-heavy workload, %lld updates x %lld reads each\n"

@@ -121,6 +121,35 @@ inline std::string ExtractMetricsJsonFlag(int* argc, char** argv) {
   return path;
 }
 
+/// Removes `--smoke` from argv and returns whether it was present. Smoke
+/// mode is the CI setting: benches cut their workload sizes (via SmokeCap)
+/// so the whole bench suite finishes in a couple of minutes while still
+/// executing every code path. Call before FlagParser/benchmark argument
+/// parsing — like ExtractMetricsJsonFlag, it strips the flag so parsers
+/// that reject unknown arguments never see it.
+inline bool ExtractSmokeFlag(int* argc, char** argv) {
+  bool smoke = false;
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    if (std::string(argv[i]) == "--smoke") {
+      smoke = true;
+      continue;
+    }
+    argv[out++] = argv[i];
+  }
+  *argc = out;
+  return smoke;
+}
+
+/// In smoke mode, caps a workload-size flag at `cap` (no-op otherwise).
+/// Explicit values below the cap are preserved, so `--smoke --ops=3` still
+/// means 3 ops.
+inline void SmokeCap(bool smoke, int64_t* value, int64_t cap) {
+  if (smoke && *value > cap) {
+    *value = cap;
+  }
+}
+
 /// If `path` is non-empty, writes the global metrics registry there as
 /// JSON, aborting on failure.
 inline void MaybeWriteMetricsJson(const std::string& path) {

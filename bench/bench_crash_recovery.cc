@@ -282,6 +282,7 @@ void SweepScheme(const std::string& name, const Options& options,
 }
 
 int Run(int argc, char** argv) {
+  const bool smoke = ExtractSmokeFlag(&argc, argv);
   FlagParser flags;
   int64_t* ops = flags.AddInt64("ops", 300, "workload operations");
   int64_t* ops_per_checkpoint =
@@ -298,6 +299,8 @@ int Run(int argc, char** argv) {
   if (!flags.Parse(argc, argv)) {
     return 1;
   }
+  SmokeCap(smoke, ops, 100);
+  SmokeCap(smoke, crash_points, 30);
 
   std::printf("CRASH RECOVERY: torn-write sweep over checkpointed "
               "file-backed stores\n\n");

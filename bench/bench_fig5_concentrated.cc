@@ -17,6 +17,7 @@ namespace boxes::bench {
 namespace {
 
 int Run(int argc, char** argv) {
+  const bool smoke = ExtractSmokeFlag(&argc, argv);
   FlagParser flags;
   int64_t* base = flags.AddInt64("base", 10000, "base document elements");
   int64_t* inserts =
@@ -33,6 +34,8 @@ int Run(int argc, char** argv) {
   if (!flags.Parse(argc, argv)) {
     return 1;
   }
+  SmokeCap(smoke, base, 2000);
+  SmokeCap(smoke, inserts, 500);
 
   std::printf(
       "FIG5: amortized update cost, concentrated insertion sequence\n"

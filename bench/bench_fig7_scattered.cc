@@ -13,6 +13,7 @@ namespace boxes::bench {
 namespace {
 
 int Run(int argc, char** argv) {
+  const bool smoke = ExtractSmokeFlag(&argc, argv);
   FlagParser flags;
   int64_t* base = flags.AddInt64("base", 10000, "base document elements");
   int64_t* inserts =
@@ -25,6 +26,8 @@ int Run(int argc, char** argv) {
   if (!flags.Parse(argc, argv)) {
     return 1;
   }
+  SmokeCap(smoke, base, 2000);
+  SmokeCap(smoke, inserts, 500);
 
   std::printf(
       "FIG7: amortized update cost, scattered insertion sequence\n"

@@ -12,6 +12,7 @@ namespace boxes::bench {
 namespace {
 
 int Run(int argc, char** argv) {
+  const bool smoke = ExtractSmokeFlag(&argc, argv);
   FlagParser flags;
   int64_t* elements =
       flags.AddInt64("elements", 25000, "XMark document elements");
@@ -26,6 +27,8 @@ int Run(int argc, char** argv) {
   if (!flags.Parse(argc, argv)) {
     return 1;
   }
+  SmokeCap(smoke, elements, 4000);
+  SmokeCap(smoke, prime, 2000);
 
   const xml::Document doc = xml::MakeXmarkDocument(
       static_cast<uint64_t>(*elements), static_cast<uint64_t>(*seed));

@@ -35,6 +35,7 @@ double BBoxBound(const BBoxParams& params, uint64_t labels) {
 }
 
 int Run(int argc, char** argv) {
+  const bool smoke = ExtractSmokeFlag(&argc, argv);
   FlagParser flags;
   int64_t* base = flags.AddInt64("base", 10000, "base document elements");
   int64_t* inserts =
@@ -47,6 +48,8 @@ int Run(int argc, char** argv) {
   if (!flags.Parse(argc, argv)) {
     return 1;
   }
+  SmokeCap(smoke, base, 2000);
+  SmokeCap(smoke, inserts, 500);
 
   const uint64_t labels =
       2 * (static_cast<uint64_t>(*base) + static_cast<uint64_t>(*inserts));

@@ -6,6 +6,7 @@
 #include <benchmark/benchmark.h>
 
 #include <memory>
+#include <vector>
 
 #include "bench_common.h"
 #include "util/random.h"
@@ -101,12 +102,21 @@ BENCHMARK_CAPTURE(BM_Compare, naive_16, std::string("naive-16"));
 }  // namespace
 }  // namespace boxes::bench
 
-// Hand-rolled BENCHMARK_MAIN(): --metrics_json is stripped before
-// benchmark::Initialize because ReportUnrecognizedArguments would reject
-// it.
+// Hand-rolled BENCHMARK_MAIN(): --metrics_json and --smoke are stripped
+// before benchmark::Initialize because ReportUnrecognizedArguments would
+// reject them. --smoke maps onto a short --benchmark_min_time, the
+// google-benchmark equivalent of the FlagParser benches' SmokeCap.
 int main(int argc, char** argv) {
   const std::string metrics_path =
       boxes::bench::ExtractMetricsJsonFlag(&argc, argv);
+  const bool smoke = boxes::bench::ExtractSmokeFlag(&argc, argv);
+  std::vector<char*> args(argv, argv + argc);
+  char min_time_flag[] = "--benchmark_min_time=0.02";
+  if (smoke) {
+    args.push_back(min_time_flag);
+  }
+  argc = static_cast<int>(args.size());
+  argv = args.data();
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
     return 1;

@@ -18,6 +18,7 @@ namespace boxes::bench {
 namespace {
 
 int Run(int argc, char** argv) {
+  const bool smoke = ExtractSmokeFlag(&argc, argv);
   FlagParser flags;
   int64_t* elements = flags.AddInt64("elements", 50000, "document elements");
   int64_t* lookups = flags.AddInt64("lookups", 2000, "measured lookups");
@@ -28,6 +29,8 @@ int Run(int argc, char** argv) {
   if (!flags.Parse(argc, argv)) {
     return 1;
   }
+  SmokeCap(smoke, elements, 8000);
+  SmokeCap(smoke, lookups, 500);
 
   const xml::Document doc =
       xml::MakeRandomDocument(static_cast<uint64_t>(*elements), 8, 7);

@@ -54,6 +54,7 @@ uint64_t RunBulk(const std::string& name, uint64_t base, uint64_t inserts,
 }
 
 int Run(int argc, char** argv) {
+  const bool smoke = ExtractSmokeFlag(&argc, argv);
   FlagParser flags;
   int64_t* base = flags.AddInt64("base", 10000, "base document elements");
   int64_t* inserts = flags.AddInt64("inserts", 4000, "subtree elements");
@@ -63,6 +64,8 @@ int Run(int argc, char** argv) {
   if (!flags.Parse(argc, argv)) {
     return 1;
   }
+  SmokeCap(smoke, base, 2000);
+  SmokeCap(smoke, inserts, 800);
 
   std::printf(
       "TAB-BULK: element-at-a-time vs bulk subtree insertion of the\n"

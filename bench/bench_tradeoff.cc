@@ -58,6 +58,7 @@ double RunMix(const std::string& name, uint64_t elements, uint64_t ops,
 }
 
 int Run(int argc, char** argv) {
+  const bool smoke = ExtractSmokeFlag(&argc, argv);
   FlagParser flags;
   int64_t* elements = flags.AddInt64("elements", 10000, "base elements");
   int64_t* ops = flags.AddInt64("ops", 4000, "operations per mix point");
@@ -68,6 +69,8 @@ int Run(int argc, char** argv) {
   if (!flags.Parse(argc, argv)) {
     return 1;
   }
+  SmokeCap(smoke, elements, 2000);
+  SmokeCap(smoke, ops, 800);
 
   const std::vector<uint64_t> read_pcts = {0, 25, 50, 75, 90, 99};
   std::printf(

@@ -25,7 +25,8 @@ CachedLabelRef CachingLabelStore::MakeRef(Lid lid) const {
   return ref;
 }
 
-StatusOr<Label> CachingLabelStore::Lookup(CachedLabelRef* ref) {
+StatusOr<Label> CachingLabelStore::LookupImpl(CachedLabelRef* ref,
+                                              bool* stale_out) {
   MetricsRegistry* metrics = scheme_->metrics();
   ScopedTimer timer(metrics, "cachelog.lookup.us");
   if (ref->has_value) {
@@ -49,18 +50,54 @@ StatusOr<Label> CachingLabelStore::Lookup(CachedLabelRef* ref) {
     }
   }
   // Full lookup, then refresh the reference.
+  StatusOr<Label> label = scheme_->Lookup(ref->lid);
+  if (!label.ok()) {
+    if (stale_out != nullptr && ref->has_value &&
+        IsDataUnavailableCode(label.status().code())) {
+      // Degraded read: the authoritative value is unreachable, but the
+      // reference still carries one. The mod log no longer covers it (the
+      // replay above would have repaired it otherwise), so it is served
+      // with an explicit staleness marker — and the reference is left
+      // untouched so a later lookup retries the scheme.
+      ++served_degraded_;
+      if (metrics != nullptr) {
+        metrics->IncrementCounter("cachelog.served_degraded");
+      }
+      *stale_out = true;
+      return ref->cached;
+    }
+    if (stale_out != nullptr) {
+      ++degraded_misses_;
+      if (metrics != nullptr) {
+        metrics->IncrementCounter("cachelog.degraded_misses");
+      }
+    }
+    return label.status();
+  }
   ++served_full_;
   if (metrics != nullptr) {
     metrics->IncrementCounter("cachelog.served_full");
   }
-  BOXES_ASSIGN_OR_RETURN(Label label, scheme_->Lookup(ref->lid));
-  ref->cached = label;
+  ref->cached = *label;
   ref->last_cached = log_->now();
   ref->has_value = true;
-  return label;
+  return *label;
 }
 
-StatusOr<uint64_t> CachingLabelStore::OrdinalLookup(CachedOrdinalRef* ref) {
+StatusOr<Label> CachingLabelStore::Lookup(CachedLabelRef* ref) {
+  return LookupImpl(ref, nullptr);
+}
+
+StatusOr<ResilientLabel> CachingLabelStore::LookupResilient(
+    CachedLabelRef* ref) {
+  ResilientLabel result;
+  BOXES_ASSIGN_OR_RETURN(result.label,
+                         LookupImpl(ref, &result.possibly_stale));
+  return result;
+}
+
+StatusOr<uint64_t> CachingLabelStore::OrdinalLookupImpl(CachedOrdinalRef* ref,
+                                                        bool* stale_out) {
   MetricsRegistry* metrics = scheme_->metrics();
   ScopedTimer timer(metrics, "cachelog.ordinal_lookup.us");
   if (ref->has_value) {
@@ -83,22 +120,53 @@ StatusOr<uint64_t> CachingLabelStore::OrdinalLookup(CachedOrdinalRef* ref) {
       return replayed;
     }
   }
+  StatusOr<uint64_t> ordinal = scheme_->OrdinalLookup(ref->lid);
+  if (!ordinal.ok()) {
+    if (stale_out != nullptr && ref->has_value &&
+        IsDataUnavailableCode(ordinal.status().code())) {
+      ++served_degraded_;
+      if (metrics != nullptr) {
+        metrics->IncrementCounter("cachelog.served_degraded");
+      }
+      *stale_out = true;
+      return ref->cached;
+    }
+    if (stale_out != nullptr) {
+      ++degraded_misses_;
+      if (metrics != nullptr) {
+        metrics->IncrementCounter("cachelog.degraded_misses");
+      }
+    }
+    return ordinal.status();
+  }
   ++served_full_;
   if (metrics != nullptr) {
     metrics->IncrementCounter("cachelog.served_full");
   }
-  BOXES_ASSIGN_OR_RETURN(const uint64_t ordinal,
-                         scheme_->OrdinalLookup(ref->lid));
-  ref->cached = ordinal;
+  ref->cached = *ordinal;
   ref->last_cached = log_->now();
   ref->has_value = true;
-  return ordinal;
+  return *ordinal;
+}
+
+StatusOr<uint64_t> CachingLabelStore::OrdinalLookup(CachedOrdinalRef* ref) {
+  return OrdinalLookupImpl(ref, nullptr);
+}
+
+StatusOr<ResilientOrdinal> CachingLabelStore::OrdinalLookupResilient(
+    CachedOrdinalRef* ref) {
+  ResilientOrdinal result;
+  BOXES_ASSIGN_OR_RETURN(result.ordinal,
+                         OrdinalLookupImpl(ref, &result.possibly_stale));
+  return result;
 }
 
 void CachingLabelStore::ResetServeStats() {
   served_fresh_ = 0;
   served_replayed_ = 0;
   served_full_ = 0;
+  served_degraded_ = 0;
+  degraded_misses_ = 0;
 }
 
 void CachingLabelStore::OnRangeShift(const Label& lo, const Label& hi,

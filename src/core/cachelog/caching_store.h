@@ -30,6 +30,22 @@ struct CachedOrdinalRef {
   bool has_value = false;
 };
 
+/// Result of a resilient lookup (DESIGN.md §4f). `possibly_stale` is false
+/// for exact answers (fresh cache hit, replay-repaired, or full lookup)
+/// and true when the scheme could not be reached and the value was served
+/// from a cache entry the mod log no longer covers — correct as of
+/// `ref->last_cached`, but unverifiable right now.
+struct ResilientLabel {
+  Label label;
+  bool possibly_stale = false;
+};
+
+/// Ordinal-label variant of ResilientLabel.
+struct ResilientOrdinal {
+  uint64_t ordinal = 0;
+  bool possibly_stale = false;
+};
+
 /// Eliminates the indirection cost of dynamic labels for read-heavy
 /// workloads (paper §6). Attaches to a LabelingScheme as its
 /// UpdateListener, logs every modification's effect on labels, and serves
@@ -65,10 +81,31 @@ class CachingLabelStore : public UpdateListener {
   /// Ordinal-label variant; requires the scheme to support ordinals.
   StatusOr<uint64_t> OrdinalLookup(CachedOrdinalRef* ref);
 
+  /// Like Lookup, but with the §4f graceful-degradation contract: when the
+  /// full lookup fails because the data is unavailable (retry budget
+  /// exhausted, dead device, corrupt/quarantined page — see
+  /// IsDataUnavailableCode) and the reference still holds a cached value,
+  /// that value is returned with `possibly_stale = true` instead of the
+  /// error. Exact paths (fresh hit / replay repair / successful lookup)
+  /// behave identically to Lookup and report `possibly_stale = false`.
+  /// Errors still propagate when there is nothing cached to fall back on,
+  /// or for logical error classes. A degraded serve leaves the reference
+  /// untouched, so a later lookup retries the scheme.
+  StatusOr<ResilientLabel> LookupResilient(CachedLabelRef* ref);
+
+  /// Ordinal-label variant of LookupResilient.
+  StatusOr<ResilientOrdinal> OrdinalLookupResilient(CachedOrdinalRef* ref);
+
   // Statistics: how lookups were served.
   uint64_t served_fresh() const { return served_fresh_; }
   uint64_t served_replayed() const { return served_replayed_; }
   uint64_t served_full() const { return served_full_; }
+  /// Lookups served degraded: the scheme was unreachable and the cached,
+  /// possibly stale value was returned instead of an error.
+  uint64_t served_degraded() const { return served_degraded_; }
+  /// Resilient lookups that failed outright (unavailable AND no cached
+  /// value to fall back on).
+  uint64_t degraded_misses() const { return degraded_misses_; }
   void ResetServeStats();
 
   // UpdateListener:
@@ -78,11 +115,19 @@ class CachingLabelStore : public UpdateListener {
   void OnOrdinalShift(uint64_t from, int64_t delta) override;
 
  private:
+  /// Shared serve path of Lookup/LookupResilient; `stale_out` non-null
+  /// enables the degraded fallback and receives the staleness marker.
+  StatusOr<Label> LookupImpl(CachedLabelRef* ref, bool* stale_out);
+  StatusOr<uint64_t> OrdinalLookupImpl(CachedOrdinalRef* ref,
+                                       bool* stale_out);
+
   LabelingScheme* scheme_;  // not owned
   std::unique_ptr<ReplayLog> log_;
   uint64_t served_fresh_ = 0;
   uint64_t served_replayed_ = 0;
   uint64_t served_full_ = 0;
+  uint64_t served_degraded_ = 0;
+  uint64_t degraded_misses_ = 0;
 };
 
 }  // namespace boxes

@@ -528,23 +528,29 @@ Status FaultInjectionPageStore::Free(PageId id) {
 
 Status FaultInjectionPageStore::Read(PageId id, uint8_t* buf) {
   BOXES_RETURN_IF_ERROR(MaybeFail());
+  if (poisoned_.count(id) > 0) {
+    ++faults_injected_;
+    return Status::Corruption("poisoned page " + std::to_string(id));
+  }
   return base_->Read(id, buf);
 }
 
 Status FaultInjectionPageStore::Write(PageId id, const uint8_t* buf) {
-  // Crash-point mode: the Nth write is the crash frontier — optionally
-  // torn, never completed — and the disk is frozen from then on.
-  if (!crashed_ && crash_after_writes_ != UINT64_MAX) {
-    if (writes_until_crash_ == 0) {
-      crashed_ = true;
-      ++ops_seen_;
-      ++faults_injected_;
-      if (torn_writes_) {
-        (void)base_->WriteTorn(id, buf, TornPrefix());
-      }
-      return Status::IoError("simulated crash");
+  // Crash-point mode: the Nth *committed* write is the crash frontier —
+  // optionally torn, never completed — and the disk is frozen from then
+  // on. Probabilistic faults compose but yield precedence: a write they
+  // eat never reached the device, so it does not advance the crash
+  // countdown, and after the freeze they stop tearing pages (the
+  // post-crash image must stay bit-stable for recovery to examine).
+  if (!crashed_ && crash_after_writes_ != UINT64_MAX &&
+      writes_until_crash_ == 0) {
+    crashed_ = true;
+    ++ops_seen_;
+    ++faults_injected_;
+    if (torn_writes_) {
+      (void)base_->WriteTorn(id, buf, TornPrefix());
     }
-    --writes_until_crash_;
+    return Status::IoError("simulated crash");
   }
   const Status fault = MaybeFail();
   if (!fault.ok()) {
@@ -552,6 +558,9 @@ Status FaultInjectionPageStore::Write(PageId id, const uint8_t* buf) {
       (void)base_->WriteTorn(id, buf, TornPrefix());
     }
     return fault;
+  }
+  if (crash_after_writes_ != UINT64_MAX) {
+    --writes_until_crash_;
   }
   BOXES_RETURN_IF_ERROR(base_->Write(id, buf));
   ++writes_committed_;

@@ -264,9 +264,27 @@ class FaultInjectionPageStore : public PageStore {
   /// Each operation independently fails with probability `p`. Transient
   /// faults affect only the sampled operation; a permanent fault latches,
   /// failing every later operation until Heal() (a died disk).
+  ///
+  /// Composes with crash-point mode, with defined precedence: the crash
+  /// point is counted in *committed* writes (a write eaten by a
+  /// probabilistic fault does not advance the countdown), and once the
+  /// crash triggers the frozen image is inviolable — probabilistic faults
+  /// keep failing operations but never mutate the base store again (no
+  /// torn writes after the freeze).
   void SetFailProbability(double p, bool transient = true) {
     fail_probability_ = p;
     transient_ = transient;
+  }
+
+  /// Page-scoped permanent fault: reads of `id` fail with Corruption (a
+  /// rotted sector) until HealPage()/Heal(), while the rest of the device
+  /// keeps working. This is what lets scrubber/degraded-read tests
+  /// quarantine one page yet keep serving unaffected ranges. Writes are
+  /// not affected (and do not heal the page; healing is explicit).
+  void PoisonPage(PageId id) { poisoned_.insert(id); }
+  void HealPage(PageId id) { poisoned_.erase(id); }
+  const std::unordered_set<PageId>& poisoned_pages() const {
+    return poisoned_;
   }
 
   /// When enabled, a write hit by a fault (probabilistic, fail-after, or
@@ -284,13 +302,15 @@ class FaultInjectionPageStore : public PageStore {
     crashed_ = false;
   }
 
-  /// Disarms all faults, including a triggered crash point.
+  /// Disarms all faults, including a triggered crash point and any
+  /// poisoned pages.
   void Heal() {
     fail_after_ops_ = UINT64_MAX;
     fail_probability_ = 0.0;
     permanent_failure_ = false;
     crash_after_writes_ = UINT64_MAX;
     crashed_ = false;
+    poisoned_.clear();
   }
 
   /// True once the crash point has triggered.
@@ -337,6 +357,7 @@ class FaultInjectionPageStore : public PageStore {
   uint64_t crash_after_writes_ = UINT64_MAX;
   uint64_t writes_until_crash_ = UINT64_MAX;
   bool crashed_ = false;
+  std::unordered_set<PageId> poisoned_;
   uint64_t ops_seen_ = 0;
   uint64_t faults_injected_ = 0;
   uint64_t writes_committed_ = 0;

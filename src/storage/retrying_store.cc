@@ -1,0 +1,106 @@
+#include "storage/retrying_store.h"
+
+#include <algorithm>
+#include <string>
+
+namespace boxes {
+
+RetryingPageStore::RetryingPageStore(PageStore* base,
+                                     RetryingStoreOptions options)
+    : base_(base), options_(options), rng_(options.seed) {
+  BOXES_CHECK(options_.max_attempts >= 1);
+  BOXES_CHECK(options_.backoff_multiplier >= 1.0);
+}
+
+void RetryingPageStore::Count(uint64_t Counters::*field, const char* metric,
+                              uint64_t delta) {
+  (counters_.*field) += delta;
+  if (metrics_ != nullptr) {
+    metrics_->IncrementCounter(metric, delta);
+  }
+}
+
+void RetryingPageStore::CountPhase(const char* event) {
+  if (metrics_ == nullptr || !phase_probe_) {
+    return;
+  }
+  metrics_->IncrementCounter(std::string("retry.") +
+                             IoPhaseName(phase_probe_()) + "." + event);
+}
+
+Status RetryingPageStore::RunWithRetry(const std::function<Status()>& op) {
+  Count(&Counters::ops, "retry.ops");
+  uint64_t backoff_us = options_.initial_backoff_us;
+  uint64_t backoff_spent_us = 0;
+  for (uint32_t attempt = 1;; ++attempt) {
+    Count(&Counters::attempts, "retry.attempts");
+    const Status status = op();
+    if (status.ok()) {
+      if (attempt > 1) {
+        Count(&Counters::recovered, "retry.recovered");
+      }
+      return status;
+    }
+    if (!IsRetryableCode(status.code())) {
+      Count(&Counters::permanent_errors, "retry.permanent_errors");
+      return status;
+    }
+    // Jitter: a uniform draw from [backoff/2, backoff], seeded and thus
+    // replayable. Decorrelates retry bursts without losing determinism.
+    const uint64_t jittered =
+        backoff_us / 2 + rng_.Uniform(backoff_us / 2 + 1);
+    if (attempt >= options_.max_attempts ||
+        backoff_spent_us + jittered > options_.op_deadline_us) {
+      Count(&Counters::gave_up, "retry.gave_up");
+      CountPhase("gave_up");
+      return status;
+    }
+    Count(&Counters::retries, "retry.retries");
+    CountPhase("retries");
+    Count(&Counters::backoff_us, "retry.backoff_us", jittered);
+    backoff_spent_us += jittered;
+    if (options_.sleep) {
+      options_.sleep(jittered);
+    }
+    backoff_us = std::min<uint64_t>(
+        options_.max_backoff_us,
+        static_cast<uint64_t>(static_cast<double>(backoff_us) *
+                              options_.backoff_multiplier));
+  }
+}
+
+StatusOr<PageId> RetryingPageStore::Allocate() {
+  PageId id = kInvalidPageId;
+  BOXES_RETURN_IF_ERROR(RunWithRetry([&]() -> Status {
+    BOXES_ASSIGN_OR_RETURN(id, base_->Allocate());
+    return Status::OK();
+  }));
+  return id;
+}
+
+Status RetryingPageStore::Free(PageId id) {
+  return RunWithRetry([&] { return base_->Free(id); });
+}
+
+Status RetryingPageStore::Read(PageId id, uint8_t* buf) {
+  return RunWithRetry([&] { return base_->Read(id, buf); });
+}
+
+Status RetryingPageStore::Write(PageId id, const uint8_t* buf) {
+  return RunWithRetry([&] { return base_->Write(id, buf); });
+}
+
+Status RetryingPageStore::WriteTorn(PageId id, const uint8_t* buf,
+                                    size_t prefix) {
+  return base_->WriteTorn(id, buf, prefix);
+}
+
+Status RetryingPageStore::Sync() {
+  return RunWithRetry([&] { return base_->Sync(); });
+}
+
+Status RetryingPageStore::CommitEpoch(uint64_t epoch) {
+  return RunWithRetry([&] { return base_->CommitEpoch(epoch); });
+}
+
+}  // namespace boxes

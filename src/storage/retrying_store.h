@@ -1,0 +1,123 @@
+#ifndef BOXES_STORAGE_RETRYING_STORE_H_
+#define BOXES_STORAGE_RETRYING_STORE_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "storage/io_stats.h"
+#include "storage/page_store.h"
+#include "util/metrics.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace boxes {
+
+/// Configuration of RetryingPageStore's backoff and budget machinery.
+struct RetryingStoreOptions {
+  /// Attempts per operation, including the first one. 1 disables retry.
+  uint32_t max_attempts = 6;
+  /// Backoff before the first retry, in microseconds (of virtual or real
+  /// time, see `sleep`).
+  uint64_t initial_backoff_us = 100;
+  /// Each further retry multiplies the backoff by this factor...
+  double backoff_multiplier = 2.0;
+  /// ...capped at this ceiling.
+  uint64_t max_backoff_us = 20'000;
+  /// Per-operation backoff budget: once the accumulated backoff of the
+  /// current operation would exceed this deadline, the store gives up and
+  /// surfaces the last error even if attempts remain.
+  uint64_t op_deadline_us = 200'000;
+  /// Seed for the jitter PRNG. Jitter is deterministic given the seed and
+  /// the operation sequence, so fault-storm tests replay exactly.
+  uint64_t seed = 0x7e77;
+  /// Sleep function invoked with each backoff interval. The default (null)
+  /// only *accounts* the backoff (virtual time) — tests and benches measure
+  /// retry schedules without real delays. Pass e.g. usleep for production.
+  std::function<void(uint64_t backoff_us)> sleep = nullptr;
+};
+
+/// Decorator that makes any PageStore resilient to transient faults
+/// (DESIGN.md §4f): operations failing with a retryable status (see
+/// IsRetryableCode) are reissued under bounded exponential backoff with
+/// deterministic seeded jitter, until they succeed, attempts run out, the
+/// per-operation deadline is exhausted, or a permanent error (e.g.
+/// Corruption) surfaces. Page reads and writes are idempotent, which is
+/// what makes blind reissue safe.
+///
+/// WriteTorn is deliberately NOT retried: it is the fault-injection hook
+/// itself, and "retrying a torn write" has no physical meaning.
+class RetryingPageStore : public PageStore {
+ public:
+  /// Retry activity counters (mirrored into an attached MetricsRegistry
+  /// under "retry.*").
+  struct Counters {
+    uint64_t ops = 0;                  // operations issued
+    uint64_t attempts = 0;             // attempts incl. first tries
+    uint64_t retries = 0;              // reissues after a retryable error
+    uint64_t recovered = 0;            // ops that succeeded after >=1 retry
+    uint64_t gave_up = 0;              // ops that exhausted their budget
+    uint64_t permanent_errors = 0;     // non-retryable first-attempt errors
+    uint64_t backoff_us = 0;           // total (virtual) backoff time
+  };
+
+  RetryingPageStore(PageStore* base, RetryingStoreOptions options = {});
+
+  RetryingPageStore(const RetryingPageStore&) = delete;
+  RetryingPageStore& operator=(const RetryingPageStore&) = delete;
+
+  size_t page_size() const override { return base_->page_size(); }
+  StatusOr<PageId> Allocate() override;
+  Status Free(PageId id) override;
+  Status Read(PageId id, uint8_t* buf) override;
+  Status Write(PageId id, const uint8_t* buf) override;
+  Status WriteTorn(PageId id, const uint8_t* buf, size_t prefix) override;
+  Status Sync() override;
+  Status CommitEpoch(uint64_t epoch) override;
+  uint64_t allocated_pages() const override {
+    return base_->allocated_pages();
+  }
+  uint64_t total_pages() const override { return base_->total_pages(); }
+  void SnapshotAllocator(uint64_t* total,
+                         std::vector<PageId>* free_pages) const override {
+    base_->SnapshotAllocator(total, free_pages);
+  }
+  Status RestoreAllocator(uint64_t total,
+                          const std::vector<PageId>& free_pages) override {
+    return base_->RestoreAllocator(total, free_pages);
+  }
+
+  const Counters& counters() const { return counters_; }
+  const RetryingStoreOptions& options() const { return options_; }
+
+  /// Attaches (or detaches, with nullptr) a metrics registry; retry
+  /// counters are incremented there under "retry.*".
+  void SetMetrics(MetricsRegistry* metrics) { metrics_ = metrics; }
+
+  /// Attaches a phase probe (typically bound to PageCache::current_phase of
+  /// the cache stacked on top of this store). When set, retries and
+  /// give-ups are additionally attributed per phase, under
+  /// "retry.<phase>.retries" / "retry.<phase>.gave_up" — the same phase
+  /// tags the I/O attribution tables use.
+  void SetPhaseProbe(std::function<IoPhase()> probe) {
+    phase_probe_ = std::move(probe);
+  }
+
+ private:
+  /// Runs `op` under the retry policy. `op` must be safely repeatable.
+  Status RunWithRetry(const std::function<Status()>& op);
+  void Count(uint64_t Counters::*field, const char* metric,
+             uint64_t delta = 1);
+  void CountPhase(const char* event);
+
+  PageStore* base_;  // not owned
+  const RetryingStoreOptions options_;
+  Random rng_;
+  Counters counters_;
+  MetricsRegistry* metrics_ = nullptr;  // not owned
+  std::function<IoPhase()> phase_probe_;
+};
+
+}  // namespace boxes
+
+#endif  // BOXES_STORAGE_RETRYING_STORE_H_

@@ -1,0 +1,111 @@
+#include "storage/scrubber.h"
+
+#include <utility>
+
+namespace boxes {
+
+Scrubber::Scrubber(PageStore* store, ScrubberOptions options)
+    : store_(store), options_(options), scratch_(store->page_size()) {
+  BOXES_CHECK(options_.pages_per_step >= 1);
+}
+
+void Scrubber::Count(uint64_t Counters::*field, const char* metric,
+                     uint64_t delta) {
+  (counters_.*field) += delta;
+  if (metrics_ != nullptr) {
+    metrics_->IncrementCounter(metric, delta);
+  }
+}
+
+void Scrubber::AddStructuralCheck(std::string name,
+                                  std::function<Status()> check) {
+  checks_.push_back({std::move(name), std::move(check)});
+}
+
+void Scrubber::RefreshSnapshot() {
+  std::vector<PageId> free_pages;
+  store_->SnapshotAllocator(&snapshot_total_, &free_pages);
+  free_set_ = std::set<PageId>(free_pages.begin(), free_pages.end());
+  pass_open_ = true;
+}
+
+double Scrubber::pass_progress() const {
+  if (!pass_open_ || snapshot_total_ == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(cursor_) / static_cast<double>(snapshot_total_);
+}
+
+void Scrubber::RunStructuralChecks() {
+  for (const StructuralCheck& check : checks_) {
+    Count(&Counters::structural_checks, "scrub.structural_checks");
+    const Status status = check.check();
+    if (!status.ok()) {
+      Count(&Counters::structural_failures, "scrub.structural_failures");
+      last_structural_error_ = Status(
+          status.code(), "structural check '" + check.name +
+                             "' failed: " + status.message());
+    }
+  }
+}
+
+Status Scrubber::Step() {
+  Count(&Counters::steps, "scrub.steps");
+  if (!pass_open_) {
+    // A new pass sees the allocator as of now; pages allocated mid-pass
+    // are picked up by the next one.
+    RefreshSnapshot();
+    cursor_ = 0;
+  }
+  uint64_t verified = 0;
+  while (verified < options_.pages_per_step) {
+    if (cursor_ >= snapshot_total_) {
+      Count(&Counters::passes_completed, "scrub.passes_completed");
+      pass_open_ = false;
+      if (options_.structural_checks_each_pass) {
+        RunStructuralChecks();
+      }
+      break;
+    }
+    const PageId id = cursor_++;
+    if (free_set_.count(id) > 0) {
+      continue;
+    }
+    const Status read = store_->Read(id, scratch_.data());
+    if (read.code() == StatusCode::kInvalidArgument) {
+      // The page was freed between the snapshot and this read; not damage.
+      continue;
+    }
+    ++verified;
+    Count(&Counters::pages_scanned, "scrub.pages_scanned");
+    if (read.ok()) {
+      if (quarantine_.erase(id) > 0) {
+        Count(&Counters::pages_recovered, "scrub.pages_recovered");
+      }
+    } else if (read.code() == StatusCode::kCorruption) {
+      if (quarantine_.insert(id).second) {
+        Count(&Counters::corrupt_pages, "scrub.corrupt_pages");
+      }
+    } else {
+      // Transient (IoError etc.): the page stays unverified this pass and
+      // is revisited on the next one.
+      Count(&Counters::read_errors, "scrub.read_errors");
+    }
+  }
+  return Status::OK();
+}
+
+Status Scrubber::ScrubPass() {
+  // Finish any partially-completed incremental pass first, then run one
+  // complete pass, so that every page allocated at the time of this call
+  // has been verified when it returns.
+  while (pass_open_) {
+    BOXES_RETURN_IF_ERROR(Step());
+  }
+  do {
+    BOXES_RETURN_IF_ERROR(Step());
+  } while (pass_open_);
+  return Status::OK();
+}
+
+}  // namespace boxes

@@ -1,0 +1,122 @@
+#ifndef BOXES_STORAGE_SCRUBBER_H_
+#define BOXES_STORAGE_SCRUBBER_H_
+
+#include <cstdint>
+#include <functional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "storage/page_store.h"
+#include "util/metrics.h"
+#include "util/status.h"
+
+namespace boxes {
+
+/// Configuration of the online integrity scrubber.
+struct ScrubberOptions {
+  /// Allocated pages verified per Step() call. Small steps keep the
+  /// scrubber's latency contribution between foreground operations
+  /// bounded.
+  uint64_t pages_per_step = 16;
+  /// Run the registered structural checks at the end of every completed
+  /// pass over the store (see AddStructuralCheck).
+  bool structural_checks_each_pass = true;
+};
+
+/// Online integrity scrubber (DESIGN.md §4f): incrementally walks the
+/// allocated pages of a PageStore *between* foreground operations,
+/// re-reading each page so that the store's own verification (the CRC32C
+/// frame check of FilePageStore, or any injected fault) gets a chance to
+/// fire before a query stumbles onto the damage. Pages whose read reports
+/// Corruption enter a quarantine set; pages that later read clean again
+/// (rewritten, remapped, healed) leave it. Optional structural checks —
+/// typically LabelingScheme::CheckInvariants, which reuses wbox_check /
+/// bbox_check — run after each completed pass.
+///
+/// The scrubber reads through the raw PageStore, not the PageCache, so
+/// scrub traffic never pollutes the paper's per-operation I/O accounting.
+class Scrubber {
+ public:
+  /// Scrub activity counters (mirrored into an attached MetricsRegistry
+  /// under "scrub.*").
+  struct Counters {
+    uint64_t steps = 0;             // Step() calls
+    uint64_t pages_scanned = 0;     // page reads issued
+    uint64_t passes_completed = 0;  // full sweeps over the store
+    uint64_t corrupt_pages = 0;     // reads that reported Corruption
+    uint64_t read_errors = 0;       // transient read errors (retried next pass)
+    uint64_t pages_recovered = 0;   // quarantined pages that read clean again
+    uint64_t structural_checks = 0; // structural check invocations
+    uint64_t structural_failures = 0;
+  };
+
+  explicit Scrubber(PageStore* store, ScrubberOptions options = {});
+
+  Scrubber(const Scrubber&) = delete;
+  Scrubber& operator=(const Scrubber&) = delete;
+
+  /// Registers a named whole-structure invariant check, run after each
+  /// completed pass (and by ScrubAll). The callback must be safe to invoke
+  /// between operations.
+  void AddStructuralCheck(std::string name, std::function<Status()> check);
+
+  /// Verifies the next batch of allocated pages (options.pages_per_step of
+  /// them), wrapping around at the end of the store. Classification errors
+  /// (corrupt or unreadable pages) are *recorded*, not returned: the
+  /// scrubber's job is to keep scanning. The returned status is only
+  /// non-OK for scrubber-level failures (a structural check that errored
+  /// is reported through counters and last_structural_error()).
+  Status Step();
+
+  /// Runs Step() until one full pass over the store completes.
+  Status ScrubPass();
+
+  /// Pages currently quarantined as corrupt.
+  const std::set<PageId>& quarantined() const { return quarantine_; }
+  bool IsQuarantined(PageId id) const { return quarantine_.count(id) > 0; }
+
+  /// Fraction of the store covered by the current pass, in [0, 1].
+  double pass_progress() const;
+
+  const Counters& counters() const { return counters_; }
+
+  /// The most recent structural check failure; OK if none ever failed.
+  const Status& last_structural_error() const {
+    return last_structural_error_;
+  }
+
+  /// Attaches (or detaches, with nullptr) a metrics registry; scrub
+  /// counters are incremented there under "scrub.*".
+  void SetMetrics(MetricsRegistry* metrics) { metrics_ = metrics; }
+
+ private:
+  struct StructuralCheck {
+    std::string name;
+    std::function<Status()> check;
+  };
+
+  void Count(uint64_t Counters::*field, const char* metric,
+             uint64_t delta = 1);
+  /// Re-snapshots the allocator into free_set_ / snapshot_total_.
+  void RefreshSnapshot();
+  void RunStructuralChecks();
+
+  PageStore* store_;  // not owned
+  const ScrubberOptions options_;
+  std::vector<uint8_t> scratch_;
+  std::set<PageId> quarantine_;
+  std::vector<StructuralCheck> checks_;
+  // Allocator snapshot for the current pass.
+  std::set<PageId> free_set_;
+  uint64_t snapshot_total_ = 0;
+  PageId cursor_ = 0;
+  bool pass_open_ = false;
+  Counters counters_;
+  Status last_structural_error_;
+  MetricsRegistry* metrics_ = nullptr;  // not owned
+};
+
+}  // namespace boxes
+
+#endif  // BOXES_STORAGE_SCRUBBER_H_

@@ -31,6 +31,17 @@ const char* StatusCodeToString(StatusCode code) {
   return "Unknown";
 }
 
+bool IsRetryableCode(StatusCode code) {
+  return code == StatusCode::kIoError ||
+         code == StatusCode::kResourceExhausted;
+}
+
+bool IsDataUnavailableCode(StatusCode code) {
+  return code == StatusCode::kIoError ||
+         code == StatusCode::kResourceExhausted ||
+         code == StatusCode::kCorruption;
+}
+
 std::string Status::ToString() const {
   if (ok()) {
     return "OK";

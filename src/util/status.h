@@ -26,6 +26,22 @@ enum class StatusCode {
 /// Returns a human-readable name for a status code ("OK", "IoError", ...).
 const char* StatusCodeToString(StatusCode code);
 
+/// Fault taxonomy (DESIGN.md §4f). A *retryable* error is one where the
+/// identical operation may legitimately succeed if simply reissued: a
+/// transient I/O fault (kIoError) or momentary exhaustion
+/// (kResourceExhausted). Permanent classes — kCorruption (the bytes are
+/// durably wrong; rereading yields the same bytes), argument/precondition
+/// errors, kNotFound — must not be retried.
+bool IsRetryableCode(StatusCode code);
+
+/// True when the error means the authoritative on-disk value is currently
+/// unobtainable (retry budget exhausted, device dead, or page corrupt) but
+/// the caller may still hold a usable cached copy. This is the class the
+/// degraded-read path falls back on; logical errors (kNotFound,
+/// kInvalidArgument, ...) are excluded because a cached value would be just
+/// as wrong.
+bool IsDataUnavailableCode(StatusCode code);
+
 /// A lightweight success-or-error value. OK status carries no allocation.
 class Status {
  public:

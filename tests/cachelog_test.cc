@@ -122,6 +122,59 @@ TEST(ModificationLogTest, OrdinalShiftThatWouldWrapIsStale) {
   EXPECT_EQ(large, 40u);
 }
 
+TEST(ModificationLogTest, EntryExactlyAtEvictionAgeIsStillUsable) {
+  // Staleness boundary at the log's capacity k: a value cached k entries
+  // ago replays off the full window; one more append evicts the entry it
+  // needs and tips it to stale.
+  ModificationLog log(3);
+  const uint64_t cached_at = log.now();
+  for (int i = 0; i < 3; ++i) {
+    log.AppendShift(Label::FromScalar(0), Label::FromScalar(100), +1);
+  }
+  Label label = Label::FromScalar(5);
+  EXPECT_EQ(log.Replay(cached_at, &label),
+            ModificationLog::ReplayResult::kUsable);
+  EXPECT_EQ(label.scalar(), 8u);
+
+  log.AppendShift(Label::FromScalar(0), Label::FromScalar(100), +1);
+  label = Label::FromScalar(5);
+  EXPECT_EQ(log.Replay(cached_at, &label),
+            ModificationLog::ReplayResult::kStale);
+  // A value re-cached one entry later sits exactly at age k again.
+  label = Label::FromScalar(5);
+  EXPECT_EQ(log.Replay(cached_at + 1, &label),
+            ModificationLog::ReplayResult::kUsable);
+  EXPECT_EQ(label.scalar(), 8u);
+}
+
+TEST(ModificationLogTest, InvalidatedThenRecachedReplaysAgain) {
+  // An invalidation poisons only values cached before it; once the caller
+  // refreshes (re-caches) at a later timestamp, replay works normally.
+  ModificationLog log(8);
+  log.AppendInvalidate(Label::FromScalar(10), Label::FromScalar(20));
+  Label label = Label::FromScalar(12);
+  EXPECT_EQ(log.Replay(0, &label), ModificationLog::ReplayResult::kStale);
+
+  const uint64_t recached_at = log.now();
+  log.AppendShift(Label::FromScalar(10), Label::FromScalar(20), +3);
+  label = Label::FromScalar(12);
+  EXPECT_EQ(log.Replay(recached_at, &label),
+            ModificationLog::ReplayResult::kUsable);
+  EXPECT_EQ(label.scalar(), 15u);
+}
+
+TEST(ModificationLogTest, ShiftLandingExactlyOnZeroIsUsable) {
+  // Boundary partner of the wrap regression: a negative delta that takes
+  // the component exactly to zero is legal; one further is a wrap.
+  ModificationLog log(8);
+  log.AppendShift(Label::FromScalar(0), Label::FromScalar(100), -5);
+  Label exact = Label::FromScalar(5);
+  EXPECT_EQ(log.Replay(0, &exact), ModificationLog::ReplayResult::kUsable);
+  EXPECT_EQ(exact.scalar(), 0u);
+  Label wraps = Label::FromScalar(4);
+  EXPECT_EQ(log.Replay(0, &wraps), ModificationLog::ReplayResult::kStale);
+}
+
 TEST(ModificationLogTest, Int64MinShiftDeltaIsHandled) {
   // INT64_MIN cannot be negated in int64_t; the checked shift must not UB.
   ModificationLog log(8);
@@ -279,6 +332,39 @@ TEST(CachingStoreTest, BasicCachingInvalidatesOnAnyChange) {
   ASSERT_OK(wbox.InsertElementBefore(lids[10].start).status());
   ASSERT_OK(store.Lookup(&ref).status());
   EXPECT_EQ(store.served_full(), 2u);  // initial fill + post-update refresh
+}
+
+TEST(CachingStoreTest, InvalidatedRefDoesFullFetchThenServesFreshAgain) {
+  // Store-level invalidate -> re-cache cycle: a naive-k relabel
+  // invalidates every cached label; the next lookup must pay a full fetch
+  // (replay is not allowed to repair across an invalidation), after which
+  // the refreshed reference serves fresh again.
+  TestDb db;
+  NaiveOptions options;
+  options.gap_bits = 2;
+  NaiveScheme naive(&db.cache, options);
+  CachingLabelStore store(&naive, /*log_capacity=*/64);
+  const xml::Document doc = xml::MakeTwoLevelDocument(100);
+  std::vector<NewElement> lids;
+  ASSERT_OK(naive.BulkLoad(doc, &lids));
+  CachedLabelRef ref = store.MakeRef(lids[50].start);
+  ASSERT_OK(store.Lookup(&ref).status());
+  EXPECT_EQ(store.served_full(), 1u);
+
+  // Concentrated inserts exhaust the 2-bit gap and force a relabel.
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_OK(naive.InsertElementBefore(lids[50].start).status());
+  }
+  ASSERT_GT(naive.relabel_count(), 0u);
+
+  ASSERT_OK_AND_ASSIGN(const Label refreshed, store.Lookup(&ref));
+  EXPECT_EQ(store.served_full(), 2u);
+  ASSERT_OK_AND_ASSIGN(const Label direct, naive.Lookup(lids[50].start));
+  EXPECT_TRUE(refreshed == direct);
+
+  const uint64_t fresh_before = store.served_fresh();
+  ASSERT_OK(store.Lookup(&ref).status());
+  EXPECT_EQ(store.served_fresh(), fresh_before + 1);
 }
 
 TEST(CachingStoreTest, OrdinalCaching) {

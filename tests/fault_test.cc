@@ -406,5 +406,119 @@ TEST(FaultTest, IoScopeEndPropagatesFlushErrors) {
   // The destructor must not re-run EndOp after an explicit End().
 }
 
+// ---------------------------------------------------------------------------
+// Crash-point / probabilistic-fault precedence (the composition contract
+// documented on SetFailProbability).
+
+TEST(FaultTest, CrashCountdownCountsOnlyCommittedWrites) {
+  // With a 50% write-eating storm armed, the crash must still land after
+  // exactly N *committed* writes — a write the storm ate never reached the
+  // device, so it must not advance the countdown.
+  MemoryPageStore base(256);
+  FaultInjectionPageStore faulty(&base);
+  std::vector<PageId> ids;
+  std::vector<uint8_t> buf(256, 0x11);
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_OK_AND_ASSIGN(const PageId id, faulty.Allocate());
+    ASSERT_OK(faulty.Write(id, buf.data()));
+    ids.push_back(id);
+  }
+
+  faulty.SetSeed(0xc4a5);
+  faulty.SetFailProbability(0.5, /*transient=*/true);
+  faulty.CrashAfterWrites(5);
+  uint64_t attempts = 0;
+  while (!faulty.crashed()) {
+    ASSERT_LT(attempts, 1000u) << "crash point never triggered";
+    (void)faulty.Write(ids[attempts % ids.size()], buf.data());
+    ++attempts;
+  }
+  EXPECT_EQ(faulty.writes_committed(), 4u + 5u);
+  // The storm actually ate writes along the way: strictly more attempts
+  // than the 5 that committed plus the crash-frontier one.
+  EXPECT_GT(attempts, 6u);
+}
+
+TEST(FaultTest, ProbabilisticFaultsNeverMutateTheFrozenImage) {
+  // After the crash point triggers, the post-crash disk image is what
+  // recovery will examine; a still-armed probabilistic storm (even with
+  // torn writes enabled) must fail operations without touching it.
+  MemoryPageStore base(256);
+  FaultInjectionPageStore faulty(&base);
+  ASSERT_OK_AND_ASSIGN(const PageId id, faulty.Allocate());
+  std::vector<uint8_t> before(256, 0x77);
+  ASSERT_OK(faulty.Write(id, before.data()));
+
+  faulty.SetSeed(0xf2ee);
+  faulty.SetFailProbability(0.5, /*transient=*/true);
+  faulty.SetTornWrites(true);
+  faulty.CrashAfterWrites(0);  // the very next committed write crashes
+  std::vector<uint8_t> after(256, 0x88);
+  while (!faulty.crashed()) {
+    (void)faulty.Write(id, after.data());
+  }
+
+  // Freeze the image, then hammer it: every operation fails, nothing
+  // changes. (Reads go around the injector to inspect the base.)
+  std::vector<uint8_t> frozen(256);
+  ASSERT_OK(base.Read(id, frozen.data()));
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(faulty.Write(id, after.data()).code(), StatusCode::kIoError);
+    EXPECT_FALSE(faulty.Allocate().ok());
+  }
+  std::vector<uint8_t> now(256);
+  ASSERT_OK(base.Read(id, now.data()));
+  EXPECT_EQ(now, frozen);
+  EXPECT_EQ(faulty.writes_committed(), 1u);  // only the pre-crash setup write
+
+  // Heal() disarms everything, including the triggered crash point.
+  faulty.Heal();
+  ASSERT_OK(faulty.Write(id, after.data()));
+  ASSERT_OK(faulty.Read(id, now.data()));
+  EXPECT_EQ(now, after);
+}
+
+TEST(FaultTest, CrashPointWinsOverPermanentLatch) {
+  // A permanent (latching) fault that fires before the crash point freezes
+  // the device just like a crash would — but without consuming the crash
+  // point; a torn write at the frontier must not occur once latched.
+  MemoryPageStore base(256);
+  FaultInjectionPageStore faulty(&base);
+  ASSERT_OK_AND_ASSIGN(const PageId id, faulty.Allocate());
+  std::vector<uint8_t> buf(256, 0x3c);
+  ASSERT_OK(faulty.Write(id, buf.data()));
+
+  faulty.SetSeed(0xdead);
+  faulty.SetFailProbability(1.0, /*transient=*/false);  // latches at once
+  faulty.CrashAfterWrites(3);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(faulty.Write(id, buf.data()).code(), StatusCode::kIoError);
+  }
+  // The latched fault ate every write, so the countdown never advanced and
+  // the crash point never triggered.
+  EXPECT_FALSE(faulty.crashed());
+  EXPECT_EQ(faulty.writes_committed(), 1u);
+}
+
+TEST(FaultTest, PoisonedPageFailsReadsWithCorruptionUntilHealed) {
+  MemoryPageStore base(256);
+  FaultInjectionPageStore faulty(&base);
+  ASSERT_OK_AND_ASSIGN(const PageId a, faulty.Allocate());
+  ASSERT_OK_AND_ASSIGN(const PageId b, faulty.Allocate());
+  std::vector<uint8_t> buf(256, 0x61);
+  ASSERT_OK(faulty.Write(a, buf.data()));
+  ASSERT_OK(faulty.Write(b, buf.data()));
+
+  faulty.PoisonPage(a);
+  std::vector<uint8_t> out(256);
+  EXPECT_EQ(faulty.Read(a, out.data()).code(), StatusCode::kCorruption);
+  EXPECT_OK(faulty.Read(b, out.data()));       // page-scoped, not device-wide
+  EXPECT_OK(faulty.Write(a, buf.data()));      // writes are unaffected...
+  EXPECT_EQ(faulty.Read(a, out.data()).code(),
+            StatusCode::kCorruption);           // ...and do not heal
+  faulty.HealPage(a);
+  EXPECT_OK(faulty.Read(a, out.data()));
+}
+
 }  // namespace
 }  // namespace boxes

@@ -82,6 +82,32 @@ StatusOr<int> UsesAssignOrReturn(bool ok) {
   return x + 1;
 }
 
+TEST(StatusTaxonomyTest, RetryableCodesAreTransientFaults) {
+  // Retryable: reissuing the operation may succeed (DESIGN.md §4f).
+  EXPECT_TRUE(IsRetryableCode(StatusCode::kIoError));
+  EXPECT_TRUE(IsRetryableCode(StatusCode::kResourceExhausted));
+  // Corruption is damage, not a glitch; retrying re-reads the same rot.
+  EXPECT_FALSE(IsRetryableCode(StatusCode::kCorruption));
+  EXPECT_FALSE(IsRetryableCode(StatusCode::kInvalidArgument));
+  EXPECT_FALSE(IsRetryableCode(StatusCode::kNotFound));
+  EXPECT_FALSE(IsRetryableCode(StatusCode::kFailedPrecondition));
+  EXPECT_FALSE(IsRetryableCode(StatusCode::kOk));
+}
+
+TEST(StatusTaxonomyTest, DataUnavailableCodesPermitDegradedReads) {
+  // Data-unavailable: the authoritative value cannot be obtained, but a
+  // cached copy may legitimately serve (marked possibly-stale). This is a
+  // strict superset of the retryable codes plus Corruption.
+  EXPECT_TRUE(IsDataUnavailableCode(StatusCode::kIoError));
+  EXPECT_TRUE(IsDataUnavailableCode(StatusCode::kResourceExhausted));
+  EXPECT_TRUE(IsDataUnavailableCode(StatusCode::kCorruption));
+  // Logic errors must never be masked by a stale answer.
+  EXPECT_FALSE(IsDataUnavailableCode(StatusCode::kInvalidArgument));
+  EXPECT_FALSE(IsDataUnavailableCode(StatusCode::kNotFound));
+  EXPECT_FALSE(IsDataUnavailableCode(StatusCode::kFailedPrecondition));
+  EXPECT_FALSE(IsDataUnavailableCode(StatusCode::kOk));
+}
+
 TEST(StatusMacroTest, AssignOrReturn) {
   StatusOr<int> good = UsesAssignOrReturn(true);
   ASSERT_TRUE(good.ok());
