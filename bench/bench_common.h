@@ -30,42 +30,49 @@ struct SchemeUnderTest {
   std::unique_ptr<LabelingScheme> scheme;
 };
 
-/// Instantiates a scheme by name: "wbox", "wbox-o", "wbox-ordinal", "bbox",
-/// "bbox-o" (ordinal), "bbox-4" (min fill B/4), "naive-<k>", or "ordpath"
-/// (the §2 immutable baseline).
-inline Status MakeScheme(const std::string& name, SchemeUnderTest* out) {
-  PageCache* cache = out->cache.get();
+/// Instantiates a scheme by name on an arbitrary cache (benches that stack
+/// their own store decorators — latency, fault injection — under the
+/// cache): "wbox", "wbox-o", "wbox-ordinal", "bbox", "bbox-o" (ordinal),
+/// "bbox-4" (min fill B/4), "naive-<k>", or "ordpath" (the §2 immutable
+/// baseline).
+inline Status MakeSchemeOnCache(const std::string& name, PageCache* cache,
+                                std::unique_ptr<LabelingScheme>* out) {
   if (name == "wbox") {
-    out->scheme = std::make_unique<WBox>(cache);
+    *out = std::make_unique<WBox>(cache);
   } else if (name == "wbox-o") {
     WBoxOptions options;
     options.pair_mode = true;
-    out->scheme = std::make_unique<WBox>(cache, options);
+    *out = std::make_unique<WBox>(cache, options);
   } else if (name == "wbox-ordinal") {
     WBoxOptions options;
     options.maintain_ordinal = true;
-    out->scheme = std::make_unique<WBox>(cache, options);
+    *out = std::make_unique<WBox>(cache, options);
   } else if (name == "bbox") {
-    out->scheme = std::make_unique<BBox>(cache);
+    *out = std::make_unique<BBox>(cache);
   } else if (name == "bbox-o") {
     BBoxOptions options;
     options.ordinal = true;
-    out->scheme = std::make_unique<BBox>(cache, options);
+    *out = std::make_unique<BBox>(cache, options);
   } else if (name == "bbox-4") {
     BBoxOptions options;
     options.min_fill_divisor = 4;
-    out->scheme = std::make_unique<BBox>(cache, options);
+    *out = std::make_unique<BBox>(cache, options);
   } else if (name == "ordpath") {
-    out->scheme = std::make_unique<OrdpathScheme>(cache);
+    *out = std::make_unique<OrdpathScheme>(cache);
   } else if (name.rfind("naive-", 0) == 0) {
     NaiveOptions options;
     options.gap_bits =
         static_cast<uint32_t>(std::stoul(name.substr(6)));
-    out->scheme = std::make_unique<NaiveScheme>(cache, options);
+    *out = std::make_unique<NaiveScheme>(cache, options);
   } else {
     return Status::InvalidArgument("unknown scheme '" + name + "'");
   }
   return Status::OK();
+}
+
+/// MakeSchemeOnCache on a SchemeUnderTest's own cache.
+inline Status MakeScheme(const std::string& name, SchemeUnderTest* out) {
+  return MakeSchemeOnCache(name, out->cache.get(), &out->scheme);
 }
 
 /// Splits a comma-separated scheme list.

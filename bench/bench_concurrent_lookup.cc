@@ -1,0 +1,172 @@
+// Concurrent lookup throughput (DESIGN.md §4g, EXPERIMENTS.md): aggregate
+// LookupShared/sec as the reader thread count grows, for each scheme, with
+// one writer thread mutating the structure and periodically dropping the
+// page cache under its EpochWriteLock.
+//
+// The store is wrapped in a LatencyPageStore so every cache miss blocks for
+// a simulated device seek. That is what the added threads overlap: on a
+// cold-ish cache the run is I/O-bound, and N readers keep N simulated seeks
+// in flight — so throughput scales with threads even on a single core,
+// exactly as it would against a real disk. With zero latency and a warm
+// cache the run is CPU-bound and a single core shows no scaling.
+//
+//   bench_concurrent_lookup --schemes=wbox,bbox,naive-16 --threads=1,2,4,8
+//       [--lookups=N] [--read_latency_us=U] [--smoke] [--metrics_json=PATH]
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "storage/page_cache.h"
+#include "storage/page_store.h"
+#include "util/flags.h"
+#include "util/metrics.h"
+#include "workload/concurrent_runner.h"
+#include "xml/generators.h"
+
+namespace boxes::bench {
+namespace {
+
+/// Scheme + storage stack for one run: base memory store, latency
+/// decorator, sharded cache.
+struct ConcurrentUnit {
+  ConcurrentUnit(size_t page_size, uint64_t read_latency_us)
+      : base(page_size),
+        latency(&base,
+                [&] {
+                  LatencyPageStoreOptions options;
+                  options.read_latency_us = 0;  // free until bulk load ends
+                  options.write_latency_us = 0;
+                  return options;
+                }()),
+        cache(&latency) {
+    configured_read_latency_us = read_latency_us;
+  }
+
+  /// Called once the structure is built: cache misses start paying.
+  void StartCharging() { latency.set_read_latency_us(configured_read_latency_us); }
+
+  MemoryPageStore base;
+  LatencyPageStore latency;
+  PageCache cache;
+  std::unique_ptr<LabelingScheme> scheme;
+  uint64_t configured_read_latency_us = 0;
+};
+
+void RunScheme(const std::string& name, int64_t elements, int64_t lookups,
+               const std::vector<int64_t>& thread_counts, int64_t page_size,
+               int64_t read_latency_us, int64_t drop_cache_every,
+               int64_t writer_pause_us) {
+  std::printf("%s:\n", name.c_str());
+  double baseline = 0;
+  for (const int64_t threads : thread_counts) {
+    ConcurrentUnit unit(static_cast<size_t>(page_size),
+                        static_cast<uint64_t>(read_latency_us));
+    CheckOkOrDie(MakeSchemeOnCache(name, &unit.cache, &unit.scheme),
+                 "making scheme");
+
+    const xml::Document doc =
+        xml::MakeTwoLevelDocument(static_cast<uint64_t>(elements));
+    std::vector<NewElement> loaded;
+    CheckOkOrDie(unit.scheme->BulkLoad(doc, &loaded), "bulk load");
+    CheckOkOrDie(unit.cache.FlushAll(), "flush after load");
+    unit.StartCharging();
+
+    std::vector<Lid> probes;
+    probes.reserve(loaded.size());
+    for (const NewElement& element : loaded) {
+      probes.push_back(element.start);
+    }
+
+    workload::ConcurrentOptions options;
+    options.reader_threads = static_cast<size_t>(threads);
+    // Per-thread (not total) quota: every point then runs long enough for
+    // the writer's drop cadence to pace it, and aggregate lookups/sec
+    // stays comparable across thread counts.
+    options.lookups_per_thread = static_cast<uint64_t>(lookups);
+    options.writer_ops =
+        static_cast<uint64_t>(lookups) * static_cast<uint64_t>(threads);
+    options.writer_stops_with_readers = true;
+    options.drop_cache_every = static_cast<uint64_t>(drop_cache_every);
+    // Readers aggregate progress ~linearly with the thread count; shrink
+    // the writer's think time to match so each point sees a comparable
+    // number of cold-cache cycles per lookup.
+    options.writer_pause_us = static_cast<uint64_t>(
+        writer_pause_us / (threads > 0 ? threads : 1));
+
+    StatusOr<workload::ConcurrentStats> result =
+        workload::RunConcurrent(unit.scheme.get(), &unit.cache, probes,
+                                options);
+    CheckOkOrDie(result.status(), "concurrent run");
+    const workload::ConcurrentStats& stats = *result;
+    if (threads == thread_counts.front()) {
+      baseline = stats.lookups_per_sec;
+    }
+
+    std::printf(
+        "  threads %2lld | %9.0f lookups/s (%.2fx) | %llu lookups %llu "
+        "writer ops %llu drops | retries %llu contention %llu | %.2f s\n",
+        static_cast<long long>(threads), stats.lookups_per_sec,
+        baseline > 0 ? stats.lookups_per_sec / baseline : 0.0,
+        static_cast<unsigned long long>(stats.lookups),
+        static_cast<unsigned long long>(stats.writer_ops),
+        static_cast<unsigned long long>(stats.cache_drops),
+        static_cast<unsigned long long>(stats.reader_retries),
+        static_cast<unsigned long long>(stats.shard_contention),
+        stats.elapsed_s);
+
+    workload::ExportConcurrentStats(
+        "concurrent." + name + ".t" + std::to_string(threads), stats,
+        &GlobalMetrics());
+  }
+}
+
+int Main(int argc, char** argv) {
+  const bool smoke = ExtractSmokeFlag(&argc, argv);
+
+  FlagParser flags;
+  int64_t* elements = flags.AddInt64("elements", 4000, "document elements");
+  int64_t* lookups =
+      flags.AddInt64("lookups", 10000, "lookups per reader thread");
+  int64_t* page_size = flags.AddInt64("page_size", 2048, "block size");
+  int64_t* read_latency_us = flags.AddInt64(
+      "read_latency_us", 50, "simulated device read latency (us)");
+  int64_t* drop_cache_every = flags.AddInt64(
+      "drop_cache_every", 1, "writer drops the cache every N mutations");
+  int64_t* writer_pause_us = flags.AddInt64(
+      "writer_pause_us", 500, "writer think time between mutations (us)");
+  std::string* threads_flag =
+      flags.AddString("threads", "1,2,4,8", "reader thread counts");
+  std::string* schemes = flags.AddString("schemes", "wbox,bbox,naive-16",
+                                         "comma-separated scheme list");
+  std::string* metrics_json =
+      flags.AddString("metrics_json", "", "write metrics JSON here");
+  if (!flags.Parse(argc, argv)) {
+    return 1;
+  }
+  SmokeCap(smoke, elements, 800);
+  SmokeCap(smoke, lookups, 2000);
+
+  std::vector<int64_t> thread_counts;
+  for (const std::string& item : SplitSchemes(*threads_flag)) {
+    thread_counts.push_back(std::stoll(item));
+  }
+  if (thread_counts.empty()) {
+    std::fprintf(stderr, "--threads must name at least one count\n");
+    return 1;
+  }
+
+  for (const std::string& name : SplitSchemes(*schemes)) {
+    RunScheme(name, *elements, *lookups, thread_counts, *page_size,
+              *read_latency_us, *drop_cache_every, *writer_pause_us);
+  }
+  MaybeWriteMetricsJson(*metrics_json);
+  return 0;
+}
+
+}  // namespace
+}  // namespace boxes::bench
+
+int main(int argc, char** argv) { return boxes::bench::Main(argc, argv); }

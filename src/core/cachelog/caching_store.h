@@ -1,6 +1,7 @@
 #ifndef BOXES_CORE_CACHELOG_CACHING_STORE_H_
 #define BOXES_CORE_CACHELOG_CACHING_STORE_H_
 
+#include <atomic>
 #include <cstdint>
 
 #include <memory>
@@ -53,6 +54,11 @@ struct ResilientOrdinal {
 /// ZERO I/O; a slightly stale one is repaired by replaying the logged
 /// effects; only genuinely stale or invalidated references pay the
 /// scheme's full lookup cost.
+///
+/// Concurrency: Lookup* may run from many reader threads at once under the
+/// scheme's EpochGuard read side, provided each thread operates on its own
+/// references (a CachedLabelRef is caller-owned mutable state). The
+/// UpdateListener callbacks mutate the log and belong to the writer side.
 class CachingLabelStore : public UpdateListener {
  public:
   /// Which log data structure backs replay: the paper's plain FIFO (O(k)
@@ -96,16 +102,28 @@ class CachingLabelStore : public UpdateListener {
   /// Ordinal-label variant of LookupResilient.
   StatusOr<ResilientOrdinal> OrdinalLookupResilient(CachedOrdinalRef* ref);
 
-  // Statistics: how lookups were served.
-  uint64_t served_fresh() const { return served_fresh_; }
-  uint64_t served_replayed() const { return served_replayed_; }
-  uint64_t served_full() const { return served_full_; }
+  // Statistics: how lookups were served. Atomic so concurrent reader
+  // threads (each with its OWN references — refs themselves are not
+  // shared) count exactly.
+  uint64_t served_fresh() const {
+    return served_fresh_.load(std::memory_order_relaxed);
+  }
+  uint64_t served_replayed() const {
+    return served_replayed_.load(std::memory_order_relaxed);
+  }
+  uint64_t served_full() const {
+    return served_full_.load(std::memory_order_relaxed);
+  }
   /// Lookups served degraded: the scheme was unreachable and the cached,
   /// possibly stale value was returned instead of an error.
-  uint64_t served_degraded() const { return served_degraded_; }
+  uint64_t served_degraded() const {
+    return served_degraded_.load(std::memory_order_relaxed);
+  }
   /// Resilient lookups that failed outright (unavailable AND no cached
   /// value to fall back on).
-  uint64_t degraded_misses() const { return degraded_misses_; }
+  uint64_t degraded_misses() const {
+    return degraded_misses_.load(std::memory_order_relaxed);
+  }
   void ResetServeStats();
 
   // UpdateListener:
@@ -123,11 +141,11 @@ class CachingLabelStore : public UpdateListener {
 
   LabelingScheme* scheme_;  // not owned
   std::unique_ptr<ReplayLog> log_;
-  uint64_t served_fresh_ = 0;
-  uint64_t served_replayed_ = 0;
-  uint64_t served_full_ = 0;
-  uint64_t served_degraded_ = 0;
-  uint64_t degraded_misses_ = 0;
+  std::atomic<uint64_t> served_fresh_{0};
+  std::atomic<uint64_t> served_replayed_{0};
+  std::atomic<uint64_t> served_full_{0};
+  std::atomic<uint64_t> served_degraded_{0};
+  std::atomic<uint64_t> degraded_misses_{0};
 };
 
 }  // namespace boxes

@@ -1,0 +1,60 @@
+#include "core/common/epoch_guard.h"
+
+#include <thread>
+
+namespace boxes {
+
+std::optional<EpochGuard::ReadTicket> EpochGuard::TryBeginRead() {
+  const uint64_t seen = counter_.load(std::memory_order_acquire);
+  if ((seen & 1) != 0) {
+    // A writer is pending or active: back off instead of queueing on the
+    // mutex, so the writer drains the existing readers and gets in.
+    reader_retries_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  if (!mu_.try_lock_shared()) {
+    reader_retries_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  // Holding the mutex shared excludes the writer's exclusive section, but a
+  // writer may have flipped the counter odd between the check above and the
+  // lock. Re-check and defer to it (this is the "epoch conflict" retry).
+  const uint64_t now = counter_.load(std::memory_order_acquire);
+  if (now != seen) {
+    mu_.unlock_shared();
+    reader_retries_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  return ReadTicket{seen / 2};
+}
+
+void EpochGuard::EndRead() { mu_.unlock_shared(); }
+
+void EpochGuard::BeginWrite() {
+  writer_mu_.lock();
+  // Announce the write *before* acquiring the mutex: new readers bounce off
+  // the odd counter while we wait only for the readers already admitted.
+  counter_.fetch_add(1, std::memory_order_acq_rel);
+  mu_.lock();
+}
+
+void EpochGuard::EndWrite() {
+  mu_.unlock();
+  counter_.fetch_add(1, std::memory_order_acq_rel);
+  writer_mu_.unlock();
+}
+
+EpochReadLock::EpochReadLock(EpochGuard* guard) : guard_(guard) {
+  for (;;) {
+    std::optional<EpochGuard::ReadTicket> ticket = guard_->TryBeginRead();
+    if (ticket.has_value()) {
+      ticket_ = *ticket;
+      return;
+    }
+    std::this_thread::yield();
+  }
+}
+
+EpochReadLock::~EpochReadLock() { guard_->EndRead(); }
+
+}  // namespace boxes

@@ -1,0 +1,122 @@
+#ifndef BOXES_CORE_COMMON_EPOCH_GUARD_H_
+#define BOXES_CORE_COMMON_EPOCH_GUARD_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <shared_mutex>
+
+namespace boxes {
+
+/// Single-writer / multi-reader guard for a labeling scheme (DESIGN.md §4g).
+///
+/// The protocol is a seqlock-style epoch gate layered over a shared mutex:
+///
+///   * The epoch counter is even while the structure is quiescent and odd
+///     while a write is pending or in progress. A completed write advances
+///     it by 2, so `epoch() = epoch_counter / 2` counts committed writes.
+///   * Writers (one at a time, serialized on `writer_mu_`) first flip the
+///     counter to odd, *then* take the mutex exclusively. New readers see
+///     the odd counter and back off immediately, so the writer only waits
+///     for readers already inside — writers cannot be starved by a steady
+///     reader stream.
+///   * Readers never block on the mutex: TryBeginRead() fails fast when the
+///     counter is odd or `try_lock_shared` loses a race, and the caller
+///     retries (counted in reader_retries(), surfaced as the
+///     "concurrency.reader_retries" metric). Once a ticket is issued the
+///     reader holds the mutex shared for the whole lookup, so the pages it
+///     dereferences cannot change under it — observations are never torn,
+///     and the ticket's epoch names exactly which committed state was read.
+///
+/// What is linearizable: every read that returns a ticket observed the
+/// state after exactly `ticket.epoch` committed writes. What is not: the
+/// *assignment* of epochs to wall-clock time — two readers may observe
+/// epochs in either order relative to their call order.
+class EpochGuard {
+ public:
+  /// Proof of read admission; `epoch` is the number of committed writes the
+  /// observed state includes.
+  struct ReadTicket {
+    uint64_t epoch = 0;
+  };
+
+  EpochGuard() = default;
+  EpochGuard(const EpochGuard&) = delete;
+  EpochGuard& operator=(const EpochGuard&) = delete;
+
+  /// Attempts read admission without blocking. Returns nullopt (and counts
+  /// a retry) when a writer is pending or active; the caller should yield
+  /// and try again. On success the caller MUST call EndRead().
+  std::optional<ReadTicket> TryBeginRead();
+
+  /// Releases a ticket obtained from TryBeginRead().
+  void EndRead();
+
+  /// Blocks new readers (epoch goes odd), waits for in-flight readers to
+  /// drain, and enters the exclusive section. One writer at a time; nested
+  /// BeginWrite on one thread deadlocks by design (as any mutex would).
+  void BeginWrite();
+
+  /// Commits the write: the epoch becomes even again and readers resume.
+  void EndWrite();
+
+  /// Number of committed writes so far.
+  uint64_t epoch() const { return counter_.load(std::memory_order_acquire) / 2; }
+
+  /// True while a writer is pending or inside its exclusive section.
+  bool writer_active() const {
+    return (counter_.load(std::memory_order_acquire) & 1) != 0;
+  }
+
+  /// Total failed read admissions (the "concurrency.reader_retries"
+  /// counter family).
+  uint64_t reader_retries() const {
+    return reader_retries_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  // Even = quiescent, odd = writer pending/active. Incremented once when a
+  // write begins and once when it commits.
+  std::atomic<uint64_t> counter_{0};
+  std::shared_mutex mu_;
+  std::mutex writer_mu_;  // serializes writers
+  std::atomic<uint64_t> reader_retries_{0};
+};
+
+/// RAII read admission: spins (with yields) on TryBeginRead until admitted.
+/// The guard's epoch gate bounds the spin by the writer's critical section.
+class EpochReadLock {
+ public:
+  explicit EpochReadLock(EpochGuard* guard);
+  ~EpochReadLock();
+
+  EpochReadLock(const EpochReadLock&) = delete;
+  EpochReadLock& operator=(const EpochReadLock&) = delete;
+
+  const EpochGuard::ReadTicket& ticket() const { return ticket_; }
+  uint64_t epoch() const { return ticket_.epoch; }
+
+ private:
+  EpochGuard* guard_;
+  EpochGuard::ReadTicket ticket_;
+};
+
+/// RAII exclusive section for the (single) writer.
+class EpochWriteLock {
+ public:
+  explicit EpochWriteLock(EpochGuard* guard) : guard_(guard) {
+    guard_->BeginWrite();
+  }
+  ~EpochWriteLock() { guard_->EndWrite(); }
+
+  EpochWriteLock(const EpochWriteLock&) = delete;
+  EpochWriteLock& operator=(const EpochWriteLock&) = delete;
+
+ private:
+  EpochGuard* guard_;
+};
+
+}  // namespace boxes
+
+#endif  // BOXES_CORE_COMMON_EPOCH_GUARD_H_

@@ -78,4 +78,22 @@ StatusOr<uint64_t> LabelingScheme::OrdinalLookup(Lid /*lid*/) {
   return Status::Unimplemented(name() + " does not maintain ordinal labels");
 }
 
+StatusOr<VersionedLabel> LabelingScheme::LookupShared(Lid lid) {
+  EpochReadLock lock(&epoch_guard_);
+  StatusOr<Label> label = Lookup(lid);
+  if (!label.ok()) {
+    return label.status();
+  }
+  return VersionedLabel{std::move(*label), lock.epoch()};
+}
+
+StatusOr<VersionedOrdinal> LabelingScheme::OrdinalLookupShared(Lid lid) {
+  EpochReadLock lock(&epoch_guard_);
+  StatusOr<uint64_t> ordinal = OrdinalLookup(lid);
+  if (!ordinal.ok()) {
+    return ordinal.status();
+  }
+  return VersionedOrdinal{*ordinal, lock.epoch()};
+}
+
 }  // namespace boxes

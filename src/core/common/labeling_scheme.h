@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "core/common/epoch_guard.h"
 #include "core/common/label.h"
 #include "lidf/lidf.h"
 #include "util/metrics.h"
@@ -55,9 +56,32 @@ class UpdateListener {
   virtual void OnOrdinalShift(uint64_t from, int64_t delta) = 0;
 };
 
+/// A label observed under a read ticket: the value plus the epoch (number
+/// of committed writes) it was read at. Concurrent readers use the epoch to
+/// order their observations against the writer's history.
+struct VersionedLabel {
+  Label label;
+  uint64_t epoch = 0;
+};
+
+/// Ordinal variant of VersionedLabel.
+struct VersionedOrdinal {
+  uint64_t ordinal = 0;
+  uint64_t epoch = 0;
+};
+
 /// Common interface of all dynamic order-based labeling schemes (W-BOX,
 /// B-BOX, naive-k): maintains one label per tag of a dynamic XML document,
 /// addressed by immutable LIDs (paper §3, "Supported operations").
+///
+/// Concurrency (DESIGN.md §4g): every scheme carries an EpochGuard. Mutating
+/// operations (insert/delete/relabel/bulk load) must run under
+/// EpochWriteLock(&scheme->epoch_guard()) — one writer at a time. The
+/// read-only paths (Lookup, OrdinalLookup, Compare, and lookups routed
+/// through CachingLabelStore) may then run from any number of reader
+/// threads under EpochReadLock; LookupShared/OrdinalLookupShared package
+/// that pattern. Single-threaded callers may ignore the guard entirely —
+/// the plain virtuals are unsynchronized, exactly as before.
 class LabelingScheme {
  public:
   virtual ~LabelingScheme() = default;
@@ -121,6 +145,18 @@ class LabelingScheme {
   /// Verifies every structural invariant; used heavily by tests.
   virtual Status CheckInvariants() { return Status::OK(); }
 
+  /// Lookup under the scheme's epoch guard: acquires a read ticket
+  /// (retrying on writer conflict), performs the lookup, and returns the
+  /// value stamped with the epoch it was observed at. Thread-safe against
+  /// one concurrent writer holding EpochWriteLock.
+  StatusOr<VersionedLabel> LookupShared(Lid lid);
+
+  /// Ordinal variant of LookupShared. Requires SupportsOrdinal().
+  StatusOr<VersionedOrdinal> OrdinalLookupShared(Lid lid);
+
+  /// The single-writer/multi-reader gate for this scheme (see class doc).
+  EpochGuard& epoch_guard() { return epoch_guard_; }
+
   /// Attaches (or detaches, with nullptr) the caching/logging observer.
   void SetUpdateListener(UpdateListener* listener) { listener_ = listener; }
   UpdateListener* update_listener() const { return listener_; }
@@ -134,6 +170,9 @@ class LabelingScheme {
  protected:
   UpdateListener* listener_ = nullptr;
   MetricsRegistry* metrics_ = nullptr;
+
+ private:
+  EpochGuard epoch_guard_;
 };
 
 }  // namespace boxes

@@ -7,20 +7,123 @@
 
 namespace boxes {
 
+namespace {
+
+/// Per-thread phase stack entry. An entry exists only while some ScopedPhase
+/// for that cache is active on this thread, so stale cache addresses cannot
+/// linger past the guard's scope.
+struct TlsPhaseEntry {
+  const PageCache* cache;
+  IoPhase phase;
+};
+
+thread_local std::vector<TlsPhaseEntry> tls_phases;
+
+size_t RoundUpPow2(size_t n) {
+  size_t p = 1;
+  while (p < n) {
+    p <<= 1;
+  }
+  return p;
+}
+
+}  // namespace
+
 PageCache::PageCache(PageStore* store, PageCacheOptions options)
-    : store_(store), options_(options) {}
+    : store_(store), options_(options) {
+  num_shards_ = RoundUpPow2(std::max<size_t>(1, options_.shards));
+  shards_ = std::make_unique<Shard[]>(num_shards_);
+}
 
 PageCache::~PageCache() {
   // Best-effort flush; errors here cannot be reported.
   (void)FlushAll();
 }
 
+PageCache::Shard& PageCache::ShardFor(PageId id) const {
+  // Fibonacci mix so sequential page ids spread over shards even when the
+  // shard count divides the id stride.
+  const uint64_t mixed = static_cast<uint64_t>(id) * 0x9e3779b97f4a7c15ull;
+  return shards_[(mixed >> 32) & (num_shards_ - 1)];
+}
+
+std::unique_lock<std::mutex> PageCache::LockShard(Shard* shard) {
+  std::unique_lock<std::mutex> lock(shard->mu, std::try_to_lock);
+  if (!lock.owns_lock()) {
+    shard_contention_.fetch_add(1, std::memory_order_relaxed);
+    lock.lock();
+  }
+  return lock;
+}
+
+IoPhase PageCache::current_phase() const {
+  for (const TlsPhaseEntry& entry : tls_phases) {
+    if (entry.cache == this) {
+      return entry.phase;
+    }
+  }
+  return IoPhase::kOther;
+}
+
+IoPhase PageCache::SetPhase(IoPhase phase) {
+  for (size_t i = 0; i < tls_phases.size(); ++i) {
+    if (tls_phases[i].cache == this) {
+      const IoPhase previous = tls_phases[i].phase;
+      if (phase == IoPhase::kOther) {
+        tls_phases.erase(tls_phases.begin() + static_cast<ptrdiff_t>(i));
+      } else {
+        tls_phases[i].phase = phase;
+      }
+      return previous;
+    }
+  }
+  if (phase != IoPhase::kOther) {
+    tls_phases.push_back(TlsPhaseEntry{this, phase});
+  }
+  return IoPhase::kOther;
+}
+
+IoStats PageCache::stats() const {
+  IoStats out;
+  out.reads = stats_.reads.load(std::memory_order_relaxed);
+  out.writes = stats_.writes.load(std::memory_order_relaxed);
+  return out;
+}
+
+PhaseIoTable PageCache::phase_stats() const {
+  PhaseIoTable out{};
+  for (size_t i = 0; i < kNumIoPhases; ++i) {
+    out[i].reads = phase_stats_[i].reads.load(std::memory_order_relaxed);
+    out[i].writes = phase_stats_[i].writes.load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+IoStats PageCache::phase_stats(IoPhase phase) const {
+  const AtomicIo& io = phase_stats_[static_cast<size_t>(phase)];
+  IoStats out;
+  out.reads = io.reads.load(std::memory_order_relaxed);
+  out.writes = io.writes.load(std::memory_order_relaxed);
+  return out;
+}
+
+void PageCache::ResetStats() {
+  stats_.reads.store(0, std::memory_order_relaxed);
+  stats_.writes.store(0, std::memory_order_relaxed);
+  for (AtomicIo& io : phase_stats_) {
+    io.reads.store(0, std::memory_order_relaxed);
+    io.writes.store(0, std::memory_order_relaxed);
+  }
+}
+
 void PageCache::BeginOp() {
-  BOXES_CHECK(!op_active_);
-  op_active_ = true;
-  for (auto& [id, frame] : frames_) {
-    (void)id;
-    frame.touched_this_op = false;
+  BOXES_CHECK(!op_active_.exchange(true, std::memory_order_acq_rel));
+  for (size_t s = 0; s < num_shards_; ++s) {
+    std::unique_lock<std::mutex> lock = LockShard(&shards_[s]);
+    for (auto& [id, frame] : shards_[s].frames) {
+      (void)id;
+      frame.touched_this_op = false;
+    }
   }
   // With retention, trim to capacity now: every frame is untouched, so no
   // caller-held pointer can be invalidated. No insertion follows, so no
@@ -29,8 +132,7 @@ void PageCache::BeginOp() {
 }
 
 Status PageCache::EndOp() {
-  BOXES_CHECK(op_active_);
-  op_active_ = false;
+  BOXES_CHECK(op_active_.exchange(false, std::memory_order_acq_rel));
   return FlushAll();
 }
 
@@ -43,24 +145,49 @@ StatusOr<uint8_t*> PageCache::GetPageForWrite(PageId id) {
 }
 
 StatusOr<uint8_t*> PageCache::GetInternal(PageId id, bool for_write) {
-  auto it = frames_.find(id);
-  if (it == frames_.end()) {
-    BOXES_RETURN_IF_ERROR(EvictIfNeeded(/*headroom=*/1));
-    Frame frame;
-    frame.data = std::make_unique<uint8_t[]>(page_size());
-    Status read = store_->Read(id, frame.data.get());
-    if (!read.ok()) {
-      if (read.code() == StatusCode::kCorruption) {
-        // Tag the failure with which operation phase was reading; the page
-        // id is already in the store's message.
-        return Status::Corruption(read.message() + std::string(" (io phase: ") +
-                                  IoPhaseName(phase_) + ")");
+  Shard& shard = ShardFor(id);
+  {
+    std::unique_lock<std::mutex> lock = LockShard(&shard);
+    auto it = shard.frames.find(id);
+    if (it != shard.frames.end()) {
+      Frame& frame = it->second;
+      Touch(id, &frame);
+      if (for_write) {
+        MarkDirty(&frame);
       }
-      return read;
+      return frame.data.get();
     }
-    ++stats_.reads;
-    ++phase_stats_[static_cast<size_t>(phase_)].reads;
-    it = frames_.emplace(id, std::move(frame)).first;
+  }
+  // Miss. Eviction only ever fires inside an active (writer-exclusive)
+  // operation, so it cannot invalidate concurrent readers' frames.
+  BOXES_RETURN_IF_ERROR(EvictIfNeeded(/*headroom=*/1));
+  // Read from the store with no shard lock held: a miss may block in the
+  // store (real or simulated I/O latency) and must not stall hits on other
+  // pages of the same shard.
+  auto data = std::make_unique<uint8_t[]>(page_size());
+  Status read = store_->Read(id, data.get());
+  if (!read.ok()) {
+    if (read.code() == StatusCode::kCorruption) {
+      // Tag the failure with which operation phase was reading; the page
+      // id is already in the store's message.
+      return Status::Corruption(read.message() + std::string(" (io phase: ") +
+                                IoPhaseName(current_phase()) + ")");
+    }
+    return read;
+  }
+  std::unique_lock<std::mutex> lock = LockShard(&shard);
+  auto it = shard.frames.find(id);
+  if (it == shard.frames.end()) {
+    // We are the installing thread: charge the read. A concurrent reader
+    // that lost this race used the already-installed frame and its store
+    // read is discarded uncounted, keeping reads == distinct frame loads.
+    stats_.reads.fetch_add(1, std::memory_order_relaxed);
+    phase_stats_[static_cast<size_t>(current_phase())].reads.fetch_add(
+        1, std::memory_order_relaxed);
+    Frame frame;
+    frame.data = std::move(data);
+    it = shard.frames.emplace(id, std::move(frame)).first;
+    total_frames_.fetch_add(1, std::memory_order_acq_rel);
   }
   Frame& frame = it->second;
   Touch(id, &frame);
@@ -79,7 +206,10 @@ StatusOr<PageId> PageCache::AllocatePage(uint8_t** data) {
   Frame frame;
   frame.data = std::make_unique<uint8_t[]>(page_size());
   std::memset(frame.data.get(), 0, page_size());
-  auto it = frames_.emplace(*id, std::move(frame)).first;
+  Shard& shard = ShardFor(*id);
+  std::unique_lock<std::mutex> lock = LockShard(&shard);
+  auto it = shard.frames.emplace(*id, std::move(frame)).first;
+  total_frames_.fetch_add(1, std::memory_order_acq_rel);
   MarkDirty(&it->second);
   Touch(*id, &it->second);
   *data = it->second.data.get();
@@ -87,12 +217,22 @@ StatusOr<PageId> PageCache::AllocatePage(uint8_t** data) {
 }
 
 Status PageCache::FreePage(PageId id) {
-  auto it = frames_.find(id);
-  if (it != frames_.end()) {
-    if (it->second.in_lru) {
-      lru_.erase(it->second.lru_pos);
+  Shard& shard = ShardFor(id);
+  std::list<PageId>::iterator lru_pos;
+  bool was_in_lru = false;
+  {
+    std::unique_lock<std::mutex> lock = LockShard(&shard);
+    auto it = shard.frames.find(id);
+    if (it != shard.frames.end()) {
+      was_in_lru = it->second.in_lru;
+      lru_pos = it->second.lru_pos;
+      shard.frames.erase(it);
+      total_frames_.fetch_sub(1, std::memory_order_acq_rel);
     }
-    frames_.erase(it);
+  }
+  if (was_in_lru) {
+    std::lock_guard<std::mutex> lock(lru_mu_);
+    lru_.erase(lru_pos);
   }
   return store_->Free(id);
 }
@@ -100,31 +240,46 @@ Status PageCache::FreePage(PageId id) {
 Status PageCache::FlushAll() {
   // Flush dirty frames in a deterministic order for reproducibility.
   std::vector<PageId> ids;
-  ids.reserve(frames_.size());
-  for (auto& [id, frame] : frames_) {
-    (void)frame;
-    ids.push_back(id);
+  ids.reserve(total_frames_.load(std::memory_order_acquire));
+  for (size_t s = 0; s < num_shards_; ++s) {
+    std::unique_lock<std::mutex> lock = LockShard(&shards_[s]);
+    for (auto& [id, frame] : shards_[s].frames) {
+      (void)frame;
+      ids.push_back(id);
+    }
   }
   std::sort(ids.begin(), ids.end());
   for (PageId id : ids) {
-    Frame& frame = frames_[id];
-    BOXES_RETURN_IF_ERROR(FlushFrame(id, &frame));
+    Shard& shard = ShardFor(id);
+    std::unique_lock<std::mutex> lock = LockShard(&shard);
+    auto it = shard.frames.find(id);
+    if (it != shard.frames.end()) {
+      BOXES_RETURN_IF_ERROR(FlushFrameLocked(id, &it->second));
+    }
   }
   if (!options_.retain_across_ops) {
-    frames_.clear();
+    size_t dropped = 0;
+    for (size_t s = 0; s < num_shards_; ++s) {
+      std::unique_lock<std::mutex> lock = LockShard(&shards_[s]);
+      dropped += shards_[s].frames.size();
+      shards_[s].frames.clear();
+    }
+    total_frames_.fetch_sub(dropped, std::memory_order_acq_rel);
+    std::lock_guard<std::mutex> lock(lru_mu_);
     lru_.clear();
   }
   return Status::OK();
 }
 
-Status PageCache::FlushFrame(PageId id, Frame* frame) {
+Status PageCache::FlushFrameLocked(PageId id, Frame* frame) {
   if (!frame->dirty) {
     return Status::OK();
   }
   BOXES_RETURN_IF_ERROR(store_->Write(id, frame->data.get()));
   frame->dirty = false;
-  ++stats_.writes;
-  ++phase_stats_[static_cast<size_t>(frame->dirty_phase)].writes;
+  stats_.writes.fetch_add(1, std::memory_order_relaxed);
+  phase_stats_[static_cast<size_t>(frame->dirty_phase)].writes.fetch_add(
+      1, std::memory_order_relaxed);
   frame->dirty_phase = IoPhase::kOther;
   return Status::OK();
 }
@@ -133,37 +288,58 @@ Status PageCache::EvictIfNeeded(size_t headroom) {
   if (!options_.retain_across_ops) {
     return Status::OK();  // unbounded working set within an operation
   }
-  if (!op_active_) {
+  if (!op_active()) {
     // Without operation brackets there is no safe point to invalidate the
     // raw pointers callers hold; defer eviction to the next BeginOp.
     return Status::OK();
   }
-  while (frames_.size() + headroom > options_.capacity_pages &&
-         !lru_.empty()) {
-    // Find the least-recently-used frame that is not part of the current
-    // operation's working set (those must stay pinned: callers hold raw
-    // pointers to them until EndOp).
-    PageId victim = kInvalidPageId;
-    for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
-      if (!frames_.at(*it).touched_this_op) {
-        victim = *it;
-        break;
-      }
-    }
-    if (victim == kInvalidPageId) {
-      return Status::OK();  // everything pinned; allow temporary overflow
-    }
-    auto it = frames_.find(victim);
-    BOXES_RETURN_IF_ERROR(FlushFrame(victim, &it->second));
-    lru_.erase(it->second.lru_pos);
-    frames_.erase(it);
+  if (resident_pages() + headroom <= options_.capacity_pages) {
+    return Status::OK();
   }
+  // Snapshot the LRU order (least recent first), then visit shards with no
+  // LRU lock held — the shard-then-LRU lock order is never inverted.
+  std::vector<PageId> candidates;
+  {
+    std::lock_guard<std::mutex> lock(lru_mu_);
+    candidates.assign(lru_.rbegin(), lru_.rend());
+  }
+  for (PageId victim : candidates) {
+    if (resident_pages() + headroom <= options_.capacity_pages) {
+      break;
+    }
+    Shard& shard = ShardFor(victim);
+    std::list<PageId>::iterator lru_pos;
+    bool evicted = false;
+    {
+      std::unique_lock<std::mutex> lock = LockShard(&shard);
+      auto it = shard.frames.find(victim);
+      if (it == shard.frames.end()) {
+        continue;  // already gone
+      }
+      // Frames of the current operation's working set stay pinned: callers
+      // hold raw pointers to them until EndOp.
+      if (it->second.touched_this_op) {
+        continue;
+      }
+      BOXES_RETURN_IF_ERROR(FlushFrameLocked(victim, &it->second));
+      lru_pos = it->second.lru_pos;
+      evicted = it->second.in_lru;
+      shard.frames.erase(it);
+      total_frames_.fetch_sub(1, std::memory_order_acq_rel);
+    }
+    if (evicted) {
+      std::lock_guard<std::mutex> lock(lru_mu_);
+      lru_.erase(lru_pos);
+    }
+  }
+  // Everything still resident is pinned; allow temporary overflow.
   return Status::OK();
 }
 
 void PageCache::Touch(PageId id, Frame* frame) {
   frame->touched_this_op = true;
   if (options_.retain_across_ops) {
+    std::lock_guard<std::mutex> lock(lru_mu_);
     if (frame->in_lru) {
       lru_.erase(frame->lru_pos);
     }
@@ -176,13 +352,24 @@ void PageCache::Touch(PageId id, Frame* frame) {
 void PageCache::MarkDirty(Frame* frame) {
   if (!frame->dirty) {
     frame->dirty = true;
-    frame->dirty_phase = phase_;
+    frame->dirty_phase = current_phase();
   }
+}
+
+Status PageCache::last_unwind_error() const {
+  std::lock_guard<std::mutex> lock(unwind_mu_);
+  return last_unwind_error_;
+}
+
+void PageCache::ClearUnwindError() {
+  std::lock_guard<std::mutex> lock(unwind_mu_);
+  last_unwind_error_ = Status::OK();
 }
 
 void PageCache::RecordUnwindError(const Status& status) {
   std::fprintf(stderr, "boxes: error during IoScope unwinding: %s\n",
                status.ToString().c_str());
+  std::lock_guard<std::mutex> lock(unwind_mu_);
   if (last_unwind_error_.ok()) {
     last_unwind_error_ = status;
   }

@@ -1,9 +1,12 @@
 #ifndef BOXES_STORAGE_PAGE_CACHE_H_
 #define BOXES_STORAGE_PAGE_CACHE_H_
 
+#include <array>
+#include <atomic>
 #include <cstdint>
 #include <list>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 
 #include "storage/io_stats.h"
@@ -24,6 +27,11 @@ struct PageCacheOptions {
   /// stay resident).
   bool retain_across_ops = false;
   uint64_t capacity_pages = 1024;
+
+  /// Number of page-table shards (rounded up to a power of two). Each shard
+  /// has its own mutex and hash map, so concurrent readers on different
+  /// pages rarely contend. 1 degenerates to a single-lock cache.
+  size_t shards = 16;
 };
 
 /// The single point through which all structures access pages, responsible
@@ -40,6 +48,15 @@ struct PageCacheOptions {
 /// operation: all pages stay resident and dirty data is flushed by
 /// FlushAll(). This is convenient for tests that only care about
 /// correctness.
+///
+/// Concurrency (DESIGN.md §4g): the page table is sharded under per-shard
+/// mutexes, I/O counters are atomic, and the active phase is per-thread, so
+/// any number of reader threads may call GetPage concurrently. Structural
+/// transitions — BeginOp/EndOp, FlushAll, AllocatePage/FreePage, eviction —
+/// assume the caller holds the single-writer side of an EpochGuard (or is
+/// otherwise exclusive): they may drop frames whose raw pointers concurrent
+/// readers would still dereference. Frame bytes themselves are unsynchron-
+/// ized; writer/reader byte-level exclusion is the EpochGuard's job.
 class PageCache {
  public:
   explicit PageCache(PageStore* store, PageCacheOptions options = {});
@@ -52,70 +69,79 @@ class PageCache {
   PageStore* store() const { return store_; }
 
   /// Marks the start of a logical operation. Requires no operation active.
+  /// Writer-exclusive (see class comment).
   void BeginOp();
 
   /// Flushes dirty frames (counting write I/Os), drops the working set
   /// (unless retention is enabled), and ends the operation.
   Status EndOp();
 
-  bool op_active() const { return op_active_; }
+  bool op_active() const {
+    return op_active_.load(std::memory_order_acquire);
+  }
 
-  /// Returns a pointer to the page's bytes, valid until EndOp() (or until
-  /// FreePage of the same page). Counts one read I/O if the page is not in
-  /// the working set / retained cache.
+  /// Returns a pointer to the page's bytes, valid until EndOp()/FlushAll()
+  /// (or until FreePage of the same page). Counts one read I/O if the page
+  /// is not in the working set / retained cache. Safe to call from many
+  /// reader threads concurrently.
   StatusOr<uint8_t*> GetPage(PageId id);
 
-  /// Like GetPage but also marks the page dirty.
+  /// Like GetPage but also marks the page dirty. Writer-exclusive.
   StatusOr<uint8_t*> GetPageForWrite(PageId id);
 
   /// Allocates a zeroed page, resident and dirty. No read I/O is charged;
   /// the write is charged when flushed. On success `*data` points at the
-  /// frame bytes.
+  /// frame bytes. Writer-exclusive.
   StatusOr<PageId> AllocatePage(uint8_t** data);
 
   /// Frees a page; drops its frame without writing it back.
+  /// Writer-exclusive.
   Status FreePage(PageId id);
 
   /// Flushes all dirty frames and, without retention, drops all frames.
-  /// Same as EndOp but legal with no active operation.
+  /// Same as EndOp but legal with no active operation. Writer-exclusive.
   Status FlushAll();
 
-  /// Cumulative I/O counters.
-  const IoStats& stats() const { return stats_; }
+  /// Snapshot of the cumulative I/O counters.
+  IoStats stats() const;
 
   /// Per-phase I/O attribution (see IoPhase). Reads are charged to the
   /// phase active at the cache miss; writes to the phase that first dirtied
   /// the flushed page. Sums across phases equal stats().
-  const PhaseIoTable& phase_stats() const { return phase_stats_; }
-  const IoStats& phase_stats(IoPhase phase) const {
-    return phase_stats_[static_cast<size_t>(phase)];
-  }
+  PhaseIoTable phase_stats() const;
+  IoStats phase_stats(IoPhase phase) const;
 
-  /// The phase new I/Os are currently charged to. Use ScopedPhase rather
-  /// than calling SetPhase directly.
-  IoPhase current_phase() const { return phase_; }
+  /// The phase this thread's new I/Os are currently charged to. Phases are
+  /// per-thread state (a reader's search must not tag another thread's
+  /// I/Os), maintained in TLS. Use ScopedPhase rather than SetPhase.
+  IoPhase current_phase() const;
 
-  /// Sets the active phase, returning the previous one.
-  IoPhase SetPhase(IoPhase phase) {
-    const IoPhase previous = phase_;
-    phase_ = phase;
-    return previous;
-  }
+  /// Sets the calling thread's active phase, returning the previous one.
+  IoPhase SetPhase(IoPhase phase);
 
   /// Resets counters (total and per-phase) to zero (frames are untouched).
-  void ResetStats() {
-    stats_ = IoStats();
-    phase_stats_ = PhaseIoTable{};
-  }
+  /// Not meaningful while other threads are counting.
+  void ResetStats();
 
   /// Number of frames currently resident (for tests).
-  size_t resident_pages() const { return frames_.size(); }
+  size_t resident_pages() const {
+    return total_frames_.load(std::memory_order_acquire);
+  }
+
+  /// Times a thread failed to acquire a shard mutex on first try and had to
+  /// block (the "cache.shard_contention" counter family).
+  uint64_t shard_contention() const {
+    return shard_contention_.load(std::memory_order_relaxed);
+  }
+
+  /// Number of page-table shards (power of two).
+  size_t num_shards() const { return num_shards_; }
 
   /// The first error swallowed by an IoScope unwinding (sticky until
   /// cleared); OK if none occurred. Tests use this to observe flush
   /// failures that happen during stack unwinding.
-  const Status& last_unwind_error() const { return last_unwind_error_; }
-  void ClearUnwindError() { last_unwind_error_ = Status::OK(); }
+  Status last_unwind_error() const;
+  void ClearUnwindError();
 
   /// Records an error that could not be propagated (destructor context).
   /// Only the first error sticks.
@@ -133,29 +159,57 @@ class PageCache {
     bool in_lru = false;
   };
 
+  /// One page-table shard. Lock order: a shard mutex may be held while
+  /// acquiring lru_mu_, never the reverse (eviction snapshots the LRU order
+  /// first, then visits shards with no LRU lock held).
+  struct Shard {
+    std::mutex mu;
+    std::unordered_map<PageId, Frame> frames;
+  };
+
+  struct AtomicIo {
+    std::atomic<uint64_t> reads{0};
+    std::atomic<uint64_t> writes{0};
+  };
+
+  Shard& ShardFor(PageId id) const;
+  /// Locks a shard, counting contention when the fast path fails.
+  std::unique_lock<std::mutex> LockShard(Shard* shard);
+
   StatusOr<uint8_t*> GetInternal(PageId id, bool for_write);
   /// Evicts retained frames until at most `capacity_pages - headroom`
   /// remain (headroom = 1 makes room for an imminent insertion; 0 trims to
-  /// exactly capacity).
+  /// exactly capacity). Writer-exclusive.
   Status EvictIfNeeded(size_t headroom);
-  Status FlushFrame(PageId id, Frame* frame);
+  /// Flushes one frame; the caller holds the frame's shard mutex.
+  Status FlushFrameLocked(PageId id, Frame* frame);
+  /// Marks a frame recently used; the caller holds its shard mutex.
   void Touch(PageId id, Frame* frame);
   void MarkDirty(Frame* frame);
 
   PageStore* store_;  // not owned
   const PageCacheOptions options_;
-  std::unordered_map<PageId, Frame> frames_;
+  size_t num_shards_ = 1;  // power of two
+  std::unique_ptr<Shard[]> shards_;
+  std::atomic<size_t> total_frames_{0};
+
+  std::mutex lru_mu_;
   std::list<PageId> lru_;  // front = most recent (retained mode only)
-  IoStats stats_;
-  PhaseIoTable phase_stats_;
-  IoPhase phase_ = IoPhase::kOther;
+
+  AtomicIo stats_;
+  std::array<AtomicIo, kNumIoPhases> phase_stats_;
+  std::atomic<uint64_t> shard_contention_{0};
+
+  mutable std::mutex unwind_mu_;
   Status last_unwind_error_;
-  bool op_active_ = false;
+
+  std::atomic<bool> op_active_{false};
 };
 
-/// RAII phase guard: I/Os charged while the guard lives are attributed to
-/// `phase`. Guards nest; the innermost one wins, and the previous phase is
-/// restored on destruction.
+/// RAII phase guard: I/Os charged by this thread while the guard lives are
+/// attributed to `phase`. Guards nest; the innermost one wins, and the
+/// previous phase is restored on destruction. Phase state is thread-local,
+/// so guards on different threads do not interfere.
 class ScopedPhase {
  public:
   ScopedPhase(PageCache* cache, IoPhase phase)

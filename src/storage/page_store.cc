@@ -5,7 +5,9 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 
 #include "storage/superblock_format.h"
 #include "util/coding.h"
@@ -103,6 +105,28 @@ Status MemoryPageStore::CheckId(PageId id) const {
                                    " is not allocated");
   }
   return Status::OK();
+}
+
+LatencyPageStore::LatencyPageStore(PageStore* base,
+                                   LatencyPageStoreOptions options)
+    : base_(base),
+      read_latency_us_(options.read_latency_us),
+      write_latency_us_(options.write_latency_us) {}
+
+Status LatencyPageStore::Read(PageId id, uint8_t* buf) {
+  const uint64_t us = read_latency_us();
+  if (us > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(us));
+  }
+  return base_->Read(id, buf);
+}
+
+Status LatencyPageStore::Write(PageId id, const uint8_t* buf) {
+  const uint64_t us = write_latency_us();
+  if (us > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(us));
+  }
+  return base_->Write(id, buf);
 }
 
 namespace {

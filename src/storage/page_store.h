@@ -1,6 +1,7 @@
 #ifndef BOXES_STORAGE_PAGE_STORE_H_
 #define BOXES_STORAGE_PAGE_STORE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -117,6 +118,72 @@ class MemoryPageStore : public PageStore {
   std::vector<bool> live_;
   std::vector<PageId> free_list_;
   uint64_t allocated_ = 0;
+};
+
+/// Configuration of LatencyPageStore: per-operation simulated device time.
+struct LatencyPageStoreOptions {
+  /// Blocking delay charged to every Read, in microseconds.
+  uint64_t read_latency_us = 25;
+  /// Blocking delay charged to every Write, in microseconds.
+  uint64_t write_latency_us = 25;
+};
+
+/// Decorator that models device latency: every Read/Write blocks the calling
+/// thread for a fixed delay before delegating. This turns an in-memory store
+/// into an I/O-bound one, which is what makes concurrent-lookup scaling
+/// observable — reader threads overlap their simulated seeks exactly the way
+/// they would overlap real disk or SSD reads (DESIGN.md §4g). The delays
+/// are atomics (adjustable at runtime, e.g. zero during bulk load); apart
+/// from them the decorator is stateless, hence as thread-safe as the base.
+class LatencyPageStore : public PageStore {
+ public:
+  LatencyPageStore(PageStore* base, LatencyPageStoreOptions options = {});
+
+  LatencyPageStore(const LatencyPageStore&) = delete;
+  LatencyPageStore& operator=(const LatencyPageStore&) = delete;
+
+  size_t page_size() const override { return base_->page_size(); }
+  StatusOr<PageId> Allocate() override { return base_->Allocate(); }
+  Status Free(PageId id) override { return base_->Free(id); }
+  Status Read(PageId id, uint8_t* buf) override;
+  Status Write(PageId id, const uint8_t* buf) override;
+  Status WriteTorn(PageId id, const uint8_t* buf, size_t prefix) override {
+    return base_->WriteTorn(id, buf, prefix);
+  }
+  Status Sync() override { return base_->Sync(); }
+  Status CommitEpoch(uint64_t epoch) override {
+    return base_->CommitEpoch(epoch);
+  }
+  uint64_t allocated_pages() const override {
+    return base_->allocated_pages();
+  }
+  uint64_t total_pages() const override { return base_->total_pages(); }
+  void SnapshotAllocator(uint64_t* total,
+                         std::vector<PageId>* free_pages) const override {
+    base_->SnapshotAllocator(total, free_pages);
+  }
+  Status RestoreAllocator(uint64_t total,
+                          const std::vector<PageId>& free_pages) override {
+    return base_->RestoreAllocator(total, free_pages);
+  }
+
+  uint64_t read_latency_us() const {
+    return read_latency_us_.load(std::memory_order_relaxed);
+  }
+  uint64_t write_latency_us() const {
+    return write_latency_us_.load(std::memory_order_relaxed);
+  }
+  void set_read_latency_us(uint64_t us) {
+    read_latency_us_.store(us, std::memory_order_relaxed);
+  }
+  void set_write_latency_us(uint64_t us) {
+    write_latency_us_.store(us, std::memory_order_relaxed);
+  }
+
+ private:
+  PageStore* base_;  // not owned
+  std::atomic<uint64_t> read_latency_us_;
+  std::atomic<uint64_t> write_latency_us_;
 };
 
 /// Configuration of FilePageStore's crash-consistency machinery.

@@ -12,9 +12,9 @@ RetryingPageStore::RetryingPageStore(PageStore* base,
   BOXES_CHECK(options_.backoff_multiplier >= 1.0);
 }
 
-void RetryingPageStore::Count(uint64_t Counters::*field, const char* metric,
-                              uint64_t delta) {
-  (counters_.*field) += delta;
+void RetryingPageStore::Count(std::atomic<uint64_t> Counters::*field,
+                              const char* metric, uint64_t delta) {
+  (counters_.*field).fetch_add(delta, std::memory_order_relaxed);
   if (metrics_ != nullptr) {
     metrics_->IncrementCounter(metric, delta);
   }
@@ -46,9 +46,13 @@ Status RetryingPageStore::RunWithRetry(const std::function<Status()>& op) {
       return status;
     }
     // Jitter: a uniform draw from [backoff/2, backoff], seeded and thus
-    // replayable. Decorrelates retry bursts without losing determinism.
-    const uint64_t jittered =
-        backoff_us / 2 + rng_.Uniform(backoff_us / 2 + 1);
+    // replayable (single-threaded runs; under concurrency the draw order —
+    // and nothing else — depends on thread interleaving).
+    uint64_t jittered;
+    {
+      std::lock_guard<std::mutex> lock(rng_mu_);
+      jittered = backoff_us / 2 + rng_.Uniform(backoff_us / 2 + 1);
+    }
     if (attempt >= options_.max_attempts ||
         backoff_spent_us + jittered > options_.op_deadline_us) {
       Count(&Counters::gave_up, "retry.gave_up");

@@ -1,8 +1,10 @@
 #ifndef BOXES_STORAGE_RETRYING_STORE_H_
 #define BOXES_STORAGE_RETRYING_STORE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
+#include <mutex>
 #include <vector>
 
 #include "storage/io_stats.h"
@@ -47,18 +49,23 @@ struct RetryingStoreOptions {
 ///
 /// WriteTorn is deliberately NOT retried: it is the fault-injection hook
 /// itself, and "retrying a torn write" has no physical meaning.
+///
+/// Thread-safe to the extent the base store is: counters are atomic and the
+/// jitter PRNG is mutex-guarded, so concurrent readers may share one
+/// decorator.
 class RetryingPageStore : public PageStore {
  public:
   /// Retry activity counters (mirrored into an attached MetricsRegistry
-  /// under "retry.*").
+  /// under "retry.*"). Atomic so concurrent reader threads sharing one
+  /// store count exactly; read fields through the implicit load.
   struct Counters {
-    uint64_t ops = 0;                  // operations issued
-    uint64_t attempts = 0;             // attempts incl. first tries
-    uint64_t retries = 0;              // reissues after a retryable error
-    uint64_t recovered = 0;            // ops that succeeded after >=1 retry
-    uint64_t gave_up = 0;              // ops that exhausted their budget
-    uint64_t permanent_errors = 0;     // non-retryable first-attempt errors
-    uint64_t backoff_us = 0;           // total (virtual) backoff time
+    std::atomic<uint64_t> ops{0};               // operations issued
+    std::atomic<uint64_t> attempts{0};          // attempts incl. first tries
+    std::atomic<uint64_t> retries{0};           // reissues after a retryable error
+    std::atomic<uint64_t> recovered{0};         // ops that succeeded after >=1 retry
+    std::atomic<uint64_t> gave_up{0};           // ops that exhausted their budget
+    std::atomic<uint64_t> permanent_errors{0};  // non-retryable first-attempt errors
+    std::atomic<uint64_t> backoff_us{0};        // total (virtual) backoff time
   };
 
   RetryingPageStore(PageStore* base, RetryingStoreOptions options = {});
@@ -106,12 +113,13 @@ class RetryingPageStore : public PageStore {
  private:
   /// Runs `op` under the retry policy. `op` must be safely repeatable.
   Status RunWithRetry(const std::function<Status()>& op);
-  void Count(uint64_t Counters::*field, const char* metric,
+  void Count(std::atomic<uint64_t> Counters::*field, const char* metric,
              uint64_t delta = 1);
   void CountPhase(const char* event);
 
   PageStore* base_;  // not owned
   const RetryingStoreOptions options_;
+  std::mutex rng_mu_;  // jitter draws from concurrent threads stay exact
   Random rng_;
   Counters counters_;
   MetricsRegistry* metrics_ = nullptr;  // not owned

@@ -8,13 +8,44 @@
 
 namespace boxes {
 
+Histogram::Histogram(const Histogram& other) {
+  std::lock_guard<std::mutex> lock(other.mu_);
+  buckets_ = other.buckets_;
+  count_ = other.count_;
+  sum_ = other.sum_;
+}
+
+Histogram& Histogram::operator=(const Histogram& other) {
+  if (this == &other) {
+    return *this;
+  }
+  std::scoped_lock lock(mu_, other.mu_);
+  buckets_ = other.buckets_;
+  count_ = other.count_;
+  sum_ = other.sum_;
+  return *this;
+}
+
 void Histogram::Add(uint64_t value) {
+  std::lock_guard<std::mutex> lock(mu_);
   ++buckets_[value];
   ++count_;
   sum_ += value;
 }
 
 void Histogram::Merge(const Histogram& other) {
+  if (this == &other) {
+    // Self-merge: doubling every bucket without aliasing the iteration.
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [value, n] : buckets_) {
+      (void)value;
+      n *= 2;
+    }
+    count_ *= 2;
+    sum_ *= 2;
+    return;
+  }
+  std::scoped_lock lock(mu_, other.mu_);
   for (const auto& [value, n] : other.buckets_) {
     buckets_[value] += n;
   }
@@ -23,25 +54,43 @@ void Histogram::Merge(const Histogram& other) {
 }
 
 void Histogram::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
   buckets_.clear();
   count_ = 0;
   sum_ = 0;
 }
 
+uint64_t Histogram::count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_;
+}
+
+uint64_t Histogram::sum() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sum_;
+}
+
 uint64_t Histogram::min() const {
+  std::lock_guard<std::mutex> lock(mu_);
   return buckets_.empty() ? 0 : buckets_.begin()->first;
 }
 
 uint64_t Histogram::max() const {
+  std::lock_guard<std::mutex> lock(mu_);
   return buckets_.empty() ? 0 : buckets_.rbegin()->first;
 }
 
-double Histogram::Mean() const {
+double Histogram::MeanLocked() const {
   return count_ == 0 ? 0.0
                      : static_cast<double>(sum_) / static_cast<double>(count_);
 }
 
-uint64_t Histogram::Percentile(double fraction) const {
+double Histogram::Mean() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return MeanLocked();
+}
+
+uint64_t Histogram::PercentileLocked(double fraction) const {
   BOXES_CHECK(fraction > 0.0 && fraction <= 1.0);
   if (count_ == 0) {
     return 0;
@@ -58,7 +107,13 @@ uint64_t Histogram::Percentile(double fraction) const {
   return buckets_.rbegin()->first;
 }
 
+uint64_t Histogram::Percentile(double fraction) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return PercentileLocked(fraction);
+}
+
 double Histogram::FractionAbove(uint64_t value) const {
+  std::lock_guard<std::mutex> lock(mu_);
   if (count_ == 0) {
     return 0.0;
   }
@@ -70,6 +125,7 @@ double Histogram::FractionAbove(uint64_t value) const {
 }
 
 std::vector<Histogram::CcdfPoint> Histogram::Ccdf(size_t max_points) const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<CcdfPoint> points;
   if (count_ == 0) {
     return points;
@@ -122,16 +178,19 @@ std::vector<Histogram::CcdfPoint> Histogram::Ccdf(size_t max_points) const {
 }
 
 std::string Histogram::ToString() const {
+  std::lock_guard<std::mutex> lock(mu_);
   char line[256];
   std::snprintf(line, sizeof(line),
                 "count=%llu mean=%.3f min=%llu median=%llu p99=%llu max=%llu",
-                static_cast<unsigned long long>(count_), Mean(),
-                static_cast<unsigned long long>(min()),
+                static_cast<unsigned long long>(count_), MeanLocked(),
                 static_cast<unsigned long long>(
-                    count_ == 0 ? 0 : Percentile(0.5)),
+                    buckets_.empty() ? 0 : buckets_.begin()->first),
                 static_cast<unsigned long long>(
-                    count_ == 0 ? 0 : Percentile(0.99)),
-                static_cast<unsigned long long>(max()));
+                    count_ == 0 ? 0 : PercentileLocked(0.5)),
+                static_cast<unsigned long long>(
+                    count_ == 0 ? 0 : PercentileLocked(0.99)),
+                static_cast<unsigned long long>(
+                    buckets_.empty() ? 0 : buckets_.rbegin()->first));
   return line;
 }
 

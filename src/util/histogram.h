@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -12,16 +13,23 @@ namespace boxes {
 /// costs). Backs the paper's cost-distribution figures (Figures 6 and 9),
 /// which plot, for each cost x, the fraction of operations whose cost
 /// exceeds x, on log-log axes.
+///
+/// Thread-safe: Add/Merge and every accessor synchronize on an internal
+/// mutex, so concurrent reader threads may record into one histogram (e.g.
+/// via MetricsRegistry::RecordValue / ScopedTimer) without losing samples.
+/// Copying snapshots the source under its lock.
 class Histogram {
  public:
   Histogram() = default;
+  Histogram(const Histogram& other);
+  Histogram& operator=(const Histogram& other);
 
   void Add(uint64_t value);
   void Merge(const Histogram& other);
   void Clear();
 
-  uint64_t count() const { return count_; }
-  uint64_t sum() const { return sum_; }
+  uint64_t count() const;
+  uint64_t sum() const;
   uint64_t min() const;
   uint64_t max() const;
   double Mean() const;
@@ -47,6 +55,11 @@ class Histogram {
   std::string ToString() const;
 
  private:
+  // Unlocked internals; callers hold mu_.
+  double MeanLocked() const;
+  uint64_t PercentileLocked(double fraction) const;
+
+  mutable std::mutex mu_;
   std::map<uint64_t, uint64_t> buckets_;
   uint64_t count_ = 0;
   uint64_t sum_ = 0;

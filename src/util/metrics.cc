@@ -83,24 +83,46 @@ void AppendIoStatsJson(std::string* out, const IoStats& stats) {
 
 void MetricsRegistry::IncrementCounter(const std::string& name,
                                        uint64_t delta) {
-  counters_[name] += delta;
+  {
+    // Fast path: the counter exists; bump it under the shared lock (the
+    // atomic makes the increment itself race-free and exact).
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    const auto it = counters_.find(name);
+    if (it != counters_.end()) {
+      it->second.fetch_add(delta, std::memory_order_relaxed);
+      return;
+    }
+  }
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  counters_[name].fetch_add(delta, std::memory_order_relaxed);
 }
 
 uint64_t MetricsRegistry::CounterValue(const std::string& name) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   const auto it = counters_.find(name);
-  return it == counters_.end() ? 0 : it->second;
+  return it == counters_.end() ? 0
+                               : it->second.load(std::memory_order_relaxed);
 }
 
 Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    const auto it = histograms_.find(name);
+    if (it != histograms_.end()) {
+      return &it->second;
+    }
+  }
+  std::unique_lock<std::shared_mutex> lock(mu_);
   return &histograms_[name];
 }
 
 void MetricsRegistry::RecordValue(const std::string& name, uint64_t value) {
-  histograms_[name].Add(value);
+  GetHistogram(name)->Add(value);
 }
 
 void MetricsRegistry::MergePhaseIo(const std::string& source,
                                    const PhaseIoTable& table) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   PhaseIoTable& into = phase_io_[source];
   for (size_t i = 0; i < kNumIoPhases; ++i) {
     into[i].reads += table[i].reads;
@@ -109,18 +131,20 @@ void MetricsRegistry::MergePhaseIo(const std::string& source,
 }
 
 PhaseIoTable MetricsRegistry::PhaseIoFor(const std::string& source) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   const auto it = phase_io_.find(source);
   return it == phase_io_.end() ? PhaseIoTable{} : it->second;
 }
 
 std::string MetricsRegistry::ToJson() const {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   std::string out = "{\n  \"counters\": {";
   bool first = true;
   for (const auto& [name, value] : counters_) {
     out += first ? "\n" : ",\n";
     first = false;
     out += "    \"" + JsonEscape(name) + "\": ";
-    AppendU64(&out, value);
+    AppendU64(&out, value.load(std::memory_order_relaxed));
   }
   out += first ? "},\n" : "\n  },\n";
 
@@ -169,6 +193,7 @@ Status MetricsRegistry::WriteJsonFile(const std::string& path) const {
 }
 
 void MetricsRegistry::Clear() {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   counters_.clear();
   histograms_.clear();
   phase_io_.clear();

@@ -1,9 +1,11 @@
 #ifndef BOXES_UTIL_METRICS_H_
 #define BOXES_UTIL_METRICS_H_
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <map>
+#include <shared_mutex>
 #include <string>
 
 #include "storage/io_stats.h"
@@ -22,7 +24,10 @@ namespace boxes {
 ///                 "fig5.wbox.op_io"
 ///   * phase I/O:  one table per source, keyed by the scheme/bench name.
 ///
-/// Not thread-safe; benches and the workload runner are single-threaded.
+/// Thread-safe: counters are std::atomic (relaxed increments — exact totals,
+/// no ordering guarantees), histograms synchronize internally, and the name
+/// maps are guarded by a shared mutex. Concurrent reader threads may record
+/// through one registry; ToJson()/Clear() take the exclusive lock.
 class MetricsRegistry {
  public:
   MetricsRegistry() = default;
@@ -63,7 +68,11 @@ class MetricsRegistry {
   void Clear();
 
  private:
-  std::map<std::string, uint64_t> counters_;
+  // std::map keeps node (and therefore value) addresses stable across
+  // inserts, so counter atomics and histogram pointers handed out under the
+  // shared lock stay valid for the registry's lifetime.
+  mutable std::shared_mutex mu_;
+  std::map<std::string, std::atomic<uint64_t>> counters_;
   std::map<std::string, Histogram> histograms_;
   std::map<std::string, PhaseIoTable> phase_io_;
 };

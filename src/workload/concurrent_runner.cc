@@ -1,0 +1,165 @@
+#include "workload/concurrent_runner.h"
+
+#include <atomic>
+#include <chrono>
+#include <deque>
+#include <thread>
+
+#include "core/common/epoch_guard.h"
+#include "util/random.h"
+
+namespace boxes::workload {
+
+namespace {
+
+/// How many writer-inserted elements may be pending before the writer
+/// starts deleting the oldest instead of inserting more. Keeps the
+/// structure size roughly stable over long runs.
+constexpr size_t kMaxPendingInserts = 32;
+
+}  // namespace
+
+StatusOr<ConcurrentStats> RunConcurrent(LabelingScheme* scheme,
+                                        PageCache* cache,
+                                        const std::vector<Lid>& lids,
+                                        const ConcurrentOptions& options) {
+  if (lids.empty()) {
+    return Status::InvalidArgument("concurrent run needs a probe set");
+  }
+  const uint64_t retries_before = scheme->epoch_guard().reader_retries();
+  const uint64_t contention_before = cache->shard_contention();
+
+  ConcurrentStats stats;
+  if (options.writer_ops == 0 && options.drop_cache_every != 0) {
+    // Read-only cold-cache run: drop once up front, before any reader can
+    // hold a page pointer.
+    BOXES_RETURN_IF_ERROR(cache->FlushAll());
+    ++stats.cache_drops;
+  }
+
+  std::atomic<uint64_t> ok_count{0};
+  std::atomic<uint64_t> not_found_count{0};
+  std::atomic<uint64_t> error_count{0};
+  std::atomic<uint64_t> cache_drop_count{0};
+  std::atomic<size_t> readers_running{options.reader_threads};
+  Status writer_status;  // written by the writer thread only, read after join
+
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> readers;
+  readers.reserve(options.reader_threads);
+  for (size_t t = 0; t < options.reader_threads; ++t) {
+    readers.emplace_back([&, t] {
+      Random rng(options.seed + t);
+      for (uint64_t i = 0; i < options.lookups_per_thread; ++i) {
+        const Lid lid = lids[rng.Uniform(lids.size())];
+        const StatusOr<VersionedLabel> got = scheme->LookupShared(lid);
+        if (got.ok()) {
+          ok_count.fetch_add(1, std::memory_order_relaxed);
+        } else if (got.status().code() == StatusCode::kNotFound) {
+          not_found_count.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          error_count.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      readers_running.fetch_sub(1, std::memory_order_release);
+    });
+  }
+
+  std::thread writer;
+  if (options.writer_ops > 0) {
+    writer = std::thread([&] {
+      Random rng(options.seed ^ 0x9e3779b97f4a7c15ull);
+      std::deque<NewElement> pending;
+      for (uint64_t op = 0; op < options.writer_ops; ++op) {
+        if (options.writer_stops_with_readers &&
+            readers_running.load(std::memory_order_acquire) == 0) {
+          break;
+        }
+        if (options.writer_pause_us > 0 && op > 0) {
+          std::this_thread::sleep_for(
+              std::chrono::microseconds(options.writer_pause_us));
+        }
+        EpochWriteLock lock(&scheme->epoch_guard());
+        if (pending.size() >= kMaxPendingInserts) {
+          const NewElement victim = pending.front();
+          pending.pop_front();
+          Status status = scheme->Delete(victim.start);
+          if (status.ok()) {
+            status = scheme->Delete(victim.end);
+          }
+          if (!status.ok()) {
+            writer_status = status;
+            return;
+          }
+        } else {
+          const Lid before = lids[rng.Uniform(lids.size())];
+          StatusOr<NewElement> inserted = scheme->InsertElementBefore(before);
+          if (!inserted.ok()) {
+            writer_status = inserted.status();
+            return;
+          }
+          pending.push_back(*inserted);
+        }
+        stats.writer_ops++;  // only this thread writes stats until join
+        if (options.drop_cache_every != 0 &&
+            (op + 1) % options.drop_cache_every == 0) {
+          const Status status = cache->FlushAll();
+          if (!status.ok()) {
+            writer_status = status;
+            return;
+          }
+          cache_drop_count.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+
+  for (std::thread& t : readers) {
+    t.join();
+  }
+  if (writer.joinable()) {
+    writer.join();
+  }
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+
+  if (!writer_status.ok()) {
+    return writer_status;
+  }
+
+  stats.lookups = ok_count.load();
+  stats.not_found = not_found_count.load();
+  stats.errors = error_count.load();
+  stats.cache_drops += cache_drop_count.load();
+  stats.reader_retries =
+      scheme->epoch_guard().reader_retries() - retries_before;
+  stats.shard_contention = cache->shard_contention() - contention_before;
+  stats.elapsed_s =
+      std::chrono::duration_cast<std::chrono::duration<double>>(elapsed)
+          .count();
+  stats.lookups_per_sec =
+      stats.elapsed_s > 0
+          ? static_cast<double>(stats.lookups) / stats.elapsed_s
+          : 0.0;
+  return stats;
+}
+
+void ExportConcurrentStats(const std::string& source,
+                           const ConcurrentStats& stats,
+                           MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    return;
+  }
+  registry->IncrementCounter(source + ".lookups", stats.lookups);
+  registry->IncrementCounter(source + ".not_found", stats.not_found);
+  registry->IncrementCounter(source + ".errors", stats.errors);
+  registry->IncrementCounter(source + ".writer_ops", stats.writer_ops);
+  registry->IncrementCounter(source + ".cache_drops", stats.cache_drops);
+  registry->IncrementCounter("concurrency.reader_retries",
+                             stats.reader_retries);
+  registry->IncrementCounter("cache.shard_contention",
+                             stats.shard_contention);
+  registry->RecordValue(source + ".lookups_per_sec",
+                        static_cast<uint64_t>(stats.lookups_per_sec));
+}
+
+}  // namespace boxes::workload

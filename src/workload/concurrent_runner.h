@@ -1,0 +1,83 @@
+#ifndef BOXES_WORKLOAD_CONCURRENT_RUNNER_H_
+#define BOXES_WORKLOAD_CONCURRENT_RUNNER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/common/labeling_scheme.h"
+#include "storage/page_cache.h"
+#include "util/metrics.h"
+#include "util/status.h"
+
+namespace boxes::workload {
+
+/// Configuration of a mixed concurrent read/update run (DESIGN.md §4g).
+struct ConcurrentOptions {
+  /// Number of reader threads issuing LookupShared over the probe set.
+  size_t reader_threads = 4;
+  /// Lookups each reader thread issues before it stops.
+  uint64_t lookups_per_thread = 1000;
+  /// Mutations (insert/delete element) the single writer thread performs
+  /// under EpochWriteLock. 0 disables the writer (read-only run).
+  uint64_t writer_ops = 0;
+  /// Every this many writer ops, the writer additionally drops the page
+  /// cache (FlushAll under its write lock), forcing the readers back to
+  /// the store. 0 = never. Read-only runs (writer_ops == 0) with a
+  /// nonzero value drop the cache once before the readers start.
+  uint64_t drop_cache_every = 0;
+  /// If true (the bench setting), the writer also stops as soon as every
+  /// reader has finished, so `writer_ops` is a cap rather than a quota and
+  /// the run's length is set by the readers. If false (the deterministic
+  /// test setting), the writer always performs exactly `writer_ops`
+  /// mutations.
+  bool writer_stops_with_readers = false;
+  /// Pause between writer mutations, in microseconds, taken OUTSIDE the
+  /// write lock. Models writer think time; gives readers a window to run
+  /// on small machines instead of the writer monopolizing the guard.
+  uint64_t writer_pause_us = 0;
+  /// Seed for the per-thread probe sequences (thread i uses seed + i).
+  uint64_t seed = 42;
+};
+
+/// Aggregated outcome of one concurrent run.
+struct ConcurrentStats {
+  uint64_t lookups = 0;         // successful reader lookups
+  uint64_t not_found = 0;       // lookups answered NotFound
+  uint64_t errors = 0;          // lookups answered any other error
+  uint64_t reader_retries = 0;  // read admissions bounced by the writer
+  uint64_t shard_contention = 0;  // cache shard-lock fast-path misses
+  uint64_t writer_ops = 0;      // mutations actually performed
+  uint64_t cache_drops = 0;     // FlushAll cycles the writer forced
+  double elapsed_s = 0;         // wall-clock of the parallel section
+  double lookups_per_sec = 0;   // aggregate reader throughput
+};
+
+/// Runs `options.reader_threads` reader threads, each issuing
+/// `lookups_per_thread` LookupShared calls over the probe set `lids`,
+/// concurrently with (optionally) one writer thread performing
+/// insert-before / delete-element mutations under the scheme's
+/// EpochWriteLock. The writer only deletes elements it inserted itself, so
+/// the probe set stays valid throughout. Reader-side errors are counted,
+/// not propagated; a writer-side error aborts the run with its status.
+///
+/// `cache` is the scheme's PageCache; it is used for the writer's periodic
+/// cache drops and for the shard-contention delta. Counters in the result
+/// are deltas over this run, not lifetime totals.
+StatusOr<ConcurrentStats> RunConcurrent(LabelingScheme* scheme,
+                                        PageCache* cache,
+                                        const std::vector<Lid>& lids,
+                                        const ConcurrentOptions& options);
+
+/// Copies a concurrent run's measurements into `registry`: counters
+/// "<source>.lookups", "<source>.not_found", "<source>.errors",
+/// "<source>.writer_ops", "<source>.cache_drops", plus the cross-scheme
+/// families "concurrency.reader_retries" and "cache.shard_contention", and
+/// histogram sample "<source>.lookups_per_sec". A null registry is a no-op.
+void ExportConcurrentStats(const std::string& source,
+                           const ConcurrentStats& stats,
+                           MetricsRegistry* registry);
+
+}  // namespace boxes::workload
+
+#endif  // BOXES_WORKLOAD_CONCURRENT_RUNNER_H_

@@ -1,0 +1,232 @@
+// Concurrent differential test (DESIGN.md §4g): drives a scheme and the
+// in-memory ModelTree through a scripted update sequence while N reader
+// threads record (label, epoch) observations via LookupShared. After the
+// run, every observation must match the probe state of exactly the prefix
+// of writes its ticket epoch names (EpochLabelOracle), per-reader epochs
+// must be monotone, and at every epoch the scheme's label order over the
+// probe set must equal the model tree's tag order — a linearizability-style
+// check that concurrent readers only ever see committed model states.
+// Labeled `concurrency` in ctest; run under TSan via tests/run_tsan.sh.
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/bbox/bbox.h"
+#include "core/common/epoch_guard.h"
+#include "core/naive/naive.h"
+#include "core/wbox/wbox.h"
+#include "gtest/gtest.h"
+#include "model_tree.h"
+#include "storage/page_cache.h"
+#include "test_util.h"
+#include "util/random.h"
+
+namespace boxes::testing {
+namespace {
+
+struct SchemeFactory {
+  const char* name;
+  std::unique_ptr<LabelingScheme> (*make)(PageCache* cache);
+};
+
+std::unique_ptr<LabelingScheme> MakeWbox(PageCache* cache) {
+  return std::make_unique<WBox>(cache);
+}
+std::unique_ptr<LabelingScheme> MakeBbox(PageCache* cache) {
+  return std::make_unique<BBox>(cache);
+}
+std::unique_ptr<LabelingScheme> MakeNaive(PageCache* cache) {
+  NaiveOptions options;
+  options.gap_bits = 16;
+  return std::make_unique<NaiveScheme>(cache, options);
+}
+
+/// One reader-side observation, recorded without any shared state and
+/// validated after the threads join.
+struct Observation {
+  Lid lid = kInvalidLid;
+  Label label;
+  uint64_t epoch = 0;
+};
+
+/// The writer's record of one committed prefix state: the scheme's probe
+/// labels plus the model tree's tag-order rank of every probe.
+struct EpochState {
+  std::map<Lid, Label> labels;
+  std::map<Lid, size_t> ranks;
+};
+
+class ConcurrentDifferentialTest
+    : public ::testing::TestWithParam<SchemeFactory> {};
+
+/// Captures the probe state of the current moment. Must run while writes
+/// are excluded (under the write lock, or before readers start).
+EpochState CaptureState(LabelingScheme* scheme, const ModelTree& model,
+                        const std::vector<Lid>& probes) {
+  EpochState state;
+  for (const Lid lid : probes) {
+    StatusOr<Label> label = scheme->Lookup(lid);
+    EXPECT_OK(label.status());
+    if (label.ok()) {
+      state.labels[lid] = *label;
+    }
+  }
+  const std::vector<Lid> order = model.TagOrder();
+  for (size_t i = 0; i < order.size(); ++i) {
+    state.ranks[order[i]] = i;  // non-probe lids are pruned by the check
+  }
+  return state;
+}
+
+TEST_P(ConcurrentDifferentialTest, ObservationsMatchModelPrefixStates) {
+  TestDb db;
+  std::unique_ptr<LabelingScheme> scheme = GetParam().make(&db.cache);
+  ModelTree model;
+  Random rng(2024);
+
+  // Scripted pre-population, scheme and model in lockstep.
+  ASSERT_OK_AND_ASSIGN(const NewElement root, scheme->InsertFirstElement());
+  model.SetRoot(root);
+  std::vector<int> probe_nodes;  // model index per probe
+  std::vector<Lid> probes;       // the start lid readers look up
+  probe_nodes.push_back(0);
+  probes.push_back(root.start);
+  for (int i = 0; i < 120; ++i) {
+    const int target = model.RandomElement(&rng, /*exclude_root=*/false);
+    ASSERT_OK_AND_ASSIGN(
+        const NewElement e,
+        scheme->InsertElementBefore(model.node(target).lids.end));
+    const int id = model.InsertAsLastChild(target, e);
+    if (i % 3 == 0) {
+      probe_nodes.push_back(id);
+      probes.push_back(e.start);
+    }
+  }
+
+  // Per-epoch history. The writer appends under its write lock; readers
+  // never touch it — observations are validated after the join.
+  EpochGuard& guard = scheme->epoch_guard();
+  std::map<uint64_t, EpochState> history;
+  EpochLabelOracle oracle;
+  history[guard.epoch()] = CaptureState(scheme.get(), model, probes);
+  oracle.RecordEpoch(guard.epoch(), history[guard.epoch()].labels);
+
+  constexpr int kReaders = 4;
+  constexpr int kLookupsPerReader = 2500;
+  constexpr int kWriterOps = 50;
+  std::vector<std::vector<Observation>> observed(kReaders);
+  std::atomic<int> readers_done{0};
+
+  std::vector<std::thread> pool;
+  for (int t = 0; t < kReaders; ++t) {
+    pool.emplace_back([&, t] {
+      Random reader_rng(500 + t);
+      observed[t].reserve(kLookupsPerReader);
+      for (int i = 0; i < kLookupsPerReader; ++i) {
+        const Lid lid = probes[reader_rng.Uniform(probes.size())];
+        StatusOr<VersionedLabel> got = scheme->LookupShared(lid);
+        ASSERT_OK(got.status());
+        observed[t].push_back(Observation{lid, got->label, got->epoch});
+      }
+      readers_done.fetch_add(1, std::memory_order_release);
+    });
+  }
+
+  // The scripted update sequence: insert before a probe anchor, sometimes
+  // delete an element inserted earlier in the script (never a probe), and
+  // define the new epoch's expected state before releasing the lock.
+  std::thread writer([&] {
+    Random writer_rng(9);
+    std::vector<std::pair<NewElement, int>> inserted;
+    for (int op = 0; op < kWriterOps; ++op) {
+      {
+        EpochWriteLock lock(&guard);
+        if (!inserted.empty() && writer_rng.Bernoulli(0.3)) {
+          const auto [lids, node] = inserted.back();
+          inserted.pop_back();
+          ASSERT_OK(scheme->Delete(lids.start));
+          ASSERT_OK(scheme->Delete(lids.end));
+          model.DeleteElement(node);
+        } else {
+          // Anchor on any probe but the root: an element inserted before
+          // the root's start would become the root's sibling, which the
+          // model (and the document) cannot represent.
+          const size_t slot = 1 + writer_rng.Uniform(probes.size() - 1);
+          StatusOr<NewElement> fresh =
+              scheme->InsertElementBefore(probes[slot]);
+          ASSERT_OK(fresh.status());
+          const int node =
+              model.InsertBeforeStart(probe_nodes[slot], *fresh);
+          inserted.emplace_back(*fresh, node);
+        }
+        const uint64_t next = guard.epoch() + 1;
+        history[next] = CaptureState(scheme.get(), model, probes);
+        oracle.RecordEpoch(next, history[next].labels);
+      }
+      if (readers_done.load(std::memory_order_acquire) == kReaders) {
+        return;  // the scripted prefix that overlapped readers suffices
+      }
+      std::this_thread::yield();
+    }
+  });
+
+  for (std::thread& t : pool) {
+    t.join();
+  }
+  writer.join();
+
+  // Every observation matches the probe state of exactly its epoch, and
+  // each reader's epochs never run backwards.
+  uint64_t validated = 0;
+  for (int t = 0; t < kReaders; ++t) {
+    uint64_t last_epoch = 0;
+    for (const Observation& obs : observed[t]) {
+      ASSERT_GE(obs.epoch, last_epoch) << "reader " << t;
+      last_epoch = obs.epoch;
+      const Status check =
+          oracle.CheckObservation(obs.lid, obs.label, obs.epoch);
+      ASSERT_TRUE(check.ok())
+          << "reader " << t << ": " << check.ToString();
+      ++validated;
+    }
+  }
+  EXPECT_EQ(validated, uint64_t{kReaders} * kLookupsPerReader);
+
+  // Differential half: at every committed epoch, sorting the probes by
+  // their recorded scheme labels must reproduce the model tree's tag
+  // order of that prefix state.
+  ASSERT_EQ(history.size(), guard.epoch() + 1);
+  for (const auto& [epoch, state] : history) {
+    std::vector<Lid> by_label = probes;
+    std::sort(by_label.begin(), by_label.end(), [&](Lid a, Lid b) {
+      return state.labels.at(a) < state.labels.at(b);
+    });
+    std::vector<Lid> by_rank = probes;
+    std::sort(by_rank.begin(), by_rank.end(), [&](Lid a, Lid b) {
+      return state.ranks.at(a) < state.ranks.at(b);
+    });
+    EXPECT_EQ(by_label, by_rank) << "epoch " << epoch;
+  }
+
+  ASSERT_OK(scheme->CheckInvariants());
+  ASSERT_TRUE(LabelsStrictlyIncreasing(scheme.get(), model.TagOrder()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Schemes, ConcurrentDifferentialTest,
+    ::testing::Values(SchemeFactory{"wbox", &MakeWbox},
+                      SchemeFactory{"bbox", &MakeBbox},
+                      SchemeFactory{"naive16", &MakeNaive}),
+    [](const ::testing::TestParamInfo<SchemeFactory>& info) {
+      return std::string(info.param.name);
+    });
+
+}  // namespace
+}  // namespace boxes::testing

@@ -2,10 +2,14 @@
 #define BOXES_TESTS_MODEL_TREE_H_
 
 #include <cstdint>
+#include <map>
+#include <shared_mutex>
+#include <string>
 #include <vector>
 
 #include "core/common/labeling_scheme.h"
 #include "util/random.h"
+#include "util/status.h"
 
 namespace boxes::testing {
 
@@ -191,6 +195,59 @@ class ModelTree {
 
   std::vector<Node> nodes_;
   uint64_t alive_count_ = 0;
+};
+
+/// Linearizability-style oracle for concurrent lookups (DESIGN.md §4g).
+/// The writer records, while still holding the scheme's EpochWriteLock,
+/// the expected label of every probe LID after each committed write — one
+/// snapshot per epoch. Reader observations (lid, label, epoch from
+/// LookupShared) are then validated against that history: a correct
+/// concurrent reader must observe exactly the prefix state its ticket
+/// epoch names — pre-update or post-update values, never a torn mix.
+///
+/// Thread-safe: many readers may Check while the writer Records.
+class EpochLabelOracle {
+ public:
+  /// Records the probe labels that define epoch `epoch`. Must happen
+  /// before any reader can obtain a ticket for that epoch — i.e. under
+  /// the write lock that committed it (or before readers start, for the
+  /// base epoch).
+  void RecordEpoch(uint64_t epoch, std::map<Lid, Label> expected) {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    by_epoch_[epoch] = std::move(expected);
+  }
+
+  /// Validates one reader observation against the recorded history.
+  Status CheckObservation(Lid lid, const Label& label,
+                          uint64_t epoch) const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    const auto epoch_it = by_epoch_.find(epoch);
+    if (epoch_it == by_epoch_.end()) {
+      return Status::Internal("reader observed unrecorded epoch " +
+                                   std::to_string(epoch));
+    }
+    const auto lid_it = epoch_it->second.find(lid);
+    if (lid_it == epoch_it->second.end()) {
+      return Status::NotFound("lid " + std::to_string(lid) +
+                              " is not in the probe set");
+    }
+    if (label.Compare(lid_it->second) != 0) {
+      return Status::Internal(
+          "torn read at epoch " + std::to_string(epoch) + ": lid " +
+          std::to_string(lid) + " observed " + label.ToString() +
+          ", expected " + lid_it->second.ToString());
+    }
+    return Status::OK();
+  }
+
+  size_t recorded_epochs() const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return by_epoch_.size();
+  }
+
+ private:
+  mutable std::shared_mutex mu_;
+  std::map<uint64_t, std::map<Lid, Label>> by_epoch_;
 };
 
 }  // namespace boxes::testing

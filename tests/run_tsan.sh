@@ -1,0 +1,17 @@
+#!/bin/sh
+# Builds the sanitize-thread preset (ThreadSanitizer) and runs the
+# concurrency-labeled test suite under it (the epoch guard, the sharded
+# PageCache, thread-safe metrics, and the N-readers/1-writer scheme stress
+# and differential tests). Usage: tests/run_tsan.sh [ctest args].
+set -eu
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$repo"
+
+cmake --preset sanitize-thread
+cmake --build --preset sanitize-thread -j "$(nproc)"
+
+# halt_on_error: fail the offending test at the first reported race instead
+# of drowning the log; TSan's nonzero exit code fails the ctest run.
+TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1 second_deadlock_stack=1}" \
+  ctest --preset sanitize-thread "$@"
