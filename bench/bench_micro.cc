@@ -1,14 +1,21 @@
 // Wall-clock microbenchmarks (google-benchmark) of the primitive
-// operations: Lookup, InsertElementBefore, Compare. The paper's metric is
-// block I/Os (see the fig* benches); this binary complements it with CPU
-// time of the in-memory simulation, useful for regression tracking.
+// operations: Lookup, InsertElementBefore, Compare — plus the group-commit
+// write pipeline (BM_BatchedInsert), which runs against a real file store
+// so its sync_calls_per_op counter reflects actual fdatasync barriers. The
+// paper's metric is block I/Os (see the fig* benches); this binary
+// complements it with CPU time of the in-memory simulation, useful for
+// regression tracking.
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "bench_common.h"
+#include "core/common/update_buffer.h"
+#include "storage/metadata_io.h"
 #include "util/random.h"
 #include "xml/generators.h"
 
@@ -98,6 +105,76 @@ BENCHMARK_CAPTURE(BM_Insert, naive_16, std::string("naive-16"));
 BENCHMARK_CAPTURE(BM_Compare, wbox, std::string("wbox"));
 BENCHMARK_CAPTURE(BM_Compare, bbox, std::string("bbox"));
 BENCHMARK_CAPTURE(BM_Compare, naive_16, std::string("naive-16"));
+
+// Insert throughput through the UpdateBuffer at a given batch size, on a
+// real FilePageStore with one durable checkpoint commit per flush. Each
+// iteration enqueues one insert; flushes fire at the batch threshold. The
+// sync_calls_per_op counter is the amortization headline: it must strictly
+// decrease as the batch grows (one commit = two fdatasyncs, paid once per
+// batch instead of once per op).
+void BM_BatchedInsert(benchmark::State& state,
+                      const std::string& scheme_name, size_t batch) {
+  const std::string path = "/tmp/boxes_bench_batch_" + scheme_name + "_" +
+                           std::to_string(batch) + ".db";
+  std::remove(path.c_str());
+  std::remove((path + ".journal").c_str());
+  FilePageStore store(path, kDefaultPageSize);
+  CheckOkOrDie(store.status(), "FilePageStore");
+  PageCache cache(&store);
+  CheckOkOrDie(InitializeSuperblock(&cache), "InitializeSuperblock");
+  std::unique_ptr<LabelingScheme> scheme;
+  CheckOkOrDie(MakeSchemeOnCache(scheme_name, &cache, &scheme),
+               "MakeScheme");
+  scheme->SetMetrics(&GlobalMetrics());
+
+  UpdateBuffer buffer(scheme.get(),
+                      {.flush_threshold = batch, .auto_flush = true});
+  buffer.SetCommitHook([&]() -> Status {
+    BOXES_ASSIGN_OR_RETURN(const PageId head, scheme->Checkpoint());
+    return CommitCheckpoint(&cache, head);
+  });
+
+  StatusOr<UpdateBuffer::Ticket> root_ticket = buffer.InsertFirstElement();
+  CheckOkOrDie(root_ticket.status(), "InsertFirstElement");
+  CheckOkOrDie(buffer.Flush(), "bootstrap flush");
+  StatusOr<NewElement> root = buffer.Result(*root_ticket);
+  CheckOkOrDie(root.status(), "bootstrap result");
+
+  const uint64_t syncs_before = store.counters().sync_calls;
+  uint64_t ops = 0;
+  for (auto _ : state) {
+    // Same anchor every op: root.end is live at every batch start and
+    // never itself targeted, so the batch contract holds at any size.
+    StatusOr<UpdateBuffer::Ticket> ticket =
+        buffer.InsertElementBefore(root->end);
+    if (!ticket.ok()) {
+      state.SkipWithError(ticket.status().ToString().c_str());
+      return;
+    }
+    ++ops;
+  }
+  CheckOkOrDie(buffer.Flush(), "final flush");
+  const double syncs =
+      static_cast<double>(store.counters().sync_calls - syncs_before);
+  state.counters["sync_calls_per_op"] =
+      benchmark::Counter(ops > 0 ? syncs / static_cast<double>(ops) : 0.0);
+  state.counters["batch"] =
+      benchmark::Counter(static_cast<double>(batch));
+  std::remove(path.c_str());
+  std::remove((path + ".journal").c_str());
+}
+
+BENCHMARK_CAPTURE(BM_BatchedInsert, wbox_b1, std::string("wbox"), 1);
+BENCHMARK_CAPTURE(BM_BatchedInsert, wbox_b64, std::string("wbox"), 64);
+BENCHMARK_CAPTURE(BM_BatchedInsert, wbox_b4096, std::string("wbox"), 4096);
+BENCHMARK_CAPTURE(BM_BatchedInsert, bbox_b1, std::string("bbox"), 1);
+BENCHMARK_CAPTURE(BM_BatchedInsert, bbox_b64, std::string("bbox"), 64);
+BENCHMARK_CAPTURE(BM_BatchedInsert, bbox_b4096, std::string("bbox"), 4096);
+BENCHMARK_CAPTURE(BM_BatchedInsert, naive_16_b1, std::string("naive-16"), 1);
+BENCHMARK_CAPTURE(BM_BatchedInsert, naive_16_b64, std::string("naive-16"),
+                  64);
+BENCHMARK_CAPTURE(BM_BatchedInsert, naive_16_b4096, std::string("naive-16"),
+                  4096);
 
 }  // namespace
 }  // namespace boxes::bench

@@ -700,4 +700,9 @@ StatusOr<SchemeStats> BBox::GetStats() {
   return stats;
 }
 
+uint64_t BBox::BatchLocalityKey(const BatchOp& op) {
+  const StatusOr<PageId> block = lidf_.ReadBlockPtr(op.anchor);
+  return block.ok() ? *block : 0;
+}
+
 }  // namespace boxes

@@ -69,20 +69,26 @@ class BBox : public LabelingScheme {
 
   /// Persists all in-memory metadata into a metadata chain (see
   /// WBox::Checkpoint).
-  StatusOr<PageId> Checkpoint();
+  StatusOr<PageId> Checkpoint() override;
 
   /// Restores a checkpoint into this freshly constructed instance.
-  Status Restore(PageId checkpoint_head);
+  Status Restore(PageId checkpoint_head) override;
 
   const BBoxParams& params() const { return params_; }
   const BBoxOptions& options() const { return options_; }
-  Lidf* lidf() { return &lidf_; }
+  Lidf* lidf() override { return &lidf_; }
   /// Height in levels (single leaf = 1); 0 when empty.
   uint32_t height() const { return height_; }
   uint64_t live_labels() const { return live_labels_; }
   /// Structural reorganization counters (for benches and tests).
   uint64_t split_count() const { return split_count_; }
   uint64_t merge_count() const { return merge_count_; }
+
+ protected:
+  /// Batch ops sort by the leaf holding the anchor's record: B-BOX never
+  /// relabels, so the only batch win is block locality, and the back-link
+  /// pointer in the LIDF is exactly that block.
+  uint64_t BatchLocalityKey(const BatchOp& op) override;
 
  private:
   /// A (lid -> leaf page, slot) resolution.

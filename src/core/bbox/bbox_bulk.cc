@@ -22,12 +22,10 @@ StatusOr<PageId> BBox::Checkpoint() {
   writer.PutU64(split_count_);
   writer.PutU64(merge_count_);
   lidf_.SaveState(&writer);
-  BOXES_ASSIGN_OR_RETURN(const PageId head, writer.Finish(cache_));
-  // Make the chain (and any dirty tree pages) durable before handing the
-  // head to the commit record.
-  BOXES_RETURN_IF_ERROR(cache_->FlushAll());
-  BOXES_RETURN_IF_ERROR(cache_->store()->Sync());
-  return head;
+  // Durability is the commit's job: CommitCheckpoint flushes and syncs the
+  // chain (with every dirty data page) before flipping the superblock, so
+  // syncing here too would just double the fdatasync bill per checkpoint.
+  return writer.Finish(cache_);
 }
 
 Status BBox::Restore(PageId checkpoint_head) {

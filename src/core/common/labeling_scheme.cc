@@ -1,5 +1,10 @@
 #include "core/common/labeling_scheme.h"
 
+#include <algorithm>
+#include <numeric>
+#include <utility>
+#include <vector>
+
 namespace boxes {
 
 StatusOr<ElementLabels> LabelingScheme::LookupElement(Lid start_lid,
@@ -58,8 +63,138 @@ StatusOr<NewElement> LabelingScheme::InsertFirstElement() {
                                " does not support bootstrap insertion");
 }
 
-Status LabelingScheme::DeleteSubtree(Lid /*root_start*/, Lid /*root_end*/) {
-  return Status::Unimplemented(name() + " does not support subtree deletion");
+Status LabelingScheme::DeleteSubtree(Lid root_start, Lid root_end) {
+  Lidf* records = lidf();
+  if (records == nullptr) {
+    return Status::Unimplemented(name() +
+                                 " does not support subtree deletion");
+  }
+  BOXES_ASSIGN_OR_RETURN(const Label lo, Lookup(root_start));
+  BOXES_ASSIGN_OR_RETURN(const Label hi, Lookup(root_end));
+  if (hi < lo) {
+    return Status::InvalidArgument(
+        "DeleteSubtree end label precedes its start label");
+  }
+  // Snapshot the victim set by LID *before* the first deletion. Deleting
+  // label-at-a-time may relabel or relocate survivors (tombstone rebuilds,
+  // gap maintenance), so label values captured now could go stale mid-loop
+  // — but LIDs are immutable, and membership of the closed label range
+  // [lo, hi] is decided once, against the pre-deletion state.
+  std::vector<Lid> live;
+  BOXES_RETURN_IF_ERROR(records->ForEachLive(
+      [&](Lid lid, const uint8_t* /*payload*/) {
+        live.push_back(lid);
+        return Status::OK();
+      }));
+  std::vector<Lid> victims;
+  for (const Lid lid : live) {
+    BOXES_ASSIGN_OR_RETURN(const Label label, Lookup(lid));
+    if (lo <= label && label <= hi) {
+      victims.push_back(lid);
+    }
+  }
+  for (const Lid lid : victims) {
+    BOXES_RETURN_IF_ERROR(Delete(lid));
+  }
+  return Status::OK();
+}
+
+StatusOr<PageId> LabelingScheme::Checkpoint() {
+  return Status::Unimplemented(name() + " does not support checkpointing");
+}
+
+Status LabelingScheme::Restore(PageId /*checkpoint_head*/) {
+  return Status::Unimplemented(name() + " does not support checkpointing");
+}
+
+uint64_t LabelingScheme::BatchLocalityKey(const BatchOp& /*op*/) { return 0; }
+
+namespace {
+
+/// Subtree ops touch label *ranges* (containment the per-LID key cannot
+/// express), and bootstrap inserts must stay first; none of them may move
+/// relative to surrounding ops.
+bool IsBatchBarrier(const BatchOp& op) {
+  return op.kind == BatchOp::Kind::kInsertSubtreeBefore ||
+         op.kind == BatchOp::Kind::kDeleteSubtree ||
+         op.kind == BatchOp::Kind::kInsertFirstElement;
+}
+
+}  // namespace
+
+void LabelingScheme::SortBatchByLocality(std::vector<BatchOp>* ops,
+                                         BatchStats* stats) {
+  // Keys are computed once, up front, against one consistent pre-batch
+  // state: the key is a pure function of the anchor LID, so two ops on the
+  // same anchor always get equal keys and the stable sort keeps their
+  // enqueue order — the property that makes reordering semantics-free.
+  std::vector<uint64_t> keys(ops->size(), 0);
+  for (size_t i = 0; i < ops->size(); ++i) {
+    const BatchOp& op = (*ops)[i];
+    if (!IsBatchBarrier(op)) {
+      keys[i] = BatchLocalityKey(op);
+    }
+  }
+  size_t run_start = 0;
+  std::vector<size_t> order;
+  for (size_t i = 0; i <= ops->size(); ++i) {
+    if (i < ops->size() && !IsBatchBarrier((*ops)[i])) {
+      continue;
+    }
+    // Sort the barrier-free run [run_start, i).
+    if (i > run_start + 1) {
+      order.resize(i - run_start);
+      std::iota(order.begin(), order.end(), run_start);
+      std::stable_sort(order.begin(), order.end(),
+                       [&](size_t a, size_t b) { return keys[a] < keys[b]; });
+      std::vector<BatchOp> sorted;
+      sorted.reserve(order.size());
+      for (size_t j = 0; j < order.size(); ++j) {
+        if (stats != nullptr && order[j] != run_start + j) {
+          ++stats->reordered;
+        }
+        sorted.push_back(std::move((*ops)[order[j]]));
+      }
+      std::move(sorted.begin(), sorted.end(), ops->begin() + run_start);
+    }
+    run_start = i + 1;
+  }
+}
+
+Status LabelingScheme::ApplyBatchOp(BatchOp* op) {
+  switch (op->kind) {
+    case BatchOp::Kind::kInsertElementBefore: {
+      BOXES_ASSIGN_OR_RETURN(op->result, InsertElementBefore(op->anchor));
+      return Status::OK();
+    }
+    case BatchOp::Kind::kInsertFirstElement: {
+      BOXES_ASSIGN_OR_RETURN(op->result, InsertFirstElement());
+      return Status::OK();
+    }
+    case BatchOp::Kind::kDelete:
+      return Delete(op->anchor);
+    case BatchOp::Kind::kInsertSubtreeBefore:
+      if (op->subtree == nullptr) {
+        return Status::InvalidArgument(
+            "kInsertSubtreeBefore op carries no document");
+      }
+      return InsertSubtreeBefore(op->anchor, *op->subtree, op->subtree_lids);
+    case BatchOp::Kind::kDeleteSubtree:
+      return DeleteSubtree(op->anchor, op->anchor_end);
+  }
+  return Status::InvalidArgument("unknown batch op kind");
+}
+
+Status LabelingScheme::ApplyBatch(std::vector<BatchOp>* ops,
+                                  BatchStats* stats) {
+  SortBatchByLocality(ops, stats);
+  for (BatchOp& op : *ops) {
+    BOXES_RETURN_IF_ERROR(ApplyBatchOp(&op));
+    if (stats != nullptr) {
+      ++stats->applied;
+    }
+  }
+  return Status::OK();
 }
 
 StatusOr<int> LabelingScheme::Compare(Lid a, Lid b) {

@@ -70,6 +70,52 @@ struct VersionedOrdinal {
   uint64_t epoch = 0;
 };
 
+/// One buffered mutation, queued by UpdateBuffer and applied by
+/// LabelingScheme::ApplyBatch. Anchors are LIDs, which are immutable, so a
+/// buffered op stays valid no matter how many relabels earlier ops in the
+/// same batch trigger — the whole point of addressing the batch by LID
+/// instead of by label value. Anchors must name labels that are live when
+/// the batch starts; an op whose anchor is freed by an *earlier op of the
+/// same batch* has unspecified behavior (the LID may have been reused).
+struct BatchOp {
+  enum class Kind {
+    kInsertElementBefore,  // anchor = the before-lid
+    kInsertFirstElement,   // no anchor (bootstrap; also a sort barrier)
+    kDelete,               // anchor = the lid to delete
+    kInsertSubtreeBefore,  // anchor = the before-lid, subtree = the document
+    kDeleteSubtree,        // anchor = root start lid, anchor_end = root end
+  };
+
+  Kind kind = Kind::kInsertElementBefore;
+  Lid anchor = kInvalidLid;
+  Lid anchor_end = kInvalidLid;
+  /// Not owned; must outlive the batch (kInsertSubtreeBefore only).
+  const xml::Document* subtree = nullptr;
+  /// Optional output for kInsertSubtreeBefore (per-element LIDs, indexed by
+  /// ElementId); not owned, must outlive the batch.
+  std::vector<NewElement>* subtree_lids = nullptr;
+
+  /// Opaque caller cookie. ApplyBatch never reads it, but the locality sort
+  /// moves it with the op, so callers that correlate ops with out-of-band
+  /// state (the UpdateBuffer's result tickets) must read it back from the
+  /// post-sort op rather than rely on enqueue positions.
+  uint64_t user_tag = 0;
+
+  /// Filled by ApplyBatch for the insert kinds.
+  NewElement result;
+};
+
+/// Per-batch accounting filled by ApplyBatch.
+struct BatchStats {
+  /// Ops applied (== the batch size on success).
+  uint64_t applied = 0;
+  /// Ops the locality sort moved away from their enqueue position.
+  uint64_t reordered = 0;
+  /// Scheme-specific: relabel passes that would have fired op-by-op but
+  /// were merged into one preemptive pass (naive-k's RelabelAll).
+  uint64_t coalesced_relabels = 0;
+};
+
 /// Common interface of all dynamic order-based labeling schemes (W-BOX,
 /// B-BOX, naive-k): maintains one label per tag of a dynamic XML document,
 /// addressed by immutable LIDs (paper §3, "Supported operations").
@@ -125,8 +171,45 @@ class LabelingScheme {
 
   /// Deletes an element and its entire subtree, identified by the
   /// element's start and end label LIDs (every label between them is
-  /// removed and its LID freed). Default: Unimplemented.
+  /// removed and its LID freed). The default works on any scheme that
+  /// exposes its LIDF: it snapshots the victim set *by LID* before the
+  /// first deletion (labels may shift mid-loop; LIDs cannot), then deletes
+  /// label-at-a-time. Schemes without a LIDF get Unimplemented; W-BOX and
+  /// B-BOX override this with their bulk algorithms.
   virtual Status DeleteSubtree(Lid root_start, Lid root_end);
+
+  /// Applies a whole batch of buffered mutations. The default driver sorts
+  /// the batch into label-locality order — a stable sort on
+  /// BatchLocalityKey within runs of element-granularity ops; subtree ops
+  /// and bootstrap inserts are barriers that never move — and then applies
+  /// op-at-a-time through the virtuals above. Results land in each op's
+  /// `result` / `subtree_lids`; the batch stops at the first error (ops
+  /// already applied stay applied — atomicity against readers comes from
+  /// the caller holding one EpochWriteLock around the whole call, and
+  /// durability atomicity from the one checkpoint commit per batch).
+  ///
+  /// The stable sort plus the per-LID key mean ops sharing an anchor are
+  /// never reordered relative to each other, which is what makes batched
+  /// and unbatched application of one history converge to the same tree.
+  /// Schemes override this to add batch-wide optimizations (W-BOX defers
+  /// its global-rebuild check to the end of the batch; naive-k coalesces
+  /// the batch's relabel passes into one preemptive RelabelAll).
+  virtual Status ApplyBatch(std::vector<BatchOp>* ops, BatchStats* stats);
+
+  /// The scheme's LIDF, or nullptr for schemes that do not maintain one.
+  /// Lets generic code (the default DeleteSubtree, the batch drivers)
+  /// reason about record placement without knowing the concrete scheme.
+  virtual Lidf* lidf() { return nullptr; }
+
+  /// Writes the scheme's durable metadata as a checkpoint chain and returns
+  /// its head page. Builds the chain only — no sync barriers; durability is
+  /// CommitCheckpoint's job (one commit per group-commit batch). Schemes
+  /// without durable metadata get Unimplemented.
+  virtual StatusOr<PageId> Checkpoint();
+
+  /// Rebuilds in-memory state from a checkpoint chain written by
+  /// Checkpoint() on an equivalently configured instance.
+  virtual Status Restore(PageId checkpoint_head);
 
   /// Document-order comparison of two labels: <0, 0, >0. The default
   /// compares Lookup() results; B-BOX overrides with its bottom-up
@@ -168,6 +251,20 @@ class LabelingScheme {
   MetricsRegistry* metrics() const { return metrics_; }
 
  protected:
+  /// Locality key of one batch op for the batch sort: ops with smaller
+  /// keys apply first within their run. The key must depend only on the
+  /// op's anchor LID (equal anchors => equal keys), so the stable sort
+  /// preserves enqueue order among same-anchor ops. The default (0) keeps
+  /// the whole batch in enqueue order; W-BOX/B-BOX key by the BOX block
+  /// the anchor's record lives in, naive-k by the anchor's LIDF page.
+  virtual uint64_t BatchLocalityKey(const BatchOp& op);
+
+  /// The default ApplyBatch's two halves, reusable by scheme overrides:
+  /// SortBatchByLocality reorders `ops` (counting moves in
+  /// stats->reordered), ApplyBatchOp dispatches one op to the virtuals.
+  void SortBatchByLocality(std::vector<BatchOp>* ops, BatchStats* stats);
+  Status ApplyBatchOp(BatchOp* op);
+
   UpdateListener* listener_ = nullptr;
   MetricsRegistry* metrics_ = nullptr;
 

@@ -1,0 +1,144 @@
+#include "core/common/update_buffer.h"
+
+#include <utility>
+
+#include "core/common/epoch_guard.h"
+#include "util/metrics.h"
+
+namespace boxes {
+
+UpdateBuffer::UpdateBuffer(LabelingScheme* scheme,
+                           UpdateBufferOptions options)
+    : scheme_(scheme), options_(options) {}
+
+StatusOr<UpdateBuffer::Ticket> UpdateBuffer::Enqueue(BatchOp op) {
+  const Ticket ticket = results_.size();
+  results_.push_back(NewElement{});
+  // The ticket rides inside the op: ApplyBatch's locality sort permutes the
+  // batch, so positions in pending_ mean nothing after Flush — only the
+  // user_tag read back from each post-sort op pairs results with tickets.
+  op.user_tag = ticket;
+  pending_.push_back(op);
+  pending_tickets_.push_back(ticket);
+  BOXES_RETURN_IF_ERROR(MaybeAutoFlush());
+  return ticket;
+}
+
+Status UpdateBuffer::MaybeAutoFlush() {
+  if (options_.auto_flush && pending_.size() >= options_.flush_threshold) {
+    return Flush();
+  }
+  return Status::OK();
+}
+
+StatusOr<UpdateBuffer::Ticket> UpdateBuffer::InsertElementBefore(Lid before) {
+  BatchOp op;
+  op.kind = BatchOp::Kind::kInsertElementBefore;
+  op.anchor = before;
+  return Enqueue(op);
+}
+
+StatusOr<UpdateBuffer::Ticket> UpdateBuffer::InsertFirstElement() {
+  BatchOp op;
+  op.kind = BatchOp::Kind::kInsertFirstElement;
+  return Enqueue(op);
+}
+
+StatusOr<UpdateBuffer::Ticket> UpdateBuffer::Delete(Lid lid) {
+  BatchOp op;
+  op.kind = BatchOp::Kind::kDelete;
+  op.anchor = lid;
+  return Enqueue(op);
+}
+
+StatusOr<UpdateBuffer::Ticket> UpdateBuffer::InsertSubtreeBefore(
+    Lid before, const xml::Document* subtree,
+    std::vector<NewElement>* lids_out) {
+  if (subtree == nullptr) {
+    return Status::InvalidArgument("InsertSubtreeBefore needs a document");
+  }
+  BatchOp op;
+  op.kind = BatchOp::Kind::kInsertSubtreeBefore;
+  op.anchor = before;
+  op.subtree = subtree;
+  op.subtree_lids = lids_out;
+  return Enqueue(op);
+}
+
+StatusOr<UpdateBuffer::Ticket> UpdateBuffer::DeleteSubtree(Lid root_start,
+                                                           Lid root_end) {
+  BatchOp op;
+  op.kind = BatchOp::Kind::kDeleteSubtree;
+  op.anchor = root_start;
+  op.anchor_end = root_end;
+  return Enqueue(op);
+}
+
+Status UpdateBuffer::Flush() {
+  if (pending_.empty()) {
+    return Status::OK();
+  }
+  const uint64_t batch_size = pending_.size();
+  MetricsRegistry* metrics = scheme_->metrics();
+  const uint64_t syncs_before =
+      metrics != nullptr ? metrics->CounterValue("file_store.sync_calls") : 0;
+  BatchStats stats;
+  Status status;
+  {
+    // The whole batch — application AND the group commit — is one write
+    // epoch: readers admitted before see none of it, readers admitted
+    // after see all of it, and nothing in between is ever observable.
+    EpochWriteLock lock(&scheme_->epoch_guard());
+    status = scheme_->ApplyBatch(&pending_, &stats);
+    if (status.ok()) {
+      // Publish results and retire the pending set before the hooks run,
+      // so a hook may call Result() (e.g. to mirror the batch into a
+      // reference model while readers are still locked out).
+      for (const BatchOp& op : pending_) {
+        results_[op.user_tag] = op.result;
+      }
+      pending_.clear();
+      pending_tickets_.clear();
+      if (commit_hook_) {
+        status = commit_hook_();
+      }
+    }
+    if (status.ok() && post_apply_hook_) {
+      status = post_apply_hook_(scheme_->epoch_guard().epoch() + 1);
+    }
+  }
+  pending_.clear();
+  pending_tickets_.clear();
+  if (!status.ok()) {
+    return status;
+  }
+  ++batches_flushed_;
+  ops_flushed_ += batch_size;
+  if (metrics != nullptr) {
+    metrics->IncrementCounter("batch.flushes");
+    metrics->IncrementCounter("batch.ops", batch_size);
+    metrics->IncrementCounter("batch.reordered_ops", stats.reordered);
+    metrics->IncrementCounter("batch.coalesced_relabels",
+                              stats.coalesced_relabels);
+    metrics->RecordValue("batch.ops_per_flush", batch_size);
+    metrics->RecordValue(
+        "batch.sync_calls_per_flush",
+        metrics->CounterValue("file_store.sync_calls") - syncs_before);
+  }
+  return Status::OK();
+}
+
+StatusOr<NewElement> UpdateBuffer::Result(Ticket ticket) const {
+  if (ticket >= results_.size()) {
+    return Status::InvalidArgument("unknown update buffer ticket");
+  }
+  for (size_t i = 0; i < pending_tickets_.size(); ++i) {
+    if (pending_tickets_[i] == ticket) {
+      return Status::FailedPrecondition(
+          "ticket's batch has not flushed yet");
+    }
+  }
+  return results_[ticket];
+}
+
+}  // namespace boxes

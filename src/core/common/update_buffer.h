@@ -1,0 +1,120 @@
+#ifndef BOXES_CORE_COMMON_UPDATE_BUFFER_H_
+#define BOXES_CORE_COMMON_UPDATE_BUFFER_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/common/labeling_scheme.h"
+#include "util/status.h"
+
+namespace boxes {
+
+/// Configuration of an UpdateBuffer.
+struct UpdateBufferOptions {
+  /// Flush automatically once this many ops are pending. 1 degenerates to
+  /// unbuffered operation (one epoch + one commit per op), which is what
+  /// the batched-vs-unbatched differential tests exploit.
+  size_t flush_threshold = 64;
+
+  /// When false, only explicit Flush() calls apply the buffer (the caller
+  /// owns the batching policy entirely).
+  bool auto_flush = true;
+};
+
+/// The write-side group-commit pipeline (ROADMAP item 1; the buffered
+/// updates of Ke Yi's dynamic-indexability line of work, adapted to
+/// order-maintenance): absorbs insert/delete/subtree requests, and on
+/// Flush() applies them as ONE batch —
+///
+///   * one EpochGuard write epoch for the whole batch, so concurrent
+///     readers observe either the pre-batch or the post-batch state and
+///     never a half-applied one;
+///   * one locality-sorted ApplyBatch call, letting schemes reorder ops to
+///     revisit hot blocks and coalesce relabel passes;
+///   * one group-commit hook invocation — typically Checkpoint +
+///     CommitCheckpoint — so the fdatasync cost of durability is paid once
+///     per batch instead of once per op.
+///
+/// Enqueue methods return a Ticket; the op's assigned LIDs become readable
+/// through Result(ticket) once its batch has flushed. Anchors must be LIDs
+/// live at enqueue time that no earlier op of the same pending batch
+/// deletes (the ApplyBatch contract).
+///
+/// Threading: the buffer is a single-writer object — enqueue and Flush
+/// from one thread. Readers of the underlying scheme stay safe because the
+/// batch applies under the scheme's EpochWriteLock.
+class UpdateBuffer {
+ public:
+  using Ticket = uint64_t;
+
+  /// Runs inside the batch's write epoch, after every op applied. This is
+  /// the group-commit point: make the batch durable here (one checkpoint
+  /// commit) so readers can never observe committed-but-volatile state.
+  using CommitHook = std::function<Status()>;
+
+  /// Runs inside the batch's write epoch, after the commit hook, with the
+  /// epoch number the batch is about to commit as. Concurrency tests use
+  /// this to record oracle states while new readers are still locked out.
+  using PostApplyHook = std::function<Status(uint64_t epoch)>;
+
+  explicit UpdateBuffer(LabelingScheme* scheme,
+                        UpdateBufferOptions options = {});
+
+  UpdateBuffer(const UpdateBuffer&) = delete;
+  UpdateBuffer& operator=(const UpdateBuffer&) = delete;
+
+  void SetCommitHook(CommitHook hook) { commit_hook_ = std::move(hook); }
+  void SetPostApplyHook(PostApplyHook hook) {
+    post_apply_hook_ = std::move(hook);
+  }
+
+  /// Buffered counterparts of the LabelingScheme mutations. Each may
+  /// trigger an auto-flush (including of the op just enqueued).
+  StatusOr<Ticket> InsertElementBefore(Lid before);
+  StatusOr<Ticket> InsertFirstElement();
+  StatusOr<Ticket> Delete(Lid lid);
+  /// `subtree` (and `lids_out`, if given) must stay valid until the batch
+  /// flushes.
+  StatusOr<Ticket> InsertSubtreeBefore(Lid before,
+                                       const xml::Document* subtree,
+                                       std::vector<NewElement>* lids_out);
+  StatusOr<Ticket> DeleteSubtree(Lid root_start, Lid root_end);
+
+  /// Applies all pending ops as one batch (see class comment). No-op when
+  /// nothing is pending. On error the in-memory structure may hold a
+  /// prefix of the batch, but nothing was group-committed: recovery
+  /// reopens at the previous checkpoint (the all-or-nothing contract the
+  /// batch crash sweep asserts).
+  Status Flush();
+
+  /// LIDs assigned to the insert op behind `ticket`. FailedPrecondition
+  /// until its batch has flushed.
+  StatusOr<NewElement> Result(Ticket ticket) const;
+
+  size_t pending() const { return pending_.size(); }
+  uint64_t batches_flushed() const { return batches_flushed_; }
+  uint64_t ops_flushed() const { return ops_flushed_; }
+  const UpdateBufferOptions& options() const { return options_; }
+
+ private:
+  StatusOr<Ticket> Enqueue(BatchOp op);
+  Status MaybeAutoFlush();
+
+  LabelingScheme* scheme_;  // not owned
+  const UpdateBufferOptions options_;
+  CommitHook commit_hook_;
+  PostApplyHook post_apply_hook_;
+
+  std::vector<BatchOp> pending_;
+  std::vector<Ticket> pending_tickets_;
+  /// Results of flushed insert ops, indexed by ticket. kInvalidLid slots
+  /// mark unflushed or non-insert tickets.
+  std::vector<NewElement> results_;
+  uint64_t batches_flushed_ = 0;
+  uint64_t ops_flushed_ = 0;
+};
+
+}  // namespace boxes
+
+#endif  // BOXES_CORE_COMMON_UPDATE_BUFFER_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <array>
 #include <cstring>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -149,6 +150,54 @@ Status NaiveScheme::BulkLoad(const xml::Document& doc,
   return Status::OK();
 }
 
+Status NaiveScheme::ApplyBatch(std::vector<BatchOp>* ops, BatchStats* stats) {
+  // Count the labels headed for the gap before each anchor: an element
+  // insert contributes its start and end, a subtree insert two labels per
+  // element. `m` labels nesting into one gap can split it up to `m` times,
+  // so gap >= 2^m guarantees the batch cannot exhaust it.
+  std::unordered_map<Lid, uint64_t> incoming;
+  for (const BatchOp& op : *ops) {
+    if (op.kind == BatchOp::Kind::kInsertElementBefore) {
+      incoming[op.anchor] += 2;
+    } else if (op.kind == BatchOp::Kind::kInsertSubtreeBefore &&
+               op.subtree != nullptr) {
+      incoming[op.anchor] += 2 * op.subtree->element_count();
+    }
+  }
+  uint64_t exhausted_anchors = 0;
+  for (const auto& [anchor, count] : incoming) {
+    if (!lidf_.IsLive(anchor)) {
+      continue;  // bad anchors surface their error when the op applies
+    }
+    StatusOr<Record> record = ReadRecord(anchor);
+    if (!record.ok()) {
+      continue;
+    }
+    // Anchors needing more nesting depth than a fresh 2^k gap offers are
+    // treated as exhausted too: relabeling up front still buys the
+    // longest possible runway before the unavoidable mid-batch pass.
+    const uint32_t shift = static_cast<uint32_t>(
+        std::min<uint64_t>(count, options_.gap_bits));
+    if (record->gap < BigUint::PowerOfTwo(shift)) {
+      ++exhausted_anchors;
+    }
+  }
+  if (exhausted_anchors > 0) {
+    // One preemptive full-file pass replaces up to `exhausted_anchors`
+    // op-triggered passes — the batch pipeline's relabel coalescing.
+    BOXES_RETURN_IF_ERROR(RelabelAll());
+    if (stats != nullptr) {
+      stats->coalesced_relabels += exhausted_anchors;
+    }
+  }
+  return LabelingScheme::ApplyBatch(ops, stats);
+}
+
+uint64_t NaiveScheme::BatchLocalityKey(const BatchOp& op) {
+  const StatusOr<PageId> page = lidf_.PageOf(op.anchor);
+  return page.ok() ? *page : 0;
+}
+
 Status NaiveScheme::RelabelAll() {
   ScopedPhase io_phase(cache_, IoPhase::kRelabel);
   ScopedTimer timer(metrics_, name() + ".relabel_all.us");
@@ -259,12 +308,10 @@ StatusOr<PageId> NaiveScheme::Checkpoint() {
   max_value_.Serialize(max_value.data(), value_limbs_);
   writer.PutBytes(max_value.data(), max_value.size());
   lidf_.SaveState(&writer);
-  BOXES_ASSIGN_OR_RETURN(const PageId head, writer.Finish(cache_));
-  // Make the chain (and any dirty data pages) durable before handing the
-  // head to the commit record.
-  BOXES_RETURN_IF_ERROR(cache_->FlushAll());
-  BOXES_RETURN_IF_ERROR(cache_->store()->Sync());
-  return head;
+  // Durability is the commit's job: CommitCheckpoint flushes and syncs the
+  // chain (with every dirty data page) before flipping the superblock, so
+  // syncing here too would just double the fdatasync bill per checkpoint.
+  return writer.Finish(cache_);
 }
 
 Status NaiveScheme::Restore(PageId checkpoint_head) {

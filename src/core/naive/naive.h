@@ -53,21 +53,33 @@ class NaiveScheme : public LabelingScheme {
   Status Delete(Lid lid) override;
   Status BulkLoad(const xml::Document& doc,
                   std::vector<NewElement>* lids_out) override;
+  /// Batch application with relabel coalescing: scans the batch for
+  /// anchors whose stored gap cannot absorb the inserts headed their way
+  /// and, if any exist, runs ONE preemptive RelabelAll for the whole batch
+  /// instead of letting each exhausted anchor trigger its own full-file
+  /// relabel mid-batch (the scheme's dominant cost).
+  Status ApplyBatch(std::vector<BatchOp>* ops, BatchStats* stats) override;
   StatusOr<SchemeStats> GetStats() override;
   Status CheckInvariants() override;
 
   const NaiveOptions& options() const { return options_; }
-  Lidf* lidf() { return &lidf_; }
+  Lidf* lidf() override { return &lidf_; }
   uint64_t live_labels() const { return lidf_.live_records(); }
   /// Number of global relabelings performed (the scheme's pain metric).
   uint64_t relabel_count() const { return relabel_count_; }
 
   /// Persists all in-memory metadata into a metadata chain (see
   /// WBox::Checkpoint).
-  StatusOr<PageId> Checkpoint();
+  StatusOr<PageId> Checkpoint() override;
 
   /// Restores a checkpoint into this freshly constructed instance.
-  Status Restore(PageId checkpoint_head);
+  Status Restore(PageId checkpoint_head) override;
+
+ protected:
+  /// Batch ops sort by the LIDF page of their anchor — the record file IS
+  /// the structure here, so LIDF-page order is label-locality order up to
+  /// allocation churn.
+  uint64_t BatchLocalityKey(const BatchOp& op) override;
 
  private:
   struct Record {

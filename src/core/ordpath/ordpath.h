@@ -58,7 +58,7 @@ class OrdpathScheme : public LabelingScheme {
   Status CheckInvariants() override;
 
   const OrdpathOptions& options() const { return options_; }
-  Lidf* lidf() { return &lidf_; }
+  Lidf* lidf() override { return &lidf_; }
   uint64_t live_labels() const { return lidf_.live_records(); }
   /// Largest encoded label seen, in bytes (the scheme's pain metric).
   uint32_t max_encoded_bytes() const { return max_encoded_bytes_; }

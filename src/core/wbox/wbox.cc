@@ -766,7 +766,31 @@ Status WBox::Delete(Lid lid) {
   }
   // Tombstoning leaves every remaining label value unchanged, so no value
   // log entry is needed.
+  if (defer_rebuild_check_) {
+    rebuild_check_pending_ = true;
+    return Status::OK();
+  }
   return MaybeGlobalRebuild();
+}
+
+Status WBox::ApplyBatch(std::vector<BatchOp>* ops, BatchStats* stats) {
+  defer_rebuild_check_ = true;
+  Status status = LabelingScheme::ApplyBatch(ops, stats);
+  defer_rebuild_check_ = false;
+  if (rebuild_check_pending_) {
+    rebuild_check_pending_ = false;
+    if (status.ok()) {
+      status = MaybeGlobalRebuild();
+    }
+  }
+  return status;
+}
+
+uint64_t WBox::BatchLocalityKey(const BatchOp& op) {
+  const StatusOr<PageId> block = lidf_.ReadBlockPtr(op.anchor);
+  // Unreadable anchors keep key 0 and surface their real error when the
+  // op applies.
+  return block.ok() ? *block : 0;
 }
 
 // ---------------------------------------------------------------------------

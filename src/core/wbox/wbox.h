@@ -71,23 +71,28 @@ class WBox : public LabelingScheme {
   Status InsertSubtreeBefore(Lid before, const xml::Document& subtree,
                              std::vector<NewElement>* lids_out) override;
   Status DeleteSubtree(Lid root_start, Lid root_end) override;
+  /// Batch application with the global-rebuild check deferred to the end
+  /// of the batch: a delete-heavy batch checks the tombstone ratio once
+  /// instead of per delete, so at most one rebuild serves the whole batch.
+  Status ApplyBatch(std::vector<BatchOp>* ops, BatchStats* stats) override;
   bool SupportsOrdinal() const override { return options_.maintain_ordinal; }
   StatusOr<uint64_t> OrdinalLookup(Lid lid) override;
   StatusOr<SchemeStats> GetStats() override;
   Status CheckInvariants() override;
 
   /// Persists all in-memory metadata (root, counters, LIDF state) into a
-  /// metadata chain and returns its head page. Flush the cache afterwards
-  /// to make the checkpoint durable.
-  StatusOr<PageId> Checkpoint();
+  /// metadata chain and returns its head page. Nothing is flushed or
+  /// synced here; pass the head to CommitCheckpoint, whose commit protocol
+  /// makes the chain (and all dirty data pages) durable exactly once.
+  StatusOr<PageId> Checkpoint() override;
 
   /// Restores a checkpoint into this freshly constructed instance; the
   /// options and page size must match the checkpointed ones.
-  Status Restore(PageId checkpoint_head);
+  Status Restore(PageId checkpoint_head) override;
 
   const WBoxParams& params() const { return params_; }
   const WBoxOptions& options() const { return options_; }
-  Lidf* lidf() { return &lidf_; }
+  Lidf* lidf() override { return &lidf_; }
   /// Height in levels (single leaf = 1); 0 when empty.
   uint32_t height() const { return height_; }
   uint64_t live_labels() const { return live_labels_; }
@@ -96,6 +101,11 @@ class WBox : public LabelingScheme {
   uint64_t rebuild_count() const { return rebuild_count_; }
   /// Number of node splits performed so far (for tests/benches).
   uint64_t split_count() const { return split_count_; }
+
+ protected:
+  /// Ops anchored in the same leaf block sort together, so a batch
+  /// revisits each dirtied block once instead of bouncing across the tree.
+  uint64_t BatchLocalityKey(const BatchOp& op) override;
 
  private:
   /// One step of a root-to-leaf descent: the internal node and the entry
@@ -269,6 +279,12 @@ class WBox : public LabelingScheme {
   /// During multi-record relocation, maps moved LIDs to their new block so
   /// pair fix-ups see fresh locations.
   std::unordered_map<Lid, PageId> moved_in_op_;
+
+  /// While a batch is applying, Delete records that a rebuild check is due
+  /// instead of running MaybeGlobalRebuild per op; ApplyBatch settles the
+  /// debt once at the end of the batch.
+  bool defer_rebuild_check_ = false;
+  bool rebuild_check_pending_ = false;
 };
 
 }  // namespace boxes

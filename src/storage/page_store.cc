@@ -60,6 +60,7 @@ Status MemoryPageStore::Read(PageId id, uint8_t* buf) {
 Status MemoryPageStore::Write(PageId id, const uint8_t* buf) {
   BOXES_RETURN_IF_ERROR(CheckId(id));
   std::memcpy(pages_[id].get(), buf, page_size_);
+  dirty_since_sync_ = true;
   return Status::OK();
 }
 
@@ -67,6 +68,15 @@ Status MemoryPageStore::WriteTorn(PageId id, const uint8_t* buf,
                                   size_t prefix) {
   BOXES_RETURN_IF_ERROR(CheckId(id));
   std::memcpy(pages_[id].get(), buf, std::min(prefix, page_size_));
+  dirty_since_sync_ = true;
+  return Status::OK();
+}
+
+Status MemoryPageStore::Sync() {
+  if (dirty_since_sync_) {
+    dirty_since_sync_ = false;
+    ++sync_calls_;
+  }
   return Status::OK();
 }
 
@@ -411,6 +421,7 @@ Status FilePageStore::WriteFrameBytes(PageId id, const uint8_t* buf,
   if (n < 0 || static_cast<size_t>(n) != bytes) {
     return Status::IoError(std::string("pwrite: ") + std::strerror(errno));
   }
+  dirty_since_sync_ = true;
   return Status::OK();
 }
 
@@ -446,6 +457,14 @@ Status FilePageStore::Sync() {
   if (!options_.sync_data) {
     return Status::OK();
   }
+  if (!dirty_since_sync_) {
+    // Nothing was written since the last barrier; an fdatasync here would be
+    // a pure no-op at the device. Skipping it is what makes the group-commit
+    // sync accounting exact (batch.sync_calls_per_flush counts real
+    // barriers, not redundant ones).
+    return Status::OK();
+  }
+  dirty_since_sync_ = false;
   Count(&Counters::sync_calls, "file_store.sync_calls");
   if (::fdatasync(fd_) != 0) {
     return Status::IoError(std::string("fdatasync: ") + std::strerror(errno));

@@ -103,12 +103,20 @@ class MemoryPageStore : public PageStore {
   Status Read(PageId id, uint8_t* buf) override;
   Status Write(PageId id, const uint8_t* buf) override;
   Status WriteTorn(PageId id, const uint8_t* buf, size_t prefix) override;
+  Status Sync() override;
   uint64_t allocated_pages() const override { return allocated_; }
   uint64_t total_pages() const override { return pages_.size(); }
   void SnapshotAllocator(uint64_t* total,
                          std::vector<PageId>* free_pages) const override;
   Status RestoreAllocator(uint64_t total,
                           const std::vector<PageId>& free_pages) override;
+
+  /// Sync() calls that found dirty pages (mirrors FilePageStore's
+  /// fdatasync accounting so sync-count regression tests can run on the
+  /// in-memory substrate too). Redundant barriers — Sync with nothing
+  /// written since the previous Sync — are not counted, matching the
+  /// file-backed store's skip.
+  uint64_t sync_calls() const { return sync_calls_; }
 
  private:
   Status CheckId(PageId id) const;
@@ -118,6 +126,8 @@ class MemoryPageStore : public PageStore {
   std::vector<bool> live_;
   std::vector<PageId> free_list_;
   uint64_t allocated_ = 0;
+  bool dirty_since_sync_ = false;
+  uint64_t sync_calls_ = 0;
 };
 
 /// Configuration of LatencyPageStore: per-operation simulated device time.
@@ -301,6 +311,7 @@ class FilePageStore : public PageStore {
   std::vector<PageId> free_list_;
   uint64_t total_pages_ = 0;
   uint64_t allocated_ = 0;
+  bool dirty_since_sync_ = false;
   uint64_t epoch_ = 0;
   uint64_t epoch_start_total_ = 0;
   std::unordered_set<PageId> journaled_;

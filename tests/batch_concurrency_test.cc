@@ -1,0 +1,224 @@
+// Concurrent readers vs the group-commit write pipeline (DESIGN.md §4h):
+// a writer pushes multi-op batches through an UpdateBuffer while reader
+// threads record (label, epoch) observations via LookupShared. Because a
+// flushed batch is ONE write epoch, the only states a reader may observe
+// are batch boundaries: the oracle records exactly one probe snapshot per
+// flush (inside the post-apply hook, while readers are still locked out),
+// and CheckObservation rejects any epoch it never recorded — which is
+// precisely what a half-applied batch would look like. Labeled
+// `concurrency` in ctest; runs under TSan via tests/run_tsan.sh.
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/bbox/bbox.h"
+#include "core/common/epoch_guard.h"
+#include "core/common/update_buffer.h"
+#include "core/naive/naive.h"
+#include "core/wbox/wbox.h"
+#include "gtest/gtest.h"
+#include "model_tree.h"
+#include "storage/page_cache.h"
+#include "test_util.h"
+#include "util/random.h"
+
+namespace boxes::testing {
+namespace {
+
+struct SchemeFactory {
+  const char* name;
+  std::unique_ptr<LabelingScheme> (*make)(PageCache* cache);
+};
+
+std::unique_ptr<LabelingScheme> MakeWbox(PageCache* cache) {
+  return std::make_unique<WBox>(cache);
+}
+std::unique_ptr<LabelingScheme> MakeBbox(PageCache* cache) {
+  return std::make_unique<BBox>(cache);
+}
+std::unique_ptr<LabelingScheme> MakeNaive(PageCache* cache) {
+  NaiveOptions options;
+  options.gap_bits = 16;
+  return std::make_unique<NaiveScheme>(cache, options);
+}
+
+struct Observation {
+  Lid lid = kInvalidLid;
+  Label label;
+  uint64_t epoch = 0;
+};
+
+class BatchConcurrencyTest : public ::testing::TestWithParam<SchemeFactory> {
+};
+
+TEST_P(BatchConcurrencyTest, ReadersNeverObserveHalfAppliedBatches) {
+  TestDb db;
+  std::unique_ptr<LabelingScheme> scheme = GetParam().make(&db.cache);
+  ModelTree model;
+  Random rng(0xba7c4);
+
+  // Pre-populate, scheme and model in lockstep (single-threaded).
+  ASSERT_OK_AND_ASSIGN(const NewElement root, scheme->InsertFirstElement());
+  model.SetRoot(root);
+  std::vector<int> probe_nodes{0};
+  std::vector<Lid> probes{root.start};
+  for (int i = 0; i < 120; ++i) {
+    const int target = model.RandomElement(&rng, /*exclude_root=*/false);
+    ASSERT_OK_AND_ASSIGN(
+        const NewElement e,
+        scheme->InsertElementBefore(model.node(target).lids.end));
+    const int id = model.InsertAsLastChild(target, e);
+    if (i % 3 == 0) {
+      probe_nodes.push_back(id);
+      probes.push_back(e.start);
+    }
+  }
+
+  EpochGuard& guard = scheme->epoch_guard();
+  EpochLabelOracle oracle;
+  auto capture = [&]() {
+    std::map<Lid, Label> labels;
+    for (const Lid lid : probes) {
+      StatusOr<Label> label = scheme->Lookup(lid);
+      EXPECT_OK(label.status());
+      if (label.ok()) {
+        labels[lid] = *label;
+      }
+    }
+    return labels;
+  };
+  oracle.RecordEpoch(guard.epoch(), capture());
+
+  constexpr int kReaders = 4;
+  constexpr int kLookupsPerReader = 2500;
+  constexpr int kWriterBatches = 40;
+  constexpr size_t kOpsPerBatch = 8;
+  std::vector<std::vector<Observation>> observed(kReaders);
+  std::atomic<int> readers_done{0};
+
+  std::vector<std::thread> pool;
+  for (int t = 0; t < kReaders; ++t) {
+    pool.emplace_back([&, t] {
+      Random reader_rng(700 + t);
+      observed[t].reserve(kLookupsPerReader);
+      for (int i = 0; i < kLookupsPerReader; ++i) {
+        const Lid lid = probes[reader_rng.Uniform(probes.size())];
+        StatusOr<VersionedLabel> got = scheme->LookupShared(lid);
+        ASSERT_OK(got.status());
+        observed[t].push_back(Observation{lid, got->label, got->epoch});
+      }
+      readers_done.fetch_add(1, std::memory_order_release);
+    });
+  }
+
+  // The writer: each iteration assembles one batch of kOpsPerBatch ops —
+  // inserts before distinct probes, deletes of elements inserted in
+  // earlier batches — and flushes it as one epoch. The post-apply hook
+  // replays the batch into the model and records the new boundary state
+  // while the write lock still excludes readers.
+  uint64_t batches = 0;
+  std::thread writer([&] {
+    Random writer_rng(31);
+    // Elements inserted by earlier batches, available for deletion.
+    std::vector<std::pair<UpdateBuffer::Ticket, int>> planned_inserts;
+    std::vector<std::pair<NewElement, int>> deletable;
+    std::vector<std::pair<NewElement, int>> planned_deletes;
+    UpdateBuffer buffer(scheme.get(), {.flush_threshold = kOpsPerBatch,
+                                       .auto_flush = false});
+    buffer.SetPostApplyHook([&](uint64_t epoch) -> Status {
+      for (const auto& [ticket, slot] : planned_inserts) {
+        BOXES_ASSIGN_OR_RETURN(const NewElement fresh,
+                               buffer.Result(ticket));
+        const int node = model.InsertBeforeStart(probe_nodes[slot], fresh);
+        deletable.emplace_back(fresh, node);
+      }
+      for (const auto& [lids, node] : planned_deletes) {
+        (void)lids;
+        model.DeleteElement(node);
+      }
+      oracle.RecordEpoch(epoch, capture());
+      return Status::OK();
+    });
+    for (int b = 0; b < kWriterBatches; ++b) {
+      planned_inserts.clear();
+      planned_deletes.clear();
+      // Distinct probe slots per batch: anchors never collide, and every
+      // anchor is alive at batch start (probes are never deleted).
+      std::vector<size_t> slots;
+      for (size_t s = 1; s < probes.size(); ++s) {
+        slots.push_back(s);
+      }
+      for (size_t i = 0; i < kOpsPerBatch; ++i) {
+        if (!deletable.empty() && writer_rng.Bernoulli(0.3)) {
+          const auto victim = deletable.back();
+          deletable.pop_back();
+          ASSERT_OK(buffer.Delete(victim.first.start).status());
+          ASSERT_OK(buffer.Delete(victim.first.end).status());
+          planned_deletes.push_back(victim);
+        } else {
+          const size_t pick = writer_rng.Uniform(slots.size());
+          const size_t slot = slots[pick];
+          slots.erase(slots.begin() + static_cast<ptrdiff_t>(pick));
+          ASSERT_OK_AND_ASSIGN(
+              const UpdateBuffer::Ticket ticket,
+              buffer.InsertElementBefore(probes[slot]));
+          planned_inserts.emplace_back(ticket, static_cast<int>(slot));
+        }
+      }
+      ASSERT_OK(buffer.Flush());
+      ++batches;
+      if (readers_done.load(std::memory_order_acquire) == kReaders) {
+        return;
+      }
+      std::this_thread::yield();
+    }
+  });
+
+  for (std::thread& t : pool) {
+    t.join();
+  }
+  writer.join();
+
+  // One committed epoch per flushed batch — the whole point of group
+  // commit — and one oracle snapshot per boundary.
+  EXPECT_EQ(guard.epoch(), batches);
+  EXPECT_EQ(oracle.recorded_epochs(), batches + 1);
+
+  // Every observation names a recorded batch-boundary epoch and matches
+  // its snapshot; an unrecorded epoch or a mismatched label would mean a
+  // reader saw the middle of a batch.
+  uint64_t validated = 0;
+  for (int t = 0; t < kReaders; ++t) {
+    uint64_t last_epoch = 0;
+    for (const Observation& obs : observed[t]) {
+      ASSERT_GE(obs.epoch, last_epoch) << "reader " << t;
+      last_epoch = obs.epoch;
+      const Status check =
+          oracle.CheckObservation(obs.lid, obs.label, obs.epoch);
+      ASSERT_TRUE(check.ok()) << "reader " << t << ": " << check.ToString();
+      ++validated;
+    }
+  }
+  EXPECT_EQ(validated, uint64_t{kReaders} * kLookupsPerReader);
+
+  ASSERT_OK(scheme->CheckInvariants());
+  ASSERT_TRUE(LabelsStrictlyIncreasing(scheme.get(), model.TagOrder()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Schemes, BatchConcurrencyTest,
+    ::testing::Values(SchemeFactory{"wbox", &MakeWbox},
+                      SchemeFactory{"bbox", &MakeBbox},
+                      SchemeFactory{"naive16", &MakeNaive}),
+    [](const ::testing::TestParamInfo<SchemeFactory>& info) {
+      return std::string(info.param.name);
+    });
+
+}  // namespace
+}  // namespace boxes::testing

@@ -1,0 +1,447 @@
+// Batched-vs-unbatched differential test (DESIGN.md §4h): one fixed
+// update history — element inserts, element deletes, subtree grafts,
+// subtree deletes — is applied to each scheme three ways: op-at-a-time
+// through the plain virtuals, and through an UpdateBuffer flushed every 64
+// and every 4096 planned ops. All three runs must converge to the same
+// tree: each run's label order must equal its reference model's tag order,
+// and the models' shapes (which abstract away LID assignment, the one
+// thing the locality sort is allowed to change) must serialize
+// byte-identically across runs.
+//
+// The history is generated once, against window constraints matching the
+// COARSEST batching: every op's anchor is an element that was alive at the
+// current window's start and is not touched by any earlier op of the same
+// window. That makes the history legal for every flush granularity that
+// divides the window (the ApplyBatch anchor contract).
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "core/bbox/bbox.h"
+#include "core/common/update_buffer.h"
+#include "core/naive/naive.h"
+#include "core/wbox/wbox.h"
+#include "gtest/gtest.h"
+#include "model_tree.h"
+#include "storage/page_cache.h"
+#include "test_util.h"
+#include "util/random.h"
+#include "xml/generators.h"
+
+namespace boxes::testing {
+namespace {
+
+constexpr uint64_t kHistorySeed = 0xba7c4ed1u;
+constexpr int kBootstrapElements = 6500;
+constexpr size_t kWindow = 4096;  // coarsest batch = one window
+constexpr int kWindows = 2;
+
+struct PlannedOp {
+  enum class Kind { kInsert, kDeleteElement, kInsertSubtree, kDeleteSubtree };
+  Kind kind = Kind::kInsert;
+  int target = -1;       // model node index
+  bool before_start = false;  // insert flavor: prev-sibling vs last-child
+  xml::Document doc;     // kInsertSubtree payload
+};
+
+// Replays the shared bootstrap (identical in every run, so every run's
+// model starts with identical node indices AND identical LIDs).
+void Bootstrap(LabelingScheme* scheme, ModelTree* model) {
+  Random rng(kHistorySeed ^ 0xb007);
+  ASSERT_OK_AND_ASSIGN(const NewElement root, scheme->InsertFirstElement());
+  model->SetRoot(root);
+  for (int i = 0; i < kBootstrapElements; ++i) {
+    const int target = model->RandomElement(&rng, /*exclude_root=*/false);
+    ASSERT_OK_AND_ASSIGN(
+        const NewElement fresh,
+        scheme->InsertElementBefore(model->node(target).lids.end));
+    model->InsertAsLastChild(target, fresh);
+  }
+}
+
+// Applies one planned op to a model, given the LIDs the scheme assigned.
+void ReplayIntoModel(ModelTree* model, const PlannedOp& op,
+                     const NewElement& lids,
+                     const std::vector<NewElement>& subtree_lids) {
+  switch (op.kind) {
+    case PlannedOp::Kind::kInsert:
+      if (op.before_start) {
+        model->InsertBeforeStart(op.target, lids);
+      } else {
+        model->InsertAsLastChild(op.target, lids);
+      }
+      break;
+    case PlannedOp::Kind::kDeleteElement:
+      model->DeleteElement(op.target);
+      break;
+    case PlannedOp::Kind::kInsertSubtree:
+      if (op.before_start) {
+        model->GraftBeforeStart(op.target, op.doc, subtree_lids);
+      } else {
+        model->GraftAsLastChild(op.target, op.doc, subtree_lids);
+      }
+      break;
+    case PlannedOp::Kind::kDeleteSubtree:
+      model->DeleteSubtree(op.target);
+      break;
+  }
+}
+
+// Generates the history once, using a scratch model (dummy LIDs; only the
+// shape matters here, and the shape evolves identically in real runs).
+std::vector<std::vector<PlannedOp>> GenerateHistory() {
+  ModelTree model;
+  {
+    Random rng(kHistorySeed ^ 0xb007);
+    model.SetRoot(NewElement{0, 1});
+    for (int i = 0; i < kBootstrapElements; ++i) {
+      const int target = model.RandomElement(&rng, /*exclude_root=*/false);
+      model.InsertAsLastChild(target, NewElement{0, 1});
+    }
+  }
+
+  Random rng(kHistorySeed);
+  std::vector<std::vector<PlannedOp>> windows;
+  for (int w = 0; w < kWindows; ++w) {
+    // Snapshot of the window-start population: anchors may only come from
+    // here, so they exist at every sub-batch start of the window.
+    std::unordered_set<int> snapshot_alive;
+    for (uint64_t id = 0; id < model.total_nodes(); ++id) {
+      if (model.node(static_cast<int>(id)).alive) {
+        snapshot_alive.insert(static_cast<int>(id));
+      }
+    }
+    std::unordered_set<int> touched;
+    auto eligible = [&](int id) {
+      return snapshot_alive.count(id) != 0 && touched.count(id) == 0;
+    };
+    auto pick = [&](bool exclude_root, int tries) -> int {
+      for (int t = 0; t < tries; ++t) {
+        const int id = model.RandomElement(&rng, exclude_root);
+        if (eligible(id)) {
+          return id;
+        }
+      }
+      return -1;
+    };
+
+    std::vector<PlannedOp> window;
+    window.reserve(kWindow);
+    int misses = 0;
+    while (window.size() < kWindow && misses < 500) {
+      const double roll = rng.NextDouble();
+      PlannedOp op;
+      if (roll < 0.62 || model.element_count() < 64) {
+        op.kind = PlannedOp::Kind::kInsert;
+        op.before_start = rng.Bernoulli(0.5);
+        op.target = pick(/*exclude_root=*/op.before_start, 60);
+        if (op.target < 0) {
+          op.before_start = false;
+          op.target = pick(/*exclude_root=*/false, 200);
+        }
+        if (op.target < 0) {
+          break;  // window exhausted its eligible population
+        }
+        touched.insert(op.target);
+        ReplayIntoModel(&model, op, NewElement{0, 1}, {});
+      } else if (roll < 0.82) {
+        op.kind = PlannedOp::Kind::kDeleteElement;
+        op.target = pick(/*exclude_root=*/true, 60);
+        if (op.target < 0) {
+          ++misses;
+          continue;
+        }
+        touched.insert(op.target);
+        ReplayIntoModel(&model, op, NewElement{}, {});
+      } else if (roll < 0.92) {
+        op.kind = PlannedOp::Kind::kInsertSubtree;
+        op.before_start = rng.Bernoulli(0.5);
+        op.target = pick(/*exclude_root=*/op.before_start, 60);
+        if (op.target < 0) {
+          ++misses;
+          continue;
+        }
+        const uint64_t elements = rng.UniformRange(2, 8);
+        op.doc = xml::MakeRandomDocument(elements, 4, rng.Next());
+        touched.insert(op.target);
+        std::vector<NewElement> dummy(op.doc.element_count(),
+                                      NewElement{0, 1});
+        ReplayIntoModel(&model, op, NewElement{}, dummy);
+      } else {
+        op.kind = PlannedOp::Kind::kDeleteSubtree;
+        op.target = pick(/*exclude_root=*/true, 60);
+        if (op.target < 0) {
+          ++misses;
+          continue;
+        }
+        if (model.SubtreeElementCount(op.target) > 12) {
+          ++misses;
+          continue;
+        }
+        // Every node of the doomed subtree must itself be eligible, or
+        // the op would interact with another op of this window.
+        bool clean = true;
+        std::vector<int> stack{op.target};
+        std::vector<int> members;
+        while (!stack.empty()) {
+          const int id = stack.back();
+          stack.pop_back();
+          if (!eligible(id)) {
+            clean = false;
+            break;
+          }
+          members.push_back(id);
+          for (int child : model.node(id).children) {
+            stack.push_back(child);
+          }
+        }
+        if (!clean) {
+          ++misses;
+          continue;
+        }
+        touched.insert(members.begin(), members.end());
+        ReplayIntoModel(&model, op, NewElement{}, {});
+      }
+      window.push_back(std::move(op));
+      misses = 0;
+    }
+    windows.push_back(std::move(window));
+  }
+  return windows;
+}
+
+// Serializes the model's shape — structure only, no LIDs — so runs with
+// different LID assignments can be compared byte-for-byte.
+std::string SerializeShape(const ModelTree& model) {
+  std::string out;
+  std::vector<int> stack{0};
+  if (model.empty()) {
+    return out;
+  }
+  while (!stack.empty()) {
+    const int id = stack.back();
+    stack.pop_back();
+    const ModelTree::Node& node = model.node(id);
+    out += '(';
+    out += std::to_string(node.children.size());
+    for (auto it = node.children.rbegin(); it != node.children.rend();
+         ++it) {
+      stack.push_back(*it);
+    }
+    out += ')';
+  }
+  return out;
+}
+
+struct SchemeFactory {
+  const char* name;
+  std::unique_ptr<LabelingScheme> (*make)(PageCache* cache);
+};
+
+std::unique_ptr<LabelingScheme> MakeWbox(PageCache* cache) {
+  return std::make_unique<WBox>(cache);
+}
+std::unique_ptr<LabelingScheme> MakeBbox(PageCache* cache) {
+  return std::make_unique<BBox>(cache);
+}
+std::unique_ptr<LabelingScheme> MakeNaive(PageCache* cache) {
+  return std::make_unique<NaiveScheme>(
+      cache, NaiveOptions{.gap_bits = 8, .count_bits = 40});
+}
+
+// Runs the whole history through `scheme` with UpdateBuffer flushes every
+// `flush_every` planned ops (0 = unbatched: plain virtual calls). Writes
+// the serialized final model shape to `shape_out`.
+void RunHistory(LabelingScheme* scheme,
+                const std::vector<std::vector<PlannedOp>>& windows,
+                size_t flush_every, std::string* shape_out) {
+  ModelTree model;
+  Bootstrap(scheme, &model);
+  if (::testing::Test::HasFatalFailure()) {
+    return;
+  }
+
+  if (flush_every == 0) {
+    for (const std::vector<PlannedOp>& window : windows) {
+      for (const PlannedOp& op : window) {
+        NewElement lids;
+        std::vector<NewElement> subtree_lids;
+        switch (op.kind) {
+          case PlannedOp::Kind::kInsert: {
+            const Lid anchor = op.before_start
+                                   ? model.node(op.target).lids.start
+                                   : model.node(op.target).lids.end;
+            StatusOr<NewElement> got = scheme->InsertElementBefore(anchor);
+            ASSERT_OK(got.status());
+            lids = *got;
+            break;
+          }
+          case PlannedOp::Kind::kDeleteElement:
+            ASSERT_OK(scheme->Delete(model.node(op.target).lids.start));
+            ASSERT_OK(scheme->Delete(model.node(op.target).lids.end));
+            break;
+          case PlannedOp::Kind::kInsertSubtree: {
+            const Lid anchor = op.before_start
+                                   ? model.node(op.target).lids.start
+                                   : model.node(op.target).lids.end;
+            ASSERT_OK(
+                scheme->InsertSubtreeBefore(anchor, op.doc, &subtree_lids));
+            break;
+          }
+          case PlannedOp::Kind::kDeleteSubtree:
+            ASSERT_OK(scheme->DeleteSubtree(model.node(op.target).lids.start,
+                                            model.node(op.target).lids.end));
+            break;
+        }
+        ReplayIntoModel(&model, op, lids, subtree_lids);
+      }
+    }
+  } else {
+    UpdateBuffer buffer(scheme, {.flush_threshold = flush_every,
+                                 .auto_flush = false});
+    struct Enqueued {
+      const PlannedOp* op;
+      UpdateBuffer::Ticket ticket = 0;
+      std::vector<NewElement>* subtree_lids = nullptr;
+    };
+    std::deque<std::vector<NewElement>> subtree_storage;
+    std::vector<Enqueued> chunk;
+    auto flush_chunk = [&]() {
+      ASSERT_OK(buffer.Flush());
+      for (const Enqueued& e : chunk) {
+        NewElement lids;
+        if (e.op->kind == PlannedOp::Kind::kInsert) {
+          ASSERT_OK_AND_ASSIGN(lids, buffer.Result(e.ticket));
+        }
+        const uint64_t before = model.total_nodes();
+        ReplayIntoModel(&model, *e.op, lids,
+                        e.subtree_lids != nullptr ? *e.subtree_lids
+                                                  : std::vector<NewElement>{});
+        for (uint64_t id = before; id < model.total_nodes(); ++id) {
+          ASSERT_NE(model.node(static_cast<int>(id)).lids.start, kInvalidLid)
+              << "node " << id << " created by op kind="
+              << static_cast<int>(e.op->kind)
+              << " subtree_lids_size="
+              << (e.subtree_lids != nullptr ? e.subtree_lids->size() : 0);
+        }
+      }
+      chunk.clear();
+      subtree_storage.clear();
+    };
+    for (const std::vector<PlannedOp>& window : windows) {
+      size_t in_chunk = 0;
+      for (const PlannedOp& op : window) {
+        Enqueued e;
+        e.op = &op;
+        ASSERT_LT(static_cast<uint64_t>(op.target), model.total_nodes())
+            << "kind=" << static_cast<int>(op.kind);
+        ASSERT_NE(model.node(op.target).lids.start, kInvalidLid)
+            << "kind=" << static_cast<int>(op.kind)
+            << " target=" << op.target
+            << " alive=" << model.node(op.target).alive;
+        switch (op.kind) {
+          case PlannedOp::Kind::kInsert: {
+            const Lid anchor = op.before_start
+                                   ? model.node(op.target).lids.start
+                                   : model.node(op.target).lids.end;
+            ASSERT_OK_AND_ASSIGN(e.ticket,
+                                 buffer.InsertElementBefore(anchor));
+            break;
+          }
+          case PlannedOp::Kind::kDeleteElement:
+            ASSERT_OK(
+                buffer.Delete(model.node(op.target).lids.start).status());
+            ASSERT_OK(
+                buffer.Delete(model.node(op.target).lids.end).status());
+            break;
+          case PlannedOp::Kind::kInsertSubtree: {
+            const Lid anchor = op.before_start
+                                   ? model.node(op.target).lids.start
+                                   : model.node(op.target).lids.end;
+            subtree_storage.emplace_back();
+            e.subtree_lids = &subtree_storage.back();
+            ASSERT_OK(
+                buffer.InsertSubtreeBefore(anchor, &op.doc, e.subtree_lids)
+                    .status());
+            break;
+          }
+          case PlannedOp::Kind::kDeleteSubtree:
+            ASSERT_OK(buffer
+                          .DeleteSubtree(model.node(op.target).lids.start,
+                                         model.node(op.target).lids.end)
+                          .status());
+            break;
+        }
+        chunk.push_back(e);
+        if (++in_chunk >= flush_every) {
+          flush_chunk();
+          if (::testing::Test::HasFatalFailure()) {
+            return;
+          }
+          in_chunk = 0;
+        }
+      }
+      flush_chunk();  // window boundaries are flush points in every run
+      if (::testing::Test::HasFatalFailure()) {
+        return;
+      }
+    }
+  }
+
+  // The run is self-consistent: label order over the final tree equals the
+  // model's tag order, and the scheme agrees on the live-label count.
+  const std::vector<Lid> order = model.TagOrder();
+  EXPECT_TRUE(LabelsStrictlyIncreasing(scheme, order));
+  StatusOr<SchemeStats> stats = scheme->GetStats();
+  EXPECT_OK(stats.status());
+  if (stats.ok()) {
+    EXPECT_EQ(stats->live_labels, order.size());
+  }
+  EXPECT_OK(scheme->CheckInvariants());
+  *shape_out = SerializeShape(model);
+}
+
+class BatchDifferentialTest : public ::testing::TestWithParam<SchemeFactory> {
+};
+
+TEST_P(BatchDifferentialTest, BatchedRunsConvergeToUnbatchedTree) {
+  const std::vector<std::vector<PlannedOp>> windows = GenerateHistory();
+  uint64_t planned = 0;
+  for (const std::vector<PlannedOp>& window : windows) {
+    planned += window.size();
+  }
+  ASSERT_GE(planned, kWindow) << "history generation starved";
+
+  std::string reference;
+  for (const size_t flush_every : {size_t{0}, size_t{64}, size_t{4096}}) {
+    TestDb db;
+    std::unique_ptr<LabelingScheme> scheme = GetParam().make(&db.cache);
+    std::string shape;
+    RunHistory(scheme.get(), windows, flush_every, &shape);
+    ASSERT_FALSE(::testing::Test::HasFatalFailure());
+    ASSERT_FALSE(shape.empty());
+    if (reference.empty()) {
+      reference = shape;
+    } else {
+      EXPECT_EQ(shape, reference)
+          << "flush granularity " << flush_every
+          << " produced a different tree";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Schemes, BatchDifferentialTest,
+    ::testing::Values(SchemeFactory{"wbox", &MakeWbox},
+                      SchemeFactory{"bbox", &MakeBbox},
+                      SchemeFactory{"naive8", &MakeNaive}),
+    [](const ::testing::TestParamInfo<SchemeFactory>& info) {
+      return std::string(info.param.name);
+    });
+
+}  // namespace
+}  // namespace boxes::testing

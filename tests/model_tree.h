@@ -28,6 +28,8 @@ class ModelTree {
 
   bool empty() const { return alive_count_ == 0; }
   uint64_t element_count() const { return alive_count_; }
+  /// Nodes ever created (valid indices for node()), alive or not.
+  uint64_t total_nodes() const { return nodes_.size(); }
 
   /// Initializes with a root element.
   int SetRoot(NewElement lids) {
