@@ -2,24 +2,43 @@
 // store, exercising the full stack: FilePageStore + superblock +
 // checkpoint/restore + the LabeledDocument facade + twig queries.
 //
-//   ./dbtool create  --db=doc.boxdb --xml=input.xml     (or --elements=N
+//   ./dbtool create   --db=doc.boxdb --xml=input.xml    (or --elements=N
 //                                                        for a generated
 //                                                        XMark document)
-//   ./dbtool inspect --db=doc.boxdb
-//   ./dbtool verify  --db=doc.boxdb
-//   ./dbtool scrub   --db=doc.boxdb [--step_pages=N]
-//   ./dbtool query   --db=doc.boxdb --twig="item[//mailbox]//text"
-//   ./dbtool export  --db=doc.boxdb --out=roundtrip.xml
+//   ./dbtool inspect  --db=doc.boxdb
+//   ./dbtool verify   --db=doc.boxdb
+//   ./dbtool scrub    --db=doc.boxdb [--step_pages=N]
+//   ./dbtool query    --db=doc.boxdb --twig="item[//mailbox]//text"
+//   ./dbtool export   --db=doc.boxdb --out=roundtrip.xml
+//   ./dbtool mutate   --db=doc.boxdb --ops=N [--flush_every=K]
+//                     [--checkpoint_interval=C] [--crash_after_flushes=F]
+//                     [--seal] [--seed=S]
+//   ./dbtool backup   --db=doc.boxdb --out=copy.boxdb
+//   ./dbtool restore  --db=doc.boxdb [--to_epoch=E]
+//   ./dbtool wal-dump --db=doc.boxdb
 //
 // The checkpoint layout is [W-BOX metadata chain head][facade registry],
-// stored behind the page-0 superblock.
+// stored behind the page-0 superblock. `mutate` writes through the durable
+// op log (storage/wal.h): every flush is acknowledged only after its
+// records are synced, so a crash — simulated by --crash_after_flushes,
+// which kills the process without any shutdown — loses nothing that was
+// acknowledged. Every open replays the log; `restore --to_epoch` bounds
+// the replay for point-in-time recovery and seals the result as a new
+// checkpoint; `backup` snapshots the database file (plus its rollback
+// journal) without quiescing writers, because any byte-level moment of
+// the pair is a recoverable crash image.
 
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <memory>
 #include <sstream>
 #include <string>
+#include <utility>
+#include <vector>
 
+#include "core/common/update_buffer.h"
 #include "core/wbox/wbox.h"
 #include "doc/labeled_document.h"
 #include "query/structural_join.h"
@@ -28,7 +47,9 @@
 #include "storage/page_cache.h"
 #include "storage/page_store.h"
 #include "storage/scrubber.h"
+#include "storage/wal.h"
 #include "util/flags.h"
+#include "util/random.h"
 #include "xml/writer.h"
 #include "xml/xmark.h"
 
@@ -48,18 +69,42 @@ struct Db {
   std::unique_ptr<PageCache> cache;
   std::unique_ptr<WBox> wbox;
   std::unique_ptr<LabeledDocument> doc;
+  /// What RecoverWithWal found at open time (OpenDb only).
+  WalRecoveryResult recovered;
 };
+
+/// Elements created by `mutate` (and re-created by replay) all carry this
+/// tag: the op log records structure, not tag text, so replay adoption
+/// could not recover a per-element tag anyway.
+constexpr char kMutatedTag[] = "m";
+
+/// Builds the [scheme head][registry] checkpoint chain — the layout
+/// OpenDb restores. Used both by SaveDb and as the WalPipeline's
+/// checkpoint builder. (Like SaveDb, the superseded *scheme* chain is
+/// left behind — scrub-visible garbage pages, not corruption.)
+StatusOr<PageId> BuildDbCheckpoint(Db* db) {
+  BOXES_ASSIGN_OR_RETURN(const PageId scheme_head, db->wbox->Checkpoint());
+  MetadataWriter writer;
+  writer.PutU64(scheme_head);
+  db->doc->SaveState(&writer);
+  return writer.Finish(db->cache.get());
+}
+
+/// Restores scheme + registry from a checkpoint chain head.
+Status RestoreDbCheckpoint(Db* db, PageId head) {
+  BOXES_ASSIGN_OR_RETURN(MetadataReader reader,
+                         MetadataReader::Load(db->cache.get(), head));
+  BOXES_ASSIGN_OR_RETURN(const uint64_t scheme_head, reader.GetU64());
+  BOXES_RETURN_IF_ERROR(db->wbox->Restore(scheme_head));
+  return db->doc->LoadState(&reader);
+}
 
 Status SaveDb(Db* db) {
   // Persist scheme + registry, durably commit the new checkpoint, and only
   // then reclaim the superseded chain — a crash mid-save keeps the old
   // checkpoint loadable.
   StatusOr<PageId> old_head = LoadCheckpointHead(db->cache.get());
-  BOXES_ASSIGN_OR_RETURN(const PageId scheme_head, db->wbox->Checkpoint());
-  MetadataWriter writer;
-  writer.PutU64(scheme_head);
-  db->doc->SaveState(&writer);
-  BOXES_ASSIGN_OR_RETURN(const PageId head, writer.Finish(db->cache.get()));
+  BOXES_ASSIGN_OR_RETURN(const PageId head, BuildDbCheckpoint(db));
   BOXES_RETURN_IF_ERROR(CommitCheckpoint(db->cache.get(), head));
   if (old_head.ok()) {
     BOXES_RETURN_IF_ERROR(FreeMetadataChain(db->cache.get(), *old_head));
@@ -67,7 +112,10 @@ Status SaveDb(Db* db) {
   return db->cache->FlushAll();
 }
 
-Db OpenDb(const std::string& path) {
+/// Every open is a recovery: journal rollback (inside Mode::kOpen), last
+/// committed checkpoint, then op-log replay of the acknowledged batches.
+/// `to_batch` bounds the replay for point-in-time restores.
+Db OpenDb(const std::string& path, uint64_t to_batch = UINT64_MAX) {
   Db db;
   db.store = std::make_unique<FilePageStore>(path, kDefaultPageSize,
                                              FilePageStore::Mode::kOpen);
@@ -75,15 +123,30 @@ Db OpenDb(const std::string& path) {
   db.cache = std::make_unique<PageCache>(db.store.get());
   db.wbox = std::make_unique<WBox>(db.cache.get());
   db.doc = std::make_unique<LabeledDocument>(db.wbox.get());
-  StatusOr<PageId> head = LoadCheckpointHead(db.cache.get());
-  DieOnError(head.status(), "load checkpoint");
-  StatusOr<MetadataReader> reader =
-      MetadataReader::Load(db.cache.get(), *head);
-  DieOnError(reader.status(), "read checkpoint");
-  StatusOr<uint64_t> scheme_head = reader->GetU64();
-  DieOnError(scheme_head.status(), "read scheme head");
-  DieOnError(db.wbox->Restore(*scheme_head), "restore scheme");
-  DieOnError(db.doc->LoadState(&*reader), "restore registry");
+  WalReplayOptions bounds;
+  bounds.to_batch = to_batch;
+  Db* dbp = &db;
+  StatusOr<WalRecoveryResult> recovered = RecoverWithWal(
+      db.cache.get(), db.wbox.get(),
+      [dbp](PageId head) { return RestoreDbCheckpoint(dbp, head); }, bounds,
+      nullptr, [dbp](const BatchOp& op) {
+        // Adopt what replay re-created, so the registry keeps covering
+        // every scheme label. dbtool mutate logs element inserts only.
+        if (op.kind == BatchOp::Kind::kInsertElementBefore ||
+            op.kind == BatchOp::Kind::kInsertFirstElement) {
+          dbp->doc->AdoptElement(kMutatedTag, op.result);
+        }
+      });
+  DieOnError(recovered.status(), "recover");
+  db.recovered = std::move(recovered).value();
+  if (db.recovered.replay.batches_replayed > 0 ||
+      db.recovered.replay.torn_tail) {
+    std::printf(
+        "recovery      : replayed %llu batch(es) / %llu op(s)%s\n",
+        static_cast<unsigned long long>(db.recovered.replay.batches_replayed),
+        static_cast<unsigned long long>(db.recovered.replay.ops_replayed),
+        db.recovered.replay.torn_tail ? ", torn tail discarded" : "");
+  }
   return db;
 }
 
@@ -265,13 +328,241 @@ int CmdExport(const std::string& path, const std::string& out_path) {
   return 0;
 }
 
+int CmdMutate(const std::string& path, int64_t ops, int64_t seed,
+              int64_t flush_every, int64_t checkpoint_interval,
+              int64_t crash_after_flushes, bool seal) {
+  Db db = OpenDb(path);
+  WalPipelineOptions wal_options;
+  wal_options.checkpoint_interval =
+      checkpoint_interval > 0 ? static_cast<uint64_t>(checkpoint_interval)
+                              : 0;
+  WalPipeline pipeline(db.cache.get(), db.wbox.get(), wal_options);
+  Db* dbp = &db;
+
+  UpdateBufferOptions buffer_options;
+  buffer_options.auto_flush = false;
+  UpdateBuffer buffer(db.wbox.get(), buffer_options);
+
+  StatusOr<std::vector<LabeledDocument::ElementHandle>> handles =
+      db.doc->HandlesInDocumentOrder();
+  DieOnError(handles.status(), "handles");
+  std::vector<LabeledDocument::ElementHandle> live = std::move(*handles);
+
+  Random rng(static_cast<uint64_t>(seed));
+  const size_t batch_size =
+      flush_every > 0 ? static_cast<size_t>(flush_every) : 16;
+  uint64_t flushes = 0;
+  uint64_t acked = 0;
+  std::vector<UpdateBuffer::Ticket> tickets;
+
+  // Registers the just-flushed batch's elements with the handle registry.
+  // Idempotent per batch (tickets are consumed).
+  auto adopt_flushed = [&]() {
+    for (const UpdateBuffer::Ticket ticket : tickets) {
+      StatusOr<NewElement> result = buffer.Result(ticket);
+      DieOnError(result.status(), "result");
+      live.push_back(db.doc->AdoptElement(kMutatedTag, *result));
+    }
+    tickets.clear();
+  };
+  pipeline.SetCheckpointBuilder([&, dbp] {
+    // An interval checkpoint fires inside Flush(), after the batch's
+    // results are published but before the flush loop below has adopted
+    // them. Adopt first: the serialized registry must cover every element
+    // the serialized scheme holds, including the current batch.
+    adopt_flushed();
+    return BuildDbCheckpoint(dbp);
+  });
+  DieOnError(pipeline.InitFromRecovery(db.recovered), "wal init");
+  pipeline.Attach(&buffer);
+
+  auto flush_now = [&]() {
+    const uint64_t batch_ops = tickets.size();
+    DieOnError(buffer.Flush(), "flush");
+    // Flush returned OK: the batch is in the synced log AND applied —
+    // this is the acknowledgement point the no-loss contract protects.
+    ++flushes;
+    acked += batch_ops;
+    std::printf("flush %llu: acked_ops=%llu\n",
+                static_cast<unsigned long long>(flushes),
+                static_cast<unsigned long long>(acked));
+    if (crash_after_flushes > 0 &&
+        flushes >= static_cast<uint64_t>(crash_after_flushes)) {
+      std::fprintf(stderr,
+                   "simulated crash after flush %llu (no shutdown, no "
+                   "checkpoint)\n",
+                   static_cast<unsigned long long>(flushes));
+      std::fflush(stdout);
+      // Die like a power cut: no destructors, no cache flush, no
+      // checkpoint. Everything acknowledged above must survive.
+      std::_Exit(3);
+    }
+    adopt_flushed();
+  };
+
+  for (int64_t i = 0; i < ops; ++i) {
+    if (live.empty()) {
+      // Bootstrap flushes alone: later ops need a live anchor LID, which
+      // only exists once the first element's batch has applied.
+      StatusOr<UpdateBuffer::Ticket> first = buffer.InsertFirstElement();
+      DieOnError(first.status(), "enqueue");
+      tickets.push_back(*first);
+      flush_now();
+      continue;
+    }
+    // Insert a new last child under a random live element (inserting
+    // before an end label makes the new element that element's last
+    // child). Anchors are always already-flushed elements.
+    const LabeledDocument::ElementHandle parent =
+        live[rng.Uniform(live.size())];
+    StatusOr<UpdateBuffer::Ticket> ticket =
+        buffer.InsertElementBefore(db.doc->lids(parent).end);
+    DieOnError(ticket.status(), "enqueue");
+    tickets.push_back(*ticket);
+    if (tickets.size() >= batch_size || i + 1 == ops) {
+      flush_now();
+    }
+  }
+  if (seal) {
+    DieOnError(pipeline.CheckpointNow(), "seal checkpoint");
+  }
+  std::printf(
+      "mutated %s: %llu op(s) in %llu flush(es), %llu elements now; %s\n",
+      path.c_str(), static_cast<unsigned long long>(acked),
+      static_cast<unsigned long long>(flushes),
+      static_cast<unsigned long long>(db.doc->element_count()),
+      seal ? "sealed by a checkpoint"
+           : "tail lives in the op log (next open replays it)");
+  return 0;
+}
+
+bool CopyWholeFile(const std::string& from, const std::string& to) {
+  std::ifstream in(from, std::ios::binary | std::ios::ate);
+  if (!in) {
+    return false;
+  }
+  const std::streamsize size = in.tellg();
+  in.seekg(0);
+  std::ofstream out(to, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return false;
+  }
+  if (size > 0) {
+    // Guarded: inserting an empty streambuf sets failbit even though an
+    // empty source (e.g. a just-truncated journal) is a valid copy.
+    out << in.rdbuf();
+  }
+  return out.good();
+}
+
+int CmdBackup(const std::string& path, const std::string& out_path) {
+  // A backup is a crash image: database file + rollback journal, copied
+  // byte-for-byte at an arbitrary moment, no quiescing. Opening the copy
+  // runs the exact crash-recovery path — journal rollback to the
+  // committed checkpoint, then op-log replay of every acknowledged
+  // batch — which the crash sweep proves lossless at every write
+  // boundary; a mid-copy torn batch is dropped cleanly like any torn
+  // tail.
+  if (!CopyWholeFile(path, out_path)) {
+    std::fprintf(stderr, "cannot copy %s to %s\n", path.c_str(),
+                 out_path.c_str());
+    return 1;
+  }
+  const std::string journal = path + ".journal";
+  const std::string out_journal = out_path + ".journal";
+  // A stale journal from an older copy would roll the fresh copy back to
+  // the wrong state; drop it before deciding whether the source has one.
+  std::remove(out_journal.c_str());
+  std::ifstream journal_in(journal, std::ios::binary);
+  if (journal_in) {
+    journal_in.close();
+    if (!CopyWholeFile(journal, out_journal)) {
+      std::fprintf(stderr, "cannot copy %s to %s\n", journal.c_str(),
+                   out_journal.c_str());
+      return 1;
+    }
+  }
+  // Verify the copy end-to-end by recovering it (read-only: nothing is
+  // checkpointed, so the copy stays restorable as taken).
+  Db db = OpenDb(out_path);
+  DieOnError(db.doc->CheckConsistency(), "verify backup");
+  std::printf(
+      "backup %s -> %s: verified, %llu elements after recovery "
+      "(%llu batch(es) replayed)\n",
+      path.c_str(), out_path.c_str(),
+      static_cast<unsigned long long>(db.doc->element_count()),
+      static_cast<unsigned long long>(db.recovered.replay.batches_replayed));
+  return 0;
+}
+
+int CmdRestore(const std::string& path, int64_t to_epoch) {
+  const uint64_t to_batch =
+      to_epoch >= 0 ? static_cast<uint64_t>(to_epoch) : UINT64_MAX;
+  Db db = OpenDb(path, to_batch);
+  // Seal the restored state as the new checkpoint and truncate the log.
+  // Mandatory after a bounded restore: the batches beyond the bound are
+  // still on disk, and without a new checkpoint covering (and burning)
+  // their ids, the next open would replay them right back in.
+  WalPipeline pipeline(db.cache.get(), db.wbox.get(), WalPipelineOptions{});
+  Db* dbp = &db;
+  pipeline.SetCheckpointBuilder([dbp] { return BuildDbCheckpoint(dbp); });
+  DieOnError(pipeline.InitFromRecovery(db.recovered), "wal init");
+  DieOnError(pipeline.CheckpointNow(), "seal checkpoint");
+  DieOnError(db.doc->CheckConsistency(), "verify");
+  const WalReplayStats& replay = db.recovered.replay;
+  std::printf(
+      "restored %s%s: %llu elements, replayed %llu batch(es), "
+      "%llu beyond the bound discarded%s\n",
+      path.c_str(),
+      to_epoch >= 0 ? (" to epoch " + std::to_string(to_epoch)).c_str() : "",
+      static_cast<unsigned long long>(db.doc->element_count()),
+      static_cast<unsigned long long>(replay.batches_replayed),
+      static_cast<unsigned long long>(replay.batches_beyond_bound),
+      replay.torn_tail ? " (torn tail dropped)" : "");
+  return 0;
+}
+
+int CmdWalDump(const std::string& path) {
+  FilePageStore store(path, kDefaultPageSize, FilePageStore::Mode::kOpen);
+  DieOnError(store.status(), "open");
+  PageCache cache(&store);
+  StatusOr<SuperblockInfo> info = LoadSuperblock(&cache);
+  DieOnError(info.status(), "superblock");
+  std::printf("superblock    : sequence=%llu wal_mark=%llu checkpoint=%s\n",
+              static_cast<unsigned long long>(info->sequence),
+              static_cast<unsigned long long>(info->wal_mark),
+              info->head == kInvalidPageId ? "none" : "present");
+  StatusOr<WalScan> scan = ScanWal(&store);
+  DieOnError(scan.status(), "scan");
+  std::printf("op log        : %llu page(s) in %llu scanned "
+              "(%llu unreadable)\n",
+              static_cast<unsigned long long>(scan->wal_pages),
+              static_cast<unsigned long long>(scan->scanned_pages),
+              static_cast<unsigned long long>(scan->unreadable_pages));
+  for (const WalBatch& batch : scan->batches) {
+    const char* verdict = batch.generation < info->sequence ? "stale"
+                          : batch.complete                  ? "replayable"
+                                                            : "torn";
+    std::printf("  batch %llu attempt %u gen %llu: %zu op(s) in %zu "
+                "page(s) [%s]\n",
+                static_cast<unsigned long long>(batch.batch_id),
+                batch.attempt,
+                static_cast<unsigned long long>(batch.generation),
+                batch.records.size(), batch.pages.size(), verdict);
+  }
+  if (scan->batches.empty()) {
+    std::printf("  (op log empty)\n");
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: dbtool <create|inspect|verify|scrub|query|export> "
-                 "[flags]\n");
+                 "usage: dbtool <create|inspect|verify|scrub|query|export|"
+                 "mutate|backup|restore|wal-dump> [flags]\n");
     return 1;
   }
   const std::string command = argv[1];
@@ -285,6 +576,21 @@ int main(int argc, char** argv) {
       flags.AddInt64("elements", 20000, "generated document size");
   int64_t* step_pages =
       flags.AddInt64("step_pages", 64, "pages verified per scrub step");
+  int64_t* ops = flags.AddInt64("ops", 1000, "mutate: ops to apply");
+  int64_t* seed = flags.AddInt64("seed", 42, "mutate: RNG seed");
+  int64_t* flush_every =
+      flags.AddInt64("flush_every", 16, "mutate: ops per flush (batch)");
+  int64_t* checkpoint_interval = flags.AddInt64(
+      "checkpoint_interval", 64,
+      "mutate: flushes per checkpoint+truncation (0 = never)");
+  int64_t* crash_after_flushes = flags.AddInt64(
+      "crash_after_flushes", 0,
+      "mutate: _Exit(3) right after this many acknowledged flushes");
+  bool* seal = flags.AddBool(
+      "seal", false, "mutate: checkpoint+truncate at exit");
+  int64_t* to_epoch = flags.AddInt64(
+      "to_epoch", -1,
+      "restore: replay only flushes 1..E (point in time); -1 = all");
   if (!flags.Parse(argc - 1, argv + 1)) {
     return 1;
   }
@@ -305,6 +611,19 @@ int main(int argc, char** argv) {
   }
   if (command == "export") {
     return CmdExport(*db_path, *out);
+  }
+  if (command == "mutate") {
+    return CmdMutate(*db_path, *ops, *seed, *flush_every,
+                     *checkpoint_interval, *crash_after_flushes, *seal);
+  }
+  if (command == "backup") {
+    return CmdBackup(*db_path, *out);
+  }
+  if (command == "restore") {
+    return CmdRestore(*db_path, *to_epoch);
+  }
+  if (command == "wal-dump") {
+    return CmdWalDump(*db_path);
   }
   std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
   return 1;

@@ -188,6 +188,11 @@ Status LabelingScheme::ApplyBatchOp(BatchOp* op) {
 Status LabelingScheme::ApplyBatch(std::vector<BatchOp>* ops,
                                   BatchStats* stats) {
   SortBatchByLocality(ops, stats);
+  return ReplayBatch(ops, stats);
+}
+
+Status LabelingScheme::ReplayBatch(std::vector<BatchOp>* ops,
+                                   BatchStats* stats) {
   for (BatchOp& op : *ops) {
     BOXES_RETURN_IF_ERROR(ApplyBatchOp(&op));
     if (stats != nullptr) {

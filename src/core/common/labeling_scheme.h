@@ -196,6 +196,23 @@ class LabelingScheme {
   /// the batch's relabel passes into one preemptive RelabelAll).
   virtual Status ApplyBatch(std::vector<BatchOp>* ops, BatchStats* stats);
 
+  /// ApplyBatch minus the locality sort: applies `ops` exactly in the
+  /// given order. This is the op-log replay hook — WAL records are written
+  /// in post-sort apply order, and recovery must reproduce that order
+  /// bit-for-bit (re-sorting at replay would key on page ids that differ
+  /// after a crash, permuting the batch and handing out different LIDs
+  /// than the pre-crash run acknowledged). Scheme batch-wide optimizations
+  /// live here, not in ApplyBatch, so replayed batches get the identical
+  /// treatment (W-BOX's deferred rebuild check, naive-k's preemptive
+  /// relabel coalescing — both are order-insensitive, so the sorted live
+  /// path and the pre-sorted replay path stay state-equivalent).
+  virtual Status ReplayBatch(std::vector<BatchOp>* ops, BatchStats* stats);
+
+  /// The locality sort on its own (see ApplyBatch): public so the write
+  /// pipeline can fix the apply order *before* logging the batch, then let
+  /// ApplyBatch's second (stable, equal-keyed) sort act as the identity.
+  void SortBatchByLocality(std::vector<BatchOp>* ops, BatchStats* stats);
+
   /// The scheme's LIDF, or nullptr for schemes that do not maintain one.
   /// Lets generic code (the default DeleteSubtree, the batch drivers)
   /// reason about record placement without knowing the concrete scheme.
@@ -259,10 +276,8 @@ class LabelingScheme {
   /// the anchor's record lives in, naive-k by the anchor's LIDF page.
   virtual uint64_t BatchLocalityKey(const BatchOp& op);
 
-  /// The default ApplyBatch's two halves, reusable by scheme overrides:
-  /// SortBatchByLocality reorders `ops` (counting moves in
-  /// stats->reordered), ApplyBatchOp dispatches one op to the virtuals.
-  void SortBatchByLocality(std::vector<BatchOp>* ops, BatchStats* stats);
+  /// Dispatches one batch op to the virtuals; the unit step of the default
+  /// ReplayBatch, reusable by scheme overrides.
   Status ApplyBatchOp(BatchOp* op);
 
   UpdateListener* listener_ = nullptr;

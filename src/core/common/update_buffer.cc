@@ -1,5 +1,7 @@
 #include "core/common/update_buffer.h"
 
+#include <cstdio>
+#include <cstdlib>
 #include <utility>
 
 #include "core/common/epoch_guard.h"
@@ -10,6 +12,25 @@ namespace boxes {
 UpdateBuffer::UpdateBuffer(LabelingScheme* scheme,
                            UpdateBufferOptions options)
     : scheme_(scheme), options_(options) {}
+
+UpdateBuffer::~UpdateBuffer() {
+  if (pending_.empty()) {
+    return;
+  }
+  std::fprintf(stderr,
+               "UpdateBuffer destroyed with %zu buffered unflushed op(s); "
+               "they were never applied or made durable\n",
+               pending_.size());
+#ifndef NDEBUG
+  std::abort();
+#else
+  MetricsRegistry* metrics =
+      scheme_ != nullptr ? scheme_->metrics() : nullptr;
+  if (metrics != nullptr) {
+    metrics->IncrementCounter("buffer.dropped_ops", pending_.size());
+  }
+#endif
+}
 
 StatusOr<UpdateBuffer::Ticket> UpdateBuffer::Enqueue(BatchOp op) {
   const Ticket ticket = results_.size();
@@ -83,6 +104,17 @@ Status UpdateBuffer::Flush() {
   const uint64_t syncs_before =
       metrics != nullptr ? metrics->CounterValue("file_store.sync_calls") : 0;
   BatchStats stats;
+  if (durability_hook_) {
+    // Fix the apply order now (ApplyBatch's own stable sort then acts as
+    // the identity: same keys, already in order) and log it. Only after
+    // the log is durable may the batch touch the structure — that is what
+    // turns "Flush returned OK" into "these ops survive any crash". On
+    // error everything stays pending and unacknowledged; Flush may be
+    // retried once the fault clears (replay dedupes by batch id, so a
+    // batch logged twice by such a retry applies once).
+    scheme_->SortBatchByLocality(&pending_, &stats);
+    BOXES_RETURN_IF_ERROR(durability_hook_(pending_));
+  }
   Status status;
   {
     // The whole batch — application AND the group commit — is one write

@@ -48,6 +48,15 @@ class UpdateBuffer {
  public:
   using Ticket = uint64_t;
 
+  /// Runs *before* the batch applies, with the batch already in its final
+  /// apply order (the locality sort happens first, so the hook logs the
+  /// exact order recovery will replay). This is the ack ⇒ durable point:
+  /// append the batch to the op log and pay its one fdatasync here. On
+  /// error the flush aborts with the pending set intact — nothing was
+  /// applied, nothing was acknowledged, and the caller may retry Flush()
+  /// once the fault clears.
+  using DurabilityHook = std::function<Status(const std::vector<BatchOp>&)>;
+
   /// Runs inside the batch's write epoch, after every op applied. This is
   /// the group-commit point: make the batch durable here (one checkpoint
   /// commit) so readers can never observe committed-but-volatile state.
@@ -61,9 +70,19 @@ class UpdateBuffer {
   explicit UpdateBuffer(LabelingScheme* scheme,
                         UpdateBufferOptions options = {});
 
+  /// Destroying a buffer that still holds unflushed ops silently loses
+  /// work the caller enqueued (but was never promised durability for —
+  /// only flushed ops are acknowledged). It is almost always a bug, so it
+  /// fails loudly: abort in debug builds; in release builds, log to stderr
+  /// and count the loss under "buffer.dropped_ops".
+  ~UpdateBuffer();
+
   UpdateBuffer(const UpdateBuffer&) = delete;
   UpdateBuffer& operator=(const UpdateBuffer&) = delete;
 
+  void SetDurabilityHook(DurabilityHook hook) {
+    durability_hook_ = std::move(hook);
+  }
   void SetCommitHook(CommitHook hook) { commit_hook_ = std::move(hook); }
   void SetPostApplyHook(PostApplyHook hook) {
     post_apply_hook_ = std::move(hook);
@@ -103,6 +122,7 @@ class UpdateBuffer {
 
   LabelingScheme* scheme_;  // not owned
   const UpdateBufferOptions options_;
+  DurabilityHook durability_hook_;
   CommitHook commit_hook_;
   PostApplyHook post_apply_hook_;
 

@@ -58,7 +58,7 @@ class NaiveScheme : public LabelingScheme {
   /// and, if any exist, runs ONE preemptive RelabelAll for the whole batch
   /// instead of letting each exhausted anchor trigger its own full-file
   /// relabel mid-batch (the scheme's dominant cost).
-  Status ApplyBatch(std::vector<BatchOp>* ops, BatchStats* stats) override;
+  Status ReplayBatch(std::vector<BatchOp>* ops, BatchStats* stats) override;
   StatusOr<SchemeStats> GetStats() override;
   Status CheckInvariants() override;
 

@@ -74,7 +74,7 @@ class WBox : public LabelingScheme {
   /// Batch application with the global-rebuild check deferred to the end
   /// of the batch: a delete-heavy batch checks the tombstone ratio once
   /// instead of per delete, so at most one rebuild serves the whole batch.
-  Status ApplyBatch(std::vector<BatchOp>* ops, BatchStats* stats) override;
+  Status ReplayBatch(std::vector<BatchOp>* ops, BatchStats* stats) override;
   bool SupportsOrdinal() const override { return options_.maintain_ordinal; }
   StatusOr<uint64_t> OrdinalLookup(Lid lid) override;
   StatusOr<SchemeStats> GetStats() override;
@@ -281,7 +281,7 @@ class WBox : public LabelingScheme {
   std::unordered_map<Lid, PageId> moved_in_op_;
 
   /// While a batch is applying, Delete records that a rebuild check is due
-  /// instead of running MaybeGlobalRebuild per op; ApplyBatch settles the
+  /// instead of running MaybeGlobalRebuild per op; ReplayBatch settles the
   /// debt once at the end of the batch.
   bool defer_rebuild_check_ = false;
   bool rebuild_check_pending_ = false;

@@ -290,6 +290,16 @@ Status LabeledDocument::CheckConsistency() {
   if (doc.element_count() != alive_count_) {
     return Status::Corruption("handle registry disagrees with the labels");
   }
+  // Coverage in the other direction: every live scheme label must belong
+  // to some registered element (two labels each). Without this check a
+  // registry that lags the scheme — e.g. a checkpoint serialized before
+  // the last batch's results were adopted — reconstructs a smaller tree
+  // that still nests perfectly and passes everything above.
+  BOXES_ASSIGN_OR_RETURN(const SchemeStats stats, scheme_->GetStats());
+  if (stats.live_labels != 2 * alive_count_) {
+    return Status::Corruption(
+        "scheme holds live labels the handle registry does not cover");
+  }
   return Status::OK();
 }
 

@@ -59,6 +59,16 @@ class LabeledDocument {
   StatusOr<ElementHandle> PasteFragment(ElementHandle parent,
                                         const xml::Document& fragment);
 
+  /// Registers an element that was created *outside* the facade — op-log
+  /// replay re-applies inserts at the scheme level and hands their LIDs
+  /// back through the replay observer; adopting them here is what keeps
+  /// the handle registry covering every scheme label after recovery
+  /// (CheckConsistency demands exactly that). The caller owns the claim
+  /// that `lids` really is a live start/end pair.
+  ElementHandle AdoptElement(std::string tag, const NewElement& lids) {
+    return Register(std::move(tag), lids);
+  }
+
   /// Removes one element; its children become children of its parent.
   Status Erase(ElementHandle handle);
 

@@ -217,6 +217,15 @@ void Lidf::SaveState(MetadataWriter* writer) const {
     }
   }
   writer->PutBytes(bitmap.data(), bitmap.size());
+  // The free list in allocation order. The bitmap already determines its
+  // *membership* (dead lids below the cursor are exactly the reusable
+  // ones), but Allocate() pops LIFO — so reproducing the original LID
+  // assignment after a restore (op-log replay must hand out the same LIDs
+  // the pre-crash run acknowledged) requires the order too.
+  writer->PutU64(free_list_.size());
+  for (Lid lid : free_list_) {
+    writer->PutU64(lid);
+  }
 }
 
 Status Lidf::LoadState(MetadataReader* reader) {
@@ -252,13 +261,35 @@ Status Lidf::LoadState(MetadataReader* reader) {
   live_.assign(next_unused_, false);
   free_list_.clear();
   live_count_ = 0;
+  uint64_t dead = 0;
   for (Lid lid = 0; lid < next_unused_; ++lid) {
     if ((bitmap[lid / 8] >> (lid % 8)) & 1u) {
       live_[lid] = true;
       ++live_count_;
     } else {
-      free_list_.push_back(lid);
+      ++dead;
     }
+  }
+  // The ordered free list follows; it must agree with the bitmap exactly
+  // (same membership, no duplicates) or the checkpoint is corrupt.
+  BOXES_ASSIGN_OR_RETURN(const uint64_t free_count, reader->GetU64());
+  if (free_count != dead) {
+    next_unused_ = 0;
+    return Status::Corruption("LIDF free list disagrees with the bitmap");
+  }
+  free_list_.reserve(free_count);
+  std::vector<bool> seen(next_unused_, false);
+  for (uint64_t i = 0; i < free_count; ++i) {
+    BOXES_ASSIGN_OR_RETURN(const Lid lid, reader->GetU64());
+    if (lid >= next_unused_ || live_[lid] || seen[lid]) {
+      next_unused_ = 0;
+      free_list_.clear();
+      return Status::Corruption("LIDF free list entry " +
+                                std::to_string(lid) +
+                                " is live, duplicate, or out of range");
+    }
+    seen[lid] = true;
+    free_list_.push_back(lid);
   }
   return Status::OK();
 }

@@ -163,7 +163,7 @@ Status InitializeSuperblock(PageCache* cache) {
   return Status::OK();
 }
 
-Status CommitCheckpoint(PageCache* cache, PageId head) {
+Status CommitCheckpoint(PageCache* cache, PageId head, uint64_t wal_mark) {
   // 1. The chain (and every dirty data page) must be durable before the
   // commit record can point at it.
   BOXES_RETURN_IF_ERROR(cache->FlushAll());
@@ -177,8 +177,11 @@ Status CommitCheckpoint(PageCache* cache, PageId head) {
     return Status::Corruption("superblock holds no valid commit record");
   }
   const uint64_t sequence = active.sequence + 1;
+  const uint64_t mark =
+      wal_mark == kPreserveWalMark ? active.wal_mark : wal_mark;
   superblock::EncodeSlot(
-      data + (1 - active_index) * superblock::kSlotSize, sequence, head);
+      data + (1 - active_index) * superblock::kSlotSize, sequence, head,
+      mark);
   // 3. Persist the flip; only page 0 is dirty at this point.
   BOXES_RETURN_IF_ERROR(cache->FlushAll());
   BOXES_RETURN_IF_ERROR(cache->store()->Sync());
@@ -197,6 +200,19 @@ StatusOr<PageId> LoadCheckpointHead(PageCache* cache) {
     return Status::NotFound("no checkpoint recorded");
   }
   return active.head;
+}
+
+StatusOr<SuperblockInfo> LoadSuperblock(PageCache* cache) {
+  BOXES_ASSIGN_OR_RETURN(uint8_t* data, cache->GetPage(0));
+  superblock::Slot active;
+  if (superblock::PickActiveSlot(data, &active) < 0) {
+    return Status::Corruption("superblock holds no valid commit record");
+  }
+  SuperblockInfo info;
+  info.sequence = active.sequence;
+  info.head = active.head;
+  info.wal_mark = active.wal_mark;
+  return info;
 }
 
 }  // namespace boxes

@@ -69,6 +69,10 @@ Status FreeMetadataChain(PageCache* cache, PageId head);
 /// be the very first allocation on a fresh store.
 Status InitializeSuperblock(PageCache* cache);
 
+/// `wal_mark` value for CommitCheckpoint meaning "carry the active slot's
+/// mark forward unchanged" — what every caller without an op log wants.
+inline constexpr uint64_t kPreserveWalMark = UINT64_MAX;
+
 /// Atomically publishes `head` as the current checkpoint:
 ///   1. flush + Sync — the chain (and all data pages) become durable;
 ///   2. encode the inactive superblock slot with the next sequence number;
@@ -76,12 +80,30 @@ Status InitializeSuperblock(PageCache* cache);
 ///   4. PageStore::CommitEpoch — pre-images of the previous epoch retire.
 /// A crash before step 3 completes recovers the previous checkpoint; after,
 /// the new one. The caller frees the superseded chain *after* this returns.
-Status CommitCheckpoint(PageCache* cache, PageId head);
+///
+/// `wal_mark`, when not kPreserveWalMark, is recorded in the new slot: the
+/// id of the first op-log batch this checkpoint does NOT cover (see
+/// storage/wal.h). Callers without an op log keep the default.
+Status CommitCheckpoint(PageCache* cache, PageId head,
+                        uint64_t wal_mark = kPreserveWalMark);
 
 /// Reads the checkpoint chain head from the active superblock slot;
 /// NotFound if the database holds no checkpoint yet, Corruption if neither
 /// slot decodes.
 StatusOr<PageId> LoadCheckpointHead(PageCache* cache);
+
+/// The active superblock commit record: checkpoint sequence (the store
+/// epoch / WAL generation), chain head (kInvalidPageId when no checkpoint
+/// has been written yet), and the WAL mark. Corruption if neither slot
+/// decodes. Unlike LoadCheckpointHead, a missing checkpoint is not an
+/// error — recovery of a never-checkpointed database replays the whole op
+/// log onto an empty scheme.
+struct SuperblockInfo {
+  uint64_t sequence = 0;
+  PageId head = kInvalidPageId;
+  uint64_t wal_mark = 1;
+};
+StatusOr<SuperblockInfo> LoadSuperblock(PageCache* cache);
 
 }  // namespace boxes
 

@@ -139,6 +139,14 @@ Status LatencyPageStore::Write(PageId id, const uint8_t* buf) {
   return base_->Write(id, buf);
 }
 
+Status LatencyPageStore::WriteUnjournaled(PageId id, const uint8_t* buf) {
+  const uint64_t us = write_latency_us();
+  if (us > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(us));
+  }
+  return base_->WriteUnjournaled(id, buf);
+}
+
 namespace {
 
 // Journal record: [epoch(8) | page id(8) | physical frame | crc(4)], where
@@ -437,6 +445,20 @@ Status FilePageStore::Write(PageId id, const uint8_t* buf) {
   return WriteFrameBytes(id, buf, frame_size());
 }
 
+Status FilePageStore::WriteUnjournaled(PageId id, const uint8_t* buf) {
+  if (!status_.ok()) {
+    return status_;
+  }
+  if (id >= total_pages_ || !live_[id]) {
+    return Status::InvalidArgument("page " + std::to_string(id) +
+                                   " is not allocated");
+  }
+  // Deliberately no MaybeJournal: the caller vouches that no committed
+  // checkpoint references this page, so crash rollback must leave its
+  // newest synced content in place (op-log appends live or die by this).
+  return WriteFrameBytes(id, buf, frame_size());
+}
+
 Status FilePageStore::WriteTorn(PageId id, const uint8_t* buf,
                                 size_t prefix) {
   if (!status_.ok()) {
@@ -578,13 +600,16 @@ Status FaultInjectionPageStore::Read(PageId id, uint8_t* buf) {
   return base_->Read(id, buf);
 }
 
-Status FaultInjectionPageStore::Write(PageId id, const uint8_t* buf) {
+Status FaultInjectionPageStore::WriteImpl(PageId id, const uint8_t* buf,
+                                          bool journaled) {
   // Crash-point mode: the Nth *committed* write is the crash frontier —
   // optionally torn, never completed — and the disk is frozen from then
   // on. Probabilistic faults compose but yield precedence: a write they
   // eat never reached the device, so it does not advance the crash
   // countdown, and after the freeze they stop tearing pages (the
   // post-crash image must stay bit-stable for recovery to examine).
+  // Unjournaled writes (op-log appends) share the countdown: they are
+  // first-class crash points.
   if (!crashed_ && crash_after_writes_ != UINT64_MAX &&
       writes_until_crash_ == 0) {
     crashed_ = true;
@@ -605,9 +630,19 @@ Status FaultInjectionPageStore::Write(PageId id, const uint8_t* buf) {
   if (crash_after_writes_ != UINT64_MAX) {
     --writes_until_crash_;
   }
-  BOXES_RETURN_IF_ERROR(base_->Write(id, buf));
+  BOXES_RETURN_IF_ERROR(journaled ? base_->Write(id, buf)
+                                  : base_->WriteUnjournaled(id, buf));
   ++writes_committed_;
   return Status::OK();
+}
+
+Status FaultInjectionPageStore::Write(PageId id, const uint8_t* buf) {
+  return WriteImpl(id, buf, /*journaled=*/true);
+}
+
+Status FaultInjectionPageStore::WriteUnjournaled(PageId id,
+                                                 const uint8_t* buf) {
+  return WriteImpl(id, buf, /*journaled=*/false);
 }
 
 Status FaultInjectionPageStore::WriteTorn(PageId id, const uint8_t* buf,
@@ -617,6 +652,19 @@ Status FaultInjectionPageStore::WriteTorn(PageId id, const uint8_t* buf,
 }
 
 Status FaultInjectionPageStore::Sync() {
+  ++syncs_seen_;
+  // The deterministic sync countdown fires before the generic machinery so
+  // tests can target "the Nth barrier" exactly, independent of how many
+  // reads/writes happened in between.
+  if (sync_fail_budget_ > 0) {
+    if (sync_fails_after_ > 0) {
+      --sync_fails_after_;
+    } else {
+      --sync_fail_budget_;
+      ++faults_injected_;
+      return Status::IoError("injected sync fault");
+    }
+  }
   BOXES_RETURN_IF_ERROR(MaybeFail());
   return base_->Sync();
 }

@@ -55,6 +55,27 @@ class PageStore {
   /// completing the write.
   virtual Status WriteTorn(PageId id, const uint8_t* buf, size_t prefix);
 
+  /// Writes a full page WITHOUT recording a rollback pre-image. For pages
+  /// whose content lives outside checkpoint state — op-log pages
+  /// (storage/wal.h): crash recovery must see their newest synced bytes,
+  /// so the journal rollback that reverts every other post-checkpoint
+  /// write to its epoch-start image must never touch them. The caller
+  /// owns the proof that no committed checkpoint references the page (see
+  /// unjournaled_floor). Default: a plain Write — stores without a
+  /// rollback journal need no distinction.
+  virtual Status WriteUnjournaled(PageId id, const uint8_t* buf) {
+    return Write(id, buf);
+  }
+
+  /// First page id with no rollback pre-image recorded this epoch: pages
+  /// at or above it were created after the last checkpoint commit, so no
+  /// committed checkpoint references them and journal rollback never
+  /// restores them. Only such pages (or pages kept permanently on the
+  /// unjournaled side, like recycled op-log pages) may be written with
+  /// WriteUnjournaled. 0 for stores without a journal (every page is
+  /// safe).
+  virtual PageId unjournaled_floor() const { return 0; }
+
   /// Makes all completed writes durable (fdatasync for file-backed stores;
   /// a no-op for in-memory ones). Checkpoint commit points call this before
   /// and after flipping the superblock commit record.
@@ -157,6 +178,10 @@ class LatencyPageStore : public PageStore {
   Status Free(PageId id) override { return base_->Free(id); }
   Status Read(PageId id, uint8_t* buf) override;
   Status Write(PageId id, const uint8_t* buf) override;
+  Status WriteUnjournaled(PageId id, const uint8_t* buf) override;
+  PageId unjournaled_floor() const override {
+    return base_->unjournaled_floor();
+  }
   Status WriteTorn(PageId id, const uint8_t* buf, size_t prefix) override {
     return base_->WriteTorn(id, buf, prefix);
   }
@@ -264,6 +289,8 @@ class FilePageStore : public PageStore {
   Status Free(PageId id) override;
   Status Read(PageId id, uint8_t* buf) override;
   Status Write(PageId id, const uint8_t* buf) override;
+  Status WriteUnjournaled(PageId id, const uint8_t* buf) override;
+  PageId unjournaled_floor() const override { return epoch_start_total_; }
   Status WriteTorn(PageId id, const uint8_t* buf, size_t prefix) override;
   Status Sync() override;
   Status CommitEpoch(uint64_t epoch) override;
@@ -370,6 +397,22 @@ class FaultInjectionPageStore : public PageStore {
   /// WriteTorn before the error is returned, instead of vanishing.
   void SetTornWrites(bool enabled) { torn_writes_ = enabled; }
 
+  /// Sync-specific fault: the next `n` Sync() calls succeed, then the
+  /// following `times` fail with IoError, then Sync works again. Unlike
+  /// FailAfter (which counts every operation), this targets the fdatasync
+  /// barrier alone — the failure mode the commit/retry paths historically
+  /// assumed away. `times` = 1 models a transient barrier error a retry
+  /// loop should absorb; a large `times` models a device that can no
+  /// longer flush its cache. Writes before a failed Sync stay applied to
+  /// the base store (data reached the device; the barrier did not).
+  void FailSyncAfter(uint64_t n, uint64_t times = 1) {
+    sync_fails_after_ = n;
+    sync_fail_budget_ = times;
+  }
+
+  /// Sync() calls that reached the fault machinery.
+  uint64_t syncs_seen() const { return syncs_seen_; }
+
   /// Crash-point mode: the next `n` writes persist normally; the write
   /// after that "crashes" — it is dropped (or torn, with SetTornWrites) and
   /// every subsequent operation fails with IoError, freezing the base
@@ -388,6 +431,7 @@ class FaultInjectionPageStore : public PageStore {
     permanent_failure_ = false;
     crash_after_writes_ = UINT64_MAX;
     crashed_ = false;
+    sync_fail_budget_ = 0;
     poisoned_.clear();
   }
 
@@ -405,6 +449,13 @@ class FaultInjectionPageStore : public PageStore {
   Status Free(PageId id) override;
   Status Read(PageId id, uint8_t* buf) override;
   Status Write(PageId id, const uint8_t* buf) override;
+  /// Same crash-countdown / fault / torn-write semantics as Write — op-log
+  /// appends are exactly the writes the crash sweep must be able to land
+  /// on — delegating to the base's unjournaled path.
+  Status WriteUnjournaled(PageId id, const uint8_t* buf) override;
+  PageId unjournaled_floor() const override {
+    return base_->unjournaled_floor();
+  }
   Status WriteTorn(PageId id, const uint8_t* buf, size_t prefix) override;
   Status Sync() override;
   Status CommitEpoch(uint64_t epoch) override;
@@ -424,6 +475,7 @@ class FaultInjectionPageStore : public PageStore {
  private:
   Status MaybeFail();
   size_t TornPrefix();
+  Status WriteImpl(PageId id, const uint8_t* buf, bool journaled);
 
   PageStore* base_;  // not owned
   Random rng_;
@@ -435,6 +487,9 @@ class FaultInjectionPageStore : public PageStore {
   uint64_t crash_after_writes_ = UINT64_MAX;
   uint64_t writes_until_crash_ = UINT64_MAX;
   bool crashed_ = false;
+  uint64_t sync_fails_after_ = 0;
+  uint64_t sync_fail_budget_ = 0;
+  uint64_t syncs_seen_ = 0;
   std::unordered_set<PageId> poisoned_;
   uint64_t ops_seen_ = 0;
   uint64_t faults_injected_ = 0;

@@ -94,6 +94,10 @@ Status RetryingPageStore::Write(PageId id, const uint8_t* buf) {
   return RunWithRetry([&] { return base_->Write(id, buf); });
 }
 
+Status RetryingPageStore::WriteUnjournaled(PageId id, const uint8_t* buf) {
+  return RunWithRetry([&] { return base_->WriteUnjournaled(id, buf); });
+}
+
 Status RetryingPageStore::WriteTorn(PageId id, const uint8_t* buf,
                                     size_t prefix) {
   return base_->WriteTorn(id, buf, prefix);

@@ -78,6 +78,10 @@ class RetryingPageStore : public PageStore {
   Status Free(PageId id) override;
   Status Read(PageId id, uint8_t* buf) override;
   Status Write(PageId id, const uint8_t* buf) override;
+  Status WriteUnjournaled(PageId id, const uint8_t* buf) override;
+  PageId unjournaled_floor() const override {
+    return base_->unjournaled_floor();
+  }
   Status WriteTorn(PageId id, const uint8_t* buf, size_t prefix) override;
   Status Sync() override;
   Status CommitEpoch(uint64_t epoch) override;

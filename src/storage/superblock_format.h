@@ -10,47 +10,56 @@ namespace boxes::superblock {
 
 /// Page 0 of a checkpoint-enabled database is a dual-slot commit record.
 /// Each slot is an independently checksummed (magic, sequence, checkpoint
-/// chain head) triple; the slot with the highest valid sequence number is
-/// the current checkpoint. A commit writes the *inactive* slot and leaves
-/// the active one byte-identical, so a write of page 0 torn at any prefix
-/// preserves a loadable record: the old slot survives untouched and the
-/// half-written new slot fails its CRC.
+/// chain head, WAL mark) record; the slot with the highest valid sequence
+/// number is the current checkpoint. A commit writes the *inactive* slot
+/// and leaves the active one byte-identical, so a write of page 0 torn at
+/// any prefix preserves a loadable record: the old slot survives untouched
+/// and the half-written new slot fails its CRC.
 ///
-/// Slot layout (32 bytes):
-///   [0..7]   magic "BOXESDB2"
-///   [8..15]  sequence number (monotonically increasing across commits)
-///   [16..23] checkpoint metadata-chain head (kInvalidPageId = none yet)
-///   [24..27] CRC32C over bytes [0..23]
-///   [28..31] reserved (zero)
+/// Slot layout (32 bytes, format v3 "BXD3"):
+///   [0..3]   magic "BXD3"
+///   [4..11]  sequence number (monotonically increasing across commits)
+///   [12..19] checkpoint metadata-chain head (kInvalidPageId = none yet)
+///   [20..27] WAL mark: the id of the first op-log batch NOT covered by
+///            this checkpoint (== the next batch id the log will assign).
+///            Recovery replays batches >= the mark's generation; the mark
+///            also seeds batch-id continuity across restarts.
+///   [28..31] CRC32C over bytes [0..27]
 /// Slot A lives at page offset 0, slot B at offset 32; both fit the 64-byte
 /// minimum page size.
-inline constexpr uint64_t kSlotMagic = 0x32424453'45584f42ULL;  // "BOXESDB2"
+inline constexpr uint32_t kSlotMagic = 0x33445842u;  // "BXD3"
 inline constexpr size_t kSlotSize = 32;
 inline constexpr size_t kNumSlots = 2;
+
+/// First batch id a fresh database's op log assigns.
+inline constexpr uint64_t kFirstBatchId = 1;
 
 struct Slot {
   bool valid = false;
   uint64_t sequence = 0;
   uint64_t head = UINT64_MAX;  // kInvalidPageId
+  uint64_t wal_mark = kFirstBatchId;
 };
 
-inline void EncodeSlot(uint8_t* out, uint64_t sequence, uint64_t head) {
-  EncodeFixed64(out, kSlotMagic);
-  EncodeFixed64(out + 8, sequence);
-  EncodeFixed64(out + 16, head);
-  EncodeFixed32(out + 24, Crc32c(out, 24));
-  EncodeFixed32(out + 28, 0);
+inline void EncodeSlot(uint8_t* out, uint64_t sequence, uint64_t head,
+                       uint64_t wal_mark = kFirstBatchId) {
+  EncodeFixed32(out, kSlotMagic);
+  EncodeFixed64(out + 4, sequence);
+  EncodeFixed64(out + 12, head);
+  EncodeFixed64(out + 20, wal_mark);
+  EncodeFixed32(out + 28, Crc32c(out, 28));
 }
 
 inline Slot DecodeSlot(const uint8_t* in) {
   Slot slot;
-  if (DecodeFixed64(in) != kSlotMagic ||
-      DecodeFixed32(in + 24) != Crc32c(in, 24)) {
+  if (DecodeFixed32(in) != kSlotMagic ||
+      DecodeFixed32(in + 28) != Crc32c(in, 28)) {
     return slot;  // invalid
   }
   slot.valid = true;
-  slot.sequence = DecodeFixed64(in + 8);
-  slot.head = DecodeFixed64(in + 16);
+  slot.sequence = DecodeFixed64(in + 4);
+  slot.head = DecodeFixed64(in + 12);
+  slot.wal_mark = DecodeFixed64(in + 20);
   return slot;
 }
 

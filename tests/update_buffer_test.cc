@@ -182,6 +182,33 @@ TEST(UpdateBufferTest, TicketsSurviveLocalitySortReordering) {
   ASSERT_OK(scheme.CheckInvariants());
 }
 
+// Regression: destroying a buffer with unflushed ops used to drop them
+// silently. It must fail loudly — abort in debug builds; in release
+// builds, log and count the loss under buffer.dropped_ops.
+TEST(UpdateBufferTest, DestructorFailsLoudlyOnUnflushedOps) {
+  TestDb db;
+  WBox scheme(&db.cache);
+  MetricsRegistry metrics;
+  scheme.SetMetrics(&metrics);
+#ifndef NDEBUG
+  EXPECT_DEATH(
+      {
+        UpdateBuffer doomed(&scheme,
+                            {.flush_threshold = 64, .auto_flush = false});
+        (void)doomed.InsertFirstElement();
+      },
+      "unflushed");
+#else
+  {
+    UpdateBuffer doomed(&scheme,
+                        {.flush_threshold = 64, .auto_flush = false});
+    ASSERT_OK(doomed.InsertFirstElement().status());
+    ASSERT_OK(doomed.InsertElementBefore(1).status());
+  }
+  EXPECT_EQ(metrics.CounterValue("buffer.dropped_ops"), 2u);
+#endif
+}
+
 TEST(UpdateBufferTest, BatchMetricsAreRecorded) {
   TestDb db;
   WBox scheme(&db.cache);

@@ -1,0 +1,431 @@
+// Tests of the durable write-ahead op log (DESIGN.md §4i):
+//
+//   * ack ⇒ durable: flushes acknowledged without any checkpoint commit
+//     survive a reopen — the log alone reconstructs them, LID-for-LID;
+//   * torn tail: a damaged final batch ends replay cleanly (Status::OK,
+//     torn_tail set) at the last intact boundary, never an error and never
+//     a partially applied batch;
+//   * point-in-time restore: the to_batch bound replays an exact prefix,
+//     and a sealing checkpoint makes the bound permanent;
+//   * idempotent retry: a batch re-appended after a sync fault applies
+//     once, no matter how many complete copies the log holds;
+//   * sync faults: the fdatasync barrier failing is surfaced by the bare
+//     pipeline, absorbed by RetryingPageStore, and survived by the
+//     checkpoint commit path (the old checkpoint plus the whole log stay
+//     recoverable);
+//   * page recycling: truncated log pages are pooled and reused, never
+//     freed into the allocator (whose rollback journal would revert them);
+//   * scan soundness: a data page forging the log magic is rejected by
+//     the header CRC;
+//   * online backup: a byte copy of the database file taken mid-session is
+//     itself a recoverable crash image.
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/common/update_buffer.h"
+#include "core/wbox/wbox.h"
+#include "gtest/gtest.h"
+#include "storage/metadata_io.h"
+#include "storage/page_cache.h"
+#include "storage/page_store.h"
+#include "storage/retrying_store.h"
+#include "storage/wal.h"
+#include "test_util.h"
+#include "util/metrics.h"
+
+namespace boxes::testing {
+namespace {
+
+constexpr size_t kPageSize = 1024;
+
+std::string TempDbPath(const std::string& tag) {
+  const std::string path = ::testing::TempDir() + "/boxes_wal_" + tag + ".db";
+  std::remove(path.c_str());
+  std::remove((path + ".journal").c_str());
+  return path;
+}
+
+// One live writing session: scheme + pipeline + buffer over any store.
+// Destroying it without flushing the cache leaves a crash image behind —
+// which is exactly what the recovery tests reopen.
+struct WalSession {
+  explicit WalSession(PageStore* store, uint64_t checkpoint_interval = 0)
+      : cache(store),
+        scheme(&cache),
+        pipeline(&cache, &scheme,
+                 {.checkpoint_interval = checkpoint_interval}),
+        buffer(&scheme, {.flush_threshold = 1024, .auto_flush = false}) {}
+
+  Status Start(bool fresh) {
+    if (fresh) {
+      BOXES_RETURN_IF_ERROR(InitializeSuperblock(&cache));
+    }
+    BOXES_RETURN_IF_ERROR(pipeline.Init());
+    pipeline.Attach(&buffer);
+    return Status::OK();
+  }
+
+  PageCache cache;
+  WBox scheme;
+  WalPipeline pipeline;
+  UpdateBuffer buffer;
+};
+
+// Runs `flushes` acknowledged flushes (the first creates the root, the
+// rest insert `per_batch` children each) and returns the expected tag
+// order at every flush boundary. LIDs in the result are the acknowledged
+// ones — recovery must reproduce them exactly.
+StatusOr<std::vector<std::vector<Lid>>> RunInsertFlushes(WalSession* s,
+                                                         int flushes,
+                                                         int per_batch) {
+  std::vector<std::vector<Lid>> boundaries;
+  BOXES_ASSIGN_OR_RETURN(const UpdateBuffer::Ticket root_ticket,
+                         s->buffer.InsertFirstElement());
+  BOXES_RETURN_IF_ERROR(s->buffer.Flush());
+  BOXES_ASSIGN_OR_RETURN(const NewElement root,
+                         s->buffer.Result(root_ticket));
+  std::vector<Lid> order = {root.start, root.end};
+  boundaries.push_back(order);
+  for (int f = 1; f < flushes; ++f) {
+    std::vector<UpdateBuffer::Ticket> tickets;
+    for (int i = 0; i < per_batch; ++i) {
+      BOXES_ASSIGN_OR_RETURN(const UpdateBuffer::Ticket ticket,
+                             s->buffer.InsertElementBefore(root.end));
+      tickets.push_back(ticket);
+    }
+    BOXES_RETURN_IF_ERROR(s->buffer.Flush());
+    for (const UpdateBuffer::Ticket ticket : tickets) {
+      BOXES_ASSIGN_OR_RETURN(const NewElement child,
+                             s->buffer.Result(ticket));
+      order.insert(order.end() - 1, {child.start, child.end});
+    }
+    boundaries.push_back(order);
+  }
+  return boundaries;
+}
+
+// Reopens `path` as a crash image, recovers, and asserts the recovered
+// tree IS `order` — every expected LID present, correctly ordered, and not
+// one label more.
+void RecoverAndExpect(const std::string& path, const std::vector<Lid>& order,
+                      const WalReplayOptions& bounds,
+                      WalRecoveryResult* out = nullptr) {
+  FilePageStore store(path, kPageSize, FilePageStore::Mode::kOpen);
+  ASSERT_OK(store.status());
+  PageCache cache(&store);
+  WBox scheme(&cache);
+  ASSERT_OK_AND_ASSIGN(
+      WalRecoveryResult recovered,
+      RecoverWithWal(
+          &cache, &scheme,
+          [&](PageId head) { return scheme.Restore(head); }, bounds));
+  ASSERT_OK(scheme.CheckInvariants());
+  ASSERT_TRUE(LabelsStrictlyIncreasing(&scheme, order));
+  ASSERT_OK_AND_ASSIGN(const SchemeStats stats, scheme.GetStats());
+  EXPECT_EQ(stats.live_labels, order.size());
+  if (out != nullptr) {
+    *out = std::move(recovered);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ack ⇒ durable, torn tails, point-in-time restore.
+
+TEST(WalTest, AcknowledgedFlushesSurviveReopenWithoutCheckpoint) {
+  const std::string path = TempDbPath("ack_durable");
+  std::vector<std::vector<Lid>> boundaries;
+  {
+    FilePageStore store(path, kPageSize);
+    ASSERT_OK(store.status());
+    WalSession session(&store);
+    ASSERT_OK(session.Start(/*fresh=*/true));
+    ASSERT_OK_AND_ASSIGN(boundaries, RunInsertFlushes(&session, 4, 5));
+    // No checkpoint was ever committed; the cache is discarded dirty.
+  }
+  WalRecoveryResult recovered;
+  RecoverAndExpect(path, boundaries.back(), {}, &recovered);
+  EXPECT_EQ(recovered.replay.batches_replayed, 4u);
+  EXPECT_EQ(recovered.replay.ops_replayed, 1u + 3u * 5u);
+  EXPECT_FALSE(recovered.replay.torn_tail);
+  EXPECT_EQ(recovered.checkpoint_head, kInvalidPageId);
+  EXPECT_EQ(recovered.next_batch_id, 5u);
+}
+
+TEST(WalTest, TornTailStopsCleanlyAtLastIntactBoundary) {
+  const std::string path = TempDbPath("torn_tail");
+  std::vector<std::vector<Lid>> boundaries;
+  {
+    FilePageStore store(path, kPageSize);
+    ASSERT_OK(store.status());
+    WalSession session(&store);
+    ASSERT_OK(session.Start(/*fresh=*/true));
+    // 40 ops per batch spans two log pages, so losing one page leaves a
+    // visibly incomplete batch (not an invisible one).
+    ASSERT_OK_AND_ASSIGN(boundaries, RunInsertFlushes(&session, 4, 40));
+
+    ASSERT_OK_AND_ASSIGN(const WalScan scan, ScanWal(&store));
+    const WalBatch* last = nullptr;
+    for (const WalBatch& batch : scan.batches) {
+      if (batch.batch_id == 4) {
+        last = &batch;
+      }
+    }
+    ASSERT_NE(last, nullptr);
+    ASSERT_GE(last->pages.size(), 2u);
+    std::vector<uint8_t> zeros(kPageSize, 0);
+    ASSERT_OK(store.WriteUnjournaled(last->pages.front(), zeros.data()));
+  }
+  WalRecoveryResult recovered;
+  RecoverAndExpect(path, boundaries[2], {}, &recovered);
+  EXPECT_EQ(recovered.replay.batches_replayed, 3u);
+  EXPECT_TRUE(recovered.replay.torn_tail);
+  // The damaged id was still observed, so it stays burned.
+  EXPECT_EQ(recovered.next_batch_id, 5u);
+}
+
+TEST(WalTest, PointInTimeRestoreReplaysExactPrefixAndSeals) {
+  const std::string path = TempDbPath("pitr");
+  std::vector<std::vector<Lid>> boundaries;
+  {
+    FilePageStore store(path, kPageSize);
+    ASSERT_OK(store.status());
+    WalSession session(&store);
+    ASSERT_OK(session.Start(/*fresh=*/true));
+    ASSERT_OK_AND_ASSIGN(boundaries, RunInsertFlushes(&session, 5, 4));
+  }
+  // Restore to batch 3 and seal the bound with a checkpoint + truncation.
+  {
+    FilePageStore store(path, kPageSize, FilePageStore::Mode::kOpen);
+    ASSERT_OK(store.status());
+    PageCache cache(&store);
+    WBox scheme(&cache);
+    ASSERT_OK_AND_ASSIGN(
+        const WalRecoveryResult recovered,
+        RecoverWithWal(
+            &cache, &scheme,
+            [&](PageId head) { return scheme.Restore(head); },
+            {.to_batch = 3}));
+    EXPECT_EQ(recovered.replay.batches_replayed, 3u);
+    EXPECT_EQ(recovered.replay.batches_beyond_bound, 2u);
+    ASSERT_TRUE(LabelsStrictlyIncreasing(&scheme, boundaries[2]));
+    WalPipeline pipeline(&cache, &scheme);
+    ASSERT_OK(pipeline.InitFromRecovery(recovered));
+    ASSERT_OK(pipeline.CheckpointNow());
+  }
+  // After the seal the beyond-bound batches are stale history: a second,
+  // unbounded recovery must still land on the bound.
+  WalRecoveryResult recovered;
+  RecoverAndExpect(path, boundaries[2], {}, &recovered);
+  EXPECT_EQ(recovered.replay.batches_replayed, 0u);
+  // Burned ids stay burned even for discarded history.
+  EXPECT_GE(recovered.next_batch_id, 6u);
+}
+
+// ---------------------------------------------------------------------------
+// Sync faults and retried appends.
+
+TEST(WalTest, RetriedAppendAfterSyncFaultAppliesOnce) {
+  const std::string path = TempDbPath("retry_once");
+  std::vector<Lid> expected;
+  {
+    FilePageStore base(path, kPageSize);
+    ASSERT_OK(base.status());
+    FaultInjectionPageStore store(&base);
+    WalSession session(&store);
+    ASSERT_OK(session.Start(/*fresh=*/true));
+    ASSERT_OK_AND_ASSIGN(const UpdateBuffer::Ticket root_ticket,
+                         session.buffer.InsertFirstElement());
+    ASSERT_OK(session.buffer.Flush());
+    ASSERT_OK_AND_ASSIGN(const NewElement root,
+                         session.buffer.Result(root_ticket));
+
+    std::vector<UpdateBuffer::Ticket> tickets;
+    for (int i = 0; i < 5; ++i) {
+      ASSERT_OK_AND_ASSIGN(const UpdateBuffer::Ticket ticket,
+                           session.buffer.InsertElementBefore(root.end));
+      tickets.push_back(ticket);
+    }
+    // The batch's one fdatasync fails: nothing may be acknowledged, and
+    // the pending set must stay intact for a retry.
+    store.FailSyncAfter(0, 1);
+    const Status failed = session.buffer.Flush();
+    ASSERT_EQ(failed.code(), StatusCode::kIoError);
+    EXPECT_EQ(session.buffer.pending(), 5u);
+    // The retry re-appends the same batch id under the next attempt
+    // number; the log now holds two complete copies.
+    ASSERT_OK(session.buffer.Flush());
+    expected = {root.start, root.end};
+    for (const UpdateBuffer::Ticket ticket : tickets) {
+      ASSERT_OK_AND_ASSIGN(const NewElement child,
+                           session.buffer.Result(ticket));
+      expected.insert(expected.end() - 1, {child.start, child.end});
+    }
+    ASSERT_OK_AND_ASSIGN(const WalScan scan, ScanWal(&base));
+    EXPECT_EQ(scan.batches.size(), 3u) << "batch 2 must appear twice";
+  }
+  // Replay applies batch 2 exactly once (duplicate ids dedupe).
+  WalRecoveryResult recovered;
+  RecoverAndExpect(path, expected, {}, &recovered);
+  EXPECT_EQ(recovered.replay.batches_replayed, 2u);
+  EXPECT_EQ(recovered.replay.ops_replayed, 6u);
+}
+
+TEST(WalTest, RetryingStoreAbsorbsTransientSyncFault) {
+  const std::string path = TempDbPath("retry_store");
+  std::vector<std::vector<Lid>> boundaries;
+  {
+    FilePageStore base(path, kPageSize);
+    ASSERT_OK(base.status());
+    FaultInjectionPageStore fault(&base);
+    RetryingPageStore store(&fault);
+    WalSession session(&store);
+    ASSERT_OK(session.Start(/*fresh=*/true));
+    ASSERT_OK_AND_ASSIGN(boundaries, RunInsertFlushes(&session, 2, 3));
+    fault.FailSyncAfter(0, 1);
+    // The transient barrier fault is retried away below the pipeline:
+    // this flush must be acknowledged on the first call.
+    std::vector<UpdateBuffer::Ticket> tickets;
+    ASSERT_OK_AND_ASSIGN(const UpdateBuffer::Ticket ticket,
+                         session.buffer.InsertElementBefore(
+                             boundaries.back().back()));
+    tickets.push_back(ticket);
+    ASSERT_OK(session.buffer.Flush());
+    ASSERT_OK_AND_ASSIGN(const NewElement child,
+                         session.buffer.Result(tickets.front()));
+    std::vector<Lid> order = boundaries.back();
+    order.insert(order.end() - 1, {child.start, child.end});
+    boundaries.push_back(order);
+    EXPECT_GE(store.counters().recovered.load(), 1u);
+  }
+  WalRecoveryResult recovered;
+  RecoverAndExpect(path, boundaries.back(), {}, &recovered);
+  EXPECT_EQ(recovered.replay.batches_replayed, 3u);
+}
+
+TEST(WalTest, CheckpointCommitSurvivesSyncFault) {
+  const std::string path = TempDbPath("ckpt_sync_fault");
+  std::vector<std::vector<Lid>> boundaries;
+  {
+    FilePageStore base(path, kPageSize);
+    ASSERT_OK(base.status());
+    FaultInjectionPageStore store(&base);
+    WalSession session(&store);
+    ASSERT_OK(session.Start(/*fresh=*/true));
+    ASSERT_OK_AND_ASSIGN(boundaries, RunInsertFlushes(&session, 3, 4));
+    // The commit's data barrier fails: the checkpoint must not be
+    // published, and neither the previous superblock nor the log may be
+    // damaged.
+    store.FailSyncAfter(0, 1000);
+    const Status failed = session.pipeline.CheckpointNow();
+    ASSERT_EQ(failed.code(), StatusCode::kIoError);
+    store.Heal();
+  }
+  // Everything acknowledged is still there, via the log alone.
+  WalRecoveryResult recovered;
+  RecoverAndExpect(path, boundaries.back(), {}, &recovered);
+  EXPECT_EQ(recovered.replay.batches_replayed, 3u);
+  EXPECT_EQ(recovered.checkpoint_head, kInvalidPageId);
+}
+
+// ---------------------------------------------------------------------------
+// Page recycling and scan soundness.
+
+TEST(WalTest, TruncatedLogPagesArePooledAndReused) {
+  const std::string path = TempDbPath("recycle");
+  FilePageStore store(path, kPageSize);
+  ASSERT_OK(store.status());
+  WalSession session(&store);
+  ASSERT_OK(session.Start(/*fresh=*/true));
+  ASSERT_OK_AND_ASSIGN(const std::vector<std::vector<Lid>> boundaries,
+                       RunInsertFlushes(&session, 3, 4));
+  EXPECT_EQ(session.pipeline.writer().pooled_pages(), 0u);
+
+  ASSERT_OK(session.pipeline.CheckpointNow());
+  const size_t pooled = session.pipeline.writer().pooled_pages();
+  EXPECT_GE(pooled, 3u) << "truncation must retire, not free, log pages";
+
+  // The next flush draws from the pool instead of the allocator.
+  ASSERT_OK_AND_ASSIGN(const SuperblockInfo info,
+                       LoadSuperblock(&session.cache));
+  EXPECT_EQ(info.sequence, 2u);
+  ASSERT_OK(session.buffer.InsertElementBefore(boundaries.back().back())
+                .status());
+  ASSERT_OK(session.buffer.Flush());
+  EXPECT_LT(session.pipeline.writer().pooled_pages(), pooled);
+  ASSERT_OK(session.scheme.CheckInvariants());
+}
+
+TEST(WalTest, ScanRejectsDataPageForgingTheLogMagic) {
+  const std::string path = TempDbPath("forged_magic");
+  FilePageStore store(path, kPageSize);
+  ASSERT_OK(store.status());
+  PageCache cache(&store);
+  ASSERT_OK(InitializeSuperblock(&cache));
+  ASSERT_OK_AND_ASSIGN(const PageId page, store.Allocate());
+  // A "data" page whose first bytes spell the log magic but whose header
+  // CRC is garbage: the scan must type it as not-a-log-page.
+  std::vector<uint8_t> buf(kPageSize, 0x5a);
+  buf[0] = 0x42;  // 'B'
+  buf[1] = 0x57;  // 'W'
+  buf[2] = 0x41;  // 'A'
+  buf[3] = 0x4c;  // 'L'
+  ASSERT_OK(store.Write(page, buf.data()));
+  ASSERT_OK_AND_ASSIGN(const WalScan scan, ScanWal(&store));
+  EXPECT_EQ(scan.wal_pages, 0u);
+  EXPECT_TRUE(scan.batches.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Online backup: the database file IS the backup unit.
+
+void CopyFileBytes(const std::string& from, const std::string& to,
+                   bool required = true) {
+  std::ifstream in(from, std::ios::binary | std::ios::ate);
+  if (!in.good()) {
+    ASSERT_FALSE(required) << from;
+    return;
+  }
+  const std::streamsize size = in.tellg();
+  in.seekg(0);
+  std::ofstream out(to, std::ios::binary | std::ios::trunc);
+  ASSERT_TRUE(out.good()) << to;
+  if (size > 0) {
+    // Inserting an empty streambuf sets failbit; an empty source (a
+    // just-truncated journal) is still a valid copy.
+    out << in.rdbuf();
+  }
+  ASSERT_TRUE(out.good());
+}
+
+TEST(WalTest, MidSessionByteCopyIsARecoverableBackup) {
+  const std::string path = TempDbPath("backup_src");
+  const std::string backup = TempDbPath("backup_dst");
+  std::vector<std::vector<Lid>> boundaries;
+  {
+    FilePageStore store(path, kPageSize);
+    ASSERT_OK(store.status());
+    // Interval 2: the copied image holds a mid-log mix of checkpointed
+    // and log-only flushes.
+    WalSession session(&store, /*checkpoint_interval=*/2);
+    ASSERT_OK(session.Start(/*fresh=*/true));
+    ASSERT_OK_AND_ASSIGN(boundaries, RunInsertFlushes(&session, 5, 4));
+    // Copy while the session is live (dirty cache, open file): what the
+    // copy captures is exactly a crash image as of the last acknowledged
+    // flush.
+    CopyFileBytes(path, backup);
+    CopyFileBytes(path + ".journal", backup + ".journal",
+                  /*required=*/false);
+    // The source keeps writing after the copy; the backup must not care.
+    ASSERT_OK(session.buffer.InsertElementBefore(boundaries.back().back())
+                  .status());
+    ASSERT_OK(session.buffer.Flush());
+  }
+  RecoverAndExpect(backup, boundaries.back(), {});
+}
+
+}  // namespace
+}  // namespace boxes::testing
