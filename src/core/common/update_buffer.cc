@@ -160,6 +160,25 @@ Status UpdateBuffer::Flush() {
   return Status::OK();
 }
 
+size_t UpdateBuffer::DiscardPending() {
+  const size_t dropped = pending_.size();
+  if (dropped == 0) {
+    return 0;
+  }
+  std::fprintf(stderr,
+               "UpdateBuffer discarding %zu buffered unflushed op(s) on "
+               "caller request; they were never applied or made durable\n",
+               dropped);
+  MetricsRegistry* metrics =
+      scheme_ != nullptr ? scheme_->metrics() : nullptr;
+  if (metrics != nullptr) {
+    metrics->IncrementCounter("buffer.dropped_ops", dropped);
+  }
+  pending_.clear();
+  pending_tickets_.clear();
+  return dropped;
+}
+
 StatusOr<NewElement> UpdateBuffer::Result(Ticket ticket) const {
   if (ticket >= results_.size()) {
     return Status::InvalidArgument("unknown update buffer ticket");

@@ -74,7 +74,9 @@ class UpdateBuffer {
   /// work the caller enqueued (but was never promised durability for —
   /// only flushed ops are acknowledged). It is almost always a bug, so it
   /// fails loudly: abort in debug builds; in release builds, log to stderr
-  /// and count the loss under "buffer.dropped_ops".
+  /// and count the loss under "buffer.dropped_ops". A caller abandoning
+  /// the work deliberately (the device is gone and Flush will never
+  /// succeed) calls DiscardPending() first.
   ~UpdateBuffer();
 
   UpdateBuffer(const UpdateBuffer&) = delete;
@@ -110,6 +112,16 @@ class UpdateBuffer {
   /// LIDs assigned to the insert op behind `ticket`. FailedPrecondition
   /// until its batch has flushed.
   StatusOr<NewElement> Result(Ticket ticket) const;
+
+  /// Abandons every pending op — the explicit escape hatch for a device
+  /// that will never come back: after a persistent durability-hook
+  /// failure, Flush leaves the set intact for retry, and destroying the
+  /// buffer with it non-empty fails loudly (see the destructor). Calling
+  /// this acknowledges the loss instead: the ops are counted under
+  /// "buffer.dropped_ops", logged, and dropped; their tickets thereafter
+  /// resolve to empty NewElements (kInvalidLid — they were never applied).
+  /// Returns the number of ops discarded.
+  size_t DiscardPending();
 
   size_t pending() const { return pending_.size(); }
   uint64_t batches_flushed() const { return batches_flushed_; }

@@ -14,6 +14,20 @@ namespace {
 
 constexpr size_t kPageHeaderSize = 16;
 
+// No slot decoded as current-format: distinguish "this is an older-format
+// database" (a clear, actionable FailedPrecondition) from real corruption.
+Status NoActiveSlotError(const uint8_t* page) {
+  for (size_t i = 0; i < superblock::kNumSlots; ++i) {
+    if (superblock::IsLegacyV2Slot(page + i * superblock::kSlotSize)) {
+      return Status::FailedPrecondition(
+          "superblock is format v2 (BOXESDB2), which predates the op log's "
+          "WAL mark; this build reads format v3 (BXD3) only — re-create the "
+          "database or migrate it with a v2-era build");
+    }
+  }
+  return Status::Corruption("superblock holds no valid commit record");
+}
+
 }  // namespace
 
 void MetadataWriter::PutU32(uint32_t value) {
@@ -174,7 +188,7 @@ Status CommitCheckpoint(PageCache* cache, PageId head, uint64_t wal_mark) {
   superblock::Slot active;
   const int active_index = superblock::PickActiveSlot(data, &active);
   if (active_index < 0) {
-    return Status::Corruption("superblock holds no valid commit record");
+    return NoActiveSlotError(data);
   }
   const uint64_t sequence = active.sequence + 1;
   const uint64_t mark =
@@ -194,7 +208,7 @@ StatusOr<PageId> LoadCheckpointHead(PageCache* cache) {
   BOXES_ASSIGN_OR_RETURN(uint8_t* data, cache->GetPage(0));
   superblock::Slot active;
   if (superblock::PickActiveSlot(data, &active) < 0) {
-    return Status::Corruption("superblock holds no valid commit record");
+    return NoActiveSlotError(data);
   }
   if (active.head == kInvalidPageId) {
     return Status::NotFound("no checkpoint recorded");
@@ -206,7 +220,7 @@ StatusOr<SuperblockInfo> LoadSuperblock(PageCache* cache) {
   BOXES_ASSIGN_OR_RETURN(uint8_t* data, cache->GetPage(0));
   superblock::Slot active;
   if (superblock::PickActiveSlot(data, &active) < 0) {
-    return Status::Corruption("superblock holds no valid commit record");
+    return NoActiveSlotError(data);
   }
   SuperblockInfo info;
   info.sequence = active.sequence;

@@ -31,6 +31,21 @@ inline constexpr uint32_t kSlotMagic = 0x33445842u;  // "BXD3"
 inline constexpr size_t kSlotSize = 32;
 inline constexpr size_t kNumSlots = 2;
 
+/// The pre-WAL v2 slot magic ("BOXESDB2", 8 bytes at offset 0; sequence at
+/// [8..15], head at [16..23], CRC32C over [0..23] at [24..27]). v3 cannot
+/// open v2 databases — the slot carries no WAL mark — but it must SAY so:
+/// without this probe a v2 database fails as "no valid commit record",
+/// which reads as data corruption rather than a format-version mismatch.
+inline constexpr uint64_t kSlotMagicV2 = 0x32424453'45584f42ULL;
+
+/// True when the slot bytes decode as an intact v2 slot (v2 magic and a
+/// valid v2 CRC). Used only to pick the right error once no v3 slot
+/// decoded; a half-written or scribbled v2 slot stays plain corruption.
+inline bool IsLegacyV2Slot(const uint8_t* in) {
+  return DecodeFixed64(in) == kSlotMagicV2 &&
+         DecodeFixed32(in + 24) == Crc32c(in, 24);
+}
+
 /// First batch id a fresh database's op log assigns.
 inline constexpr uint64_t kFirstBatchId = 1;
 

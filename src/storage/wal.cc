@@ -202,10 +202,14 @@ Status ReplayScannedWal(PageCache* cache, LabelingScheme* scheme,
   size_t i = 0;
   while (i < scan.batches.size() && !stopped) {
     const uint64_t batch_id = scan.batches[i].batch_id;
-    // Attempts of one batch id are adjacent; pick a complete, current-
-    // generation one (the copies are identical — a retry after a faulted
-    // append re-logs the same ops, which is also why replaying a batch id
-    // at most once makes the log idempotent).
+    // Attempts of one batch id are adjacent; pick the LAST complete,
+    // current-generation one. The copies need not be identical: a faulted
+    // append's sync can fail with the pages intact on the device, and the
+    // caller may enqueue more ops before retrying Flush — the retry then
+    // re-logs the grown batch under the same id with a bumped attempt.
+    // Only the final successful append was acknowledged, so an earlier
+    // complete copy is a stale subset and replaying it would silently
+    // drop acknowledged ops (and shift every later LID assignment).
     const WalBatch* chosen = nullptr;
     bool current_generation = false;
     for (; i < scan.batches.size() && scan.batches[i].batch_id == batch_id;
@@ -215,8 +219,8 @@ Status ReplayScannedWal(PageCache* cache, LabelingScheme* scheme,
         continue;  // covered by the recovered checkpoint; stale
       }
       current_generation = true;
-      if (attempt.complete && chosen == nullptr) {
-        chosen = &attempt;
+      if (attempt.complete) {
+        chosen = &attempt;  // highest attempt wins (scan order is sorted)
       }
     }
     if (!current_generation) {
@@ -230,12 +234,17 @@ Status ReplayScannedWal(PageCache* cache, LabelingScheme* scheme,
       ++stats->batches_beyond_bound;
       continue;
     }
+    const uint64_t expected_id =
+        replayed_any ? stats->last_replayed_batch + 1 : options.first_batch;
     if (chosen == nullptr ||
-        (replayed_any && batch_id != stats->last_replayed_batch + 1)) {
-      // Torn tail (no complete copy) or a hole in the id sequence (a
-      // batch the scan could not reassemble at all). Either way the
-      // acknowledged prefix ends here: stop cleanly, apply nothing
-      // further — replaying across a hole would reorder history.
+        (expected_id != 0 && batch_id != expected_id)) {
+      // Torn tail (no complete copy) or a hole in the id sequence — either
+      // between scanned batches or before the first one (the checkpoint's
+      // WAL mark names the id replay must start at; a batch whose every
+      // page was unreadable is absent from the scan, and only the mark can
+      // expose that). Either way the acknowledged prefix ends here: stop
+      // cleanly, apply nothing further — replaying across a hole would
+      // reorder history.
       stats->torn_tail = true;
       stopped = true;
       continue;
@@ -478,8 +487,11 @@ StatusOr<WalRecoveryResult> RecoverWithWal(
 
   WalReplayOptions options = bounds;
   // The generation filter is not a caller knob: batches below the
-  // committed sequence are *inside* the checkpoint just restored.
+  // committed sequence are *inside* the checkpoint just restored. Neither
+  // is the first-batch anchor: the checkpoint's WAL mark is the id of the
+  // first batch it does NOT cover, so replay must start exactly there.
   options.min_generation = info.sequence;
+  options.first_batch = info.wal_mark;
   BOXES_RETURN_IF_ERROR(ReplayScannedWal(cache, scheme, result.scan, options,
                                          &result.replay, metrics, observer));
   // Batch ids must stay monotonic across the crash: the mark floors them,
@@ -500,7 +512,18 @@ WalPipeline::WalPipeline(PageCache* cache, LabelingScheme* scheme,
 Status WalPipeline::Init() {
   BOXES_ASSIGN_OR_RETURN(const SuperblockInfo info, LoadSuperblock(cache_));
   writer_.set_generation(info.sequence);
-  writer_.set_next_batch_id(info.wal_mark);
+  // A database that lived before (pool pages from a clean prior session,
+  // stale batches a checkpoint superseded) still carries log pages — and
+  // log pages are never freed to the allocator, so an open path that
+  // ignored them would leak them for the life of the file. Adopt whatever
+  // the scan finds: the next truncation retires it all into the recycle
+  // pool, which is safe because truncation only runs after a checkpoint
+  // covering every prior batch has committed. The scan's max id also
+  // floors the next batch id — reusing a burned id under the current
+  // generation would make two different batches collide at replay.
+  BOXES_ASSIGN_OR_RETURN(const WalScan scan, ScanWal(cache_->store()));
+  writer_.AdoptPages(scan);
+  writer_.set_next_batch_id(std::max(info.wal_mark, scan.max_batch_id + 1));
   writer_.SetMetrics(scheme_->metrics());
   // The generation filter anchors on the superblock's sequence number, so
   // the superblock must be on the device before the first append is — on a

@@ -60,7 +60,9 @@ namespace boxes {
 ///   [28..31] op_count: records in this batch
 ///   [32..35] attempt: retry discriminator; a batch re-appended after a
 ///            faulted append keeps its id but bumps the attempt, letting
-///            the scan separate the copies (replay applies one)
+///            the scan separate the copies (replay applies the last
+///            complete one — ops may join the batch between the fault
+///            and the retry, so only the final append is acknowledged)
 ///   [36..39] payload bytes used in this page
 ///   [40..43] CRC32C of header bytes [0..39]. The store's frame CRC
 ///            already covers the page; this inner CRC exists so the
@@ -126,6 +128,13 @@ struct WalReplayOptions {
   /// and truncate afterwards to seal the restore, or another recovery
   /// will replay them again.
   uint64_t to_batch = UINT64_MAX;
+  /// Id the FIRST replayed batch must carry (the recovered checkpoint's
+  /// WAL mark); 0 disables the check. The mid-replay gap check only sees
+  /// holes *between* scanned batches — if every page of the batch at the
+  /// mark was unreadable, its group is absent from the scan entirely and
+  /// replay would otherwise start silently past the hole. RecoverWithWal
+  /// always sets this; a mismatch is a torn tail before anything applies.
+  uint64_t first_batch = 0;
 };
 
 struct WalReplayStats {

@@ -16,6 +16,7 @@
 #include "storage/superblock_format.h"
 #include "test_util.h"
 #include "util/coding.h"
+#include "util/crc32c.h"
 #include "xml/generators.h"
 
 namespace boxes {
@@ -317,6 +318,30 @@ TEST(CheckpointTest, CommitAlternatesSlotsAndSurvivesSlotLoss) {
   // With both slots gone the failure is a clean Corruption.
   std::memset(page0, 0xab, 2 * superblock::kSlotSize);
   EXPECT_EQ(LoadCheckpointHead(&db.cache).status().code(),
+            StatusCode::kCorruption);
+}
+
+// Regression: a database written by the pre-WAL v2 format ("BOXESDB2"
+// slots) used to fail as "no valid commit record" — indistinguishable
+// from real corruption. It must be reported as a format-version mismatch.
+TEST(CheckpointTest, LegacyV2SuperblockIsReportedAsFormatMismatch) {
+  TestDb db(512);
+  ASSERT_OK(InitializeSuperblock(&db.cache));
+  ASSERT_OK_AND_ASSIGN(uint8_t* page0, db.cache.GetPageForWrite(0));
+  // Hand-encode an intact v2 slot A: 8-byte magic, sequence, chain head,
+  // CRC32C over the first 24 bytes; slot B zeroed.
+  std::memset(page0, 0, 2 * superblock::kSlotSize);
+  EncodeFixed64(page0, superblock::kSlotMagicV2);
+  EncodeFixed64(page0 + 8, 7);                // sequence
+  EncodeFixed64(page0 + 16, kInvalidPageId);  // head
+  EncodeFixed32(page0 + 24, Crc32c(page0, 24));
+  const Status status = LoadSuperblock(&db.cache).status();
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(status.message().find("format v2"), std::string::npos)
+      << status.message();
+  // A scribbled page that is neither format stays plain corruption.
+  std::memset(page0, 0xab, 2 * superblock::kSlotSize);
+  EXPECT_EQ(LoadSuperblock(&db.cache).status().code(),
             StatusCode::kCorruption);
 }
 

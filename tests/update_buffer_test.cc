@@ -209,6 +209,36 @@ TEST(UpdateBufferTest, DestructorFailsLoudlyOnUnflushedOps) {
 #endif
 }
 
+// After a persistent durability-hook failure Flush keeps the pending set
+// intact for retry — correct for transient faults, but a caller whose
+// device will never come back still needs a way out that is not the
+// destructor abort. DiscardPending acknowledges the loss explicitly.
+TEST(UpdateBufferTest, DiscardPendingReleasesOpsAfterPersistentFault) {
+  TestDb db;
+  WBox scheme(&db.cache);
+  MetricsRegistry metrics;
+  scheme.SetMetrics(&metrics);
+  {
+    UpdateBuffer buffer(&scheme,
+                        {.flush_threshold = 64, .auto_flush = false});
+    buffer.SetDurabilityHook([](const std::vector<BatchOp>&) {
+      return Status::IoError("device is gone");
+    });
+    ASSERT_OK(buffer.InsertFirstElement().status());
+    ASSERT_OK(buffer.InsertFirstElement().status());
+    // The fault is persistent: every retry fails and the ops stay pending.
+    EXPECT_EQ(buffer.Flush().code(), StatusCode::kIoError);
+    EXPECT_EQ(buffer.Flush().code(), StatusCode::kIoError);
+    EXPECT_EQ(buffer.pending(), 2u);
+    EXPECT_EQ(buffer.DiscardPending(), 2u);
+    EXPECT_EQ(buffer.pending(), 0u);
+    EXPECT_EQ(buffer.DiscardPending(), 0u);  // idempotent, no double count
+    // The destructor now runs with nothing pending: no abort (debug), no
+    // second count (release).
+  }
+  EXPECT_EQ(metrics.CounterValue("buffer.dropped_ops"), 2u);
+}
+
 TEST(UpdateBufferTest, BatchMetricsAreRecorded) {
   TestDb db;
   WBox scheme(&db.cache);

@@ -274,6 +274,67 @@ TEST(WalTest, RetriedAppendAfterSyncFaultAppliesOnce) {
   EXPECT_EQ(recovered.replay.ops_replayed, 6u);
 }
 
+// Regression: a faulted append's fdatasync can fail with every page it
+// covered already intact on the device, and the caller may enqueue MORE
+// ops before retrying Flush — the retry then logs a larger batch under
+// the same id with a bumped attempt. Only the last successful append was
+// acknowledged, so replay must pick the LAST complete attempt; picking
+// the first would silently drop the late ops and shift every later LID.
+TEST(WalTest, ReplayPicksTheLastCompleteAttemptOfAGrownRetry) {
+  const std::string path = TempDbPath("grown_retry");
+  std::vector<Lid> expected;
+  {
+    FilePageStore base(path, kPageSize);
+    ASSERT_OK(base.status());
+    FaultInjectionPageStore store(&base);
+    WalSession session(&store);
+    ASSERT_OK(session.Start(/*fresh=*/true));
+    ASSERT_OK_AND_ASSIGN(const UpdateBuffer::Ticket root_ticket,
+                         session.buffer.InsertFirstElement());
+    ASSERT_OK(session.buffer.Flush());
+    ASSERT_OK_AND_ASSIGN(const NewElement root,
+                         session.buffer.Result(root_ticket));
+
+    std::vector<UpdateBuffer::Ticket> tickets;
+    for (int i = 0; i < 3; ++i) {
+      ASSERT_OK_AND_ASSIGN(const UpdateBuffer::Ticket ticket,
+                           session.buffer.InsertElementBefore(root.end));
+      tickets.push_back(ticket);
+    }
+    // The barrier fails, but the pages under it reached the file: the
+    // 3-op attempt 0 of batch 2 is complete on disk, just unacknowledged.
+    store.FailSyncAfter(0, 1);
+    ASSERT_EQ(session.buffer.Flush().code(), StatusCode::kIoError);
+    EXPECT_EQ(session.buffer.pending(), 3u);
+    // Two more ops join the batch before the retry; the acknowledged
+    // shape of batch 2 is the 5-op attempt 1.
+    for (int i = 0; i < 2; ++i) {
+      ASSERT_OK_AND_ASSIGN(const UpdateBuffer::Ticket ticket,
+                           session.buffer.InsertElementBefore(root.end));
+      tickets.push_back(ticket);
+    }
+    ASSERT_OK(session.buffer.Flush());
+    expected = {root.start, root.end};
+    for (const UpdateBuffer::Ticket ticket : tickets) {
+      ASSERT_OK_AND_ASSIGN(const NewElement child,
+                           session.buffer.Result(ticket));
+      expected.insert(expected.end() - 1, {child.start, child.end});
+    }
+    int complete_copies = 0;
+    ASSERT_OK_AND_ASSIGN(const WalScan scan, ScanWal(&base));
+    for (const WalBatch& batch : scan.batches) {
+      if (batch.batch_id == 2 && batch.complete) {
+        ++complete_copies;
+      }
+    }
+    ASSERT_EQ(complete_copies, 2) << "both attempts must be intact on disk";
+  }
+  WalRecoveryResult recovered;
+  RecoverAndExpect(path, expected, {}, &recovered);
+  EXPECT_EQ(recovered.replay.batches_replayed, 2u);
+  EXPECT_EQ(recovered.replay.ops_replayed, 6u) << "1 root + all 5 children";
+}
+
 TEST(WalTest, RetryingStoreAbsorbsTransientSyncFault) {
   const std::string path = TempDbPath("retry_store");
   std::vector<std::vector<Lid>> boundaries;
@@ -331,6 +392,52 @@ TEST(WalTest, CheckpointCommitSurvivesSyncFault) {
   EXPECT_EQ(recovered.checkpoint_head, kInvalidPageId);
 }
 
+// Regression: when EVERY page of the first uncheckpointed batch is
+// unreadable, its group is absent from the scan entirely, so the
+// mid-replay gap check (which compares consecutive *scanned* ids) never
+// sees the hole — replay used to start silently past it, applying
+// acknowledged history out of order. The checkpoint's WAL mark anchors
+// the start: a first batch that is not the mark is a torn tail, and
+// nothing may be applied.
+TEST(WalTest, MissingFirstLoggedBatchStopsReplayBeforeApplyingAnything) {
+  const std::string path = TempDbPath("missing_first");
+  {
+    FilePageStore store(path, kPageSize);
+    ASSERT_OK(store.status());
+    WalSession session(&store);
+    ASSERT_OK(session.Start(/*fresh=*/true));
+    ASSERT_OK(RunInsertFlushes(&session, 3, 4).status());
+    // Erase every trace of batch 1 — the fresh database's WAL mark.
+    ASSERT_OK_AND_ASSIGN(const WalScan scan, ScanWal(&store));
+    std::vector<uint8_t> zeros(kPageSize, 0);
+    bool erased = false;
+    for (const WalBatch& batch : scan.batches) {
+      if (batch.batch_id == 1) {
+        for (const PageId page : batch.pages) {
+          ASSERT_OK(store.WriteUnjournaled(page, zeros.data()));
+          erased = true;
+        }
+      }
+    }
+    ASSERT_TRUE(erased);
+  }
+  // Batches 2 and 3 are complete on disk, but applying them without
+  // batch 1 would reorder history: recovery is a clean stop at nothing.
+  FilePageStore store(path, kPageSize, FilePageStore::Mode::kOpen);
+  ASSERT_OK(store.status());
+  PageCache cache(&store);
+  WBox scheme(&cache);
+  ASSERT_OK_AND_ASSIGN(
+      const WalRecoveryResult recovered,
+      RecoverWithWal(&cache, &scheme,
+                     [&](PageId head) { return scheme.Restore(head); }));
+  EXPECT_EQ(recovered.replay.batches_replayed, 0u);
+  EXPECT_TRUE(recovered.replay.torn_tail);
+  ASSERT_OK(scheme.CheckInvariants());
+  ASSERT_OK_AND_ASSIGN(const SchemeStats stats, scheme.GetStats());
+  EXPECT_EQ(stats.live_labels, 0u);
+}
+
 // ---------------------------------------------------------------------------
 // Page recycling and scan soundness.
 
@@ -357,6 +464,61 @@ TEST(WalTest, TruncatedLogPagesArePooledAndReused) {
   ASSERT_OK(session.buffer.Flush());
   EXPECT_LT(session.pipeline.writer().pooled_pages(), pooled);
   ASSERT_OK(session.scheme.CheckInvariants());
+}
+
+// Regression: the non-recovery open path (WalPipeline::Init) used to
+// ignore pre-existing log pages. Log pages are never freed back to the
+// allocator, so every clean open/close cycle permanently leaked the prior
+// session's pool, growing the file forever. Init must adopt what the scan
+// finds so the next truncation puts it back into circulation.
+TEST(WalTest, InitAdoptsPriorSessionsLogPagesInsteadOfLeaking) {
+  const std::string path = TempDbPath("init_adopt");
+  Lid anchor = kInvalidLid;
+  {
+    FilePageStore store(path, kPageSize);
+    ASSERT_OK(store.status());
+    WalSession session(&store);
+    ASSERT_OK(session.Start(/*fresh=*/true));
+    ASSERT_OK_AND_ASSIGN(const std::vector<std::vector<Lid>> boundaries,
+                         RunInsertFlushes(&session, 3, 4));
+    anchor = boundaries.back().back();  // the root's end LID, stable
+    // Clean shutdown: checkpoint + truncate leaves the log pages pooled
+    // inside this (dying) writer — on disk they are just stale pages.
+    ASSERT_OK(session.pipeline.CheckpointNow());
+    ASSERT_GE(session.pipeline.writer().pooled_pages(), 3u);
+  }
+  FilePageStore store(path, kPageSize, FilePageStore::Mode::kOpen);
+  ASSERT_OK(store.status());
+  PageCache cache(&store);
+  WBox scheme(&cache);
+  ASSERT_OK_AND_ASSIGN(const PageId head, LoadCheckpointHead(&cache));
+  ASSERT_OK(scheme.Restore(head));
+  WalPipeline pipeline(&cache, &scheme);
+  ASSERT_OK(pipeline.Init());
+  EXPECT_GE(pipeline.writer().tracked_pages(), 3u)
+      << "Init must adopt the prior session's log pages";
+  UpdateBuffer buffer(&scheme, {.flush_threshold = 1024,
+                                .auto_flush = false});
+  pipeline.Attach(&buffer);
+  // The first truncation of this session retires the adopted pages into
+  // the recycle pool; after that, flush/checkpoint cycles must run the
+  // log entirely from recycled pages — the file stops growing.
+  ASSERT_OK(buffer.InsertElementBefore(anchor).status());
+  ASSERT_OK(buffer.Flush());
+  ASSERT_OK(pipeline.CheckpointNow());
+  ASSERT_GE(pipeline.writer().pooled_pages(), 3u);
+  ASSERT_OK(buffer.InsertElementBefore(anchor).status());
+  ASSERT_OK(buffer.Flush());
+  ASSERT_OK(pipeline.CheckpointNow());
+  const uint64_t total_pages = store.total_pages();
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    ASSERT_OK(buffer.InsertElementBefore(anchor).status());
+    ASSERT_OK(buffer.Flush());
+    ASSERT_OK(pipeline.CheckpointNow());
+  }
+  EXPECT_EQ(store.total_pages(), total_pages)
+      << "steady-state cycles must not allocate fresh pages";
+  ASSERT_OK(scheme.CheckInvariants());
 }
 
 TEST(WalTest, ScanRejectsDataPageForgingTheLogMagic) {
