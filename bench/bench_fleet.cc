@@ -1,0 +1,314 @@
+// Fleet SLO benchmark: a sharded multi-tenant fleet (N tenant documents
+// over M shared page-store devices) driven by worker threads through the
+// full request-lifecycle stack — per-request deadlines, admission control,
+// circuit breakers, bounded retry, degraded reads (DESIGN.md §4j).
+//
+// Three regimes:
+//   * Transient storm — every device op independently fails with
+//     probability p; retry absorbs the faults. The SLO gate: zero hard
+//     (non-shed, non-degraded, non-deadline) errors across the fleet.
+//   * Permanent poison episode — pages on every device are poisoned
+//     (reads return Corruption) and tenant caches dropped; the breakers
+//     open, warm lookups degrade to possibly-stale answers, cold opens
+//     are fast-failed instead of hammering the sick devices.
+//   * Recovery — devices healed; breaker probes close the circuits and
+//     exact service resumes.
+//
+// The whole sequence runs twice, with and without the circuit breakers,
+// on otherwise identical fleets (same seed => identical per-tenant op
+// mix); the comparison shows the breaker's point: the breakerless fleet
+// burns measurably more retry attempts against dead devices.
+
+#include <chrono>
+#include <cstdio>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "util/flags.h"
+#include "util/random.h"
+#include "workload/fleet_runner.h"
+
+namespace boxes::bench {
+namespace {
+
+using workload::FleetOptions;
+using workload::FleetPhaseOptions;
+using workload::FleetPhaseStats;
+using workload::FleetRunner;
+using workload::TenantPhaseStats;
+
+struct FleetOutcome {
+  FleetPhaseStats storm;
+  FleetPhaseStats poison;
+  FleetPhaseStats recovery;
+  uint64_t retry_attempts = 0;  // fleet-lifetime, summed over devices
+  uint64_t retries = 0;
+  uint64_t breaker_fast_fails = 0;
+  uint64_t breaker_opened = 0;
+};
+
+double Pct(uint64_t part, uint64_t whole) {
+  return whole == 0 ? 0.0 : 100.0 * static_cast<double>(part) /
+                                static_cast<double>(whole);
+}
+
+void PrintPhase(const char* title, const FleetRunner& fleet,
+                const FleetPhaseStats& stats) {
+  std::printf(
+      "  %-9s | ops %8llu | exact %6.2f%% degraded %5.2f%% shed %5.2f%% "
+      "deadline %5.2f%% hard %llu | %.0f ops/s\n",
+      title, static_cast<unsigned long long>(stats.ops),
+      Pct(stats.exact, stats.ops), Pct(stats.degraded, stats.ops),
+      Pct(stats.shed, stats.ops), Pct(stats.deadline_expired, stats.ops),
+      static_cast<unsigned long long>(stats.hard_errors),
+      stats.ops_per_sec);
+  std::printf(
+      "    tenant dev |      ops lkup open  ins twig | exact%% degr%% "
+      "shed%% |   p50   p99  p999   max (us)\n");
+  for (size_t t = 0; t < stats.tenants.size(); ++t) {
+    const TenantPhaseStats& row = stats.tenants[t];
+    std::printf(
+        "    %6zu %3zu | %8llu %4llu %4llu %4llu %4llu | %6.2f %5.2f "
+        "%5.2f | %5llu %5llu %5llu %5llu\n",
+        t, fleet.device_of(t), static_cast<unsigned long long>(row.ops),
+        static_cast<unsigned long long>(row.lookups),
+        static_cast<unsigned long long>(row.opens),
+        static_cast<unsigned long long>(row.inserts),
+        static_cast<unsigned long long>(row.twigs),
+        Pct(row.exact, row.ops), Pct(row.degraded, row.ops),
+        Pct(row.shed, row.ops),
+        static_cast<unsigned long long>(row.lat_p50_us),
+        static_cast<unsigned long long>(row.lat_p99_us),
+        static_cast<unsigned long long>(row.lat_p999_us),
+        static_cast<unsigned long long>(row.lat_max_us));
+  }
+}
+
+/// Poisons `count` allocated pages on every device of the fleet,
+/// deterministically in `seed`.
+void PoisonDevices(FleetRunner* fleet, int64_t count, uint64_t seed) {
+  Random rng(seed);
+  for (size_t d = 0; d < fleet->num_devices(); ++d) {
+    uint64_t total = 0;
+    std::vector<PageId> free_pages;
+    fleet->device_base(d)->SnapshotAllocator(&total, &free_pages);
+    const std::set<PageId> free_set(free_pages.begin(), free_pages.end());
+    std::vector<PageId> allocated;
+    for (PageId id = 0; id < total; ++id) {
+      if (free_set.count(id) == 0) {
+        allocated.push_back(id);
+      }
+    }
+    for (int64_t i = 0; i < count && !allocated.empty(); ++i) {
+      fleet->device_fault(d)->PoisonPage(
+          allocated[rng.Uniform(allocated.size())]);
+    }
+  }
+}
+
+const char* BreakerStateName(CircuitBreakerPageStore* breaker) {
+  if (breaker == nullptr) {
+    return "none";
+  }
+  switch (breaker->state()) {
+    case CircuitBreakerPageStore::State::kClosed:
+      return "closed";
+    case CircuitBreakerPageStore::State::kOpen:
+      return "open";
+    case CircuitBreakerPageStore::State::kHalfOpen:
+      return "half-open";
+  }
+  return "?";
+}
+
+FleetOutcome RunFleet(const FleetOptions& options, double fail_probability,
+                      int64_t ops_per_worker, int64_t poisoned_pages) {
+  std::printf("fleet: %zu tenants on %zu devices, %zu workers, scheme %s, "
+              "breaker %s\n",
+              options.num_tenants, options.num_devices, options.workers,
+              options.scheme.c_str(), options.use_breaker ? "ON" : "OFF");
+  FleetRunner fleet(options);
+  CheckOkOrDie(fleet.Setup(), "fleet setup");
+
+  FleetOutcome outcome;
+  FleetPhaseOptions mixed;
+  mixed.ops_per_worker = static_cast<uint64_t>(ops_per_worker);
+  mixed.lookup_fraction = 0.60;
+  mixed.insert_fraction = 0.15;
+  mixed.twig_fraction = 0.05;
+
+  // Transient storm: every device op fails with probability p.
+  for (size_t d = 0; d < fleet.num_devices(); ++d) {
+    fleet.device_fault(d)->SetSeed(0x57a6 + d);
+    fleet.device_fault(d)->SetFailProbability(fail_probability,
+                                              /*transient=*/true);
+  }
+  {
+    StatusOr<FleetPhaseStats> stats = fleet.RunPhase(mixed);
+    CheckOkOrDie(stats.status(), "storm phase");
+    outcome.storm = *stats;
+    PrintPhase("storm", fleet, outcome.storm);
+  }
+
+  // Permanent episode: poison pages on every device, drop the tenant
+  // caches so reads go back to the devices, and serve read-only traffic.
+  // Mutations are off: a poisoned device sheds writes mid-mutation, and a
+  // serving fleet would fail tenant writes over rather than half-apply
+  // them.
+  for (size_t d = 0; d < fleet.num_devices(); ++d) {
+    fleet.device_fault(d)->SetFailProbability(0.0);
+  }
+  PoisonDevices(&fleet, poisoned_pages, options.seed + 0xbad);
+  CheckOkOrDie(fleet.DropCaches(), "cache drop");
+  FleetPhaseOptions read_only = mixed;
+  read_only.lookup_fraction = 0.85;
+  read_only.insert_fraction = 0.0;
+  read_only.twig_fraction = 0.05;
+  {
+    StatusOr<FleetPhaseStats> stats = fleet.RunPhase(read_only);
+    CheckOkOrDie(stats.status(), "poison phase");
+    outcome.poison = *stats;
+    PrintPhase("poison", fleet, outcome.poison);
+    for (size_t d = 0; d < fleet.num_devices(); ++d) {
+      std::printf("    device %zu: breaker %s\n", d,
+                  BreakerStateName(fleet.device_breaker(d)));
+    }
+  }
+
+  // Recovery: heal the devices and let the breakers' cooldown elapse, so
+  // the phase measures probe-led reclosing rather than the tail of the
+  // open period.
+  for (size_t d = 0; d < fleet.num_devices(); ++d) {
+    fleet.device_fault(d)->Heal();
+  }
+  std::this_thread::sleep_for(
+      std::chrono::microseconds(options.breaker.open_cooldown_us + 10'000));
+  {
+    StatusOr<FleetPhaseStats> stats = fleet.RunPhase(mixed);
+    CheckOkOrDie(stats.status(), "recovery phase");
+    outcome.recovery = *stats;
+    PrintPhase("recovery", fleet, outcome.recovery);
+    for (size_t d = 0; d < fleet.num_devices(); ++d) {
+      std::printf("    device %zu: breaker %s\n", d,
+                  BreakerStateName(fleet.device_breaker(d)));
+    }
+  }
+
+  for (size_t d = 0; d < fleet.num_devices(); ++d) {
+    const RetryingPageStore::Counters& retry =
+        fleet.device_retry(d)->counters();
+    outcome.retry_attempts += retry.attempts.load();
+    outcome.retries += retry.retries.load();
+    if (fleet.device_breaker(d) != nullptr) {
+      const CircuitBreakerPageStore::Counters& breaker =
+          fleet.device_breaker(d)->counters();
+      outcome.breaker_fast_fails += breaker.fast_fails.load();
+      outcome.breaker_opened += breaker.opened.load();
+    }
+  }
+  std::printf(
+      "  devices: %llu attempts, %llu retries, %llu breaker fast-fails, "
+      "%llu breaker opens\n\n",
+      static_cast<unsigned long long>(outcome.retry_attempts),
+      static_cast<unsigned long long>(outcome.retries),
+      static_cast<unsigned long long>(outcome.breaker_fast_fails),
+      static_cast<unsigned long long>(outcome.breaker_opened));
+  return outcome;
+}
+
+int Run(int argc, char** argv) {
+  const bool smoke = ExtractSmokeFlag(&argc, argv);
+  FlagParser flags;
+  int64_t* tenants = flags.AddInt64("tenants", 8, "tenant documents");
+  int64_t* devices = flags.AddInt64("devices", 2, "shared page stores");
+  int64_t* workers = flags.AddInt64("workers", 4, "worker threads");
+  int64_t* elements = flags.AddInt64("elements", 600, "elements per tenant");
+  int64_t* ops = flags.AddInt64("ops_per_worker", 3000,
+                                "operations per worker per phase");
+  // Small enough that a hot tenant's storm inserts overflow the replay
+  // window, so the poison phase exercises genuinely degraded (possibly
+  // stale) serves rather than replay-exact ones only.
+  int64_t* log_capacity =
+      flags.AddInt64("log_capacity", 64, "mod log entries (k)");
+  int64_t* poisoned =
+      flags.AddInt64("poisoned_pages", 6, "pages poisoned per device");
+  int64_t* page_size = flags.AddInt64("page_size", 2048, "block size");
+  int64_t* timeout_us =
+      flags.AddInt64("timeout_us", 100000, "per-request deadline (us)");
+  double* fail_probability = flags.AddDouble(
+      "fail_probability", 0.05, "transient fault probability per device op");
+  double* theta =
+      flags.AddDouble("zipf_theta", 0.8, "tenant popularity skew");
+  std::string* scheme =
+      flags.AddString("scheme", "wbox", "tenant scheme: wbox | bbox");
+  std::string* metrics_json =
+      flags.AddString("metrics_json", "", "write metrics JSON here");
+  if (!flags.Parse(argc, argv)) {
+    return 1;
+  }
+  SmokeCap(smoke, elements, 200);
+  SmokeCap(smoke, ops, 400);
+
+  std::printf("FLEET: per-tenant SLOs under fault injection "
+              "(deadline + admission + breaker + retry + degraded reads)\n\n");
+
+  FleetOptions options;
+  options.num_tenants = static_cast<size_t>(*tenants);
+  options.num_devices = static_cast<size_t>(*devices);
+  options.workers = static_cast<size_t>(*workers);
+  options.elements_per_doc = static_cast<uint64_t>(*elements);
+  options.page_size = static_cast<size_t>(*page_size);
+  options.log_capacity = static_cast<size_t>(*log_capacity);
+  options.zipf_theta = *theta;
+  options.request_timeout_us = static_cast<uint64_t>(*timeout_us);
+  options.scheme = *scheme;
+  options.use_breaker = true;
+  options.metrics = &GlobalMetrics();
+  const FleetOutcome with_breaker =
+      RunFleet(options, *fail_probability, *ops, *poisoned);
+  workload::ExportFleetStats("fleet.storm", with_breaker.storm,
+                             &GlobalMetrics());
+  workload::ExportFleetStats("fleet.poison", with_breaker.poison,
+                             &GlobalMetrics());
+  workload::ExportFleetStats("fleet.recovery", with_breaker.recovery,
+                             &GlobalMetrics());
+
+  options.use_breaker = false;
+  options.metrics = nullptr;  // keep the comparison run out of the JSON
+  const FleetOutcome without_breaker =
+      RunFleet(options, *fail_probability, *ops, *poisoned);
+
+  std::printf(
+      "breaker comparison: %llu device attempts with breaker vs %llu "
+      "without (%+.1f%%); fast-fails took over %llu device calls\n",
+      static_cast<unsigned long long>(with_breaker.retry_attempts),
+      static_cast<unsigned long long>(without_breaker.retry_attempts),
+      with_breaker.retry_attempts == 0
+          ? 0.0
+          : 100.0 * (static_cast<double>(without_breaker.retry_attempts) /
+                         static_cast<double>(with_breaker.retry_attempts) -
+                     1.0),
+      static_cast<unsigned long long>(with_breaker.breaker_fast_fails));
+
+  // The SLO gate (ISSUE 8 acceptance): under a transient-only storm the
+  // full stack must deliver zero hard errors — every op either succeeds
+  // exactly, degrades, or is shed/deadlined on purpose.
+  if (with_breaker.storm.hard_errors != 0) {
+    std::fprintf(stderr, "SLO FAIL: %llu hard errors in the storm phase\n",
+                 static_cast<unsigned long long>(
+                     with_breaker.storm.hard_errors));
+    return 1;
+  }
+  std::printf("SLO PASS: zero hard errors across %llu storm ops\n",
+              static_cast<unsigned long long>(with_breaker.storm.ops));
+  MaybeWriteMetricsJson(*metrics_json);
+  return 0;
+}
+
+}  // namespace
+}  // namespace boxes::bench
+
+int main(int argc, char** argv) { return boxes::bench::Run(argc, argv); }

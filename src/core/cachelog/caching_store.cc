@@ -25,15 +25,54 @@ CachedLabelRef CachingLabelStore::MakeRef(Lid lid) const {
   return ref;
 }
 
+namespace {
+
+/// Relaxed increment through a possibly-null pre-resolved counter handle.
+inline void Bump(MetricsRegistry::Counter* counter) {
+  if (counter != nullptr) {
+    counter->fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace
+
+const CachingLabelStore::ServeMetricHandles* CachingLabelStore::Handles(
+    MetricsRegistry* metrics) {
+  if (metrics == nullptr) {
+    return nullptr;
+  }
+  if (handles_registry_.load(std::memory_order_acquire) == metrics) {
+    return &handles_;
+  }
+  std::lock_guard<std::mutex> lock(handles_mu_);
+  if (handles_registry_.load(std::memory_order_relaxed) != metrics) {
+    handles_.served_fresh = metrics->GetCounter("cachelog.served_fresh");
+    handles_.served_replayed =
+        metrics->GetCounter("cachelog.served_replayed");
+    handles_.served_full = metrics->GetCounter("cachelog.served_full");
+    handles_.served_degraded =
+        metrics->GetCounter("cachelog.served_degraded");
+    handles_.degraded_misses =
+        metrics->GetCounter("cachelog.degraded_misses");
+    handles_.lookup_us = metrics->GetHistogram("cachelog.lookup.us");
+    handles_.ordinal_lookup_us =
+        metrics->GetHistogram("cachelog.ordinal_lookup.us");
+    // Publish last: a reader whose acquire load sees `metrics` also sees
+    // every handle written above.
+    handles_registry_.store(metrics, std::memory_order_release);
+  }
+  return &handles_;
+}
+
 StatusOr<Label> CachingLabelStore::LookupImpl(CachedLabelRef* ref,
                                               bool* stale_out) {
-  MetricsRegistry* metrics = scheme_->metrics();
-  ScopedTimer timer(metrics, "cachelog.lookup.us");
+  const ServeMetricHandles* handles = Handles(scheme_->metrics());
+  HistogramTimer timer(handles != nullptr ? handles->lookup_us : nullptr);
   if (ref->has_value) {
     if (ref->last_cached == log_->now()) {
       ++served_fresh_;
-      if (metrics != nullptr) {
-        metrics->IncrementCounter("cachelog.served_fresh");
+      if (handles != nullptr) {
+        Bump(handles->served_fresh);
       }
       return ref->cached;
     }
@@ -41,8 +80,8 @@ StatusOr<Label> CachingLabelStore::LookupImpl(CachedLabelRef* ref,
     if (log_->Replay(ref->last_cached, &replayed) ==
         ModificationLog::ReplayResult::kUsable) {
       ++served_replayed_;
-      if (metrics != nullptr) {
-        metrics->IncrementCounter("cachelog.served_replayed");
+      if (handles != nullptr) {
+        Bump(handles->served_replayed);
       }
       ref->cached = replayed;
       ref->last_cached = log_->now();
@@ -60,23 +99,23 @@ StatusOr<Label> CachingLabelStore::LookupImpl(CachedLabelRef* ref,
       // with an explicit staleness marker — and the reference is left
       // untouched so a later lookup retries the scheme.
       ++served_degraded_;
-      if (metrics != nullptr) {
-        metrics->IncrementCounter("cachelog.served_degraded");
+      if (handles != nullptr) {
+        Bump(handles->served_degraded);
       }
       *stale_out = true;
       return ref->cached;
     }
     if (stale_out != nullptr) {
       ++degraded_misses_;
-      if (metrics != nullptr) {
-        metrics->IncrementCounter("cachelog.degraded_misses");
+      if (handles != nullptr) {
+        Bump(handles->degraded_misses);
       }
     }
     return label.status();
   }
   ++served_full_;
-  if (metrics != nullptr) {
-    metrics->IncrementCounter("cachelog.served_full");
+  if (handles != nullptr) {
+    Bump(handles->served_full);
   }
   ref->cached = *label;
   ref->last_cached = log_->now();
@@ -98,13 +137,14 @@ StatusOr<ResilientLabel> CachingLabelStore::LookupResilient(
 
 StatusOr<uint64_t> CachingLabelStore::OrdinalLookupImpl(CachedOrdinalRef* ref,
                                                         bool* stale_out) {
-  MetricsRegistry* metrics = scheme_->metrics();
-  ScopedTimer timer(metrics, "cachelog.ordinal_lookup.us");
+  const ServeMetricHandles* handles = Handles(scheme_->metrics());
+  HistogramTimer timer(handles != nullptr ? handles->ordinal_lookup_us
+                                          : nullptr);
   if (ref->has_value) {
     if (ref->last_cached == log_->now()) {
       ++served_fresh_;
-      if (metrics != nullptr) {
-        metrics->IncrementCounter("cachelog.served_fresh");
+      if (handles != nullptr) {
+        Bump(handles->served_fresh);
       }
       return ref->cached;
     }
@@ -112,8 +152,8 @@ StatusOr<uint64_t> CachingLabelStore::OrdinalLookupImpl(CachedOrdinalRef* ref,
     if (log_->ReplayOrdinal(ref->last_cached, &replayed) ==
         ModificationLog::ReplayResult::kUsable) {
       ++served_replayed_;
-      if (metrics != nullptr) {
-        metrics->IncrementCounter("cachelog.served_replayed");
+      if (handles != nullptr) {
+        Bump(handles->served_replayed);
       }
       ref->cached = replayed;
       ref->last_cached = log_->now();
@@ -125,23 +165,23 @@ StatusOr<uint64_t> CachingLabelStore::OrdinalLookupImpl(CachedOrdinalRef* ref,
     if (stale_out != nullptr && ref->has_value &&
         IsDataUnavailableCode(ordinal.status().code())) {
       ++served_degraded_;
-      if (metrics != nullptr) {
-        metrics->IncrementCounter("cachelog.served_degraded");
+      if (handles != nullptr) {
+        Bump(handles->served_degraded);
       }
       *stale_out = true;
       return ref->cached;
     }
     if (stale_out != nullptr) {
       ++degraded_misses_;
-      if (metrics != nullptr) {
-        metrics->IncrementCounter("cachelog.degraded_misses");
+      if (handles != nullptr) {
+        Bump(handles->degraded_misses);
       }
     }
     return ordinal.status();
   }
   ++served_full_;
-  if (metrics != nullptr) {
-    metrics->IncrementCounter("cachelog.served_full");
+  if (handles != nullptr) {
+    Bump(handles->served_full);
   }
   ref->cached = *ordinal;
   ref->last_cached = log_->now();

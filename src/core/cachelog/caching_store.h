@@ -3,12 +3,14 @@
 
 #include <atomic>
 #include <cstdint>
+#include <mutex>
 
 #include <memory>
 
 #include "core/cachelog/indexed_log.h"
 #include "core/cachelog/mod_log.h"
 #include "core/common/labeling_scheme.h"
+#include "util/metrics.h"
 #include "util/status.h"
 
 namespace boxes {
@@ -133,6 +135,28 @@ class CachingLabelStore : public UpdateListener {
   void OnOrdinalShift(uint64_t from, int64_t delta) override;
 
  private:
+  /// Pre-resolved handles into the scheme's attached MetricsRegistry, so
+  /// the per-lookup hot path increments atomics directly instead of
+  /// re-resolving "cachelog.*" names through the registry's locked map on
+  /// every serve. Re-resolved lazily whenever the scheme's registry pointer
+  /// changes (schemes may have metrics attached after the store is built).
+  struct ServeMetricHandles {
+    MetricsRegistry::Counter* served_fresh = nullptr;
+    MetricsRegistry::Counter* served_replayed = nullptr;
+    MetricsRegistry::Counter* served_full = nullptr;
+    MetricsRegistry::Counter* served_degraded = nullptr;
+    MetricsRegistry::Counter* degraded_misses = nullptr;
+    Histogram* lookup_us = nullptr;
+    Histogram* ordinal_lookup_us = nullptr;
+  };
+
+  /// Handles for `metrics`, resolving them on first sight of a new
+  /// registry; nullptr when no registry is attached. Safe from concurrent
+  /// readers: after the initial resolution the fast path is one acquire
+  /// load. (Swapping registries while reader traffic is running is not
+  /// supported — the same rule the scheme's own metrics pointer has.)
+  const ServeMetricHandles* Handles(MetricsRegistry* metrics);
+
   /// Shared serve path of Lookup/LookupResilient; `stale_out` non-null
   /// enables the degraded fallback and receives the staleness marker.
   StatusOr<Label> LookupImpl(CachedLabelRef* ref, bool* stale_out);
@@ -141,6 +165,9 @@ class CachingLabelStore : public UpdateListener {
 
   LabelingScheme* scheme_;  // not owned
   std::unique_ptr<ReplayLog> log_;
+  std::mutex handles_mu_;
+  std::atomic<MetricsRegistry*> handles_registry_{nullptr};
+  ServeMetricHandles handles_;
   std::atomic<uint64_t> served_fresh_{0};
   std::atomic<uint64_t> served_replayed_{0};
   std::atomic<uint64_t> served_full_{0};

@@ -5,6 +5,8 @@
 #include <utility>
 #include <vector>
 
+#include "util/request_context.h"
+
 namespace boxes {
 
 StatusOr<ElementLabels> LabelingScheme::LookupElement(Lid start_lid,
@@ -219,6 +221,13 @@ StatusOr<uint64_t> LabelingScheme::OrdinalLookup(Lid /*lid*/) {
 }
 
 StatusOr<VersionedLabel> LabelingScheme::LookupShared(Lid lid) {
+  // An already-expired request is refused before taking the read lock: no
+  // epoch slot is consumed and no B-BOX path walk starts on behalf of a
+  // caller whose budget is spent. Mid-walk expiry is caught at the next
+  // page-cache miss (the next point that would cost real I/O).
+  if (RequestContext* context = RequestContext::Current()) {
+    BOXES_RETURN_IF_ERROR(context->Check("LookupShared entry"));
+  }
   EpochReadLock lock(&epoch_guard_);
   StatusOr<Label> label = Lookup(lid);
   if (!label.ok()) {
@@ -228,6 +237,9 @@ StatusOr<VersionedLabel> LabelingScheme::LookupShared(Lid lid) {
 }
 
 StatusOr<VersionedOrdinal> LabelingScheme::OrdinalLookupShared(Lid lid) {
+  if (RequestContext* context = RequestContext::Current()) {
+    BOXES_RETURN_IF_ERROR(context->Check("OrdinalLookupShared entry"));
+  }
   EpochReadLock lock(&epoch_guard_);
   StatusOr<uint64_t> ordinal = OrdinalLookup(lid);
   if (!ordinal.ok()) {

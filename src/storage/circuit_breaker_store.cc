@@ -1,0 +1,181 @@
+#include "storage/circuit_breaker_store.h"
+
+#include <algorithm>
+
+#include "util/request_context.h"
+
+namespace boxes {
+
+CircuitBreakerPageStore::CircuitBreakerPageStore(PageStore* base,
+                                                 CircuitBreakerOptions options)
+    : base_(base), options_(options) {
+  BOXES_CHECK(options_.window_ops >= 1);
+  BOXES_CHECK(options_.min_ops >= 1);
+  BOXES_CHECK(options_.failure_threshold > 0.0);
+  BOXES_CHECK(options_.half_open_probes >= 1);
+  window_.assign(options_.window_ops, 0);
+}
+
+void CircuitBreakerPageStore::SetMetrics(MetricsRegistry* metrics) {
+  if (metrics == nullptr) {
+    handles_ = MetricHandles{};
+    return;
+  }
+  handles_.ops = metrics->GetCounter("breaker.ops");
+  handles_.failures = metrics->GetCounter("breaker.failures");
+  handles_.fast_fails = metrics->GetCounter("breaker.fast_fails");
+  handles_.opened = metrics->GetCounter("breaker.opened");
+  handles_.closed = metrics->GetCounter("breaker.closed");
+}
+
+uint64_t CircuitBreakerPageStore::NowUs() const {
+  return options_.now_fn ? options_.now_fn() : SteadyNowMicros();
+}
+
+CircuitBreakerPageStore::State CircuitBreakerPageStore::state() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return state_;
+}
+
+void CircuitBreakerPageStore::Count(std::atomic<uint64_t> Counters::*field,
+                                    MetricsRegistry::Counter* handle) {
+  (counters_.*field).fetch_add(1, std::memory_order_relaxed);
+  if (handle != nullptr) {
+    handle->fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void CircuitBreakerPageStore::OpenLocked(uint64_t now) {
+  state_ = State::kOpen;
+  open_until_us_ = now + options_.open_cooldown_us;
+  probes_in_flight_ = 0;
+  probe_successes_ = 0;
+  Count(&Counters::opened, handles_.opened);
+}
+
+Status CircuitBreakerPageStore::Admit(bool* probe) {
+  *probe = false;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (state_ == State::kOpen) {
+    if (NowUs() < open_until_us_) {
+      Count(&Counters::fast_fails, handles_.fast_fails);
+      return Status::ResourceExhausted(
+          "circuit breaker open: device failing, fast-failing without I/O");
+    }
+    // Cooldown elapsed: this operation becomes the first half-open probe.
+    state_ = State::kHalfOpen;
+    probes_in_flight_ = 0;
+    probe_successes_ = 0;
+  }
+  if (state_ == State::kHalfOpen) {
+    if (probes_in_flight_ >= options_.half_open_probes) {
+      Count(&Counters::fast_fails, handles_.fast_fails);
+      return Status::ResourceExhausted(
+          "circuit breaker half-open: probe quota in flight, fast-failing");
+    }
+    ++probes_in_flight_;
+    *probe = true;
+  }
+  return Status::OK();
+}
+
+void CircuitBreakerPageStore::RecordOutcome(bool failure, bool probe) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (probe) {
+    if (probes_in_flight_ > 0) {
+      --probes_in_flight_;
+    }
+    if (state_ != State::kHalfOpen) {
+      // The breaker reopened (a sibling probe failed) or closed while this
+      // probe ran; its outcome no longer drives the state machine.
+      return;
+    }
+    if (failure) {
+      OpenLocked(NowUs());
+      return;
+    }
+    if (++probe_successes_ >= options_.half_open_probes) {
+      // Recovered: close with a clean slate so the pre-outage failure
+      // window cannot immediately re-trip.
+      state_ = State::kClosed;
+      std::fill(window_.begin(), window_.end(), 0);
+      window_next_ = 0;
+      window_count_ = 0;
+      window_failures_ = 0;
+      Count(&Counters::closed, handles_.closed);
+    }
+    return;
+  }
+  if (state_ != State::kClosed) {
+    return;  // a pre-transition straggler; the window was reset
+  }
+  window_failures_ -= window_[window_next_];
+  window_[window_next_] = failure ? 1 : 0;
+  window_failures_ += window_[window_next_];
+  window_next_ = (window_next_ + 1) % window_.size();
+  window_count_ = std::min(window_count_ + 1, window_.size());
+  if (window_count_ >= options_.min_ops &&
+      static_cast<double>(window_failures_) >=
+          options_.failure_threshold * static_cast<double>(window_count_)) {
+    OpenLocked(NowUs());
+  }
+}
+
+Status CircuitBreakerPageStore::RunGated(const std::function<Status()>& op) {
+  bool probe = false;
+  BOXES_RETURN_IF_ERROR(Admit(&probe));
+  Count(&Counters::ops, handles_.ops);
+  const Status status = op();
+  // Only device-health errors count against the breaker: a caller that ran
+  // out of its own deadline/budget (kDeadlineExceeded) tells us nothing
+  // about the store underneath.
+  const bool failure = !status.ok() &&
+                       IsDataUnavailableCode(status.code()) &&
+                       status.code() != StatusCode::kDeadlineExceeded;
+  if (failure) {
+    Count(&Counters::failures, handles_.failures);
+  }
+  RecordOutcome(failure, probe);
+  return status;
+}
+
+StatusOr<PageId> CircuitBreakerPageStore::Allocate() {
+  PageId id = kInvalidPageId;
+  BOXES_RETURN_IF_ERROR(RunGated([&]() -> Status {
+    BOXES_ASSIGN_OR_RETURN(id, base_->Allocate());
+    return Status::OK();
+  }));
+  return id;
+}
+
+Status CircuitBreakerPageStore::Free(PageId id) {
+  return RunGated([&] { return base_->Free(id); });
+}
+
+Status CircuitBreakerPageStore::Read(PageId id, uint8_t* buf) {
+  return RunGated([&] { return base_->Read(id, buf); });
+}
+
+Status CircuitBreakerPageStore::Write(PageId id, const uint8_t* buf) {
+  return RunGated([&] { return base_->Write(id, buf); });
+}
+
+Status CircuitBreakerPageStore::WriteUnjournaled(PageId id,
+                                                 const uint8_t* buf) {
+  return RunGated([&] { return base_->WriteUnjournaled(id, buf); });
+}
+
+Status CircuitBreakerPageStore::WriteTorn(PageId id, const uint8_t* buf,
+                                          size_t prefix) {
+  return base_->WriteTorn(id, buf, prefix);
+}
+
+Status CircuitBreakerPageStore::Sync() {
+  return RunGated([&] { return base_->Sync(); });
+}
+
+Status CircuitBreakerPageStore::CommitEpoch(uint64_t epoch) {
+  return RunGated([&] { return base_->CommitEpoch(epoch); });
+}
+
+}  // namespace boxes

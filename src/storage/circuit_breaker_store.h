@@ -1,0 +1,170 @@
+#ifndef BOXES_STORAGE_CIRCUIT_BREAKER_STORE_H_
+#define BOXES_STORAGE_CIRCUIT_BREAKER_STORE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "storage/page_store.h"
+#include "util/metrics.h"
+#include "util/status.h"
+
+namespace boxes {
+
+/// Configuration of CircuitBreakerPageStore's trip heuristic.
+struct CircuitBreakerOptions {
+  /// Sliding window of recent operation outcomes the failure rate is
+  /// computed over.
+  size_t window_ops = 64;
+  /// The breaker never trips before this many outcomes are in the window
+  /// (a single failure out of two samples is not a sick device).
+  size_t min_ops = 16;
+  /// Failure fraction within the window at which the breaker opens.
+  double failure_threshold = 0.5;
+  /// How long an open breaker fast-fails before letting probes through
+  /// (microseconds on `now_fn`'s clock).
+  uint64_t open_cooldown_us = 50'000;
+  /// Consecutive probe successes required in half-open to close again;
+  /// also the cap on concurrently admitted probes.
+  uint32_t half_open_probes = 3;
+  /// Microsecond clock; null = the process steady clock. Injectable so
+  /// tests drive cooldown expiry with virtual time.
+  std::function<uint64_t()> now_fn = nullptr;
+};
+
+/// Decorator implementing the circuit-breaker pattern over any PageStore
+/// (DESIGN.md §4j). Stacked ABOVE RetryingPageStore and below the
+/// PageCache: the breaker watches *post-retry* outcomes, so a window full
+/// of failures means the device stayed down through whole retry budgets —
+/// exactly when further retry storms only add latency for everyone.
+///
+///   * closed    — operations pass through; outcomes feed a sliding
+///                 window. When >= failure_threshold of the last
+///                 window_ops operations (and at least min_ops samples)
+///                 failed, the breaker opens.
+///   * open      — every operation fast-fails with kResourceExhausted
+///                 without touching the store. The error is retryable by
+///                 taxonomy but reaches callers ABOVE the retry layer, so
+///                 nothing loops on it; being data-unavailable, it lets
+///                 CachingLabelStore's degraded reads serve stale values
+///                 immediately instead of burning a retry budget first.
+///                 After open_cooldown_us the breaker turns half-open.
+///   * half-open — up to half_open_probes operations are admitted as
+///                 probes (excess still fast-fails). Any probe failure
+///                 reopens with a fresh cooldown; half_open_probes
+///                 successes close the breaker and clear the window.
+///
+/// Failure classification: device-health errors only, i.e.
+/// IsDataUnavailableCode EXCLUDING kDeadlineExceeded — a caller running
+/// out of its own budget (see util/request_context.h) says nothing about
+/// the device, and counting it would let a storm of impatient requests
+/// open a healthy device's breaker. Logical errors (kNotFound, ...) count
+/// as successes for the same reason.
+///
+/// WriteTorn passes through ungated: it is the fault-injection hook
+/// itself, not live traffic.
+///
+/// Thread-safe: state and window live under one mutex that is never held
+/// across a base-store call; counters are atomic.
+class CircuitBreakerPageStore : public PageStore {
+ public:
+  enum class State { kClosed, kOpen, kHalfOpen };
+
+  /// Breaker activity counters (mirrored into an attached MetricsRegistry
+  /// under "breaker.*").
+  struct Counters {
+    std::atomic<uint64_t> ops{0};         // operations admitted to the base
+    std::atomic<uint64_t> failures{0};    // admitted ops that failed (device-health)
+    std::atomic<uint64_t> fast_fails{0};  // ops rejected while open/half-open
+    std::atomic<uint64_t> opened{0};      // closed/half-open -> open transitions
+    std::atomic<uint64_t> closed{0};      // half-open -> closed transitions
+  };
+
+  CircuitBreakerPageStore(PageStore* base, CircuitBreakerOptions options = {});
+
+  CircuitBreakerPageStore(const CircuitBreakerPageStore&) = delete;
+  CircuitBreakerPageStore& operator=(const CircuitBreakerPageStore&) = delete;
+
+  size_t page_size() const override { return base_->page_size(); }
+  StatusOr<PageId> Allocate() override;
+  Status Free(PageId id) override;
+  Status Read(PageId id, uint8_t* buf) override;
+  Status Write(PageId id, const uint8_t* buf) override;
+  Status WriteUnjournaled(PageId id, const uint8_t* buf) override;
+  PageId unjournaled_floor() const override {
+    return base_->unjournaled_floor();
+  }
+  Status WriteTorn(PageId id, const uint8_t* buf, size_t prefix) override;
+  Status Sync() override;
+  Status CommitEpoch(uint64_t epoch) override;
+  uint64_t allocated_pages() const override {
+    return base_->allocated_pages();
+  }
+  uint64_t total_pages() const override { return base_->total_pages(); }
+  void SnapshotAllocator(uint64_t* total,
+                         std::vector<PageId>* free_pages) const override {
+    base_->SnapshotAllocator(total, free_pages);
+  }
+  Status RestoreAllocator(uint64_t total,
+                          const std::vector<PageId>& free_pages) override {
+    return base_->RestoreAllocator(total, free_pages);
+  }
+
+  /// Current state. Open with an elapsed cooldown still reports kOpen
+  /// until the next operation actually turns it half-open.
+  State state() const;
+
+  const Counters& counters() const { return counters_; }
+  const CircuitBreakerOptions& options() const { return options_; }
+
+  /// Attaches (or detaches, with nullptr) a metrics registry; breaker
+  /// counters are incremented there under "breaker.*". Resolve-once
+  /// handles, same contract as RetryingPageStore::SetMetrics: call at
+  /// setup, not during concurrent traffic.
+  void SetMetrics(MetricsRegistry* metrics);
+
+ private:
+  struct MetricHandles {
+    MetricsRegistry::Counter* ops = nullptr;
+    MetricsRegistry::Counter* failures = nullptr;
+    MetricsRegistry::Counter* fast_fails = nullptr;
+    MetricsRegistry::Counter* opened = nullptr;
+    MetricsRegistry::Counter* closed = nullptr;
+  };
+
+  uint64_t NowUs() const;
+  /// Decides admission; on pass-through sets *probe when the op runs as a
+  /// half-open probe. Returns non-OK (the fast-fail) when rejected.
+  Status Admit(bool* probe);
+  /// Feeds one admitted op's outcome back into the state machine.
+  void RecordOutcome(bool failure, bool probe);
+  /// Transitions to open at `now`; the caller holds mu_.
+  void OpenLocked(uint64_t now);
+  void Count(std::atomic<uint64_t> Counters::*field,
+             MetricsRegistry::Counter* handle);
+  Status RunGated(const std::function<Status()>& op);
+
+  PageStore* base_;  // not owned
+  const CircuitBreakerOptions options_;
+
+  mutable std::mutex mu_;
+  State state_ = State::kClosed;
+  uint64_t open_until_us_ = 0;
+  uint32_t probes_in_flight_ = 0;
+  uint32_t probe_successes_ = 0;
+  // Outcome ring buffer: 1 = failure. window_count_ grows to window_ops
+  // and stays there; window_failures_ tracks the sum.
+  std::vector<uint8_t> window_;
+  size_t window_next_ = 0;
+  size_t window_count_ = 0;
+  size_t window_failures_ = 0;
+
+  Counters counters_;
+  MetricHandles handles_;
+};
+
+}  // namespace boxes
+
+#endif  // BOXES_STORAGE_CIRCUIT_BREAKER_STORE_H_

@@ -5,6 +5,8 @@
 #include <cstring>
 #include <vector>
 
+#include "util/request_context.h"
+
 namespace boxes {
 
 namespace {
@@ -158,7 +160,15 @@ StatusOr<uint8_t*> PageCache::GetInternal(PageId id, bool for_write) {
       return frame.data.get();
     }
   }
-  // Miss. Eviction only ever fires inside an active (writer-exclusive)
+  // Miss: real I/O is about to happen on the caller's behalf, so this is
+  // where the request's deadline and I/O allowance are enforced (DESIGN.md
+  // §4j). Hits above never consult the context — resident pages stay free
+  // for even an expired request, which is what lets degraded reads answer
+  // from cache after the budget runs out.
+  if (RequestContext* context = RequestContext::Current()) {
+    BOXES_RETURN_IF_ERROR(context->ChargeIo("page-cache miss"));
+  }
+  // Eviction only ever fires inside an active (writer-exclusive)
   // operation, so it cannot invalidate concurrent readers' frames.
   BOXES_RETURN_IF_ERROR(EvictIfNeeded(/*headroom=*/1));
   // Read from the store with no shard lock held: a miss may block in the
@@ -337,16 +347,33 @@ Status PageCache::EvictIfNeeded(size_t headroom) {
 }
 
 void PageCache::Touch(PageId id, Frame* frame) {
+  const bool first_touch_this_op = !frame->touched_this_op;
   frame->touched_this_op = true;
-  if (options_.retain_across_ops) {
-    std::lock_guard<std::mutex> lock(lru_mu_);
-    if (frame->in_lru) {
-      lru_.erase(frame->lru_pos);
-    }
-    lru_.push_front(id);
-    frame->lru_pos = lru_.begin();
-    frame->in_lru = true;
+  if (!options_.retain_across_ops) {
+    return;
   }
+  // Repeat touches of an already-listed frame only *reorder* the LRU, and
+  // under concurrent readers the single lru_mu_ — not the sharded page
+  // table — is what every hot-page hit would serialize on. Sample those
+  // promotions (1 in kLruTouchSamplePeriod per thread); skipping one can
+  // only leave a popular frame listed slightly staler than exact LRU.
+  // First touches always promote: frames must enter the list, and the first
+  // touch of each frame per operation refreshes its recency before the next
+  // BeginOp trim, so single-threaded eviction order stays exact.
+  if (!first_touch_this_op && frame->in_lru) {
+    thread_local uint64_t touch_tick = 0;
+    if ((++touch_tick & (kLruTouchSamplePeriod - 1)) != 0) {
+      lru_sampled_skips_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+  }
+  std::lock_guard<std::mutex> lock(lru_mu_);
+  if (frame->in_lru) {
+    lru_.erase(frame->lru_pos);
+  }
+  lru_.push_front(id);
+  frame->lru_pos = lru_.begin();
+  frame->in_lru = true;
 }
 
 void PageCache::MarkDirty(Frame* frame) {

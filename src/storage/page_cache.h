@@ -134,6 +134,18 @@ class PageCache {
     return shard_contention_.load(std::memory_order_relaxed);
   }
 
+  /// Repeat-touch LRU promotions skipped by sampling (see Touch): each skip
+  /// is a global lru_mu_ acquisition a cache hit avoided.
+  uint64_t lru_sampled_skips() const {
+    return lru_sampled_skips_.load(std::memory_order_relaxed);
+  }
+
+  /// Per-thread sampling period for repeat-touch LRU promotions in retained
+  /// mode (power of two): one in this many repeat touches moves the frame
+  /// to the LRU front; the rest leave recency slightly stale instead of
+  /// serializing every hit on the global LRU mutex.
+  static constexpr uint64_t kLruTouchSamplePeriod = 16;
+
   /// Number of page-table shards (power of two).
   size_t num_shards() const { return num_shards_; }
 
@@ -199,6 +211,7 @@ class PageCache {
   AtomicIo stats_;
   std::array<AtomicIo, kNumIoPhases> phase_stats_;
   std::atomic<uint64_t> shard_contention_{0};
+  std::atomic<uint64_t> lru_sampled_skips_{0};
 
   mutable std::mutex unwind_mu_;
   Status last_unwind_error_;

@@ -582,16 +582,19 @@ Status FaultInjectionPageStore::MaybeFail() {
 }
 
 StatusOr<PageId> FaultInjectionPageStore::Allocate() {
+  std::lock_guard<std::mutex> lock(mu_);
   BOXES_RETURN_IF_ERROR(MaybeFail());
   return base_->Allocate();
 }
 
 Status FaultInjectionPageStore::Free(PageId id) {
+  std::lock_guard<std::mutex> lock(mu_);
   BOXES_RETURN_IF_ERROR(MaybeFail());
   return base_->Free(id);
 }
 
 Status FaultInjectionPageStore::Read(PageId id, uint8_t* buf) {
+  std::lock_guard<std::mutex> lock(mu_);
   BOXES_RETURN_IF_ERROR(MaybeFail());
   if (poisoned_.count(id) > 0) {
     ++faults_injected_;
@@ -637,21 +640,25 @@ Status FaultInjectionPageStore::WriteImpl(PageId id, const uint8_t* buf,
 }
 
 Status FaultInjectionPageStore::Write(PageId id, const uint8_t* buf) {
+  std::lock_guard<std::mutex> lock(mu_);
   return WriteImpl(id, buf, /*journaled=*/true);
 }
 
 Status FaultInjectionPageStore::WriteUnjournaled(PageId id,
                                                  const uint8_t* buf) {
+  std::lock_guard<std::mutex> lock(mu_);
   return WriteImpl(id, buf, /*journaled=*/false);
 }
 
 Status FaultInjectionPageStore::WriteTorn(PageId id, const uint8_t* buf,
                                           size_t prefix) {
+  std::lock_guard<std::mutex> lock(mu_);
   BOXES_RETURN_IF_ERROR(MaybeFail());
   return base_->WriteTorn(id, buf, prefix);
 }
 
 Status FaultInjectionPageStore::Sync() {
+  std::lock_guard<std::mutex> lock(mu_);
   ++syncs_seen_;
   // The deterministic sync countdown fires before the generic machinery so
   // tests can target "the Nth barrier" exactly, independent of how many
@@ -670,6 +677,7 @@ Status FaultInjectionPageStore::Sync() {
 }
 
 Status FaultInjectionPageStore::CommitEpoch(uint64_t epoch) {
+  std::lock_guard<std::mutex> lock(mu_);
   // Epoch bookkeeping is not an I/O edge; after a crash it must not
   // touch the frozen image, but it also must not fail bookkeeping-only
   // callers.

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_set>
 #include <vector>
@@ -352,6 +353,14 @@ class FilePageStore : public PageStore {
 /// writes, and a crash-point mode that freezes the persisted image after a
 /// chosen number of writes. All operations — including Allocate/Free/Sync —
 /// are routed through the fault machinery and counted.
+///
+/// Thread-safe: one internal mutex serializes the fault machinery AND the
+/// delegated base call, so concurrent callers (the fleet harness drives
+/// several tenants' stacks into one shared device) see a consistent fault
+/// stream and the base store — MemoryPageStore is not itself thread-safe —
+/// is accessed one operation at a time, like a queue-depth-1 device.
+/// Control methods (SetFailProbability, PoisonPage, Heal, ...) may be
+/// called while traffic is running.
 class FaultInjectionPageStore : public PageStore {
  public:
   explicit FaultInjectionPageStore(PageStore* base);
@@ -361,10 +370,16 @@ class FaultInjectionPageStore : public PageStore {
 
   /// Arms the fault: after `n` further successful operations, all
   /// subsequent operations fail with IoError.
-  void FailAfter(uint64_t n) { fail_after_ops_ = n; }
+  void FailAfter(uint64_t n) {
+    std::lock_guard<std::mutex> lock(mu_);
+    fail_after_ops_ = n;
+  }
 
   /// Seeds the PRNG driving probabilistic faults and torn-write prefixes.
-  void SetSeed(uint64_t seed) { rng_ = Random(seed); }
+  void SetSeed(uint64_t seed) {
+    std::lock_guard<std::mutex> lock(mu_);
+    rng_ = Random(seed);
+  }
 
   /// Each operation independently fails with probability `p`. Transient
   /// faults affect only the sampled operation; a permanent fault latches,
@@ -377,6 +392,7 @@ class FaultInjectionPageStore : public PageStore {
   /// keep failing operations but never mutate the base store again (no
   /// torn writes after the freeze).
   void SetFailProbability(double p, bool transient = true) {
+    std::lock_guard<std::mutex> lock(mu_);
     fail_probability_ = p;
     transient_ = transient;
   }
@@ -386,16 +402,26 @@ class FaultInjectionPageStore : public PageStore {
   /// keeps working. This is what lets scrubber/degraded-read tests
   /// quarantine one page yet keep serving unaffected ranges. Writes are
   /// not affected (and do not heal the page; healing is explicit).
-  void PoisonPage(PageId id) { poisoned_.insert(id); }
-  void HealPage(PageId id) { poisoned_.erase(id); }
-  const std::unordered_set<PageId>& poisoned_pages() const {
+  void PoisonPage(PageId id) {
+    std::lock_guard<std::mutex> lock(mu_);
+    poisoned_.insert(id);
+  }
+  void HealPage(PageId id) {
+    std::lock_guard<std::mutex> lock(mu_);
+    poisoned_.erase(id);
+  }
+  std::unordered_set<PageId> poisoned_pages() const {
+    std::lock_guard<std::mutex> lock(mu_);
     return poisoned_;
   }
 
   /// When enabled, a write hit by a fault (probabilistic, fail-after, or
   /// the crash point) persists a random strict prefix of the page via
   /// WriteTorn before the error is returned, instead of vanishing.
-  void SetTornWrites(bool enabled) { torn_writes_ = enabled; }
+  void SetTornWrites(bool enabled) {
+    std::lock_guard<std::mutex> lock(mu_);
+    torn_writes_ = enabled;
+  }
 
   /// Sync-specific fault: the next `n` Sync() calls succeed, then the
   /// following `times` fail with IoError, then Sync works again. Unlike
@@ -406,18 +432,23 @@ class FaultInjectionPageStore : public PageStore {
   /// longer flush its cache. Writes before a failed Sync stay applied to
   /// the base store (data reached the device; the barrier did not).
   void FailSyncAfter(uint64_t n, uint64_t times = 1) {
+    std::lock_guard<std::mutex> lock(mu_);
     sync_fails_after_ = n;
     sync_fail_budget_ = times;
   }
 
   /// Sync() calls that reached the fault machinery.
-  uint64_t syncs_seen() const { return syncs_seen_; }
+  uint64_t syncs_seen() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return syncs_seen_;
+  }
 
   /// Crash-point mode: the next `n` writes persist normally; the write
   /// after that "crashes" — it is dropped (or torn, with SetTornWrites) and
   /// every subsequent operation fails with IoError, freezing the base
   /// store as the post-crash disk image.
   void CrashAfterWrites(uint64_t n) {
+    std::lock_guard<std::mutex> lock(mu_);
     crash_after_writes_ = n;
     writes_until_crash_ = n;
     crashed_ = false;
@@ -426,6 +457,7 @@ class FaultInjectionPageStore : public PageStore {
   /// Disarms all faults, including a triggered crash point and any
   /// poisoned pages.
   void Heal() {
+    std::lock_guard<std::mutex> lock(mu_);
     fail_after_ops_ = UINT64_MAX;
     fail_probability_ = 0.0;
     permanent_failure_ = false;
@@ -436,13 +468,25 @@ class FaultInjectionPageStore : public PageStore {
   }
 
   /// True once the crash point has triggered.
-  bool crashed() const { return crashed_; }
+  bool crashed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return crashed_;
+  }
   /// Operations that reached the fault machinery.
-  uint64_t ops_seen() const { return ops_seen_; }
+  uint64_t ops_seen() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return ops_seen_;
+  }
   /// Faults injected (including the crash-point trigger).
-  uint64_t faults_injected() const { return faults_injected_; }
+  uint64_t faults_injected() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return faults_injected_;
+  }
   /// Writes forwarded to the base store.
-  uint64_t writes_committed() const { return writes_committed_; }
+  uint64_t writes_committed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return writes_committed_;
+  }
 
   size_t page_size() const override { return base_->page_size(); }
   StatusOr<PageId> Allocate() override;
@@ -473,11 +517,14 @@ class FaultInjectionPageStore : public PageStore {
   }
 
  private:
+  /// The following helpers assume mu_ is held by the public entry point.
   Status MaybeFail();
   size_t TornPrefix();
   Status WriteImpl(PageId id, const uint8_t* buf, bool journaled);
 
   PageStore* base_;  // not owned
+  // Held across the base call too: the device serves one request at a time.
+  mutable std::mutex mu_;
   Random rng_;
   uint64_t fail_after_ops_ = UINT64_MAX;
   double fail_probability_ = 0.0;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <string>
 
+#include "util/request_context.h"
+
 namespace boxes {
 
 RetryingPageStore::RetryingPageStore(PageStore* base,
@@ -12,11 +14,35 @@ RetryingPageStore::RetryingPageStore(PageStore* base,
   BOXES_CHECK(options_.backoff_multiplier >= 1.0);
 }
 
+void RetryingPageStore::SetMetrics(MetricsRegistry* metrics) {
+  metrics_ = metrics;
+  if (metrics == nullptr) {
+    handles_ = MetricHandles{};
+    return;
+  }
+  handles_.ops = metrics->GetCounter("retry.ops");
+  handles_.attempts = metrics->GetCounter("retry.attempts");
+  handles_.retries = metrics->GetCounter("retry.retries");
+  handles_.recovered = metrics->GetCounter("retry.recovered");
+  handles_.gave_up = metrics->GetCounter("retry.gave_up");
+  handles_.deadline_gave_up = metrics->GetCounter("retry.deadline_gave_up");
+  handles_.permanent_errors = metrics->GetCounter("retry.permanent_errors");
+  handles_.backoff_us = metrics->GetCounter("retry.backoff_us");
+  handles_.backoff_ms = metrics->GetHistogram("retry.backoff_ms");
+}
+
 void RetryingPageStore::Count(std::atomic<uint64_t> Counters::*field,
-                              const char* metric, uint64_t delta) {
+                              MetricsRegistry::Counter* handle,
+                              uint64_t delta) {
   (counters_.*field).fetch_add(delta, std::memory_order_relaxed);
-  if (metrics_ != nullptr) {
-    metrics_->IncrementCounter(metric, delta);
+  if (handle != nullptr) {
+    handle->fetch_add(delta, std::memory_order_relaxed);
+  }
+}
+
+void RetryingPageStore::RecordOpBackoff(uint64_t backoff_spent_us) {
+  if (backoff_spent_us > 0 && handles_.backoff_ms != nullptr) {
+    handles_.backoff_ms->Add((backoff_spent_us + 500) / 1000);
   }
 }
 
@@ -29,20 +55,22 @@ void RetryingPageStore::CountPhase(const char* event) {
 }
 
 Status RetryingPageStore::RunWithRetry(const std::function<Status()>& op) {
-  Count(&Counters::ops, "retry.ops");
+  Count(&Counters::ops, handles_.ops);
   uint64_t backoff_us = options_.initial_backoff_us;
   uint64_t backoff_spent_us = 0;
   for (uint32_t attempt = 1;; ++attempt) {
-    Count(&Counters::attempts, "retry.attempts");
+    Count(&Counters::attempts, handles_.attempts);
     const Status status = op();
     if (status.ok()) {
       if (attempt > 1) {
-        Count(&Counters::recovered, "retry.recovered");
+        Count(&Counters::recovered, handles_.recovered);
       }
+      RecordOpBackoff(backoff_spent_us);
       return status;
     }
     if (!IsRetryableCode(status.code())) {
-      Count(&Counters::permanent_errors, "retry.permanent_errors");
+      Count(&Counters::permanent_errors, handles_.permanent_errors);
+      RecordOpBackoff(backoff_spent_us);
       return status;
     }
     // Jitter: a uniform draw from [backoff/2, backoff], seeded and thus
@@ -55,13 +83,29 @@ Status RetryingPageStore::RunWithRetry(const std::function<Status()>& op) {
     }
     if (attempt >= options_.max_attempts ||
         backoff_spent_us + jittered > options_.op_deadline_us) {
-      Count(&Counters::gave_up, "retry.gave_up");
+      Count(&Counters::gave_up, handles_.gave_up);
       CountPhase("gave_up");
+      RecordOpBackoff(backoff_spent_us);
       return status;
     }
-    Count(&Counters::retries, "retry.retries");
+    // The caller's remaining budget must cover the sleep we are about to
+    // take; otherwise the answer would arrive after the request's deadline
+    // no matter what the device does. kDeadlineExceeded here (rather than
+    // the device's last error) keeps the circuit breaker stacked above from
+    // charging the caller's impatience against the device's health.
+    if (RequestContext::CurrentRemainingUs() < jittered) {
+      Count(&Counters::gave_up, handles_.gave_up);
+      Count(&Counters::deadline_gave_up, handles_.deadline_gave_up);
+      CountPhase("gave_up");
+      RecordOpBackoff(backoff_spent_us);
+      return Status::DeadlineExceeded(
+          "retry abandoned: remaining request budget cannot cover the next "
+          "backoff (last error: " +
+          status.ToString() + ")");
+    }
+    Count(&Counters::retries, handles_.retries);
     CountPhase("retries");
-    Count(&Counters::backoff_us, "retry.backoff_us", jittered);
+    Count(&Counters::backoff_us, handles_.backoff_us, jittered);
     backoff_spent_us += jittered;
     if (options_.sleep) {
       options_.sleep(jittered);

@@ -47,6 +47,13 @@ struct RetryingStoreOptions {
 /// Corruption) surfaces. Page reads and writes are idempotent, which is
 /// what makes blind reissue safe.
 ///
+/// The store also honors the calling request's own budget (DESIGN.md §4j):
+/// when a RequestContext is bound to the thread and its remaining time
+/// cannot cover the next backoff interval, the store gives up immediately
+/// with kDeadlineExceeded instead of sleeping past the caller's deadline.
+/// The drawn backoff is never slept in that case, so a request with 1ms
+/// left is refused a 20ms sleep rather than returning 19ms late.
+///
 /// WriteTorn is deliberately NOT retried: it is the fault-injection hook
 /// itself, and "retrying a torn write" has no physical meaning.
 ///
@@ -64,6 +71,7 @@ class RetryingPageStore : public PageStore {
     std::atomic<uint64_t> retries{0};           // reissues after a retryable error
     std::atomic<uint64_t> recovered{0};         // ops that succeeded after >=1 retry
     std::atomic<uint64_t> gave_up{0};           // ops that exhausted their budget
+    std::atomic<uint64_t> deadline_gave_up{0};  // ops cut short by the request deadline
     std::atomic<uint64_t> permanent_errors{0};  // non-retryable first-attempt errors
     std::atomic<uint64_t> backoff_us{0};        // total (virtual) backoff time
   };
@@ -102,8 +110,13 @@ class RetryingPageStore : public PageStore {
   const RetryingStoreOptions& options() const { return options_; }
 
   /// Attaches (or detaches, with nullptr) a metrics registry; retry
-  /// counters are incremented there under "retry.*".
-  void SetMetrics(MetricsRegistry* metrics) { metrics_ = metrics; }
+  /// counters are incremented there under "retry.*", and per-operation
+  /// accumulated backoff is sampled into the "retry.backoff_ms" histogram
+  /// (operations that never backed off contribute no sample). Counter and
+  /// histogram handles are resolved here, once, so the per-attempt hot path
+  /// touches only pre-resolved atomics — call at setup, not while
+  /// concurrent traffic is running through the store.
+  void SetMetrics(MetricsRegistry* metrics);
 
   /// Attaches a phase probe (typically bound to PageCache::current_phase of
   /// the cache stacked on top of this store). When set, retries and
@@ -115,11 +128,26 @@ class RetryingPageStore : public PageStore {
   }
 
  private:
+  /// Pre-resolved registry handles for the per-attempt hot path (see
+  /// SetMetrics). All null when no registry is attached.
+  struct MetricHandles {
+    MetricsRegistry::Counter* ops = nullptr;
+    MetricsRegistry::Counter* attempts = nullptr;
+    MetricsRegistry::Counter* retries = nullptr;
+    MetricsRegistry::Counter* recovered = nullptr;
+    MetricsRegistry::Counter* gave_up = nullptr;
+    MetricsRegistry::Counter* deadline_gave_up = nullptr;
+    MetricsRegistry::Counter* permanent_errors = nullptr;
+    MetricsRegistry::Counter* backoff_us = nullptr;
+    Histogram* backoff_ms = nullptr;
+  };
+
   /// Runs `op` under the retry policy. `op` must be safely repeatable.
   Status RunWithRetry(const std::function<Status()>& op);
-  void Count(std::atomic<uint64_t> Counters::*field, const char* metric,
-             uint64_t delta = 1);
+  void Count(std::atomic<uint64_t> Counters::*field,
+             MetricsRegistry::Counter* handle, uint64_t delta = 1);
   void CountPhase(const char* event);
+  void RecordOpBackoff(uint64_t backoff_spent_us);
 
   PageStore* base_;  // not owned
   const RetryingStoreOptions options_;
@@ -127,6 +155,7 @@ class RetryingPageStore : public PageStore {
   Random rng_;
   Counters counters_;
   MetricsRegistry* metrics_ = nullptr;  // not owned
+  MetricHandles handles_;
   std::function<IoPhase()> phase_probe_;
 };
 

@@ -97,6 +97,19 @@ void MetricsRegistry::IncrementCounter(const std::string& name,
   counters_[name].fetch_add(delta, std::memory_order_relaxed);
 }
 
+MetricsRegistry::Counter* MetricsRegistry::GetCounter(
+    const std::string& name) {
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    const auto it = counters_.find(name);
+    if (it != counters_.end()) {
+      return &it->second;
+    }
+  }
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  return &counters_[name];
+}
+
 uint64_t MetricsRegistry::CounterValue(const std::string& name) const {
   std::shared_lock<std::shared_mutex> lock(mu_);
   const auto it = counters_.find(name);

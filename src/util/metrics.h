@@ -34,8 +34,20 @@ class MetricsRegistry {
   MetricsRegistry(const MetricsRegistry&) = delete;
   MetricsRegistry& operator=(const MetricsRegistry&) = delete;
 
+  /// A named counter's storage. Obtained via GetCounter; increment with
+  /// fetch_add(delta, std::memory_order_relaxed).
+  using Counter = std::atomic<uint64_t>;
+
   /// Adds `delta` to the named counter, creating it at zero first.
   void IncrementCounter(const std::string& name, uint64_t delta = 1);
+
+  /// Returns a stable handle to the named counter, creating it at zero on
+  /// first use. Hot paths resolve their counters ONCE (typically when the
+  /// registry is attached) and increment through the handle, skipping the
+  /// per-event name hash + shared-lock map lookup IncrementCounter pays —
+  /// the registry lock is what shows up under multi-tenant load. Like
+  /// GetHistogram pointers, handles stay valid until Clear().
+  Counter* GetCounter(const std::string& name);
 
   /// Current value of a counter; zero if it was never incremented.
   uint64_t CounterValue(const std::string& name) const;
@@ -111,6 +123,35 @@ class ScopedTimer {
  private:
   MetricsRegistry* registry_;
   std::string name_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// RAII wall-clock timer over a pre-resolved Histogram handle (see
+/// MetricsRegistry::GetHistogram): the hot-path variant of ScopedTimer —
+/// no name string is built or resolved per sample. A null histogram makes
+/// it a no-op.
+class HistogramTimer {
+ public:
+  explicit HistogramTimer(Histogram* histogram) : histogram_(histogram) {
+    if (histogram_ != nullptr) {
+      start_ = std::chrono::steady_clock::now();
+    }
+  }
+
+  ~HistogramTimer() {
+    if (histogram_ != nullptr) {
+      const auto elapsed = std::chrono::steady_clock::now() - start_;
+      histogram_->Add(static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(elapsed)
+              .count()));
+    }
+  }
+
+  HistogramTimer(const HistogramTimer&) = delete;
+  HistogramTimer& operator=(const HistogramTimer&) = delete;
+
+ private:
+  Histogram* histogram_;
   std::chrono::steady_clock::time_point start_;
 };
 

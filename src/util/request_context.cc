@@ -1,0 +1,72 @@
+#include "util/request_context.h"
+
+#include <chrono>
+#include <string>
+
+namespace boxes {
+
+namespace {
+
+thread_local RequestContext* tls_request_context = nullptr;
+
+}  // namespace
+
+uint64_t SteadyNowMicros() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+RequestContext RequestContext::WithTimeout(
+    uint64_t timeout_us, std::function<uint64_t()> now_fn) {
+  RequestContext context;
+  context.now_fn_ = std::move(now_fn);
+  context.deadline_us_ = context.now_us() + timeout_us;
+  return context;
+}
+
+uint64_t RequestContext::remaining_us() const {
+  if (!has_deadline()) {
+    return kNoDeadline;
+  }
+  const uint64_t now = now_us();
+  return now >= deadline_us_ ? 0 : deadline_us_ - now;
+}
+
+Status RequestContext::Check(const char* where) const {
+  if (expired()) {
+    return Status::DeadlineExceeded(std::string("request deadline exceeded (") +
+                                    where + ")");
+  }
+  if (ios_charged_ >= io_budget_) {
+    return Status::DeadlineExceeded(
+        std::string("request I/O budget exhausted (") + where + ", " +
+        std::to_string(ios_charged_) + " I/Os charged)");
+  }
+  return Status::OK();
+}
+
+Status RequestContext::ChargeIo(const char* where) {
+  BOXES_RETURN_IF_ERROR(Check(where));
+  ++ios_charged_;
+  return Status::OK();
+}
+
+RequestContext* RequestContext::Current() { return tls_request_context; }
+
+uint64_t RequestContext::CurrentRemainingUs() {
+  const RequestContext* context = tls_request_context;
+  return context == nullptr ? kNoDeadline : context->remaining_us();
+}
+
+ScopedRequestContext::ScopedRequestContext(RequestContext* context)
+    : previous_(tls_request_context) {
+  tls_request_context = context;
+}
+
+ScopedRequestContext::~ScopedRequestContext() {
+  tls_request_context = previous_;
+}
+
+}  // namespace boxes

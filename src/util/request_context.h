@@ -1,0 +1,133 @@
+#ifndef BOXES_UTIL_REQUEST_CONTEXT_H_
+#define BOXES_UTIL_REQUEST_CONTEXT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+#include "util/status.h"
+
+namespace boxes {
+
+/// Monotonic wall clock in microseconds (steady_clock). The zero point is
+/// arbitrary; only differences are meaningful.
+uint64_t SteadyNowMicros();
+
+/// Per-request lifetime budget (DESIGN.md §4j): an absolute deadline on a
+/// monotonic microsecond clock plus an optional I/O cost budget. A context
+/// is bound to the calling thread with ScopedRequestContext and consulted
+/// at the layer boundaries where a request turns into real work:
+///
+///   * LabelingScheme::LookupShared / OrdinalLookupShared check it on
+///     entry, so an already-expired request never takes a read ticket.
+///   * PageCache checks it on every read *miss* — the edge where a lookup
+///     becomes device I/O — and charges one unit of the I/O budget there.
+///     Cache hits are never charged or blocked: once the bytes are
+///     resident, serving them costs (almost) nothing.
+///   * RetryingPageStore refuses to start a backoff sleep the remaining
+///     time budget cannot cover (see RetryingStoreOptions), so a retry
+///     storm cannot pin a request past its deadline.
+///   * AdmissionController bounds queue waits by the remaining budget.
+///
+/// Exhaustion of either budget surfaces as kDeadlineExceeded, which is
+/// non-retryable (the allowance is spent; reissuing cannot help) but
+/// data-unavailable (CachingLabelStore may still serve the cached,
+/// possibly stale value — the fastest answer an out-of-time request can
+/// get).
+///
+/// The clock is injectable for tests (virtual time); the default is
+/// SteadyNowMicros. A context object is owned by one request on one
+/// thread; it is not itself thread-safe.
+class RequestContext {
+ public:
+  /// "No deadline" sentinel for deadline_us().
+  static constexpr uint64_t kNoDeadline =
+      std::numeric_limits<uint64_t>::max();
+  /// "No budget" sentinel for io_budget().
+  static constexpr uint64_t kNoIoBudget =
+      std::numeric_limits<uint64_t>::max();
+
+  /// An unbounded context (no deadline, no I/O budget).
+  RequestContext() = default;
+
+  /// A context whose deadline is `timeout_us` from now on `now_fn` (null =
+  /// the steady clock).
+  static RequestContext WithTimeout(
+      uint64_t timeout_us, std::function<uint64_t()> now_fn = nullptr);
+
+  /// Overrides the microsecond clock (tests inject virtual time). Null
+  /// restores the steady clock.
+  void set_now_fn(std::function<uint64_t()> now_fn) {
+    now_fn_ = std::move(now_fn);
+  }
+
+  /// Sets an absolute deadline in this context's clock units.
+  void set_deadline_us(uint64_t deadline_us) { deadline_us_ = deadline_us; }
+  uint64_t deadline_us() const { return deadline_us_; }
+  bool has_deadline() const { return deadline_us_ != kNoDeadline; }
+
+  /// Caps the number of I/O units (page-cache miss reads) this request may
+  /// consume. kNoIoBudget = unlimited.
+  void set_io_budget(uint64_t ios) { io_budget_ = ios; }
+  uint64_t io_budget() const { return io_budget_; }
+  uint64_t ios_charged() const { return ios_charged_; }
+
+  /// Current time on this context's clock.
+  uint64_t now_us() const {
+    return now_fn_ ? now_fn_() : SteadyNowMicros();
+  }
+
+  /// Time left before the deadline; 0 when expired, kNoDeadline when
+  /// unbounded.
+  uint64_t remaining_us() const;
+
+  bool expired() const { return has_deadline() && remaining_us() == 0; }
+
+  /// OK while both budgets have room; kDeadlineExceeded (tagged with
+  /// `where`) once the deadline passed or the I/O budget is spent.
+  Status Check(const char* where) const;
+
+  /// Charges one I/O unit, failing with kDeadlineExceeded when either
+  /// budget is exhausted *before* the charge (an already-overdrawn request
+  /// must not issue further I/O).
+  Status ChargeIo(const char* where);
+
+  /// The context bound to the calling thread, or nullptr when the request
+  /// is unbounded (no ScopedRequestContext active). Library layers treat
+  /// nullptr as "no budget": the pre-request-context behavior.
+  static RequestContext* Current();
+
+  /// Remaining time budget of the calling thread's bound context;
+  /// kNoDeadline when none is bound or it has no deadline. The single call
+  /// hot paths need.
+  static uint64_t CurrentRemainingUs();
+
+ private:
+  friend class ScopedRequestContext;
+
+  uint64_t deadline_us_ = kNoDeadline;
+  uint64_t io_budget_ = kNoIoBudget;
+  uint64_t ios_charged_ = 0;
+  std::function<uint64_t()> now_fn_;
+};
+
+/// Binds a RequestContext to the calling thread for its scope (nesting
+/// restores the outer context on destruction) — the same TLS pattern as
+/// ScopedPhase, so contexts thread through every layer without touching
+/// signatures. Binding nullptr makes the scope explicitly unbounded.
+class ScopedRequestContext {
+ public:
+  explicit ScopedRequestContext(RequestContext* context);
+  ~ScopedRequestContext();
+
+  ScopedRequestContext(const ScopedRequestContext&) = delete;
+  ScopedRequestContext& operator=(const ScopedRequestContext&) = delete;
+
+ private:
+  RequestContext* previous_;
+};
+
+}  // namespace boxes
+
+#endif  // BOXES_UTIL_REQUEST_CONTEXT_H_

@@ -27,6 +27,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "Unimplemented";
     case StatusCode::kInternal:
       return "Internal";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
   }
   return "Unknown";
 }
@@ -39,7 +41,8 @@ bool IsRetryableCode(StatusCode code) {
 bool IsDataUnavailableCode(StatusCode code) {
   return code == StatusCode::kIoError ||
          code == StatusCode::kResourceExhausted ||
-         code == StatusCode::kCorruption;
+         code == StatusCode::kCorruption ||
+         code == StatusCode::kDeadlineExceeded;
 }
 
 std::string Status::ToString() const {

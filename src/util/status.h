@@ -21,6 +21,10 @@ enum class StatusCode {
   kFailedPrecondition,
   kUnimplemented,
   kInternal,
+  /// The request's own lifetime budget (deadline or I/O allowance, see
+  /// util/request_context.h) ran out before the operation completed. Says
+  /// nothing about the health of the data or the device.
+  kDeadlineExceeded,
 };
 
 /// Returns a human-readable name for a status code ("OK", "IoError", ...).
@@ -31,15 +35,17 @@ const char* StatusCodeToString(StatusCode code);
 /// transient I/O fault (kIoError) or momentary exhaustion
 /// (kResourceExhausted). Permanent classes — kCorruption (the bytes are
 /// durably wrong; rereading yields the same bytes), argument/precondition
-/// errors, kNotFound — must not be retried.
+/// errors, kNotFound — must not be retried. kDeadlineExceeded is also
+/// final: the request's allowance is spent, and reissuing only spends
+/// somebody else's.
 bool IsRetryableCode(StatusCode code);
 
 /// True when the error means the authoritative on-disk value is currently
-/// unobtainable (retry budget exhausted, device dead, or page corrupt) but
-/// the caller may still hold a usable cached copy. This is the class the
-/// degraded-read path falls back on; logical errors (kNotFound,
-/// kInvalidArgument, ...) are excluded because a cached value would be just
-/// as wrong.
+/// unobtainable (retry budget exhausted, device dead, page corrupt, or the
+/// request ran out of time/budget to reach it) but the caller may still
+/// hold a usable cached copy. This is the class the degraded-read path
+/// falls back on; logical errors (kNotFound, kInvalidArgument, ...) are
+/// excluded because a cached value would be just as wrong.
 bool IsDataUnavailableCode(StatusCode code);
 
 /// A lightweight success-or-error value. OK status carries no allocation.
@@ -81,6 +87,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,0 +1,131 @@
+#include "workload/admission.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "util/request_context.h"
+
+namespace boxes {
+
+AdmissionController::AdmissionController(size_t num_docs,
+                                         AdmissionOptions options)
+    : options_(options), doc_active_(num_docs, 0) {}
+
+void AdmissionController::SetMetrics(MetricsRegistry* metrics) {
+  if (metrics == nullptr) {
+    handles_ = MetricHandles{};
+    return;
+  }
+  handles_.admitted = metrics->GetCounter("admission.admitted");
+  handles_.queued = metrics->GetCounter("admission.queued");
+  handles_.shed_queue_full = metrics->GetCounter("admission.shed_queue_full");
+  handles_.shed_timeout = metrics->GetCounter("admission.shed_timeout");
+  handles_.deadline_rejects =
+      metrics->GetCounter("admission.deadline_rejects");
+}
+
+void AdmissionController::Count(std::atomic<uint64_t> Counters::*field,
+                                MetricsRegistry::Counter* handle) {
+  (counters_.*field).fetch_add(1, std::memory_order_relaxed);
+  if (handle != nullptr) {
+    handle->fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+bool AdmissionController::GrantableLocked(size_t doc) const {
+  if (options_.global_limit != 0 && global_active_ >= options_.global_limit) {
+    return false;
+  }
+  if (options_.per_doc_limit != 0 &&
+      doc_active_[doc] >= options_.per_doc_limit) {
+    return false;
+  }
+  return true;
+}
+
+Status AdmissionController::Admit(size_t doc) {
+  BOXES_CHECK(doc < doc_active_.size());
+  // A request whose budget is already spent gets its verdict for free: no
+  // queue slot, no token.
+  if (RequestContext* context = RequestContext::Current()) {
+    const Status check = context->Check("admission");
+    if (!check.ok()) {
+      Count(&Counters::deadline_rejects, handles_.deadline_rejects);
+      return check;
+    }
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  if (GrantableLocked(doc)) {
+    ++global_active_;
+    ++doc_active_[doc];
+    Count(&Counters::admitted, handles_.admitted);
+    return Status::OK();
+  }
+  if (waiting_ >= options_.max_queue_depth) {
+    Count(&Counters::shed_queue_full, handles_.shed_queue_full);
+    return Status::ResourceExhausted(
+        "admission queue full: shedding (doc " + std::to_string(doc) + ")");
+  }
+  // Queue, but never longer than the shorter of the configured wait cap
+  // and the request's own remaining budget — a token granted after the
+  // caller's deadline is worthless.
+  const uint64_t remaining = RequestContext::CurrentRemainingUs();
+  // The 60s clamp keeps the duration far from chrono overflow if someone
+  // configures an effectively-infinite wait cap.
+  const uint64_t wait_us = std::min<uint64_t>(
+      {options_.max_queue_wait_us, remaining, 60'000'000});
+  ++waiting_;
+  Count(&Counters::queued, handles_.queued);
+  const bool granted = cv_.wait_for(
+      lock, std::chrono::microseconds(wait_us),
+      [&] { return GrantableLocked(doc); });
+  --waiting_;
+  if (!granted) {
+    if (remaining < options_.max_queue_wait_us) {
+      // The request's budget, not our queue policy, was the binding cut.
+      Count(&Counters::deadline_rejects, handles_.deadline_rejects);
+      return Status::DeadlineExceeded(
+          "request budget expired while queued for admission");
+    }
+    Count(&Counters::shed_timeout, handles_.shed_timeout);
+    return Status::ResourceExhausted(
+        "admission wait timed out: shedding (doc " + std::to_string(doc) +
+        ")");
+  }
+  ++global_active_;
+  ++doc_active_[doc];
+  Count(&Counters::admitted, handles_.admitted);
+  return Status::OK();
+}
+
+void AdmissionController::Release(size_t doc) {
+  BOXES_CHECK(doc < doc_active_.size());
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    BOXES_CHECK(global_active_ > 0);
+    BOXES_CHECK(doc_active_[doc] > 0);
+    --global_active_;
+    --doc_active_[doc];
+  }
+  // Both a global and a per-doc token freed; any waiter might now be
+  // grantable.
+  cv_.notify_all();
+}
+
+uint32_t AdmissionController::global_active() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return global_active_;
+}
+
+uint32_t AdmissionController::doc_active(size_t doc) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  BOXES_CHECK(doc < doc_active_.size());
+  return doc_active_[doc];
+}
+
+uint32_t AdmissionController::waiting() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return waiting_;
+}
+
+}  // namespace boxes

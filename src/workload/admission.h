@@ -1,0 +1,139 @@
+#ifndef BOXES_WORKLOAD_ADMISSION_H_
+#define BOXES_WORKLOAD_ADMISSION_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "util/metrics.h"
+#include "util/status.h"
+
+namespace boxes {
+
+/// Configuration of AdmissionController.
+struct AdmissionOptions {
+  /// Concurrent admitted requests across all documents. 0 = unlimited.
+  uint32_t global_limit = 64;
+  /// Concurrent admitted requests per document. 0 = unlimited.
+  uint32_t per_doc_limit = 8;
+  /// Requests allowed to wait for a token before newcomers are shed
+  /// outright. 0 disables queueing: a request either gets a token
+  /// immediately or is shed.
+  uint32_t max_queue_depth = 16;
+  /// Longest a queued request waits for a token before being shed
+  /// (microseconds of real time). Kept short on purpose: a deep or
+  /// long-waiting queue just converts overload into latency for everyone
+  /// behind it.
+  uint64_t max_queue_wait_us = 2'000;
+};
+
+/// Front door of the serving stack (DESIGN.md §4j): bounds how many
+/// requests are *in* the system, per document and overall, and sheds the
+/// excess instead of queueing it. Admission tokens are concurrency slots —
+/// the classic load-shedding observation is that beyond the concurrency
+/// the stack can actually execute, additional in-flight requests only add
+/// queueing delay, so the cheapest place to fail is before any work
+/// happens.
+///
+/// A request calls Admit() before touching any scheme; on OK it holds one
+/// global and one per-document token until Release(). When tokens are
+/// exhausted the request briefly queues (bounded both in depth and in
+/// wait time); queue-full and wait-timeout shed with kResourceExhausted —
+/// retryable by a *client*, and data-unavailable so a degraded serve
+/// layered above can still answer. A bound RequestContext caps the queue
+/// wait at the request's remaining budget, and a request whose budget is
+/// already spent is rejected with kDeadlineExceeded without queueing.
+///
+/// Thread-safe; Admit blocks only while queued. Use AdmissionTicket for
+/// RAII release.
+class AdmissionController {
+ public:
+  /// Admission outcome counters (mirrored into an attached MetricsRegistry
+  /// under "admission.*").
+  struct Counters {
+    std::atomic<uint64_t> admitted{0};         // tokens granted
+    std::atomic<uint64_t> queued{0};           // grants that had to wait first
+    std::atomic<uint64_t> shed_queue_full{0};  // rejected: queue at depth cap
+    std::atomic<uint64_t> shed_timeout{0};     // rejected: token wait timed out
+    std::atomic<uint64_t> deadline_rejects{0};  // rejected: request budget spent
+  };
+
+  AdmissionController(size_t num_docs, AdmissionOptions options = {});
+
+  AdmissionController(const AdmissionController&) = delete;
+  AdmissionController& operator=(const AdmissionController&) = delete;
+
+  /// Acquires one global + one per-document token, queueing briefly if
+  /// needed. `doc` indexes [0, num_docs). OK means the caller MUST
+  /// Release(doc) when done.
+  Status Admit(size_t doc);
+  void Release(size_t doc);
+
+  /// Currently admitted requests (for tests).
+  uint32_t global_active() const;
+  uint32_t doc_active(size_t doc) const;
+  /// Currently queued requests (for tests).
+  uint32_t waiting() const;
+
+  const Counters& counters() const { return counters_; }
+  const AdmissionOptions& options() const { return options_; }
+
+  /// Attaches (or detaches, with nullptr) a metrics registry; outcomes are
+  /// counted there under "admission.*". Resolve-once handles — call at
+  /// setup, not during traffic.
+  void SetMetrics(MetricsRegistry* metrics);
+
+ private:
+  struct MetricHandles {
+    MetricsRegistry::Counter* admitted = nullptr;
+    MetricsRegistry::Counter* queued = nullptr;
+    MetricsRegistry::Counter* shed_queue_full = nullptr;
+    MetricsRegistry::Counter* shed_timeout = nullptr;
+    MetricsRegistry::Counter* deadline_rejects = nullptr;
+  };
+
+  bool GrantableLocked(size_t doc) const;
+  void Count(std::atomic<uint64_t> Counters::*field,
+             MetricsRegistry::Counter* handle);
+
+  const AdmissionOptions options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  uint32_t global_active_ = 0;
+  std::vector<uint32_t> doc_active_;
+  uint32_t waiting_ = 0;
+
+  Counters counters_;
+  MetricHandles handles_;
+};
+
+/// RAII admission token: admits on construction, releases on destruction
+/// when admission succeeded. Check status() before doing work.
+class AdmissionTicket {
+ public:
+  AdmissionTicket(AdmissionController* controller, size_t doc)
+      : controller_(controller), doc_(doc), status_(controller->Admit(doc)) {}
+  ~AdmissionTicket() {
+    if (status_.ok()) {
+      controller_->Release(doc_);
+    }
+  }
+
+  AdmissionTicket(const AdmissionTicket&) = delete;
+  AdmissionTicket& operator=(const AdmissionTicket&) = delete;
+
+  const Status& status() const { return status_; }
+  bool admitted() const { return status_.ok(); }
+
+ private:
+  AdmissionController* controller_;
+  size_t doc_;
+  Status status_;
+};
+
+}  // namespace boxes
+
+#endif  // BOXES_WORKLOAD_ADMISSION_H_

@@ -1,0 +1,447 @@
+#include "workload/fleet_runner.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "core/bbox/bbox.h"
+#include "core/wbox/wbox.h"
+#include "util/random.h"
+#include "util/request_context.h"
+#include "xml/generators.h"
+
+namespace boxes::workload {
+namespace {
+
+/// How many fleet-inserted elements a tenant keeps before further insert
+/// ops delete the oldest instead (same steady-state idiom as
+/// concurrent_runner): the document neither grows without bound nor loses
+/// any bulk-loaded element, so every probe LID stays valid for the whole
+/// run.
+constexpr size_t kMaxPendingInserts = 32;
+
+/// Twig pattern every tenant's twig ops match; MakeTwoLevelDocument tags
+/// the root "root" and every child "item".
+constexpr char kTwigPattern[] = "root//item";
+
+RequestContext MakeReadContext(const FleetOptions& options) {
+  RequestContext context =
+      options.request_timeout_us == 0
+          ? RequestContext()
+          : RequestContext::WithTimeout(options.request_timeout_us);
+  context.set_io_budget(options.request_io_budget);
+  return context;
+}
+
+void Classify(const Status& status, bool stale, TenantPhaseStats* stats) {
+  if (status.ok()) {
+    if (stale) {
+      ++stats->degraded;
+    } else {
+      ++stats->exact;
+    }
+    return;
+  }
+  switch (status.code()) {
+    case StatusCode::kResourceExhausted:  // admission shed or breaker open
+      ++stats->shed;
+      break;
+    case StatusCode::kDeadlineExceeded:  // request budget spent
+      ++stats->deadline_expired;
+      break;
+    default:
+      ++stats->hard_errors;
+      break;
+  }
+}
+
+}  // namespace
+
+/// One shared page-store device, bottom up. The breaker is optional so the
+/// bench can report the with/without comparison on otherwise identical
+/// stacks.
+struct FleetRunner::Device {
+  Device(size_t page_size, const RetryingStoreOptions& retry_options,
+         bool use_breaker, const CircuitBreakerOptions& breaker_options)
+      : base(page_size), faulty(&base), retrying(&faulty, retry_options) {
+    if (use_breaker) {
+      breaker = std::make_unique<CircuitBreakerPageStore>(&retrying,
+                                                          breaker_options);
+    }
+    top = breaker != nullptr ? static_cast<PageStore*>(breaker.get())
+                             : &retrying;
+  }
+
+  MemoryPageStore base;
+  FaultInjectionPageStore faulty;
+  RetryingPageStore retrying;
+  std::unique_ptr<CircuitBreakerPageStore> breaker;
+  PageStore* top = nullptr;
+};
+
+/// One tenant: its own cache, scheme, caching store, and document, sharing
+/// a Device with the other tenants mapped to it.
+struct FleetRunner::Tenant {
+  explicit Tenant(PageStore* device_top) : cache(device_top) {}
+
+  PageCache cache;  // non-retained: FlushAll drops everything resident
+  std::unique_ptr<LabelingScheme> scheme;
+  std::unique_ptr<CachingLabelStore> store;
+  xml::Document doc;
+  std::vector<NewElement> lids;  // bulk-load LIDs; [0] is the root
+  query::TwigPattern twig;
+  // Writer state: serializes this tenant's mutators ahead of the epoch
+  // write lock and guards `pending`.
+  std::mutex writer_mu;
+  std::deque<NewElement> pending;
+};
+
+FleetRunner::FleetRunner(FleetOptions options)
+    : options_(std::move(options)) {}
+
+FleetRunner::~FleetRunner() = default;
+
+Status FleetRunner::SetupTenant(size_t index) {
+  Tenant& tenant = *tenants_[index];
+  if (options_.scheme == "wbox") {
+    tenant.scheme = std::make_unique<WBox>(&tenant.cache);
+  } else if (options_.scheme == "bbox") {
+    tenant.scheme = std::make_unique<BBox>(&tenant.cache);
+  } else {
+    return Status::InvalidArgument("unknown fleet scheme '" +
+                                   options_.scheme + "'");
+  }
+  tenant.scheme->SetMetrics(options_.metrics);
+  tenant.store = std::make_unique<CachingLabelStore>(tenant.scheme.get(),
+                                                     options_.log_capacity);
+  tenant.doc = xml::MakeTwoLevelDocument(options_.elements_per_doc);
+  BOXES_RETURN_IF_ERROR(tenant.scheme->BulkLoad(tenant.doc, &tenant.lids));
+  BOXES_RETURN_IF_ERROR(tenant.cache.FlushAll());
+  BOXES_ASSIGN_OR_RETURN(tenant.twig, query::ParseTwigPattern(kTwigPattern));
+  return Status::OK();
+}
+
+Status FleetRunner::Setup() {
+  BOXES_CHECK(!setup_done_);
+  if (options_.num_tenants == 0 || options_.num_devices == 0 ||
+      options_.workers == 0 || options_.elements_per_doc < 2) {
+    return Status::InvalidArgument(
+        "fleet needs >= 1 tenant, device, and worker and >= 2 elements");
+  }
+  if (!(options_.zipf_theta > 0.0 && options_.zipf_theta < 1.0)) {
+    return Status::InvalidArgument("zipf_theta must be in (0, 1)");
+  }
+
+  for (size_t d = 0; d < options_.num_devices; ++d) {
+    RetryingStoreOptions retry = options_.retry;
+    retry.seed += 0x9e3779b9u * (d + 1);  // distinct jitter per device
+    devices_.push_back(std::make_unique<Device>(
+        options_.page_size, retry, options_.use_breaker, options_.breaker));
+    if (options_.metrics != nullptr) {
+      devices_.back()->retrying.SetMetrics(options_.metrics);
+      if (devices_.back()->breaker != nullptr) {
+        devices_.back()->breaker->SetMetrics(options_.metrics);
+      }
+    }
+  }
+
+  admission_ = std::make_unique<AdmissionController>(options_.num_tenants,
+                                                     options_.admission);
+  if (options_.metrics != nullptr) {
+    admission_->SetMetrics(options_.metrics);
+  }
+
+  for (size_t t = 0; t < options_.num_tenants; ++t) {
+    tenants_.push_back(std::make_unique<Tenant>(devices_[device_of(t)]->top));
+    BOXES_RETURN_IF_ERROR(SetupTenant(t));
+  }
+
+  // Warm one master reference pool per tenant (exact values, zero faults
+  // during setup), then give each worker its own copy: references are
+  // caller-owned mutable state and must never be shared across threads.
+  worker_refs_.resize(options_.workers);
+  for (size_t t = 0; t < options_.num_tenants; ++t) {
+    Tenant& tenant = *tenants_[t];
+    std::vector<CachedLabelRef> master;
+    master.reserve(tenant.lids.size());
+    for (const NewElement& element : tenant.lids) {
+      master.push_back(tenant.store->MakeRef(element.start));
+      BOXES_RETURN_IF_ERROR(tenant.store->Lookup(&master.back()).status());
+    }
+    BOXES_RETURN_IF_ERROR(tenant.cache.FlushAll());
+    for (size_t w = 0; w < options_.workers; ++w) {
+      worker_refs_[w].push_back(master);
+    }
+  }
+
+  setup_done_ = true;
+  return Status::OK();
+}
+
+Status FleetRunner::DoLookup(size_t worker, size_t tenant_index,
+                             uint64_t pick, bool* stale) {
+  Tenant& tenant = *tenants_[tenant_index];
+  RequestContext context = MakeReadContext(options_);
+  ScopedRequestContext bind(&context);
+  AdmissionTicket ticket(admission_.get(), tenant_index);
+  if (!ticket.admitted()) {
+    return ticket.status();
+  }
+  std::vector<CachedLabelRef>& refs = worker_refs_[worker][tenant_index];
+  CachedLabelRef* ref = &refs[pick % refs.size()];
+  EpochReadLock lock(&tenant.scheme->epoch_guard());
+  BOXES_ASSIGN_OR_RETURN(const ResilientLabel got,
+                         tenant.store->LookupResilient(ref));
+  *stale = got.possibly_stale;
+  return Status::OK();
+}
+
+Status FleetRunner::DoOpen(size_t tenant_index, uint64_t pick, bool* stale) {
+  Tenant& tenant = *tenants_[tenant_index];
+  RequestContext context = MakeReadContext(options_);
+  ScopedRequestContext bind(&context);
+  AdmissionTicket ticket(admission_.get(), tenant_index);
+  if (!ticket.admitted()) {
+    return ticket.status();
+  }
+  // A cold reference: the full lookup cost a freshly opened handle pays,
+  // with no cached value to degrade to.
+  CachedLabelRef ref = tenant.store->MakeRef(
+      tenant.lids[pick % tenant.lids.size()].start);
+  EpochReadLock lock(&tenant.scheme->epoch_guard());
+  BOXES_ASSIGN_OR_RETURN(const ResilientLabel got,
+                         tenant.store->LookupResilient(&ref));
+  *stale = got.possibly_stale;
+  return Status::OK();
+}
+
+Status FleetRunner::DoInsert(size_t tenant_index, uint64_t pick) {
+  Tenant& tenant = *tenants_[tenant_index];
+  // No deadline context: aborting a half-applied structural mutation would
+  // trade latency for a corrupted tenant. Admission still applies — an
+  // overloaded fleet sheds writes too.
+  AdmissionTicket ticket(admission_.get(), tenant_index);
+  if (!ticket.admitted()) {
+    return ticket.status();
+  }
+  std::lock_guard<std::mutex> writer(tenant.writer_mu);
+  EpochWriteLock lock(&tenant.scheme->epoch_guard());
+  Status status;
+  if (tenant.pending.size() >= kMaxPendingInserts) {
+    // Steady state: delete the oldest element this harness inserted, never
+    // a bulk-loaded one, so probe LIDs stay valid.
+    const NewElement victim = tenant.pending.front();
+    tenant.pending.pop_front();
+    status = tenant.scheme->Delete(victim.start);
+    if (status.ok()) {
+      status = tenant.scheme->Delete(victim.end);
+    }
+  } else {
+    // Anchor on any bulk-loaded element except the root.
+    const size_t anchors = tenant.lids.size() - 1;
+    const Lid before = tenant.lids[1 + pick % anchors].start;
+    StatusOr<NewElement> inserted = tenant.scheme->InsertElementBefore(before);
+    status = inserted.status();
+    if (inserted.ok()) {
+      tenant.pending.push_back(*inserted);
+    }
+  }
+  // Drop the tenant's cache under the write lock, so reader misses — and
+  // with them device I/O, faults, retries, and breaker activity — keep
+  // happening at steady state instead of the fleet serving purely from
+  // memory after warmup.
+  const Status flush = tenant.cache.FlushAll();
+  return status.ok() ? flush : status;
+}
+
+Status FleetRunner::DoTwig(size_t tenant_index) {
+  Tenant& tenant = *tenants_[tenant_index];
+  RequestContext context = MakeReadContext(options_);
+  ScopedRequestContext bind(&context);
+  AdmissionTicket ticket(admission_.get(), tenant_index);
+  if (!ticket.admitted()) {
+    return ticket.status();
+  }
+  EpochReadLock lock(&tenant.scheme->epoch_guard());
+  BOXES_ASSIGN_OR_RETURN(
+      const std::vector<query::Interval> matches,
+      query::MatchTwig(tenant.twig, tenant.scheme.get(), tenant.doc,
+                       tenant.lids));
+  if (matches.empty()) {
+    return Status::Internal("twig matched nothing on a live tenant");
+  }
+  return Status::OK();
+}
+
+void FleetRunner::WorkerLoop(size_t worker, const FleetPhaseOptions& phase,
+                             std::vector<TenantPhaseStats>* stats,
+                             std::vector<Histogram>* latency) {
+  Random rng(options_.seed + 0x9e3779b97f4a7c15ull * (worker + 1));
+  for (uint64_t op = 0; op < phase.ops_per_worker; ++op) {
+    // Exactly three draws per op, unconditionally, so the RNG stream — and
+    // with it every per-tenant op count — is a pure function of the seed,
+    // independent of outcomes and thread interleaving.
+    const size_t tenant = static_cast<size_t>(
+        rng.Skewed(options_.num_tenants, options_.zipf_theta));
+    const double dice = rng.NextDouble();
+    const uint64_t pick = rng.Next();
+
+    TenantPhaseStats& tenant_stats = (*stats)[tenant];
+    ++tenant_stats.ops;
+    bool stale = false;
+    Status status;
+    const auto start = std::chrono::steady_clock::now();
+    if (dice < phase.lookup_fraction) {
+      ++tenant_stats.lookups;
+      status = DoLookup(worker, tenant, pick, &stale);
+    } else if (dice < phase.lookup_fraction + phase.insert_fraction) {
+      ++tenant_stats.inserts;
+      status = DoInsert(tenant, pick);
+    } else if (dice < phase.lookup_fraction + phase.insert_fraction +
+                          phase.twig_fraction) {
+      ++tenant_stats.twigs;
+      status = DoTwig(tenant);
+    } else {
+      ++tenant_stats.opens;
+      status = DoOpen(tenant, pick, &stale);
+    }
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    (*latency)[tenant].Add(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(elapsed)
+            .count()));
+    Classify(status, stale, &tenant_stats);
+  }
+}
+
+StatusOr<FleetPhaseStats> FleetRunner::RunPhase(
+    const FleetPhaseOptions& phase) {
+  if (!setup_done_) {
+    return Status::FailedPrecondition("RunPhase before Setup");
+  }
+  if (phase.lookup_fraction < 0 || phase.insert_fraction < 0 ||
+      phase.twig_fraction < 0 ||
+      phase.lookup_fraction + phase.insert_fraction + phase.twig_fraction >
+          1.0 + 1e-9) {
+    return Status::InvalidArgument("phase fractions must sum to <= 1");
+  }
+
+  const size_t n = options_.num_tenants;
+  std::vector<std::vector<TenantPhaseStats>> worker_stats(
+      options_.workers, std::vector<TenantPhaseStats>(n));
+  std::vector<Histogram> latency(n);  // Histogram::Add is thread-safe
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(options_.workers);
+  for (size_t w = 0; w < options_.workers; ++w) {
+    threads.emplace_back([this, w, &phase, &worker_stats, &latency] {
+      WorkerLoop(w, phase, &worker_stats[w], &latency);
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  const std::chrono::duration<double> wall =
+      std::chrono::steady_clock::now() - wall_start;
+
+  FleetPhaseStats out;
+  out.tenants.resize(n);
+  for (size_t t = 0; t < n; ++t) {
+    TenantPhaseStats& row = out.tenants[t];
+    for (size_t w = 0; w < options_.workers; ++w) {
+      const TenantPhaseStats& part = worker_stats[w][t];
+      row.ops += part.ops;
+      row.lookups += part.lookups;
+      row.opens += part.opens;
+      row.inserts += part.inserts;
+      row.twigs += part.twigs;
+      row.exact += part.exact;
+      row.degraded += part.degraded;
+      row.shed += part.shed;
+      row.deadline_expired += part.deadline_expired;
+      row.hard_errors += part.hard_errors;
+    }
+    if (latency[t].count() > 0) {
+      row.lat_p50_us = latency[t].Percentile(0.50);
+      row.lat_p99_us = latency[t].Percentile(0.99);
+      row.lat_p999_us = latency[t].Percentile(0.999);
+      row.lat_max_us = latency[t].max();
+    }
+    out.ops += row.ops;
+    out.exact += row.exact;
+    out.degraded += row.degraded;
+    out.shed += row.shed;
+    out.deadline_expired += row.deadline_expired;
+    out.hard_errors += row.hard_errors;
+  }
+  out.elapsed_s = wall.count();
+  out.ops_per_sec = out.elapsed_s > 0 ? out.ops / out.elapsed_s : 0;
+  return out;
+}
+
+Status FleetRunner::DropCaches() {
+  BOXES_CHECK(setup_done_);
+  for (std::unique_ptr<Tenant>& tenant : tenants_) {
+    std::lock_guard<std::mutex> writer(tenant->writer_mu);
+    EpochWriteLock lock(&tenant->scheme->epoch_guard());
+    BOXES_RETURN_IF_ERROR(tenant->cache.FlushAll());
+  }
+  return Status::OK();
+}
+
+MemoryPageStore* FleetRunner::device_base(size_t device) {
+  BOXES_CHECK(device < devices_.size());
+  return &devices_[device]->base;
+}
+
+FaultInjectionPageStore* FleetRunner::device_fault(size_t device) {
+  BOXES_CHECK(device < devices_.size());
+  return &devices_[device]->faulty;
+}
+
+RetryingPageStore* FleetRunner::device_retry(size_t device) {
+  BOXES_CHECK(device < devices_.size());
+  return &devices_[device]->retrying;
+}
+
+CircuitBreakerPageStore* FleetRunner::device_breaker(size_t device) {
+  BOXES_CHECK(device < devices_.size());
+  return devices_[device]->breaker.get();
+}
+
+LabelingScheme* FleetRunner::tenant_scheme(size_t tenant) {
+  BOXES_CHECK(tenant < tenants_.size());
+  return tenants_[tenant]->scheme.get();
+}
+
+CachingLabelStore* FleetRunner::tenant_store(size_t tenant) {
+  BOXES_CHECK(tenant < tenants_.size());
+  return tenants_[tenant]->store.get();
+}
+
+PageCache* FleetRunner::tenant_cache(size_t tenant) {
+  BOXES_CHECK(tenant < tenants_.size());
+  return &tenants_[tenant]->cache;
+}
+
+void ExportFleetStats(const std::string& source, const FleetPhaseStats& stats,
+                      MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    return;
+  }
+  registry->IncrementCounter(source + ".ops", stats.ops);
+  registry->IncrementCounter(source + ".exact", stats.exact);
+  registry->IncrementCounter(source + ".degraded", stats.degraded);
+  registry->IncrementCounter(source + ".shed", stats.shed);
+  registry->IncrementCounter(source + ".deadline_expired",
+                             stats.deadline_expired);
+  registry->IncrementCounter(source + ".hard_errors", stats.hard_errors);
+  registry->RecordValue(source + ".ops_per_sec",
+                        static_cast<uint64_t>(stats.ops_per_sec));
+  for (const TenantPhaseStats& tenant : stats.tenants) {
+    registry->RecordValue(source + ".tenant_p99_us", tenant.lat_p99_us);
+  }
+}
+
+}  // namespace boxes::workload

@@ -1,0 +1,198 @@
+#ifndef BOXES_WORKLOAD_FLEET_RUNNER_H_
+#define BOXES_WORKLOAD_FLEET_RUNNER_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/cachelog/caching_store.h"
+#include "core/common/labeling_scheme.h"
+#include "query/twig.h"
+#include "storage/circuit_breaker_store.h"
+#include "storage/page_cache.h"
+#include "storage/page_store.h"
+#include "storage/retrying_store.h"
+#include "util/histogram.h"
+#include "util/metrics.h"
+#include "util/status.h"
+#include "workload/admission.h"
+#include "xml/document.h"
+
+namespace boxes::workload {
+
+/// Configuration of a multi-tenant serving fleet (DESIGN.md §4j; ROADMAP
+/// open item 3): N tenant documents spread over M shared page-store
+/// devices, W worker threads driving mixed traffic with Zipf-skewed tenant
+/// popularity through the full request-lifecycle stack — per-request
+/// deadline (RequestContext), admission control, circuit breaker, retry,
+/// degraded reads.
+struct FleetOptions {
+  size_t num_tenants = 8;
+  size_t num_devices = 2;  // tenant t lives on device t % num_devices
+  size_t workers = 4;
+  uint64_t elements_per_doc = 300;  // two-level documents
+  size_t page_size = 2048;
+  size_t log_capacity = 256;  // mod-log entries per tenant store
+  /// Tenant popularity skew (Random::Skewed theta); tenant 0 is hottest.
+  double zipf_theta = 0.8;
+  uint64_t seed = 42;
+  /// Per-request deadline for read-path ops (lookup/open/twig), in
+  /// microseconds of real time; 0 = unbounded. Mutating ops always run
+  /// unbounded: aborting a half-applied structural insert to save
+  /// milliseconds would trade latency for a corrupted tenant.
+  uint64_t request_timeout_us = 100'000;
+  /// Per-request I/O allowance for read-path ops (page-cache miss reads);
+  /// RequestContext::kNoIoBudget = unlimited.
+  uint64_t request_io_budget = UINT64_MAX;
+  /// Which labeling scheme each tenant runs: "wbox" or "bbox".
+  std::string scheme = "wbox";
+  /// Stack a CircuitBreakerPageStore per device (the production setting).
+  /// Off, the same faults are absorbed by retry budgets alone — the
+  /// comparison run EXPERIMENTS.md reports.
+  bool use_breaker = true;
+  AdmissionOptions admission;
+  RetryingStoreOptions retry;    // seed is offset per device
+  CircuitBreakerOptions breaker;
+  /// Registry receiving stack metrics (retry.*, breaker.*, admission.*,
+  /// cachelog.*); null = none.
+  MetricsRegistry* metrics = nullptr;
+};
+
+/// Traffic mix of one RunPhase call. Fractions must sum to <= 1; the
+/// remainder is "open" traffic (a cold reference resolved from scratch —
+/// the first lookup a freshly opened document handle pays).
+struct FleetPhaseOptions {
+  uint64_t ops_per_worker = 1000;
+  double lookup_fraction = 0.60;  // warm cached-reference lookups
+  double insert_fraction = 0.15;  // insert/delete under the epoch write lock
+  double twig_fraction = 0.05;    // twig match over the tenant's live labels
+};
+
+/// Per-tenant outcome of one phase. Ops are classified exclusively:
+/// exact + degraded + shed + deadline_expired + hard_errors == ops.
+struct TenantPhaseStats {
+  uint64_t ops = 0;
+  uint64_t lookups = 0;
+  uint64_t opens = 0;
+  uint64_t inserts = 0;
+  uint64_t twigs = 0;
+  uint64_t exact = 0;              // served the authoritative answer
+  uint64_t degraded = 0;           // served possibly stale (degraded read)
+  uint64_t shed = 0;               // kResourceExhausted: admission or breaker
+  uint64_t deadline_expired = 0;   // kDeadlineExceeded: request budget spent
+  uint64_t hard_errors = 0;        // everything else — the SLO violations
+  uint64_t lat_p50_us = 0;
+  uint64_t lat_p99_us = 0;
+  uint64_t lat_p999_us = 0;
+  uint64_t lat_max_us = 0;
+};
+
+/// Fleet-wide outcome of one phase (per-tenant rows plus totals).
+struct FleetPhaseStats {
+  std::vector<TenantPhaseStats> tenants;
+  double elapsed_s = 0;
+  uint64_t ops = 0;
+  uint64_t exact = 0;
+  uint64_t degraded = 0;
+  uint64_t shed = 0;
+  uint64_t deadline_expired = 0;
+  uint64_t hard_errors = 0;
+  double ops_per_sec = 0;
+};
+
+/// The fleet harness. Usage:
+///
+///   FleetRunner fleet(options);
+///   BOXES_RETURN_IF_ERROR(fleet.Setup());
+///   fleet.device_fault(0)->SetFailProbability(0.05);   // arm faults
+///   BOXES_ASSIGN_OR_RETURN(auto stats, fleet.RunPhase(phase));
+///
+/// Phases may be run back to back with fault settings changed in between
+/// (a transient storm, then a permanent-poison episode, ...). Per-tenant
+/// op COUNTS are a pure function of the seed — each worker's RNG draws a
+/// fixed number of values per operation regardless of outcome or thread
+/// interleaving — so two fleets with equal options execute identical
+/// per-tenant traffic even though outcome classes may differ under racy
+/// fault timing.
+///
+/// Device stack, bottom up: MemoryPageStore -> FaultInjectionPageStore
+/// (thread-safe, the shared device) -> RetryingPageStore ->
+/// CircuitBreakerPageStore (optional). Each tenant has its own non-retained
+/// PageCache on its device's top store, its own scheme + EpochGuard, and a
+/// CachingLabelStore for reference-cached, degradable reads. Insert ops
+/// flush the tenant's cache under the write lock, so reader misses — and
+/// therefore device I/O, faults, retries, and breaker activity — keep
+/// happening at steady state.
+class FleetRunner {
+ public:
+  explicit FleetRunner(FleetOptions options);
+  ~FleetRunner();
+
+  FleetRunner(const FleetRunner&) = delete;
+  FleetRunner& operator=(const FleetRunner&) = delete;
+
+  /// Builds devices and tenants, bulk loads every document, and warms the
+  /// per-worker reference pools (faults should be armed AFTER Setup).
+  Status Setup();
+
+  /// Runs one traffic phase across all workers; returns per-tenant stats.
+  StatusOr<FleetPhaseStats> RunPhase(const FleetPhaseOptions& phase);
+
+  /// Drops every tenant's page cache (each under its epoch write lock), so
+  /// the next phase starts cold. Legal between phases.
+  Status DropCaches();
+
+  size_t num_tenants() const { return options_.num_tenants; }
+  size_t num_devices() const { return options_.num_devices; }
+  size_t device_of(size_t tenant) const {
+    return tenant % options_.num_devices;
+  }
+
+  /// Device internals, for arming faults and inspecting breaker/retry
+  /// activity. `breaker` is null when options.use_breaker is false.
+  MemoryPageStore* device_base(size_t device);
+  FaultInjectionPageStore* device_fault(size_t device);
+  RetryingPageStore* device_retry(size_t device);
+  CircuitBreakerPageStore* device_breaker(size_t device);
+
+  AdmissionController* admission() { return admission_.get(); }
+  LabelingScheme* tenant_scheme(size_t tenant);
+  CachingLabelStore* tenant_store(size_t tenant);
+  PageCache* tenant_cache(size_t tenant);
+
+ private:
+  struct Device;
+  struct Tenant;
+
+  Status SetupTenant(size_t index);
+  void WorkerLoop(size_t worker, const FleetPhaseOptions& phase,
+                  std::vector<TenantPhaseStats>* stats,
+                  std::vector<Histogram>* latency);
+  Status DoLookup(size_t worker, size_t tenant, uint64_t pick, bool* stale);
+  Status DoOpen(size_t tenant, uint64_t pick, bool* stale);
+  Status DoInsert(size_t tenant, uint64_t pick);
+  Status DoTwig(size_t tenant);
+
+  const FleetOptions options_;
+  std::vector<std::unique_ptr<Device>> devices_;
+  std::vector<std::unique_ptr<Tenant>> tenants_;
+  std::unique_ptr<AdmissionController> admission_;
+  // worker_refs_[worker][tenant][element]: caller-owned mutable reference
+  // state is per worker — CachedLabelRefs must never be shared across
+  // threads.
+  std::vector<std::vector<std::vector<CachedLabelRef>>> worker_refs_;
+  bool setup_done_ = false;
+};
+
+/// Copies a fleet phase's totals into `registry` under "<source>.*"
+/// counters ("fleet.storm.exact", ...) plus per-tenant p99 samples in the
+/// "<source>.tenant_p99_us" histogram. A null registry is a no-op.
+void ExportFleetStats(const std::string& source, const FleetPhaseStats& stats,
+                      MetricsRegistry* registry);
+
+}  // namespace boxes::workload
+
+#endif  // BOXES_WORKLOAD_FLEET_RUNNER_H_

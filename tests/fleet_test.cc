@@ -1,0 +1,199 @@
+// Fleet harness tests (DESIGN.md §4j): deterministic per-tenant traffic,
+// exhaustive outcome classification, the zero-hard-error SLO under a
+// transient storm, and breaker-led degradation under a permanent episode.
+
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "test_util.h"
+#include "workload/fleet_runner.h"
+
+namespace boxes::workload {
+namespace {
+
+FleetOptions SmallFleet() {
+  FleetOptions options;
+  options.num_tenants = 4;
+  options.num_devices = 2;
+  options.workers = 3;
+  options.elements_per_doc = 120;
+  options.log_capacity = 0;  // basic mode: any mutation invalidates refs
+  options.seed = 7;
+  return options;
+}
+
+FleetPhaseOptions SmallPhase() {
+  FleetPhaseOptions phase;
+  phase.ops_per_worker = 300;
+  phase.lookup_fraction = 0.55;
+  phase.insert_fraction = 0.20;
+  phase.twig_fraction = 0.05;
+  return phase;
+}
+
+void ArmTransientFaults(FleetRunner* fleet, double p) {
+  for (size_t d = 0; d < fleet->num_devices(); ++d) {
+    fleet->device_fault(d)->SetSeed(0xfa017 + d);
+    fleet->device_fault(d)->SetFailProbability(p, /*transient=*/true);
+  }
+}
+
+TEST(FleetTest, PerTenantOpCountsAreSeedDeterministic) {
+  // Two fleets, same options, run under different fault pressure: the
+  // traffic a tenant receives is a pure function of the seed, independent
+  // of outcomes and thread interleaving.
+  FleetPhaseStats a;
+  FleetPhaseStats b;
+  {
+    FleetRunner fleet(SmallFleet());
+    ASSERT_OK(fleet.Setup());
+    ArmTransientFaults(&fleet, 0.05);
+    ASSERT_OK_AND_ASSIGN(a, fleet.RunPhase(SmallPhase()));
+  }
+  {
+    FleetRunner fleet(SmallFleet());
+    ASSERT_OK(fleet.Setup());
+    ASSERT_OK_AND_ASSIGN(b, fleet.RunPhase(SmallPhase()));  // faults off
+  }
+  ASSERT_EQ(a.tenants.size(), b.tenants.size());
+  uint64_t total = 0;
+  for (size_t t = 0; t < a.tenants.size(); ++t) {
+    EXPECT_EQ(a.tenants[t].ops, b.tenants[t].ops) << "tenant " << t;
+    EXPECT_EQ(a.tenants[t].lookups, b.tenants[t].lookups) << "tenant " << t;
+    EXPECT_EQ(a.tenants[t].opens, b.tenants[t].opens) << "tenant " << t;
+    EXPECT_EQ(a.tenants[t].inserts, b.tenants[t].inserts) << "tenant " << t;
+    EXPECT_EQ(a.tenants[t].twigs, b.tenants[t].twigs) << "tenant " << t;
+    total += a.tenants[t].ops;
+  }
+  EXPECT_EQ(total, 3u * 300u);
+  // Zipf skew: the hottest tenant sees more traffic than the coldest.
+  EXPECT_GT(a.tenants.front().ops, a.tenants.back().ops);
+}
+
+TEST(FleetTest, OutcomeClassificationIsExhaustive) {
+  FleetRunner fleet(SmallFleet());
+  ASSERT_OK(fleet.Setup());
+  ArmTransientFaults(&fleet, 0.05);
+  ASSERT_OK_AND_ASSIGN(const FleetPhaseStats stats,
+                       fleet.RunPhase(SmallPhase()));
+  for (const TenantPhaseStats& t : stats.tenants) {
+    EXPECT_EQ(t.ops, t.exact + t.degraded + t.shed + t.deadline_expired +
+                         t.hard_errors);
+    EXPECT_EQ(t.ops, t.lookups + t.opens + t.inserts + t.twigs);
+  }
+  EXPECT_EQ(stats.ops, stats.exact + stats.degraded + stats.shed +
+                           stats.deadline_expired + stats.hard_errors);
+}
+
+TEST(FleetTest, TransientStormMeetsZeroHardErrorSlo) {
+  // The ISSUE 8 acceptance gate in miniature: 5% per-op transient faults,
+  // every op either exact, degraded, or shed/deadlined on purpose.
+  FleetRunner fleet(SmallFleet());
+  ASSERT_OK(fleet.Setup());
+  ArmTransientFaults(&fleet, 0.05);
+  ASSERT_OK_AND_ASSIGN(const FleetPhaseStats stats,
+                       fleet.RunPhase(SmallPhase()));
+  EXPECT_EQ(stats.hard_errors, 0u);
+  EXPECT_GT(stats.exact, 0u);
+}
+
+TEST(FleetTest, PoisonedDevicesDegradeBehindTheBreaker) {
+  FleetOptions options = SmallFleet();
+  options.breaker.min_ops = 8;  // trip fast on unambiguous corruption
+  FleetRunner fleet(options);
+  ASSERT_OK(fleet.Setup());
+  // A warm mixed phase fills every worker's reference caches.
+  ASSERT_OK_AND_ASSIGN(const FleetPhaseStats warm,
+                       fleet.RunPhase(SmallPhase()));
+  EXPECT_EQ(warm.hard_errors, 0u);
+
+  // Poison EVERY allocated page on every device and drop the caches:
+  // all reads now need I/O and all I/O fails with Corruption.
+  for (size_t d = 0; d < fleet.num_devices(); ++d) {
+    uint64_t total = 0;
+    std::vector<PageId> free_pages;
+    fleet.device_base(d)->SnapshotAllocator(&total, &free_pages);
+    for (PageId id = 0; id < total; ++id) {
+      fleet.device_fault(d)->PoisonPage(id);
+    }
+  }
+  ASSERT_OK(fleet.DropCaches());
+  FleetPhaseOptions read_only = SmallPhase();
+  read_only.lookup_fraction = 0.9;
+  read_only.insert_fraction = 0.0;
+  read_only.twig_fraction = 0.0;
+  ASSERT_OK_AND_ASSIGN(const FleetPhaseStats stats,
+                       fleet.RunPhase(read_only));
+  // Warm references degrade to possibly-stale answers instead of failing.
+  EXPECT_GT(stats.degraded, 0u);
+  // The breakers open and take over with fast-fails.
+  uint64_t opened = 0;
+  uint64_t fast_fails = 0;
+  for (size_t d = 0; d < fleet.num_devices(); ++d) {
+    opened += fleet.device_breaker(d)->counters().opened.load();
+    fast_fails += fleet.device_breaker(d)->counters().fast_fails.load();
+  }
+  EXPECT_GT(opened, 0u);
+  EXPECT_GT(fast_fails, 0u);
+
+  // Healing the devices restores exact service.
+  for (size_t d = 0; d < fleet.num_devices(); ++d) {
+    fleet.device_fault(d)->Heal();
+  }
+  ASSERT_OK_AND_ASSIGN(const FleetPhaseStats healed,
+                       fleet.RunPhase(SmallPhase()));
+  EXPECT_GT(healed.exact, 0u);
+  EXPECT_EQ(healed.hard_errors, 0u);
+}
+
+TEST(FleetTest, BreakerlessFleetBurnsMoreRetriesOnDeadDevices) {
+  // The breaker's reason to exist: against a permanently failing device,
+  // the breakerless stack keeps paying full retry schedules per request.
+  auto run_poisoned = [](bool use_breaker) {
+    FleetOptions options = SmallFleet();
+    options.use_breaker = use_breaker;
+    FleetRunner fleet(options);
+    EXPECT_OK(fleet.Setup());
+    for (size_t d = 0; d < fleet.num_devices(); ++d) {
+      // Every device op fails with a RETRYABLE error, forever, so retry
+      // schedules actually run (Corruption would permanent-error out).
+      fleet.device_fault(d)->SetFailProbability(1.0, /*transient=*/true);
+    }
+    EXPECT_OK(fleet.DropCaches());
+    // Open-only traffic: cold references pay a full lookup every op, so
+    // every op reaches the device. (Warm references would serve fresh from
+    // their caches and never touch it.)
+    FleetPhaseOptions opens_only = SmallPhase();
+    opens_only.ops_per_worker = 150;
+    opens_only.lookup_fraction = 0.0;
+    opens_only.insert_fraction = 0.0;
+    opens_only.twig_fraction = 0.0;
+    EXPECT_OK(fleet.RunPhase(opens_only).status());
+    uint64_t attempts = 0;
+    for (size_t d = 0; d < fleet.num_devices(); ++d) {
+      attempts += fleet.device_retry(d)->counters().attempts.load();
+    }
+    return attempts;
+  };
+  const uint64_t with_breaker = run_poisoned(true);
+  const uint64_t without_breaker = run_poisoned(false);
+  EXPECT_GT(without_breaker, with_breaker);
+}
+
+TEST(FleetTest, RejectsInvalidConfiguration) {
+  FleetOptions options = SmallFleet();
+  options.zipf_theta = 1.5;
+  FleetRunner fleet(options);
+  EXPECT_EQ(fleet.Setup().code(), StatusCode::kInvalidArgument);
+
+  FleetRunner ok_fleet(SmallFleet());
+  ASSERT_OK(ok_fleet.Setup());
+  FleetPhaseOptions phase;
+  phase.lookup_fraction = 0.9;
+  phase.insert_fraction = 0.9;
+  EXPECT_EQ(ok_fleet.RunPhase(phase).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace boxes::workload

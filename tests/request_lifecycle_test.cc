@@ -1,0 +1,419 @@
+// Request-lifecycle robustness (DESIGN.md §4j): the circuit breaker's
+// state machine, admission control's shed-vs-queue boundaries, and
+// RequestContext deadline/budget enforcement mid-retry and mid-walk.
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/bbox/bbox.h"
+#include "core/cachelog/caching_store.h"
+#include "gtest/gtest.h"
+#include "storage/circuit_breaker_store.h"
+#include "storage/page_cache.h"
+#include "storage/retrying_store.h"
+#include "test_util.h"
+#include "util/request_context.h"
+#include "workload/admission.h"
+#include "xml/generators.h"
+
+namespace boxes {
+namespace {
+
+/// Fails the next `fail_next` operations with a configurable status, then
+/// behaves like its MemoryPageStore base.
+class FlakyStore : public PageStore {
+ public:
+  explicit FlakyStore(size_t page_size) : base_(page_size) {}
+
+  void FailNext(uint64_t n, Status error) {
+    fail_next_ = n;
+    error_ = std::move(error);
+  }
+
+  size_t page_size() const override { return base_.page_size(); }
+  StatusOr<PageId> Allocate() override {
+    BOXES_RETURN_IF_ERROR(MaybeFail());
+    return base_.Allocate();
+  }
+  Status Free(PageId id) override {
+    BOXES_RETURN_IF_ERROR(MaybeFail());
+    return base_.Free(id);
+  }
+  Status Read(PageId id, uint8_t* buf) override {
+    ++reads_;
+    BOXES_RETURN_IF_ERROR(MaybeFail());
+    return base_.Read(id, buf);
+  }
+  Status Write(PageId id, const uint8_t* buf) override {
+    BOXES_RETURN_IF_ERROR(MaybeFail());
+    return base_.Write(id, buf);
+  }
+  Status WriteTorn(PageId id, const uint8_t* buf, size_t prefix) override {
+    return base_.WriteTorn(id, buf, prefix);
+  }
+  Status Sync() override {
+    BOXES_RETURN_IF_ERROR(MaybeFail());
+    return base_.Sync();
+  }
+  Status CommitEpoch(uint64_t epoch) override {
+    BOXES_RETURN_IF_ERROR(MaybeFail());
+    return base_.CommitEpoch(epoch);
+  }
+  uint64_t allocated_pages() const override {
+    return base_.allocated_pages();
+  }
+  uint64_t total_pages() const override { return base_.total_pages(); }
+  void SnapshotAllocator(uint64_t* total,
+                         std::vector<PageId>* free_pages) const override {
+    base_.SnapshotAllocator(total, free_pages);
+  }
+  Status RestoreAllocator(uint64_t total,
+                          const std::vector<PageId>& free_pages) override {
+    return base_.RestoreAllocator(total, free_pages);
+  }
+
+  uint64_t reads() const { return reads_; }
+
+ private:
+  Status MaybeFail() {
+    if (fail_next_ > 0) {
+      --fail_next_;
+      return error_;
+    }
+    return Status::OK();
+  }
+
+  MemoryPageStore base_;
+  uint64_t fail_next_ = 0;
+  uint64_t reads_ = 0;
+  Status error_ = Status::IoError("flaky");
+};
+
+// ---------------------------------------------------------------------------
+// Circuit breaker state machine
+
+class BreakerTest : public ::testing::Test {
+ protected:
+  BreakerTest() : flaky_(256) {
+    CircuitBreakerOptions options;
+    options.window_ops = 8;
+    options.min_ops = 4;
+    options.failure_threshold = 0.5;
+    options.open_cooldown_us = 1000;
+    options.half_open_probes = 2;
+    options.now_fn = [this] { return now_us_; };
+    breaker_ = std::make_unique<CircuitBreakerPageStore>(&flaky_, options);
+    PageId id = breaker_->Allocate().value();
+    buf_.assign(256, 0xcd);
+    EXPECT_OK(breaker_->Write(id, buf_.data()));
+    id_ = id;
+  }
+
+  /// Drives consecutive failures through the breaker until it trips. The
+  /// setup ops already occupy window slots as successes, so the exact trip
+  /// point is a threshold computation, not a fixed count.
+  void TripBreaker() {
+    flaky_.FailNext(8, Status::IoError("device sick"));
+    for (int i = 0;
+         i < 8 && breaker_->state() != CircuitBreakerPageStore::State::kOpen;
+         ++i) {
+      EXPECT_EQ(breaker_->Read(id_, buf_.data()).code(),
+                StatusCode::kIoError);
+    }
+    flaky_.FailNext(0, Status::OK());
+    ASSERT_EQ(breaker_->state(), CircuitBreakerPageStore::State::kOpen);
+  }
+
+  FlakyStore flaky_;
+  std::unique_ptr<CircuitBreakerPageStore> breaker_;
+  PageId id_ = 0;
+  std::vector<uint8_t> buf_;
+  uint64_t now_us_ = 0;
+};
+
+TEST_F(BreakerTest, OpensAtFailureThreshold) {
+  EXPECT_EQ(breaker_->state(), CircuitBreakerPageStore::State::kClosed);
+  TripBreaker();
+  EXPECT_EQ(breaker_->counters().opened.load(), 1u);
+  EXPECT_GE(breaker_->counters().failures.load(), 2u);
+}
+
+TEST_F(BreakerTest, FastFailsWhileOpenWithoutTouchingDevice) {
+  TripBreaker();
+  const uint64_t reads_before = flaky_.reads();
+  // The device is healthy again, but within the cooldown the breaker must
+  // answer from its own state, without issuing I/O.
+  const Status status = breaker_->Read(id_, buf_.data());
+  EXPECT_EQ(status.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(flaky_.reads(), reads_before);
+  EXPECT_GE(breaker_->counters().fast_fails.load(), 1u);
+}
+
+TEST_F(BreakerTest, ClosesAfterSuccessfulHalfOpenProbes) {
+  TripBreaker();
+  now_us_ += 2000;  // past the cooldown; next ops run as probes
+  EXPECT_OK(breaker_->Read(id_, buf_.data()));
+  EXPECT_EQ(breaker_->state(), CircuitBreakerPageStore::State::kHalfOpen);
+  EXPECT_OK(breaker_->Read(id_, buf_.data()));
+  EXPECT_EQ(breaker_->state(), CircuitBreakerPageStore::State::kClosed);
+  EXPECT_EQ(breaker_->counters().closed.load(), 1u);
+  // A freshly closed breaker starts with an empty window: one more
+  // failure must not re-trip it.
+  flaky_.FailNext(1, Status::IoError("blip"));
+  EXPECT_EQ(breaker_->Read(id_, buf_.data()).code(), StatusCode::kIoError);
+  EXPECT_EQ(breaker_->state(), CircuitBreakerPageStore::State::kClosed);
+}
+
+TEST_F(BreakerTest, FailedProbeReopens) {
+  TripBreaker();
+  now_us_ += 2000;
+  flaky_.FailNext(1, Status::IoError("still sick"));
+  EXPECT_EQ(breaker_->Read(id_, buf_.data()).code(), StatusCode::kIoError);
+  EXPECT_EQ(breaker_->state(), CircuitBreakerPageStore::State::kOpen);
+  EXPECT_EQ(breaker_->counters().opened.load(), 2u);
+}
+
+TEST_F(BreakerTest, DeadlineExceededDoesNotCountAgainstDeviceHealth) {
+  // Requests running out of budget say nothing about the device; a wave
+  // of impatient callers must not open the circuit.
+  flaky_.FailNext(8, Status::DeadlineExceeded("caller out of budget"));
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(breaker_->Read(id_, buf_.data()).code(),
+              StatusCode::kDeadlineExceeded);
+  }
+  EXPECT_EQ(breaker_->state(), CircuitBreakerPageStore::State::kClosed);
+  EXPECT_EQ(breaker_->counters().failures.load(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Admission control: shed-vs-queue boundaries
+
+TEST(AdmissionTest, ShedsImmediatelyWhenQueueingDisabled) {
+  AdmissionOptions options;
+  options.per_doc_limit = 1;
+  options.max_queue_depth = 0;
+  AdmissionController admission(2, options);
+  ASSERT_OK(admission.Admit(0));
+  EXPECT_EQ(admission.Admit(0).code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(admission.counters().shed_queue_full.load(), 1u);
+  // The sibling document has its own token pool.
+  ASSERT_OK(admission.Admit(1));
+  admission.Release(0);
+  admission.Release(1);
+  EXPECT_EQ(admission.global_active(), 0u);
+}
+
+TEST(AdmissionTest, QueueFullShedsWhileQueuedRequestIsStillServed) {
+  AdmissionOptions options;
+  options.per_doc_limit = 1;
+  options.max_queue_depth = 1;
+  options.max_queue_wait_us = 200'000;
+  AdmissionController admission(1, options);
+  ASSERT_OK(admission.Admit(0));  // holds the only token
+
+  Status queued_status = Status::Internal("unset");
+  std::thread waiter([&] {
+    queued_status = admission.Admit(0);  // takes the single queue slot
+    if (queued_status.ok()) {
+      admission.Release(0);
+    }
+  });
+  while (admission.waiting() == 0) {
+    std::this_thread::yield();
+  }
+  // Queue at depth cap: the next request is shed outright...
+  EXPECT_EQ(admission.Admit(0).code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(admission.counters().shed_queue_full.load(), 1u);
+  // ...but the queued one gets the token as soon as it frees up.
+  admission.Release(0);
+  waiter.join();
+  EXPECT_OK(queued_status);
+  EXPECT_EQ(admission.counters().queued.load(), 1u);
+  EXPECT_EQ(admission.global_active(), 0u);
+}
+
+TEST(AdmissionTest, BoundedWaitTimesOutAndSheds) {
+  AdmissionOptions options;
+  options.per_doc_limit = 1;
+  options.max_queue_depth = 4;
+  options.max_queue_wait_us = 1000;
+  AdmissionController admission(1, options);
+  ASSERT_OK(admission.Admit(0));
+  // Nobody will release the token; the bounded wait must expire.
+  EXPECT_EQ(admission.Admit(0).code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(admission.counters().shed_timeout.load(), 1u);
+  EXPECT_EQ(admission.waiting(), 0u);
+  admission.Release(0);
+}
+
+TEST(AdmissionTest, ExpiredRequestRejectedBeforeQueueing) {
+  AdmissionController admission(1, {});
+  uint64_t now = 1000;
+  RequestContext context;
+  context.set_now_fn([&now] { return now; });
+  context.set_deadline_us(500);  // already past
+  ScopedRequestContext bind(&context);
+  EXPECT_EQ(admission.Admit(0).code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(admission.counters().deadline_rejects.load(), 1u);
+  EXPECT_EQ(admission.counters().admitted.load(), 0u);
+}
+
+TEST(AdmissionTest, RemainingBudgetCapsQueueWait) {
+  AdmissionOptions options;
+  options.per_doc_limit = 1;
+  options.max_queue_depth = 4;
+  options.max_queue_wait_us = 60'000'000;  // queue policy alone would hang
+  AdmissionController admission(1, options);
+  ASSERT_OK(admission.Admit(0));
+  RequestContext context = RequestContext::WithTimeout(2000);
+  ScopedRequestContext bind(&context);
+  // The wait is capped by the request's ~2ms budget, and the verdict names
+  // the deadline — the queue policy was not the binding constraint.
+  EXPECT_EQ(admission.Admit(0).code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(admission.counters().deadline_rejects.load(), 1u);
+  admission.Release(0);
+}
+
+TEST(AdmissionTest, TicketReleasesOnScopeExit) {
+  AdmissionController admission(1, {});
+  {
+    AdmissionTicket ticket(&admission, 0);
+    ASSERT_TRUE(ticket.admitted());
+    EXPECT_EQ(admission.global_active(), 1u);
+  }
+  EXPECT_EQ(admission.global_active(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Deadlines mid-retry and mid-walk
+
+TEST(DeadlineTest, RetryRefusesBackoffTheBudgetCannotCover) {
+  FlakyStore flaky(256);
+  RetryingStoreOptions options;
+  options.max_attempts = 6;
+  options.initial_backoff_us = 1000;
+  RetryingPageStore retrying(&flaky, options);
+  const PageId id = retrying.Allocate().value();
+  std::vector<uint8_t> buf(256, 0xee);
+  ASSERT_OK(retrying.Write(id, buf.data()));
+
+  flaky.FailNext(100, Status::IoError("storm"));
+  const uint64_t attempts_before = retrying.counters().attempts.load();
+  uint64_t now = 0;
+  RequestContext context;
+  context.set_now_fn([&now] { return now; });
+  context.set_deadline_us(100);  // cannot cover even one ~1ms backoff
+  ScopedRequestContext bind(&context);
+  const Status status = retrying.Read(id, buf.data());
+  EXPECT_EQ(status.code(), StatusCode::kDeadlineExceeded);
+  // Exactly the first attempt ran: the retry layer refused to start a
+  // backoff the budget could not cover, instead of sleeping into it.
+  EXPECT_EQ(retrying.counters().attempts.load(), attempts_before + 1);
+  EXPECT_EQ(retrying.counters().deadline_gave_up.load(), 1u);
+  EXPECT_EQ(retrying.counters().retries.load(), 0u);
+}
+
+TEST(DeadlineTest, UnboundRequestRetriesThroughTheSameStorm) {
+  FlakyStore flaky(256);
+  RetryingStoreOptions options;
+  options.max_attempts = 6;
+  options.initial_backoff_us = 1000;
+  RetryingPageStore retrying(&flaky, options);
+  const PageId id = retrying.Allocate().value();
+  std::vector<uint8_t> buf(256, 0xee);
+  ASSERT_OK(retrying.Write(id, buf.data()));
+  flaky.FailNext(3, Status::IoError("storm"));
+  EXPECT_OK(retrying.Read(id, buf.data()));
+  EXPECT_EQ(retrying.counters().recovered.load(), 1u);
+}
+
+/// Builds a multi-level B-BOX and returns the LIDs; `cache` must outlive
+/// the scheme.
+std::unique_ptr<BBox> MakeLoadedBBox(PageCache* cache,
+                                     std::vector<NewElement>* lids) {
+  auto scheme = std::make_unique<BBox>(cache);
+  const xml::Document doc = xml::MakeTwoLevelDocument(400);
+  EXPECT_OK(scheme->BulkLoad(doc, lids));
+  EXPECT_OK(cache->FlushAll());
+  return scheme;
+}
+
+TEST(DeadlineTest, IoBudgetStopsBBoxWalkMidway) {
+  MemoryPageStore store(512);
+  PageCache cache(&store);
+  std::vector<NewElement> lids;
+  std::unique_ptr<BBox> scheme = MakeLoadedBBox(&cache, &lids);
+  ASSERT_GE(scheme->GetStats().value().height, 2u);
+  ASSERT_OK(cache.FlushAll());  // GetStats warmed the cache; start cold
+
+  RequestContext context;
+  context.set_io_budget(1);  // the root read alone is allowed
+  {
+    ScopedRequestContext bind(&context);
+    const Status status =
+        scheme->Lookup(lids[lids.size() / 2].start).status();
+    EXPECT_EQ(status.code(), StatusCode::kDeadlineExceeded);
+  }
+  EXPECT_EQ(context.ios_charged(), 1u);
+  // The same walk, unbounded, succeeds — the abort was the budget's doing.
+  EXPECT_OK(scheme->Lookup(lids[lids.size() / 2].start).status());
+}
+
+TEST(DeadlineTest, CacheHitsAreFreeUnderIoBudget) {
+  MemoryPageStore store(512);
+  PageCache cache(&store);
+  std::vector<NewElement> lids;
+  std::unique_ptr<BBox> scheme = MakeLoadedBBox(&cache, &lids);
+  // Warm the path, then look up again under a zero-I/O budget: hits are
+  // never charged, so the request still gets its answer.
+  ASSERT_OK(scheme->Lookup(lids[7].start).status());
+  RequestContext context;
+  context.set_io_budget(0);
+  ScopedRequestContext bind(&context);
+  EXPECT_OK(scheme->Lookup(lids[7].start).status());
+  EXPECT_EQ(context.ios_charged(), 0u);
+}
+
+TEST(DeadlineTest, ExpiredRequestStopsLookupAtEntry) {
+  MemoryPageStore store(512);
+  PageCache cache(&store);
+  std::vector<NewElement> lids;
+  std::unique_ptr<BBox> scheme = MakeLoadedBBox(&cache, &lids);
+  uint64_t now = 10'000;
+  RequestContext context;
+  context.set_now_fn([&now] { return now; });
+  context.set_deadline_us(5000);  // already past
+  ScopedRequestContext bind(&context);
+  const Status status = scheme->LookupShared(lids[3].start).status();
+  EXPECT_EQ(status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(context.ios_charged(), 0u);
+}
+
+TEST(DeadlineTest, OutOfBudgetRequestDegradesToCachedAnswer) {
+  // The §4j contract end to end: an out-of-time request whose full lookup
+  // is cut by the I/O budget still gets the cached, possibly stale answer
+  // through the resilient serve path.
+  MemoryPageStore store(512);
+  PageCache cache(&store);
+  std::vector<NewElement> lids;
+  std::unique_ptr<BBox> scheme = MakeLoadedBBox(&cache, &lids);
+  CachingLabelStore caching(scheme.get(), /*log_capacity=*/0);
+  CachedLabelRef ref = caching.MakeRef(lids[5].start);
+  ASSERT_OK(caching.Lookup(&ref).status());
+  // A mutation invalidates the basic-mode cache; dropping the page cache
+  // forces the full lookup back to I/O.
+  ASSERT_OK(scheme->InsertElementBefore(lids[100].start).status());
+  ASSERT_OK(cache.FlushAll());
+
+  RequestContext context;
+  context.set_io_budget(0);
+  ScopedRequestContext bind(&context);
+  ASSERT_OK_AND_ASSIGN(const ResilientLabel got,
+                       caching.LookupResilient(&ref));
+  EXPECT_TRUE(got.possibly_stale);
+  EXPECT_EQ(caching.served_degraded(), 1u);
+}
+
+}  // namespace
+}  // namespace boxes

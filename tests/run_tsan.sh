@@ -1,8 +1,9 @@
 #!/bin/sh
 # Builds the sanitize-thread preset (ThreadSanitizer) and runs the
-# concurrency-labeled test suite under it (the epoch guard, the sharded
-# PageCache, thread-safe metrics, and the N-readers/1-writer scheme stress
-# and differential tests). Usage: tests/run_tsan.sh [ctest args].
+# concurrency- and fleet-labeled test suites under it (the epoch guard,
+# the sharded PageCache, thread-safe metrics, the N-readers/1-writer
+# scheme stress and differential tests, and the multi-tenant fleet
+# harness). Usage: tests/run_tsan.sh [ctest args].
 set -eu
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
