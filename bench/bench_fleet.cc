@@ -29,6 +29,7 @@
 #include "bench_common.h"
 #include "util/flags.h"
 #include "util/random.h"
+#include "workload/failover_drill.h"
 #include "workload/fleet_runner.h"
 
 namespace boxes::bench {
@@ -59,10 +60,11 @@ void PrintPhase(const char* title, const FleetRunner& fleet,
                 const FleetPhaseStats& stats) {
   std::printf(
       "  %-9s | ops %8llu | exact %6.2f%% degraded %5.2f%% shed %5.2f%% "
-      "deadline %5.2f%% hard %llu | %.0f ops/s\n",
+      "deadline %5.2f%% unavail %llu hard %llu | %.0f ops/s\n",
       title, static_cast<unsigned long long>(stats.ops),
       Pct(stats.exact, stats.ops), Pct(stats.degraded, stats.ops),
       Pct(stats.shed, stats.ops), Pct(stats.deadline_expired, stats.ops),
+      static_cast<unsigned long long>(stats.unavailable),
       static_cast<unsigned long long>(stats.hard_errors),
       stats.ops_per_sec);
   std::printf(
@@ -171,7 +173,15 @@ FleetOutcome RunFleet(const FleetOptions& options, double fail_probability,
     StatusOr<FleetPhaseStats> stats = fleet.RunPhase(read_only);
     CheckOkOrDie(stats.status(), "poison phase");
     outcome.poison = *stats;
+    // A scrub pass over the poisoned devices: the quarantine level is the
+    // fleet's poisoned-page pressure, reported next to the outcome mix.
+    StatusOr<uint64_t> quarantined = fleet.ScrubDevices();
+    CheckOkOrDie(quarantined.status(), "device scrub");
+    outcome.poison.quarantined_pages = *quarantined;
     PrintPhase("poison", fleet, outcome.poison);
+    std::printf("    scrub: %llu page(s) quarantined across %zu devices\n",
+                static_cast<unsigned long long>(*quarantined),
+                fleet.num_devices());
     for (size_t d = 0; d < fleet.num_devices(); ++d) {
       std::printf("    device %zu: breaker %s\n", d,
                   BreakerStateName(fleet.device_breaker(d)));
@@ -219,6 +229,63 @@ FleetOutcome RunFleet(const FleetOptions& options, double fail_probability,
   return outcome;
 }
 
+/// The failover drill (DESIGN.md §4k): a primary on a fault-injected file
+/// store dies permanently under a transient storm; the drill fails over —
+/// warm (promote the WAL-shipped standby under a bumped fencing token) and
+/// cold (recover the crash image) — and gates on zero acknowledged-write
+/// loss in both modes. Returns the number of gate failures.
+int RunFailoverDrills(const std::string& db_path, double storm_probability,
+                      uint64_t seed, MetricsRegistry* metrics) {
+  std::printf("\nFAILOVER DRILL: primary device killed mid-storm "
+              "(p=%.2f), acked writes audited on the survivor\n",
+              storm_probability);
+  int failures = 0;
+  uint64_t unavailability_us[2] = {0, 0};
+  for (const bool warm : {true, false}) {
+    workload::FailoverDrillOptions drill;
+    drill.db_path = db_path;
+    drill.warm_standby = warm;
+    drill.storm_probability = storm_probability;
+    drill.seed = seed;
+    drill.metrics = metrics;
+    const StatusOr<workload::FailoverDrillResult> result =
+        RunFailoverDrill(drill);
+    CheckOkOrDie(result.status(),
+                 warm ? "warm failover drill" : "cold failover drill");
+    unavailability_us[warm ? 0 : 1] = result->unavailability_us;
+    std::printf(
+        "  %-5s | acked %4llu lost %llu | shipped %3llu reships %llu "
+        "fenced %llu | flush retries %llu | token %llu | down %.1f ms\n",
+        warm ? "warm" : "cold",
+        static_cast<unsigned long long>(result->acked_ops),
+        static_cast<unsigned long long>(result->lost_acked_ops),
+        static_cast<unsigned long long>(result->shipped_batches),
+        static_cast<unsigned long long>(result->ship_retries),
+        static_cast<unsigned long long>(result->fenced_rejects),
+        static_cast<unsigned long long>(result->flush_retries),
+        static_cast<unsigned long long>(result->fencing_token),
+        result->unavailability_us / 1000.0);
+    if (result->lost_acked_ops != 0 ||
+        result->survivor_live_labels != 2 * result->acked_ops) {
+      std::fprintf(
+          stderr,
+          "SLO FAIL: %s failover lost %llu acked op(s) "
+          "(%llu live labels on the survivor, expected %llu)\n",
+          warm ? "warm" : "cold",
+          static_cast<unsigned long long>(result->lost_acked_ops),
+          static_cast<unsigned long long>(result->survivor_live_labels),
+          static_cast<unsigned long long>(2 * result->acked_ops));
+      ++failures;
+    }
+  }
+  if (failures == 0) {
+    std::printf("SLO PASS: zero acked-write loss in both failover modes "
+                "(warm down %.1f ms vs cold %.1f ms)\n",
+                unavailability_us[0] / 1000.0, unavailability_us[1] / 1000.0);
+  }
+  return failures;
+}
+
 int Run(int argc, char** argv) {
   const bool smoke = ExtractSmokeFlag(&argc, argv);
   FlagParser flags;
@@ -246,6 +313,9 @@ int Run(int argc, char** argv) {
       flags.AddString("scheme", "wbox", "tenant scheme: wbox | bbox");
   std::string* metrics_json =
       flags.AddString("metrics_json", "", "write metrics JSON here");
+  std::string* drill_db = flags.AddString(
+      "drill_db", "/tmp/boxes_failover_drill.db",
+      "primary database file for the failover drill (recreated)");
   if (!flags.Parse(argc, argv)) {
     return 1;
   }
@@ -304,8 +374,14 @@ int Run(int argc, char** argv) {
   }
   std::printf("SLO PASS: zero hard errors across %llu storm ops\n",
               static_cast<unsigned long long>(with_breaker.storm.ops));
+
+  // The replication SLO gate (ISSUE 9 acceptance): kill the primary under
+  // the same storm probability and fail over warm and cold; an
+  // acknowledged write may NEVER disappear.
+  const int drill_failures = RunFailoverDrills(
+      *drill_db, *fail_probability, options.seed + 0xfa11, &GlobalMetrics());
   MaybeWriteMetricsJson(*metrics_json);
-  return 0;
+  return drill_failures == 0 ? 0 : 1;
 }
 
 }  // namespace

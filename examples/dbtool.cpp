@@ -15,7 +15,8 @@
 //                     [--seal] [--seed=S]
 //   ./dbtool backup   --db=doc.boxdb --out=copy.boxdb
 //   ./dbtool restore  --db=doc.boxdb [--to_epoch=E]
-//   ./dbtool wal-dump --db=doc.boxdb
+//   ./dbtool wal-dump --db=doc.boxdb [--since_batch=B] [--to_batch=B]
+//   ./dbtool promote  --db=copy.boxdb
 //
 // The checkpoint layout is [W-BOX metadata chain head][facade registry],
 // stored behind the page-0 superblock. `mutate` writes through the durable
@@ -522,15 +523,34 @@ int CmdRestore(const std::string& path, int64_t to_epoch) {
   return 0;
 }
 
-int CmdWalDump(const std::string& path) {
+const char* OpKindName(BatchOp::Kind kind) {
+  switch (kind) {
+    case BatchOp::Kind::kInsertFirstElement:
+      return "insert-first";
+    case BatchOp::Kind::kInsertElementBefore:
+      return "insert-element";
+    case BatchOp::Kind::kDelete:
+      return "delete";
+    case BatchOp::Kind::kInsertSubtreeBefore:
+      return "insert-subtree";
+    case BatchOp::Kind::kDeleteSubtree:
+      return "delete-subtree";
+  }
+  return "?";
+}
+
+int CmdWalDump(const std::string& path, int64_t since_batch,
+               int64_t to_batch) {
   FilePageStore store(path, kDefaultPageSize, FilePageStore::Mode::kOpen);
   DieOnError(store.status(), "open");
   PageCache cache(&store);
   StatusOr<SuperblockInfo> info = LoadSuperblock(&cache);
   DieOnError(info.status(), "superblock");
-  std::printf("superblock    : sequence=%llu wal_mark=%llu checkpoint=%s\n",
+  std::printf("superblock    : sequence=%llu wal_mark=%llu fencing_token=%llu "
+              "checkpoint=%s\n",
               static_cast<unsigned long long>(info->sequence),
               static_cast<unsigned long long>(info->wal_mark),
+              static_cast<unsigned long long>(info->fencing_token),
               info->head == kInvalidPageId ? "none" : "present");
   StatusOr<WalScan> scan = ScanWal(&store);
   DieOnError(scan.status(), "scan");
@@ -539,7 +559,16 @@ int CmdWalDump(const std::string& path) {
               static_cast<unsigned long long>(scan->wal_pages),
               static_cast<unsigned long long>(scan->scanned_pages),
               static_cast<unsigned long long>(scan->unreadable_pages));
+  const uint64_t since =
+      since_batch >= 0 ? static_cast<uint64_t>(since_batch) : 0;
+  const uint64_t to =
+      to_batch >= 0 ? static_cast<uint64_t>(to_batch) : UINT64_MAX;
+  size_t shown = 0;
   for (const WalBatch& batch : scan->batches) {
+    if (batch.batch_id < since || batch.batch_id > to) {
+      continue;
+    }
+    ++shown;
     const char* verdict = batch.generation < info->sequence ? "stale"
                           : batch.complete                  ? "replayable"
                                                             : "torn";
@@ -549,10 +578,58 @@ int CmdWalDump(const std::string& path) {
                 batch.attempt,
                 static_cast<unsigned long long>(batch.generation),
                 batch.records.size(), batch.pages.size(), verdict);
+    for (size_t i = 0; i < batch.records.size(); ++i) {
+      const WalRecord& record = batch.records[i];
+      if (record.kind == BatchOp::Kind::kDeleteSubtree) {
+        std::printf("    op %zu: %s start=%llu end=%llu tag=%llu\n", i,
+                    OpKindName(record.kind),
+                    static_cast<unsigned long long>(record.anchor),
+                    static_cast<unsigned long long>(record.anchor_end),
+                    static_cast<unsigned long long>(record.user_tag));
+      } else if (record.kind == BatchOp::Kind::kInsertSubtreeBefore) {
+        std::printf("    op %zu: %s anchor=%llu tag=%llu (subtree %zu "
+                    "bytes)\n",
+                    i, OpKindName(record.kind),
+                    static_cast<unsigned long long>(record.anchor),
+                    static_cast<unsigned long long>(record.user_tag),
+                    record.subtree_xml.size());
+      } else {
+        std::printf("    op %zu: %s anchor=%llu tag=%llu\n", i,
+                    OpKindName(record.kind),
+                    static_cast<unsigned long long>(record.anchor),
+                    static_cast<unsigned long long>(record.user_tag));
+      }
+    }
   }
-  if (scan->batches.empty()) {
-    std::printf("  (op log empty)\n");
+  if (shown == 0) {
+    std::printf("  (no batches%s)\n",
+                scan->batches.empty() ? "" : " in the requested id window");
   }
+  return 0;
+}
+
+/// Fenced promotion of a standby built from a backup byte copy: recovers
+/// the image (checkpoint + local log tail), bumps the fencing token, and
+/// seals both in a fresh checkpoint. After this, the copy takes writes as
+/// a primary and every late ship from the deposed one bounces off the
+/// token (replication/standby_applier.h).
+int CmdPromote(const std::string& path) {
+  Db db = OpenDb(path, UINT64_MAX);
+  WalPipeline pipeline(db.cache.get(), db.wbox.get(), WalPipelineOptions{});
+  Db* dbp = &db;
+  pipeline.SetCheckpointBuilder([dbp] { return BuildDbCheckpoint(dbp); });
+  DieOnError(pipeline.InitFromRecovery(db.recovered), "wal init");
+  const uint64_t old_token = pipeline.fencing_token();
+  pipeline.SetFencingToken(old_token + 1);
+  DieOnError(pipeline.CheckpointNow(), "seal promotion");
+  DieOnError(db.doc->CheckConsistency(), "verify");
+  std::printf("promoted %s: fencing token %llu -> %llu, %llu elements, "
+              "next batch %llu\n",
+              path.c_str(), static_cast<unsigned long long>(old_token),
+              static_cast<unsigned long long>(old_token + 1),
+              static_cast<unsigned long long>(db.doc->element_count()),
+              static_cast<unsigned long long>(
+                  pipeline.writer().next_batch_id()));
   return 0;
 }
 
@@ -562,7 +639,7 @@ int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: dbtool <create|inspect|verify|scrub|query|export|"
-                 "mutate|backup|restore|wal-dump> [flags]\n");
+                 "mutate|backup|restore|wal-dump|promote> [flags]\n");
     return 1;
   }
   const std::string command = argv[1];
@@ -591,6 +668,10 @@ int main(int argc, char** argv) {
   int64_t* to_epoch = flags.AddInt64(
       "to_epoch", -1,
       "restore: replay only flushes 1..E (point in time); -1 = all");
+  int64_t* since_batch = flags.AddInt64(
+      "since_batch", -1, "wal-dump: first batch id to show; -1 = from start");
+  int64_t* to_batch = flags.AddInt64(
+      "to_batch", -1, "wal-dump: last batch id to show; -1 = to end");
   if (!flags.Parse(argc - 1, argv + 1)) {
     return 1;
   }
@@ -623,7 +704,10 @@ int main(int argc, char** argv) {
     return CmdRestore(*db_path, *to_epoch);
   }
   if (command == "wal-dump") {
-    return CmdWalDump(*db_path);
+    return CmdWalDump(*db_path, *since_batch, *to_batch);
+  }
+  if (command == "promote") {
+    return CmdPromote(*db_path);
   }
   std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
   return 1;

@@ -1,0 +1,59 @@
+#ifndef BOXES_REPLICATION_DIGEST_H_
+#define BOXES_REPLICATION_DIGEST_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/common/labeling_scheme.h"
+#include "util/status.h"
+
+namespace boxes::replication {
+
+/// A cheap structure digest for divergence detection: the scheme's
+/// counted shape (live labels, pages, height) plus a CRC32C folded over
+/// every live (LID, label) pair in LID order. Replication replays the
+/// primary's exact batch stream, so a healthy standby's digest is
+/// bit-identical to the primary's at the same batch horizon; any
+/// mismatch means the pair silently diverged (lost ship the gap check
+/// missed, nondeterministic replay, local corruption) and must hard-fail
+/// rather than keep serving wrong order relations.
+///
+/// The digest is LOGICAL on purpose: it hashes LIDs and label values,
+/// never page ids or physical placement — a standby bootstrapped from a
+/// byte copy and one that replayed from empty allocate different pages
+/// but must agree on every label.
+struct ReplicationDigest {
+  uint64_t live_labels = 0;
+  uint64_t height = 0;
+  uint64_t lidf_pages = 0;
+  uint32_t label_crc = 0;
+
+  friend bool operator==(const ReplicationDigest& a,
+                         const ReplicationDigest& b) {
+    return a.live_labels == b.live_labels && a.height == b.height &&
+           a.lidf_pages == b.lidf_pages && a.label_crc == b.label_crc;
+  }
+  friend bool operator!=(const ReplicationDigest& a,
+                         const ReplicationDigest& b) {
+    return !(a == b);
+  }
+
+  std::string ToString() const;
+};
+
+/// Computes the digest by walking the scheme's LIDF (every scheme in the
+/// panel maintains one) and looking up each live label. O(live labels)
+/// lookups — cheap enough for periodic exchange, not for per-batch use.
+/// Caller must hold whatever exclusion a live writer requires (the
+/// harnesses run it at quiesced sync points).
+StatusOr<ReplicationDigest> ComputeReplicationDigest(LabelingScheme* scheme);
+
+/// Digest equality check with a hard-fail contract: Corruption (naming
+/// both digests) on mismatch. `what` names the pair for the message.
+Status CheckDigestsMatch(const ReplicationDigest& primary,
+                         const ReplicationDigest& standby,
+                         const std::string& what);
+
+}  // namespace boxes::replication
+
+#endif  // BOXES_REPLICATION_DIGEST_H_

@@ -1,0 +1,58 @@
+#include "replication/frame.h"
+
+#include <cstring>
+
+#include "util/coding.h"
+#include "util/crc32c.h"
+
+namespace boxes::replication {
+
+std::vector<uint8_t> EncodeShipFrame(const ShipFrame& frame) {
+  std::vector<uint8_t> out(kShipFrameHeaderSize + frame.payload.size());
+  uint8_t* p = out.data();
+  EncodeFixed32(p, kShipFrameMagic);
+  EncodeFixed64(p + 4, frame.fencing_token);
+  EncodeFixed64(p + 12, frame.generation);
+  EncodeFixed64(p + 20, frame.batch_id);
+  EncodeFixed32(p + 28, frame.op_count);
+  EncodeFixed64(p + 32, frame.ship_micros);
+  EncodeFixed32(p + 40, static_cast<uint32_t>(frame.payload.size()));
+  EncodeFixed32(p + 44, frame.payload.empty()
+                            ? Crc32c(p, 0)
+                            : Crc32c(frame.payload.data(),
+                                     frame.payload.size()));
+  EncodeFixed32(p + 48, Crc32c(p, 48));
+  if (!frame.payload.empty()) {
+    std::memcpy(p + kShipFrameHeaderSize, frame.payload.data(),
+                frame.payload.size());
+  }
+  return out;
+}
+
+bool DecodeShipFrame(const std::vector<uint8_t>& bytes, ShipFrame* out) {
+  if (bytes.size() < kShipFrameHeaderSize) {
+    return false;
+  }
+  const uint8_t* p = bytes.data();
+  if (DecodeFixed32(p) != kShipFrameMagic ||
+      DecodeFixed32(p + 48) != Crc32c(p, 48)) {
+    return false;
+  }
+  const uint32_t payload_len = DecodeFixed32(p + 40);
+  if (bytes.size() != kShipFrameHeaderSize + payload_len) {
+    return false;
+  }
+  const uint8_t* payload = p + kShipFrameHeaderSize;
+  if (DecodeFixed32(p + 44) != Crc32c(payload, payload_len)) {
+    return false;
+  }
+  out->fencing_token = DecodeFixed64(p + 4);
+  out->generation = DecodeFixed64(p + 12);
+  out->batch_id = DecodeFixed64(p + 20);
+  out->op_count = DecodeFixed32(p + 28);
+  out->ship_micros = DecodeFixed64(p + 32);
+  out->payload.assign(payload, payload + payload_len);
+  return true;
+}
+
+}  // namespace boxes::replication

@@ -1,0 +1,54 @@
+#ifndef BOXES_REPLICATION_FRAME_H_
+#define BOXES_REPLICATION_FRAME_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace boxes::replication {
+
+/// One shipped WAL batch on the wire (DESIGN.md §4k). The payload is the
+/// canonical CRC32C-framed record stream from storage/wal.h — the same
+/// bytes the primary paged onto its own device — so a standby that decodes
+/// and replays a frame reproduces the primary's apply order exactly.
+///
+/// Frame layout:
+///   [0..3]   magic "BSHP"
+///   [4..11]  fencing token of the shipping primary (see
+///            standby_applier.h — a frame stamped with a token below the
+///            receiver's is a zombie's and is rejected)
+///   [12..19] WAL generation the batch was appended under
+///   [20..27] batch id
+///   [28..31] op count
+///   [32..39] ship_micros: the sender's steady-clock microseconds at ship
+///            time; the receiver's clock minus this is the frame's age
+///            (repl.lag_us). Only meaningful in-process — which is what
+///            the transport is.
+///   [40..43] payload length
+///   [44..47] CRC32C of the payload
+///   [48..51] CRC32C of header bytes [0..47]
+///   [52..]   payload (WAL record stream)
+/// A frame torn at any byte fails one of the CRCs and is dropped whole;
+/// the gap it leaves is healed by catch-up, exactly like a dropped frame.
+inline constexpr uint32_t kShipFrameMagic = 0x50485342u;  // "BSHP"
+inline constexpr size_t kShipFrameHeaderSize = 52;
+
+struct ShipFrame {
+  uint64_t fencing_token = 0;
+  uint64_t generation = 0;
+  uint64_t batch_id = 0;
+  uint32_t op_count = 0;
+  uint64_t ship_micros = 0;
+  std::vector<uint8_t> payload;
+};
+
+/// Serializes `frame` (header CRCs computed here).
+std::vector<uint8_t> EncodeShipFrame(const ShipFrame& frame);
+
+/// Decodes `bytes` into `out`; false on any truncation, magic, or CRC
+/// violation (the torn-frame path).
+bool DecodeShipFrame(const std::vector<uint8_t>& bytes, ShipFrame* out);
+
+}  // namespace boxes::replication
+
+#endif  // BOXES_REPLICATION_FRAME_H_

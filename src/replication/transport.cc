@@ -1,0 +1,55 @@
+#include "replication/transport.h"
+
+#include <utility>
+
+namespace boxes::replication {
+
+FaultyLink::FaultyLink(LinkFaultOptions options)
+    : options_(options), rng_(options.seed) {}
+
+bool FaultyLink::Roll(double probability) {
+  if (probability <= 0.0) {
+    return false;
+  }
+  return std::uniform_real_distribution<double>(0.0, 1.0)(rng_) < probability;
+}
+
+Status FaultyLink::Send(std::vector<uint8_t> frame) {
+  if (down_) {
+    return Status::Unavailable("replication link is down");
+  }
+  ++sent_;
+  if (Roll(options_.drop_probability)) {
+    ++dropped_;
+    return Status::OK();  // silent loss — catch-up heals it
+  }
+  if (Roll(options_.tear_probability)) {
+    // Truncate to a random prefix (possibly shorter than the header). The
+    // receiver's frame CRCs turn this into a counted drop.
+    ++torn_;
+    frame.resize(rng_() % (frame.size() + 1));
+  }
+  const bool duplicate = Roll(options_.duplicate_probability);
+  if (duplicate) {
+    ++duplicated_;
+    queue_.push_back(frame);
+  }
+  queue_.push_back(std::move(frame));
+  if (queue_.size() >= 2 && Roll(options_.reorder_probability)) {
+    ++reordered_;
+    std::swap(queue_.back(), queue_[queue_.size() - 2]);
+  }
+  return Status::OK();
+}
+
+bool FaultyLink::Receive(std::vector<uint8_t>* out) {
+  if (queue_.empty()) {
+    return false;
+  }
+  *out = std::move(queue_.front());
+  queue_.pop_front();
+  ++delivered_;
+  return true;
+}
+
+}  // namespace boxes::replication

@@ -1,0 +1,86 @@
+#ifndef BOXES_REPLICATION_TRANSPORT_H_
+#define BOXES_REPLICATION_TRANSPORT_H_
+
+#include <cstdint>
+#include <deque>
+#include <random>
+#include <vector>
+
+#include "util/status.h"
+
+namespace boxes::replication {
+
+/// Fault model of one unidirectional primary→standby link. All faults are
+/// seeded and deterministic, same discipline as FaultInjectionPageStore:
+/// a failing sweep seed reproduces exactly.
+struct LinkFaultOptions {
+  /// Frame silently lost in flight.
+  double drop_probability = 0.0;
+  /// Frame delivered twice.
+  double duplicate_probability = 0.0;
+  /// Frame delivered after the frame sent next (pairwise swap).
+  double reorder_probability = 0.0;
+  /// Frame delivered truncated/scribbled; the receiver's CRCs catch it.
+  double tear_probability = 0.0;
+  uint64_t seed = 1;
+};
+
+/// An in-process unreliable datagram link. Send() enqueues a frame toward
+/// the receiver subject to the configured faults; Receive() pops delivered
+/// frames. Deliberately UDP-shaped: a fault-free Send still returns OK
+/// whether or not the frame survives the link — the shipping protocol's
+/// reliability lives entirely on the receive side (gap detection +
+/// catch-up, standby_applier.h), so the transport never has to be trusted.
+///
+/// The one observable failure is a downed link (SetDown — a network
+/// partition or a dead standby): Send returns Unavailable so the shipper
+/// can count unreachable ships, and the frame is lost like any drop.
+///
+/// Single-threaded by design, like the harnesses that drive it; the
+/// deterministic fault sequence IS the point, and a lock-free MPSC queue
+/// would buy nothing here.
+class FaultyLink {
+ public:
+  explicit FaultyLink(LinkFaultOptions options = {});
+
+  FaultyLink(const FaultyLink&) = delete;
+  FaultyLink& operator=(const FaultyLink&) = delete;
+
+  /// Ships one encoded frame. Unavailable while the link is down.
+  Status Send(std::vector<uint8_t> frame);
+
+  /// Pops the next delivered frame into `out`; false when the link is
+  /// drained. Down links still drain what was delivered before the cut.
+  bool Receive(std::vector<uint8_t>* out);
+
+  void SetDown(bool down) { down_ = down; }
+  bool down() const { return down_; }
+
+  /// True when nothing is queued for delivery.
+  bool drained() const { return queue_.empty(); }
+
+  uint64_t sent() const { return sent_; }
+  uint64_t dropped() const { return dropped_; }
+  uint64_t duplicated() const { return duplicated_; }
+  uint64_t reordered() const { return reordered_; }
+  uint64_t torn() const { return torn_; }
+  uint64_t delivered() const { return delivered_; }
+
+ private:
+  bool Roll(double probability);
+
+  const LinkFaultOptions options_;
+  std::mt19937_64 rng_;
+  std::deque<std::vector<uint8_t>> queue_;
+  bool down_ = false;
+  uint64_t sent_ = 0;
+  uint64_t dropped_ = 0;
+  uint64_t duplicated_ = 0;
+  uint64_t reordered_ = 0;
+  uint64_t torn_ = 0;
+  uint64_t delivered_ = 0;
+};
+
+}  // namespace boxes::replication
+
+#endif  // BOXES_REPLICATION_TRANSPORT_H_

@@ -1,0 +1,132 @@
+#include "replication/wal_shipper.h"
+
+#include <chrono>
+#include <cstring>
+#include <map>
+#include <utility>
+
+#include "replication/frame.h"
+#include "util/coding.h"
+#include "util/crc32c.h"
+
+namespace boxes::replication {
+
+namespace {
+
+uint64_t NowMicros() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// Re-frames already-decoded WalRecords into the canonical record stream —
+// byte-identical to what EncodeWalRecordStream produced originally,
+// without round-tripping the subtree XML through a parse (the scan
+// already holds the serialized bytes).
+std::vector<uint8_t> EncodeRecordStream(const std::vector<WalRecord>& records) {
+  constexpr size_t kFixed = 8 + 1 + 8 + 8 + 4;
+  std::vector<uint8_t> stream;
+  std::vector<uint8_t> body;
+  for (const WalRecord& record : records) {
+    body.assign(kFixed + record.subtree_xml.size(), 0);
+    uint8_t* p = body.data();
+    EncodeFixed64(p, record.user_tag);
+    p[8] = static_cast<uint8_t>(record.kind);
+    EncodeFixed64(p + 9, record.anchor);
+    EncodeFixed64(p + 17, record.anchor_end);
+    EncodeFixed32(p + 25, static_cast<uint32_t>(record.subtree_xml.size()));
+    std::memcpy(p + kFixed, record.subtree_xml.data(),
+                record.subtree_xml.size());
+    uint8_t frame[8];
+    EncodeFixed32(frame, static_cast<uint32_t>(body.size()));
+    EncodeFixed32(frame + 4, Crc32c(body.data(), body.size()));
+    stream.insert(stream.end(), frame, frame + sizeof(frame));
+    stream.insert(stream.end(), body.begin(), body.end());
+  }
+  return stream;
+}
+
+}  // namespace
+
+WalShipper::WalShipper(WalPipeline* pipeline, PageCache* cache,
+                       FaultyLink* link, MetricsRegistry* metrics)
+    : pipeline_(pipeline), cache_(cache), link_(link), metrics_(metrics) {}
+
+void WalShipper::Attach() {
+  pipeline_->SetShipHook([this](uint64_t generation, uint64_t batch_id,
+                                const std::vector<BatchOp>& ops) {
+    Ship(generation, batch_id, ops);
+  });
+}
+
+void WalShipper::Ship(uint64_t generation, uint64_t batch_id,
+                      const std::vector<BatchOp>& ops) {
+  std::vector<uint8_t> stream;
+  if (!EncodeWalRecordStream(ops, &stream).ok()) {
+    // The same encoding just succeeded inside AppendBatch; a failure here
+    // is a programming error, but shipping must not take the primary down.
+    ++ship_failures_;
+    return;
+  }
+  ShipStream(generation, batch_id, static_cast<uint32_t>(ops.size()),
+             std::move(stream));
+}
+
+void WalShipper::ShipStream(uint64_t generation, uint64_t batch_id,
+                            uint32_t op_count, std::vector<uint8_t> stream) {
+  ShipFrame frame;
+  frame.fencing_token = pipeline_->fencing_token();
+  frame.generation = generation;
+  frame.batch_id = batch_id;
+  frame.op_count = op_count;
+  frame.ship_micros = NowMicros();
+  frame.payload = std::move(stream);
+  if (link_->Send(EncodeShipFrame(frame)).ok()) {
+    ++shipped_batches_;
+    if (metrics_ != nullptr) {
+      metrics_->IncrementCounter("repl.shipped_batches");
+    }
+  } else {
+    ++ship_failures_;
+    if (metrics_ != nullptr) {
+      metrics_->IncrementCounter("repl.ship_failures");
+    }
+  }
+}
+
+Status WalShipper::ReShipFrom(uint64_t from_batch) {
+  BOXES_ASSIGN_OR_RETURN(const WalScan scan, ScanWal(cache_->store()));
+  // Last complete attempt per id: only the final successful append of an
+  // id was acknowledged (a faulted append's earlier complete copy may be
+  // a subset of the acknowledged batch). The scan is (id, attempt)-sorted,
+  // so the map insert order leaves the highest attempt in place.
+  std::map<uint64_t, const WalBatch*> chosen;
+  for (const WalBatch& batch : scan.batches) {
+    if (batch.batch_id >= from_batch && batch.complete) {
+      chosen[batch.batch_id] = &batch;
+    }
+  }
+  const uint64_t next_unassigned = pipeline_->writer().next_batch_id();
+  for (uint64_t id = from_batch; id < next_unassigned; ++id) {
+    const auto it = chosen.find(id);
+    if (it == chosen.end()) {
+      return Status::FailedPrecondition(
+          "catch-up from batch " + std::to_string(from_batch) +
+          " impossible: batch " + std::to_string(id) +
+          " has no complete copy left in the primary's log (recycled by "
+          "truncation) — re-bootstrap the standby from a backup");
+    }
+    const WalBatch& batch = *it->second;
+    ++ship_retries_;
+    if (metrics_ != nullptr) {
+      metrics_->IncrementCounter("repl.ship_retries");
+    }
+    ShipStream(batch.generation, batch.batch_id,
+               static_cast<uint32_t>(batch.records.size()),
+               EncodeRecordStream(batch.records));
+  }
+  return Status::OK();
+}
+
+}  // namespace boxes::replication

@@ -1,0 +1,66 @@
+#ifndef BOXES_REPLICATION_WAL_SHIPPER_H_
+#define BOXES_REPLICATION_WAL_SHIPPER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "replication/transport.h"
+#include "storage/wal.h"
+#include "util/metrics.h"
+
+namespace boxes::replication {
+
+/// Primary-side half of WAL shipping (DESIGN.md §4k): taps WalPipeline's
+/// ship hook and streams every durably appended batch onto the link as a
+/// ShipFrame. Shipping is strictly an observer of the primary's own
+/// durability path — a dropped, torn, or unreachable ship NEVER fails the
+/// flush that triggered it; the standby detects the hole by batch-id gap
+/// and asks for ReShipFrom, which replays history out of the primary's
+/// own on-device log.
+class WalShipper {
+ public:
+  WalShipper(WalPipeline* pipeline, PageCache* cache, FaultyLink* link,
+             MetricsRegistry* metrics = nullptr);
+
+  WalShipper(const WalShipper&) = delete;
+  WalShipper& operator=(const WalShipper&) = delete;
+
+  /// Installs this shipper as `pipeline`'s ship hook. The shipper must
+  /// outlive the pipeline or the hook must be cleared first.
+  void Attach();
+
+  /// Ships one batch (called by the hook; public for catch-up paths and
+  /// tests). Failures are counted, not returned — see class comment.
+  void Ship(uint64_t generation, uint64_t batch_id,
+            const std::vector<BatchOp>& ops);
+
+  /// Catch-up: re-scans the primary's own op log and re-ships every batch
+  /// with id >= `from_batch`, in id order, choosing the last complete
+  /// attempt of each id (the acknowledged copy). FailedPrecondition when
+  /// any id in [from_batch, next unassigned) has no complete copy left —
+  /// its pages were recycled by truncation — in which case the standby is
+  /// too far behind the log and must re-bootstrap from a backup byte copy.
+  Status ReShipFrom(uint64_t from_batch);
+
+  uint64_t shipped_batches() const { return shipped_batches_; }
+  /// Ships the link refused (down) or that never left this node.
+  uint64_t ship_failures() const { return ship_failures_; }
+  /// Batches re-shipped by catch-up ("repl.ship_retries").
+  uint64_t ship_retries() const { return ship_retries_; }
+
+ private:
+  void ShipStream(uint64_t generation, uint64_t batch_id, uint32_t op_count,
+                  std::vector<uint8_t> stream);
+
+  WalPipeline* pipeline_;  // not owned
+  PageCache* cache_;       // not owned
+  FaultyLink* link_;       // not owned
+  MetricsRegistry* metrics_ = nullptr;  // not owned
+  uint64_t shipped_batches_ = 0;
+  uint64_t ship_failures_ = 0;
+  uint64_t ship_retries_ = 0;
+};
+
+}  // namespace boxes::replication
+
+#endif  // BOXES_REPLICATION_WAL_SHIPPER_H_

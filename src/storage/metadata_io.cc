@@ -16,13 +16,22 @@ constexpr size_t kPageHeaderSize = 16;
 
 // No slot decoded as current-format: distinguish "this is an older-format
 // database" (a clear, actionable FailedPrecondition) from real corruption.
+// Both legacy formats used a 32-byte slot stride, so the probe walks THAT
+// layout, not the current 40-byte one.
 Status NoActiveSlotError(const uint8_t* page) {
+  constexpr size_t kLegacySlotSize = 32;
   for (size_t i = 0; i < superblock::kNumSlots; ++i) {
-    if (superblock::IsLegacyV2Slot(page + i * superblock::kSlotSize)) {
+    if (superblock::IsLegacyV2Slot(page + i * kLegacySlotSize)) {
       return Status::FailedPrecondition(
           "superblock is format v2 (BOXESDB2), which predates the op log's "
-          "WAL mark; this build reads format v3 (BXD3) only — re-create the "
+          "WAL mark; this build reads format v4 (BXD4) only — re-create the "
           "database or migrate it with a v2-era build");
+    }
+    if (superblock::IsLegacyV3Slot(page + i * kLegacySlotSize)) {
+      return Status::FailedPrecondition(
+          "superblock is format v3 (BXD3), which predates the replication "
+          "fencing token; this build reads format v4 (BXD4) only — "
+          "re-create the database or migrate it with a v3-era build");
     }
   }
   return Status::Corruption("superblock holds no valid commit record");
@@ -177,7 +186,8 @@ Status InitializeSuperblock(PageCache* cache) {
   return Status::OK();
 }
 
-Status CommitCheckpoint(PageCache* cache, PageId head, uint64_t wal_mark) {
+Status CommitCheckpoint(PageCache* cache, PageId head, uint64_t wal_mark,
+                        uint64_t fencing_token) {
   // 1. The chain (and every dirty data page) must be durable before the
   // commit record can point at it.
   BOXES_RETURN_IF_ERROR(cache->FlushAll());
@@ -193,9 +203,12 @@ Status CommitCheckpoint(PageCache* cache, PageId head, uint64_t wal_mark) {
   const uint64_t sequence = active.sequence + 1;
   const uint64_t mark =
       wal_mark == kPreserveWalMark ? active.wal_mark : wal_mark;
+  const uint64_t token = fencing_token == kPreserveFencingToken
+                             ? active.fencing_token
+                             : fencing_token;
   superblock::EncodeSlot(
       data + (1 - active_index) * superblock::kSlotSize, sequence, head,
-      mark);
+      mark, token);
   // 3. Persist the flip; only page 0 is dirty at this point.
   BOXES_RETURN_IF_ERROR(cache->FlushAll());
   BOXES_RETURN_IF_ERROR(cache->store()->Sync());
@@ -226,6 +239,7 @@ StatusOr<SuperblockInfo> LoadSuperblock(PageCache* cache) {
   info.sequence = active.sequence;
   info.head = active.head;
   info.wal_mark = active.wal_mark;
+  info.fencing_token = active.fencing_token;
   return info;
 }
 

@@ -73,6 +73,12 @@ Status InitializeSuperblock(PageCache* cache);
 /// mark forward unchanged" — what every caller without an op log wants.
 inline constexpr uint64_t kPreserveWalMark = UINT64_MAX;
 
+/// `fencing_token` value for CommitCheckpoint meaning "carry the active
+/// slot's token forward unchanged" — what every caller outside a
+/// promotion wants. (A real token of UINT64_MAX is unreachable: tokens
+/// start at 0 and bump by 1 per promotion.)
+inline constexpr uint64_t kPreserveFencingToken = UINT64_MAX;
+
 /// Atomically publishes `head` as the current checkpoint:
 ///   1. flush + Sync — the chain (and all data pages) become durable;
 ///   2. encode the inactive superblock slot with the next sequence number;
@@ -84,8 +90,13 @@ inline constexpr uint64_t kPreserveWalMark = UINT64_MAX;
 /// `wal_mark`, when not kPreserveWalMark, is recorded in the new slot: the
 /// id of the first op-log batch this checkpoint does NOT cover (see
 /// storage/wal.h). Callers without an op log keep the default.
+///
+/// `fencing_token`, when not kPreserveFencingToken, replaces the persisted
+/// replication fencing token (see replication/standby_applier.h). Only a
+/// promotion passes it; every other commit carries the token forward.
 Status CommitCheckpoint(PageCache* cache, PageId head,
-                        uint64_t wal_mark = kPreserveWalMark);
+                        uint64_t wal_mark = kPreserveWalMark,
+                        uint64_t fencing_token = kPreserveFencingToken);
 
 /// Reads the checkpoint chain head from the active superblock slot;
 /// NotFound if the database holds no checkpoint yet, Corruption if neither
@@ -102,6 +113,7 @@ struct SuperblockInfo {
   uint64_t sequence = 0;
   PageId head = kInvalidPageId;
   uint64_t wal_mark = 1;
+  uint64_t fencing_token = 0;
 };
 StatusOr<SuperblockInfo> LoadSuperblock(PageCache* cache);
 

@@ -92,6 +92,11 @@ Status Scrubber::Step() {
       Count(&Counters::read_errors, "scrub.read_errors");
     }
   }
+  if (metrics_ != nullptr) {
+    // A level, not an event count: the current quarantine size, refreshed
+    // every step so recoveries pull the gauge back down.
+    metrics_->SetGauge("scrub.quarantined_pages", quarantine_.size());
+  }
   return Status::OK();
 }
 

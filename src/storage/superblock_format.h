@@ -10,40 +10,60 @@ namespace boxes::superblock {
 
 /// Page 0 of a checkpoint-enabled database is a dual-slot commit record.
 /// Each slot is an independently checksummed (magic, sequence, checkpoint
-/// chain head, WAL mark) record; the slot with the highest valid sequence
-/// number is the current checkpoint. A commit writes the *inactive* slot
-/// and leaves the active one byte-identical, so a write of page 0 torn at
-/// any prefix preserves a loadable record: the old slot survives untouched
-/// and the half-written new slot fails its CRC.
+/// chain head, WAL mark, fencing token) record; the slot with the highest
+/// valid sequence number is the current checkpoint. A commit writes the
+/// *inactive* slot and leaves the active one byte-identical, so a write of
+/// page 0 torn at any prefix preserves a loadable record: the old slot
+/// survives untouched and the half-written new slot fails its CRC.
 ///
-/// Slot layout (32 bytes, format v3 "BXD3"):
-///   [0..3]   magic "BXD3"
+/// Slot layout (40 bytes, format v4 "BXD4"):
+///   [0..3]   magic "BXD4"
 ///   [4..11]  sequence number (monotonically increasing across commits)
 ///   [12..19] checkpoint metadata-chain head (kInvalidPageId = none yet)
 ///   [20..27] WAL mark: the id of the first op-log batch NOT covered by
 ///            this checkpoint (== the next batch id the log will assign).
 ///            Recovery replays batches >= the mark's generation; the mark
 ///            also seeds batch-id continuity across restarts.
-///   [28..31] CRC32C over bytes [0..27]
-/// Slot A lives at page offset 0, slot B at offset 32; both fit the 64-byte
-/// minimum page size.
-inline constexpr uint32_t kSlotMagic = 0x33445842u;  // "BXD3"
-inline constexpr size_t kSlotSize = 32;
+///   [28..35] fencing token: the replication-role epoch (see
+///            replication/). 0 on databases that never replicated. Each
+///            promotion persists token+1 before the new primary accepts
+///            writes, so a deposed ("zombie") primary's late ships — all
+///            stamped with the old token — are rejected by every standby
+///            that saw the promotion.
+///   [36..39] CRC32C over bytes [0..35]
+/// Slot A lives at page offset 0, slot B at offset 40; both fit any page
+/// size >= 80 bytes (the smallest size any backend accepts is far above
+/// that).
+inline constexpr uint32_t kSlotMagic = 0x34445842u;  // "BXD4"
+inline constexpr size_t kSlotSize = 40;
 inline constexpr size_t kNumSlots = 2;
 
 /// The pre-WAL v2 slot magic ("BOXESDB2", 8 bytes at offset 0; sequence at
-/// [8..15], head at [16..23], CRC32C over [0..23] at [24..27]). v3 cannot
+/// [8..15], head at [16..23], CRC32C over [0..23] at [24..27]). v4 cannot
 /// open v2 databases — the slot carries no WAL mark — but it must SAY so:
 /// without this probe a v2 database fails as "no valid commit record",
 /// which reads as data corruption rather than a format-version mismatch.
 inline constexpr uint64_t kSlotMagicV2 = 0x32424453'45584f42ULL;
 
+/// The pre-fencing v3 slot magic ("BXD3": 32-byte slot, no fencing token,
+/// CRC over [0..27] at [28..31], slot B at offset 32). Same story as v2:
+/// probed only to turn "no valid commit record" into a clear
+/// format-version error.
+inline constexpr uint32_t kSlotMagicV3 = 0x33445842u;
+
 /// True when the slot bytes decode as an intact v2 slot (v2 magic and a
-/// valid v2 CRC). Used only to pick the right error once no v3 slot
+/// valid v2 CRC). Used only to pick the right error once no v4 slot
 /// decoded; a half-written or scribbled v2 slot stays plain corruption.
 inline bool IsLegacyV2Slot(const uint8_t* in) {
   return DecodeFixed64(in) == kSlotMagicV2 &&
          DecodeFixed32(in + 24) == Crc32c(in, 24);
+}
+
+/// True when the slot bytes decode as an intact v3 slot, at v3's 32-byte
+/// layout. Same decode-then-CRC discipline as the v2 probe.
+inline bool IsLegacyV3Slot(const uint8_t* in) {
+  return DecodeFixed32(in) == kSlotMagicV3 &&
+         DecodeFixed32(in + 28) == Crc32c(in, 28);
 }
 
 /// First batch id a fresh database's op log assigns.
@@ -54,27 +74,31 @@ struct Slot {
   uint64_t sequence = 0;
   uint64_t head = UINT64_MAX;  // kInvalidPageId
   uint64_t wal_mark = kFirstBatchId;
+  uint64_t fencing_token = 0;
 };
 
 inline void EncodeSlot(uint8_t* out, uint64_t sequence, uint64_t head,
-                       uint64_t wal_mark = kFirstBatchId) {
+                       uint64_t wal_mark = kFirstBatchId,
+                       uint64_t fencing_token = 0) {
   EncodeFixed32(out, kSlotMagic);
   EncodeFixed64(out + 4, sequence);
   EncodeFixed64(out + 12, head);
   EncodeFixed64(out + 20, wal_mark);
-  EncodeFixed32(out + 28, Crc32c(out, 28));
+  EncodeFixed64(out + 28, fencing_token);
+  EncodeFixed32(out + 36, Crc32c(out, 36));
 }
 
 inline Slot DecodeSlot(const uint8_t* in) {
   Slot slot;
   if (DecodeFixed32(in) != kSlotMagic ||
-      DecodeFixed32(in + 28) != Crc32c(in, 28)) {
+      DecodeFixed32(in + 36) != Crc32c(in, 36)) {
     return slot;  // invalid
   }
   slot.valid = true;
   slot.sequence = DecodeFixed64(in + 4);
   slot.head = DecodeFixed64(in + 12);
   slot.wal_mark = DecodeFixed64(in + 20);
+  slot.fencing_token = DecodeFixed64(in + 28);
   return slot;
 }
 

@@ -49,11 +49,29 @@ void AppendRecord(const BatchOp& op, const std::string& subtree_xml,
   stream->insert(stream->end(), body.begin(), body.end());
 }
 
-// Decodes `op_count` framed records out of a reassembled batch stream.
-// Any framing, CRC, or body-shape violation fails the whole batch — the
-// caller then treats it as incomplete (torn), never as partially usable.
-bool DecodeRecords(const std::vector<uint8_t>& stream, uint32_t op_count,
-                   std::vector<WalRecord>* out) {
+}  // namespace
+
+Status EncodeWalRecordStream(const std::vector<BatchOp>& ops,
+                             std::vector<uint8_t>* stream) {
+  stream->clear();
+  for (const BatchOp& op : ops) {
+    std::string subtree_xml;
+    if (op.kind == BatchOp::Kind::kInsertSubtreeBefore) {
+      if (op.subtree == nullptr) {
+        return Status::InvalidArgument(
+            "kInsertSubtreeBefore op without a subtree");
+      }
+      if (!op.subtree->empty()) {
+        subtree_xml = xml::WriteDocument(*op.subtree, /*pretty=*/false);
+      }
+    }
+    AppendRecord(op, subtree_xml, stream);
+  }
+  return Status::OK();
+}
+
+bool DecodeWalRecordStream(const std::vector<uint8_t>& stream,
+                           uint32_t op_count, std::vector<WalRecord>* out) {
   out->clear();
   out->reserve(op_count);
   size_t pos = 0;
@@ -92,6 +110,40 @@ bool DecodeRecords(const std::vector<uint8_t>& stream, uint32_t op_count,
   // stream exactly; trailing garbage means a header lied.
   return pos == stream.size();
 }
+
+Status BuildOpsFromWalRecords(
+    const std::vector<WalRecord>& records,
+    std::vector<std::unique_ptr<xml::Document>>* docs,
+    std::vector<BatchOp>* ops) {
+  ops->clear();
+  ops->reserve(records.size());
+  for (const WalRecord& record : records) {
+    BatchOp op;
+    op.kind = record.kind;
+    op.anchor = record.anchor;
+    op.anchor_end = record.anchor_end;
+    op.user_tag = record.user_tag;
+    if (record.kind == BatchOp::Kind::kInsertSubtreeBefore) {
+      if (record.subtree_xml.empty()) {
+        docs->push_back(std::make_unique<xml::Document>());
+      } else {
+        auto parsed = xml::ParseDocument(record.subtree_xml);
+        if (!parsed.ok()) {
+          return Status::Corruption("op log record holds an unparsable "
+                                    "subtree: " +
+                                    parsed.status().message());
+        }
+        docs->push_back(
+            std::make_unique<xml::Document>(std::move(parsed).value()));
+      }
+      op.subtree = docs->back().get();
+    }
+    ops->push_back(op);
+  }
+  return Status::OK();
+}
+
+namespace {
 
 // One (batch_id, attempt) group under assembly during the scan.
 struct PendingBatch {
@@ -180,7 +232,8 @@ StatusOr<WalScan> ScanWal(PageStore* store) {
       for (auto& [seq, payload] : group.payloads) {
         stream.insert(stream.end(), payload.begin(), payload.end());
       }
-      batch.complete = DecodeRecords(stream, group.op_count, &batch.records);
+      batch.complete =
+          DecodeWalRecordStream(stream, group.op_count, &batch.records);
       if (!batch.complete) {
         batch.records.clear();
       }
@@ -255,30 +308,14 @@ Status ReplayScannedWal(PageCache* cache, LabelingScheme* scheme,
     // something unparsable, which is a bug, not a torn tail.
     std::vector<std::unique_ptr<xml::Document>> docs;
     std::vector<BatchOp> ops;
-    ops.reserve(chosen->records.size());
-    for (const WalRecord& record : chosen->records) {
-      BatchOp op;
-      op.kind = record.kind;
-      op.anchor = record.anchor;
-      op.anchor_end = record.anchor_end;
-      op.user_tag = record.user_tag;
-      if (record.kind == BatchOp::Kind::kInsertSubtreeBefore) {
-        if (record.subtree_xml.empty()) {
-          docs.push_back(std::make_unique<xml::Document>());
-        } else {
-          auto parsed = xml::ParseDocument(record.subtree_xml);
-          if (!parsed.ok()) {
-            return Status::Corruption("op log batch " +
-                                      std::to_string(batch_id) +
-                                      " holds an unparsable subtree: " +
-                                      parsed.status().message());
-          }
-          docs.push_back(
-              std::make_unique<xml::Document>(std::move(parsed).value()));
-        }
-        op.subtree = docs.back().get();
+    {
+      const Status built =
+          BuildOpsFromWalRecords(chosen->records, &docs, &ops);
+      if (!built.ok()) {
+        return Status(built.code(), "op log batch " +
+                                        std::to_string(batch_id) + ": " +
+                                        built.message());
       }
-      ops.push_back(op);
     }
 
     BatchStats batch_stats;
@@ -354,19 +391,7 @@ Status WalWriter::AppendBatch(const std::vector<BatchOp>& ops) {
   }
 
   std::vector<uint8_t> stream;
-  for (const BatchOp& op : ops) {
-    std::string subtree_xml;
-    if (op.kind == BatchOp::Kind::kInsertSubtreeBefore) {
-      if (op.subtree == nullptr) {
-        return Status::InvalidArgument(
-            "kInsertSubtreeBefore op without a subtree");
-      }
-      if (!op.subtree->empty()) {
-        subtree_xml = xml::WriteDocument(*op.subtree, /*pretty=*/false);
-      }
-    }
-    AppendRecord(op, subtree_xml, &stream);
-  }
+  BOXES_RETURN_IF_ERROR(EncodeWalRecordStream(ops, &stream));
 
   const size_t max_payload = page_size - kWalPageHeaderSize;
   const uint32_t page_count = static_cast<uint32_t>(
@@ -525,6 +550,7 @@ Status WalPipeline::Init() {
   writer_.AdoptPages(scan);
   writer_.set_next_batch_id(std::max(info.wal_mark, scan.max_batch_id + 1));
   writer_.SetMetrics(scheme_->metrics());
+  fencing_token_ = info.fencing_token;
   // The generation filter anchors on the superblock's sequence number, so
   // the superblock must be on the device before the first append is — on a
   // fresh database page 0 is still only dirty in the cache.
@@ -537,12 +563,24 @@ Status WalPipeline::InitFromRecovery(const WalRecoveryResult& recovered) {
   writer_.set_next_batch_id(recovered.next_batch_id);
   writer_.AdoptPages(recovered.scan);
   writer_.SetMetrics(scheme_->metrics());
+  BOXES_ASSIGN_OR_RETURN(const SuperblockInfo info, LoadSuperblock(cache_));
+  fencing_token_ = info.fencing_token;
   return Status::OK();
 }
 
 void WalPipeline::Attach(UpdateBuffer* buffer) {
   buffer->SetDurabilityHook([this](const std::vector<BatchOp>& ops) {
-    return writer_.AppendBatch(ops);
+    // AppendBatch consumes the id only on success, so it must be read
+    // before the append to know what the batch was logged as.
+    const uint64_t batch_id = writer_.next_batch_id();
+    BOXES_RETURN_IF_ERROR(writer_.AppendBatch(ops));
+    if (ship_hook_) {
+      // Fired between "durable on the primary" and "applied": the shipped
+      // stream is exactly what recovery would replay, so a standby that
+      // applies it converges on the same structure.
+      ship_hook_(writer_.generation(), batch_id, ops);
+    }
+    return Status::OK();
   });
   buffer->SetCommitHook([this] { return OnFlushCommitted(); });
 }
@@ -572,8 +610,9 @@ Status WalPipeline::CheckpointNow() {
   // its chain, and the whole log survive, and the counter stays over the
   // interval so the next flush retries. (The half-built chain leaks its
   // pages until then; crash recovery never sees them as anything.)
-  BOXES_RETURN_IF_ERROR(
-      CommitCheckpoint(cache_, *head, writer_.next_batch_id()));
+  BOXES_RETURN_IF_ERROR(CommitCheckpoint(cache_, *head,
+                                         writer_.next_batch_id(),
+                                         fencing_token_));
   flushes_since_checkpoint_ = 0;
   if (before.head != kInvalidPageId) {
     BOXES_RETURN_IF_ERROR(FreeMetadataChain(cache_, before.head));

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -88,6 +89,31 @@ struct WalRecord {
   uint64_t user_tag = 0;
   std::string subtree_xml;  // empty unless kInsertSubtreeBefore
 };
+
+/// Serializes `ops` into the canonical CRC32C-framed record stream (the
+/// byte layout above). This is THE wire format for a logged batch — the
+/// WalWriter pages it onto the device and the replication shipper frames
+/// it onto the link, so a standby replays byte-identical history.
+/// InvalidArgument if a kInsertSubtreeBefore op carries no subtree.
+Status EncodeWalRecordStream(const std::vector<BatchOp>& ops,
+                             std::vector<uint8_t>* stream);
+
+/// Decodes `op_count` framed records out of a record stream. Any framing,
+/// CRC, or body-shape violation returns false — callers treat the whole
+/// batch as torn, never as partially usable. A complete stream must be
+/// consumed exactly (trailing garbage fails).
+bool DecodeWalRecordStream(const std::vector<uint8_t>& stream,
+                           uint32_t op_count, std::vector<WalRecord>* out);
+
+/// Rebuilds executable BatchOps from decoded records: subtree XML is
+/// re-parsed into documents appended to `docs` (which must outlive the
+/// ops — each subtree op points into it). Parse failure after a CRC match
+/// means the writer logged something unparsable: Corruption, not a torn
+/// tail.
+Status BuildOpsFromWalRecords(
+    const std::vector<WalRecord>& records,
+    std::vector<std::unique_ptr<xml::Document>>* docs,
+    std::vector<BatchOp>* ops);
 
 /// One appended batch as the recovery scan sees it: one attempt at one
 /// batch id. `complete` means every page is present and readable and the
@@ -289,6 +315,17 @@ class WalPipeline {
     checkpoint_builder_ = std::move(builder);
   }
 
+  /// Observer of every durably appended batch, called right after the
+  /// batch's fdatasync succeeds (and before the batch applies), with the
+  /// id it was logged under. This is the replication tap: a WalShipper
+  /// streams the ops to standbys from here. The hook must not fail —
+  /// replication is asynchronous by design; a lost ship is healed by
+  /// catch-up (see replication/wal_shipper.h), never by failing the
+  /// primary's own durability path.
+  using ShipHook = std::function<void(uint64_t generation, uint64_t batch_id,
+                                      const std::vector<BatchOp>& ops)>;
+  void SetShipHook(ShipHook hook) { ship_hook_ = std::move(hook); }
+
   /// Fresh or idle database: reads the superblock (sequence + WAL mark)
   /// and makes it durable — the generation filter is anchored there, so
   /// it must hit the disk before the first append does.
@@ -312,6 +349,14 @@ class WalPipeline {
   }
   WalWriter& writer() { return writer_; }
 
+  /// The replication fencing token this node operates under (loaded from
+  /// the superblock by Init/InitFromRecovery). A promotion calls
+  /// SetFencingToken(token + 1) and then CheckpointNow() — the token is
+  /// persisted in the same dual-slot commit as everything else, so a node
+  /// restart cannot forget it was promoted (or deposed).
+  uint64_t fencing_token() const { return fencing_token_; }
+  void SetFencingToken(uint64_t token) { fencing_token_ = token; }
+
  private:
   Status OnFlushCommitted();
 
@@ -320,7 +365,9 @@ class WalPipeline {
   const WalPipelineOptions options_;
   WalWriter writer_;
   CheckpointBuilder checkpoint_builder_;
+  ShipHook ship_hook_;
   uint64_t flushes_since_checkpoint_ = 0;
+  uint64_t fencing_token_ = 0;
 };
 
 }  // namespace boxes

@@ -110,6 +110,10 @@ MetricsRegistry::Counter* MetricsRegistry::GetCounter(
   return &counters_[name];
 }
 
+void MetricsRegistry::SetGauge(const std::string& name, uint64_t value) {
+  GetCounter(name)->store(value, std::memory_order_relaxed);
+}
+
 uint64_t MetricsRegistry::CounterValue(const std::string& name) const {
   std::shared_lock<std::shared_mutex> lock(mu_);
   const auto it = counters_.find(name);

@@ -52,6 +52,12 @@ class MetricsRegistry {
   /// Current value of a counter; zero if it was never incremented.
   uint64_t CounterValue(const std::string& name) const;
 
+  /// Overwrites the named counter with `value`, creating it on first use.
+  /// This is the gauge idiom: a level (replication lag, quarantine size)
+  /// rather than an accumulating event count. Gauges share the counter
+  /// namespace and JSON section, so exporters treat them uniformly.
+  void SetGauge(const std::string& name, uint64_t value);
+
   /// Returns the named histogram, creating it empty on first use. The
   /// pointer stays valid for the registry's lifetime.
   Histogram* GetHistogram(const std::string& name);

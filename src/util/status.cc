@@ -29,20 +29,24 @@ const char* StatusCodeToString(StatusCode code) {
       return "Internal";
     case StatusCode::kDeadlineExceeded:
       return "DeadlineExceeded";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
 }
 
 bool IsRetryableCode(StatusCode code) {
   return code == StatusCode::kIoError ||
-         code == StatusCode::kResourceExhausted;
+         code == StatusCode::kResourceExhausted ||
+         code == StatusCode::kUnavailable;
 }
 
 bool IsDataUnavailableCode(StatusCode code) {
   return code == StatusCode::kIoError ||
          code == StatusCode::kResourceExhausted ||
          code == StatusCode::kCorruption ||
-         code == StatusCode::kDeadlineExceeded;
+         code == StatusCode::kDeadlineExceeded ||
+         code == StatusCode::kUnavailable;
 }
 
 std::string Status::ToString() const {

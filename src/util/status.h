@@ -25,6 +25,13 @@ enum class StatusCode {
   /// util/request_context.h) ran out before the operation completed. Says
   /// nothing about the health of the data or the device.
   kDeadlineExceeded,
+  /// The serving replica cannot answer right now — a standby that has not
+  /// caught up to the primary's acknowledged history, or a node fenced off
+  /// by a newer primary's promotion (replication/). Distinct from
+  /// kResourceExhausted (a shed under overload): the node is healthy but
+  /// its *data* is behind or its authority revoked. The same request
+  /// against a caught-up replica (or after catch-up) succeeds.
+  kUnavailable,
 };
 
 /// Returns a human-readable name for a status code ("OK", "IoError", ...).
@@ -32,12 +39,14 @@ const char* StatusCodeToString(StatusCode code);
 
 /// Fault taxonomy (DESIGN.md §4f). A *retryable* error is one where the
 /// identical operation may legitimately succeed if simply reissued: a
-/// transient I/O fault (kIoError) or momentary exhaustion
-/// (kResourceExhausted). Permanent classes — kCorruption (the bytes are
-/// durably wrong; rereading yields the same bytes), argument/precondition
-/// errors, kNotFound — must not be retried. kDeadlineExceeded is also
-/// final: the request's allowance is spent, and reissuing only spends
-/// somebody else's.
+/// transient I/O fault (kIoError), momentary exhaustion
+/// (kResourceExhausted), or a replica that is behind but catching up
+/// (kUnavailable — replication lag closes, fenced requests re-route).
+/// Permanent classes — kCorruption (the bytes are durably wrong;
+/// rereading yields the same bytes), argument/precondition errors,
+/// kNotFound — must not be retried. kDeadlineExceeded is also final: the
+/// request's allowance is spent, and reissuing only spends somebody
+/// else's.
 bool IsRetryableCode(StatusCode code);
 
 /// True when the error means the authoritative on-disk value is currently
@@ -90,6 +99,9 @@ class Status {
   }
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

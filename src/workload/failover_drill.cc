@@ -1,0 +1,359 @@
+#include "workload/failover_drill.h"
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/common/update_buffer.h"
+#include "core/wbox/wbox.h"
+#include "replication/digest.h"
+#include "replication/standby_applier.h"
+#include "replication/transport.h"
+#include "replication/wal_shipper.h"
+#include "storage/metadata_io.h"
+#include "storage/page_cache.h"
+#include "storage/page_store.h"
+#include "storage/retrying_store.h"
+#include "storage/wal.h"
+
+namespace boxes::workload {
+
+namespace {
+
+using replication::FaultyLink;
+using replication::LinkFaultOptions;
+using replication::ReplicationDigest;
+using replication::StandbyApplier;
+using replication::StandbyApplierOptions;
+using replication::WalShipper;
+
+constexpr int kMaxFlushAttempts = 64;
+constexpr int kMaxCatchUpRounds = 256;
+/// Manual checkpoint cadence. The primary's pipeline runs with automatic
+/// checkpoints DISABLED and the drill checkpoints only after the standby
+/// acknowledged the full log — truncation recycles log pages, and a page
+/// recycled before every standby applied it would turn an ordinary link
+/// drop into a forced re-bootstrap. This is the replication-slot rule:
+/// the log may not truncate past the slowest replica.
+constexpr uint64_t kCheckpointEveryFlushes = 6;
+
+uint64_t NowMicros() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// One side's full write stack. unique_ptrs because the cold path must
+/// destroy the dead session (in reverse dependency order) and rebuild it
+/// over the healed device.
+struct PrimaryStack {
+  std::unique_ptr<FilePageStore> base;
+  std::unique_ptr<FaultInjectionPageStore> fault;
+  std::unique_ptr<RetryingPageStore> retry;
+  std::unique_ptr<PageCache> cache;
+  std::unique_ptr<WBox> scheme;
+  std::unique_ptr<WalPipeline> pipeline;
+  std::unique_ptr<UpdateBuffer> buffer;
+
+  void Destroy() {
+    buffer.reset();
+    pipeline.reset();
+    scheme.reset();
+    cache.reset();
+    retry.reset();
+    fault.reset();
+    base.reset();
+  }
+};
+
+/// An acknowledged flush: retries through transient storm faults. Each
+/// retry re-drives the same pending batch — UpdateBuffer keeps the set
+/// intact on a failed flush, so this is exactly a client's retry loop.
+Status AckedFlush(UpdateBuffer* buffer, uint64_t* flush_retries) {
+  Status last = Status::OK();
+  for (int attempt = 0; attempt < kMaxFlushAttempts; ++attempt) {
+    last = buffer->Flush();
+    if (last.ok()) {
+      return last;
+    }
+    ++*flush_retries;
+  }
+  return Status::Internal("acknowledged flush did not get through the storm: " +
+                          last.message());
+}
+
+/// Semi-sync barrier: pumps the standby until it applied every assigned
+/// batch, asking the primary to re-ship whenever the link drained with the
+/// standby still behind (a drop or tear swallowed a frame).
+Status SyncStandby(WalShipper* shipper, StandbyApplier* applier,
+                   FaultyLink* link, uint64_t target_next_batch) {
+  for (int round = 0; round < kMaxCatchUpRounds; ++round) {
+    BOXES_RETURN_IF_ERROR(applier->Pump());
+    if (applier->next_expected() >= target_next_batch) {
+      return Status::OK();
+    }
+    if (link->drained()) {
+      BOXES_RETURN_IF_ERROR(shipper->ReShipFrom(applier->next_expected()));
+    }
+  }
+  return Status::Internal(
+      "standby failed to catch up to batch " +
+      std::to_string(target_next_batch) + " (stuck at " +
+      std::to_string(applier->next_expected()) + ")");
+}
+
+/// Audits the survivor against the acked write history: every
+/// acknowledged op's LIDs must still resolve, and the structure must pass
+/// its own invariants.
+Status AuditSurvivor(LabelingScheme* scheme,
+                     const std::vector<NewElement>& acked,
+                     FailoverDrillResult* result) {
+  BOXES_RETURN_IF_ERROR(scheme->CheckInvariants());
+  for (const NewElement& element : acked) {
+    if (!scheme->Lookup(element.start).ok() ||
+        !scheme->Lookup(element.end).ok()) {
+      ++result->lost_acked_ops;
+    }
+  }
+  BOXES_ASSIGN_OR_RETURN(const SchemeStats stats, scheme->GetStats());
+  result->survivor_live_labels = stats.live_labels;
+  return Status::OK();
+}
+
+Status OpenFreshPrimary(const FailoverDrillOptions& options,
+                        PrimaryStack* primary) {
+  std::remove(options.db_path.c_str());
+  std::remove((options.db_path + ".journal").c_str());
+  primary->base =
+      std::make_unique<FilePageStore>(options.db_path, options.page_size);
+  BOXES_RETURN_IF_ERROR(primary->base->status());
+  primary->fault = std::make_unique<FaultInjectionPageStore>(primary->base.get());
+  primary->fault->SetSeed(options.seed);
+  primary->retry = std::make_unique<RetryingPageStore>(primary->fault.get());
+  primary->cache = std::make_unique<PageCache>(primary->retry.get());
+  primary->scheme = std::make_unique<WBox>(primary->cache.get());
+  // checkpoint_interval = 0: truncation is gated on standby acknowledgment
+  // (see kCheckpointEveryFlushes above), never automatic.
+  primary->pipeline = std::make_unique<WalPipeline>(
+      primary->cache.get(), primary->scheme.get(),
+      WalPipelineOptions{.checkpoint_interval = 0});
+  primary->buffer = std::make_unique<UpdateBuffer>(
+      primary->scheme.get(),
+      UpdateBufferOptions{.flush_threshold = 1024, .auto_flush = false});
+  BOXES_RETURN_IF_ERROR(InitializeSuperblock(primary->cache.get()));
+  BOXES_RETURN_IF_ERROR(primary->pipeline->Init());
+  primary->pipeline->Attach(primary->buffer.get());
+  return Status::OK();
+}
+
+}  // namespace
+
+StatusOr<FailoverDrillResult> RunFailoverDrill(
+    const FailoverDrillOptions& options) {
+  if (options.pre_kill_flushes < 2 || options.ops_per_flush == 0) {
+    return Status::InvalidArgument(
+        "drill needs at least two pre-kill flushes and a nonzero batch size");
+  }
+  FailoverDrillResult result;
+  result.warm = options.warm_standby;
+
+  PrimaryStack primary;
+  BOXES_RETURN_IF_ERROR(OpenFreshPrimary(options, &primary));
+
+  // Warm mode: a memory-backed hot standby fed over a deliberately lossy
+  // link, so the drill's steady state continuously exercises drop/tear
+  // catch-up and reorder buffering — not just the final promotion.
+  LinkFaultOptions link_faults;
+  link_faults.drop_probability = 0.05;
+  link_faults.duplicate_probability = 0.05;
+  link_faults.reorder_probability = 0.10;
+  link_faults.tear_probability = 0.02;
+  link_faults.seed = options.seed + 1;
+  FaultyLink link(link_faults);
+  MemoryPageStore standby_store(options.page_size);
+  PageCache standby_cache(&standby_store);
+  WBox standby_scheme(&standby_cache);
+  StandbyApplier applier(&standby_cache, &standby_scheme, &link,
+                         options.metrics,
+                         StandbyApplierOptions{.checkpoint_interval = 4});
+  WalShipper shipper(primary.pipeline.get(), primary.cache.get(), &link,
+                     options.metrics);
+  if (options.warm_standby) {
+    BOXES_RETURN_IF_ERROR(InitializeSuperblock(&standby_cache));
+    BOXES_RETURN_IF_ERROR(applier.Init());
+    shipper.Attach();
+  }
+
+  // ---- Acked write stream until the device dies. --------------------------
+  std::vector<NewElement> acked;
+  BOXES_ASSIGN_OR_RETURN(const UpdateBuffer::Ticket root_ticket,
+                         primary.buffer->InsertFirstElement());
+  BOXES_RETURN_IF_ERROR(AckedFlush(primary.buffer.get(),
+                                   &result.flush_retries));
+  BOXES_ASSIGN_OR_RETURN(const NewElement root,
+                         primary.buffer->Result(root_ticket));
+  acked.push_back(root);
+  ++result.acked_ops;
+
+  auto run_acked_flush = [&](UpdateBuffer* buffer) -> Status {
+    std::vector<UpdateBuffer::Ticket> tickets;
+    for (uint64_t i = 0; i < options.ops_per_flush; ++i) {
+      BOXES_ASSIGN_OR_RETURN(const UpdateBuffer::Ticket ticket,
+                             buffer->InsertElementBefore(root.end));
+      tickets.push_back(ticket);
+    }
+    BOXES_RETURN_IF_ERROR(AckedFlush(buffer, &result.flush_retries));
+    for (const UpdateBuffer::Ticket ticket : tickets) {
+      BOXES_ASSIGN_OR_RETURN(const NewElement element,
+                             buffer->Result(ticket));
+      acked.push_back(element);
+      ++result.acked_ops;
+    }
+    return Status::OK();
+  };
+
+  for (uint64_t f = 1; f < options.pre_kill_flushes; ++f) {
+    if (f == options.storm_start_flush) {
+      primary.fault->SetFailProbability(options.storm_probability,
+                                        /*transient=*/true);
+    }
+    BOXES_RETURN_IF_ERROR(run_acked_flush(primary.buffer.get()));
+    if (options.warm_standby) {
+      BOXES_RETURN_IF_ERROR(
+          SyncStandby(&shipper, &applier, &link,
+                      primary.pipeline->writer().next_batch_id()));
+    }
+    if (f % kCheckpointEveryFlushes == 0) {
+      // Standby has acked through the horizon; truncation is now safe.
+      BOXES_RETURN_IF_ERROR(primary.pipeline->CheckpointNow());
+    }
+  }
+
+  // Quiesced divergence check right before the kill: the whole point of
+  // shipping the log is that the standby IS the primary, label for label.
+  if (options.warm_standby) {
+    BOXES_ASSIGN_OR_RETURN(
+        const ReplicationDigest primary_digest,
+        replication::ComputeReplicationDigest(primary.scheme.get()));
+    BOXES_RETURN_IF_ERROR(applier.CheckDivergence(primary_digest));
+  }
+
+  // ---- Kill the device mid-workload. --------------------------------------
+  primary.fault->SetFailProbability(1.0, /*transient=*/false);
+  const uint64_t killed_at = NowMicros();
+  for (uint64_t i = 0; i < options.ops_per_flush; ++i) {
+    BOXES_ASSIGN_OR_RETURN(const UpdateBuffer::Ticket ticket,
+                           primary.buffer->InsertElementBefore(root.end));
+    (void)ticket;  // this batch will never be acknowledged
+  }
+  if (primary.buffer->Flush().ok()) {
+    return Status::Internal("flush succeeded on a dead device");
+  }
+  // Seal the dead primary: the pending ops were never acknowledged, and
+  // Flush can never succeed again — discard rather than leak them into a
+  // destructor failure.
+  primary.buffer->DiscardPending();
+
+  uint64_t first_survivor_ack = 0;
+  if (options.warm_standby) {
+    // ---- Fenced promotion of the hot standby. -----------------------------
+    BOXES_RETURN_IF_ERROR(applier.Pump());  // drain anything still in flight
+    const uint64_t old_token = primary.pipeline->fencing_token();
+    BOXES_RETURN_IF_ERROR(applier.Promote());
+    result.fencing_token = applier.fencing_token();
+    if (result.fencing_token != old_token + 1) {
+      return Status::Internal("promotion did not advance the fencing token");
+    }
+
+    // The survivor takes writes through its own pipeline; batch ids
+    // continue exactly where the applier stopped, under the new token.
+    WalPipeline standby_pipeline(&standby_cache, &standby_scheme,
+                                 WalPipelineOptions{.checkpoint_interval = 4});
+    BOXES_RETURN_IF_ERROR(standby_pipeline.Init());
+    if (standby_pipeline.writer().next_batch_id() != applier.next_expected() ||
+        standby_pipeline.fencing_token() != result.fencing_token) {
+      return Status::Internal(
+          "promoted pipeline did not adopt the standby's horizon and token");
+    }
+    UpdateBuffer standby_buffer(
+        &standby_scheme,
+        UpdateBufferOptions{.flush_threshold = 1024, .auto_flush = false});
+    standby_pipeline.Attach(&standby_buffer);
+
+    for (uint64_t f = 0; f < options.post_failover_flushes; ++f) {
+      BOXES_RETURN_IF_ERROR(run_acked_flush(&standby_buffer));
+      if (f == 0) {
+        first_survivor_ack = NowMicros();
+      }
+    }
+
+    // ---- Zombie check: the deposed primary does not know it is dead. ------
+    // Its device is gone but its shipper isn't; a late ship must bounce off
+    // the fencing token, not apply. A few sends ride out link drops.
+    for (int i = 0; i < 8 && applier.fenced_rejects() == 0; ++i) {
+      shipper.Ship(primary.pipeline->writer().generation(),
+                   primary.pipeline->writer().next_batch_id(), {});
+      BOXES_RETURN_IF_ERROR(applier.Pump());
+    }
+    if (applier.fenced_rejects() == 0) {
+      return Status::Internal(
+          "zombie primary's post-promotion ship was not fenced");
+    }
+
+    BOXES_RETURN_IF_ERROR(AuditSurvivor(&standby_scheme, acked, &result));
+  } else {
+    // ---- Cold failover: heal the device, recover the crash image. ---------
+    primary.Destroy();
+    PrimaryStack revived;
+    revived.base = std::make_unique<FilePageStore>(
+        options.db_path, options.page_size, FilePageStore::Mode::kOpen);
+    BOXES_RETURN_IF_ERROR(revived.base->status());
+    revived.fault =
+        std::make_unique<FaultInjectionPageStore>(revived.base.get());
+    revived.retry = std::make_unique<RetryingPageStore>(revived.fault.get());
+    revived.cache = std::make_unique<PageCache>(revived.retry.get());
+    revived.scheme = std::make_unique<WBox>(revived.cache.get());
+    BOXES_ASSIGN_OR_RETURN(
+        const WalRecoveryResult recovered,
+        RecoverWithWal(
+            revived.cache.get(), revived.scheme.get(),
+            [&](PageId head) { return revived.scheme->Restore(head); }, {}));
+    revived.pipeline = std::make_unique<WalPipeline>(
+        revived.cache.get(), revived.scheme.get(),
+        WalPipelineOptions{.checkpoint_interval = 0});
+    BOXES_RETURN_IF_ERROR(revived.pipeline->InitFromRecovery(recovered));
+    result.fencing_token = revived.pipeline->fencing_token();
+    revived.buffer = std::make_unique<UpdateBuffer>(
+        revived.scheme.get(),
+        UpdateBufferOptions{.flush_threshold = 1024, .auto_flush = false});
+    revived.pipeline->Attach(revived.buffer.get());
+
+    for (uint64_t f = 0; f < options.post_failover_flushes; ++f) {
+      BOXES_RETURN_IF_ERROR(run_acked_flush(revived.buffer.get()));
+      if (f == 0) {
+        first_survivor_ack = NowMicros();
+      }
+    }
+    BOXES_RETURN_IF_ERROR(AuditSurvivor(revived.scheme.get(), acked, &result));
+    primary = std::move(revived);
+  }
+
+  result.unavailability_us =
+      first_survivor_ack > killed_at ? first_survivor_ack - killed_at : 0;
+  result.shipped_batches = shipper.shipped_batches();
+  result.ship_retries = shipper.ship_retries();
+  result.fenced_rejects = applier.fenced_rejects();
+  if (options.metrics != nullptr) {
+    options.metrics->SetGauge("repl.drill_unavailability_us",
+                              result.unavailability_us);
+    options.metrics->IncrementCounter("repl.drill_lost_acked_ops",
+                                      result.lost_acked_ops);
+  }
+  return result;
+}
+
+}  // namespace boxes::workload

@@ -1,0 +1,71 @@
+#ifndef BOXES_WORKLOAD_FAILOVER_DRILL_H_
+#define BOXES_WORKLOAD_FAILOVER_DRILL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/metrics.h"
+#include "util/status.h"
+
+namespace boxes::workload {
+
+/// One failover drill (DESIGN.md §4k): a primary on a fault-injected file
+/// store takes acknowledged writes through a transient fault storm, then
+/// the device dies permanently mid-workload. The drill fails over —
+/// warm (promote a WAL-shipped hot standby under a bumped fencing token)
+/// or cold (heal the device and recover the primary's own crash image) —
+/// resumes the write stream on the survivor, and audits that every
+/// acknowledged op survived. The SLO gate is absolute: lost_acked_ops
+/// must be 0, always, in both modes.
+struct FailoverDrillOptions {
+  /// Primary database file. Created fresh (any existing file is removed).
+  std::string db_path;
+  /// true: ship WAL to a hot standby and promote it after the kill.
+  /// false: no standby; failover is heal + reopen + log recovery.
+  bool warm_standby = true;
+  uint64_t pre_kill_flushes = 24;
+  uint64_t post_failover_flushes = 8;
+  uint64_t ops_per_flush = 6;
+  /// Per-operation transient device fault probability once the storm arms.
+  double storm_probability = 0.05;
+  /// Flush index (0-based) at which the storm arms.
+  uint64_t storm_start_flush = 8;
+  uint64_t seed = 1;
+  size_t page_size = 1024;
+  MetricsRegistry* metrics = nullptr;  // optional; not owned
+};
+
+struct FailoverDrillResult {
+  bool warm = false;
+  /// Ops whose flush was acknowledged to the client (root + children).
+  uint64_t acked_ops = 0;
+  /// Acked ops with a missing LID on the survivor. The gate: MUST be 0.
+  uint64_t lost_acked_ops = 0;
+  /// Live labels on the survivor after the post-failover stream. With
+  /// element inserts only, this must equal 2 * acked_ops (start + end) —
+  /// fewer is loss, more is a partially applied un-acked batch leaking in.
+  uint64_t survivor_live_labels = 0;
+  uint64_t shipped_batches = 0;
+  /// Catch-up re-ships that healed link drops/tears (warm mode).
+  uint64_t ship_retries = 0;
+  /// Zombie ships from the deposed primary the standby rejected by fencing
+  /// token (warm mode; the drill deliberately lets the corpse ship).
+  uint64_t fenced_rejects = 0;
+  /// Primary flushes that needed a retry to get through the storm.
+  uint64_t flush_retries = 0;
+  /// Device death -> first acknowledged write on the survivor.
+  uint64_t unavailability_us = 0;
+  /// The survivor's fencing token (old token + 1 in warm mode).
+  uint64_t fencing_token = 0;
+};
+
+/// Runs the drill end to end. An error return means the drill machinery
+/// itself broke (divergent digest, unrecoverable image, catch-up
+/// impossible) — infrastructure failures, distinct from the lost-op count
+/// the caller gates on.
+StatusOr<FailoverDrillResult> RunFailoverDrill(
+    const FailoverDrillOptions& options);
+
+}  // namespace boxes::workload
+
+#endif  // BOXES_WORKLOAD_FAILOVER_DRILL_H_

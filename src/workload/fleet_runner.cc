@@ -7,6 +7,7 @@
 
 #include "core/bbox/bbox.h"
 #include "core/wbox/wbox.h"
+#include "storage/scrubber.h"
 #include "util/random.h"
 #include "util/request_context.h"
 #include "xml/generators.h"
@@ -49,6 +50,9 @@ void Classify(const Status& status, bool stale, TenantPhaseStats* stats) {
       break;
     case StatusCode::kDeadlineExceeded:  // request budget spent
       ++stats->deadline_expired;
+      break;
+    case StatusCode::kUnavailable:  // replica behind its primary, or fenced
+      ++stats->unavailable;
       break;
     default:
       ++stats->hard_errors;
@@ -360,6 +364,7 @@ StatusOr<FleetPhaseStats> FleetRunner::RunPhase(
       row.degraded += part.degraded;
       row.shed += part.shed;
       row.deadline_expired += part.deadline_expired;
+      row.unavailable += part.unavailable;
       row.hard_errors += part.hard_errors;
     }
     if (latency[t].count() > 0) {
@@ -373,6 +378,7 @@ StatusOr<FleetPhaseStats> FleetRunner::RunPhase(
     out.degraded += row.degraded;
     out.shed += row.shed;
     out.deadline_expired += row.deadline_expired;
+    out.unavailable += row.unavailable;
     out.hard_errors += row.hard_errors;
   }
   out.elapsed_s = wall.count();
@@ -388,6 +394,24 @@ Status FleetRunner::DropCaches() {
     BOXES_RETURN_IF_ERROR(tenant->cache.FlushAll());
   }
   return Status::OK();
+}
+
+StatusOr<uint64_t> FleetRunner::ScrubDevices() {
+  BOXES_CHECK(setup_done_);
+  uint64_t quarantined = 0;
+  for (size_t d = 0; d < devices_.size(); ++d) {
+    // Scrub at the fault-injection layer: that is the device as tenants
+    // see it, where a poisoned page reads as Corruption (the retry layer
+    // above would only mask transients, and corruption is not retried).
+    Scrubber scrubber(device_fault(d));
+    scrubber.SetMetrics(options_.metrics);
+    BOXES_RETURN_IF_ERROR(scrubber.ScrubPass());
+    quarantined += scrubber.quarantined().size();
+  }
+  if (options_.metrics != nullptr) {
+    options_.metrics->SetGauge("scrub.quarantined_pages", quarantined);
+  }
+  return quarantined;
 }
 
 MemoryPageStore* FleetRunner::device_base(size_t device) {
@@ -436,7 +460,11 @@ void ExportFleetStats(const std::string& source, const FleetPhaseStats& stats,
   registry->IncrementCounter(source + ".shed", stats.shed);
   registry->IncrementCounter(source + ".deadline_expired",
                              stats.deadline_expired);
+  registry->IncrementCounter(source + ".unavailable", stats.unavailable);
   registry->IncrementCounter(source + ".hard_errors", stats.hard_errors);
+  // Quarantine size is a level, not an event count — export as a gauge so
+  // fleet output shows poisoned-page pressure alongside outcome classes.
+  registry->SetGauge("scrub.quarantined_pages", stats.quarantined_pages);
   registry->RecordValue(source + ".ops_per_sec",
                         static_cast<uint64_t>(stats.ops_per_sec));
   for (const TenantPhaseStats& tenant : stats.tenants) {

@@ -72,7 +72,8 @@ struct FleetPhaseOptions {
 };
 
 /// Per-tenant outcome of one phase. Ops are classified exclusively:
-/// exact + degraded + shed + deadline_expired + hard_errors == ops.
+/// exact + degraded + shed + deadline_expired + unavailable + hard_errors
+/// == ops.
 struct TenantPhaseStats {
   uint64_t ops = 0;
   uint64_t lookups = 0;
@@ -83,6 +84,7 @@ struct TenantPhaseStats {
   uint64_t degraded = 0;           // served possibly stale (degraded read)
   uint64_t shed = 0;               // kResourceExhausted: admission or breaker
   uint64_t deadline_expired = 0;   // kDeadlineExceeded: request budget spent
+  uint64_t unavailable = 0;        // kUnavailable: replica behind or fenced
   uint64_t hard_errors = 0;        // everything else — the SLO violations
   uint64_t lat_p50_us = 0;
   uint64_t lat_p99_us = 0;
@@ -99,8 +101,12 @@ struct FleetPhaseStats {
   uint64_t degraded = 0;
   uint64_t shed = 0;
   uint64_t deadline_expired = 0;
+  uint64_t unavailable = 0;
   uint64_t hard_errors = 0;
   double ops_per_sec = 0;
+  /// Pages the device scrubbers currently hold in quarantine (a level, not
+  /// a rate); filled by FleetRunner::ScrubDevices, 0 when no scrub ran.
+  uint64_t quarantined_pages = 0;
 };
 
 /// The fleet harness. Usage:
@@ -144,6 +150,12 @@ class FleetRunner {
   /// Drops every tenant's page cache (each under its epoch write lock), so
   /// the next phase starts cold. Legal between phases.
   Status DropCaches();
+
+  /// Runs one full scrub pass over every device (at the fault-injection
+  /// layer, where poisoned pages surface as Corruption) and returns the
+  /// total quarantined-page count across the fleet — the level behind the
+  /// scrub.quarantined_pages gauge. Legal between phases, not during one.
+  StatusOr<uint64_t> ScrubDevices();
 
   size_t num_tenants() const { return options_.num_tenants; }
   size_t num_devices() const { return options_.num_devices; }

@@ -1,9 +1,11 @@
 #!/bin/sh
 # Builds the sanitize-thread preset (ThreadSanitizer) and runs the
-# concurrency- and fleet-labeled test suites under it (the epoch guard,
-# the sharded PageCache, thread-safe metrics, the N-readers/1-writer
-# scheme stress and differential tests, and the multi-tenant fleet
-# harness). Usage: tests/run_tsan.sh [ctest args].
+# concurrency-, fleet-, and replication-labeled test suites under it (the
+# epoch guard, the sharded PageCache, thread-safe metrics, the
+# N-readers/1-writer scheme stress and differential tests, the
+# multi-tenant fleet harness, and the WAL-shipping standby apply path,
+# which replays under the standby's own epoch guard).
+# Usage: tests/run_tsan.sh [ctest args].
 set -eu
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"

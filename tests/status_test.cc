@@ -33,6 +33,19 @@ TEST(StatusTest, AllFactoriesProduceDistinctCodes) {
             StatusCode::kFailedPrecondition);
   EXPECT_EQ(Status::Unimplemented("").code(), StatusCode::kUnimplemented);
   EXPECT_EQ(Status::Internal("").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::Unavailable("").code(), StatusCode::kUnavailable);
+}
+
+TEST(StatusTest, UnavailableIsDistinctFromShed) {
+  // kUnavailable is "this healthy node cannot serve authoritatively yet"
+  // (standby behind its primary, or fenced after losing authority) —
+  // deliberately a different outcome class than a kResourceExhausted shed,
+  // so fleet stats can separate replication lag from overload.
+  const Status s = Status::Unavailable("standby lags the primary");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kUnavailable);
+  EXPECT_NE(s.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(s.ToString(), "Unavailable: standby lags the primary");
 }
 
 TEST(StatusOrTest, HoldsValue) {
@@ -86,6 +99,9 @@ TEST(StatusTaxonomyTest, RetryableCodesAreTransientFaults) {
   // Retryable: reissuing the operation may succeed (DESIGN.md §4f).
   EXPECT_TRUE(IsRetryableCode(StatusCode::kIoError));
   EXPECT_TRUE(IsRetryableCode(StatusCode::kResourceExhausted));
+  // A lagging/fenced replica heals on its own; retrying (elsewhere, or
+  // after catch-up) is the designed response.
+  EXPECT_TRUE(IsRetryableCode(StatusCode::kUnavailable));
   // Corruption is damage, not a glitch; retrying re-reads the same rot.
   EXPECT_FALSE(IsRetryableCode(StatusCode::kCorruption));
   EXPECT_FALSE(IsRetryableCode(StatusCode::kInvalidArgument));
@@ -101,6 +117,9 @@ TEST(StatusTaxonomyTest, DataUnavailableCodesPermitDegradedReads) {
   EXPECT_TRUE(IsDataUnavailableCode(StatusCode::kIoError));
   EXPECT_TRUE(IsDataUnavailableCode(StatusCode::kResourceExhausted));
   EXPECT_TRUE(IsDataUnavailableCode(StatusCode::kCorruption));
+  // A standby that lags its primary has the data, just stale — exactly
+  // the case degraded reads exist for.
+  EXPECT_TRUE(IsDataUnavailableCode(StatusCode::kUnavailable));
   // Logic errors must never be masked by a stale answer.
   EXPECT_FALSE(IsDataUnavailableCode(StatusCode::kInvalidArgument));
   EXPECT_FALSE(IsDataUnavailableCode(StatusCode::kNotFound));

@@ -20,8 +20,10 @@
 //   * online backup: a byte copy of the database file taken mid-session is
 //     itself a recoverable crash image.
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
+#include <iterator>
 #include <memory>
 #include <string>
 #include <vector>
@@ -587,6 +589,86 @@ TEST(WalTest, MidSessionByteCopyIsARecoverableBackup) {
     ASSERT_OK(session.buffer.Flush());
   }
   RecoverAndExpect(backup, boundaries.back(), {});
+}
+
+TEST(WalTest, BackupRacingALiveAppendLandsOnABatchBoundary) {
+  // An online backup is a plain byte copy with no lock against the
+  // appender, so the copier can pass a log offset BEFORE the appender
+  // writes it: the copy then holds a half-captured batch. Restore must
+  // land on the last batch boundary fully inside the copy — never replay
+  // half of the racing batch. Simulated deterministically: snapshot the
+  // file, append a multi-page batch, then build the backup from the
+  // post-append file with one of the new batch's pages reverted to its
+  // pre-append bytes (the region the copier had already passed).
+  const std::string path = TempDbPath("backup_race_src");
+  const std::string backup = TempDbPath("backup_race_dst");
+  std::vector<std::vector<Lid>> boundaries;
+  {
+    FilePageStore store(path, kPageSize);
+    ASSERT_OK(store.status());
+    WalSession session(&store);
+    ASSERT_OK(session.Start(/*fresh=*/true));
+    ASSERT_OK_AND_ASSIGN(boundaries, RunInsertFlushes(&session, 3, 4));
+    // The copier's view of the log region, captured before the append.
+    std::ifstream pre_in(path, std::ios::binary);
+    ASSERT_TRUE(pre_in.good());
+    const std::vector<char> pre((std::istreambuf_iterator<char>(pre_in)),
+                                std::istreambuf_iterator<char>());
+    // The racing batch: 40 ops spans two log pages, acked on the source.
+    const Lid root_end = boundaries.back().back();
+    std::vector<UpdateBuffer::Ticket> tickets;
+    for (int i = 0; i < 40; ++i) {
+      ASSERT_OK_AND_ASSIGN(const UpdateBuffer::Ticket ticket,
+                           session.buffer.InsertElementBefore(root_end));
+      tickets.push_back(ticket);
+    }
+    ASSERT_OK(session.buffer.Flush());
+    std::vector<Lid> final_order = boundaries.back();
+    for (const UpdateBuffer::Ticket ticket : tickets) {
+      ASSERT_OK_AND_ASSIGN(const NewElement child,
+                           session.buffer.Result(ticket));
+      final_order.insert(final_order.end() - 1, {child.start, child.end});
+    }
+    boundaries.push_back(final_order);
+
+    ASSERT_OK_AND_ASSIGN(const WalScan scan, ScanWal(&store));
+    const WalBatch* racing = nullptr;
+    for (const WalBatch& batch : scan.batches) {
+      if (batch.batch_id == 4) {
+        racing = &batch;
+      }
+    }
+    ASSERT_NE(racing, nullptr);
+    ASSERT_GE(racing->pages.size(), 2u);
+
+    CopyFileBytes(path, backup);
+    CopyFileBytes(path + ".journal", backup + ".journal",
+                  /*required=*/false);
+    // Revert one of the racing batch's pages in the COPY to what the
+    // copier saw before the append (zeros if the file hadn't grown there).
+    // On-device frames are page + CRC trailer (§4e verified page format).
+    const size_t frame_size = kPageSize + FilePageStore::kPageTrailerSize;
+    const std::streamoff offset =
+        static_cast<std::streamoff>(racing->pages.front()) * frame_size;
+    std::vector<char> stale(frame_size, 0);
+    if (static_cast<size_t>(offset) + frame_size <= pre.size()) {
+      std::copy(pre.begin() + offset, pre.begin() + offset + frame_size,
+                stale.begin());
+    }
+    std::fstream patch(backup,
+                       std::ios::binary | std::ios::in | std::ios::out);
+    ASSERT_TRUE(patch.good());
+    patch.seekp(offset);
+    patch.write(stale.data(), static_cast<std::streamsize>(frame_size));
+    ASSERT_TRUE(patch.good());
+  }
+  // The backup restores to the pre-append boundary, cleanly torn.
+  WalRecoveryResult recovered;
+  RecoverAndExpect(backup, boundaries[2], {}, &recovered);
+  EXPECT_EQ(recovered.replay.batches_replayed, 3u);
+  EXPECT_TRUE(recovered.replay.torn_tail);
+  // The source was never damaged: the acked racing batch is all there.
+  RecoverAndExpect(path, boundaries.back(), {});
 }
 
 }  // namespace
