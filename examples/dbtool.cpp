@@ -17,6 +17,8 @@
 //   ./dbtool restore  --db=doc.boxdb [--to_epoch=E]
 //   ./dbtool wal-dump --db=doc.boxdb [--since_batch=B] [--to_batch=B]
 //   ./dbtool promote  --db=copy.boxdb
+//   ./dbtool compile  --db=doc.boxdb --snapshot=doc.silo
+//   ./dbtool snapshot-verify --snapshot=doc.silo [--against=doc.boxdb]
 //
 // The checkpoint layout is [W-BOX metadata chain head][facade registry],
 // stored behind the page-0 superblock. `mutate` writes through the durable
@@ -48,6 +50,7 @@
 #include "storage/page_cache.h"
 #include "storage/page_store.h"
 #include "storage/scrubber.h"
+#include "storage/snapshot.h"
 #include "storage/wal.h"
 #include "util/flags.h"
 #include "util/random.h"
@@ -633,13 +636,88 @@ int CmdPromote(const std::string& path) {
   return 0;
 }
 
+int CmdCompile(const std::string& db_path, const std::string& snapshot_path) {
+  Db db = OpenDb(db_path);
+  SnapshotWriter writer;
+  StatusOr<SnapshotCompileStats> stats =
+      writer.CompileToFile(db.wbox.get(), snapshot_path);
+  DieOnError(stats.status(), "compile");
+  std::printf("compiled %s -> %s\n", db_path.c_str(), snapshot_path.c_str());
+  std::printf("entries      : %llu\n",
+              static_cast<unsigned long long>(stats->entries));
+  std::printf("image bytes  : %llu\n",
+              static_cast<unsigned long long>(stats->image_bytes));
+  std::printf("guid         : %s\n",
+              SnapshotGuidToString(stats->guid).c_str());
+  std::printf("source epoch : %llu\n",
+              static_cast<unsigned long long>(db.wbox->epoch_guard().epoch()));
+  return 0;
+}
+
+int CmdSnapshotVerify(const std::string& snapshot_path,
+                      const std::string& db_path) {
+  StatusOr<std::unique_ptr<SnapshotReader>> reader =
+      SnapshotReader::Open(snapshot_path);
+  if (!reader.ok()) {
+    std::fprintf(stderr, "snapshot %s failed validation: %s\n",
+                 snapshot_path.c_str(), reader.status().ToString().c_str());
+    return 2;
+  }
+  std::printf("snapshot     : %s\n", snapshot_path.c_str());
+  std::printf("entries      : %llu\n",
+              static_cast<unsigned long long>((*reader)->entry_count()));
+  std::printf("image bytes  : %llu\n",
+              static_cast<unsigned long long>((*reader)->image_bytes()));
+  std::printf("source epoch : %llu\n",
+              static_cast<unsigned long long>((*reader)->source_epoch()));
+  std::printf("guid         : %s\n",
+              SnapshotGuidToString((*reader)->guid()).c_str());
+  std::printf("ordinals     : %s\n", (*reader)->has_ordinals() ? "yes" : "no");
+  if (db_path.empty()) {
+    std::printf("OK: header, sections, and body checksum all check out\n");
+    return 0;
+  }
+  // Cross-check: every image entry must carry the database's current label
+  // for that LID, and the image must cover exactly the live LID set.
+  Db db = OpenDb(db_path);
+  uint64_t live = 0;
+  uint64_t mismatches = 0;
+  DieOnError(db.wbox->lidf()->ForEachLive([&](Lid lid, const uint8_t*) {
+    ++live;
+    const size_t index = (*reader)->FindIndex(lid);
+    if (index == SnapshotReader::kNotFound) {
+      ++mismatches;
+      return Status::OK();
+    }
+    StatusOr<Label> expected = db.wbox->Lookup(lid);
+    if (!expected.ok() || *expected != (*reader)->LabelAt(index)) {
+      ++mismatches;
+    }
+    return Status::OK();
+  }),
+             "lid walk");
+  if (mismatches != 0 || live != (*reader)->entry_count()) {
+    std::fprintf(stderr,
+                 "STALE: %llu of %llu live lids disagree with the image "
+                 "(image holds %llu entries)\n",
+                 static_cast<unsigned long long>(mismatches),
+                 static_cast<unsigned long long>(live),
+                 static_cast<unsigned long long>((*reader)->entry_count()));
+    return 2;
+  }
+  std::printf("OK: image matches the live database (%llu lids)\n",
+              static_cast<unsigned long long>(live));
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: dbtool <create|inspect|verify|scrub|query|export|"
-                 "mutate|backup|restore|wal-dump|promote> [flags]\n");
+                 "mutate|backup|restore|wal-dump|promote|compile|"
+                 "snapshot-verify> [flags]\n");
     return 1;
   }
   const std::string command = argv[1];
@@ -672,6 +750,12 @@ int main(int argc, char** argv) {
       "since_batch", -1, "wal-dump: first batch id to show; -1 = from start");
   int64_t* to_batch = flags.AddInt64(
       "to_batch", -1, "wal-dump: last batch id to show; -1 = to end");
+  std::string* snapshot_path = flags.AddString(
+      "snapshot", "doc.silo",
+      "compile/snapshot-verify: snapshot image file");
+  std::string* against_db = flags.AddString(
+      "against", "",
+      "snapshot-verify: cross-check the image against this database");
   if (!flags.Parse(argc - 1, argv + 1)) {
     return 1;
   }
@@ -708,6 +792,12 @@ int main(int argc, char** argv) {
   }
   if (command == "promote") {
     return CmdPromote(*db_path);
+  }
+  if (command == "compile") {
+    return CmdCompile(*db_path, *snapshot_path);
+  }
+  if (command == "snapshot-verify") {
+    return CmdSnapshotVerify(*snapshot_path, *against_db);
   }
   std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
   return 1;

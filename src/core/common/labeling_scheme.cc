@@ -9,19 +9,6 @@
 
 namespace boxes {
 
-StatusOr<ElementLabels> LabelingScheme::LookupElement(Lid start_lid,
-                                                      Lid end_lid) {
-  StatusOr<Label> start = Lookup(start_lid);
-  if (!start.ok()) {
-    return start.status();
-  }
-  StatusOr<Label> end = Lookup(end_lid);
-  if (!end.ok()) {
-    return end.status();
-  }
-  return ElementLabels{std::move(*start), std::move(*end)};
-}
-
 namespace {
 
 /// Inserts `element` (and recursively its subtree) immediately before the
@@ -202,22 +189,6 @@ Status LabelingScheme::ReplayBatch(std::vector<BatchOp>* ops,
     }
   }
   return Status::OK();
-}
-
-StatusOr<int> LabelingScheme::Compare(Lid a, Lid b) {
-  StatusOr<Label> label_a = Lookup(a);
-  if (!label_a.ok()) {
-    return label_a.status();
-  }
-  StatusOr<Label> label_b = Lookup(b);
-  if (!label_b.ok()) {
-    return label_b.status();
-  }
-  return label_a->Compare(*label_b);
-}
-
-StatusOr<uint64_t> LabelingScheme::OrdinalLookup(Lid /*lid*/) {
-  return Status::Unimplemented(name() + " does not maintain ordinal labels");
 }
 
 StatusOr<VersionedLabel> LabelingScheme::LookupShared(Lid lid) {

@@ -7,6 +7,7 @@
 
 #include "core/common/epoch_guard.h"
 #include "core/common/label.h"
+#include "core/common/read_only_labeling.h"
 #include "lidf/lidf.h"
 #include "util/metrics.h"
 #include "util/status.h"
@@ -128,20 +129,11 @@ struct BatchStats {
 /// threads under EpochReadLock; LookupShared/OrdinalLookupShared package
 /// that pattern. Single-threaded callers may ignore the guard entirely —
 /// the plain virtuals are unsynchronized, exactly as before.
-class LabelingScheme {
+/// The read-only half of the interface (name/Lookup/LookupElement/Compare/
+/// OrdinalLookup) lives in ReadOnlyLabeling, shared with static label
+/// stores such as the snapshot tier's SnapshotReader.
+class LabelingScheme : public ReadOnlyLabeling {
  public:
-  virtual ~LabelingScheme() = default;
-
-  /// Human-readable scheme name ("W-BOX", "naive-16", ...).
-  virtual std::string name() const = 0;
-
-  /// Returns the current value of the label identified by `lid`.
-  virtual StatusOr<Label> Lookup(Lid lid) = 0;
-
-  /// Returns the start and end labels of one element. The default issues
-  /// two Lookups; W-BOX-O overrides this with its single-record fast path.
-  virtual StatusOr<ElementLabels> LookupElement(Lid start_lid, Lid end_lid);
-
   /// Inserts a new element so that it immediately precedes the tag whose
   /// label is identified by `lid`; returns the new element's LIDs.
   /// If `lid` names an element's start label the new element becomes its
@@ -227,18 +219,6 @@ class LabelingScheme {
   /// Rebuilds in-memory state from a checkpoint chain written by
   /// Checkpoint() on an equivalently configured instance.
   virtual Status Restore(PageId checkpoint_head);
-
-  /// Document-order comparison of two labels: <0, 0, >0. The default
-  /// compares Lookup() results; B-BOX overrides with its bottom-up
-  /// lowest-common-ancestor walk.
-  virtual StatusOr<int> Compare(Lid a, Lid b);
-
-  /// True if this instance maintains ordinal labels (size fields).
-  virtual bool SupportsOrdinal() const { return false; }
-
-  /// The 0-based ordinal position of the tag within the document.
-  /// Requires SupportsOrdinal().
-  virtual StatusOr<uint64_t> OrdinalLookup(Lid lid);
 
   virtual StatusOr<SchemeStats> GetStats() = 0;
 

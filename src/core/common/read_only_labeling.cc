@@ -1,0 +1,36 @@
+#include "core/common/read_only_labeling.h"
+
+#include <utility>
+
+namespace boxes {
+
+StatusOr<ElementLabels> ReadOnlyLabeling::LookupElement(Lid start_lid,
+                                                        Lid end_lid) {
+  StatusOr<Label> start = Lookup(start_lid);
+  if (!start.ok()) {
+    return start.status();
+  }
+  StatusOr<Label> end = Lookup(end_lid);
+  if (!end.ok()) {
+    return end.status();
+  }
+  return ElementLabels{std::move(*start), std::move(*end)};
+}
+
+StatusOr<int> ReadOnlyLabeling::Compare(Lid a, Lid b) {
+  StatusOr<Label> label_a = Lookup(a);
+  if (!label_a.ok()) {
+    return label_a.status();
+  }
+  StatusOr<Label> label_b = Lookup(b);
+  if (!label_b.ok()) {
+    return label_b.status();
+  }
+  return label_a->Compare(*label_b);
+}
+
+StatusOr<uint64_t> ReadOnlyLabeling::OrdinalLookup(Lid /*lid*/) {
+  return Status::Unimplemented(name() + " does not maintain ordinal labels");
+}
+
+}  // namespace boxes

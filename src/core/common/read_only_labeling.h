@@ -1,0 +1,51 @@
+#ifndef BOXES_CORE_COMMON_READ_ONLY_LABELING_H_
+#define BOXES_CORE_COMMON_READ_ONLY_LABELING_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/common/label.h"
+#include "lidf/lidf.h"
+#include "util/status.h"
+
+namespace boxes {
+
+/// The query half of a labeling scheme: everything a reader needs to
+/// resolve LIDs to labels and order document positions, and nothing that
+/// implies the labels can change (ROADMAP item 3's refactor note).
+///
+/// Dynamic schemes (LabelingScheme) extend this with the relabel path;
+/// static label stores — the mmap-able snapshot image, and any future
+/// compact ancestry scheme without an update algorithm — implement only
+/// this, so serving-tier code can hold a ReadOnlyLabeling* and never see
+/// an insert method it must stub out with Unimplemented.
+class ReadOnlyLabeling {
+ public:
+  virtual ~ReadOnlyLabeling() = default;
+
+  /// Human-readable name ("W-BOX", "silo", ...).
+  virtual std::string name() const = 0;
+
+  /// Returns the current value of the label identified by `lid`.
+  virtual StatusOr<Label> Lookup(Lid lid) = 0;
+
+  /// Returns the start and end labels of one element. The default issues
+  /// two Lookups; W-BOX-O overrides this with its single-record fast path.
+  virtual StatusOr<ElementLabels> LookupElement(Lid start_lid, Lid end_lid);
+
+  /// Document-order comparison of two labels: <0, 0, >0. The default
+  /// compares Lookup() results; B-BOX overrides with its bottom-up
+  /// lowest-common-ancestor walk.
+  virtual StatusOr<int> Compare(Lid a, Lid b);
+
+  /// True if this instance maintains ordinal labels (size fields).
+  virtual bool SupportsOrdinal() const { return false; }
+
+  /// The 0-based ordinal position of the tag within the document.
+  /// Requires SupportsOrdinal().
+  virtual StatusOr<uint64_t> OrdinalLookup(Lid lid);
+};
+
+}  // namespace boxes
+
+#endif  // BOXES_CORE_COMMON_READ_ONLY_LABELING_H_

@@ -158,6 +158,13 @@ Status WBox::InsertSubtreeBefore(Lid before, const xml::Document& subtree,
   int slot;
   uint64_t label;
   BOXES_RETURN_IF_ERROR(LocateLid(before, &leaf_page, &slot, &label));
+  // The ordinal where the subtree's records splice in; everything at or
+  // after it shifts by n_new. Captured before any restructuring — the
+  // rebuild paths below destroy the information needed to compute it.
+  uint64_t insert_ordinal = 0;
+  if (options_.maintain_ordinal) {
+    BOXES_ASSIGN_OR_RETURN(insert_ordinal, OrdinalOfLabel(label));
+  }
 
   // Build the root-to-leaf path indexed by level.
   LevelPath lp;
@@ -221,8 +228,7 @@ Status WBox::InsertSubtreeBefore(Lid before, const xml::Document& subtree,
     BOXES_RETURN_IF_ERROR(FixPairCachesForSlots(
         leaf_page, slot + static_cast<int>(n_new), leaf.count() - 1));
     if (options_.maintain_ordinal) {
-      BOXES_ASSIGN_OR_RETURN(const uint64_t ordinal, OrdinalOfLabel(label));
-      EmitOrdinalShift(ordinal, static_cast<int64_t>(n_new));
+      EmitOrdinalShift(insert_ordinal, static_cast<int64_t>(n_new));
     }
     return LinkPairsInOrder(records);
   }
@@ -320,6 +326,9 @@ Status WBox::InsertSubtreeBefore(Lid before, const xml::Document& subtree,
     }
     live_labels_ += n_new;
     EmitInvalidate(0, UINT64_MAX);
+    if (options_.maintain_ordinal) {
+      EmitOrdinalShift(insert_ordinal, static_cast<int64_t>(n_new));
+    }
     return LinkPairsInOrder(records);
   }
 
@@ -347,6 +356,9 @@ Status WBox::InsertSubtreeBefore(Lid before, const xml::Document& subtree,
   live_labels_ += n_new;
   EmitInvalidate(v_range_lo,
                  v_range_lo + params_.RangeLength(target_level) - 1);
+  if (options_.maintain_ordinal) {
+    EmitOrdinalShift(insert_ordinal, static_cast<int64_t>(n_new));
+  }
   return LinkPairsInOrder(records);
 }
 

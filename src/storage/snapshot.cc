@@ -1,0 +1,410 @@
+#include "storage/snapshot.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <random>
+#include <utility>
+#include <vector>
+
+#include "core/common/labeling_scheme.h"
+#include "util/coding.h"
+#include "util/crc32c.h"
+
+namespace boxes {
+
+namespace {
+
+constexpr char kSnapshotMagic[8] = {'B', 'X', 'S', 'I', 'L', 'O', '1', '\n'};
+
+std::string DirnameOf(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) {
+    return ".";
+  }
+  if (slash == 0) {
+    return "/";
+  }
+  return path.substr(0, slash);
+}
+
+}  // namespace
+
+std::string SnapshotGuidToString(const SnapshotGuid& guid) {
+  static const char kHex[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(32);
+  for (const uint8_t byte : guid) {
+    out.push_back(kHex[byte >> 4]);
+    out.push_back(kHex[byte & 0xf]);
+  }
+  return out;
+}
+
+SnapshotGuid GenerateSnapshotGuid() {
+  SnapshotGuid guid;
+  std::random_device device;
+  uint64_t mix = static_cast<uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+  for (size_t i = 0; i < guid.size(); i += 4) {
+    mix = mix * 0x9e3779b97f4a7c15ULL + device();
+    EncodeFixed32(guid.data() + i, static_cast<uint32_t>(mix >> 16));
+  }
+  return guid;
+}
+
+SnapshotWriter::SnapshotWriter(SnapshotWriterOptions options)
+    : options_(std::move(options)) {
+  const SnapshotGuid zero = {};
+  if (options_.guid == zero) {
+    options_.guid = GenerateSnapshotGuid();
+  }
+}
+
+StatusOr<std::string> SnapshotWriter::BuildImage(LabelingScheme* scheme) {
+  Lidf* records = scheme->lidf();
+  if (records == nullptr) {
+    return Status::FailedPrecondition(
+        scheme->name() + " exposes no LIDF; cannot compile a snapshot");
+  }
+  std::vector<Lid> lids;
+  lids.reserve(records->live_records());
+  BOXES_RETURN_IF_ERROR(
+      records->ForEachLive([&](Lid lid, const uint8_t* /*payload*/) {
+        lids.push_back(lid);  // ForEachLive visits in LID order: pre-sorted.
+        return Status::OK();
+      }));
+
+  const bool ordinals = scheme->SupportsOrdinal();
+  const uint64_t n = lids.size();
+  std::vector<uint64_t> offsets;
+  offsets.reserve(n + 1);
+  std::vector<uint64_t> pool;
+  pool.reserve(n);
+  std::vector<uint64_t> ordinal_values;
+  if (ordinals) {
+    ordinal_values.reserve(n);
+  }
+  offsets.push_back(0);
+  for (const Lid lid : lids) {
+    BOXES_ASSIGN_OR_RETURN(const Label label, scheme->Lookup(lid));
+    pool.insert(pool.end(), label.components().begin(),
+                label.components().end());
+    offsets.push_back(pool.size());
+    if (ordinals) {
+      BOXES_ASSIGN_OR_RETURN(const uint64_t ordinal,
+                             scheme->OrdinalLookup(lid));
+      ordinal_values.push_back(ordinal);
+    }
+  }
+
+  const uint64_t body_words =
+      n + (n + 1) + (ordinals ? n : 0) + pool.size();
+  const uint64_t total = kSnapshotHeaderSize + 8 * body_words;
+  std::string image(total, '\0');
+  uint8_t* out = reinterpret_cast<uint8_t*>(image.data());
+
+  uint8_t* cursor = out + kSnapshotHeaderSize;
+  auto put_words = [&cursor](const uint64_t* words, size_t count) {
+    for (size_t i = 0; i < count; ++i) {
+      EncodeFixed64(cursor, words[i]);
+      cursor += 8;
+    }
+  };
+  put_words(lids.data(), lids.size());
+  put_words(offsets.data(), offsets.size());
+  if (ordinals) {
+    put_words(ordinal_values.data(), ordinal_values.size());
+  }
+  put_words(pool.data(), pool.size());
+
+  std::memcpy(out, kSnapshotMagic, sizeof(kSnapshotMagic));
+  EncodeFixed32(out + 8, kSnapshotVersion);
+  EncodeFixed32(out + 12, static_cast<uint32_t>(kSnapshotHeaderSize));
+  EncodeFixed64(out + 16, total);
+  EncodeFixed32(out + 24,
+                Crc32c(out + kSnapshotHeaderSize, total - kSnapshotHeaderSize));
+  EncodeFixed32(out + 28, ordinals ? kSnapshotFlagOrdinals : 0);
+  EncodeFixed64(out + 32, options_.source_epoch);
+  std::memcpy(out + 40, options_.guid.data(), options_.guid.size());
+  EncodeFixed64(out + 56, n);
+  return image;
+}
+
+Status SnapshotWriter::ChargeFileOp(const char* what) {
+  if (file_ops_ >= options_.fail_after_file_ops) {
+    return Status::IoError(std::string("injected crash before snapshot ") +
+                           what);
+  }
+  ++file_ops_;
+  return Status::OK();
+}
+
+Status SnapshotWriter::Publish(const std::string& image,
+                               const std::string& path) {
+  const std::string tmp = path + ".tmp";
+
+  BOXES_RETURN_IF_ERROR(ChargeFileOp("temp-file create"));
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::IoError("open " + tmp + ": " + std::strerror(errno));
+  }
+  size_t written = 0;
+  while (written < image.size()) {
+    const size_t chunk =
+        std::min(options_.write_chunk_bytes, image.size() - written);
+    Status budget = ChargeFileOp("chunk write");
+    if (!budget.ok()) {
+      ::close(fd);  // a crash drops the descriptor; the partial file stays
+      return budget;
+    }
+    const ssize_t got = ::write(fd, image.data() + written, chunk);
+    if (got < 0 || static_cast<size_t>(got) != chunk) {
+      const Status status =
+          Status::IoError("write " + tmp + ": " + std::strerror(errno));
+      ::close(fd);
+      return status;
+    }
+    written += chunk;
+  }
+  Status budget = ChargeFileOp("fsync");
+  if (!budget.ok()) {
+    ::close(fd);
+    return budget;
+  }
+  if (::fsync(fd) != 0) {
+    const Status status =
+        Status::IoError("fsync " + tmp + ": " + std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  ::close(fd);
+
+  BOXES_RETURN_IF_ERROR(ChargeFileOp("rename"));
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Status::IoError("rename " + tmp + " -> " + path + ": " +
+                           std::strerror(errno));
+  }
+
+  // Make the rename itself durable: fsync the containing directory.
+  BOXES_RETURN_IF_ERROR(ChargeFileOp("directory fsync"));
+  const int dir_fd = ::open(DirnameOf(path).c_str(), O_RDONLY);
+  if (dir_fd < 0) {
+    return Status::IoError("open dir of " + path + ": " +
+                           std::strerror(errno));
+  }
+  if (::fsync(dir_fd) != 0) {
+    const Status status =
+        Status::IoError("fsync dir of " + path + ": " + std::strerror(errno));
+    ::close(dir_fd);
+    return status;
+  }
+  ::close(dir_fd);
+  return Status::OK();
+}
+
+StatusOr<SnapshotCompileStats> SnapshotWriter::CompileToFile(
+    LabelingScheme* scheme, const std::string& path) {
+  BOXES_ASSIGN_OR_RETURN(const std::string image, BuildImage(scheme));
+  BOXES_RETURN_IF_ERROR(Publish(image, path));
+  SnapshotCompileStats stats;
+  stats.entries = DecodeFixed64(
+      reinterpret_cast<const uint8_t*>(image.data()) + 56);
+  stats.image_bytes = image.size();
+  stats.file_ops = file_ops_;
+  stats.guid = options_.guid;
+  return stats;
+}
+
+SnapshotReader::~SnapshotReader() {
+  if (mapped_ && data_ != nullptr) {
+    ::munmap(const_cast<uint8_t*>(data_), size_);
+  }
+}
+
+StatusOr<std::unique_ptr<SnapshotReader>> SnapshotReader::Open(
+    const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::IoError("open " + path + ": " + std::strerror(errno));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    const Status status =
+        Status::IoError("fstat " + path + ": " + std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  const size_t size = static_cast<size_t>(st.st_size);
+  if (size == 0) {
+    ::close(fd);
+    return Status::Corruption("snapshot " + path + " is empty");
+  }
+  void* map = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);
+  if (map == MAP_FAILED) {
+    return Status::IoError("mmap " + path + ": " + std::strerror(errno));
+  }
+  std::unique_ptr<SnapshotReader> reader(new SnapshotReader());
+  reader->data_ = static_cast<const uint8_t*>(map);
+  reader->size_ = size;
+  reader->mapped_ = true;
+  BOXES_RETURN_IF_ERROR(reader->Validate());
+  return reader;
+}
+
+StatusOr<std::unique_ptr<SnapshotReader>> SnapshotReader::OpenFromBuffer(
+    std::string image) {
+  std::unique_ptr<SnapshotReader> reader(new SnapshotReader());
+  reader->owned_ = std::move(image);
+  reader->data_ = reinterpret_cast<const uint8_t*>(reader->owned_.data());
+  reader->size_ = reader->owned_.size();
+  BOXES_RETURN_IF_ERROR(reader->Validate());
+  return reader;
+}
+
+Status SnapshotReader::Validate() {
+  // Every field is distrusted until checked: the image may be truncated,
+  // bit-flipped, or an outright forgery (snapshot_fuzz_test sweeps all
+  // three). Nothing below this function performs a bounds check, so
+  // nothing here may be skipped.
+  if (size_ < kSnapshotHeaderSize) {
+    return Status::Corruption("snapshot smaller than its header");
+  }
+  if (std::memcmp(data_, kSnapshotMagic, sizeof(kSnapshotMagic)) != 0) {
+    return Status::FailedPrecondition("not a snapshot image (bad magic)");
+  }
+  const uint32_t version = DecodeFixed32(data_ + 8);
+  if (version != kSnapshotVersion) {
+    return Status::FailedPrecondition("unsupported snapshot version " +
+                                      std::to_string(version));
+  }
+  const uint32_t header_size = DecodeFixed32(data_ + 12);
+  if (header_size != kSnapshotHeaderSize) {
+    return Status::Corruption("snapshot header size mismatch");
+  }
+  // The libxmlb defence: the header states the exact file size, so a
+  // truncated (or padded) image is rejected before any section pointer is
+  // formed — offsets would otherwise read past the mapping.
+  const uint64_t expected_size = DecodeFixed64(data_ + 16);
+  if (expected_size != size_) {
+    return Status::Corruption(
+        "snapshot truncated or padded: header expects " +
+        std::to_string(expected_size) + " bytes, file has " +
+        std::to_string(size_));
+  }
+  const uint32_t flags = DecodeFixed32(data_ + 28);
+  if ((flags & ~kSnapshotFlagOrdinals) != 0) {
+    return Status::Corruption("snapshot carries unknown flags");
+  }
+  has_ordinals_ = (flags & kSnapshotFlagOrdinals) != 0;
+  source_epoch_ = DecodeFixed64(data_ + 32);
+  std::memcpy(guid_.data(), data_ + 40, guid_.size());
+  entry_count_ = DecodeFixed64(data_ + 56);
+
+  // Section arithmetic in 128 bits: a forged entry_count near 2^64 must
+  // not wrap into a "fits" verdict.
+  const unsigned __int128 fixed_words =
+      static_cast<unsigned __int128>(entry_count_) * (has_ordinals_ ? 3 : 2) +
+      1;
+  const unsigned __int128 fixed_bytes = fixed_words * 8;
+  const uint64_t body_bytes = size_ - kSnapshotHeaderSize;
+  if (fixed_bytes > body_bytes) {
+    return Status::Corruption("snapshot entry count exceeds image size");
+  }
+  const uint64_t pool_bytes = body_bytes - static_cast<uint64_t>(fixed_bytes);
+  if (pool_bytes % 8 != 0) {
+    return Status::Corruption("snapshot body is not word-aligned");
+  }
+  const uint64_t pool_words = pool_bytes / 8;
+
+  const uint32_t crc =
+      Crc32c(data_ + kSnapshotHeaderSize, body_bytes);
+  if (crc != DecodeFixed32(data_ + 24)) {
+    return Status::Corruption("snapshot body CRC mismatch");
+  }
+
+  lids_ = reinterpret_cast<const uint64_t*>(data_ + kSnapshotHeaderSize);
+  offsets_ = lids_ + entry_count_;
+  const uint64_t* after_offsets = offsets_ + entry_count_ + 1;
+  if (has_ordinals_) {
+    ordinals_ = after_offsets;
+    pool_ = after_offsets + entry_count_;
+  } else {
+    ordinals_ = nullptr;
+    pool_ = after_offsets;
+  }
+
+  for (uint64_t i = 0; i + 1 < entry_count_; ++i) {
+    if (lids_[i] >= lids_[i + 1]) {
+      return Status::Corruption("snapshot lids not strictly increasing");
+    }
+  }
+  if (entry_count_ > 0 && lids_[entry_count_ - 1] == kInvalidLid) {
+    return Status::Corruption("snapshot contains the invalid lid");
+  }
+  if (offsets_[0] != 0 || offsets_[entry_count_] != pool_words) {
+    return Status::Corruption("snapshot label offsets do not span the pool");
+  }
+  for (uint64_t i = 0; i < entry_count_; ++i) {
+    // Every label needs at least one component; monotonicity bounds each
+    // slice inside the pool.
+    if (offsets_[i] >= offsets_[i + 1]) {
+      return Status::Corruption("snapshot label offsets not increasing");
+    }
+  }
+  return Status::OK();
+}
+
+size_t SnapshotReader::FindIndex(Lid lid) const {
+  // Branch-free lower bound: the comparison compiles to a conditional
+  // move, so the search runs at a predictable ~log2(n) dependent loads
+  // with no branch mispredictions.
+  const uint64_t* base = lids_;
+  size_t n = entry_count_;
+  while (n > 1) {
+    const size_t half = n / 2;
+    base = (base[half] <= lid) ? base + half : base;
+    n -= half;
+  }
+  if (entry_count_ == 0 || *base != lid) {
+    return kNotFound;
+  }
+  return static_cast<size_t>(base - lids_);
+}
+
+Label SnapshotReader::LabelAt(size_t index) const {
+  const uint64_t begin = offsets_[index];
+  const uint64_t end = offsets_[index + 1];
+  return Label::FromComponents(
+      std::vector<uint64_t>(pool_ + begin, pool_ + end));
+}
+
+StatusOr<Label> SnapshotReader::Lookup(Lid lid) {
+  const size_t index = FindIndex(lid);
+  if (index == kNotFound) {
+    return Status::NotFound("lid " + std::to_string(lid) +
+                            " not in snapshot");
+  }
+  return LabelAt(index);
+}
+
+StatusOr<uint64_t> SnapshotReader::OrdinalLookup(Lid lid) {
+  if (!has_ordinals_) {
+    return Status::Unimplemented("snapshot carries no ordinal labels");
+  }
+  const size_t index = FindIndex(lid);
+  if (index == kNotFound) {
+    return Status::NotFound("lid " + std::to_string(lid) +
+                            " not in snapshot");
+  }
+  return OrdinalAt(index);
+}
+
+}  // namespace boxes

@@ -1,0 +1,197 @@
+#ifndef BOXES_STORAGE_SNAPSHOT_H_
+#define BOXES_STORAGE_SNAPSHOT_H_
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "core/common/label.h"
+#include "core/common/read_only_labeling.h"
+#include "lidf/lidf.h"
+#include "util/status.h"
+
+namespace boxes {
+
+class LabelingScheme;
+
+/// Immutable mmap-able snapshot image ("silo", DESIGN.md §4l).
+///
+/// A SnapshotWriter compiles the current labels of a labeled document into
+/// a compact read-only image; a SnapshotReader memory-maps the image and
+/// serves Lookup/OrdinalLookup lock-free, with zero PageCache traffic. The
+/// format borrows libxmlb's hardening (SNIPPETS.md snippet 1): the header
+/// records the exact expected file size (so truncation is detected before
+/// any array is trusted) and an invalidation GUID naming this compile, and
+/// the body carries a CRC32C.
+///
+/// On-disk layout, little-endian, all sections 8-byte aligned:
+///
+///   offset  size  field
+///   ------  ----  -----------------------------------------------------
+///        0     8  magic "BXSILO1\n"
+///        8     4  version (1)
+///       12     4  header_size (64)
+///       16     8  expected_file_size (header + body, exact)
+///       24     4  body CRC32C (bytes [64, expected_file_size))
+///       28     4  flags (bit 0: image carries ordinals)
+///       32     8  source_epoch (authority EpochGuard epoch at compile)
+///       40    16  invalidation GUID
+///       56     8  entry_count n
+///       64        body:
+///                   lid[n]            u64, strictly increasing
+///                   label_offset[n+1] u64, offsets into the component pool
+///                   ordinal[n]        u64, present iff flags bit 0
+///                   component pool    u64 × label_offset[n]
+///
+/// Entry i's label is the components pool[label_offset[i]] ..
+/// pool[label_offset[i+1]) — multi-component labels (B-BOX paths, naive-k
+/// wide integers) serialize unchanged. Lookups binary-search the sorted
+/// lid array with a branch-free lower bound.
+inline constexpr uint32_t kSnapshotVersion = 1;
+inline constexpr size_t kSnapshotHeaderSize = 64;
+inline constexpr uint32_t kSnapshotFlagOrdinals = 1u << 0;
+
+using SnapshotGuid = std::array<uint8_t, 16>;
+
+/// Hex rendering of a GUID ("3f2a...").
+std::string SnapshotGuidToString(const SnapshotGuid& guid);
+
+/// A freshly generated (pseudo-random, never-repeating in practice) GUID.
+SnapshotGuid GenerateSnapshotGuid();
+
+struct SnapshotWriterOptions {
+  /// EpochGuard epoch of the source scheme at compile time, recorded in the
+  /// header for provenance.
+  uint64_t source_epoch = 0;
+  /// GUID stamped into the image; all-zero means "generate one".
+  SnapshotGuid guid = {};
+  /// Write granularity for the publish path. Small chunks multiply the
+  /// crash sweep's injection points; the default is one syscall per 64 KiB.
+  size_t write_chunk_bytes = 64 * 1024;
+  /// Crash-injection hook: the publish path fails with kIoError after this
+  /// many successful file operations (open/write/fsync/rename/...),
+  /// leaving whatever partial on-disk state a real crash would. The
+  /// default never fires.
+  uint64_t fail_after_file_ops = UINT64_MAX;
+};
+
+struct SnapshotCompileStats {
+  uint64_t entries = 0;
+  uint64_t image_bytes = 0;
+  /// File operations the publish path performed (the crash sweep sweeps
+  /// its injection budget over exactly this count).
+  uint64_t file_ops = 0;
+  SnapshotGuid guid = {};
+};
+
+/// Compiles a labeled document into a snapshot image and publishes it
+/// atomically: build to `<path>.tmp`, fsync, rename over `<path>`, fsync
+/// the directory. A reader never observes a torn image — it sees the old
+/// file or the new one, distinguished by the invalidation GUID.
+class SnapshotWriter {
+ public:
+  explicit SnapshotWriter(SnapshotWriterOptions options = {});
+
+  /// Serializes every live LID of `scheme` (which must expose a LIDF) with
+  /// its current label — and ordinal, when the scheme maintains them —
+  /// into an in-memory image. Read-only with respect to `scheme`; callers
+  /// synchronize with writers (EpochReadLock) themselves.
+  StatusOr<std::string> BuildImage(LabelingScheme* scheme);
+
+  /// Durably publishes a built image to `path` via the temp-file + atomic
+  /// rename protocol. On injected failure the partial temp file is left in
+  /// place, exactly as a crash would.
+  Status Publish(const std::string& image, const std::string& path);
+
+  /// BuildImage + Publish, returning compile statistics.
+  StatusOr<SnapshotCompileStats> CompileToFile(LabelingScheme* scheme,
+                                               const std::string& path);
+
+  /// File operations performed by publish calls so far.
+  uint64_t file_ops() const { return file_ops_; }
+  const SnapshotGuid& guid() const { return options_.guid; }
+
+ private:
+  /// Charges one file operation against the crash budget; the caller skips
+  /// the real syscall when this fails.
+  Status ChargeFileOp(const char* what);
+
+  SnapshotWriterOptions options_;
+  uint64_t file_ops_ = 0;
+};
+
+/// Serves a snapshot image. Open() validates the entire image up front —
+/// magic, version, exact expected size, section arithmetic (with overflow
+/// checks against forged counts), body CRC, lid monotonicity, offset
+/// monotonicity — so the lookup hot path needs no bounds checks.
+///
+/// All lookups are const in effect, lock-free, and touch only the mapped
+/// bytes: zero PageCache traffic. One instance may be shared by any number
+/// of reader threads.
+class SnapshotReader : public ReadOnlyLabeling {
+ public:
+  static constexpr size_t kNotFound = SIZE_MAX;
+
+  /// Memory-maps `path` and validates it.
+  static StatusOr<std::unique_ptr<SnapshotReader>> Open(
+      const std::string& path);
+
+  /// Adopts and validates an in-memory image (fuzzing, tests; heap-backed
+  /// so ASan sees out-of-bounds reads that page-granular mmap would not).
+  static StatusOr<std::unique_ptr<SnapshotReader>> OpenFromBuffer(
+      std::string image);
+
+  ~SnapshotReader() override;
+
+  SnapshotReader(const SnapshotReader&) = delete;
+  SnapshotReader& operator=(const SnapshotReader&) = delete;
+
+  // ReadOnlyLabeling:
+  std::string name() const override { return "silo"; }
+  StatusOr<Label> Lookup(Lid lid) override;
+  bool SupportsOrdinal() const override { return has_ordinals_; }
+  StatusOr<uint64_t> OrdinalLookup(Lid lid) override;
+
+  /// Index of `lid` in the entry array, or kNotFound. Branch-free binary
+  /// search; the overlay's hot path.
+  size_t FindIndex(Lid lid) const;
+
+  /// Entry accessors by index (< entry_count()).
+  Lid LidAt(size_t index) const { return lids_[index]; }
+  Label LabelAt(size_t index) const;
+  uint64_t OrdinalAt(size_t index) const { return ordinals_[index]; }
+
+  uint64_t entry_count() const { return entry_count_; }
+  uint64_t image_bytes() const { return size_; }
+  uint64_t source_epoch() const { return source_epoch_; }
+  const SnapshotGuid& guid() const { return guid_; }
+  bool has_ordinals() const { return has_ordinals_; }
+
+ private:
+  SnapshotReader() = default;
+
+  /// Parses + validates the image and wires the section pointers.
+  Status Validate();
+
+  const uint8_t* data_ = nullptr;
+  size_t size_ = 0;
+  /// Non-empty when the image is heap-backed (OpenFromBuffer); otherwise
+  /// data_ is an mmap to unmap.
+  std::string owned_;
+  bool mapped_ = false;
+
+  uint64_t entry_count_ = 0;
+  bool has_ordinals_ = false;
+  uint64_t source_epoch_ = 0;
+  SnapshotGuid guid_ = {};
+
+  const uint64_t* lids_ = nullptr;
+  const uint64_t* offsets_ = nullptr;
+  const uint64_t* ordinals_ = nullptr;
+  const uint64_t* pool_ = nullptr;
+};
+
+}  // namespace boxes
+
+#endif  // BOXES_STORAGE_SNAPSHOT_H_

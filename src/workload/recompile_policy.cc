@@ -1,0 +1,36 @@
+#include "workload/recompile_policy.h"
+
+namespace boxes {
+
+bool RecompilePolicy::ShouldRecompile(const OverlayedScheme& overlay) const {
+  const SnapshotReader* reader = overlay.reader();
+  if (reader == nullptr) {
+    return false;  // bootstrap compile is the caller's explicit decision
+  }
+  const size_t deltas = overlay.delta_size();
+  if (deltas >= options_.min_deltas) {
+    const uint64_t entries = reader->entry_count();
+    if (entries == 0 ||
+        static_cast<double>(deltas) >=
+            options_.max_delta_fraction * static_cast<double>(entries)) {
+      return true;
+    }
+  }
+  const OverlayServeStats stats = overlay.serve_stats();
+  const uint64_t lookups = stats.lookups - baseline_lookups_;
+  const uint64_t fallback = stats.served_fallback - baseline_fallback_;
+  if (lookups >= 64 &&
+      static_cast<double>(fallback) >
+          options_.max_fallback_fraction * static_cast<double>(lookups)) {
+    return true;
+  }
+  return false;
+}
+
+void RecompilePolicy::OnRecompiled(const OverlayedScheme& overlay) {
+  const OverlayServeStats stats = overlay.serve_stats();
+  baseline_lookups_ = stats.lookups;
+  baseline_fallback_ = stats.served_fallback;
+}
+
+}  // namespace boxes

@@ -1,0 +1,56 @@
+#ifndef BOXES_WORKLOAD_RECOMPILE_POLICY_H_
+#define BOXES_WORKLOAD_RECOMPILE_POLICY_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "core/common/overlay.h"
+
+namespace boxes {
+
+/// When should a serving tier pay a recompile? The overlay degrades
+/// gracefully as deltas accumulate — more lookups route to the live
+/// authority, fewer ride the zero-I/O mmap path — so the policy question
+/// is purely economic: trade one compile (O(N) extraction + write) against
+/// the growing per-lookup cost of overlay routing. This mirrors LSM
+/// compaction triggers: size-based (delta count vs. image size) plus a
+/// staleness backstop (the serve mix itself).
+struct RecompilePolicyOptions {
+  /// Recompile when the delta map exceeds this fraction of the served
+  /// image's entries (0.1 = 10% churn since compile).
+  double max_delta_fraction = 0.10;
+  /// ... but never before this many deltas accumulate (avoids recompiling
+  /// a large image over a handful of edits).
+  size_t min_deltas = 256;
+  /// Staleness backstop: recompile when the fraction of lookups since the
+  /// last compile answered by fallback (invalidated / log overflow)
+  /// exceeds this.
+  double max_fallback_fraction = 0.25;
+};
+
+class RecompilePolicy {
+ public:
+  explicit RecompilePolicy(RecompilePolicyOptions options = {})
+      : options_(options) {}
+
+  /// True when `overlay`'s current delta pressure or serve mix warrants a
+  /// recompile. Never fires before the first compile (no image to refresh;
+  /// callers bootstrap with an explicit Recompile()).
+  bool ShouldRecompile(const OverlayedScheme& overlay) const;
+
+  /// Resets the serve-mix baseline; call right after a recompile so the
+  /// fallback fraction measures the new image, not history.
+  void OnRecompiled(const OverlayedScheme& overlay);
+
+  const RecompilePolicyOptions& options() const { return options_; }
+
+ private:
+  RecompilePolicyOptions options_;
+  /// Serve-mix baseline at the last compile.
+  uint64_t baseline_lookups_ = 0;
+  uint64_t baseline_fallback_ = 0;
+};
+
+}  // namespace boxes
+
+#endif  // BOXES_WORKLOAD_RECOMPILE_POLICY_H_

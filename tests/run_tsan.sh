@@ -1,6 +1,7 @@
 #!/bin/sh
 # Builds the sanitize-thread preset (ThreadSanitizer) and runs the
-# concurrency-, fleet-, and replication-labeled test suites under it (the
+# concurrency-, fleet-, replication-, and snapshot-labeled test suites
+# under it (the
 # epoch guard, the sharded PageCache, thread-safe metrics, the
 # N-readers/1-writer scheme stress and differential tests, the
 # multi-tenant fleet harness, and the WAL-shipping standby apply path,

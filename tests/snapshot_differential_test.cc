@@ -1,0 +1,333 @@
+// Silo ≡ live differential battery (DESIGN.md §4l): one randomized
+// 2×4096-op history — element inserts, deletes, subtree grafts, subtree
+// deletions — runs twice per scheme: once against a plain live instance,
+// once against an identical instance wrapped in an OverlayedScheme whose
+// snapshot is recompiled at random points (plus policy-driven points, plus
+// a forced compile between the two windows). Both runs are deterministic,
+// so they assign identical LIDs; at every step sampled lookups, ordinal
+// lookups, and document-order comparisons must agree exactly, and periodic
+// full sweeps check every live LID, label-order monotonicity, and freed-LID
+// status parity.
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/bbox/bbox.h"
+#include "core/common/overlay.h"
+#include "core/naive/naive.h"
+#include "core/wbox/wbox.h"
+#include "gtest/gtest.h"
+#include "model_tree.h"
+#include "storage/page_cache.h"
+#include "storage/snapshot.h"
+#include "test_util.h"
+#include "util/random.h"
+#include "workload/recompile_policy.h"
+#include "xml/generators.h"
+
+namespace boxes::testing {
+namespace {
+
+constexpr uint64_t kHistorySeed = 0x51105eedULL;
+constexpr int kBootstrapElements = 1500;
+constexpr int kWindows = 2;
+constexpr int kOpsPerWindow = 4096;
+constexpr int kFullSweepEvery = 512;
+constexpr int kSamplesPerOp = 4;
+
+struct SchemeFactory {
+  const char* name;
+  std::unique_ptr<LabelingScheme> (*make)(PageCache* cache);
+  bool ordinal;
+};
+
+std::unique_ptr<LabelingScheme> MakeWbox(PageCache* cache) {
+  return std::make_unique<WBox>(cache);
+}
+std::unique_ptr<LabelingScheme> MakeWboxOrdinal(PageCache* cache) {
+  return std::make_unique<WBox>(cache,
+                               WBoxOptions{.maintain_ordinal = true});
+}
+std::unique_ptr<LabelingScheme> MakeBbox(PageCache* cache) {
+  return std::make_unique<BBox>(cache);
+}
+std::unique_ptr<LabelingScheme> MakeNaive(PageCache* cache) {
+  return std::make_unique<NaiveScheme>(
+      cache, NaiveOptions{.gap_bits = 8, .count_bits = 40});
+}
+
+class SnapshotDifferentialTest
+    : public ::testing::TestWithParam<SchemeFactory> {};
+
+// Both instances see the exact same call sequence, so they evolve the same
+// internal state and hand out the same LIDs — asserted on every insert.
+class DualRun {
+ public:
+  DualRun(LabelingScheme* live, OverlayedScheme* overlay)
+      : live_(live), overlay_(overlay) {}
+
+  void InsertBefore(Lid anchor, NewElement* out) {
+    ASSERT_OK_AND_ASSIGN(const NewElement a, live_->InsertElementBefore(anchor));
+    ASSERT_OK_AND_ASSIGN(const NewElement b,
+                         overlay_->InsertElementBefore(anchor));
+    ASSERT_EQ(a.start, b.start);
+    ASSERT_EQ(a.end, b.end);
+    *out = a;
+  }
+
+  void InsertFirst(NewElement* out) {
+    ASSERT_OK_AND_ASSIGN(const NewElement a, live_->InsertFirstElement());
+    ASSERT_OK_AND_ASSIGN(const NewElement b, overlay_->InsertFirstElement());
+    ASSERT_EQ(a.start, b.start);
+    ASSERT_EQ(a.end, b.end);
+    *out = a;
+  }
+
+  void DeleteElement(const NewElement& lids) {
+    ASSERT_OK(live_->Delete(lids.start));
+    ASSERT_OK(live_->Delete(lids.end));
+    ASSERT_OK(overlay_->Delete(lids.start));
+    ASSERT_OK(overlay_->Delete(lids.end));
+  }
+
+  void InsertSubtree(Lid anchor, const xml::Document& doc,
+                     std::vector<NewElement>* out) {
+    std::vector<NewElement> b;
+    ASSERT_OK(live_->InsertSubtreeBefore(anchor, doc, out));
+    ASSERT_OK(overlay_->InsertSubtreeBefore(anchor, doc, &b));
+    ASSERT_EQ(out->size(), b.size());
+    for (size_t i = 0; i < out->size(); ++i) {
+      ASSERT_EQ((*out)[i].start, b[i].start);
+      ASSERT_EQ((*out)[i].end, b[i].end);
+    }
+  }
+
+  void DeleteSubtree(const NewElement& root) {
+    ASSERT_OK(live_->DeleteSubtree(root.start, root.end));
+    ASSERT_OK(overlay_->DeleteSubtree(root.start, root.end));
+  }
+
+ private:
+  LabelingScheme* live_;
+  OverlayedScheme* overlay_;
+};
+
+TEST_P(SnapshotDifferentialTest, SiloOverlayMatchesLiveAtEveryStep) {
+  const SchemeFactory& factory = GetParam();
+  TestDb live_db;
+  TestDb overlay_db;
+  std::unique_ptr<LabelingScheme> live = factory.make(&live_db.cache);
+  std::unique_ptr<LabelingScheme> authority = factory.make(&overlay_db.cache);
+
+  const std::string snapshot_path =
+      ::testing::TempDir() + "boxes_snapdiff_" + factory.name + "_" +
+      std::to_string(::getpid()) + ".silo";
+  OverlayOptions options;
+  options.snapshot_path = snapshot_path;
+  options.log_capacity = 1 << 16;
+  OverlayedScheme overlay(authority.get(), options);
+  RecompilePolicy policy(
+      RecompilePolicyOptions{.max_delta_fraction = 0.20, .min_deltas = 512});
+  DualRun run(live.get(), &overlay);
+
+  ModelTree model;
+  Random rng(kHistorySeed);
+  Random check_rng(kHistorySeed ^ 0xc0ffee);
+
+  // Bootstrap a non-trivial document before the first compile.
+  {
+    NewElement root;
+    run.InsertFirst(&root);
+    ASSERT_FALSE(::testing::Test::HasFatalFailure());
+    model.SetRoot(root);
+    for (int i = 0; i < kBootstrapElements; ++i) {
+      const int target = model.RandomElement(&rng, /*exclude_root=*/false);
+      NewElement fresh;
+      run.InsertBefore(model.node(target).lids.end, &fresh);
+      ASSERT_FALSE(::testing::Test::HasFatalFailure());
+      model.InsertAsLastChild(target, fresh);
+    }
+  }
+  ASSERT_OK(overlay.Recompile());
+  policy.OnRecompiled(overlay);
+
+  std::deque<Lid> freed;  // recently freed LIDs for status-parity checks
+  auto note_freed = [&freed](const NewElement& lids) {
+    freed.push_back(lids.start);
+    freed.push_back(lids.end);
+    while (freed.size() > 64) {
+      freed.pop_front();
+    }
+  };
+
+  // Sampled checks after every op: exact label equality, ordinal equality,
+  // and comparison-sign equality between the live run and the overlay.
+  auto sampled_checks = [&]() {
+    std::vector<int> picks;
+    for (int s = 0; s < kSamplesPerOp; ++s) {
+      picks.push_back(model.RandomElement(&check_rng, /*exclude_root=*/false));
+    }
+    for (const int pick : picks) {
+      const NewElement& lids = model.node(pick).lids;
+      for (const Lid lid : {lids.start, lids.end}) {
+        ASSERT_OK_AND_ASSIGN(const Label expected, live->Lookup(lid));
+        ASSERT_OK_AND_ASSIGN(const Label got, overlay.Lookup(lid));
+        ASSERT_EQ(expected, got)
+            << factory.name << " lid " << lid << ": live "
+            << expected.ToString() << " vs silo " << got.ToString();
+        if (factory.ordinal) {
+          ASSERT_OK_AND_ASSIGN(const uint64_t expected_ord,
+                               live->OrdinalLookup(lid));
+          ASSERT_OK_AND_ASSIGN(const uint64_t got_ord,
+                               overlay.OrdinalLookup(lid));
+          ASSERT_EQ(expected_ord, got_ord) << factory.name << " lid " << lid;
+        }
+      }
+    }
+    // Document-order comparison parity on one random pair.
+    const Lid a = model.node(picks[0]).lids.start;
+    const Lid b = model.node(picks[1]).lids.start;
+    ASSERT_OK_AND_ASSIGN(const int expected_cmp, live->Compare(a, b));
+    ASSERT_OK_AND_ASSIGN(const int got_cmp, overlay.Compare(a, b));
+    ASSERT_EQ(expected_cmp < 0, got_cmp < 0);
+    ASSERT_EQ(expected_cmp > 0, got_cmp > 0);
+  };
+
+  auto full_sweep = [&]() {
+    const std::vector<Lid> order = model.TagOrder();
+    Label prev;
+    bool have_prev = false;
+    for (const Lid lid : order) {
+      ASSERT_OK_AND_ASSIGN(const Label expected, live->Lookup(lid));
+      ASSERT_OK_AND_ASSIGN(const Label got, overlay.Lookup(lid));
+      ASSERT_EQ(expected, got) << factory.name << " lid " << lid;
+      if (have_prev) {
+        ASSERT_LT(prev.Compare(got), 0)
+            << factory.name << " overlay label order broken at lid " << lid;
+      }
+      prev = got;
+      have_prev = true;
+    }
+    // Freed LIDs must answer identically too — NotFound parity, or the
+    // reused LID's current value.
+    for (const Lid lid : freed) {
+      StatusOr<Label> expected = live->Lookup(lid);
+      StatusOr<Label> got = overlay.Lookup(lid);
+      ASSERT_EQ(expected.status().code(), got.status().code())
+          << factory.name << " freed lid " << lid;
+      if (expected.ok()) {
+        ASSERT_EQ(*expected, *got) << factory.name << " freed lid " << lid;
+      }
+    }
+  };
+
+  int ops_applied = 0;
+  for (int window = 0; window < kWindows; ++window) {
+    for (int op = 0; op < kOpsPerWindow; ++op) {
+      const double roll = rng.NextDouble();
+      if (roll < 0.60 || model.element_count() < 64) {
+        const bool before_start = rng.Bernoulli(0.5);
+        const int target =
+            model.RandomElement(&rng, /*exclude_root=*/before_start);
+        NewElement fresh;
+        if (before_start) {
+          run.InsertBefore(model.node(target).lids.start, &fresh);
+          ASSERT_FALSE(::testing::Test::HasFatalFailure());
+          model.InsertBeforeStart(target, fresh);
+        } else {
+          run.InsertBefore(model.node(target).lids.end, &fresh);
+          ASSERT_FALSE(::testing::Test::HasFatalFailure());
+          model.InsertAsLastChild(target, fresh);
+        }
+      } else if (roll < 0.82) {
+        const int target = model.RandomElement(&rng, /*exclude_root=*/true);
+        const NewElement lids = model.node(target).lids;
+        run.DeleteElement(lids);
+        ASSERT_FALSE(::testing::Test::HasFatalFailure());
+        model.DeleteElement(target);
+        note_freed(lids);
+      } else if (roll < 0.92) {
+        const bool before_start = rng.Bernoulli(0.5);
+        const int target =
+            model.RandomElement(&rng, /*exclude_root=*/before_start);
+        const xml::Document doc =
+            xml::MakeRandomDocument(rng.UniformRange(2, 8), 4, rng.Next());
+        std::vector<NewElement> lids;
+        const Lid anchor = before_start ? model.node(target).lids.start
+                                        : model.node(target).lids.end;
+        run.InsertSubtree(anchor, doc, &lids);
+        ASSERT_FALSE(::testing::Test::HasFatalFailure());
+        if (before_start) {
+          model.GraftBeforeStart(target, doc, lids);
+        } else {
+          model.GraftAsLastChild(target, doc, lids);
+        }
+      } else {
+        const int target = model.RandomElement(&rng, /*exclude_root=*/true);
+        if (model.SubtreeElementCount(target) > 12) {
+          --op;  // reroll; keep the window size
+          continue;
+        }
+        const NewElement root = model.node(target).lids;
+        run.DeleteSubtree(root);
+        ASSERT_FALSE(::testing::Test::HasFatalFailure());
+        for (const NewElement& victim : model.DeleteSubtree(target)) {
+          note_freed(victim);
+        }
+      }
+      ++ops_applied;
+
+      // Recompile at random points, plus wherever the serving policy says
+      // the delta pressure warrants it.
+      if (rng.Bernoulli(1.0 / 512) || policy.ShouldRecompile(overlay)) {
+        ASSERT_OK(overlay.Recompile());
+        policy.OnRecompiled(overlay);
+      }
+
+      sampled_checks();
+      ASSERT_FALSE(::testing::Test::HasFatalFailure());
+      if (ops_applied % kFullSweepEvery == 0) {
+        full_sweep();
+        ASSERT_FALSE(::testing::Test::HasFatalFailure());
+      }
+    }
+    // Window boundary: force a compile and prove the mmap path serves.
+    const OverlayServeStats before = overlay.serve_stats();
+    ASSERT_OK(overlay.Recompile());
+    policy.OnRecompiled(overlay);
+    full_sweep();
+    ASSERT_FALSE(::testing::Test::HasFatalFailure());
+    const OverlayServeStats after = overlay.serve_stats();
+    EXPECT_GT(after.served_base + after.served_repaired,
+              before.served_base + before.served_repaired)
+        << factory.name
+        << ": post-compile sweep never hit the mmap path — the overlay is "
+           "degenerating to pass-through";
+  }
+
+  ASSERT_GE(ops_applied, kWindows * kOpsPerWindow);
+  EXPECT_OK(live->CheckInvariants());
+  EXPECT_OK(overlay.CheckInvariants());
+  const OverlayServeStats stats = overlay.serve_stats();
+  EXPECT_GT(stats.recompiles, 2u);
+  ::unlink(snapshot_path.c_str());
+  ::unlink((snapshot_path + ".tmp").c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Schemes, SnapshotDifferentialTest,
+    ::testing::Values(SchemeFactory{"wbox", &MakeWbox, false},
+                      SchemeFactory{"wbox_ordinal", &MakeWboxOrdinal, true},
+                      SchemeFactory{"bbox", &MakeBbox, false},
+                      SchemeFactory{"naive8", &MakeNaive, false}),
+    [](const ::testing::TestParamInfo<SchemeFactory>& info) {
+      return std::string(info.param.name);
+    });
+
+}  // namespace
+}  // namespace boxes::testing
